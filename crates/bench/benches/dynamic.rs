@@ -1,0 +1,98 @@
+//! Dynamic base, parallel batch retrieval, and the external-memory index.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geosir_core::dynamic::DynamicBase;
+use geosir_core::ids::ImageId;
+use geosir_core::matcher::{MatchConfig, Matcher};
+use geosir_core::parallel::retrieve_batch;
+use geosir_geom::rangesearch::Backend;
+use geosir_geom::{Point, Polyline, Triangle};
+use geosir_imaging::synth::{generate, perturb, random_simple_polygon, CorpusConfig};
+use geosir_storage::{BufferPool, ExternalVertexIndex};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::hint::black_box;
+
+fn dynamic_insert_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_insert");
+    group.sample_size(10);
+    for n in [200usize, 800] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut db = DynamicBase::new(
+                    0.05,
+                    Backend::KdTree,
+                    MatchConfig::default(),
+                    32,
+                );
+                for i in 0..n {
+                    let k = rng.random_range(6usize..12);
+                    db.insert(ImageId(i as u32), random_simple_polygon(&mut rng, k, 0.3));
+                }
+                black_box(db.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn parallel_batch_speedup(c: &mut Criterion) {
+    let corpus = generate(&CorpusConfig::small(300, 7));
+    let base = corpus.build_base(0.05, Backend::RangeTree);
+    let matcher = Matcher::new(&base, MatchConfig { beta: 0.3, ..Default::default() });
+    let mut rng = StdRng::seed_from_u64(2);
+    let queries: Vec<Polyline> = (0..16)
+        .map(|i| perturb(&corpus.prototypes[i % corpus.prototypes.len()], &mut rng, 0.02))
+        .collect();
+    let mut group = c.benchmark_group("parallel_batch");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| black_box(retrieve_batch(&matcher, &queries, t)))
+        });
+    }
+    group.finish();
+}
+
+fn external_index_query(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let pts: Vec<Point> = (0..200_000)
+        .map(|_| Point::new(rng.random_range(0.0..1.0), rng.random_range(-0.5..0.5)))
+        .collect();
+    let idx = ExternalVertexIndex::build(&pts);
+    let tris: Vec<Triangle> = (0..64)
+        .map(|_| {
+            let cx = rng.random_range(0.0..1.0);
+            let cy = rng.random_range(-0.5..0.5);
+            Triangle::new(
+                Point::new(cx, cy),
+                Point::new(cx + 0.05, cy),
+                Point::new(cx + 0.025, cy + 0.01),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("external_index");
+    for pool_blocks in [8usize, 128] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(pool_blocks),
+            &pool_blocks,
+            |b, &pool_blocks| {
+                b.iter(|| {
+                    let mut pool = BufferPool::new(pool_blocks);
+                    let mut out = Vec::new();
+                    let mut io = 0u64;
+                    for t in &tris {
+                        out.clear();
+                        io += idx.report_triangle(&mut pool, t, &mut out);
+                    }
+                    black_box(io)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, dynamic_insert_throughput, parallel_batch_speedup, external_index_query);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Geometric hashing: curve-family construction (the E(x) solves),
+//! signature computation (ternary vs linear characteristic-curve search —
+//! the §3 binary-search claim), and retrieval.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geosir_core::hashing::{clamp_to_lune, CurveFamily, GeometricHash, Quarter};
+use geosir_core::normalize::normalize_about_diameter;
+use geosir_geom::rangesearch::Backend;
+use geosir_geom::Point;
+use geosir_imaging::synth::{generate, perturb, CorpusConfig};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::hint::black_box;
+
+fn family_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_family_build");
+    for k in [10usize, 50, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(CurveFamily::new(k)))
+        });
+    }
+    group.finish();
+}
+
+fn characteristic_search(c: &mut Criterion) {
+    let fam = CurveFamily::new(200);
+    let mut rng = StdRng::seed_from_u64(5);
+    let pts: Vec<Point> = (0..20)
+        .map(|_| {
+            clamp_to_lune(Point::new(rng.random_range(0.0..0.5), rng.random_range(0.0..0.6)))
+        })
+        .map(|p| Quarter::of(p).to_q1(p))
+        .collect();
+    let mut group = c.benchmark_group("characteristic_curve");
+    group.bench_function("ternary", |b| b.iter(|| black_box(fam.characteristic_ternary(&pts))));
+    group.bench_function("linear", |b| b.iter(|| black_box(fam.characteristic_linear(&pts))));
+    group.finish();
+}
+
+fn hash_retrieval(c: &mut Criterion) {
+    let corpus = generate(&CorpusConfig::small(300, 7));
+    let base = corpus.build_base(0.05, Backend::KdTree);
+    let gh = GeometricHash::build(&base, 50);
+    let mut rng = StdRng::seed_from_u64(2);
+    let q = perturb(&corpus.prototypes[0], &mut rng, 0.02);
+    let (norm, _) = normalize_about_diameter(&q).unwrap();
+    let mut group = c.benchmark_group("hash_retrieve");
+    group.bench_function("k50_top1", |b| {
+        b.iter(|| black_box(gh.retrieve(&base, &norm.shape, 1, 2)))
+    });
+    group.bench_function("signature_only", |b| b.iter(|| black_box(gh.signature(&norm.shape))));
+    group.finish();
+}
+
+criterion_group!(benches, family_construction, characteristic_search, hash_retrieval);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Query processing: operator evaluation under both §5.3 strategies and
+//! composite-query execution with the §5.4 planner.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use geosir_geom::rangesearch::Backend;
+use geosir_imaging::synth::{generate, CorpusConfig};
+use geosir_query::engine::{EngineConfig, QueryEngine, TopoStrategy};
+use std::hint::black_box;
+
+fn plans(c: &mut Criterion) {
+    let cfg = CorpusConfig { p_contained: 0.3, p_overlap: 0.3, ..CorpusConfig::small(200, 7) };
+    let corpus = generate(&cfg);
+    let base = corpus.build_base(0.05, Backend::KdTree);
+    let mut bindings = HashMap::new();
+    bindings.insert("a".to_string(), corpus.prototypes[0].clone());
+    bindings.insert("b".to_string(), corpus.prototypes[1].clone());
+
+    let mut group = c.benchmark_group("topo_operator");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("plan1_seed_smaller", TopoStrategy::SeedSmaller),
+        ("plan2_both_sides", TopoStrategy::BothSides),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut eng =
+                    QueryEngine::new(&base, EngineConfig { strategy, ..Default::default() });
+                black_box(eng.execute_str("overlap(a, b, any)", &bindings).unwrap())
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("composite_query");
+    group.sample_size(10);
+    group.bench_function("paper_example", |b| {
+        b.iter(|| {
+            let mut eng = QueryEngine::new(&base, EngineConfig::default());
+            black_box(
+                eng.execute_str("similar(a) & !overlap(a, b, any)", &bindings).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, plans);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Simplex range-search backends: the fractional-cascading range tree vs
+//! the kd-tree vs brute force (DESIGN.md's backend ablation), on build and
+//! on envelope-ring-sized triangle queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geosir_geom::rangesearch::{
+    Backend, BruteForceIndex, DynSimplexIndex, KdTreeIndex, RangeTreeIndex, SimplexIndex,
+};
+use geosir_geom::{Point, Triangle};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::hint::black_box;
+
+fn points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| Point::new(rng.random_range(0.0..1.0), rng.random_range(-0.5..0.5))).collect()
+}
+
+/// Thin triangles like the envelope-ring covers the matcher issues.
+fn ring_triangles(count: usize, seed: u64) -> Vec<Triangle> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let cx = rng.random_range(0.0..1.0);
+            let cy = rng.random_range(-0.5..0.5);
+            let w = rng.random_range(0.05..0.3);
+            let h = rng.random_range(0.001..0.02);
+            Triangle::new(
+                Point::new(cx, cy),
+                Point::new(cx + w, cy),
+                Point::new(cx + w * 0.5, cy + h),
+            )
+        })
+        .collect()
+}
+
+fn query_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_query");
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let pts = points(n, 3);
+        let tris = ring_triangles(64, 4);
+        let rt = RangeTreeIndex::build(&pts);
+        let kd = KdTreeIndex::build(&pts);
+        group.bench_with_input(BenchmarkId::new("range_tree_fc", n), &tris, |b, tris| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                for t in tris {
+                    out.clear();
+                    rt.report(t, &mut out);
+                    black_box(out.len());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("kd_tree", n), &tris, |b, tris| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                for t in tris {
+                    out.clear();
+                    kd.report(t, &mut out);
+                    black_box(out.len());
+                }
+            })
+        });
+        if n <= 100_000 {
+            let bf = BruteForceIndex::build(&pts);
+            group.bench_with_input(BenchmarkId::new("brute_force", n), &tris, |b, tris| {
+                let mut out = Vec::new();
+                b.iter(|| {
+                    for t in tris {
+                        out.clear();
+                        bf.report(t, &mut out);
+                        black_box(out.len());
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn build_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_build");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        let pts = points(n, 3);
+        for backend in [Backend::RangeTree, Backend::KdTree] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{backend:?}"), n),
+                &pts,
+                |b, pts| b.iter(|| black_box(DynSimplexIndex::build(backend, pts))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, query_benchmark, build_benchmark);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! The h_avg similarity measure: continuous vs discrete evaluation (a
+//! DESIGN.md ablation), the baselines, and the Voronoi-substitute
+//! nearest-feature index.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geosir_core::baselines::{elastic_matching, hausdorff_directed};
+use geosir_core::similarity::{h_avg_continuous, h_avg_discrete, PreparedShape};
+use geosir_geom::segindex::SegmentIndex;
+use geosir_geom::{Point, Polyline};
+use geosir_imaging::synth::random_simple_polygon;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::hint::black_box;
+
+fn shapes(n_vertices: usize) -> (Polyline, PreparedShape) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let a = random_simple_polygon(&mut rng, n_vertices, 0.3);
+    let b = random_simple_polygon(&mut rng, n_vertices, 0.3);
+    (a, PreparedShape::new(b))
+}
+
+fn measures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity_measures");
+    for n in [10usize, 20, 80] {
+        let (a, pb) = shapes(n);
+        group.bench_with_input(BenchmarkId::new("h_avg_discrete", n), &(), |bch, _| {
+            bch.iter(|| black_box(h_avg_discrete(&a, &pb)))
+        });
+        group.bench_with_input(BenchmarkId::new("h_avg_continuous", n), &(), |bch, _| {
+            bch.iter(|| black_box(h_avg_continuous(&a, &pb)))
+        });
+        group.bench_with_input(BenchmarkId::new("hausdorff", n), &(), |bch, _| {
+            bch.iter(|| black_box(hausdorff_directed(&a, &pb)))
+        });
+        if n <= 20 {
+            let b_shape = pb.shape().clone();
+            group.bench_with_input(BenchmarkId::new("elastic_matching", n), &(), |bch, _| {
+                bch.iter(|| black_box(elastic_matching(&a, &b_shape)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn nearest_feature(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nearest_feature");
+    let mut rng = StdRng::seed_from_u64(4);
+    for n in [20usize, 200, 2000] {
+        let poly = random_simple_polygon(&mut rng, n, 0.3);
+        let idx = SegmentIndex::of_polyline(&poly);
+        let probes: Vec<Point> = (0..256)
+            .map(|_| Point::new(rng.random_range(-1.5..1.5), rng.random_range(-1.5..1.5)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("aabb_tree", n), &probes, |b, probes| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &q in probes {
+                    acc += idx.dist(q);
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("linear_scan", n), &probes, |b, probes| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &q in probes {
+                    acc += poly.dist_to_point(q);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, measures, nearest_feature);
+criterion_main!(benches);

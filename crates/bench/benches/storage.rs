@@ -1,0 +1,95 @@
+//! Storage: record codec throughput, buffer-pool overhead, layout
+//! construction, and trace replay per policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geosir_bench::build_world;
+use geosir_core::matcher::{MatchConfig, Matcher};
+use geosir_geom::rangesearch::Backend;
+use geosir_storage::layout::order_copies;
+use geosir_storage::{BufferPool, DiskSim, LayoutPolicy, ShapeRecord, ShapeStore};
+use std::hint::black_box;
+
+fn codec(c: &mut Criterion) {
+    let world = build_world(50, 7, Backend::KdTree);
+    let (cid, copy) = world.base.copies().next().unwrap();
+    let rec = ShapeRecord::from_copy(cid, copy, world.signatures[cid.index()]);
+    let mut buf = Vec::new();
+    rec.encode(&mut buf);
+    let mut group = c.benchmark_group("record_codec");
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(256);
+            rec.encode(&mut out);
+            black_box(out.len())
+        })
+    });
+    group.bench_function("decode", |b| b.iter(|| black_box(ShapeRecord::decode(&buf).unwrap())));
+    group.finish();
+}
+
+fn buffer_pool(c: &mut Criterion) {
+    let mut disk = DiskSim::new(1000);
+    for i in 0..1000 {
+        disk.write(i, &[i as u8; 64]);
+    }
+    let mut group = c.benchmark_group("buffer_pool");
+    for cap in [10usize, 100] {
+        group.bench_with_input(BenchmarkId::new("zipfish_scan", cap), &cap, |b, &cap| {
+            b.iter(|| {
+                let mut pool = BufferPool::new(cap);
+                let mut acc = 0u64;
+                for i in 0..4000u64 {
+                    // self-similar access pattern: hot head, long tail
+                    let block = ((i * i) % 997) as usize;
+                    acc += pool.read(&disk, block)[0] as u64;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn layouts(c: &mut Criterion) {
+    let world = build_world(150, 7, Backend::KdTree);
+    let mut group = c.benchmark_group("layout_order");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("mean", LayoutPolicy::MeanCurve),
+        ("lex", LayoutPolicy::Lexicographic),
+        ("median", LayoutPolicy::MedianCurve),
+        ("local_opt", LayoutPolicy::LocalOpt { block_capacity: 5, window: 24 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(order_copies(&world.base, &world.signatures, policy)))
+        });
+    }
+    group.finish();
+}
+
+fn replay(c: &mut Criterion) {
+    let world = build_world(200, 7, Backend::KdTree);
+    let matcher = Matcher::new(&world.base, MatchConfig { k: 2, beta: 0.3, ..Default::default() });
+    let queries = world.query_set();
+    let traces: Vec<_> = queries.iter().map(|q| matcher.retrieve(q).access_trace).collect();
+    let mut group = c.benchmark_group("trace_replay");
+    for (name, policy) in
+        [("mean", LayoutPolicy::MeanCurve), ("unsorted", LayoutPolicy::Unsorted)]
+    {
+        let store = ShapeStore::build(&world.base, &world.signatures, policy);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut pool = BufferPool::new(100);
+                let mut io = 0;
+                for t in &traces {
+                    io += store.replay_trace(&mut pool, t);
+                }
+                black_box(io)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, codec, buffer_pool, layouts, replay);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figures 4 & 5: the hash-curve family of §3.
+//!
+//! Prints (a) E(x) and ∂E/∂x sampled over [0,1] — the paper's Figure 5
+//! shows both continuous; (b) the k = 50 solved curve abscissas xᵢ with
+//! their equal-area residuals — Figure 4 (right) draws these 50 arcs.
+//!
+//! ```sh
+//! cargo run --release -p geosir-bench --bin fig5_hash_curves
+//! ```
+
+use geosir_core::hashing::{lune_e, lune_e_prime, CurveFamily};
+use geosir_core::normalize::LUNE_AREA;
+
+fn main() {
+    println!("# Figure 5 — E(x) and dE/dx on [0, 1]");
+    println!("# x, E(x), dE/dx");
+    for i in 0..=50 {
+        let x = i as f64 / 50.0;
+        println!("{x:.3}, {:.8}, {:.8}", lune_e(x), lune_e_prime(x));
+    }
+
+    println!();
+    println!("# Figure 4 (right) — the 50 equal-area hash curves of quarter q1");
+    println!("# i, x_i, center_y, E(x_i), target_area, residual");
+    let fam = CurveFamily::new(50);
+    let quarter = LUNE_AREA / 4.0;
+    let mut max_residual = 0.0f64;
+    for i in 1..=50u16 {
+        let x = fam.x_of(i);
+        let target = quarter * i as f64 / 50.0;
+        let residual = (lune_e(x) - target).abs();
+        max_residual = max_residual.max(residual);
+        println!(
+            "{i}, {x:.8}, {:.8}, {:.8}, {:.8}, {residual:.2e}",
+            fam.center(i).y,
+            lune_e(x),
+            target
+        );
+    }
+    println!("# lune area A0 = {LUNE_AREA:.9}; max placement residual = {max_residual:.2e}");
+    println!("# paper: E and dE/dx are both continuous in [0,1], so fast");
+    println!("# gradient-based numerical methods determine the x_i.");
+}

@@ -1,0 +1,340 @@
+//! Dynamic shape bases via the logarithmic method.
+//!
+//! The paper's related-work discussion (§1) points at "dynamic
+//! environments, where insert and delete operations occur frequently" as
+//! the territory of [5, 7]; GeoSIR's own structures are static. This
+//! module closes that gap with the classic Bentley–Saxe decomposition:
+//! the base is a set of static sub-bases with sizes following a binary
+//! carry pattern, inserts go to a buffer that cascades into rebuilds of
+//! amortized O(log N) frequency, deletes are tombstones, and a query runs
+//! on every live sub-base with results merged. Every sub-base is a plain
+//! [`ShapeBase`] + [`Matcher`], so all §2.5 guarantees carry over
+//! per-sub-base and the merge preserves them.
+
+use std::collections::HashSet;
+
+use geosir_geom::rangesearch::Backend;
+use geosir_geom::Polyline;
+
+use crate::ids::{ImageId, ShapeId};
+use crate::matcher::{Match, MatchConfig, MatchOutcome};
+use crate::shapebase::{ShapeBase, ShapeBaseBuilder};
+
+/// A shape registered with the dynamic base (stable across rebuilds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalShapeId(pub u64);
+
+/// Growable, deletable shape base built from static levels.
+pub struct DynamicBase {
+    alpha: f64,
+    backend: Backend,
+    config: MatchConfig,
+    /// Insert buffer: shapes not yet in any level (scored brute force).
+    buffer: Vec<(GlobalShapeId, ImageId, Polyline)>,
+    buffer_cap: usize,
+    /// Binary-carry slots; slot i holds a static base of capacity
+    /// `buffer_cap · 2^i` (or is empty).
+    levels: Vec<Option<Level>>,
+    deleted: HashSet<GlobalShapeId>,
+    next_id: u64,
+    /// Rebuild accounting (for tests and ops visibility).
+    pub shapes_rebuilt: u64,
+}
+
+struct Level {
+    base: ShapeBase,
+    /// Level-local ShapeId → global id.
+    ids: Vec<GlobalShapeId>,
+    images: Vec<ImageId>,
+    shapes: Vec<Polyline>,
+}
+
+/// A match from the dynamic base.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynMatch {
+    pub shape: GlobalShapeId,
+    pub image: ImageId,
+    pub score: f64,
+}
+
+impl DynamicBase {
+    /// `buffer_cap` controls the smallest level size (and hence rebuild
+    /// granularity); 32–256 is reasonable.
+    pub fn new(alpha: f64, backend: Backend, config: MatchConfig, buffer_cap: usize) -> Self {
+        assert!(buffer_cap >= 1);
+        DynamicBase {
+            alpha,
+            backend,
+            config,
+            buffer: Vec::new(),
+            buffer_cap,
+            levels: Vec::new(),
+            deleted: HashSet::new(),
+            next_id: 0,
+            shapes_rebuilt: 0,
+        }
+    }
+
+    /// Number of live (non-deleted) shapes.
+    pub fn len(&self) -> usize {
+        let total = self.buffer.len()
+            + self.levels.iter().flatten().map(|l| l.ids.len()).sum::<usize>();
+        total - self.deleted.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Occupied carry slots.
+    pub fn num_levels(&self) -> usize {
+        self.levels.iter().flatten().count()
+    }
+
+    /// Insert a shape; amortized O(polylog) index work per insert.
+    pub fn insert(&mut self, image: ImageId, shape: Polyline) -> GlobalShapeId {
+        let id = GlobalShapeId(self.next_id);
+        self.next_id += 1;
+        self.buffer.push((id, image, shape));
+        if self.buffer.len() >= self.buffer_cap {
+            self.cascade();
+        }
+        id
+    }
+
+    /// Delete a shape (tombstone; storage is reclaimed at the next rebuild
+    /// that touches its level).
+    pub fn delete(&mut self, id: GlobalShapeId) -> bool {
+        let exists = self.buffer.iter().any(|(g, _, _)| *g == id)
+            || self.levels.iter().flatten().any(|l| l.ids.contains(&id));
+        if exists && self.deleted.insert(id) {
+            // buffer entries can be dropped eagerly
+            self.buffer.retain(|(g, _, _)| !self.deleted.contains(g));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Binary-carry cascade (Bentley–Saxe): the buffer becomes a block of
+    /// rank 0; while the target slot is occupied, its level is merged into
+    /// the block and the carry moves up one slot. Each shape therefore
+    /// participates in at most `log₂(N / cap)` rebuilds. Tombstoned shapes
+    /// are dropped during merges, so deletes are eventually compacted.
+    fn cascade(&mut self) {
+        let mut pool: Vec<(GlobalShapeId, ImageId, Polyline)> = std::mem::take(&mut self.buffer);
+        let mut slot = 0usize;
+        loop {
+            if slot >= self.levels.len() {
+                self.levels.push(None);
+            }
+            match self.levels[slot].take() {
+                None => break,
+                Some(level) => {
+                    for ((gid, image), shape) in
+                        level.ids.into_iter().zip(level.images).zip(level.shapes)
+                    {
+                        pool.push((gid, image, shape));
+                    }
+                    slot += 1;
+                }
+            }
+        }
+        pool.retain(|(g, _, _)| !self.deleted.contains(g));
+        for (g, _, _) in &pool {
+            self.deleted.remove(g);
+        }
+        if pool.is_empty() {
+            return;
+        }
+        self.shapes_rebuilt += pool.len() as u64;
+        let mut builder = ShapeBaseBuilder::new();
+        let mut ids = Vec::with_capacity(pool.len());
+        let mut images = Vec::with_capacity(pool.len());
+        let mut shapes = Vec::with_capacity(pool.len());
+        for (local, (gid, image, shape)) in pool.into_iter().enumerate() {
+            let assigned = builder.add_shape(image, shape.clone());
+            debug_assert_eq!(assigned, ShapeId(local as u32));
+            ids.push(gid);
+            images.push(image);
+            shapes.push(shape);
+        }
+        let base = builder.build(self.alpha, self.backend);
+        self.levels[slot] = Some(Level { base, ids, images, shapes });
+    }
+
+    /// k best live shapes across all levels and the buffer.
+    pub fn retrieve(&self, query: &Polyline) -> Vec<DynMatch> {
+        let mut all: Vec<DynMatch> = Vec::new();
+        for level in self.levels.iter().flatten() {
+            let matcher = crate::matcher::Matcher::new(&level.base, self.config.clone());
+            let out: MatchOutcome = matcher.retrieve(query);
+            for Match { shape, score, .. } in out.matches {
+                let gid = level.ids[shape.index()];
+                if !self.deleted.contains(&gid) {
+                    all.push(DynMatch { shape: gid, image: level.images[shape.index()], score });
+                }
+            }
+        }
+        // buffered shapes: scored directly (the buffer is small by design)
+        if !self.buffer.is_empty() {
+            if let Some((qn, _)) = crate::normalize::normalize_about_diameter(query) {
+                let prepared = crate::similarity::PreparedShape::new(qn.shape);
+                for (gid, image, shape) in &self.buffer {
+                    let best = crate::normalize::normalized_copies(shape, self.alpha)
+                        .iter()
+                        .map(|c| {
+                            crate::similarity::score(self.config.score, &c.shape, &prepared)
+                        })
+                        .fold(f64::INFINITY, f64::min);
+                    if best.is_finite() {
+                        all.push(DynMatch { shape: *gid, image: *image, score: best });
+                    }
+                }
+            }
+        }
+        all.sort_by(|a, b| a.score.partial_cmp(&b.score).unwrap().then(a.shape.cmp(&b.shape)));
+        all.truncate(self.config.k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geosir_geom::Point;
+    use rand::prelude::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn shape(seed: u64) -> Polyline {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.random_range(5..12);
+        let pts: Vec<Point> = (0..n)
+            .map(|j| {
+                let t = 2.0 * std::f64::consts::PI * j as f64 / n as f64;
+                let r = rng.random_range(0.5..1.0);
+                p(r * t.cos(), r * t.sin())
+            })
+            .collect();
+        Polyline::closed(pts).unwrap()
+    }
+
+    fn dynbase(buffer_cap: usize) -> DynamicBase {
+        DynamicBase::new(
+            0.05,
+            Backend::KdTree,
+            MatchConfig { k: 3, beta: 0.3, ..Default::default() },
+            buffer_cap,
+        )
+    }
+
+    #[test]
+    fn inserts_are_queryable_immediately() {
+        let mut db = dynbase(8);
+        let s = shape(1);
+        let id = db.insert(ImageId(0), s.clone());
+        assert_eq!(db.len(), 1);
+        // still in the buffer (cap 8) — brute-force path must find it
+        assert_eq!(db.num_levels(), 0);
+        let hits = db.retrieve(&s);
+        assert_eq!(hits.first().map(|m| m.shape), Some(id));
+        assert!(hits[0].score < 1e-9);
+    }
+
+    #[test]
+    fn cascade_builds_levels_with_carry_pattern() {
+        let mut db = dynbase(4);
+        for i in 0..16 {
+            db.insert(ImageId(i), shape(i as u64));
+        }
+        // 16 inserts with cap 4: everything repeatedly merges into a
+        // single level of 16 (binary carry), never more than log levels
+        assert!(db.num_levels() <= 2, "levels: {}", db.num_levels());
+        assert_eq!(db.len(), 16);
+        // every shape still retrievable
+        for i in 0..16u64 {
+            let s = shape(i);
+            let hits = db.retrieve(&s);
+            assert!(hits.iter().any(|m| m.score < 1e-9), "shape {i} lost after cascades");
+        }
+    }
+
+    #[test]
+    fn matches_static_base_results() {
+        // the dynamic base must return the same ranking as one static base
+        let shapes: Vec<Polyline> = (0..24).map(|i| shape(i as u64 + 100)).collect();
+        let mut db = dynbase(5);
+        for (i, s) in shapes.iter().enumerate() {
+            db.insert(ImageId(i as u32), s.clone());
+        }
+        let mut builder = ShapeBaseBuilder::new();
+        for (i, s) in shapes.iter().enumerate() {
+            builder.add_shape(ImageId(i as u32), s.clone());
+        }
+        let static_base = builder.build(0.05, Backend::KdTree);
+        let matcher = crate::matcher::Matcher::new(
+            &static_base,
+            MatchConfig { k: 3, beta: 0.3, ..Default::default() },
+        );
+        for q in shapes.iter().take(6) {
+            let dyn_hits = db.retrieve(q);
+            let stat_hits = matcher.retrieve(q);
+            assert_eq!(
+                dyn_hits.first().map(|m| m.image),
+                stat_hits.best().map(|m| m.image),
+                "dynamic and static disagree on best image"
+            );
+            assert!(
+                (dyn_hits[0].score - stat_hits.best().unwrap().score).abs() < 1e-9,
+                "scores diverge"
+            );
+        }
+    }
+
+    #[test]
+    fn deletes_remove_from_results() {
+        let mut db = dynbase(4);
+        let s = shape(7);
+        let id = db.insert(ImageId(0), s.clone());
+        for i in 1..10 {
+            db.insert(ImageId(i), shape(i as u64 + 50));
+        }
+        assert!(db.retrieve(&s).iter().any(|m| m.shape == id));
+        assert!(db.delete(id));
+        assert!(!db.delete(id), "double delete must report false");
+        assert!(!db.retrieve(&s).iter().any(|m| m.shape == id));
+        assert_eq!(db.len(), 9);
+        // after more inserts force rebuilds, the tombstone is compacted
+        for i in 10..30 {
+            db.insert(ImageId(i), shape(i as u64 + 50));
+        }
+        assert!(!db.retrieve(&s).iter().any(|m| m.shape == id));
+    }
+
+    #[test]
+    fn delete_unknown_id_is_false() {
+        let mut db = dynbase(4);
+        assert!(!db.delete(GlobalShapeId(99)));
+    }
+
+    #[test]
+    fn amortized_rebuild_cost_is_logarithmic() {
+        let mut db = dynbase(8);
+        let n = 512;
+        for i in 0..n {
+            db.insert(ImageId(i as u32), shape(i as u64));
+        }
+        // Bentley–Saxe: total rebuilt work ≤ N · (log2(N / cap) + 2)
+        let bound = (n as f64) * ((n as f64 / 8.0).log2() + 2.0);
+        assert!(
+            (db.shapes_rebuilt as f64) <= bound,
+            "rebuilt {} shapes for {} inserts (bound {bound:.0})",
+            db.shapes_rebuilt,
+            n
+        );
+        assert!(db.num_levels() <= 8);
+    }
+}

@@ -1,0 +1,61 @@
+//! Typed identifiers for the three levels of the store.
+//!
+//! An *image* contains *shapes* (extracted object boundaries); each shape is
+//! stored as several normalized *copies* (one per α-diameter and
+//! orientation, §2.4). Indexes and storage address copies; query results
+//! are reported per shape / image.
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}#{}", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// An image in the image base.
+    ImageId
+);
+id_type!(
+    /// A shape (object boundary) extracted from an image.
+    ShapeId
+);
+id_type!(
+    /// One normalized copy of a shape in the shape base.
+    CopyId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_types_with_round_trip() {
+        let s = ShapeId::from(7u32);
+        assert_eq!(s.index(), 7);
+        assert_eq!(format!("{s}"), "ShapeId#7");
+        let c = CopyId(3);
+        assert_eq!(c.index(), 3);
+        assert!(ImageId(1) < ImageId(2));
+    }
+}

@@ -1,0 +1,700 @@
+//! The incremental envelope-fattening retrieval algorithm (§2.5).
+//!
+//! The query shape is normalized about its diameter and its ε-envelope is
+//! grown iteratively. Each iteration queries the simplex range-search index
+//! with a triangle cover of the ring between consecutive envelopes, updates
+//! per-copy counters of vertices seen, scores copies that became
+//! *candidates* (≥ 1−β of their vertices inside the current envelope), and
+//! stops as soon as the k-th best score provably beats every unseen copy or
+//! ε reaches the paper's cap `(A / (2 p l_Q)) · log³ n`.
+//!
+//! Termination bound: a copy that is **not** a candidate at level ε has
+//! more than a β fraction (and at least one) of its vertices at distance
+//! > ε from Q, so its discrete directed `h_avg` exceeds `factor · ε` where
+//! `factor = min_C (out_min(C) / n_C)` (computed exactly per base). The
+//! "provably best" guarantee therefore holds for
+//! [`ScoreKind::DiscreteDirected`] and [`ScoreKind::DiscreteSymmetric`]
+//! (whose max dominates the forward discrete term); the continuous kinds
+//! reuse the same stopping rule as a well-behaved heuristic (DESIGN.md).
+
+use std::collections::HashMap;
+
+use geosir_geom::envelope::{envelope_cover, ring_cover};
+use geosir_geom::Polyline;
+
+use crate::ids::{CopyId, ImageId, ShapeId};
+use crate::normalize::{normalize_about_diameter, LUNE_AREA};
+use crate::shapebase::ShapeBase;
+use crate::similarity::{score, PreparedShape, ScoreKind};
+
+/// How ε grows between iterations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EpsSchedule {
+    /// `ε_{i+1} = g · ε_i` (default g = 2).
+    Geometric(f64),
+    /// `ε_{i+1} = ε_i + ε₁` — the denser schedule, more iterations but
+    /// smaller rings.
+    Linear,
+}
+
+impl Default for EpsSchedule {
+    fn default() -> Self {
+        EpsSchedule::Geometric(2.0)
+    }
+}
+
+/// Retrieval parameters (the paper's β, plus engineering knobs).
+#[derive(Debug, Clone)]
+pub struct MatchConfig {
+    /// Candidate threshold: a copy is scored once ≥ `1 − β` of its vertices
+    /// are inside the envelope. `0 ≤ β < 1`.
+    pub beta: f64,
+    /// Number of best *shapes* to return.
+    pub k: usize,
+    /// Scoring measure for candidates.
+    pub score: ScoreKind,
+    pub schedule: EpsSchedule,
+    /// Power ρ of the `log^ρ n` ε-cap; the paper uses 3.
+    pub log_power: i32,
+    /// Hard iteration cap (safety valve; never reached in practice).
+    pub max_iterations: usize,
+    /// Top-k stopping rule. `false` (default, the paper's §2.5 rule: "the
+    /// algorithm stops whenever the best match has been found"): stop once
+    /// at least k shapes are scored and the **best** is certified against
+    /// every unseen copy; ranks 2..k are best-effort. `true`: keep growing
+    /// ε until the k-th best is certified too — exact top-k, at a steep
+    /// cost when the k-th neighbor is distant.
+    pub certify_all: bool,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        MatchConfig {
+            beta: 0.1,
+            k: 1,
+            score: ScoreKind::default(),
+            schedule: EpsSchedule::default(),
+            log_power: 3,
+            max_iterations: 10_000,
+            certify_all: false,
+        }
+    }
+}
+
+/// One retrieved shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Match {
+    pub shape: ShapeId,
+    pub image: ImageId,
+    /// The best-scoring copy of the shape.
+    pub copy: CopyId,
+    pub score: f64,
+}
+
+/// Instrumentation counters — the quantities the paper's complexity claims
+/// are about (`r` iterations, `K` vertices processed) plus the record
+/// access trace the storage experiments replay.
+#[derive(Debug, Clone, Default)]
+pub struct MatchStats {
+    /// `r`: envelope iterations executed.
+    pub iterations: usize,
+    /// `K`: ring vertices processed (after exact-distance filtering).
+    pub vertices_processed: usize,
+    /// Vertices reported by the index before filtering.
+    pub vertices_reported: usize,
+    /// Candidate copies scored with the similarity measure.
+    pub candidates_scored: usize,
+    /// Triangles submitted to the range-search index.
+    pub triangles_queried: usize,
+    /// ε at exit.
+    pub final_eps: f64,
+    /// The ε-cap that was in force.
+    pub eps_cap: f64,
+    /// True when the cap was hit without a provably-best answer — the
+    /// caller should fall back to geometric hashing (§3).
+    pub exhausted: bool,
+}
+
+/// The result of a retrieval.
+#[derive(Debug, Clone, Default)]
+pub struct MatchOutcome {
+    /// Up to k matches, best (smallest score) first, one per shape.
+    pub matches: Vec<Match>,
+    pub stats: MatchStats,
+    /// Copy records fetched, in order — replayed by the external-storage
+    /// experiments to count I/Os.
+    pub access_trace: Vec<CopyId>,
+    /// Every triangle submitted to the range-search index, in order —
+    /// replayed against the external-memory vertex index to measure the
+    /// *auxiliary structure's* I/Os (§4).
+    pub triangle_trace: Vec<geosir_geom::Triangle>,
+}
+
+impl MatchOutcome {
+    pub fn best(&self) -> Option<&Match> {
+        self.matches.first()
+    }
+}
+
+/// Which stopping rule a run uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RunMode {
+    /// Stop once the k best shapes are certified.
+    TopK,
+    /// Stop once every shape scoring ≤ τ is certified found.
+    Threshold(f64),
+}
+
+/// The retrieval engine over a built [`ShapeBase`].
+///
+/// ```
+/// use geosir_core::ids::ImageId;
+/// use geosir_core::matcher::{MatchConfig, Matcher};
+/// use geosir_core::shapebase::ShapeBaseBuilder;
+/// use geosir_geom::rangesearch::Backend;
+/// use geosir_geom::{Point, Polyline};
+///
+/// let mut builder = ShapeBaseBuilder::new();
+/// let triangle = Polyline::closed(vec![
+///     Point::new(0.0, 0.0), Point::new(4.0, 0.0), Point::new(0.0, 3.0),
+/// ]).unwrap();
+/// builder.add_shape(ImageId(0), triangle.clone());
+/// let base = builder.build(0.1, Backend::RangeTree);
+///
+/// let matcher = Matcher::new(&base, MatchConfig::default());
+/// // any similarity-transformed version of the shape retrieves it
+/// let rotated = triangle.map_points(|p| Point::new(10.0 - p.y, 2.0 + p.x));
+/// let best = matcher.retrieve(&rotated).matches[0];
+/// assert_eq!(best.image, ImageId(0));
+/// assert!(best.score < 1e-7);
+/// ```
+pub struct Matcher<'a> {
+    base: &'a ShapeBase,
+    config: MatchConfig,
+    /// `min_C out_min(C)/n_C` — see module docs.
+    bound_factor: f64,
+    /// Per-copy candidacy thresholds `ceil((1−β)·n_C)` **net of anchor
+    /// credit** (the copy's anchor vertices count as inside every envelope
+    /// of a normalized query).
+    net_thresholds: Vec<u32>,
+    /// Copies whose anchor credit alone meets the threshold (degenerate
+    /// two-vertex shapes): candidates of every query, scored up front.
+    credit_candidates: Vec<CopyId>,
+}
+
+impl<'a> Matcher<'a> {
+    pub fn new(base: &'a ShapeBase, config: MatchConfig) -> Self {
+        assert!((0.0..1.0).contains(&config.beta), "beta must be in [0, 1)");
+        assert!(config.k >= 1, "k must be at least 1");
+        if let EpsSchedule::Geometric(g) = config.schedule {
+            assert!(g > 1.0, "geometric growth must exceed 1");
+        }
+        let mut bound_factor: f64 = 1.0;
+        let mut net_thresholds = Vec::with_capacity(base.num_copies());
+        let mut credit_candidates = Vec::new();
+        for (cid, copy) in base.copies() {
+            let n_c = copy.normalized.num_vertices() as u32;
+            let need = (((1.0 - config.beta) * n_c as f64).ceil() as u32).clamp(1, n_c);
+            let net = need.saturating_sub(copy.anchor_credit);
+            net_thresholds.push(net);
+            if net == 0 {
+                credit_candidates.push(cid);
+            }
+            // A non-candidate has at most need−1 vertices inside, hence at
+            // least n_c − need + 1 outside.
+            let out_min = n_c - need + 1;
+            bound_factor = bound_factor.min(out_min as f64 / n_c as f64);
+        }
+        Matcher { base, config, bound_factor, net_thresholds, credit_candidates }
+    }
+
+    pub fn config(&self) -> &MatchConfig {
+        &self.config
+    }
+
+    /// Normalize `query` about its diameter and retrieve the k best shapes.
+    pub fn retrieve(&self, query: &Polyline) -> MatchOutcome {
+        match normalize_about_diameter(query) {
+            Some((copy, _)) => self.retrieve_normalized(&copy.shape),
+            None => MatchOutcome::default(),
+        }
+    }
+
+    /// All shapes whose score is at most `tau` — the `shape_similar(Q)`
+    /// set of §5. Runs the same fattening loop, but termination requires
+    /// `bound_factor · ε ≥ tau` (then every unseen copy provably scores
+    /// worse than `tau`), and every scored shape within `tau` is reported.
+    ///
+    /// The ε-cap still applies: when `tau / bound_factor` exceeds the cap,
+    /// the result is best-effort (`stats.exhausted` is set).
+    pub fn retrieve_within(&self, query: &Polyline, tau: f64) -> MatchOutcome {
+        match normalize_about_diameter(query) {
+            Some((copy, _)) => self.run(&copy.shape, RunMode::Threshold(tau)),
+            None => MatchOutcome::default(),
+        }
+    }
+
+    /// Retrieve for an already-normalized query (diameter on the unit
+    /// segment).
+    pub fn retrieve_normalized(&self, query: &Polyline) -> MatchOutcome {
+        self.run(query, RunMode::TopK)
+    }
+
+    fn run(&self, query: &Polyline, mode: RunMode) -> MatchOutcome {
+        let base = self.base;
+        let mut outcome = MatchOutcome::default();
+        if base.num_copies() == 0 {
+            return outcome;
+        }
+
+        let prepared = PreparedShape::new(query.clone());
+        let p = base.num_copies() as f64;
+        let n = base.total_vertices() as f64;
+        let l_q = query.perimeter();
+
+        // ε unit: envelope area 2·ε·l_Q equals the per-copy share of the
+        // lune, so the ε₁-envelope is expected to contain ≥ 1 copy.
+        let eps_base = LUNE_AREA / (2.0 * p * l_q);
+        let log_n = n.log2().max(2.0);
+        let eps_cap = eps_base * log_n.powi(self.config.log_power);
+        outcome.stats.eps_cap = eps_cap;
+
+        // Per-copy state is *sparse* — a query touches O(K) copies, and
+        // dense O(p)/O(n) scratch arrays would dominate retrieval at scale
+        // (measured: they turned polylog work into linear time). Counters
+        // count ring vertices beyond the anchor credit (already folded
+        // into `net_thresholds`).
+        let mut counters: HashMap<u32, u32> = HashMap::new();
+        let mut scored: std::collections::HashSet<u32> = Default::default();
+        // Best (score, copy) per shape.
+        let mut best_per_shape: HashMap<ShapeId, (f64, CopyId)> = HashMap::new();
+        // Degenerate copies (e.g. two-vertex segments) are candidates on
+        // credit alone; score them up front so they are never lost.
+        for &cid in &self.credit_candidates {
+            scored.insert(cid.0);
+            self.score_candidate(cid, &prepared, &mut best_per_shape, &mut outcome);
+        }
+        // In-iteration vertex dedup (the ring cover's triangles overlap).
+        let mut seen_this_iter: std::collections::HashSet<u32> = Default::default();
+
+        let mut prev_eps = 0.0;
+        let mut eps = eps_base;
+        let mut reported: Vec<u32> = Vec::new();
+
+        for iter in 1..=self.config.max_iterations {
+            outcome.stats.iterations = iter;
+            outcome.stats.final_eps = eps;
+
+            let cover = if prev_eps == 0.0 {
+                envelope_cover(query, eps)
+            } else {
+                ring_cover(query, prev_eps, eps)
+            };
+            outcome.stats.triangles_queried += cover.triangles.len();
+            outcome.triangle_trace.extend_from_slice(&cover.triangles);
+
+            seen_this_iter.clear();
+            for tri in &cover.triangles {
+                reported.clear();
+                base.report_triangle(tri, &mut reported);
+                outcome.stats.vertices_reported += reported.len();
+                for &vid in &reported {
+                    if !seen_this_iter.insert(vid) {
+                        continue; // already handled this iteration
+                    }
+                    // Exact ring membership (DESIGN.md: exactness
+                    // discipline) — the cover may overshoot.
+                    let d = prepared.dist(base.vertex_point(vid));
+                    // First iteration (prev_eps = 0) is a closed envelope
+                    // [0, ε]; later rings are half-open (prev, ε].
+                    if (prev_eps > 0.0 && d <= prev_eps) || d > eps {
+                        continue;
+                    }
+                    outcome.stats.vertices_processed += 1;
+                    let owner = base.vertex_owner(vid);
+                    let count = counters.entry(owner.0).or_insert(0);
+                    *count += 1;
+                    if *count >= self.net_thresholds[owner.index()]
+                        && !scored.contains(&owner.0)
+                    {
+                        scored.insert(owner.0);
+                        self.score_candidate(owner, &prepared, &mut best_per_shape, &mut outcome);
+                    }
+                }
+            }
+
+            // Provable-termination check: every unseen copy scores worse
+            // than bound_factor · ε.
+            let done = match mode {
+                RunMode::TopK => {
+                    // need k shapes on the board, plus certification of the
+                    // best (paper rule) or of the k-th (certify_all)
+                    let certify_rank = if self.config.certify_all { self.config.k } else { 1 };
+                    best_per_shape.len() >= self.config.k
+                        && kth_best(&best_per_shape, certify_rank)
+                            .is_some_and(|kth| kth <= self.bound_factor * eps)
+                }
+                RunMode::Threshold(tau) => self.bound_factor * eps >= tau,
+            };
+            if done {
+                self.finish(best_per_shape, mode, &mut outcome, false);
+                return outcome;
+            }
+
+            prev_eps = eps;
+            eps = match self.config.schedule {
+                EpsSchedule::Geometric(g) => eps * g,
+                EpsSchedule::Linear => eps + eps_base,
+            };
+            if eps > eps_cap {
+                if prev_eps < eps_cap {
+                    eps = eps_cap; // one final iteration exactly at the cap
+                } else {
+                    break;
+                }
+            }
+        }
+
+        self.finish(best_per_shape, mode, &mut outcome, true);
+        outcome
+    }
+
+    fn score_candidate(
+        &self,
+        copy_id: CopyId,
+        prepared: &PreparedShape,
+        best_per_shape: &mut HashMap<ShapeId, (f64, CopyId)>,
+        outcome: &mut MatchOutcome,
+    ) {
+        let copy = self.base.copy(copy_id);
+        outcome.access_trace.push(copy_id); // record fetch
+        outcome.stats.candidates_scored += 1;
+        let s = score(self.config.score, &copy.normalized, prepared);
+        let entry = best_per_shape.entry(copy.shape_id).or_insert((f64::INFINITY, copy_id));
+        if s < entry.0 {
+            *entry = (s, copy_id);
+        }
+    }
+
+    fn finish(
+        &self,
+        best_per_shape: HashMap<ShapeId, (f64, CopyId)>,
+        mode: RunMode,
+        outcome: &mut MatchOutcome,
+        exhausted: bool,
+    ) {
+        let mut ranked: Vec<(ShapeId, f64, CopyId)> =
+            best_per_shape.into_iter().map(|(sid, (s, cid))| (sid, s, cid)).collect();
+        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        match mode {
+            RunMode::TopK => ranked.truncate(self.config.k),
+            RunMode::Threshold(tau) => ranked.retain(|(_, s, _)| *s <= tau),
+        }
+        for (shape, s, copy) in ranked {
+            outcome.access_trace.push(copy); // final result fetch
+            outcome.matches.push(Match {
+                shape,
+                image: self.base.copy(copy).image,
+                copy,
+                score: s,
+            });
+        }
+        // Cap reached ⇒ results are best-effort unless the bound already
+        // certifies them.
+        outcome.stats.exhausted = exhausted
+            && match mode {
+                RunMode::TopK => {
+                    let rank = if self.config.certify_all { self.config.k } else { 1 };
+                    let certified_score = outcome
+                        .matches
+                        .get(rank - 1)
+                        .map(|m| m.score)
+                        .unwrap_or(f64::INFINITY);
+                    outcome.matches.len() < self.config.k
+                        || certified_score > self.bound_factor * outcome.stats.final_eps
+                }
+                RunMode::Threshold(tau) => {
+                    self.bound_factor * outcome.stats.final_eps < tau
+                }
+            };
+    }
+}
+
+fn kth_best(best_per_shape: &HashMap<ShapeId, (f64, CopyId)>, k: usize) -> Option<f64> {
+    if best_per_shape.len() < k {
+        return None;
+    }
+    let mut scores: Vec<f64> = best_per_shape.values().map(|(s, _)| *s).collect();
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Some(scores[k - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapebase::ShapeBaseBuilder;
+    use geosir_geom::rangesearch::Backend;
+    use geosir_geom::{Point, Similarity, Vec2};
+    use rand::prelude::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    /// A family of visually distinct simple polygons.
+    fn gallery() -> Vec<Polyline> {
+        vec![
+            // right triangle
+            Polyline::closed(vec![p(0.0, 0.0), p(4.0, 0.0), p(0.0, 3.0)]).unwrap(),
+            // square
+            Polyline::closed(vec![p(0.0, 0.0), p(2.0, 0.0), p(2.0, 2.0), p(0.0, 2.0)]).unwrap(),
+            // flat rectangle
+            Polyline::closed(vec![p(0.0, 0.0), p(5.0, 0.0), p(5.0, 1.0), p(0.0, 1.0)]).unwrap(),
+            // pentagon house
+            Polyline::closed(vec![p(0.0, 0.0), p(2.0, 0.0), p(2.0, 2.0), p(1.0, 3.0), p(0.0, 2.0)])
+                .unwrap(),
+            // arrow / concave
+            Polyline::closed(vec![p(0.0, 0.0), p(3.0, 0.0), p(2.0, 1.0), p(3.0, 2.0), p(0.0, 2.0)])
+                .unwrap(),
+            // thin sliver triangle
+            Polyline::closed(vec![p(0.0, 0.0), p(6.0, 0.3), p(3.0, 0.8)]).unwrap(),
+        ]
+    }
+
+    fn build_base(shapes: &[Polyline], alpha: f64) -> crate::shapebase::ShapeBase {
+        let mut b = ShapeBaseBuilder::new();
+        for (i, s) in shapes.iter().enumerate() {
+            b.add_shape(ImageId(i as u32), s.clone());
+        }
+        b.build(alpha, Backend::RangeTree)
+    }
+
+    #[test]
+    fn exact_copy_is_retrieved_with_zero_score() {
+        let shapes = gallery();
+        let base = build_base(&shapes, 0.0);
+        let matcher = Matcher::new(&base, MatchConfig::default());
+        for (i, q) in shapes.iter().enumerate() {
+            let out = matcher.retrieve(q);
+            let best = out.best().expect("must find a match");
+            assert_eq!(best.shape, ShapeId(i as u32), "query {i} retrieved wrong shape");
+            assert!(best.score < 1e-9, "query {i} score {}", best.score);
+            assert!(!out.stats.exhausted);
+        }
+    }
+
+    #[test]
+    fn transformed_copy_is_retrieved() {
+        let shapes = gallery();
+        let base = build_base(&shapes, 0.0);
+        let matcher = Matcher::new(&base, MatchConfig::default());
+        let t = Similarity::from_parts(3.7, 1.1, Vec2::new(40.0, -17.0));
+        for (i, q) in shapes.iter().enumerate() {
+            let out = matcher.retrieve(&t.apply_polyline(q));
+            let best = out.best().expect("must find a match");
+            assert_eq!(best.shape, ShapeId(i as u32), "transformed query {i} missed");
+            assert!(best.score < 1e-7);
+        }
+    }
+
+    #[test]
+    fn noisy_query_finds_source_shape() {
+        let shapes = gallery();
+        let base = build_base(&shapes, 0.1);
+        let matcher = Matcher::new(&base, MatchConfig { beta: 0.2, ..Default::default() });
+        let mut rng = StdRng::seed_from_u64(7);
+        for (i, s) in shapes.iter().enumerate() {
+            // jitter vertices by up to 2% of the diameter
+            let d = geosir_geom::diameter::diameter(s.points()).unwrap().dist;
+            let noisy = s.map_points(|q| {
+                p(
+                    q.x + rng.random_range(-0.02..0.02) * d,
+                    q.y + rng.random_range(-0.02..0.02) * d,
+                )
+            });
+            let out = matcher.retrieve(&noisy);
+            let best = out.best().expect("noisy query found nothing");
+            assert_eq!(best.shape, ShapeId(i as u32), "noisy query {i} retrieved wrong shape");
+        }
+    }
+
+    #[test]
+    fn topk_ordering_and_dedup() {
+        // base with near-duplicates of one shape
+        let tri = Polyline::closed(vec![p(0.0, 0.0), p(4.0, 0.0), p(0.0, 3.0)]).unwrap();
+        let mut shapes = vec![tri.clone()];
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..4 {
+            shapes.push(tri.map_points(|q| {
+                p(q.x + rng.random_range(-0.15..0.15), q.y + rng.random_range(-0.15..0.15))
+            }));
+        }
+        shapes.push(
+            Polyline::closed(vec![p(0.0, 0.0), p(5.0, 0.0), p(5.0, 1.0), p(0.0, 1.0)]).unwrap(),
+        );
+        let base = build_base(&shapes, 0.0);
+        let matcher =
+            Matcher::new(&base, MatchConfig { k: 3, beta: 0.2, ..Default::default() });
+        let out = matcher.retrieve(&tri);
+        assert_eq!(out.matches.len(), 3);
+        // scores ascending, shapes distinct
+        for w in out.matches.windows(2) {
+            assert!(w[0].score <= w[1].score);
+            assert_ne!(w[0].shape, w[1].shape);
+        }
+        assert_eq!(out.matches[0].shape, ShapeId(0));
+        assert!(out.matches[0].score < 1e-9);
+    }
+
+    #[test]
+    fn unrelated_query_exhausts() {
+        // base of compact blobs; query a 40-vertex saw — nothing similar
+        let shapes = gallery();
+        let base = build_base(&shapes, 0.0);
+        let matcher = Matcher::new(&base, MatchConfig { beta: 0.0, ..Default::default() });
+        let mut saw = Vec::new();
+        for i in 0..20 {
+            saw.push(p(i as f64, 0.0));
+            saw.push(p(i as f64 + 0.5, 4.0));
+        }
+        let q = Polyline::open(saw).unwrap();
+        let out = matcher.retrieve(&q);
+        // either nothing was found, or what was found is flagged best-effort
+        if let Some(best) = out.best() {
+            assert!(best.score > 0.01, "saw matched something suspiciously well");
+        }
+        assert!(out.stats.final_eps <= out.stats.eps_cap * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn backends_agree_on_retrieval() {
+        let shapes = gallery();
+        let q = shapes[3].clone();
+        let mut results = Vec::new();
+        for backend in [Backend::RangeTree, Backend::KdTree, Backend::BruteForce] {
+            let mut b = ShapeBaseBuilder::new();
+            for (i, s) in shapes.iter().enumerate() {
+                b.add_shape(ImageId(i as u32), s.clone());
+            }
+            let base = b.build(0.1, backend);
+            let matcher = Matcher::new(&base, MatchConfig { k: 2, ..Default::default() });
+            let out = matcher.retrieve(&q);
+            results.push(
+                out.matches.iter().map(|m| (m.shape, (m.score * 1e9) as i64)).collect::<Vec<_>>(),
+            );
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    fn schedules_agree_on_best_match() {
+        let shapes = gallery();
+        let base = build_base(&shapes, 0.0);
+        let q = &shapes[4];
+        let geo = Matcher::new(
+            &base,
+            MatchConfig { schedule: EpsSchedule::Geometric(2.0), ..Default::default() },
+        )
+        .retrieve(q);
+        let lin = Matcher::new(
+            &base,
+            MatchConfig { schedule: EpsSchedule::Linear, ..Default::default() },
+        )
+        .retrieve(q);
+        assert_eq!(geo.best().unwrap().shape, lin.best().unwrap().shape);
+        // linear schedule takes at least as many iterations
+        assert!(lin.stats.iterations >= geo.stats.iterations);
+    }
+
+    #[test]
+    fn access_trace_covers_scored_candidates() {
+        let shapes = gallery();
+        let base = build_base(&shapes, 0.1);
+        let matcher = Matcher::new(&base, MatchConfig::default());
+        let out = matcher.retrieve(&shapes[0]);
+        assert_eq!(
+            out.access_trace.len(),
+            out.stats.candidates_scored + out.matches.len(),
+            "trace = one fetch per scored candidate + one per reported match"
+        );
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let shapes = gallery();
+        let base = build_base(&shapes, 0.0);
+        let matcher = Matcher::new(&base, MatchConfig::default());
+        let out = matcher.retrieve(&shapes[1]);
+        assert!(out.stats.iterations >= 1);
+        assert!(out.stats.triangles_queried > 0);
+        assert!(out.stats.vertices_processed > 0);
+        assert!(out.stats.final_eps > 0.0);
+        assert!(out.stats.candidates_scored >= 1);
+    }
+
+    #[test]
+    fn threshold_retrieval_matches_exhaustive_scoring() {
+        let tri = Polyline::closed(vec![p(0.0, 0.0), p(4.0, 0.0), p(0.0, 3.0)]).unwrap();
+        let mut shapes = vec![tri.clone()];
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..9 {
+            let jitter = rng.random_range(0.0..0.4);
+            shapes.push(tri.map_points(|q| {
+                p(
+                    q.x + rng.random_range(-jitter..=jitter),
+                    q.y + rng.random_range(-jitter..=jitter),
+                )
+            }));
+        }
+        let base = build_base(&shapes, 0.0);
+        let matcher = Matcher::new(&base, MatchConfig { beta: 0.3, ..Default::default() });
+        let tau = 0.04;
+        let out = matcher.retrieve_within(&tri, tau);
+        assert!(!out.stats.exhausted);
+        // oracle: score every shape's best copy exhaustively
+        let (qnorm, _) = crate::normalize::normalize_about_diameter(&tri).unwrap();
+        let prepared = crate::similarity::PreparedShape::new(qnorm.shape);
+        let mut expected: Vec<ShapeId> = Vec::new();
+        for sid in 0..shapes.len() as u32 {
+            let best = base
+                .copies()
+                .filter(|(_, c)| c.shape_id == ShapeId(sid))
+                .map(|(_, c)| {
+                    crate::similarity::score(
+                        crate::similarity::ScoreKind::DiscreteSymmetric,
+                        &c.normalized,
+                        &prepared,
+                    )
+                })
+                .fold(f64::INFINITY, f64::min);
+            if best <= tau {
+                expected.push(ShapeId(sid));
+            }
+        }
+        let mut got: Vec<ShapeId> = out.matches.iter().map(|m| m.shape).collect();
+        got.sort();
+        expected.sort();
+        assert_eq!(got, expected);
+        // every reported score respects the threshold
+        for m in &out.matches {
+            assert!(m.score <= tau);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn invalid_beta_rejected() {
+        let base = build_base(&gallery(), 0.0);
+        let _ = Matcher::new(&base, MatchConfig { beta: 1.5, ..Default::default() });
+    }
+
+    #[test]
+    fn empty_base_returns_nothing() {
+        let base = ShapeBaseBuilder::new().build(0.0, Backend::RangeTree);
+        let matcher = Matcher::new(&base, MatchConfig::default());
+        let q = Polyline::closed(vec![p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0)]).unwrap();
+        let out = matcher.retrieve(&q);
+        assert!(out.matches.is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Parallel batch retrieval.
+//!
+//! §1 cites parallel similarity search [5] as the neighboring line of
+//! work; GeoSIR's own structures parallelize trivially because the shape
+//! base and all indexes are immutable after build. This module fans a
+//! batch of queries out over a crossbeam scope — used by the experiment
+//! harnesses (15-query sets) and by any embedding application that
+//! receives concurrent sketches.
+
+use crossbeam::thread;
+use geosir_geom::Polyline;
+
+use crate::matcher::{MatchOutcome, Matcher};
+
+/// Retrieve every query of `queries` against `matcher`, using up to
+/// `threads` worker threads (0 = one per available CPU). Results are
+/// returned in query order; each is exactly what the sequential
+/// [`Matcher::retrieve`] would produce (the matcher is deterministic and
+/// shares nothing mutable).
+pub fn retrieve_batch(
+    matcher: &Matcher<'_>,
+    queries: &[Polyline],
+    threads: usize,
+) -> Vec<MatchOutcome> {
+    if queries.is_empty() {
+        return Vec::new();
+    }
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(queries.len());
+    if threads <= 1 {
+        return queries.iter().map(|q| matcher.retrieve(q)).collect();
+    }
+
+    let mut results: Vec<Option<MatchOutcome>> = (0..queries.len()).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    // Work stealing over a shared counter: chunks of slots are claimed by
+    // index, so result order is by construction the query order.
+    let slots: Vec<std::sync::Mutex<&mut Option<MatchOutcome>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+    thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= queries.len() {
+                    break;
+                }
+                let out = matcher.retrieve(&queries[i]);
+                **slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    })
+    .expect("worker panicked");
+    drop(slots);
+    results.into_iter().map(|r| r.expect("every slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ImageId;
+    use crate::matcher::MatchConfig;
+    use crate::shapebase::ShapeBaseBuilder;
+    use geosir_geom::rangesearch::Backend;
+    use geosir_geom::Point;
+    use rand::prelude::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn world() -> crate::shapebase::ShapeBase {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut b = ShapeBaseBuilder::new();
+        for i in 0..40 {
+            let n = rng.random_range(5..12);
+            let pts: Vec<Point> = (0..n)
+                .map(|j| {
+                    let t = 2.0 * std::f64::consts::PI * j as f64 / n as f64;
+                    let r = rng.random_range(0.5..1.0);
+                    p(r * t.cos(), r * t.sin())
+                })
+                .collect();
+            b.add_shape(ImageId(i), Polyline::closed(pts).unwrap());
+        }
+        b.build(0.05, Backend::RangeTree)
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let base = world();
+        let matcher = Matcher::new(&base, MatchConfig { k: 2, beta: 0.3, ..Default::default() });
+        let queries: Vec<Polyline> =
+            (0..12).map(|i| base.source(crate::ids::ShapeId(i)).shape.clone()).collect();
+        let sequential: Vec<_> = queries.iter().map(|q| matcher.retrieve(q)).collect();
+        for threads in [1usize, 2, 4, 0] {
+            let parallel = retrieve_batch(&matcher, &queries, threads);
+            assert_eq!(parallel.len(), sequential.len());
+            for (pr, sq) in parallel.iter().zip(&sequential) {
+                assert_eq!(pr.matches.len(), sq.matches.len(), "threads = {threads}");
+                for (a, b) in pr.matches.iter().zip(&sq.matches) {
+                    assert_eq!(a.shape, b.shape);
+                    assert!((a.score - b.score).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let base = world();
+        let matcher = Matcher::new(&base, MatchConfig::default());
+        assert!(retrieve_batch(&matcher, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_queries() {
+        let base = world();
+        let matcher = Matcher::new(&base, MatchConfig::default());
+        let q = base.source(crate::ids::ShapeId(0)).shape.clone();
+        let out = retrieve_batch(&matcher, std::slice::from_ref(&q), 16);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].best().is_some());
+    }
+}

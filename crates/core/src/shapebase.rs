@@ -1,0 +1,264 @@
+//! The shape base (§2.4): every shape's normalized copies, the pooled
+//! vertex set, and the simplex range-search index over it.
+
+use geosir_geom::rangesearch::{Backend, DynSimplexIndex};
+use geosir_geom::{Point, Polyline, Similarity, Triangle};
+
+use crate::ids::{CopyId, ImageId, ShapeId};
+use crate::normalize::normalized_copies;
+
+/// A shape as extracted from an image, before normalization.
+#[derive(Debug, Clone)]
+pub struct SourceShape {
+    pub image: ImageId,
+    pub shape: Polyline,
+}
+
+/// One normalized copy inside the base.
+#[derive(Debug, Clone)]
+pub struct CopyRecord {
+    pub shape_id: ShapeId,
+    pub image: ImageId,
+    /// Normalized geometry (α-diameter on the unit segment).
+    pub normalized: Polyline,
+    /// Normalized → original-pose transform.
+    pub inverse: Similarity,
+    /// Vertices at the normalization anchors (0,0)/(1,0), which are *not*
+    /// placed in the vertex pool: every copy has them and every normalized
+    /// query's boundary passes through both, so their envelope membership
+    /// is identically true at any ε. Indexing them would force every
+    /// retrieval to process ≥ 2p vertices on its first ring, destroying
+    /// the §2.5 polylog behavior; instead the matcher pre-credits each
+    /// copy's counter with this number — an exact transformation, since
+    /// `dist(anchor, Q) = 0 ≤ ε` always holds.
+    pub anchor_credit: u32,
+}
+
+/// Accumulates shapes, then normalizes and indexes them all at once.
+#[derive(Debug, Default)]
+pub struct ShapeBaseBuilder {
+    shapes: Vec<SourceShape>,
+}
+
+impl ShapeBaseBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a shape extracted from `image`. Returns its id.
+    pub fn add_shape(&mut self, image: ImageId, shape: Polyline) -> ShapeId {
+        let id = ShapeId(self.shapes.len() as u32);
+        self.shapes.push(SourceShape { image, shape });
+        id
+    }
+
+    pub fn len(&self) -> usize {
+        self.shapes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shapes.is_empty()
+    }
+
+    /// Normalize every shape about its α-diameters and build the vertex
+    /// index. `alpha ∈ [0, 1)`; `backend` picks the simplex range-search
+    /// structure (see DESIGN.md for the trade-off).
+    pub fn build(self, alpha: f64, backend: Backend) -> ShapeBase {
+        let mut copies = Vec::new();
+        let mut vertex_points: Vec<Point> = Vec::new();
+        let mut vertex_copy: Vec<u32> = Vec::new();
+        let anchor0 = Point::ORIGIN;
+        let anchor1 = Point::new(1.0, 0.0);
+        const ANCHOR_TOL: f64 = 1e-9;
+        for (sid, src) in self.shapes.iter().enumerate() {
+            for nc in normalized_copies(&src.shape, alpha) {
+                let copy_idx = copies.len() as u32;
+                let mut anchor_credit = 0u32;
+                for &p in nc.shape.points() {
+                    if p.dist(anchor0) <= ANCHOR_TOL || p.dist(anchor1) <= ANCHOR_TOL {
+                        anchor_credit += 1;
+                        continue;
+                    }
+                    vertex_points.push(p);
+                    vertex_copy.push(copy_idx);
+                }
+                copies.push(CopyRecord {
+                    shape_id: ShapeId(sid as u32),
+                    image: src.image,
+                    normalized: nc.shape,
+                    inverse: nc.inverse,
+                    anchor_credit,
+                });
+            }
+        }
+        let index = DynSimplexIndex::build(backend, &vertex_points);
+        ShapeBase { alpha, shapes: self.shapes, copies, vertex_points, vertex_copy, index }
+    }
+}
+
+/// The built shape base: immutable, query-ready.
+pub struct ShapeBase {
+    alpha: f64,
+    shapes: Vec<SourceShape>,
+    copies: Vec<CopyRecord>,
+    vertex_points: Vec<Point>,
+    vertex_copy: Vec<u32>,
+    index: DynSimplexIndex,
+}
+
+impl ShapeBase {
+    /// The α used at build time.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// `p` in the paper's notation: number of normalized copies.
+    pub fn num_copies(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// Number of distinct source shapes.
+    pub fn num_shapes(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// `n` in the paper's notation: total vertices across all copies.
+    pub fn total_vertices(&self) -> usize {
+        self.vertex_points.len()
+    }
+
+    /// Largest vertex count of any copy (the matcher's termination bound
+    /// uses it when β = 0).
+    pub fn max_copy_vertices(&self) -> usize {
+        self.copies.iter().map(|c| c.normalized.num_vertices()).max().unwrap_or(0)
+    }
+
+    pub fn copy(&self, id: CopyId) -> &CopyRecord {
+        &self.copies[id.index()]
+    }
+
+    pub fn copies(&self) -> impl ExactSizeIterator<Item = (CopyId, &CopyRecord)> {
+        self.copies.iter().enumerate().map(|(i, c)| (CopyId(i as u32), c))
+    }
+
+    pub fn source(&self, id: ShapeId) -> &SourceShape {
+        &self.shapes[id.index()]
+    }
+
+    pub fn sources(&self) -> impl ExactSizeIterator<Item = (ShapeId, &SourceShape)> {
+        self.shapes.iter().enumerate().map(|(i, s)| (ShapeId(i as u32), s))
+    }
+
+    /// Coordinates of pooled vertex `vid`.
+    #[inline]
+    pub fn vertex_point(&self, vid: u32) -> Point {
+        self.vertex_points[vid as usize]
+    }
+
+    /// Copy owning pooled vertex `vid`.
+    #[inline]
+    pub fn vertex_owner(&self, vid: u32) -> CopyId {
+        CopyId(self.vertex_copy[vid as usize])
+    }
+
+    /// Report pooled-vertex ids inside `tri` (boundary inclusive).
+    pub fn report_triangle(&self, tri: &Triangle, out: &mut Vec<u32>) {
+        self.index.report(tri, out);
+    }
+}
+
+impl std::fmt::Debug for ShapeBase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShapeBase")
+            .field("alpha", &self.alpha)
+            .field("shapes", &self.shapes.len())
+            .field("copies", &self.copies.len())
+            .field("vertices", &self.vertex_points.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn tri_at(dx: f64, dy: f64, scale: f64) -> Polyline {
+        Polyline::closed(vec![
+            p(dx, dy),
+            p(dx + 4.0 * scale, dy + 0.5 * scale),
+            p(dx + 1.5 * scale, dy + 2.0 * scale),
+        ])
+        .unwrap()
+    }
+
+    fn build_small(alpha: f64) -> ShapeBase {
+        let mut b = ShapeBaseBuilder::new();
+        b.add_shape(ImageId(0), tri_at(0.0, 0.0, 1.0));
+        b.add_shape(ImageId(0), tri_at(10.0, 3.0, 2.0));
+        b.add_shape(ImageId(1), tri_at(-5.0, 7.0, 0.5));
+        b.build(alpha, Backend::RangeTree)
+    }
+
+    #[test]
+    fn build_counts() {
+        let base = build_small(0.0);
+        assert_eq!(base.num_shapes(), 3);
+        // each triangle: unique diameter → 2 copies
+        assert_eq!(base.num_copies(), 6);
+        // 3 vertices per copy, of which the 2 diameter anchors are credited
+        // rather than pooled
+        assert_eq!(base.total_vertices(), 6);
+        for (_, c) in base.copies() {
+            assert_eq!(c.anchor_credit, 2);
+        }
+        assert_eq!(base.max_copy_vertices(), 3);
+    }
+
+    #[test]
+    fn vertex_ownership_consistent() {
+        let base = build_small(0.2);
+        for vid in 0..base.total_vertices() as u32 {
+            let owner = base.vertex_owner(vid);
+            let copy = base.copy(owner);
+            let pt = base.vertex_point(vid);
+            assert!(
+                copy.normalized.points().iter().any(|q| q.dist(pt) < 1e-12),
+                "vertex {vid} not found in its owner copy"
+            );
+        }
+    }
+
+    #[test]
+    fn similar_shapes_collapse_after_normalization() {
+        // the same triangle at different poses/scales produces nearly
+        // identical normalized copies
+        let base = build_small(0.0);
+        let c0 = &base.copy(CopyId(0)).normalized;
+        let c2 = &base.copy(CopyId(2)).normalized;
+        for (a, b) in c0.points().iter().zip(c2.points()) {
+            assert!(a.dist(*b) < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn triangle_report_sees_copy_vertices() {
+        let base = build_small(0.0);
+        // all normalized vertices live in a bounded region around the lune
+        let big = Triangle::new(p(-2.0, -2.0), p(4.0, -2.0), p(1.0, 4.0));
+        let mut out = Vec::new();
+        base.report_triangle(&big, &mut out);
+        assert_eq!(out.len(), base.total_vertices());
+    }
+
+    #[test]
+    fn image_attribution_preserved() {
+        let base = build_small(0.0);
+        for (_, copy) in base.copies() {
+            assert_eq!(copy.image, base.source(copy.shape_id).image);
+        }
+    }
+}

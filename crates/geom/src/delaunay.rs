@@ -1,0 +1,373 @@
+//! Delaunay triangulation and the derived Voronoi structure.
+//!
+//! §2.5: "To compute the similarity measure, we use the Voronoi diagram of
+//! the query shape Q. This can be computed in O(m log m) time." This module
+//! supplies that structure for the *vertex* sites of a shape: a
+//! Bowyer–Watson incremental Delaunay triangulation, nearest-site queries
+//! by greedy descent on the Delaunay graph (correct because some Delaunay
+//! neighbor of any non-nearest site is strictly closer to the query), and
+//! Voronoi cells from circumcenters. The segment-feature queries of
+//! [`crate::segindex`] remain the default `h_avg` accelerator — see
+//! DESIGN.md — but the vertex-Voronoi path is provided and benchmarked for
+//! fidelity to the paper's description.
+
+use crate::point::{cross3, Point};
+use crate::EPS;
+
+/// Delaunay triangulation over a fixed point set (duplicates are merged).
+#[derive(Debug)]
+pub struct Delaunay {
+    /// The distinct sites (subset of the input, first occurrence kept).
+    sites: Vec<Point>,
+    /// Map from input index to site index.
+    site_of_input: Vec<u32>,
+    /// Triangles as CCW triples of site indices.
+    triangles: Vec<[u32; 3]>,
+    /// Adjacency: per site, its Delaunay neighbors.
+    neighbors: Vec<Vec<u32>>,
+}
+
+impl Delaunay {
+    /// Build incrementally (Bowyer–Watson). `O(n²)` worst case with the
+    /// brute-force cavity search — the intended use is query shapes with
+    /// tens of vertices. Returns `None` for fewer than 3 distinct,
+    /// non-collinear sites.
+    pub fn build(points: &[Point]) -> Option<Delaunay> {
+        // dedup while keeping the input→site map
+        let mut sites: Vec<Point> = Vec::new();
+        let mut site_of_input = Vec::with_capacity(points.len());
+        for &p in points {
+            match sites.iter().position(|q| q.almost_eq(p)) {
+                Some(i) => site_of_input.push(i as u32),
+                None => {
+                    site_of_input.push(sites.len() as u32);
+                    sites.push(p);
+                }
+            }
+        }
+        if sites.len() < 3 {
+            return None;
+        }
+
+        // super-triangle comfortably containing everything
+        let bb = crate::bbox::Aabb::of_points(sites.iter().copied());
+        // Far enough that super-triangle circumcircles act like half-planes
+        // against the real sites (a close super-triangle loses hull
+        // slivers), yet near enough that the circumcircle determinant keeps
+        // ~8 significant digits in f64.
+        let span = (bb.width().max(bb.height())).max(1.0);
+        let c = bb.center();
+        let s0 = Point::new(c.x - 3.0e4 * span, c.y - 1.0e4 * span);
+        let s1 = Point::new(c.x + 3.0e4 * span, c.y - 1.0e4 * span);
+        let s2 = Point::new(c.x, c.y + 3.0e4 * span);
+
+        // work points: sites then the 3 super vertices
+        let n = sites.len() as u32;
+        let mut pts = sites.clone();
+        pts.extend([s0, s1, s2]);
+        let mut tris: Vec<[u32; 3]> = vec![[n, n + 1, n + 2]];
+
+        for i in 0..n {
+            let p = pts[i as usize];
+            // cavity: triangles whose circumcircle contains p
+            let mut bad: Vec<usize> = Vec::new();
+            for (t, tri) in tris.iter().enumerate() {
+                if in_circumcircle(pts[tri[0] as usize], pts[tri[1] as usize], pts[tri[2] as usize], p) {
+                    bad.push(t);
+                }
+            }
+            // boundary of the cavity: edges appearing exactly once
+            let mut edges: Vec<(u32, u32)> = Vec::new();
+            for &t in &bad {
+                let tri = tris[t];
+                for e in [(tri[0], tri[1]), (tri[1], tri[2]), (tri[2], tri[0])] {
+                    if let Some(pos) =
+                        edges.iter().position(|&(a, b)| (b, a) == e || (a, b) == e)
+                    {
+                        edges.swap_remove(pos);
+                    } else {
+                        edges.push(e);
+                    }
+                }
+            }
+            // remove cavity (descending order keeps indices valid)
+            bad.sort_unstable_by(|a, b| b.cmp(a));
+            for t in bad {
+                tris.swap_remove(t);
+            }
+            // re-triangulate as a fan from p
+            for (a, b) in edges {
+                tris.push(orient_ccw(&pts, [a, b, i]));
+            }
+        }
+
+        // drop triangles using super vertices
+        tris.retain(|t| t.iter().all(|&v| v < n));
+        if tris.is_empty() {
+            return None; // all collinear
+        }
+
+        let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); sites.len()];
+        for t in &tris {
+            for (a, b) in [(t[0], t[1]), (t[1], t[2]), (t[2], t[0])] {
+                if !neighbors[a as usize].contains(&b) {
+                    neighbors[a as usize].push(b);
+                }
+                if !neighbors[b as usize].contains(&a) {
+                    neighbors[b as usize].push(a);
+                }
+            }
+        }
+        Some(Delaunay { sites, site_of_input, triangles: tris, neighbors })
+    }
+
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    pub fn sites(&self) -> &[Point] {
+        &self.sites
+    }
+
+    pub fn triangles(&self) -> &[[u32; 3]] {
+        &self.triangles
+    }
+
+    /// Site index for input point `i` (inputs may have been merged).
+    pub fn site_of_input(&self, i: usize) -> u32 {
+        self.site_of_input[i]
+    }
+
+    /// Delaunay neighbors of a site.
+    pub fn neighbors(&self, site: u32) -> &[u32] {
+        &self.neighbors[site as usize]
+    }
+
+    /// Nearest site to `q` by greedy descent on the Delaunay graph,
+    /// starting from `hint` (any site). Returns `(site, distance)`.
+    pub fn nearest(&self, q: Point, hint: u32) -> (u32, f64) {
+        let mut cur = hint;
+        let mut cur_d = self.sites[cur as usize].dist_sq(q);
+        loop {
+            let mut best = cur;
+            let mut best_d = cur_d;
+            for &nb in &self.neighbors[cur as usize] {
+                let d = self.sites[nb as usize].dist_sq(q);
+                if d < best_d {
+                    best = nb;
+                    best_d = d;
+                }
+            }
+            if best == cur {
+                return (cur, cur_d.sqrt());
+            }
+            cur = best;
+            cur_d = best_d;
+        }
+    }
+
+    /// The circumcenters of the triangles around `site`, ordered by angle —
+    /// the (bounded part of the) Voronoi cell of the site.
+    pub fn voronoi_cell(&self, site: u32) -> Vec<Point> {
+        let mut centers: Vec<Point> = self
+            .triangles
+            .iter()
+            .filter(|t| t.contains(&site))
+            .filter_map(|t| {
+                circumcenter(
+                    self.sites[t[0] as usize],
+                    self.sites[t[1] as usize],
+                    self.sites[t[2] as usize],
+                )
+            })
+            .collect();
+        let s = self.sites[site as usize];
+        centers.sort_by(|a, b| {
+            (*a - s).angle().partial_cmp(&(*b - s).angle()).unwrap()
+        });
+        centers
+    }
+}
+
+/// Is `p` strictly inside the circumcircle of CCW triangle `(a, b, c)`?
+fn in_circumcircle(a: Point, b: Point, c: Point, p: Point) -> bool {
+    // normalize to CCW
+    let (a, b, c) = if cross3(a, b, c) > 0.0 { (a, b, c) } else { (a, c, b) };
+    let (ax, ay) = (a.x - p.x, a.y - p.y);
+    let (bx, by) = (b.x - p.x, b.y - p.y);
+    let (cx, cy) = (c.x - p.x, c.y - p.y);
+    let det = (ax * ax + ay * ay) * (bx * cy - cx * by)
+        - (bx * bx + by * by) * (ax * cy - cx * ay)
+        + (cx * cx + cy * cy) * (ax * by - bx * ay);
+    det > EPS
+}
+
+fn orient_ccw(pts: &[Point], t: [u32; 3]) -> [u32; 3] {
+    if cross3(pts[t[0] as usize], pts[t[1] as usize], pts[t[2] as usize]) < 0.0 {
+        [t[0], t[2], t[1]]
+    } else {
+        t
+    }
+}
+
+/// Circumcenter of a triangle; `None` for (near-)collinear vertices.
+pub fn circumcenter(a: Point, b: Point, c: Point) -> Option<Point> {
+    let d = 2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y));
+    if d.abs() < EPS {
+        return None;
+    }
+    let a2 = a.x * a.x + a.y * a.y;
+    let b2 = b.x * b.x + b.y * b.y;
+    let c2 = c.x * c.x + c.y * c.y;
+    Some(Point::new(
+        (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d,
+        (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn random_points(seed: u64, n: usize) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| p(rng.random_range(-5.0..5.0), rng.random_range(-5.0..5.0)))
+            .collect()
+    }
+
+    #[test]
+    fn square_triangulates() {
+        let d = Delaunay::build(&[p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)]).unwrap();
+        assert_eq!(d.num_sites(), 4);
+        assert_eq!(d.triangles().len(), 2);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(Delaunay::build(&[]).is_none());
+        assert!(Delaunay::build(&[p(0.0, 0.0), p(1.0, 0.0)]).is_none());
+        // all collinear
+        assert!(Delaunay::build(&[p(0.0, 0.0), p(1.0, 0.0), p(2.0, 0.0), p(3.0, 0.0)]).is_none());
+        // duplicates merged
+        let d = Delaunay::build(&[p(0.0, 0.0), p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0)]).unwrap();
+        assert_eq!(d.num_sites(), 3);
+        assert_eq!(d.site_of_input(1), 0);
+    }
+
+    #[test]
+    fn empty_circumcircle_property() {
+        let pts = random_points(7, 40);
+        let d = Delaunay::build(&pts).unwrap();
+        for t in d.triangles() {
+            let (a, b, c) = (
+                d.sites()[t[0] as usize],
+                d.sites()[t[1] as usize],
+                d.sites()[t[2] as usize],
+            );
+            for (i, &s) in d.sites().iter().enumerate() {
+                if t.contains(&(i as u32)) {
+                    continue;
+                }
+                assert!(
+                    !in_circumcircle(a, b, c, s),
+                    "site {i} inside circumcircle of {t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn euler_relation() {
+        // for a Delaunay triangulation: T = 2n - 2 - h (h = hull vertices)
+        let pts = random_points(13, 60);
+        let d = Delaunay::build(&pts).unwrap();
+        let hull = crate::hull::convex_hull(d.sites());
+        assert_eq!(
+            d.triangles().len(),
+            2 * d.num_sites() - 2 - hull.len(),
+            "Euler relation violated"
+        );
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = random_points(3, 80);
+        let d = Delaunay::build(&pts).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let q = p(rng.random_range(-6.0..6.0), rng.random_range(-6.0..6.0));
+            let hint = rng.random_range(0..d.num_sites() as u32);
+            let (site, dist) = d.nearest(q, hint);
+            let brute = d.sites().iter().map(|s| s.dist(q)).fold(f64::INFINITY, f64::min);
+            assert!(
+                (dist - brute).abs() < 1e-9,
+                "walk from {hint} found {site} at {dist}, brute {brute}"
+            );
+        }
+    }
+
+    #[test]
+    fn voronoi_cell_centers_equidistant() {
+        let pts = random_points(9, 30);
+        let d = Delaunay::build(&pts).unwrap();
+        for site in 0..d.num_sites() as u32 {
+            let s = d.sites()[site as usize];
+            for c in d.voronoi_cell(site) {
+                // a circumcenter is equidistant from its triangle's three
+                // sites; in particular its distance to `site` equals its
+                // distance to the nearest site overall (Voronoi property)
+                let ds = c.dist(s);
+                let dmin =
+                    d.sites().iter().map(|q| q.dist(c)).fold(f64::INFINITY, f64::min);
+                assert!(ds <= dmin + 1e-6, "cell vertex closer to another site");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn triangulation_covers_hull_area(seed in 0u64..100) {
+            let pts = random_points(seed, 25);
+            let Some(d) = Delaunay::build(&pts) else { return Ok(()); };
+            let hull = crate::hull::convex_hull(d.sites());
+            prop_assume!(hull.len() >= 3);
+            let hull_area = {
+                let poly = crate::polyline::Polyline::closed(hull).unwrap();
+                poly.area()
+            };
+            let tri_area: f64 = d
+                .triangles()
+                .iter()
+                .map(|t| {
+                    crate::triangle::Triangle::new(
+                        d.sites()[t[0] as usize],
+                        d.sites()[t[1] as usize],
+                        d.sites()[t[2] as usize],
+                    )
+                    .area()
+                })
+                .sum();
+            prop_assert!((tri_area - hull_area).abs() < 1e-6 * (1.0 + hull_area),
+                "triangles {} vs hull {}", tri_area, hull_area);
+        }
+
+        #[test]
+        fn nearest_walk_from_any_hint(seed in 0u64..60, qx in -6.0..6.0f64, qy in -6.0..6.0f64) {
+            let pts = random_points(seed, 20);
+            let Some(d) = Delaunay::build(&pts) else { return Ok(()); };
+            let q = p(qx, qy);
+            let brute = d.sites().iter().map(|s| s.dist(q)).fold(f64::INFINITY, f64::min);
+            for hint in 0..d.num_sites() as u32 {
+                let (_, dist) = d.nearest(q, hint);
+                prop_assert!((dist - brute).abs() < 1e-9);
+            }
+        }
+    }
+}

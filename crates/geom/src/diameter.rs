@@ -1,0 +1,209 @@
+//! Shape diameters and α-diameters (§2.4).
+//!
+//! The diameter — the farthest pair of vertices — anchors normalization.
+//! The *α-diameters* are all vertex pairs whose distance is at least
+//! `(1 − α)` times the diameter; normalizing about every α-diameter buys
+//! tolerance to local distortion at the cost of storing more copies.
+
+use crate::hull::convex_hull;
+use crate::point::Point;
+
+/// A pair of vertex indices together with their distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VertexPair {
+    pub i: usize,
+    pub j: usize,
+    pub dist: f64,
+}
+
+/// The diameter of a point set: the farthest pair, by rotating calipers on
+/// the convex hull (`O(n log n)`), with index recovery against the original
+/// array. Returns `None` for fewer than 2 points or an all-coincident set.
+pub fn diameter(points: &[Point]) -> Option<VertexPair> {
+    if points.len() < 2 {
+        return None;
+    }
+    let hull = convex_hull(points);
+    let (a, b) = match hull.len() {
+        0 | 1 => return None,
+        2 => (hull[0], hull[1]),
+        _ => calipers(&hull),
+    };
+    let i = index_of(points, a)?;
+    let j = index_of(points, b)?;
+    if i == j {
+        return None;
+    }
+    let (i, j) = if i < j { (i, j) } else { (j, i) };
+    Some(VertexPair { i, j, dist: points[i].dist(points[j]) })
+}
+
+/// Farthest pair of a convex CCW polygon by rotating calipers.
+fn calipers(hull: &[Point]) -> (Point, Point) {
+    let n = hull.len();
+    let mut best = (hull[0], hull[1]);
+    let mut best_d2 = hull[0].dist_sq(hull[1]);
+    let mut k = 1;
+    for i in 0..n {
+        let edge = hull[(i + 1) % n] - hull[i];
+        // Advance the antipodal pointer while the area (≡ distance from the
+        // supporting edge) keeps increasing.
+        loop {
+            let next = (k + 1) % n;
+            let cur_area = edge.cross(hull[k] - hull[i]);
+            let next_area = edge.cross(hull[next] - hull[i]);
+            if next_area > cur_area {
+                k = next;
+            } else {
+                break;
+            }
+        }
+        for q in [hull[k], hull[(k + 1) % n]] {
+            for p in [hull[i], hull[(i + 1) % n]] {
+                let d2 = p.dist_sq(q);
+                if d2 > best_d2 {
+                    best_d2 = d2;
+                    best = (p, q);
+                }
+            }
+        }
+    }
+    best
+}
+
+fn index_of(points: &[Point], q: Point) -> Option<usize> {
+    points.iter().position(|p| p.almost_eq(q))
+}
+
+/// All α-diameters of `points`: vertex pairs `(i, j)`, `i < j`, with
+/// `dist(i, j) ≥ (1 − α) · diameter`. The true diameter is always included.
+/// Pairs are returned longest first.
+///
+/// `α = 0` yields exactly the diameter pair(s); the paper's prototype uses a
+/// small positive α so that moderate distortions of the extremal vertices
+/// still produce an overlapping set of normalized copies.
+pub fn alpha_diameters(points: &[Point], alpha: f64) -> Vec<VertexPair> {
+    assert!((0.0..1.0).contains(&alpha), "alpha must be in [0, 1)");
+    let Some(diam) = diameter(points) else {
+        return Vec::new();
+    };
+    let threshold = (1.0 - alpha) * diam.dist;
+    let mut out = Vec::new();
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let d = points[i].dist(points[j]);
+            if d >= threshold {
+                out.push(VertexPair { i, j, dist: d });
+            }
+        }
+    }
+    out.sort_by(|a, b| b.dist.partial_cmp(&a.dist).unwrap());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn diameter_of_square() {
+        let pts = vec![p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)];
+        let d = diameter(&pts).unwrap();
+        assert!((d.dist - 2f64.sqrt()).abs() < 1e-12);
+        // must be one of the two diagonals
+        assert!(
+            (d.i == 0 && d.j == 2) || (d.i == 1 && d.j == 3),
+            "got ({}, {})",
+            d.i,
+            d.j
+        );
+    }
+
+    #[test]
+    fn diameter_degenerate() {
+        assert!(diameter(&[]).is_none());
+        assert!(diameter(&[p(1.0, 1.0)]).is_none());
+        assert!(diameter(&[p(1.0, 1.0), p(1.0, 1.0)]).is_none());
+        let two = diameter(&[p(0.0, 0.0), p(3.0, 4.0)]).unwrap();
+        assert!((two.dist - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diameter_collinear() {
+        let pts = vec![p(0.0, 0.0), p(1.0, 1.0), p(5.0, 5.0), p(3.0, 3.0)];
+        let d = diameter(&pts).unwrap();
+        assert!((d.dist - p(0.0, 0.0).dist(p(5.0, 5.0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_zero_gives_only_diameters() {
+        let pts = vec![p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)];
+        let ds = alpha_diameters(&pts, 0.0);
+        assert_eq!(ds.len(), 2); // both diagonals tie
+        for d in ds {
+            assert!((d.dist - 2f64.sqrt()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn alpha_widens_the_set() {
+        let pts = vec![p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)];
+        // side length 1 vs diagonal √2: sides qualify when (1-α)√2 ≤ 1.
+        let ds = alpha_diameters(&pts, 0.3);
+        assert_eq!(ds.len(), 6); // all pairs
+        let ds0 = alpha_diameters(&pts, 0.1);
+        assert_eq!(ds0.len(), 2);
+    }
+
+    #[test]
+    fn alpha_diameters_sorted_desc() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts: Vec<Point> =
+            (0..30).map(|_| p(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0))).collect();
+        let ds = alpha_diameters(&pts, 0.5);
+        for w in ds.windows(2) {
+            assert!(w[0].dist >= w[1].dist);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn calipers_matches_brute_force(seed in 0u64..300) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let k = rng.random_range(2usize..50);
+            let pts: Vec<Point> = (0..k)
+                .map(|_| p(rng.random_range(-10.0..10.0), rng.random_range(-10.0..10.0)))
+                .collect();
+            let brute = pts
+                .iter()
+                .enumerate()
+                .flat_map(|(i, a)| pts.iter().skip(i + 1).map(move |b| a.dist(*b)))
+                .fold(0.0f64, f64::max);
+            if let Some(d) = diameter(&pts) {
+                prop_assert!((d.dist - brute).abs() < 1e-9,
+                    "calipers {} vs brute {}", d.dist, brute);
+            } else {
+                prop_assert!(brute < 1e-9);
+            }
+        }
+
+        #[test]
+        fn every_alpha_diameter_meets_threshold(seed in 0u64..100, alpha in 0.0..0.9f64) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pts: Vec<Point> = (0..20)
+                .map(|_| p(rng.random_range(-5.0..5.0), rng.random_range(-5.0..5.0)))
+                .collect();
+            let d = diameter(&pts).unwrap();
+            for vp in alpha_diameters(&pts, alpha) {
+                prop_assert!(vp.dist >= (1.0 - alpha) * d.dist - 1e-9);
+                prop_assert!(vp.dist <= d.dist + 1e-9);
+            }
+        }
+    }
+}

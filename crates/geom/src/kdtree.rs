@@ -1,0 +1,283 @@
+//! A 2D kd-tree over points: nearest-neighbor queries and triangle
+//! reporting with linear space.
+//!
+//! This is the O(n)-space alternative to the fractional-cascading range tree
+//! for the matcher's simplex queries (DESIGN.md: backends are ablated
+//! against each other), and the nearest-vertex structure used by discrete
+//! similarity measures.
+
+use crate::bbox::Aabb;
+use crate::point::Point;
+use crate::triangle::Triangle;
+
+/// Immutable kd-tree; point identities are indices into the construction
+/// slice.
+#[derive(Debug)]
+pub struct KdTree {
+    nodes: Vec<KdNode>,
+    pts: Vec<Point>,
+    root: Option<u32>,
+}
+
+#[derive(Debug)]
+struct KdNode {
+    /// Index of the splitting point in `pts`.
+    id: u32,
+    left: u32,
+    right: u32,
+    bbox: Aabb,
+    /// 0 = split on x, 1 = split on y.
+    axis: u8,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl KdTree {
+    pub fn build(points: &[Point]) -> Self {
+        let pts = points.to_vec();
+        let mut ids: Vec<u32> = (0..points.len() as u32).collect();
+        let mut nodes = Vec::with_capacity(points.len());
+        let root =
+            if ids.is_empty() { None } else { Some(build_rec(&pts, &mut ids, 0, &mut nodes)) };
+        KdTree { nodes, pts, root }
+    }
+
+    pub fn len(&self) -> usize {
+        self.pts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pts.is_empty()
+    }
+
+    /// Index and distance of the point nearest to `q`, or `None` if empty.
+    pub fn nearest(&self, q: Point) -> Option<(u32, f64)> {
+        let root = self.root?;
+        let mut best = (NONE, f64::INFINITY);
+        self.nearest_rec(root, q, &mut best);
+        Some((best.0, best.1.sqrt()))
+    }
+
+    fn nearest_rec(&self, v: u32, q: Point, best: &mut (u32, f64)) {
+        let node = &self.nodes[v as usize];
+        if node.bbox.dist_sq(q) >= best.1 {
+            return;
+        }
+        let p = self.pts[node.id as usize];
+        let d2 = p.dist_sq(q);
+        if d2 < best.1 {
+            *best = (node.id, d2);
+        }
+        let qv = if node.axis == 0 { q.x } else { q.y };
+        let pv = if node.axis == 0 { p.x } else { p.y };
+        let (first, second) = if qv < pv { (node.left, node.right) } else { (node.right, node.left) };
+        if first != NONE {
+            self.nearest_rec(first, q, best);
+        }
+        if second != NONE {
+            self.nearest_rec(second, q, best);
+        }
+    }
+
+    /// Append the ids of all points inside the triangle (boundary inclusive)
+    /// to `out`.
+    pub fn report_triangle(&self, tri: &Triangle, out: &mut Vec<u32>) {
+        if let Some(root) = self.root {
+            self.tri_rec(root, tri, out);
+        }
+    }
+
+    fn tri_rec(&self, v: u32, tri: &Triangle, out: &mut Vec<u32>) {
+        let node = &self.nodes[v as usize];
+        if !tri.intersects_box(&node.bbox) {
+            return;
+        }
+        if tri.contains_box(&node.bbox) {
+            self.report_all(v, out);
+            return;
+        }
+        if tri.contains(self.pts[node.id as usize]) {
+            out.push(node.id);
+        }
+        if node.left != NONE {
+            self.tri_rec(node.left, tri, out);
+        }
+        if node.right != NONE {
+            self.tri_rec(node.right, tri, out);
+        }
+    }
+
+    /// Append the ids of all points inside the closed box to `out`.
+    pub fn report_box(&self, bb: &Aabb, out: &mut Vec<u32>) {
+        if let Some(root) = self.root {
+            self.box_rec(root, bb, out);
+        }
+    }
+
+    fn box_rec(&self, v: u32, bb: &Aabb, out: &mut Vec<u32>) {
+        let node = &self.nodes[v as usize];
+        if !bb.intersects(&node.bbox) {
+            return;
+        }
+        if bb.contains(node.bbox.min) && bb.contains(node.bbox.max) {
+            self.report_all(v, out);
+            return;
+        }
+        if bb.contains(self.pts[node.id as usize]) {
+            out.push(node.id);
+        }
+        if node.left != NONE {
+            self.box_rec(node.left, bb, out);
+        }
+        if node.right != NONE {
+            self.box_rec(node.right, bb, out);
+        }
+    }
+
+    fn report_all(&self, v: u32, out: &mut Vec<u32>) {
+        let node = &self.nodes[v as usize];
+        out.push(node.id);
+        if node.left != NONE {
+            self.report_all(node.left, out);
+        }
+        if node.right != NONE {
+            self.report_all(node.right, out);
+        }
+    }
+}
+
+fn build_rec(pts: &[Point], ids: &mut [u32], depth: usize, nodes: &mut Vec<KdNode>) -> u32 {
+    let axis = (depth % 2) as u8;
+    let mid = ids.len() / 2;
+    ids.select_nth_unstable_by(mid, |&a, &b| {
+        let (pa, pb) = (pts[a as usize], pts[b as usize]);
+        if axis == 0 {
+            pa.x.partial_cmp(&pb.x).unwrap().then(pa.y.partial_cmp(&pb.y).unwrap())
+        } else {
+            pa.y.partial_cmp(&pb.y).unwrap().then(pa.x.partial_cmp(&pb.x).unwrap())
+        }
+    });
+    let id = ids[mid];
+    let bbox = Aabb::of_points(ids.iter().map(|&i| pts[i as usize]));
+    let slot = nodes.len();
+    nodes.push(KdNode { id, left: NONE, right: NONE, bbox, axis });
+    // Recurse after reserving the slot (children get later indices).
+    let (lo, rest) = ids.split_at_mut(mid);
+    let hi = &mut rest[1..];
+    if !lo.is_empty() {
+        let l = build_rec(pts, lo, depth + 1, nodes);
+        nodes[slot].left = l;
+    }
+    if !hi.is_empty() {
+        let r = build_rec(pts, hi, depth + 1, nodes);
+        nodes[slot].right = r;
+    }
+    slot as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+
+    fn random_points(seed: u64, n: usize) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Point::new(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0))).collect()
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let t = KdTree::build(&[]);
+        assert!(t.nearest(Point::ORIGIN).is_none());
+        let t = KdTree::build(&[Point::new(1.0, 2.0)]);
+        let (id, d) = t.nearest(Point::ORIGIN).unwrap();
+        assert_eq!(id, 0);
+        assert!((d - 5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = random_points(11, 400);
+        let t = KdTree::build(&pts);
+        let queries = random_points(12, 100);
+        for q in queries {
+            let (id, d) = t.nearest(q).unwrap();
+            let brute = pts.iter().map(|p| p.dist(q)).fold(f64::INFINITY, f64::min);
+            assert!((d - brute).abs() < 1e-12, "kd {d} vs brute {brute}");
+            assert!((pts[id as usize].dist(q) - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn triangle_report_matches_brute_force() {
+        let pts = random_points(5, 600);
+        let t = KdTree::build(&pts);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..100 {
+            let tri = Triangle::new(
+                Point::new(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)),
+                Point::new(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)),
+                Point::new(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)),
+            );
+            let mut got = Vec::new();
+            t.report_triangle(&tri, &mut got);
+            got.sort_unstable();
+            let mut want: Vec<u32> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| tri.contains(**p))
+                .map(|(i, _)| i as u32)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn box_report_matches_brute_force() {
+        let pts = random_points(21, 500);
+        let t = KdTree::build(&pts);
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..100 {
+            let c = Point::new(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0));
+            let bb = Aabb::of_points([c]).inflated(rng.random_range(0.0..0.8));
+            let mut got = Vec::new();
+            t.report_box(&bb, &mut got);
+            got.sort_unstable();
+            let mut want: Vec<u32> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| bb.contains(**p))
+                .map(|(i, _)| i as u32)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn duplicate_points_all_reported() {
+        let pts = vec![Point::new(0.0, 0.0); 9];
+        let t = KdTree::build(&pts);
+        let mut got = Vec::new();
+        t.report_triangle(
+            &Triangle::new(Point::new(-1.0, -1.0), Point::new(1.0, -1.0), Point::new(0.0, 1.0)),
+            &mut got,
+        );
+        assert_eq!(got.len(), 9);
+    }
+
+    proptest! {
+        #[test]
+        fn nearest_never_worse_than_sample(seed in 0u64..200, qx in -2.0..2.0f64, qy in -2.0..2.0f64) {
+            let pts = random_points(seed, 50);
+            let t = KdTree::build(&pts);
+            let q = Point::new(qx, qy);
+            let (_, d) = t.nearest(q).unwrap();
+            for p in &pts {
+                prop_assert!(d <= p.dist(q) + 1e-12);
+            }
+        }
+    }
+}

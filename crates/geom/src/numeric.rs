@@ -1,0 +1,166 @@
+//! Numerical routines: root finding (the "fast gradient-based numerical
+//! methods" of §3 used to place the hash curves) and adaptive quadrature
+//! (the continuous `h_avg` integral of §2.2).
+
+/// Solve `f(x) = target` on `[lo, hi]` for a continuous, increasing-or-
+/// decreasing `f`, by safeguarded Newton: Newton steps with numerical
+/// derivative, falling back to bisection whenever a step leaves the
+/// bracket or stalls. Converges for the monotone `E(x)` of §3 at
+/// gradient-method speed while staying robust at the interval ends where
+/// `∂E/∂x → 0`.
+///
+/// Returns `None` if `target` is not bracketed by `f(lo)` and `f(hi)`.
+pub fn solve_monotone(
+    f: impl Fn(f64) -> f64,
+    target: f64,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+) -> Option<f64> {
+    let g = |x: f64| f(x) - target;
+    let (mut a, mut b) = (lo, hi);
+    let (mut ga, gb) = (g(a), g(b));
+    if ga.abs() <= tol {
+        return Some(a);
+    }
+    if gb.abs() <= tol {
+        return Some(b);
+    }
+    if ga.signum() == gb.signum() {
+        return None;
+    }
+    let mut x = 0.5 * (a + b);
+    for _ in 0..200 {
+        let gx = g(x);
+        if gx.abs() <= tol || (b - a).abs() <= tol * (1.0 + x.abs()) {
+            return Some(x);
+        }
+        // Maintain the bracket.
+        if gx.signum() == ga.signum() {
+            a = x;
+            ga = gx;
+        } else {
+            b = x;
+        }
+        // Newton step with a central-difference derivative.
+        let h = 1e-7 * (1.0 + x.abs());
+        let d = (g(x + h) - g(x - h)) / (2.0 * h);
+        let newton = if d.abs() > 1e-300 { x - gx / d } else { f64::NAN };
+        x = if newton.is_finite() && newton > a && newton < b {
+            newton
+        } else {
+            0.5 * (a + b)
+        };
+    }
+    Some(x)
+}
+
+/// Adaptive Simpson quadrature of `f` over `[a, b]` to absolute tolerance
+/// `tol`.
+pub fn integrate(f: impl Fn(f64) -> f64, a: f64, b: f64, tol: f64) -> f64 {
+    fn simpson(f: &impl Fn(f64) -> f64, a: f64, fa: f64, b: f64, fb: f64) -> (f64, f64, f64) {
+        let m = 0.5 * (a + b);
+        let fm = f(m);
+        ((b - a) / 6.0 * (fa + 4.0 * fm + fb), m, fm)
+    }
+    fn rec(
+        f: &impl Fn(f64) -> f64,
+        a: f64,
+        fa: f64,
+        b: f64,
+        fb: f64,
+        whole: f64,
+        m: f64,
+        fm: f64,
+        tol: f64,
+        depth: u32,
+    ) -> f64 {
+        let (left, lm, flm) = simpson(f, a, fa, m, fm);
+        let (right, rm, frm) = simpson(f, m, fm, b, fb);
+        let delta = left + right - whole;
+        if depth == 0 || delta.abs() <= 15.0 * tol {
+            return left + right + delta / 15.0;
+        }
+        rec(f, a, fa, m, fm, left, lm, flm, 0.5 * tol, depth - 1)
+            + rec(f, m, fm, b, fb, right, rm, frm, 0.5 * tol, depth - 1)
+    }
+    if a == b {
+        return 0.0;
+    }
+    let (fa, fb) = (f(a), f(b));
+    let (whole, m, fm) = simpson(&f, a, fa, b, fb);
+    rec(&f, a, fa, b, fb, whole, m, fm, tol, 40)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solves_linear() {
+        let x = solve_monotone(|x| 2.0 * x + 1.0, 5.0, 0.0, 10.0, 1e-12).unwrap();
+        assert!((x - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solves_cubic() {
+        let x = solve_monotone(|x| x * x * x, 8.0, 0.0, 10.0, 1e-12).unwrap();
+        assert!((x - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solves_decreasing() {
+        let x = solve_monotone(|x| -x, -3.0, 0.0, 10.0, 1e-12).unwrap();
+        assert!((x - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_unbracketed() {
+        assert!(solve_monotone(|x| x, 100.0, 0.0, 1.0, 1e-9).is_none());
+    }
+
+    #[test]
+    fn flat_derivative_at_end() {
+        // f(x) = x², target near 0 — Newton from the flat end must fall back
+        let x = solve_monotone(|x| x * x, 1e-8, 0.0, 1.0, 1e-14).unwrap();
+        assert!((x - 1e-4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn integrates_polynomial_exactly() {
+        let v = integrate(|x| 3.0 * x * x, 0.0, 2.0, 1e-12);
+        assert!((v - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integrates_trig() {
+        let v = integrate(f64::sin, 0.0, std::f64::consts::PI, 1e-12);
+        assert!((v - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integrates_sqrt_singularity() {
+        // ∫₀¹ 1/(2√x) dx = 1; integrand blows up at 0⁺ but is integrable.
+        let v = integrate(|x| 0.5 / x.max(1e-300).sqrt(), 1e-12, 1.0, 1e-10);
+        assert!((v - 1.0).abs() < 1e-4);
+    }
+
+    proptest! {
+        #[test]
+        fn solve_then_eval_round_trips(t in 0.01..0.99f64) {
+            // E-like function: smooth monotone on [0,1]
+            let f = |x: f64| x + 0.3 * (std::f64::consts::PI * x).sin().powi(2);
+            let x = solve_monotone(f, f(t), 0.0, 1.0, 1e-12).unwrap();
+            prop_assert!((f(x) - f(t)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn integral_additivity(m in 0.1..0.9f64) {
+            let f = |x: f64| (3.0 * x).cos() + x * x;
+            let whole = integrate(f, 0.0, 1.0, 1e-11);
+            let parts = integrate(f, 0.0, m, 1e-11) + integrate(f, m, 1.0, 1e-11);
+            prop_assert!((whole - parts).abs() < 1e-8);
+        }
+    }
+}

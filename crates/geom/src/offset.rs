@@ -1,0 +1,207 @@
+//! Offset (parallel) polygons — the boundary geometry of Figure 3's
+//! ε-envelope: "lines parallel to the query shape edges at some distance ε
+//! on either side", joined at the miter intersections.
+//!
+//! The matcher itself never materializes these boundaries (it uses the
+//! triangle covers of [`crate::envelope`] plus exact distance tests), but
+//! they are the envelope's *display* form and give its exact area for
+//! convex shapes; GeoSIR-style UIs draw them around the query sketch.
+
+use crate::polyline::Polyline;
+use crate::EPS;
+
+/// The two parallel boundaries of a closed shape's ε-envelope: the outer
+/// offset and (when it does not collapse) the inner offset.
+#[derive(Debug, Clone)]
+pub struct EnvelopeBoundary {
+    pub outer: Polyline,
+    pub inner: Option<Polyline>,
+}
+
+/// Miter-offset a **closed** polygon by signed distance `delta` (> 0 =
+/// outward, < 0 = inward). Each vertex moves to the intersection of its
+/// two adjacent edges' parallels. Returns `None` when the offset collapses
+/// (inner offset past the inradius) or a miter degenerates (near-parallel
+/// adjacent edges at extreme offsets).
+///
+/// Note: for non-convex shapes a large offset can self-intersect — the
+/// classic miter artifact; callers who need a simple polygon should check
+/// [`Polyline::is_simple`].
+pub fn offset_closed(poly: &Polyline, delta: f64) -> Option<Polyline> {
+    assert!(poly.is_closed(), "offset_closed needs a closed polygon");
+    let pts = poly.points();
+    let n = pts.len();
+    // normalize the direction convention: positive delta = outward
+    let ccw = poly.signed_area() > 0.0;
+    let out_sign = if ccw { -1.0 } else { 1.0 };
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let prev = pts[(i + n - 1) % n];
+        let cur = pts[i];
+        let next = pts[(i + 1) % n];
+        let d1 = (cur - prev).normalized()?;
+        let d2 = (next - cur).normalized()?;
+        // outward normals of the two edges
+        let n1 = d1.perp() * out_sign;
+        let n2 = d2.perp() * out_sign;
+        // intersection of line(prev + n1·δ, dir d1) and line(cur + n2·δ, dir d2)
+        let p1 = cur + n1 * delta;
+        let p2 = cur + n2 * delta;
+        let denom = d1.cross(d2);
+        let vertex = if denom.abs() < 1e-9 {
+            // collinear edges: both parallels coincide
+            p1
+        } else {
+            let t = (p2 - p1).cross(d2) / denom;
+            p1 + d1 * t
+        };
+        out.push(vertex);
+    }
+    let result = Polyline::closed(out).ok()?;
+    if delta < 0.0 {
+        // collapse check: a genuine inner offset keeps every miter vertex
+        // inside the original at distance ≥ |δ| from its boundary (a shape
+        // offset past its inradius "inverts" through the middle and would
+        // otherwise come back out positively oriented)
+        let min_d = -delta * (1.0 - 1e-9);
+        for &v in result.points() {
+            if !poly.contains_point(v) || poly.dist_to_point(v) < min_d {
+                return None;
+            }
+        }
+        if (result.signed_area() > 0.0) != ccw {
+            return None;
+        }
+    }
+    Some(result)
+}
+
+/// The ε-envelope boundary of a closed shape (Figure 3): outer offset at
+/// +ε and inner offset at −ε (absent when ε exceeds the inradius).
+pub fn envelope_boundary(poly: &Polyline, eps: f64) -> Option<EnvelopeBoundary> {
+    assert!(eps > 0.0);
+    let outer = offset_closed(poly, eps)?;
+    let inner = offset_closed(poly, -eps).filter(|p| p.area() > EPS);
+    Some(EnvelopeBoundary { outer, inner })
+}
+
+/// Exact envelope area for a **convex** shape:
+/// `area(outer) − area(inner)` with miter joins
+/// (= 2·ε·perimeter + miter corner excess − inner shrinkage).
+pub fn envelope_area_convex(poly: &Polyline, eps: f64) -> Option<f64> {
+    debug_assert!(poly.is_convex());
+    let b = envelope_boundary(poly, eps)?;
+    let inner_area = b.inner.as_ref().map(Polyline::area).unwrap_or(0.0);
+    Some(b.outer.area() - inner_area)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+    use proptest::prelude::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn square(half: f64) -> Polyline {
+        Polyline::closed(vec![p(-half, -half), p(half, -half), p(half, half), p(-half, half)])
+            .unwrap()
+    }
+
+    #[test]
+    fn square_offsets_exact() {
+        let sq = square(1.0);
+        let grown = offset_closed(&sq, 0.5).unwrap();
+        assert!((grown.area() - 9.0).abs() < 1e-9, "area {}", grown.area()); // 3×3
+        let shrunk = offset_closed(&sq, -0.5).unwrap();
+        assert!((shrunk.area() - 1.0).abs() < 1e-9); // 1×1
+    }
+
+    #[test]
+    fn orientation_independent() {
+        let sq = square(1.0);
+        let cw = sq.reversed();
+        let a = offset_closed(&sq, 0.3).unwrap().area();
+        let b = offset_closed(&cw, 0.3).unwrap().area();
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inner_collapse_detected() {
+        let sq = square(1.0);
+        assert!(offset_closed(&sq, -1.5).is_none(), "inward past the inradius must fail");
+        let b = envelope_boundary(&sq, 2.0).unwrap();
+        assert!(b.inner.is_none());
+    }
+
+    #[test]
+    fn envelope_area_formula_for_square() {
+        // convex miter envelope area: (2h+2ε)² − (2h−2ε)² = 16·h·ε
+        let sq = square(1.0);
+        let a = envelope_area_convex(&sq, 0.25).unwrap();
+        assert!((a - 16.0 * 1.0 * 0.25).abs() < 1e-9, "area {a}");
+    }
+
+    #[test]
+    fn offset_points_at_expected_distance() {
+        // for a convex polygon the offset boundary's edges are at distance
+        // exactly δ from the original edges (vertices stick out further —
+        // the miter)
+        let hexagon = Polyline::closed(
+            (0..6)
+                .map(|i| {
+                    let t = std::f64::consts::PI * i as f64 / 3.0;
+                    p(t.cos(), t.sin())
+                })
+                .collect(),
+        )
+        .unwrap();
+        let grown = offset_closed(&hexagon, 0.2).unwrap();
+        for e in grown.edges() {
+            let d = hexagon.dist_to_point(e.midpoint());
+            assert!((d - 0.2).abs() < 1e-9, "edge midpoint at {d}");
+        }
+    }
+
+    #[test]
+    fn concave_offset_contains_original() {
+        let l = Polyline::closed(vec![
+            p(0.0, 0.0),
+            p(3.0, 0.0),
+            p(3.0, 1.0),
+            p(1.0, 1.0),
+            p(1.0, 3.0),
+            p(0.0, 3.0),
+        ])
+        .unwrap();
+        let grown = offset_closed(&l, 0.1).unwrap();
+        for q in l.points() {
+            assert!(grown.contains_point(*q), "{q} escaped the offset");
+        }
+        assert!(grown.is_simple(), "small offsets of an L stay simple");
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_offset(half in 0.5..3.0f64, eps in 0.01..0.4f64) {
+            // grow then shrink a square by the same δ: back to the original
+            let sq = square(half);
+            let grown = offset_closed(&sq, eps).unwrap();
+            let back = offset_closed(&grown, -eps).unwrap();
+            for (a, b) in back.points().iter().zip(sq.points()) {
+                prop_assert!(a.dist(*b) < 1e-9);
+            }
+        }
+
+        #[test]
+        fn outward_area_monotone(e1 in 0.01..0.5f64, e2 in 0.01..0.5f64) {
+            let sq = square(1.0);
+            let (lo, hi) = if e1 < e2 { (e1, e2) } else { (e2, e1) };
+            let a_lo = offset_closed(&sq, lo).unwrap().area();
+            let a_hi = offset_closed(&sq, hi).unwrap().area();
+            prop_assert!(a_hi >= a_lo - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Simplex (triangle) range searching over the shape-base vertex pool
+//! (§2.5, step 2).
+//!
+//! The matcher needs, per iteration, the shape-base vertices falling in each
+//! triangle of the envelope-ring cover. All backends implement
+//! [`SimplexIndex`]; the matcher is generic over it so the backends can be
+//! benchmarked against each other:
+//!
+//! - [`RangeTreeIndex`] — the paper's polylog structure: a layered range
+//!   tree **with fractional cascading** answers the triangle's bounding box
+//!   in `O(log n + k_box)`, then an exact point-in-triangle filter trims the
+//!   report. `O(n log n)` space.
+//! - [`KdTreeIndex`] — kd-tree descent with exact triangle/box pruning,
+//!   `O(n)` space, `O(√n + k)` typical query.
+//! - [`BruteForceIndex`] — the oracle the property tests compare against.
+
+use crate::kdtree::KdTree;
+use crate::point::Point;
+use crate::rangetree::RangeTree;
+use crate::triangle::Triangle;
+
+/// A static index over a point set answering "which points lie in this
+/// triangle?" Point identities are indices into the construction slice.
+pub trait SimplexIndex {
+    /// Build the index. Points are borrowed only during construction.
+    fn build(points: &[Point]) -> Self
+    where
+        Self: Sized;
+
+    /// Append the ids of all points inside `tri` (boundary inclusive).
+    fn report(&self, tri: &Triangle, out: &mut Vec<u32>);
+
+    /// Number of indexed points.
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of points inside `tri`. Backends with fast counting override.
+    fn count(&self, tri: &Triangle) -> usize {
+        let mut out = Vec::new();
+        self.report(tri, &mut out);
+        out.len()
+    }
+}
+
+/// Fractional-cascading range tree + exact triangle filter.
+pub struct RangeTreeIndex {
+    tree: RangeTree,
+    pts: Vec<Point>,
+}
+
+impl SimplexIndex for RangeTreeIndex {
+    fn build(points: &[Point]) -> Self {
+        RangeTreeIndex { tree: RangeTree::build(points), pts: points.to_vec() }
+    }
+
+    fn report(&self, tri: &Triangle, out: &mut Vec<u32>) {
+        // The envelope rings hand us long *diagonal* slivers whose single
+        // bounding box can cover thousands of points the exact filter then
+        // discards. Splitting the sliver along its longest edge shrinks
+        // the total box area roughly by half per level, so a few levels
+        // make the orthogonal phase output-sensitive again.
+        let start = out.len();
+        self.report_split(tri, 12, out);
+        // Sub-triangles share edges, so a point exactly on a shared edge
+        // can be reported twice — dedup within this query's output.
+        let slice = &mut out[start..];
+        slice.sort_unstable();
+        let mut w = start;
+        let mut last = None;
+        for r in start..out.len() {
+            let id = out[r];
+            if Some(id) != last {
+                out[w] = id;
+                w += 1;
+                last = Some(id);
+            }
+        }
+        out.truncate(w);
+    }
+
+    fn len(&self) -> usize {
+        self.pts.len()
+    }
+}
+
+impl RangeTreeIndex {
+    fn report_split(&self, tri: &Triangle, depth: u32, out: &mut Vec<u32>) {
+        let bb = tri.bbox();
+        // Stop splitting when the box is already cheap: fat triangles
+        // (filter discards little), or boxes holding few points — the
+        // O(log n) fractional-cascading *count* makes that test nearly
+        // free and keeps the whole query output-sensitive.
+        let box_area = bb.width() * bb.height();
+        if depth == 0
+            || tri.area() >= 0.4 * box_area
+            || box_area < 1e-12
+            || self.tree.count(&bb) <= 64
+        {
+            let start = out.len();
+            self.tree.report(&bb, out);
+            // exact filter, in place
+            let mut w = start;
+            for r in start..out.len() {
+                let id = out[r];
+                if tri.contains(self.pts[id as usize]) {
+                    out[w] = id;
+                    w += 1;
+                }
+            }
+            out.truncate(w);
+            return;
+        }
+        // split at the midpoint of the longest edge
+        let (a, b, c) = (tri.a, tri.b, tri.c);
+        let (ab, bc, ca) = (a.dist_sq(b), b.dist_sq(c), c.dist_sq(a));
+        let (t1, t2) = if ab >= bc && ab >= ca {
+            let m = a.midpoint(b);
+            (Triangle::new(a, m, c), Triangle::new(m, b, c))
+        } else if bc >= ca {
+            let m = b.midpoint(c);
+            (Triangle::new(a, b, m), Triangle::new(a, m, c))
+        } else {
+            let m = c.midpoint(a);
+            (Triangle::new(a, b, m), Triangle::new(b, c, m))
+        };
+        self.report_split(&t1, depth - 1, out);
+        self.report_split(&t2, depth - 1, out);
+    }
+}
+
+/// kd-tree with triangle pruning.
+pub struct KdTreeIndex {
+    tree: KdTree,
+}
+
+impl SimplexIndex for KdTreeIndex {
+    fn build(points: &[Point]) -> Self {
+        KdTreeIndex { tree: KdTree::build(points) }
+    }
+
+    fn report(&self, tri: &Triangle, out: &mut Vec<u32>) {
+        self.tree.report_triangle(tri, out);
+    }
+
+    fn len(&self) -> usize {
+        self.tree.len()
+    }
+}
+
+/// Linear scan; the test oracle.
+pub struct BruteForceIndex {
+    pts: Vec<Point>,
+}
+
+impl SimplexIndex for BruteForceIndex {
+    fn build(points: &[Point]) -> Self {
+        BruteForceIndex { pts: points.to_vec() }
+    }
+
+    fn report(&self, tri: &Triangle, out: &mut Vec<u32>) {
+        let bb = tri.bbox();
+        out.extend(
+            self.pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| bb.contains(**p) && tri.contains(**p))
+                .map(|(i, _)| i as u32),
+        );
+    }
+
+    fn len(&self) -> usize {
+        self.pts.len()
+    }
+}
+
+/// Which backend to build — lets callers pick at run time (the matcher's
+/// configuration and the ablation benches use this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Fractional-cascading range tree (default; the paper's structure).
+    #[default]
+    RangeTree,
+    /// kd-tree (linear space; for very large bases).
+    KdTree,
+    /// Linear scan (testing only).
+    BruteForce,
+}
+
+/// A backend chosen at run time.
+pub enum DynSimplexIndex {
+    RangeTree(RangeTreeIndex),
+    KdTree(KdTreeIndex),
+    BruteForce(BruteForceIndex),
+}
+
+impl DynSimplexIndex {
+    pub fn build(backend: Backend, points: &[Point]) -> Self {
+        match backend {
+            Backend::RangeTree => DynSimplexIndex::RangeTree(RangeTreeIndex::build(points)),
+            Backend::KdTree => DynSimplexIndex::KdTree(KdTreeIndex::build(points)),
+            Backend::BruteForce => DynSimplexIndex::BruteForce(BruteForceIndex::build(points)),
+        }
+    }
+
+    pub fn report(&self, tri: &Triangle, out: &mut Vec<u32>) {
+        match self {
+            DynSimplexIndex::RangeTree(i) => i.report(tri, out),
+            DynSimplexIndex::KdTree(i) => i.report(tri, out),
+            DynSimplexIndex::BruteForce(i) => i.report(tri, out),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            DynSimplexIndex::RangeTree(i) => i.len(),
+            DynSimplexIndex::KdTree(i) => i.len(),
+            DynSimplexIndex::BruteForce(i) => i.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+
+    fn random_points(seed: u64, n: usize) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0))).collect()
+    }
+
+    fn random_triangle(rng: &mut StdRng) -> Triangle {
+        Triangle::new(
+            Point::new(rng.random_range(-0.2..1.2), rng.random_range(-0.2..1.2)),
+            Point::new(rng.random_range(-0.2..1.2), rng.random_range(-0.2..1.2)),
+            Point::new(rng.random_range(-0.2..1.2), rng.random_range(-0.2..1.2)),
+        )
+    }
+
+    fn sorted_report<I: SimplexIndex>(idx: &I, tri: &Triangle) -> Vec<u32> {
+        let mut out = Vec::new();
+        idx.report(tri, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn backends_agree_on_random_workload() {
+        let pts = random_points(3, 800);
+        let rt = RangeTreeIndex::build(&pts);
+        let kd = KdTreeIndex::build(&pts);
+        let bf = BruteForceIndex::build(&pts);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..150 {
+            let tri = random_triangle(&mut rng);
+            let want = sorted_report(&bf, &tri);
+            assert_eq!(sorted_report(&rt, &tri), want, "range tree disagrees");
+            assert_eq!(sorted_report(&kd, &tri), want, "kd-tree disagrees");
+            assert_eq!(rt.count(&tri), want.len());
+        }
+    }
+
+    #[test]
+    fn empty_index() {
+        let rt = RangeTreeIndex::build(&[]);
+        let tri = Triangle::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0));
+        assert_eq!(sorted_report(&rt, &tri), Vec::<u32>::new());
+        assert!(rt.is_empty());
+    }
+
+    #[test]
+    fn dyn_dispatch_equivalence() {
+        let pts = random_points(9, 300);
+        let mut rng = StdRng::seed_from_u64(10);
+        let tri = random_triangle(&mut rng);
+        let mut results = Vec::new();
+        for b in [Backend::RangeTree, Backend::KdTree, Backend::BruteForce] {
+            let idx = DynSimplexIndex::build(b, &pts);
+            let mut out = Vec::new();
+            idx.report(&tri, &mut out);
+            out.sort_unstable();
+            results.push(out);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+
+    proptest! {
+        #[test]
+        fn agreement_property(seed in 0u64..200, n in 0usize..200) {
+            let pts = random_points(seed, n);
+            let rt = RangeTreeIndex::build(&pts);
+            let kd = KdTreeIndex::build(&pts);
+            let bf = BruteForceIndex::build(&pts);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+            let tri = random_triangle(&mut rng);
+            let want = sorted_report(&bf, &tri);
+            prop_assert_eq!(sorted_report(&rt, &tri), want.clone());
+            prop_assert_eq!(sorted_report(&kd, &tri), want);
+        }
+
+        /// Degenerate (collinear) triangles must not report interior-less
+        /// false positives from the bbox phase.
+        #[test]
+        fn degenerate_triangle(seed in 0u64..50) {
+            let pts = random_points(seed, 100);
+            let rt = RangeTreeIndex::build(&pts);
+            let tri = Triangle::new(
+                Point::new(0.0, 0.0), Point::new(0.5, 0.5), Point::new(1.0, 1.0));
+            let got = sorted_report(&rt, &tri);
+            for id in got {
+                // every reported point is within tolerance of the segment
+                let d = crate::segment::Segment::new(tri.a, tri.c)
+                    .dist_to_point(pts[id as usize]);
+                prop_assert!(d < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Layered 2D range tree with **fractional cascading**.
+//!
+//! This is the structure the paper leans on for its polylogarithmic bounds
+//! (§2.5): orthogonal range *reporting* in `O(log n + k)` and range
+//! *counting* in `O(log n)`, with `O(n log n)` space. The primary tree is
+//! balanced over x-rank; every internal node stores its subtree's points
+//! sorted by y together with cascade pointers into each child's y-array, so
+//! the y-range binary search is performed **once** at the root and then
+//! carried down in O(1) per node instead of O(log n) per canonical node.
+//!
+//! The x-dimension is handled in *rank space* (the query interval [x₁, x₂]
+//! is converted to a rank interval by two binary searches over the sorted
+//! x-array), which makes duplicate x-coordinates a non-issue.
+//!
+//! The simplex (triangle) queries of the matcher use this as the
+//! bounding-box phase of [`crate::rangesearch::RangeTreeIndex`].
+
+use crate::bbox::Aabb;
+use crate::point::Point;
+
+/// Immutable layered range tree over a fixed point set. Point identities are
+/// the indices into the construction slice.
+#[derive(Debug)]
+pub struct RangeTree {
+    nodes: Vec<Node>,
+    root: Option<u32>,
+    /// x-coordinates in sorted order, for query → rank conversion.
+    xs: Vec<f64>,
+}
+
+#[derive(Debug)]
+struct Node {
+    /// `u32::MAX` when a leaf.
+    left: u32,
+    right: u32,
+    /// Rank range `[begin, end)` of the subtree in x-sorted order.
+    begin: u32,
+    end: u32,
+    /// Subtree's points sorted by (y, id).
+    ys: Vec<YEntry>,
+    /// `cascade_left[i]` = number of entries in the left child's `ys` that
+    /// sort before `ys[i]`; length `ys.len() + 1` (sentinel = left len).
+    /// Empty for leaves.
+    cascade_left: Vec<u32>,
+    cascade_right: Vec<u32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct YEntry {
+    y: f64,
+    id: u32,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl RangeTree {
+    /// Build over `points`; ids are the slice indices. `O(n log n)`.
+    pub fn build(points: &[Point]) -> Self {
+        let mut order: Vec<u32> = (0..points.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            let (pa, pb) = (points[a as usize], points[b as usize]);
+            pa.x.partial_cmp(&pb.x).unwrap().then(a.cmp(&b))
+        });
+        let xs: Vec<f64> = order.iter().map(|&i| points[i as usize].x).collect();
+        let mut nodes = Vec::with_capacity(2 * points.len());
+        let root = if order.is_empty() {
+            None
+        } else {
+            Some(build_rec(points, &order, 0, &mut nodes))
+        };
+        RangeTree { nodes, root, xs }
+    }
+
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Report the ids of all points in the closed box, appending to `out`.
+    pub fn report(&self, query: &Aabb, out: &mut Vec<u32>) {
+        self.visit(query, &mut |node: &Node, lo: usize, hi: usize| {
+            out.extend(node.ys[lo..hi].iter().map(|e| e.id));
+        });
+    }
+
+    /// Number of points in the closed box, in `O(log n)`.
+    pub fn count(&self, query: &Aabb) -> usize {
+        let mut c = 0usize;
+        self.visit(query, &mut |_node: &Node, lo: usize, hi: usize| c += hi - lo);
+        c
+    }
+
+    /// Core walk: calls `emit(node, lo, hi)` for each canonical node whose
+    /// `ys[lo..hi]` is exactly the node's contribution to the query.
+    fn visit(&self, query: &Aabb, emit: &mut dyn FnMut(&Node, usize, usize)) {
+        let Some(root) = self.root else { return };
+        if query.is_empty() {
+            return;
+        }
+        // x-interval → rank interval [i1, i2).
+        let i1 = self.xs.partition_point(|&x| x < query.min.x) as u32;
+        let i2 = self.xs.partition_point(|&x| x <= query.max.x) as u32;
+        if i1 >= i2 {
+            return;
+        }
+        // One binary search at the root for both y-bounds; cascade below.
+        let root_node = &self.nodes[root as usize];
+        let lo = root_node.ys.partition_point(|e| e.y < query.min.y);
+        let hi = root_node.ys.partition_point(|e| e.y <= query.max.y);
+        if lo >= hi {
+            return;
+        }
+        self.rec(root, i1, i2, lo, hi, emit);
+    }
+
+    fn rec(
+        &self,
+        v: u32,
+        i1: u32,
+        i2: u32,
+        lo: usize,
+        hi: usize,
+        emit: &mut dyn FnMut(&Node, usize, usize),
+    ) {
+        if lo >= hi {
+            return; // nothing in the y-range survives in this subtree
+        }
+        let node = &self.nodes[v as usize];
+        if i2 <= node.begin || node.end <= i1 {
+            return;
+        }
+        if i1 <= node.begin && node.end <= i2 {
+            emit(node, lo, hi);
+            return;
+        }
+        debug_assert!(node.left != NONE, "leaf is always fully in or out");
+        self.rec(node.left, i1, i2, node.cascade_left[lo] as usize, node.cascade_left[hi] as usize, emit);
+        self.rec(
+            node.right,
+            i1,
+            i2,
+            node.cascade_right[lo] as usize,
+            node.cascade_right[hi] as usize,
+            emit,
+        );
+    }
+}
+
+fn build_rec(points: &[Point], order: &[u32], begin: u32, nodes: &mut Vec<Node>) -> u32 {
+    if order.len() == 1 {
+        let id = order[0];
+        let p = points[id as usize];
+        nodes.push(Node {
+            left: NONE,
+            right: NONE,
+            begin,
+            end: begin + 1,
+            ys: vec![YEntry { y: p.y, id }],
+            cascade_left: Vec::new(),
+            cascade_right: Vec::new(),
+        });
+        return nodes.len() as u32 - 1;
+    }
+    let mid = order.len() / 2;
+    let (left_order, right_order) = order.split_at(mid);
+    let left = build_rec(points, left_order, begin, nodes);
+    let right = build_rec(points, right_order, begin + mid as u32, nodes);
+
+    // Merge children's y-arrays and record cascade pointers.
+    let total = order.len();
+    let mut ys = Vec::with_capacity(total);
+    let mut cascade_left = Vec::with_capacity(total + 1);
+    let mut cascade_right = Vec::with_capacity(total + 1);
+    let (mut i, mut j) = (0usize, 0usize);
+    {
+        let (lys, rys) = {
+            // Split borrow: left and right are distinct, earlier indices.
+            let (a, b) = nodes.split_at(right as usize);
+            (&a[left as usize].ys, &b[0].ys)
+        };
+        while i < lys.len() || j < rys.len() {
+            cascade_left.push(i as u32);
+            cascade_right.push(j as u32);
+            let take_left = j >= rys.len()
+                || (i < lys.len() && (lys[i].y, lys[i].id) <= (rys[j].y, rys[j].id));
+            if take_left {
+                ys.push(lys[i]);
+                i += 1;
+            } else {
+                ys.push(rys[j]);
+                j += 1;
+            }
+        }
+        cascade_left.push(lys.len() as u32);
+        cascade_right.push(rys.len() as u32);
+    }
+
+    nodes.push(Node { left, right, begin, end: begin + total as u32, ys, cascade_left, cascade_right });
+    nodes.len() as u32 - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+
+    fn brute(points: &[Point], q: &Aabb) -> Vec<u32> {
+        let mut v: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.contains(**p))
+            .map(|(i, _)| i as u32)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn q(x1: f64, y1: f64, x2: f64, y2: f64) -> Aabb {
+        Aabb::new(Point::new(x1, y1), Point::new(x2, y2))
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = RangeTree::build(&[]);
+        let mut out = Vec::new();
+        t.report(&q(-1.0, -1.0, 1.0, 1.0), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(t.count(&q(-1.0, -1.0, 1.0, 1.0)), 0);
+    }
+
+    #[test]
+    fn single_point() {
+        let t = RangeTree::build(&[Point::new(0.5, 0.5)]);
+        assert_eq!(t.count(&q(0.0, 0.0, 1.0, 1.0)), 1);
+        assert_eq!(t.count(&q(0.6, 0.0, 1.0, 1.0)), 0);
+        assert_eq!(t.count(&q(0.5, 0.5, 0.5, 0.5)), 1); // boundary closed
+    }
+
+    #[test]
+    fn grid_counts() {
+        let pts: Vec<Point> =
+            (0..10).flat_map(|i| (0..10).map(move |j| Point::new(i as f64, j as f64))).collect();
+        let t = RangeTree::build(&pts);
+        assert_eq!(t.count(&q(0.0, 0.0, 9.0, 9.0)), 100);
+        assert_eq!(t.count(&q(2.0, 3.0, 4.0, 5.0)), 9);
+        assert_eq!(t.count(&q(2.5, 3.5, 3.5, 4.5)), 1);
+        assert_eq!(t.count(&q(20.0, 20.0, 30.0, 30.0)), 0);
+    }
+
+    #[test]
+    fn duplicate_coordinates() {
+        let pts = vec![
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 2.0),
+            Point::new(2.0, 1.0),
+        ];
+        let t = RangeTree::build(&pts);
+        assert_eq!(t.count(&q(1.0, 1.0, 1.0, 1.0)), 2);
+        // x2 exactly at a shared coordinate must not drop points
+        assert_eq!(t.count(&q(0.0, 0.0, 1.0, 5.0)), 3);
+        let mut out = Vec::new();
+        t.report(&q(0.0, 0.0, 3.0, 3.0), &mut out);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn all_points_identical() {
+        let pts = vec![Point::new(2.0, 2.0); 17];
+        let t = RangeTree::build(&pts);
+        assert_eq!(t.count(&q(2.0, 2.0, 2.0, 2.0)), 17);
+        assert_eq!(t.count(&q(2.1, 2.0, 3.0, 3.0)), 0);
+    }
+
+    #[test]
+    fn report_matches_brute_on_random() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let pts: Vec<Point> = (0..500)
+            .map(|_| Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+            .collect();
+        let t = RangeTree::build(&pts);
+        for _ in 0..200 {
+            let x1 = rng.random_range(0.0..1.0);
+            let y1 = rng.random_range(0.0..1.0);
+            let bb = q(x1, y1, x1 + rng.random_range(0.0..0.5), y1 + rng.random_range(0.0..0.5));
+            let mut out = Vec::new();
+            t.report(&bb, &mut out);
+            out.sort_unstable();
+            assert_eq!(out, brute(&pts, &bb));
+            assert_eq!(t.count(&bb), out.len());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn equivalence_with_brute_force(seed in 0u64..300, n in 1usize..120) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Cluster coordinates on a coarse grid to exercise ties.
+            let pts: Vec<Point> = (0..n)
+                .map(|_| Point::new(
+                    (rng.random_range(0..20) as f64) / 4.0,
+                    (rng.random_range(0..20) as f64) / 4.0,
+                ))
+                .collect();
+            let t = RangeTree::build(&pts);
+            for _ in 0..20 {
+                let x1 = rng.random_range(-1.0..5.0);
+                let y1 = rng.random_range(-1.0..5.0);
+                let bb = q(x1, y1, x1 + rng.random_range(0.0..4.0), y1 + rng.random_range(0.0..4.0));
+                let mut out = Vec::new();
+                t.report(&bb, &mut out);
+                out.sort_unstable();
+                prop_assert_eq!(&out, &brute(&pts, &bb));
+                prop_assert_eq!(t.count(&bb), out.len());
+            }
+        }
+    }
+}

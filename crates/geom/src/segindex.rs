@@ -1,0 +1,179 @@
+//! Nearest-feature index over a set of segments.
+//!
+//! The paper computes `h_avg` against the query shape via the Voronoi
+//! diagram of Q (§2.5). We obtain the same exact nearest-feature distances
+//! from a static AABB tree over Q's edges with branch-and-bound descent —
+//! see DESIGN.md (substitutions) for why this is equivalent for our
+//! purposes. Distances are exact; only the search order differs.
+
+use crate::bbox::Aabb;
+use crate::point::Point;
+use crate::polyline::Polyline;
+use crate::segment::Segment;
+
+/// Static AABB tree over segments supporting exact nearest-segment queries.
+#[derive(Debug)]
+pub struct SegmentIndex {
+    nodes: Vec<SNode>,
+    segs: Vec<Segment>,
+    root: Option<u32>,
+}
+
+#[derive(Debug)]
+struct SNode {
+    bbox: Aabb,
+    /// Leaf: index into `segs`; internal: `u32::MAX`.
+    seg: u32,
+    left: u32,
+    right: u32,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl SegmentIndex {
+    pub fn build(segments: &[Segment]) -> Self {
+        let segs = segments.to_vec();
+        let mut ids: Vec<u32> = (0..segs.len() as u32).collect();
+        let mut nodes = Vec::with_capacity(2 * segs.len());
+        let root =
+            if ids.is_empty() { None } else { Some(build_rec(&segs, &mut ids, &mut nodes)) };
+        SegmentIndex { nodes, segs, root }
+    }
+
+    /// Index over the edges of a polyline — the `h_avg` evaluation structure
+    /// for a query shape.
+    pub fn of_polyline(pl: &Polyline) -> Self {
+        Self::build(&pl.edges().collect::<Vec<_>>())
+    }
+
+    pub fn len(&self) -> usize {
+        self.segs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Distance from `q` to the nearest segment, with the segment's index.
+    /// `None` when the index is empty.
+    pub fn nearest(&self, q: Point) -> Option<(u32, f64)> {
+        let root = self.root?;
+        let mut best = (NONE, f64::INFINITY); // squared distance
+        self.rec(root, q, &mut best);
+        Some((best.0, best.1.sqrt()))
+    }
+
+    /// Just the distance (the common call in `h_avg` inner loops).
+    pub fn dist(&self, q: Point) -> f64 {
+        self.nearest(q).map_or(f64::INFINITY, |(_, d)| d)
+    }
+
+    fn rec(&self, v: u32, q: Point, best: &mut (u32, f64)) {
+        let node = &self.nodes[v as usize];
+        if node.seg != NONE {
+            let d2 = self.segs[node.seg as usize].dist_sq_to_point(q);
+            if d2 < best.1 {
+                *best = (node.seg, d2);
+            }
+            return;
+        }
+        // Visit the closer child first for tighter pruning.
+        let l = node.left;
+        let r = node.right;
+        let dl = self.nodes[l as usize].bbox.dist_sq(q);
+        let dr = self.nodes[r as usize].bbox.dist_sq(q);
+        let (first, d_first, second, d_second) =
+            if dl <= dr { (l, dl, r, dr) } else { (r, dr, l, dl) };
+        if d_first < best.1 {
+            self.rec(first, q, best);
+        }
+        if d_second < best.1 {
+            self.rec(second, q, best);
+        }
+    }
+}
+
+fn build_rec(segs: &[Segment], ids: &mut [u32], nodes: &mut Vec<SNode>) -> u32 {
+    if ids.len() == 1 {
+        let seg = ids[0];
+        nodes.push(SNode { bbox: segs[seg as usize].bbox(), seg, left: NONE, right: NONE });
+        return nodes.len() as u32 - 1;
+    }
+    // Split on the longer axis of the centroid spread.
+    let bbox = ids.iter().fold(Aabb::EMPTY, |b, &i| b.union(&segs[i as usize].bbox()));
+    let split_x = bbox.width() >= bbox.height();
+    let mid = ids.len() / 2;
+    ids.select_nth_unstable_by(mid, |&a, &b| {
+        let (ca, cb) = (segs[a as usize].midpoint(), segs[b as usize].midpoint());
+        if split_x {
+            ca.x.partial_cmp(&cb.x).unwrap()
+        } else {
+            ca.y.partial_cmp(&cb.y).unwrap()
+        }
+    });
+    let (lo, hi) = ids.split_at_mut(mid);
+    let left = build_rec(segs, lo, nodes);
+    let right = build_rec(segs, hi, nodes);
+    nodes.push(SNode { bbox, seg: NONE, left, right });
+    nodes.len() as u32 - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn empty_index() {
+        let idx = SegmentIndex::build(&[]);
+        assert!(idx.nearest(Point::ORIGIN).is_none());
+        assert_eq!(idx.dist(Point::ORIGIN), f64::INFINITY);
+    }
+
+    #[test]
+    fn single_segment() {
+        let idx = SegmentIndex::build(&[Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 0.0))]);
+        let (id, d) = idx.nearest(Point::new(1.0, 3.0)).unwrap();
+        assert_eq!(id, 0);
+        assert!((d - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polyline_distance_agrees() {
+        let sq = Polyline::closed(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ])
+        .unwrap();
+        let idx = SegmentIndex::of_polyline(&sq);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let q = Point::new(rng.random_range(-2.0..3.0), rng.random_range(-2.0..3.0));
+            assert!((idx.dist(q) - sq.dist_to_point(q)).abs() < 1e-12);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn nearest_matches_brute_force(seed in 0u64..300) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.random_range(1usize..60);
+            let segs: Vec<Segment> = (0..n)
+                .map(|_| Segment::new(
+                    Point::new(rng.random_range(-5.0..5.0), rng.random_range(-5.0..5.0)),
+                    Point::new(rng.random_range(-5.0..5.0), rng.random_range(-5.0..5.0)),
+                ))
+                .collect();
+            let idx = SegmentIndex::build(&segs);
+            for _ in 0..20 {
+                let q = Point::new(rng.random_range(-8.0..8.0), rng.random_range(-8.0..8.0));
+                let brute = segs.iter().map(|s| s.dist_to_point(q)).fold(f64::INFINITY, f64::min);
+                let (_, d) = idx.nearest(q).unwrap();
+                prop_assert!((d - brute).abs() < 1e-9, "tree {} vs brute {}", d, brute);
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Ear-clipping triangulation of simple polygons.
+//!
+//! §2.5 decomposes each envelope-difference trapezoid into triangles before
+//! handing them to the simplex range-search structure; this module provides
+//! the general decomposition (the envelope module uses it for its quads).
+
+use crate::point::{cross3, Point};
+use crate::polyline::Polyline;
+use crate::triangle::Triangle;
+use crate::EPS;
+
+/// Triangulate a simple polygon (given as a closed [`Polyline`]) into
+/// `n − 2` triangles by ear clipping, `O(n²)`.
+///
+/// Returns `None` if the polygon is degenerate (near-zero area) or no ear
+/// can be found (non-simple input).
+pub fn triangulate(poly: &Polyline) -> Option<Vec<Triangle>> {
+    assert!(poly.is_closed(), "triangulate needs a closed polygon");
+    let mut pts: Vec<Point> = poly.points().to_vec();
+    if poly.signed_area() < 0.0 {
+        pts.reverse(); // work in CCW order
+    }
+    if poly.area() <= EPS {
+        return None;
+    }
+    triangulate_ccw(pts)
+}
+
+/// Triangulate a CCW-ordered simple polygon given as raw points.
+pub fn triangulate_ccw(mut pts: Vec<Point>) -> Option<Vec<Triangle>> {
+    let mut tris = Vec::with_capacity(pts.len().saturating_sub(2));
+    while pts.len() > 3 {
+        let n = pts.len();
+        let mut clipped = false;
+        for i in 0..n {
+            let prev = pts[(i + n - 1) % n];
+            let cur = pts[i];
+            let next = pts[(i + 1) % n];
+            // Convex corner?
+            if cross3(prev, cur, next) <= EPS {
+                continue;
+            }
+            let ear = Triangle::new(prev, cur, next);
+            // No other vertex strictly inside the ear.
+            let blocked = (0..n)
+                .filter(|&j| j != i && j != (i + 1) % n && j != (i + n - 1) % n)
+                .any(|j| ear_strictly_contains(&ear, pts[j]));
+            if blocked {
+                continue;
+            }
+            tris.push(ear);
+            pts.remove(i);
+            clipped = true;
+            break;
+        }
+        if !clipped {
+            return None; // non-simple or numerically stuck
+        }
+    }
+    if pts.len() == 3 {
+        let t = Triangle::new(pts[0], pts[1], pts[2]);
+        if t.area() > EPS {
+            tris.push(t);
+        }
+    }
+    Some(tris)
+}
+
+fn ear_strictly_contains(t: &Triangle, p: Point) -> bool {
+    // Strict interior test: all three cross products positive for CCW ear.
+    let d1 = cross3(t.a, t.b, p);
+    let d2 = cross3(t.b, t.c, p);
+    let d3 = cross3(t.c, t.a, p);
+    d1 > EPS && d2 > EPS && d3 > EPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn total_area(tris: &[Triangle]) -> f64 {
+        tris.iter().map(Triangle::area).sum()
+    }
+
+    #[test]
+    fn square_two_triangles() {
+        let sq = Polyline::closed(vec![p(0.0, 0.0), p(2.0, 0.0), p(2.0, 2.0), p(0.0, 2.0)]).unwrap();
+        let tris = triangulate(&sq).unwrap();
+        assert_eq!(tris.len(), 2);
+        assert!((total_area(&tris) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cw_input_handled() {
+        let sq = Polyline::closed(vec![p(0.0, 0.0), p(0.0, 2.0), p(2.0, 2.0), p(2.0, 0.0)]).unwrap();
+        assert!(sq.signed_area() < 0.0);
+        let tris = triangulate(&sq).unwrap();
+        assert!((total_area(&tris) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concave_polygon() {
+        let l = Polyline::closed(vec![
+            p(0.0, 0.0),
+            p(3.0, 0.0),
+            p(3.0, 1.0),
+            p(1.0, 1.0),
+            p(1.0, 3.0),
+            p(0.0, 3.0),
+        ])
+        .unwrap();
+        let tris = triangulate(&l).unwrap();
+        assert_eq!(tris.len(), 4);
+        assert!((total_area(&tris) - l.area()).abs() < 1e-9);
+        // coverage: interior points fall in exactly one triangle
+        for q in [p(0.5, 0.5), p(2.5, 0.5), p(0.5, 2.5)] {
+            let hits = tris.iter().filter(|t| t.contains(q)).count();
+            assert!(hits >= 1, "{q} not covered");
+        }
+        // exterior (the notch) in none
+        assert!(tris.iter().all(|t| !t.contains(p(2.0, 2.0))));
+    }
+
+    proptest! {
+        #[test]
+        fn star_polygons_triangulate(n in 3usize..25, spike in 0.2..0.95f64) {
+            // star with alternating radii — concave, simple
+            let pts: Vec<Point> = (0..2 * n)
+                .map(|i| {
+                    let r = if i % 2 == 0 { 1.0 } else { spike };
+                    let t = std::f64::consts::PI * i as f64 / n as f64;
+                    p(r * t.cos(), r * t.sin())
+                })
+                .collect();
+            let poly = Polyline::closed(pts).unwrap();
+            let tris = triangulate(&poly).unwrap();
+            prop_assert_eq!(tris.len(), 2 * n - 2);
+            prop_assert!((total_area(&tris) - poly.area()).abs() < 1e-7);
+        }
+    }
+}

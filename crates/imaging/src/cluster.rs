@@ -1,0 +1,268 @@
+//! Polyline clusters and decomposition (§6).
+//!
+//! After boundary extraction, GeoSIR detects *clusters* of polylines that
+//! share edges or vertices (Figure 11's A–G), then decomposes each cluster
+//! into non-self-intersecting polylines — the shapes of §2.4. We provide
+//! both steps: union-find clustering on shared endpoints/vertices, and a
+//! splitting decomposition for self-intersecting chains.
+
+use geosir_geom::segment::SegIntersection;
+use geosir_geom::{Point, Polyline};
+
+/// Union-find over `n` elements.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), rank: vec![0; n] }
+    }
+
+    pub fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Group polylines into clusters: two polylines belong to the same cluster
+/// when they share a vertex (within `tol`) or their edges intersect.
+pub fn detect_clusters(polylines: &[Polyline], tol: f64) -> Vec<Vec<usize>> {
+    let n = polylines.len();
+    let mut uf = UnionFind::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if touches(&polylines[i], &polylines[j], tol) {
+                uf.union(i, j);
+            }
+        }
+    }
+    let mut groups: std::collections::HashMap<usize, Vec<usize>> = Default::default();
+    for i in 0..n {
+        groups.entry(uf.find(i)).or_default().push(i);
+    }
+    let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+    out.sort_by_key(|g| g[0]);
+    out
+}
+
+fn touches(a: &Polyline, b: &Polyline, tol: f64) -> bool {
+    if !a.bbox().inflated(tol).intersects(&b.bbox()) {
+        return false;
+    }
+    // shared vertices
+    for p in a.points() {
+        if b.dist_to_point(*p) <= tol {
+            return true;
+        }
+    }
+    for p in b.points() {
+        if a.dist_to_point(*p) <= tol {
+            return true;
+        }
+    }
+    false
+}
+
+/// Decompose a possibly self-intersecting chain of points (open polyline)
+/// into non-self-intersecting polylines.
+///
+/// All pairwise proper intersections among non-adjacent edges are found
+/// (`O(e²)`), every edge is split at its intersection points, and the
+/// resulting chain is cut greedily: a new piece starts whenever appending
+/// the next sub-segment would make the current piece self-intersecting.
+/// Every output satisfies [`Polyline::is_simple`], and the union of the
+/// outputs covers the input chain.
+pub fn decompose_self_intersecting(points: &[Point]) -> Vec<Polyline> {
+    if points.len() < 2 {
+        return Vec::new();
+    }
+    // 1. split every edge at its intersections with non-adjacent edges
+    let edges: Vec<(Point, Point)> =
+        points.windows(2).map(|w| (w[0], w[1])).collect();
+    let mut refined: Vec<Point> = vec![points[0]];
+    for (i, &(a, b)) in edges.iter().enumerate() {
+        let seg = geosir_geom::Segment::new(a, b);
+        let mut cuts: Vec<f64> = Vec::new();
+        for (j, &(c, d)) in edges.iter().enumerate() {
+            if j == i || j + 1 == i || i + 1 == j {
+                continue;
+            }
+            let other = geosir_geom::Segment::new(c, d);
+            match seg.intersect(&other) {
+                SegIntersection::Point(q) => {
+                    let t = seg.project_clamped(q);
+                    if t > 1e-9 && t < 1.0 - 1e-9 {
+                        cuts.push(t);
+                    }
+                }
+                SegIntersection::Overlap(o) => {
+                    for q in [o.a, o.b] {
+                        let t = seg.project_clamped(q);
+                        if t > 1e-9 && t < 1.0 - 1e-9 {
+                            cuts.push(t);
+                        }
+                    }
+                }
+                SegIntersection::None => {}
+            }
+        }
+        cuts.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        cuts.dedup_by(|x, y| (*x - *y).abs() < 1e-9);
+        for t in cuts {
+            refined.push(seg.at(t));
+        }
+        refined.push(b);
+    }
+    refined.dedup_by(|a, b| a.almost_eq(*b));
+
+    // 2. greedy cutting into simple pieces
+    let mut out = Vec::new();
+    let mut cur: Vec<Point> = Vec::new();
+    for &p in &refined {
+        cur.push(p);
+        if cur.len() >= 2 {
+            if let Ok(pl) = Polyline::open(cur.clone()) {
+                if !pl.is_simple() {
+                    // back off: close the previous piece, start fresh from
+                    // the junction point
+                    let junction = cur[cur.len() - 2];
+                    cur.pop();
+                    if cur.len() >= 2 {
+                        if let Ok(done) = Polyline::open(cur.clone()) {
+                            out.push(done);
+                        }
+                    }
+                    cur = vec![junction, p];
+                }
+            }
+        }
+    }
+    if cur.len() >= 2 {
+        if let Ok(done) = Polyline::open(cur) {
+            out.push(done);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(1, 0));
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(0, 3));
+        uf.union(1, 3);
+        assert!(uf.same(0, 4));
+    }
+
+    #[test]
+    fn clusters_by_shared_vertex() {
+        let a = Polyline::open(vec![p(0.0, 0.0), p(1.0, 0.0)]).unwrap();
+        let b = Polyline::open(vec![p(1.0, 0.0), p(1.0, 1.0)]).unwrap(); // shares (1,0)
+        let c = Polyline::open(vec![p(5.0, 5.0), p(6.0, 5.0)]).unwrap(); // far away
+        let clusters = detect_clusters(&[a, b, c], 1e-6);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0], vec![0, 1]);
+        assert_eq!(clusters[1], vec![2]);
+    }
+
+    #[test]
+    fn clusters_transitive() {
+        // chain a–b–c touches pairwise, forming one cluster
+        let a = Polyline::open(vec![p(0.0, 0.0), p(1.0, 0.0)]).unwrap();
+        let b = Polyline::open(vec![p(1.0, 0.0), p(2.0, 0.0)]).unwrap();
+        let c = Polyline::open(vec![p(2.0, 0.0), p(3.0, 0.0)]).unwrap();
+        let clusters = detect_clusters(&[a, c, b], 1e-6);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 3);
+    }
+
+    #[test]
+    fn simple_chain_decomposes_to_itself() {
+        let pts = vec![p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.5)];
+        let out = decompose_self_intersecting(&pts);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].num_vertices(), 4);
+        assert!(out[0].is_simple());
+    }
+
+    #[test]
+    fn figure_eight_splits() {
+        // a bowtie path: (0,0) → (2,2) → (2,0) → (0,2); edges 0 and 2 cross
+        let pts = vec![p(0.0, 0.0), p(2.0, 2.0), p(2.0, 0.0), p(0.0, 2.0)];
+        let out = decompose_self_intersecting(&pts);
+        assert!(out.len() >= 2, "bowtie must split, got {}", out.len());
+        for piece in &out {
+            assert!(piece.is_simple(), "piece not simple: {piece:?}");
+        }
+        // total length preserved
+        let orig: f64 = Polyline::open(pts).unwrap().perimeter();
+        let total: f64 = out.iter().map(|p| p.perimeter()).sum();
+        assert!((orig - total).abs() < 1e-9, "{orig} vs {total}");
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        assert!(decompose_self_intersecting(&[]).is_empty());
+        assert!(decompose_self_intersecting(&[p(0.0, 0.0)]).is_empty());
+    }
+
+    proptest! {
+        /// Every decomposition piece is simple and the total arclength is
+        /// preserved.
+        #[test]
+        fn decomposition_invariants(seed in 0u64..200) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.random_range(3usize..12);
+            let pts: Vec<Point> = (0..n)
+                .map(|_| p(rng.random_range(0.0..10.0), rng.random_range(0.0..10.0)))
+                .collect();
+            let Ok(orig) = Polyline::open(pts.clone()) else { return Ok(()); };
+            let out = decompose_self_intersecting(&pts);
+            let total: f64 = out.iter().map(|q| q.perimeter()).sum();
+            prop_assert!((total - orig.perimeter()).abs() < 1e-6,
+                "length {} vs {}", total, orig.perimeter());
+            for piece in &out {
+                prop_assert!(piece.is_simple());
+            }
+        }
+    }
+}

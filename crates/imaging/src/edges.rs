@@ -1,0 +1,107 @@
+//! Sobel edge detection.
+//!
+//! GeoSIR's boundary extraction begins with an edge image; on our synthetic
+//! rasters the Sobel gradient magnitude thresholded at `t` yields the
+//! region boundaries.
+
+use crate::raster::Raster;
+
+/// Gradient magnitudes (clamped to u8) of the 3×3 Sobel operator.
+pub fn sobel(img: &Raster) -> Raster {
+    let (w, h) = (img.width(), img.height());
+    let mut out = Raster::new(w, h);
+    for y in 0..h as isize {
+        for x in 0..w as isize {
+            let px = |dx: isize, dy: isize| img.get_clamped(x + dx, y + dy) as i32;
+            let gx = -px(-1, -1) - 2 * px(-1, 0) - px(-1, 1)
+                + px(1, -1)
+                + 2 * px(1, 0)
+                + px(1, 1);
+            let gy = -px(-1, -1) - 2 * px(0, -1) - px(1, -1)
+                + px(-1, 1)
+                + 2 * px(0, 1)
+                + px(1, 1);
+            let mag = ((gx * gx + gy * gy) as f64).sqrt().min(255.0) as u8;
+            out.set(x as usize, y as usize, mag);
+        }
+    }
+    out
+}
+
+/// Binary edge map: 255 where the Sobel magnitude exceeds `threshold`.
+pub fn edge_map(img: &Raster, threshold: u8) -> Raster {
+    let grad = sobel(img);
+    let (w, h) = (grad.width(), grad.height());
+    let mut out = Raster::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            if grad.get(x, y) > threshold {
+                out.set(x, y, 255);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geosir_geom::{Point, Polyline};
+
+    fn filled_square(size: usize, half: f64) -> Raster {
+        let c = size as f64 / 2.0;
+        let sq = Polyline::closed(vec![
+            Point::new(c - half, c - half),
+            Point::new(c + half, c - half),
+            Point::new(c + half, c + half),
+            Point::new(c - half, c + half),
+        ])
+        .unwrap();
+        let mut r = Raster::new(size, size);
+        r.fill_polygon(&sq, 200);
+        r
+    }
+
+    #[test]
+    fn flat_regions_have_zero_gradient() {
+        let r = filled_square(64, 20.0);
+        let g = sobel(&r);
+        assert_eq!(g.get(32, 32), 0, "interior");
+        assert_eq!(g.get(2, 2), 0, "background");
+    }
+
+    #[test]
+    fn boundaries_light_up() {
+        let r = filled_square(64, 20.0);
+        let g = sobel(&r);
+        // the square spans 12..52; the boundary column must have a strong
+        // response somewhere near x = 12 at mid-height
+        let max_near_edge = (10..15).map(|x| g.get(x, 32)).max().unwrap();
+        assert!(max_near_edge > 100, "edge response {max_near_edge}");
+    }
+
+    #[test]
+    fn edge_map_is_thin_ring() {
+        let r = filled_square(64, 20.0);
+        let e = edge_map(&r, 100);
+        let lit = e.count_value(255);
+        // perimeter ≈ 4·40 = 160 px; the Sobel support widens it ~2–3×
+        assert!(lit > 100 && lit < 700, "lit {lit}");
+        assert_eq!(e.get(32, 32), 0, "interior must not be an edge");
+    }
+
+    #[test]
+    fn gradient_direction_symmetry() {
+        // vertical step edge: gx strong, gy zero at mid-edge
+        let mut r = Raster::new(16, 16);
+        for y in 0..16 {
+            for x in 8..16 {
+                r.set(x, y, 100);
+            }
+        }
+        let g = sobel(&r);
+        assert!(g.get(7, 8) > 0 || g.get(8, 8) > 0);
+        // response constant along the edge (away from image border)
+        assert_eq!(g.get(8, 5), g.get(8, 10));
+    }
+}

@@ -1,0 +1,177 @@
+//! Binary morphology — the "several heuristics may be used to minimize
+//! noise" step of §6. Opening removes speckle before boundary tracing;
+//! closing bridges hairline gaps that would otherwise split one object
+//! boundary into several polyline fragments.
+
+use crate::raster::Raster;
+
+/// Structuring element: a square of `2·radius + 1` pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SquareKernel {
+    pub radius: usize,
+}
+
+/// Dilate the nonzero region: a pixel becomes 255 when any pixel within
+/// the kernel is nonzero.
+pub fn dilate(img: &Raster, k: SquareKernel) -> Raster {
+    transform(img, k, |any_set| any_set)
+}
+
+/// Erode the nonzero region: a pixel stays set only when every pixel
+/// within the kernel is nonzero.
+pub fn erode(img: &Raster, k: SquareKernel) -> Raster {
+    let (w, h) = (img.width(), img.height());
+    let r = k.radius as isize;
+    let mut out = Raster::new(w, h);
+    for y in 0..h as isize {
+        for x in 0..w as isize {
+            let mut all = true;
+            'scan: for dy in -r..=r {
+                for dx in -r..=r {
+                    if img.get_clamped(x + dx, y + dy) == 0 {
+                        all = false;
+                        break 'scan;
+                    }
+                }
+            }
+            if all {
+                out.set(x as usize, y as usize, 255);
+            }
+        }
+    }
+    out
+}
+
+fn transform(img: &Raster, k: SquareKernel, keep: impl Fn(bool) -> bool) -> Raster {
+    let (w, h) = (img.width(), img.height());
+    let r = k.radius as isize;
+    let mut out = Raster::new(w, h);
+    for y in 0..h as isize {
+        for x in 0..w as isize {
+            let mut any = false;
+            'scan: for dy in -r..=r {
+                for dx in -r..=r {
+                    if img.get_clamped(x + dx, y + dy) != 0 {
+                        any = true;
+                        break 'scan;
+                    }
+                }
+            }
+            if keep(any) {
+                out.set(x as usize, y as usize, 255);
+            }
+        }
+    }
+    out
+}
+
+/// Opening = erode ∘ dilate: removes features smaller than the kernel
+/// (speckle noise) while preserving larger regions' extents.
+pub fn open(img: &Raster, k: SquareKernel) -> Raster {
+    dilate(&erode(img, k), k)
+}
+
+/// Closing = dilate ∘ erode: fills holes and gaps smaller than the kernel.
+pub fn close(img: &Raster, k: SquareKernel) -> Raster {
+    erode(&dilate(img, k), k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geosir_geom::{Point, Polyline};
+
+    fn k(r: usize) -> SquareKernel {
+        SquareKernel { radius: r }
+    }
+
+    fn blob(size: usize, half: f64) -> Raster {
+        let c = size as f64 / 2.0;
+        let sq = Polyline::closed(vec![
+            Point::new(c - half, c - half),
+            Point::new(c + half, c - half),
+            Point::new(c + half, c + half),
+            Point::new(c - half, c + half),
+        ])
+        .unwrap();
+        let mut r = Raster::new(size, size);
+        r.fill_polygon(&sq, 255);
+        r
+    }
+
+    #[test]
+    fn dilate_grows_erode_shrinks() {
+        let b = blob(40, 8.0);
+        let before = b.count_value(255);
+        let grown = dilate(&b, k(1));
+        let shrunk = erode(&b, k(1));
+        assert!(grown.count_value(255) > before);
+        assert!(shrunk.count_value(255) < before);
+    }
+
+    #[test]
+    fn erode_then_dilate_roughly_restores_large_regions() {
+        let b = blob(40, 10.0);
+        let opened = open(&b, k(1));
+        let diff = (opened.count_value(255) as i64 - b.count_value(255) as i64).abs();
+        assert!(diff <= 8, "opening changed a large blob by {diff} px");
+    }
+
+    #[test]
+    fn opening_kills_speckle() {
+        let mut b = blob(40, 8.0);
+        for (x, y) in [(2usize, 2usize), (35, 3), (3, 36), (37, 37)] {
+            b.set(x, y, 255); // isolated noise pixels
+        }
+        let opened = open(&b, k(1));
+        for (x, y) in [(2usize, 2usize), (35, 3), (3, 36), (37, 37)] {
+            assert_eq!(opened.get(x, y), 0, "speckle at ({x},{y}) survived opening");
+        }
+        assert!(opened.get(20, 20) > 0, "the blob itself must survive");
+    }
+
+    #[test]
+    fn closing_fills_small_holes() {
+        let mut b = blob(40, 10.0);
+        b.set(20, 20, 0); // pinhole
+        let closed = close(&b, k(1));
+        assert!(closed.get(20, 20) > 0, "pinhole survived closing");
+    }
+
+    #[test]
+    fn closing_bridges_hairline_gap() {
+        // two rectangles separated by a 1-px slit
+        let mut r = Raster::new(40, 20);
+        for y in 5..15 {
+            for x in 5..19 {
+                r.set(x, y, 255);
+            }
+            for x in 20..35 {
+                r.set(x, y, 255);
+            }
+        }
+        let closed = close(&r, k(1));
+        assert!(closed.get(19, 10) > 0, "slit must be bridged");
+    }
+
+    #[test]
+    fn idempotence_of_opening() {
+        let b = blob(40, 9.0);
+        let once = open(&b, k(1));
+        let twice = open(&once, k(1));
+        assert_eq!(once, twice, "opening must be idempotent");
+    }
+
+    #[test]
+    fn noisy_extraction_cleans_up() {
+        // end-to-end: speckled raster → opening → tracing finds one shape
+        use crate::pipeline::{extract_shapes, ExtractConfig};
+        let mut b = blob(64, 14.0);
+        for i in 0..15 {
+            b.set((i * 7 + 3) % 60 + 2, (i * 11 + 5) % 60 + 2, 255);
+        }
+        let cleaned = open(&b, k(1));
+        let shapes = extract_shapes(&cleaned, &ExtractConfig { tolerance: 1.5, min_pixels: 30 });
+        assert_eq!(shapes.len(), 1, "opening must leave exactly the blob");
+    }
+}

@@ -1,0 +1,140 @@
+//! The end-to-end add-an-image path of §6: render (stand-in for a real
+//! photo) → boundary extraction → segment approximation → shapes.
+
+use geosir_geom::Polyline;
+
+use crate::approx::{chain_to_points, simplify_closed};
+use crate::raster::Raster;
+use crate::trace::trace_boundaries;
+
+/// Extraction parameters.
+#[derive(Debug, Clone)]
+pub struct ExtractConfig {
+    /// Douglas–Peucker tolerance in pixels.
+    pub tolerance: f64,
+    /// Minimum region size in pixels (noise rejection).
+    pub min_pixels: usize,
+}
+
+impl Default for ExtractConfig {
+    fn default() -> Self {
+        ExtractConfig { tolerance: 1.5, min_pixels: 30 }
+    }
+}
+
+/// Render a scene of shapes into a raster, each with a distinct gray value
+/// (painter's order — later shapes occlude earlier ones, as in a real
+/// image).
+pub fn render_scene(shapes: &[Polyline], width: usize, height: usize) -> Raster {
+    let mut img = Raster::new(width, height);
+    for (i, s) in shapes.iter().enumerate() {
+        let value = 40 + ((i * 37) % 200) as u8; // distinct, nonzero
+        img.fill_polygon(s, value);
+    }
+    img
+}
+
+/// Extract object-boundary shapes from a raster: per-gray-value connected
+/// components, Moore boundary tracing, Douglas–Peucker simplification.
+/// Returns closed, simple polygons.
+pub fn extract_shapes(img: &Raster, cfg: &ExtractConfig) -> Vec<Polyline> {
+    trace_boundaries(img, cfg.min_pixels)
+        .iter()
+        .filter_map(|c| simplify_closed(&chain_to_points(&c.pixels), cfg.tolerance))
+        .filter(|p| p.is_simple())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geosir_core::normalize::normalize_about_diameter;
+    use geosir_core::similarity::{h_avg_discrete, PreparedShape};
+    use geosir_geom::Point;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn square_survives_the_pipeline() {
+        let sq = Polyline::closed(vec![p(20.0, 20.0), p(80.0, 20.0), p(80.0, 60.0), p(20.0, 60.0)])
+            .unwrap();
+        let img = render_scene(std::slice::from_ref(&sq), 100, 100);
+        let shapes = extract_shapes(&img, &ExtractConfig::default());
+        assert_eq!(shapes.len(), 1);
+        let got = &shapes[0];
+        assert!(got.num_vertices() <= 8, "over-segmented: {} vertices", got.num_vertices());
+        // extracted shape is geometrically close to the ground truth:
+        // compare in normalized space, where the measure is scale-free
+        let (gt, _) = normalize_about_diameter(&sq).unwrap();
+        let (ex, _) = normalize_about_diameter(got).unwrap();
+        let d = h_avg_discrete(&ex.shape, &PreparedShape::new(gt.shape.clone()));
+        assert!(d < 0.05, "extraction drifted: h_avg = {d}");
+    }
+
+    #[test]
+    fn multiple_disjoint_shapes_extracted() {
+        let a = Polyline::closed(vec![p(10.0, 10.0), p(40.0, 10.0), p(40.0, 40.0), p(10.0, 40.0)])
+            .unwrap();
+        let b = Polyline::closed(vec![p(60.0, 60.0), p(90.0, 60.0), p(75.0, 90.0)]).unwrap();
+        let img = render_scene(&[a, b], 100, 100);
+        let shapes = extract_shapes(&img, &ExtractConfig::default());
+        assert_eq!(shapes.len(), 2);
+    }
+
+    #[test]
+    fn nested_shapes_both_found() {
+        let outer = Polyline::closed(vec![p(10.0, 10.0), p(90.0, 10.0), p(90.0, 90.0), p(10.0, 90.0)])
+            .unwrap();
+        let inner = Polyline::closed(vec![p(35.0, 35.0), p(65.0, 35.0), p(65.0, 65.0), p(35.0, 65.0)])
+            .unwrap();
+        let img = render_scene(&[outer, inner], 100, 100);
+        let shapes = extract_shapes(&img, &ExtractConfig::default());
+        assert_eq!(shapes.len(), 2);
+        // relation is preserved through the pipeline
+        let rel = geosir_geom::topology::relation(&shapes[0], &shapes[1]);
+        assert!(
+            rel == geosir_geom::topology::Relation::Contains
+                || rel == geosir_geom::topology::Relation::ContainedBy,
+            "nesting lost: {rel:?}"
+        );
+    }
+
+    #[test]
+    fn noise_rejected_by_min_pixels() {
+        let sq = Polyline::closed(vec![p(20.0, 20.0), p(60.0, 20.0), p(60.0, 60.0), p(20.0, 60.0)])
+            .unwrap();
+        let mut img = render_scene(std::slice::from_ref(&sq), 100, 100);
+        for i in 0..5 {
+            img.set(90 + i % 3, 90, 200); // a few noise specks
+        }
+        let shapes = extract_shapes(&img, &ExtractConfig::default());
+        assert_eq!(shapes.len(), 1);
+    }
+
+    #[test]
+    fn synthetic_family_round_trip() {
+        // a generated polygon survives render → extract → match: the
+        // extracted shape is the nearest to its own ground truth
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(6);
+        let proto = crate::synth::random_simple_polygon(&mut rng, 12, 0.3);
+        let posed = crate::synth::place_free(&proto, &mut rng);
+        // scale placement into a 256×256 image
+        let bb = posed.bbox();
+        let shift = posed.map_points(|q| {
+            p(
+                (q.x - bb.min.x) / bb.width().max(1.0) * 200.0 + 20.0,
+                (q.y - bb.min.y) / bb.height().max(1.0) * 200.0 + 20.0,
+            )
+        });
+        let img = render_scene(std::slice::from_ref(&shift), 256, 256);
+        let shapes = extract_shapes(&img, &ExtractConfig::default());
+        assert_eq!(shapes.len(), 1);
+        let (gt, _) = normalize_about_diameter(&shift).unwrap();
+        let (ex, _) = normalize_about_diameter(&shapes[0]).unwrap();
+        let d = h_avg_discrete(&ex.shape, &PreparedShape::new(gt.shape.clone()));
+        assert!(d < 0.08, "extraction drifted: h_avg = {d}");
+    }
+}

@@ -1,0 +1,199 @@
+//! Connected components and Moore boundary tracing.
+//!
+//! Shapes are rendered with distinct gray values; each value's connected
+//! components are traced with the Moore neighborhood algorithm, yielding
+//! closed pixel chains that [`crate::approx`] then simplifies to polygons.
+
+use std::collections::HashMap;
+
+use crate::raster::Raster;
+
+/// A traced boundary: closed chain of pixel coordinates, plus the gray
+/// value of the region it bounds.
+#[derive(Debug, Clone)]
+pub struct Contour {
+    pub value: u8,
+    /// Boundary pixels in tracing order (closed; first != last).
+    pub pixels: Vec<(i32, i32)>,
+}
+
+/// Trace the outer boundary of every connected component of every nonzero
+/// gray value. Components smaller than `min_pixels` are dropped (noise).
+pub fn trace_boundaries(img: &Raster, min_pixels: usize) -> Vec<Contour> {
+    let (w, h) = (img.width() as i32, img.height() as i32);
+    let mut labels = vec![0u32; (w * h) as usize];
+    let mut next_label = 1u32;
+    let mut contours = Vec::new();
+    let idx = |x: i32, y: i32| (y * w + x) as usize;
+
+    // Connected-component labelling (4-connectivity, BFS) per gray value.
+    let mut component_size: HashMap<u32, usize> = HashMap::new();
+    let mut queue = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            let v = img.get(x as usize, y as usize);
+            if v == 0 || labels[idx(x, y)] != 0 {
+                continue;
+            }
+            let label = next_label;
+            next_label += 1;
+            labels[idx(x, y)] = label;
+            queue.clear();
+            queue.push((x, y));
+            let mut size = 0usize;
+            let mut start = (x, y); // top-most, then left-most pixel
+            while let Some((cx, cy)) = queue.pop() {
+                size += 1;
+                if (cy, cx) < (start.1, start.0) {
+                    start = (cx, cy);
+                }
+                for (nx, ny) in [(cx - 1, cy), (cx + 1, cy), (cx, cy - 1), (cx, cy + 1)] {
+                    if nx < 0 || ny < 0 || nx >= w || ny >= h {
+                        continue;
+                    }
+                    if img.get(nx as usize, ny as usize) == v && labels[idx(nx, ny)] == 0 {
+                        labels[idx(nx, ny)] = label;
+                        queue.push((nx, ny));
+                    }
+                }
+            }
+            component_size.insert(label, size);
+            if size >= min_pixels {
+                let pixels = moore_trace(img, labels.as_slice(), w, h, start, label);
+                if pixels.len() >= 4 {
+                    contours.push(Contour { value: v, pixels });
+                }
+            }
+        }
+    }
+    contours
+}
+
+/// Moore-neighbor tracing with Jacob's stopping criterion, starting from
+/// the component's top-left pixel.
+fn moore_trace(
+    _img: &Raster,
+    labels: &[u32],
+    w: i32,
+    h: i32,
+    start: (i32, i32),
+    label: u32,
+) -> Vec<(i32, i32)> {
+    let inside = |x: i32, y: i32| -> bool {
+        x >= 0 && y >= 0 && x < w && y < h && labels[(y * w + x) as usize] == label
+    };
+    // Moore neighborhood in clockwise order starting from west.
+    const NBR: [(i32, i32); 8] =
+        [(-1, 0), (-1, -1), (0, -1), (1, -1), (1, 0), (1, 1), (0, 1), (-1, 1)];
+    let mut boundary = vec![start];
+    // `backtrack` = the neighbor index we entered from (start scanning there).
+    let mut cur = start;
+    let mut backtrack = 0usize; // we "came from" the west of the start pixel
+    let max_steps = (w * h * 4) as usize;
+    for _ in 0..max_steps {
+        let mut found = None;
+        for k in 0..8 {
+            let dir = (backtrack + k) % 8;
+            let (dx, dy) = NBR[dir];
+            let (nx, ny) = (cur.0 + dx, cur.1 + dy);
+            if inside(nx, ny) {
+                // new backtrack: the position just before this neighbor in
+                // the clockwise scan (i.e. the previous non-member cell)
+                backtrack = (dir + 5) % 8;
+                found = Some((nx, ny));
+                break;
+            }
+        }
+        match found {
+            None => break, // isolated pixel
+            Some(next) => {
+                if next == start && boundary.len() > 1 {
+                    break; // closed the loop
+                }
+                boundary.push(next);
+                cur = next;
+            }
+        }
+    }
+    boundary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geosir_geom::{Point, Polyline};
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn raster_with_square() -> Raster {
+        let sq = Polyline::closed(vec![p(10.0, 10.0), p(40.0, 10.0), p(40.0, 30.0), p(10.0, 30.0)])
+            .unwrap();
+        let mut r = Raster::new(64, 64);
+        r.fill_polygon(&sq, 100);
+        r
+    }
+
+    #[test]
+    fn square_boundary_traced() {
+        let r = raster_with_square();
+        let cs = trace_boundaries(&r, 10);
+        assert_eq!(cs.len(), 1);
+        let c = &cs[0];
+        assert_eq!(c.value, 100);
+        // perimeter ≈ 2·(30 + 20) = 100 boundary pixels
+        assert!((c.pixels.len() as i64 - 100).abs() < 20, "len {}", c.pixels.len());
+        // chain is 8-connected
+        for w in c.pixels.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            assert!((a.0 - b.0).abs() <= 1 && (a.1 - b.1).abs() <= 1, "gap {a:?} -> {b:?}");
+        }
+        // all boundary pixels belong to the region
+        for &(x, y) in &c.pixels {
+            assert_eq!(r.get(x as usize, y as usize), 100);
+        }
+    }
+
+    #[test]
+    fn two_components_same_value() {
+        let mut r = Raster::new(64, 64);
+        let s1 = Polyline::closed(vec![p(5.0, 5.0), p(20.0, 5.0), p(20.0, 20.0), p(5.0, 20.0)])
+            .unwrap();
+        let s2 = Polyline::closed(vec![p(35.0, 35.0), p(55.0, 35.0), p(55.0, 55.0), p(35.0, 55.0)])
+            .unwrap();
+        r.fill_polygon(&s1, 80);
+        r.fill_polygon(&s2, 80);
+        let cs = trace_boundaries(&r, 10);
+        assert_eq!(cs.len(), 2);
+    }
+
+    #[test]
+    fn distinct_values_traced_separately() {
+        let mut r = Raster::new(64, 64);
+        let outer = Polyline::closed(vec![p(5.0, 5.0), p(58.0, 5.0), p(58.0, 58.0), p(5.0, 58.0)])
+            .unwrap();
+        let inner = Polyline::closed(vec![p(20.0, 20.0), p(40.0, 20.0), p(40.0, 40.0), p(20.0, 40.0)])
+            .unwrap();
+        r.fill_polygon(&outer, 60);
+        r.fill_polygon(&inner, 120); // painted over the outer
+        let cs = trace_boundaries(&r, 10);
+        assert_eq!(cs.len(), 2);
+        let values: Vec<u8> = cs.iter().map(|c| c.value).collect();
+        assert!(values.contains(&60) && values.contains(&120));
+    }
+
+    #[test]
+    fn noise_filtered_by_min_pixels() {
+        let mut r = raster_with_square();
+        r.set(60, 60, 50); // lone noise pixel
+        let cs = trace_boundaries(&r, 10);
+        assert_eq!(cs.len(), 1);
+    }
+
+    #[test]
+    fn empty_image_no_contours() {
+        let r = Raster::new(32, 32);
+        assert!(trace_boundaries(&r, 1).is_empty());
+    }
+}

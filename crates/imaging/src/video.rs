@@ -1,0 +1,324 @@
+//! Video retrieval — the paper's §7 future work ("We are currently
+//! incorporating our method in a video retrieval system").
+//!
+//! A clip is a sequence of frames, each carrying its extracted shapes.
+//! Shapes are linked frame-to-frame into *tracks* by normalized `h_avg`
+//! (an object's boundary changes little between adjacent frames even as
+//! its pose changes — exactly the invariance diameter normalization
+//! provides). Retrieval indexes one representative per track and answers
+//! "which clips/segments show a shape similar to Q".
+
+use geosir_core::ids::ImageId;
+use geosir_core::matcher::{MatchConfig, Matcher};
+use geosir_core::normalize::normalize_about_diameter;
+use geosir_core::shapebase::{ShapeBase, ShapeBaseBuilder};
+use geosir_core::similarity::{score, PreparedShape, ScoreKind};
+use geosir_geom::rangesearch::Backend;
+use geosir_geom::Polyline;
+
+/// A video clip: per-frame extracted shapes.
+#[derive(Debug, Clone, Default)]
+pub struct VideoClip {
+    pub frames: Vec<Vec<Polyline>>,
+}
+
+/// One tracked object: which shape it is in each frame it appears in.
+#[derive(Debug, Clone)]
+pub struct Track {
+    /// `(frame, index into that frame's shapes)`.
+    pub appearances: Vec<(usize, usize)>,
+}
+
+impl Track {
+    pub fn first_frame(&self) -> usize {
+        self.appearances.first().map(|&(f, _)| f).unwrap_or(0)
+    }
+
+    pub fn last_frame(&self) -> usize {
+        self.appearances.last().map(|&(f, _)| f).unwrap_or(0)
+    }
+
+    pub fn len(&self) -> usize {
+        self.appearances.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.appearances.is_empty()
+    }
+}
+
+/// Pose-invariant distance between two shapes: the minimum symmetric
+/// discrete `h_avg` over the shapes' α-diameter normalizations (α = 0.05).
+/// Using *all* α-diameter copies — not just the single diameter — is
+/// essential here: when a shape has two near-tied diameters, per-frame
+/// jitter flips which one wins, and single-diameter normalization would
+/// tear tracks apart (the same §2.4 argument that motivates storing
+/// α-diameter copies in the shape base). `None` when degenerate.
+fn normalized_distance(a: &Polyline, b: &Polyline) -> Option<f64> {
+    let copies_a = geosir_core::normalize::normalized_copies(a, 0.05);
+    let (nb, _) = normalize_about_diameter(b)?;
+    let pb = PreparedShape::new(nb.shape);
+    copies_a
+        .iter()
+        .take(8)
+        .map(|ca| score(ScoreKind::DiscreteSymmetric, &ca.shape, &pb))
+        .min_by(|x, y| x.partial_cmp(y).unwrap())
+}
+
+/// Link a clip's shapes into tracks: each shape joins the track whose
+/// previous-frame member is nearest in normalized `h_avg` (≤ `tau`),
+/// greedily by distance; unmatched shapes start new tracks. Tracks
+/// tolerate up to `max_gap` missed frames.
+pub fn track_shapes(clip: &VideoClip, tau: f64, max_gap: usize) -> Vec<Track> {
+    let mut tracks: Vec<Track> = Vec::new();
+    for (f, shapes) in clip.frames.iter().enumerate() {
+        // candidate pairs (distance, track, shape-in-frame)
+        let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+        for (ti, track) in tracks.iter().enumerate() {
+            let &(lf, ls) = track.appearances.last().expect("tracks are never empty");
+            if f - lf > max_gap + 1 || f == lf {
+                continue;
+            }
+            let prev = &clip.frames[lf][ls];
+            for (si, s) in shapes.iter().enumerate() {
+                if let Some(d) = normalized_distance(prev, s) {
+                    if d <= tau {
+                        pairs.push((d, ti, si));
+                    }
+                }
+            }
+        }
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut track_taken = vec![false; tracks.len()];
+        let mut shape_taken = vec![false; shapes.len()];
+        for (_, ti, si) in pairs {
+            if track_taken[ti] || shape_taken[si] {
+                continue;
+            }
+            track_taken[ti] = true;
+            shape_taken[si] = true;
+            tracks[ti].appearances.push((f, si));
+        }
+        for (si, taken) in shape_taken.iter().enumerate() {
+            if !taken {
+                tracks.push(Track { appearances: vec![(f, si)] });
+            }
+        }
+    }
+    tracks
+}
+
+/// A retrieved segment: the clip, track, and frame span showing a match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    pub clip: usize,
+    pub track: usize,
+    pub first_frame: usize,
+    pub last_frame: usize,
+    pub score: f64,
+}
+
+/// A searchable library of clips.
+pub struct VideoIndex {
+    /// Per clip: its tracks.
+    tracks: Vec<Vec<Track>>,
+    base: ShapeBase,
+    /// Per shape-base entry: `(clip, track)`.
+    origin: Vec<(usize, usize)>,
+}
+
+impl VideoIndex {
+    /// Index `clips`: tracks are formed with (`tau`, `max_gap`), and each
+    /// track contributes every `stride`-th appearance as a key shape.
+    pub fn build(clips: &[VideoClip], tau: f64, max_gap: usize, stride: usize) -> Self {
+        assert!(stride >= 1);
+        let mut builder = ShapeBaseBuilder::new();
+        let mut origin = Vec::new();
+        let mut all_tracks = Vec::new();
+        for (ci, clip) in clips.iter().enumerate() {
+            let tracks = track_shapes(clip, tau, max_gap);
+            for (ti, track) in tracks.iter().enumerate() {
+                for (n, &(f, s)) in track.appearances.iter().enumerate() {
+                    if n % stride == 0 {
+                        builder.add_shape(ImageId(origin.len() as u32), clip.frames[f][s].clone());
+                        origin.push((ci, ti));
+                    }
+                }
+            }
+            all_tracks.push(tracks);
+        }
+        let base = builder.build(0.05, Backend::KdTree);
+        VideoIndex { tracks: all_tracks, base, origin }
+    }
+
+    pub fn num_tracks(&self, clip: usize) -> usize {
+        self.tracks[clip].len()
+    }
+
+    pub fn track(&self, clip: usize, track: usize) -> &Track {
+        &self.tracks[clip][track]
+    }
+
+    /// Segments whose tracked object matches `query` within `tau`, best
+    /// first, deduplicated per track.
+    pub fn find_segments(&self, query: &Polyline, tau: f64) -> Vec<Segment> {
+        let matcher = Matcher::new(&self.base, MatchConfig { beta: 0.3, ..Default::default() });
+        let out = matcher.retrieve_within(query, tau);
+        let mut best: std::collections::HashMap<(usize, usize), f64> = Default::default();
+        for m in &out.matches {
+            let key = self.origin[m.shape.index()];
+            let e = best.entry(key).or_insert(f64::INFINITY);
+            if m.score < *e {
+                *e = m.score;
+            }
+        }
+        let mut segs: Vec<Segment> = best
+            .into_iter()
+            .map(|((clip, track), score)| {
+                let t = &self.tracks[clip][track];
+                Segment {
+                    clip,
+                    track,
+                    first_frame: t.first_frame(),
+                    last_frame: t.last_frame(),
+                    score,
+                }
+            })
+            .collect();
+        segs.sort_by(|a, b| a.score.partial_cmp(&b.score).unwrap());
+        segs
+    }
+}
+
+/// Synthesize a clip: each object follows a smooth pose path (translation,
+/// rotation, mild scaling) with per-frame boundary jitter; objects may
+/// enter/leave at given frame spans.
+pub fn synthesize_clip(
+    objects: &[(Polyline, std::ops::Range<usize>)],
+    num_frames: usize,
+    jitter: f64,
+    seed: u64,
+) -> VideoClip {
+    use geosir_geom::{Similarity, Vec2};
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let motions: Vec<(f64, f64, f64, f64)> = objects
+        .iter()
+        .map(|_| {
+            (
+                rng.random_range(-2.0..2.0),   // vx
+                rng.random_range(-2.0..2.0),   // vy
+                rng.random_range(-0.05..0.05), // ω
+                rng.random_range(-0.003..0.003), // scale rate
+            )
+        })
+        .collect();
+    let mut frames = Vec::with_capacity(num_frames);
+    for f in 0..num_frames {
+        let mut shapes = Vec::new();
+        for ((proto, span), &(vx, vy, om, sr)) in objects.iter().zip(&motions) {
+            if !span.contains(&f) {
+                continue;
+            }
+            let t = f as f64;
+            let pose = Similarity::from_parts(
+                (1.0 + sr * t).max(0.2),
+                om * t,
+                Vec2::new(vx * t, vy * t),
+            );
+            let posed = pose.apply_polyline(proto);
+            shapes.push(crate::synth::perturb(&posed, &mut rng, jitter));
+        }
+        frames.push(shapes);
+    }
+    VideoClip { frames }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geosir_geom::Point;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn house() -> Polyline {
+        Polyline::closed(vec![p(0.0, 0.0), p(4.0, 0.0), p(4.0, 3.0), p(2.0, 4.5), p(0.0, 3.0)])
+            .unwrap()
+    }
+
+    fn bar() -> Polyline {
+        Polyline::closed(vec![p(0.0, 0.0), p(6.0, 0.0), p(6.0, 1.0), p(0.0, 1.0)]).unwrap()
+    }
+
+    fn triangle() -> Polyline {
+        Polyline::closed(vec![p(0.0, 0.0), p(5.0, 0.0), p(1.0, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn single_moving_object_is_one_track() {
+        let clip = synthesize_clip(&[(house(), 0..20)], 20, 0.005, 1);
+        let tracks = track_shapes(&clip, 0.05, 1);
+        assert_eq!(tracks.len(), 1, "got {} tracks", tracks.len());
+        assert_eq!(tracks[0].len(), 20);
+        assert_eq!((tracks[0].first_frame(), tracks[0].last_frame()), (0, 19));
+    }
+
+    #[test]
+    fn two_objects_two_tracks() {
+        let clip = synthesize_clip(&[(house(), 0..15), (bar(), 0..15)], 15, 0.005, 2);
+        let tracks = track_shapes(&clip, 0.05, 1);
+        assert_eq!(tracks.len(), 2);
+        for t in &tracks {
+            assert_eq!(t.len(), 15);
+        }
+    }
+
+    #[test]
+    fn entering_object_starts_a_new_track() {
+        let clip = synthesize_clip(&[(house(), 0..20), (triangle(), 8..20)], 20, 0.005, 3);
+        let tracks = track_shapes(&clip, 0.05, 1);
+        assert_eq!(tracks.len(), 2);
+        let tri_track = tracks.iter().find(|t| t.first_frame() == 8).expect("late track");
+        assert_eq!(tri_track.last_frame(), 19);
+    }
+
+    #[test]
+    fn gap_tolerance_bridges_missed_frames() {
+        // object missing in frame 5 (simulated dropped extraction)
+        let mut clip = synthesize_clip(&[(house(), 0..10)], 10, 0.003, 4);
+        clip.frames[5].clear();
+        let with_gap = track_shapes(&clip, 0.05, 1);
+        assert_eq!(with_gap.len(), 1, "gap of one frame should be bridged");
+        let without_gap = track_shapes(&clip, 0.05, 0);
+        assert_eq!(without_gap.len(), 2, "no-gap tracking must split");
+    }
+
+    #[test]
+    fn retrieval_finds_the_right_clip_and_span() {
+        let clips = vec![
+            synthesize_clip(&[(house(), 0..12)], 12, 0.004, 5),
+            synthesize_clip(&[(bar(), 0..12)], 12, 0.004, 6),
+            synthesize_clip(&[(triangle(), 3..12)], 12, 0.004, 7),
+        ];
+        let idx = VideoIndex::build(&clips, 0.05, 1, 3);
+        let segs = idx.find_segments(&triangle(), 0.04);
+        assert!(!segs.is_empty(), "triangle clip not found");
+        assert_eq!(segs[0].clip, 2);
+        assert_eq!(segs[0].first_frame, 3);
+        assert_eq!(segs[0].last_frame, 11);
+        // the house query must prefer clip 0
+        let segs = idx.find_segments(&house(), 0.04);
+        assert_eq!(segs[0].clip, 0);
+    }
+
+    #[test]
+    fn pose_changes_do_not_break_tracks() {
+        // strong rotation + scaling across frames: normalization absorbs it
+        let clip = synthesize_clip(&[(house(), 0..30)], 30, 0.002, 8);
+        let tracks = track_shapes(&clip, 0.04, 0);
+        assert_eq!(tracks.len(), 1, "pose drift split the track");
+    }
+}

@@ -1,0 +1,314 @@
+//! The topological query algebra (§5.1) and its DNF rewrite (§5.4).
+//!
+//! Queries are built from the `similar` operator and the three topological
+//! operators, closed under union, intersection and complement. §5.4
+//! rewrites a query into `t₁ ∪ … ∪ t_n` where each `tᵢ` intersects plain
+//! or complemented operators; the engine then evaluates each conjunct in
+//! ascending selectivity order.
+
+use std::collections::BTreeSet;
+
+/// A topological relation between two query shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TopoRel {
+    Contain,
+    Overlap,
+    Disjoint,
+}
+
+/// The θ argument of a topological operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AngleSpec {
+    /// Any relative orientation.
+    Any,
+    /// Signed diameter angle within `tol` of `theta` (radians). Because a
+    /// diameter's direction is ambiguous, `theta ± π` also matches.
+    At { theta: f64, tol: f64 },
+}
+
+impl AngleSpec {
+    pub fn matches(&self, angle: f64) -> bool {
+        match *self {
+            AngleSpec::Any => true,
+            AngleSpec::At { theta, tol } => {
+                let d = wrap(angle - theta).abs();
+                d <= tol || (std::f64::consts::PI - d).abs() <= tol
+            }
+        }
+    }
+}
+
+fn wrap(a: f64) -> f64 {
+    let mut a = a % (2.0 * std::f64::consts::PI);
+    if a > std::f64::consts::PI {
+        a -= 2.0 * std::f64::consts::PI;
+    }
+    if a <= -std::f64::consts::PI {
+        a += 2.0 * std::f64::consts::PI;
+    }
+    a
+}
+
+/// A single operator application — the leaves of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// `similar(q)`: images containing a shape similar to the named query
+    /// shape.
+    Similar(String),
+    /// `r(q1, q2, θ)`.
+    Topo { rel: TopoRel, q1: String, q2: String, angle: AngleSpec },
+}
+
+/// A query expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Op(Op),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    pub fn similar(name: impl Into<String>) -> Expr {
+        Expr::Op(Op::Similar(name.into()))
+    }
+
+    pub fn topo(
+        rel: TopoRel,
+        q1: impl Into<String>,
+        q2: impl Into<String>,
+        angle: AngleSpec,
+    ) -> Expr {
+        Expr::Op(Op::Topo { rel, q1: q1.into(), q2: q2.into(), angle })
+    }
+
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(rhs))
+    }
+
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(rhs))
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Names of all query shapes referenced.
+    pub fn shape_names(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_names(&mut out);
+        out
+    }
+
+    fn collect_names(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Op(Op::Similar(n)) => {
+                out.insert(n.clone());
+            }
+            Expr::Op(Op::Topo { q1, q2, .. }) => {
+                out.insert(q1.clone());
+                out.insert(q2.clone());
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_names(out);
+                b.collect_names(out);
+            }
+            Expr::Not(e) => e.collect_names(out),
+        }
+    }
+
+    /// Rewrite to disjunctive normal form: a union of conjuncts of
+    /// (possibly complemented) operators (§5.4).
+    pub fn to_dnf(&self) -> Dnf {
+        let nnf = self.to_nnf(false);
+        nnf_to_dnf(&nnf)
+    }
+
+    /// Push negations down to the leaves.
+    fn to_nnf(&self, negate: bool) -> Nnf {
+        match self {
+            Expr::Op(op) => Nnf::Lit(Literal { negated: negate, op: op.clone() }),
+            Expr::Not(e) => e.to_nnf(!negate),
+            Expr::And(a, b) => {
+                let (x, y) = (a.to_nnf(negate), b.to_nnf(negate));
+                if negate {
+                    Nnf::Or(Box::new(x), Box::new(y))
+                } else {
+                    Nnf::And(Box::new(x), Box::new(y))
+                }
+            }
+            Expr::Or(a, b) => {
+                let (x, y) = (a.to_nnf(negate), b.to_nnf(negate));
+                if negate {
+                    Nnf::And(Box::new(x), Box::new(y))
+                } else {
+                    Nnf::Or(Box::new(x), Box::new(y))
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Op::Similar(q) => write!(f, "similar({q})"),
+            Op::Topo { rel, q1, q2, angle } => {
+                let name = match rel {
+                    TopoRel::Contain => "contain",
+                    TopoRel::Overlap => "overlap",
+                    TopoRel::Disjoint => "disjoint",
+                };
+                match angle {
+                    AngleSpec::Any => write!(f, "{name}({q1}, {q2}, any)"),
+                    AngleSpec::At { theta, tol } => {
+                        write!(f, "{name}({q1}, {q2}, {theta}~{tol})")
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Expr {
+    /// Prints in the grammar of [`crate::parser`]; `parse(x.to_string())`
+    /// round-trips (fully parenthesized, so precedence never bites).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Op(op) => write!(f, "{op}"),
+            Expr::And(a, b) => write!(f, "({a} & {b})"),
+            Expr::Or(a, b) => write!(f, "({a} | {b})"),
+            Expr::Not(e) => write!(f, "!{e}"),
+        }
+    }
+}
+
+/// An operator or its complement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Literal {
+    pub negated: bool,
+    pub op: Op,
+}
+
+/// Negation normal form (internal to the rewrite).
+enum Nnf {
+    Lit(Literal),
+    And(Box<Nnf>, Box<Nnf>),
+    Or(Box<Nnf>, Box<Nnf>),
+}
+
+/// `t₁ ∪ … ∪ t_n`, each `tᵢ` a conjunction of literals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dnf {
+    pub conjuncts: Vec<Vec<Literal>>,
+}
+
+fn nnf_to_dnf(n: &Nnf) -> Dnf {
+    match n {
+        Nnf::Lit(l) => Dnf { conjuncts: vec![vec![l.clone()]] },
+        Nnf::Or(a, b) => {
+            let mut d = nnf_to_dnf(a);
+            d.conjuncts.extend(nnf_to_dnf(b).conjuncts);
+            d
+        }
+        Nnf::And(a, b) => {
+            let (da, db) = (nnf_to_dnf(a), nnf_to_dnf(b));
+            let mut out = Vec::with_capacity(da.conjuncts.len() * db.conjuncts.len());
+            for x in &da.conjuncts {
+                for y in &db.conjuncts {
+                    let mut c = x.clone();
+                    c.extend(y.iter().cloned());
+                    out.push(c);
+                }
+            }
+            Dnf { conjuncts: out }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sim(n: &str) -> Expr {
+        Expr::similar(n)
+    }
+
+    #[test]
+    fn angle_spec_matching() {
+        let any = AngleSpec::Any;
+        assert!(any.matches(1.234));
+        let at = AngleSpec::At { theta: std::f64::consts::FRAC_PI_4, tol: 0.05 };
+        assert!(at.matches(std::f64::consts::FRAC_PI_4 + 0.01));
+        assert!(!at.matches(std::f64::consts::FRAC_PI_4 + 0.2));
+        // diameter-direction ambiguity: θ ± π also matches
+        assert!(at.matches(std::f64::consts::FRAC_PI_4 - std::f64::consts::PI));
+        // wrap-around
+        let at_pi = AngleSpec::At { theta: std::f64::consts::PI, tol: 0.05 };
+        assert!(at_pi.matches(-std::f64::consts::PI + 0.01));
+    }
+
+    #[test]
+    fn names_collected() {
+        let e = sim("a").and(Expr::topo(TopoRel::Overlap, "b", "c", AngleSpec::Any).not());
+        let names: Vec<String> = e.shape_names().into_iter().collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn dnf_of_single_literal() {
+        let d = sim("a").to_dnf();
+        assert_eq!(d.conjuncts.len(), 1);
+        assert_eq!(d.conjuncts[0].len(), 1);
+        assert!(!d.conjuncts[0][0].negated);
+    }
+
+    #[test]
+    fn dnf_demorgan() {
+        // !(a & b) = !a | !b
+        let d = sim("a").and(sim("b")).not().to_dnf();
+        assert_eq!(d.conjuncts.len(), 2);
+        assert!(d.conjuncts.iter().all(|c| c.len() == 1 && c[0].negated));
+    }
+
+    #[test]
+    fn dnf_distribution() {
+        // a & (b | c) = (a & b) | (a & c)
+        let d = sim("a").and(sim("b").or(sim("c"))).to_dnf();
+        assert_eq!(d.conjuncts.len(), 2);
+        assert!(d.conjuncts.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let d = sim("a").not().not().to_dnf();
+        assert_eq!(d.conjuncts.len(), 1);
+        assert!(!d.conjuncts[0][0].negated);
+    }
+
+    #[test]
+    fn paper_example_shape() {
+        // similar(Q1) ∩ COMPLEMENT(overlap(Q2, Q3, any))
+        let e = sim("q1").and(Expr::topo(TopoRel::Overlap, "q2", "q3", AngleSpec::Any).not());
+        let d = e.to_dnf();
+        assert_eq!(d.conjuncts.len(), 1);
+        assert_eq!(d.conjuncts[0].len(), 2);
+        assert!(!d.conjuncts[0][0].negated);
+        assert!(d.conjuncts[0][1].negated);
+    }
+
+    proptest! {
+        /// angle matching is invariant under full-turn shifts
+        #[test]
+        fn angle_wrap_invariance(theta in -3.0..3.0f64, a in -3.0..3.0f64) {
+            let spec = AngleSpec::At { theta, tol: 0.1 };
+            prop_assert_eq!(
+                spec.matches(a),
+                spec.matches(a + 2.0 * std::f64::consts::PI)
+            );
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Text syntax for the query algebra.
+//!
+//! ```text
+//! expr   := term ('|' term)*                    union
+//! term   := factor ('&' factor)*                intersection
+//! factor := '!' factor | '(' expr ')' | op     complement / grouping
+//! op     := 'similar' '(' name ')'
+//!         | ('contain' | 'overlap' | 'disjoint')
+//!              '(' name ',' name [',' angle] ')'
+//! angle  := 'any' | NUMBER [ '~' NUMBER ]       radians, optional tolerance
+//! ```
+//!
+//! Example: `similar(q1) & !overlap(q2, q3, any)` is §5.1's running query.
+
+use crate::algebra::{AngleSpec, Expr, TopoRel};
+
+/// Parse error with byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub pos: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a query expression.
+///
+/// ```
+/// use geosir_query::parser::parse;
+/// use geosir_query::algebra::{AngleSpec, Expr, TopoRel};
+///
+/// let e = parse("similar(q1) & !overlap(q2, q3, any)").unwrap();
+/// assert_eq!(
+///     e,
+///     Expr::similar("q1")
+///         .and(Expr::topo(TopoRel::Overlap, "q2", "q3", AngleSpec::Any).not())
+/// );
+/// // the pretty-printer round-trips
+/// assert_eq!(parse(&e.to_string()).unwrap(), e);
+/// ```
+pub fn parse(input: &str) -> Result<Expr, ParseError> {
+    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    let e = p.expr()?;
+    p.skip_ws();
+    if p.pos < p.input.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(e)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError { pos: self.pos, message: message.to_string() }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len()
+            && (self.input[self.pos].is_ascii_alphanumeric() || self.input[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected identifier"));
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos]).unwrap().to_string())
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len()
+            && (self.input[self.pos].is_ascii_digit()
+                || matches!(self.input[self.pos], b'.' | b'-' | b'+' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|_| ParseError { pos: start, message: "expected number".into() })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.term()?;
+        while self.peek() == Some(b'|') {
+            self.pos += 1;
+            e = e.or(self.term()?);
+        }
+        Ok(e)
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.factor()?;
+        while self.peek() == Some(b'&') {
+            self.pos += 1;
+            e = e.and(self.factor()?);
+        }
+        Ok(e)
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(b'!') => {
+                self.pos += 1;
+                Ok(self.factor()?.not())
+            }
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.eat(b')')?;
+                Ok(e)
+            }
+            _ => self.op(),
+        }
+    }
+
+    fn op(&mut self) -> Result<Expr, ParseError> {
+        let kw_pos = self.pos;
+        let kw = self.ident()?;
+        self.eat(b'(')?;
+        let e = match kw.as_str() {
+            "similar" => {
+                let name = self.ident()?;
+                Expr::similar(name)
+            }
+            "contain" | "overlap" | "disjoint" => {
+                let rel = match kw.as_str() {
+                    "contain" => TopoRel::Contain,
+                    "overlap" => TopoRel::Overlap,
+                    _ => TopoRel::Disjoint,
+                };
+                let q1 = self.ident()?;
+                self.eat(b',')?;
+                let q2 = self.ident()?;
+                let angle = if self.peek() == Some(b',') {
+                    self.pos += 1;
+                    self.angle()?
+                } else {
+                    AngleSpec::Any
+                };
+                Expr::topo(rel, q1, q2, angle)
+            }
+            _ => {
+                return Err(ParseError {
+                    pos: kw_pos,
+                    message: format!("unknown operator '{kw}'"),
+                })
+            }
+        };
+        self.eat(b')')?;
+        Ok(e)
+    }
+
+    fn angle(&mut self) -> Result<AngleSpec, ParseError> {
+        self.skip_ws();
+        if self.input[self.pos..].starts_with(b"any") {
+            self.pos += 3;
+            return Ok(AngleSpec::Any);
+        }
+        let theta = self.number()?;
+        let tol = if self.peek() == Some(b'~') {
+            self.pos += 1;
+            self.number()?
+        } else {
+            0.1 // default tolerance ≈ 5.7°
+        };
+        Ok(AngleSpec::At { theta, tol })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::Op;
+
+    #[test]
+    fn parses_similar() {
+        let e = parse("similar(q1)").unwrap();
+        assert_eq!(e, Expr::similar("q1"));
+    }
+
+    #[test]
+    fn parses_paper_example() {
+        let e = parse("similar(q1) & !overlap(q2, q3, any)").unwrap();
+        assert_eq!(
+            e,
+            Expr::similar("q1")
+                .and(Expr::topo(TopoRel::Overlap, "q2", "q3", AngleSpec::Any).not())
+        );
+    }
+
+    #[test]
+    fn parses_angles() {
+        let e = parse("contain(a, b, 0.785)").unwrap();
+        match e {
+            Expr::Op(Op::Topo { angle: AngleSpec::At { theta, tol }, .. }) => {
+                assert!((theta - 0.785).abs() < 1e-12);
+                assert!((tol - 0.1).abs() < 1e-12);
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+        let e = parse("contain(a, b, 0.785~0.01)").unwrap();
+        match e {
+            Expr::Op(Op::Topo { angle: AngleSpec::At { tol, .. }, .. }) => {
+                assert!((tol - 0.01).abs() < 1e-12);
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_angle_is_any() {
+        let e = parse("overlap(a, b)").unwrap();
+        assert_eq!(e, Expr::topo(TopoRel::Overlap, "a", "b", AngleSpec::Any));
+    }
+
+    #[test]
+    fn precedence_and_grouping() {
+        // & binds tighter than |
+        let e1 = parse("similar(a) | similar(b) & similar(c)").unwrap();
+        assert_eq!(e1, Expr::similar("a").or(Expr::similar("b").and(Expr::similar("c"))));
+        let e2 = parse("(similar(a) | similar(b)) & similar(c)").unwrap();
+        assert_eq!(e2, Expr::similar("a").or(Expr::similar("b")).and(Expr::similar("c")));
+    }
+
+    #[test]
+    fn double_negation_parses() {
+        let e = parse("!!similar(a)").unwrap();
+        assert_eq!(e, Expr::similar("a").not().not());
+    }
+
+    #[test]
+    fn error_positions() {
+        assert!(parse("").is_err());
+        assert!(parse("similar(q1) garbage").is_err());
+        assert!(parse("frobnicate(q)").is_err());
+        assert!(parse("similar(q1").is_err());
+        assert!(parse("overlap(a)").is_err());
+        let err = parse("similar(q1) &").unwrap_err();
+        assert!(err.pos >= 13);
+    }
+
+    mod roundtrip {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_name() -> impl Strategy<Value = String> {
+            "[a-z][a-z0-9_]{0,6}"
+        }
+
+        fn arb_op() -> impl Strategy<Value = Expr> {
+            prop_oneof![
+                arb_name().prop_map(Expr::similar),
+                (
+                    prop_oneof![
+                        Just(TopoRel::Contain),
+                        Just(TopoRel::Overlap),
+                        Just(TopoRel::Disjoint)
+                    ],
+                    arb_name(),
+                    arb_name(),
+                    prop_oneof![
+                        Just(AngleSpec::Any),
+                        (0.0..3.0f64, 0.01..0.5f64)
+                            .prop_map(|(theta, tol)| AngleSpec::At { theta, tol })
+                    ],
+                )
+                    .prop_map(|(rel, a, b, angle)| Expr::topo(rel, a, b, angle)),
+            ]
+        }
+
+        fn arb_expr() -> impl Strategy<Value = Expr> {
+            arb_op().prop_recursive(4, 24, 3, |inner| {
+                prop_oneof![
+                    (inner.clone(), inner.clone())
+                        .prop_map(|(a, b)| a.and(b)),
+                    (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+                    inner.prop_map(Expr::not),
+                ]
+            })
+        }
+
+        proptest! {
+            /// `parse ∘ to_string` is the identity on the AST.
+            #[test]
+            fn display_parse_round_trip(e in arb_expr()) {
+                let printed = e.to_string();
+                let reparsed = parse(&printed)
+                    .unwrap_or_else(|err| panic!("reparse of '{printed}' failed: {err}"));
+                prop_assert_eq!(reparsed, e);
+            }
+        }
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let a = parse("similar(q1)&!overlap(q2,q3,any)").unwrap();
+        let b = parse("  similar ( q1 )  &  ! overlap ( q2 , q3 , any )  ").unwrap();
+        assert_eq!(a, b);
+    }
+}

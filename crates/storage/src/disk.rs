@@ -1,0 +1,107 @@
+//! The simulated block device.
+//!
+//! Figures 7/8 report I/O counts, not wall-clock time, so an in-memory
+//! array of blocks with read/write counters reproduces the measured
+//! quantity exactly (DESIGN.md, substitutions).
+
+use parking_lot::Mutex;
+
+/// Block size in bytes — the paper's "1 Kbyte disk block".
+pub const BLOCK_SIZE: usize = 1024;
+
+/// I/O counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    pub reads: u64,
+    pub writes: u64,
+}
+
+/// A fixed-size array of 1 KB blocks with I/O accounting.
+pub struct DiskSim {
+    blocks: Vec<[u8; BLOCK_SIZE]>,
+    stats: Mutex<IoStats>,
+}
+
+impl DiskSim {
+    pub fn new(num_blocks: usize) -> Self {
+        DiskSim { blocks: vec![[0u8; BLOCK_SIZE]; num_blocks], stats: Mutex::new(IoStats::default()) }
+    }
+
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Read block `id` (counted).
+    pub fn read(&self, id: usize) -> [u8; BLOCK_SIZE] {
+        self.stats.lock().reads += 1;
+        self.blocks[id]
+    }
+
+    /// Write block `id` (counted).
+    pub fn write(&mut self, id: usize, data: &[u8]) {
+        assert!(data.len() <= BLOCK_SIZE, "block overflow: {} bytes", data.len());
+        self.stats.lock().writes += 1;
+        let block = &mut self.blocks[id];
+        block[..data.len()].copy_from_slice(data);
+        block[data.len()..].fill(0);
+    }
+
+    pub fn stats(&self) -> IoStats {
+        *self.stats.lock()
+    }
+
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = IoStats::default();
+    }
+}
+
+impl std::fmt::Debug for DiskSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskSim")
+            .field("blocks", &self.blocks.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut d = DiskSim::new(4);
+        d.write(2, &[7u8; 100]);
+        let b = d.read(2);
+        assert_eq!(&b[..100], &[7u8; 100]);
+        assert_eq!(&b[100..110], &[0u8; 10]);
+        assert_eq!(d.stats(), IoStats { reads: 1, writes: 1 });
+    }
+
+    #[test]
+    fn write_clears_tail() {
+        let mut d = DiskSim::new(1);
+        d.write(0, &[1u8; BLOCK_SIZE]);
+        d.write(0, &[2u8; 10]);
+        let b = d.read(0);
+        assert_eq!(&b[..10], &[2u8; 10]);
+        assert!(b[10..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "block overflow")]
+    fn oversized_write_panics() {
+        let mut d = DiskSim::new(1);
+        d.write(0, &[0u8; BLOCK_SIZE + 1]);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let d = DiskSim::new(2);
+        d.read(0);
+        d.read(1);
+        assert_eq!(d.stats().reads, 2);
+        d.reset_stats();
+        assert_eq!(d.stats(), IoStats::default());
+    }
+}

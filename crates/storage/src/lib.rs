@@ -1,0 +1,30 @@
+//! External storage for the shape base (§4).
+//!
+//! The paper's Figures 7 and 8 measure **I/O operations per query** for a
+//! shape base stored in 1 KB disk blocks behind an internal-memory buffer.
+//! This crate reproduces that machinery exactly as a counting simulation:
+//!
+//! - [`disk`] — the block device with read/write accounting;
+//! - [`buffer`] — an LRU buffer pool of configurable capacity;
+//! - [`record`] — the fixed binary shape-record codec (~200 bytes per
+//!   shape at the paper's ~20 vertices, ~5 records per 1 KB block);
+//! - [`layout`] — the four placement policies of §4.1–4.2 (mean /
+//!   lexicographic / median characteristic-curve sorts, and greedy local
+//!   optimization of the average measure);
+//! - [`store`] — the packed store mapping copies to blocks, plus the
+//!   trace replay used by the experiments.
+
+pub mod buffer;
+pub mod disk;
+pub mod extindex;
+pub mod file_disk;
+pub mod layout;
+pub mod record;
+pub mod store;
+
+pub use buffer::BufferPool;
+pub use disk::{DiskSim, BLOCK_SIZE};
+pub use extindex::ExternalVertexIndex;
+pub use layout::LayoutPolicy;
+pub use record::ShapeRecord;
+pub use store::ShapeStore;

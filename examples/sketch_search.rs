@@ -1,0 +1,87 @@
+//! End-to-end GeoSIR scenario (§6): raster images go through boundary
+//! extraction into the shape base; a hand-drawn sketch retrieves them.
+//!
+//! ```sh
+//! cargo run --release --example sketch_search
+//! ```
+
+use geosir::core::ids::ImageId;
+use geosir::core::matcher::{MatchConfig, Matcher};
+use geosir::core::shapebase::ShapeBaseBuilder;
+use geosir::geom::rangesearch::Backend;
+use geosir::geom::Polyline;
+use geosir::imaging::pipeline::{extract_shapes, render_scene, ExtractConfig};
+use geosir::imaging::synth::{perturb, place_free, random_simple_polygon};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2002);
+
+    // ------------------------------------------------------------------
+    // 1. Fabricate a gallery of "photographs": each image renders one or
+    //    two posed instances of a family prototype.
+    // ------------------------------------------------------------------
+    let families: Vec<Polyline> =
+        (0..6).map(|_| random_simple_polygon(&mut rng, 10, 0.3)).collect();
+
+    let mut builder = ShapeBaseBuilder::new();
+    let mut ground_truth: Vec<Vec<usize>> = Vec::new(); // families per image
+    let mut extracted_total = 0usize;
+    for img_id in 0..12u32 {
+        let mut scene = Vec::new();
+        let mut fams = Vec::new();
+        for _ in 0..rng.random_range(1..=2) {
+            let f = rng.random_range(0..families.len());
+            fams.push(f);
+            let member = perturb(&families[f], &mut rng, 0.02);
+            let posed = place_free(&member, &mut rng);
+            // shrink the 1000×1000 canvas pose into a 256×256 image
+            scene.push(posed.map_points(|q| geosir::geom::Point::new(q.x * 0.22 + 10.0, q.y * 0.22 + 10.0)));
+        }
+        // the actual §6 pipeline: render, trace boundaries, simplify
+        let raster = render_scene(&scene, 256, 256);
+        let shapes = extract_shapes(&raster, &ExtractConfig::default());
+        extracted_total += shapes.len();
+        for s in shapes {
+            builder.add_shape(ImageId(img_id), s);
+        }
+        ground_truth.push(fams);
+    }
+    println!("extracted {extracted_total} shapes from 12 rendered images");
+
+    let base = builder.build(0.05, Backend::RangeTree);
+    println!(
+        "shape base: {} copies, {} vertices",
+        base.num_copies(),
+        base.total_vertices()
+    );
+
+    // ------------------------------------------------------------------
+    // 2. "Sketch" a query: a heavily distorted family member, and check
+    //    the retrieved image really contains that family.
+    // ------------------------------------------------------------------
+    let matcher = Matcher::new(&base, MatchConfig { k: 3, beta: 0.3, ..Default::default() });
+    let mut hits = 0;
+    for probe_family in 0..families.len() {
+        let sketch = perturb(&families[probe_family], &mut rng, 0.04);
+        let outcome = matcher.retrieve(&sketch);
+        let Some(best) = outcome.best() else {
+            println!("family {probe_family}: no match (not present in any image?)");
+            continue;
+        };
+        let present = ground_truth[best.image.0 as usize].contains(&probe_family);
+        println!(
+            "family {probe_family}: best match {} in {} (score {:.4}) — {}",
+            best.shape,
+            best.image,
+            best.score,
+            if present { "correct image" } else { "family not in that image" }
+        );
+        if present {
+            hits += 1;
+        }
+    }
+    println!("\n{hits}/{} sketches resolved to an image containing their family", families.len());
+    assert!(hits * 2 >= families.len(), "retrieval quality collapsed");
+}

@@ -1,0 +1,41 @@
+//! The GeoSIR prototype shell (§6): an interactive loop around
+//! [`geosir::cli::Session`]. Reads commands from stdin (pipe a script or
+//! type interactively); `help` lists the vocabulary.
+//!
+//! ```sh
+//! cargo run --release --bin geosir
+//! ```
+
+use std::io::{BufRead, Write};
+
+fn main() {
+    let stdin = std::io::stdin();
+    let mut session = geosir::cli::Session::new();
+    let interactive = atty_guess();
+    if interactive {
+        println!("GeoSIR — geometric-similarity retrieval (ICDE 2002). `help` for commands.");
+    }
+    loop {
+        if interactive {
+            print!("geosir> ");
+            let _ = std::io::stdout().flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let trimmed = line.trim();
+        if trimmed == "quit" || trimmed == "exit" {
+            break;
+        }
+        print!("{}", session.execute(trimmed));
+    }
+}
+
+/// Crude TTY guess without extra dependencies: honor an env override and
+/// default to non-interactive (script) behavior when piped.
+fn atty_guess() -> bool {
+    std::env::var("GEOSIR_INTERACTIVE").map(|v| v == "1").unwrap_or(false)
+}

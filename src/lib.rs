@@ -1,0 +1,31 @@
+//! # GeoSIR-RS
+//!
+//! A Rust reproduction of *"Geometric-Similarity Retrieval in Large Image
+//! Bases"* (Fudos, Palios, Pitoura — ICDE 2002): shape-based image retrieval
+//! built on the average-point-distance similarity criterion `h_avg`, an
+//! incremental envelope-fattening matching algorithm backed by simplex range
+//! search with fractional cascading, a geometric-hashing fallback over the
+//! lune of normalized vertices, external-storage layout policies, and a
+//! topological query processor.
+//!
+//! This umbrella crate re-exports the workspace crates:
+//!
+//! - [`geom`] — computational-geometry substrate (primitives, hulls,
+//!   envelopes, range search, nearest-feature indexes, topology predicates);
+//! - [`core`] — the paper's contribution (similarity, normalization, the
+//!   matcher, geometric hashing, selectivity, baselines);
+//! - [`storage`] — simulated external storage (block device, LRU buffer
+//!   pool, layout policies);
+//! - [`query`] — topological operators, the query language and the planner;
+//! - [`imaging`] — raster front end and synthetic corpus generators.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub mod cli;
+pub mod system;
+
+pub use geosir_core as core;
+pub use geosir_geom as geom;
+pub use geosir_imaging as imaging;
+pub use geosir_query as query;
+pub use geosir_storage as storage;

@@ -1,0 +1,118 @@
+//! Integration tests for the [`geosir::system::GeoSir`] façade — the full
+//! product surface in one object.
+
+use geosir::geom::{Point, Polyline};
+use geosir::imaging::pipeline::render_scene;
+use geosir::storage::BufferPool;
+use geosir::system::{GeoSir, GeoSirConfig};
+use std::collections::HashMap;
+
+fn p(x: f64, y: f64) -> Point {
+    Point::new(x, y)
+}
+
+fn house() -> Polyline {
+    Polyline::closed(vec![p(0.0, 0.0), p(4.0, 0.0), p(4.0, 3.0), p(2.0, 4.5), p(0.0, 3.0)])
+        .unwrap()
+}
+
+fn bar() -> Polyline {
+    Polyline::closed(vec![p(0.0, 0.0), p(6.0, 0.0), p(6.0, 1.0), p(0.0, 1.0)]).unwrap()
+}
+
+fn window() -> Polyline {
+    Polyline::closed(vec![p(1.0, 1.0), p(2.0, 1.0), p(2.0, 2.0), p(1.0, 2.0)]).unwrap()
+}
+
+fn demo_system() -> GeoSir {
+    let mut b = GeoSir::builder(GeoSirConfig::default());
+    b.add_scene([house(), window()]); // image 0: window inside house
+    b.add_scene([bar()]); // image 1
+    b.add_scene([house().map_points(|q| p(q.x * 3.0 + 50.0, q.y * 3.0 - 7.0))]); // image 2
+    b.build()
+}
+
+#[test]
+fn sketch_retrieval_end_to_end() {
+    let sys = demo_system();
+    let hits = sys.find(&house(), 2);
+    assert!(!hits.is_empty());
+    assert!(!hits[0].approximate, "exact copy must certify");
+    assert!(hits[0].score < 1e-9);
+    assert_eq!(hits[0].image.0, 0);
+    // second hit: the scaled house in image 2
+    assert_eq!(hits[1].image.0, 2);
+    assert!(hits[1].score < 1e-6);
+}
+
+#[test]
+fn raster_ingestion_path() {
+    let mut b = GeoSir::builder(GeoSirConfig::default());
+    let scene = vec![house().map_points(|q| p(q.x * 20.0 + 40.0, q.y * 20.0 + 40.0))];
+    let raster = render_scene(&scene, 200, 200);
+    let (image, extracted) = b.add_raster(&raster);
+    assert_eq!(extracted, 1, "one boundary expected from the raster");
+    let sys = b.build();
+    let hits = sys.find(&house(), 1);
+    assert_eq!(hits[0].image, image);
+    assert!(hits[0].score < 0.05, "extraction noise only: {}", hits[0].score);
+}
+
+#[test]
+fn hashing_fallback_flagged_as_approximate() {
+    let sys = demo_system();
+    // a deep-valley 16-spike star: under h_avg nothing stored is close
+    // (note: a thin *saw* would actually match the thin bar well — the
+    // averaging measure ignores high-frequency teeth by design)
+    let star: Vec<Point> = (0..32)
+        .map(|i| {
+            let r = if i % 2 == 0 { 1.0 } else { 0.15 };
+            let t = std::f64::consts::PI * i as f64 / 16.0;
+            p(r * t.cos(), r * t.sin())
+        })
+        .collect();
+    let weird = Polyline::closed(star).unwrap();
+    let hits = sys.find(&weird, 1);
+    assert!(!hits.is_empty(), "fallback must return something");
+    assert!(hits[0].approximate, "a spiky star can only match approximately");
+}
+
+#[test]
+fn query_session_over_the_same_system() {
+    let sys = demo_system();
+    let mut session = sys.session();
+    let mut bindings = HashMap::new();
+    bindings.insert("h".to_string(), house());
+    bindings.insert("sq".to_string(), window());
+    let hits = session.execute_str("contain(h, sq, any)", &bindings).unwrap();
+    let ids: Vec<u32> = {
+        let mut v: Vec<u32> = hits.iter().map(|i| i.0).collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(ids, vec![0]);
+    // the estimator learns across the session
+    assert!(session.estimator().observations() > 0);
+}
+
+#[test]
+fn io_accounting_through_the_facade() {
+    let sys = demo_system();
+    let mut pool = BufferPool::new(4);
+    let (hits, io_cold) = sys.find_with_io(&house(), 2, &mut pool);
+    assert!(!hits.is_empty());
+    assert!(io_cold > 0, "cold pool must fetch blocks");
+    let (_, io_warm) = sys.find_with_io(&house(), 2, &mut pool);
+    assert!(io_warm <= io_cold, "warm pool cannot cost more");
+}
+
+#[test]
+fn persist_and_reload_block_image() {
+    let sys = demo_system();
+    let mut path = std::env::temp_dir();
+    path.push(format!("geosir-sys-{}.img", std::process::id()));
+    sys.persist(&path).unwrap();
+    let disk = geosir::storage::file_disk::load(&path).unwrap();
+    assert_eq!(disk.num_blocks(), sys.store().num_blocks());
+    std::fs::remove_file(&path).ok();
+}
