@@ -1,0 +1,144 @@
+//! Sustained query throughput and build wall time on the scaling_polylog
+//! corpus — the headline numbers for the zero-allocation hot path and the
+//! parallel base build.
+//!
+//! Measures, on one generated corpus:
+//! - shape-base build wall time, serial (1 worker) vs parallel (all CPUs);
+//! - single-thread queries/sec with a **fresh scratch per query** (the
+//!   per-query state-allocation regime the matcher historically ran in);
+//! - single-thread queries/sec with one **reused scratch** (the
+//!   zero-allocation path);
+//! - all-core batch queries/sec via `retrieve_batch` (reused per-worker
+//!   scratches, chunked claiming).
+//!
+//! Emits a hand-rolled JSON report to `BENCH_1.json` in the working
+//! directory (run from the repo root):
+//!
+//! ```sh
+//! cargo run --release -p geosir-bench --bin throughput [-- n_shapes]
+//! ```
+
+use geosir_core::ids::ImageId;
+use geosir_core::matcher::{MatchConfig, MatchOutcome, Matcher};
+use geosir_core::parallel::retrieve_batch;
+use geosir_core::scratch::MatcherScratch;
+use geosir_core::shapebase::{ShapeBase, ShapeBaseBuilder};
+use geosir_geom::rangesearch::Backend;
+use geosir_geom::{Point, Polyline};
+use geosir_imaging::synth::random_simple_polygon;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::time::Instant;
+
+/// The scaling_polylog corpus: distinct simple polygons of varied aspect
+/// ratio, with every tenth shape doubling as a near-exact query.
+fn corpus(n_shapes: usize) -> (ShapeBaseBuilder, Vec<Polyline>) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut builder = ShapeBaseBuilder::new();
+    let mut queries = Vec::new();
+    for i in 0..n_shapes {
+        let n = rng.random_range(10..30);
+        let poly = random_simple_polygon(&mut rng, n, 0.35);
+        let stretch = rng.random_range(0.15..1.0);
+        let shape = poly.map_points(|q| Point::new(q.x, q.y * stretch));
+        if i % (n_shapes / 10).max(1) == 0 {
+            queries.push(shape.clone());
+        }
+        builder.add_shape(ImageId(i as u32), shape);
+    }
+    (builder, queries)
+}
+
+fn time_build(n_shapes: usize, threads: usize) -> (f64, ShapeBase) {
+    let (builder, _) = corpus(n_shapes);
+    let start = Instant::now();
+    let base = builder.build_with_threads(0.0, Backend::RangeTree, threads);
+    (start.elapsed().as_secs_f64() * 1e3, base)
+}
+
+/// Repeat `queries` round-robin until at least `min_total` retrievals ran;
+/// returns queries/sec.
+fn qps(total_queries: usize, secs: f64) -> f64 {
+    total_queries as f64 / secs
+}
+
+fn main() {
+    let n_shapes: usize =
+        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4000);
+    let cores =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let rounds = 4usize; // query-set repetitions per timed measurement
+
+    println!("# throughput — {n_shapes} shapes, {cores} cores");
+
+    // --- build ---
+    let _ = time_build(n_shapes, 1); // untimed warm-up (allocator, page cache)
+    let (serial_ms, _) = time_build(n_shapes, 1);
+    let (parallel_ms, base) = time_build(n_shapes, 0);
+    println!("build: serial {serial_ms:.0} ms, parallel {parallel_ms:.0} ms ({:.2}x)",
+        serial_ms / parallel_ms);
+
+    let (_, queries) = corpus(n_shapes);
+    let matcher = Matcher::new(&base, MatchConfig { beta: 0.2, ..Default::default() });
+    let total = queries.len() * rounds;
+
+    // --- single thread, fresh scratch per query (per-query state setup) ---
+    let start = Instant::now();
+    let mut sink = 0usize;
+    for _ in 0..rounds {
+        for q in &queries {
+            let mut scratch = MatcherScratch::for_base(&base);
+            let mut out = MatchOutcome::default();
+            matcher.retrieve_with(&mut scratch, q, &mut out);
+            sink += out.matches.len();
+        }
+    }
+    let fresh_qps = qps(total, start.elapsed().as_secs_f64());
+
+    // --- single thread, one reused scratch (zero-allocation path) ---
+    let mut scratch = MatcherScratch::for_base(&base);
+    let mut out = MatchOutcome::default();
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for q in &queries {
+            matcher.retrieve_with(&mut scratch, q, &mut out);
+            sink += out.matches.len();
+        }
+    }
+    let reused_qps = qps(total, start.elapsed().as_secs_f64());
+
+    // --- all cores, retrieve_batch ---
+    let batch: Vec<Polyline> = std::iter::repeat_with(|| queries.iter().cloned())
+        .take(rounds)
+        .flatten()
+        .collect();
+    let start = Instant::now();
+    let outs = retrieve_batch(&matcher, &batch, 0);
+    let batch_qps = qps(batch.len(), start.elapsed().as_secs_f64());
+    sink += outs.iter().map(|o| o.matches.len()).sum::<usize>();
+
+    println!(
+        "queries/sec: fresh-scratch {fresh_qps:.0}, reused-scratch {reused_qps:.0} \
+         ({:.2}x), batch x{cores} {batch_qps:.0} ({:.2}x vs fresh)",
+        reused_qps / fresh_qps,
+        batch_qps / fresh_qps
+    );
+    assert!(sink > 0, "retrievals produced no matches");
+
+    let json = format!(
+        "{{\n  \"bench\": \"throughput\",\n  \"corpus\": \"scaling_polylog\",\n  \
+         \"n_shapes\": {n_shapes},\n  \"n_vertices\": {},\n  \"cores\": {cores},\n  \
+         \"queries\": {},\n  \"rounds\": {rounds},\n  \
+         \"build_serial_ms\": {serial_ms:.2},\n  \"build_parallel_ms\": {parallel_ms:.2},\n  \
+         \"build_speedup\": {:.3},\n  \
+         \"qps_fresh_scratch\": {fresh_qps:.1},\n  \"qps_reused_scratch\": {reused_qps:.1},\n  \
+         \"qps_batch\": {batch_qps:.1},\n  \
+         \"batch_speedup_vs_fresh\": {:.3}\n}}\n",
+        base.total_vertices(),
+        queries.len(),
+        serial_ms / parallel_ms,
+        batch_qps / fresh_qps,
+    );
+    std::fs::write("BENCH_1.json", &json).expect("write BENCH_1.json");
+    println!("wrote BENCH_1.json");
+}

@@ -181,7 +181,7 @@ impl FeatureIndex {
                 let Some(qv) = self.vector(query, e, swapped) else { continue };
                 for (v, id) in &self.entries {
                     let d = euclid(&qv, v);
-                    if best.map_or(true, |(_, bd)| d < bd) {
+                    if best.is_none_or(|(_, bd)| d < bd) {
                         best = Some((*id, d));
                     }
                 }
@@ -303,7 +303,7 @@ mod tests {
 
     #[test]
     fn feature_index_retrieves_exact_copy() {
-        let shapes = vec![
+        let shapes = [
             square(0.0, 0.0, 1.0),
             Polyline::closed(vec![p(0.0, 0.0), p(4.0, 0.0), p(0.0, 3.0)]).unwrap(),
             Polyline::closed(vec![p(0.0, 0.0), p(5.0, 0.0), p(5.0, 1.0), p(0.0, 1.0)]).unwrap(),

@@ -78,7 +78,7 @@ impl Quarter {
 /// `(x, −√(1−x²))` and the x-axis, for `t ∈ [0, min(2x, ½)]`. Closed form.
 pub fn lune_e(x: f64) -> f64 {
     let x = x.clamp(0.0, 1.0);
-    let m = (2.0 * x as f64).min(0.5);
+    let m = (2.0 * x).min(0.5);
     if m <= 0.0 {
         return 0.0;
     }
@@ -452,8 +452,8 @@ mod tests {
 
     #[test]
     fn e_matches_numeric_integral() {
-        for &x in &[0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9] {
-            let m = (2.0 * x as f64).min(0.5);
+        for &x in &[0.05f64, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9] {
+            let m = (2.0 * x).min(0.5);
             let numeric = geosir_geom::numeric::integrate(
                 |t| (1.0 - (t - x) * (t - x)).max(0.0).sqrt() - (1.0 - x * x).sqrt(),
                 0.0,

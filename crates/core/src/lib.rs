@@ -23,6 +23,7 @@ pub mod ids;
 pub mod matcher;
 pub mod normalize;
 pub mod parallel;
+pub mod scratch;
 pub mod selectivity;
 pub mod shapebase;
 pub mod similarity;

@@ -9,23 +9,22 @@
 //! ε reaches the paper's cap `(A / (2 p l_Q)) · log³ n`.
 //!
 //! Termination bound: a copy that is **not** a candidate at level ε has
-//! more than a β fraction (and at least one) of its vertices at distance
-//! > ε from Q, so its discrete directed `h_avg` exceeds `factor · ε` where
+//! more than a β fraction (and at least one) of its vertices at
+//! distance > ε from Q, so its discrete directed `h_avg` exceeds `factor · ε` where
 //! `factor = min_C (out_min(C) / n_C)` (computed exactly per base). The
 //! "provably best" guarantee therefore holds for
 //! [`ScoreKind::DiscreteDirected`] and [`ScoreKind::DiscreteSymmetric`]
 //! (whose max dominates the forward discrete term); the continuous kinds
 //! reuse the same stopping rule as a well-behaved heuristic (DESIGN.md).
 
-use std::collections::HashMap;
-
-use geosir_geom::envelope::{envelope_cover, ring_cover};
-use geosir_geom::Polyline;
+use geosir_geom::envelope::{envelope_cover_into, ring_cover_into};
+use geosir_geom::{Polyline, Similarity};
 
 use crate::ids::{CopyId, ImageId, ShapeId};
-use crate::normalize::{normalize_about_diameter, LUNE_AREA};
+use crate::normalize::LUNE_AREA;
+use crate::scratch::MatcherScratch;
 use crate::shapebase::ShapeBase;
-use crate::similarity::{score, PreparedShape, ScoreKind};
+use crate::similarity::{prepare_into, score_with, ScoreKind};
 
 /// How ε grows between iterations.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -134,6 +133,15 @@ impl MatchOutcome {
     pub fn best(&self) -> Option<&Match> {
         self.matches.first()
     }
+
+    /// Reset for reuse as a [`Matcher::retrieve_with`] out-parameter,
+    /// keeping every buffer's capacity.
+    pub fn clear(&mut self) {
+        self.matches.clear();
+        self.stats = MatchStats::default();
+        self.access_trace.clear();
+        self.triangle_trace.clear();
+    }
 }
 
 /// Which stopping rule a run uses.
@@ -180,6 +188,9 @@ pub struct Matcher<'a> {
     /// Copies whose anchor credit alone meets the threshold (degenerate
     /// two-vertex shapes): candidates of every query, scored up front.
     credit_candidates: Vec<CopyId>,
+    /// Warm scratches for the scratchless entry points, so `retrieve()` in
+    /// a loop pays the dense-array setup once, not per query.
+    scratch_pool: std::sync::Mutex<Vec<MatcherScratch>>,
 }
 
 impl<'a> Matcher<'a> {
@@ -205,19 +216,40 @@ impl<'a> Matcher<'a> {
             let out_min = n_c - need + 1;
             bound_factor = bound_factor.min(out_min as f64 / n_c as f64);
         }
-        Matcher { base, config, bound_factor, net_thresholds, credit_candidates }
+        Matcher {
+            base,
+            config,
+            bound_factor,
+            net_thresholds,
+            credit_candidates,
+            scratch_pool: std::sync::Mutex::new(Vec::new()),
+        }
     }
 
     pub fn config(&self) -> &MatchConfig {
         &self.config
     }
 
+    /// The base this matcher retrieves from.
+    pub fn base(&self) -> &'a ShapeBase {
+        self.base
+    }
+
+    fn pooled_scratch(&self) -> MatcherScratch {
+        self.scratch_pool.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    fn return_scratch(&self, scratch: MatcherScratch) {
+        self.scratch_pool.lock().unwrap().push(scratch);
+    }
+
     /// Normalize `query` about its diameter and retrieve the k best shapes.
     pub fn retrieve(&self, query: &Polyline) -> MatchOutcome {
-        match normalize_about_diameter(query) {
-            Some((copy, _)) => self.retrieve_normalized(&copy.shape),
-            None => MatchOutcome::default(),
-        }
+        let mut scratch = self.pooled_scratch();
+        let mut out = MatchOutcome::default();
+        self.retrieve_with(&mut scratch, query, &mut out);
+        self.return_scratch(scratch);
+        out
     }
 
     /// All shapes whose score is at most `tau` — the `shape_similar(Q)`
@@ -228,26 +260,127 @@ impl<'a> Matcher<'a> {
     /// The ε-cap still applies: when `tau / bound_factor` exceeds the cap,
     /// the result is best-effort (`stats.exhausted` is set).
     pub fn retrieve_within(&self, query: &Polyline, tau: f64) -> MatchOutcome {
-        match normalize_about_diameter(query) {
-            Some((copy, _)) => self.run(&copy.shape, RunMode::Threshold(tau)),
-            None => MatchOutcome::default(),
-        }
+        let mut scratch = self.pooled_scratch();
+        let mut out = MatchOutcome::default();
+        self.retrieve_within_with(&mut scratch, query, tau, &mut out);
+        self.return_scratch(scratch);
+        out
     }
 
     /// Retrieve for an already-normalized query (diameter on the unit
     /// segment).
     pub fn retrieve_normalized(&self, query: &Polyline) -> MatchOutcome {
-        self.run(query, RunMode::TopK)
+        let mut scratch = self.pooled_scratch();
+        let mut out = MatchOutcome::default();
+        self.retrieve_normalized_with(&mut scratch, query, &mut out);
+        self.return_scratch(scratch);
+        out
     }
 
-    fn run(&self, query: &Polyline, mode: RunMode) -> MatchOutcome {
-        let base = self.base;
-        let mut outcome = MatchOutcome::default();
-        if base.num_copies() == 0 {
-            return outcome;
+    /// [`Matcher::retrieve`] through caller-owned scratch and out-parameter:
+    /// the zero-allocation hot path. After a warm-up query on comparable
+    /// input sizes, a call touches the heap zero times.
+    pub fn retrieve_with(
+        &self,
+        scratch: &mut MatcherScratch,
+        query: &Polyline,
+        out: &mut MatchOutcome,
+    ) {
+        out.clear();
+        if self.normalize_into(query, scratch) {
+            self.run(scratch, RunMode::TopK, out);
         }
+    }
 
-        let prepared = PreparedShape::new(query.clone());
+    /// [`Matcher::retrieve_within`] through caller-owned scratch.
+    pub fn retrieve_within_with(
+        &self,
+        scratch: &mut MatcherScratch,
+        query: &Polyline,
+        tau: f64,
+        out: &mut MatchOutcome,
+    ) {
+        out.clear();
+        if self.normalize_into(query, scratch) {
+            self.run(scratch, RunMode::Threshold(tau), out);
+        }
+    }
+
+    /// [`Matcher::retrieve_normalized`] through caller-owned scratch.
+    pub fn retrieve_normalized_with(
+        &self,
+        scratch: &mut MatcherScratch,
+        query: &Polyline,
+        out: &mut MatchOutcome,
+    ) {
+        out.clear();
+        match &mut scratch.norm_query {
+            Some(nq) => nq.copy_from(query),
+            None => scratch.norm_query = Some(query.clone()),
+        }
+        self.run(scratch, RunMode::TopK, out);
+    }
+
+    /// Write the diameter-normalized query into `scratch.norm_query`.
+    /// Allocation-free replacement for `normalize_about_diameter`: the
+    /// farthest vertex pair is found by the same lexicographic-first rule
+    /// `alpha_diameters(pts, 0.0)` resolves ties with, so the chosen frame
+    /// is identical to the fresh-allocation path's.
+    fn normalize_into(&self, query: &Polyline, scratch: &mut MatcherScratch) -> bool {
+        let pts = query.points();
+        let (mut bi, mut bj, mut bd) = (0usize, 0usize, -1.0f64);
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                let d = pts[i].dist(pts[j]);
+                if d > bd {
+                    (bi, bj, bd) = (i, j, d);
+                }
+            }
+        }
+        if bd <= 0.0 {
+            return false;
+        }
+        let Some(fwd) = Similarity::normalizing(pts[bi], pts[bj]) else {
+            return false;
+        };
+        match &mut scratch.norm_query {
+            Some(nq) => nq.copy_mapped_from(query, |p| fwd.apply(p)),
+            None => scratch.norm_query = Some(fwd.apply_polyline(query)),
+        }
+        true
+    }
+
+    fn run(&self, scratch: &mut MatcherScratch, mode: RunMode, outcome: &mut MatchOutcome) {
+        let base = self.base;
+        if base.num_copies() == 0 {
+            return;
+        }
+        scratch.ensure(base);
+        let qstamp = scratch.begin_query();
+        let MatcherScratch {
+            iter_clock,
+            counter_stamp,
+            counters,
+            scored_stamp,
+            best_stamp,
+            best_score,
+            best_copy,
+            touched_shapes,
+            seen_stamp,
+            cover,
+            reported,
+            ranked,
+            score_buf,
+            norm_query,
+            query: qslot,
+            back,
+            ..
+        } = scratch;
+        let query: &Polyline = norm_query.as_ref().expect("normalized query set by entry point");
+        let prepared = prepare_into(qslot, query);
+        let mut best =
+            BestTable { qstamp, stamp: best_stamp, score: best_score, copy: best_copy, touched: touched_shapes };
+
         let p = base.num_copies() as f64;
         let n = base.total_vertices() as f64;
         let l_q = query.perimeter();
@@ -259,49 +392,47 @@ impl<'a> Matcher<'a> {
         let eps_cap = eps_base * log_n.powi(self.config.log_power);
         outcome.stats.eps_cap = eps_cap;
 
-        // Per-copy state is *sparse* — a query touches O(K) copies, and
-        // dense O(p)/O(n) scratch arrays would dominate retrieval at scale
-        // (measured: they turned polylog work into linear time). Counters
-        // count ring vertices beyond the anchor credit (already folded
-        // into `net_thresholds`).
-        let mut counters: HashMap<u32, u32> = HashMap::new();
-        let mut scored: std::collections::HashSet<u32> = Default::default();
-        // Best (score, copy) per shape.
-        let mut best_per_shape: HashMap<ShapeId, (f64, CopyId)> = HashMap::new();
+        // Per-copy state stays *sparse* despite the dense arrays: entries
+        // are live only under this query's stamp, so no O(p) clear happens
+        // (DESIGN.md §5 — dense per-query initialization once turned the
+        // polylog work into linear time). Counters count ring vertices
+        // beyond the anchor credit (already folded into `net_thresholds`).
+        //
         // Degenerate copies (e.g. two-vertex segments) are candidates on
         // credit alone; score them up front so they are never lost.
         for &cid in &self.credit_candidates {
-            scored.insert(cid.0);
-            self.score_candidate(cid, &prepared, &mut best_per_shape, &mut outcome);
+            scored_stamp[cid.index()] = qstamp;
+            self.score_candidate(cid, prepared, back, &mut best, outcome);
         }
-        // In-iteration vertex dedup (the ring cover's triangles overlap).
-        let mut seen_this_iter: std::collections::HashSet<u32> = Default::default();
 
         let mut prev_eps = 0.0;
         let mut eps = eps_base;
-        let mut reported: Vec<u32> = Vec::new();
 
         for iter in 1..=self.config.max_iterations {
             outcome.stats.iterations = iter;
             outcome.stats.final_eps = eps;
 
-            let cover = if prev_eps == 0.0 {
-                envelope_cover(query, eps)
+            if prev_eps == 0.0 {
+                envelope_cover_into(query, eps, cover);
             } else {
-                ring_cover(query, prev_eps, eps)
-            };
-            outcome.stats.triangles_queried += cover.triangles.len();
-            outcome.triangle_trace.extend_from_slice(&cover.triangles);
+                ring_cover_into(query, prev_eps, eps, cover);
+            }
+            outcome.stats.triangles_queried += cover.len();
+            outcome.triangle_trace.extend_from_slice(cover);
 
-            seen_this_iter.clear();
-            for tri in &cover.triangles {
+            // In-iteration vertex dedup (the ring cover's triangles
+            // overlap): one fresh stamp per iteration.
+            *iter_clock += 1;
+            let istamp = *iter_clock;
+            for tri in cover.iter() {
                 reported.clear();
-                base.report_triangle(tri, &mut reported);
+                base.report_triangle(tri, reported);
                 outcome.stats.vertices_reported += reported.len();
-                for &vid in &reported {
-                    if !seen_this_iter.insert(vid) {
+                for &vid in reported.iter() {
+                    if seen_stamp[vid as usize] == istamp {
                         continue; // already handled this iteration
                     }
+                    seen_stamp[vid as usize] = istamp;
                     // Exact ring membership (DESIGN.md: exactness
                     // discipline) — the cover may overshoot.
                     let d = prepared.dist(base.vertex_point(vid));
@@ -312,13 +443,15 @@ impl<'a> Matcher<'a> {
                     }
                     outcome.stats.vertices_processed += 1;
                     let owner = base.vertex_owner(vid);
-                    let count = counters.entry(owner.0).or_insert(0);
-                    *count += 1;
-                    if *count >= self.net_thresholds[owner.index()]
-                        && !scored.contains(&owner.0)
-                    {
-                        scored.insert(owner.0);
-                        self.score_candidate(owner, &prepared, &mut best_per_shape, &mut outcome);
+                    let oi = owner.index();
+                    if counter_stamp[oi] != qstamp {
+                        counter_stamp[oi] = qstamp;
+                        counters[oi] = 0;
+                    }
+                    counters[oi] += 1;
+                    if counters[oi] >= self.net_thresholds[oi] && scored_stamp[oi] != qstamp {
+                        scored_stamp[oi] = qstamp;
+                        self.score_candidate(owner, prepared, back, &mut best, outcome);
                     }
                 }
             }
@@ -330,15 +463,16 @@ impl<'a> Matcher<'a> {
                     // need k shapes on the board, plus certification of the
                     // best (paper rule) or of the k-th (certify_all)
                     let certify_rank = if self.config.certify_all { self.config.k } else { 1 };
-                    best_per_shape.len() >= self.config.k
-                        && kth_best(&best_per_shape, certify_rank)
+                    best.len() >= self.config.k
+                        && best
+                            .kth(certify_rank, score_buf)
                             .is_some_and(|kth| kth <= self.bound_factor * eps)
                 }
                 RunMode::Threshold(tau) => self.bound_factor * eps >= tau,
             };
             if done {
-                self.finish(best_per_shape, mode, &mut outcome, false);
-                return outcome;
+                self.finish(&best, ranked, mode, outcome, false);
+                return;
             }
 
             prev_eps = eps;
@@ -355,45 +489,49 @@ impl<'a> Matcher<'a> {
             }
         }
 
-        self.finish(best_per_shape, mode, &mut outcome, true);
-        outcome
+        self.finish(&best, ranked, mode, outcome, true);
     }
 
     fn score_candidate(
         &self,
         copy_id: CopyId,
-        prepared: &PreparedShape,
-        best_per_shape: &mut HashMap<ShapeId, (f64, CopyId)>,
+        prepared: &crate::similarity::PreparedShape,
+        back: &mut Option<crate::similarity::PreparedShape>,
+        best: &mut BestTable<'_>,
         outcome: &mut MatchOutcome,
     ) {
         let copy = self.base.copy(copy_id);
         outcome.access_trace.push(copy_id); // record fetch
         outcome.stats.candidates_scored += 1;
-        let s = score(self.config.score, &copy.normalized, prepared);
-        let entry = best_per_shape.entry(copy.shape_id).or_insert((f64::INFINITY, copy_id));
-        if s < entry.0 {
-            *entry = (s, copy_id);
-        }
+        let s = score_with(self.config.score, &copy.normalized, prepared, back);
+        best.record(copy.shape_id, s, copy_id);
     }
 
     fn finish(
         &self,
-        best_per_shape: HashMap<ShapeId, (f64, CopyId)>,
+        best: &BestTable<'_>,
+        ranked: &mut Vec<(u32, f64, u32)>,
         mode: RunMode,
         outcome: &mut MatchOutcome,
         exhausted: bool,
     ) {
-        let mut ranked: Vec<(ShapeId, f64, CopyId)> =
-            best_per_shape.into_iter().map(|(sid, (s, cid))| (sid, s, cid)).collect();
-        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        ranked.clear();
+        for &sid in best.touched.iter() {
+            let si = sid as usize;
+            ranked.push((sid, best.score[si], best.copy[si]));
+        }
+        // Total ordering key (score, shape id) — shape ids are unique, so
+        // the unstable sort is deterministic regardless of touch order.
+        ranked.sort_unstable_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
         match mode {
             RunMode::TopK => ranked.truncate(self.config.k),
-            RunMode::Threshold(tau) => ranked.retain(|(_, s, _)| *s <= tau),
+            RunMode::Threshold(tau) => ranked.retain(|&(_, s, _)| s <= tau),
         }
-        for (shape, s, copy) in ranked {
+        for &(sid, s, cid) in ranked.iter() {
+            let copy = CopyId(cid);
             outcome.access_trace.push(copy); // final result fetch
             outcome.matches.push(Match {
-                shape,
+                shape: ShapeId(sid),
                 image: self.base.copy(copy).image,
                 copy,
                 score: s,
@@ -420,13 +558,46 @@ impl<'a> Matcher<'a> {
     }
 }
 
-fn kth_best(best_per_shape: &HashMap<ShapeId, (f64, CopyId)>, k: usize) -> Option<f64> {
-    if best_per_shape.len() < k {
-        return None;
+/// Per-shape best-(score, copy) table over the scratch's stamped dense
+/// arrays; `touched` lists the shapes live under the current stamp.
+struct BestTable<'s> {
+    qstamp: u64,
+    stamp: &'s mut Vec<u64>,
+    score: &'s mut Vec<f64>,
+    copy: &'s mut Vec<u32>,
+    touched: &'s mut Vec<u32>,
+}
+
+impl BestTable<'_> {
+    fn record(&mut self, sid: ShapeId, s: f64, cid: CopyId) {
+        let si = sid.index();
+        if self.stamp[si] != self.qstamp {
+            self.stamp[si] = self.qstamp;
+            self.score[si] = s;
+            self.copy[si] = cid.0;
+            self.touched.push(sid.0);
+        } else if s < self.score[si] {
+            self.score[si] = s;
+            self.copy[si] = cid.0;
+        }
     }
-    let mut scores: Vec<f64> = best_per_shape.values().map(|(s, _)| *s).collect();
-    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    Some(scores[k - 1])
+
+    fn len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// The k-th smallest best-score on the board (1-based), via selection
+    /// over the touched set only.
+    fn kth(&self, k: usize, buf: &mut Vec<f64>) -> Option<f64> {
+        if self.touched.len() < k {
+            return None;
+        }
+        buf.clear();
+        buf.extend(self.touched.iter().map(|&sid| self.score[sid as usize]));
+        let (_, kth, _) =
+            buf.select_nth_unstable_by(k - 1, |a, b| a.partial_cmp(b).unwrap());
+        Some(*kth)
+    }
 }
 
 #[cfg(test)]

@@ -3,14 +3,60 @@
 //! §1 cites parallel similarity search [5] as the neighboring line of
 //! work; GeoSIR's own structures parallelize trivially because the shape
 //! base and all indexes are immutable after build. This module fans a
-//! batch of queries out over a crossbeam scope — used by the experiment
-//! harnesses (15-query sets) and by any embedding application that
-//! receives concurrent sketches.
+//! batch of queries out over a `std::thread::scope` — used by the
+//! experiment harnesses (15-query sets) and by any embedding application
+//! that receives concurrent sketches.
+//!
+//! Each worker owns one long-lived [`MatcherScratch`], so a batch of m
+//! queries pays the dense-array setup `threads` times, not m times, and
+//! every retrieval after a worker's first runs on the zero-allocation
+//! path. Workers claim contiguous chunks of query indices from a shared
+//! atomic cursor and write results straight into disjoint slots of the
+//! output vector — no per-slot locks, no post-hoc reordering.
 
-use crossbeam::thread;
 use geosir_geom::Polyline;
 
 use crate::matcher::{MatchOutcome, Matcher};
+use crate::scratch::MatcherScratch;
+
+/// Resolve a `threads` argument: 0 means one worker per available CPU.
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// A `&mut [Option<T>]` writable from several threads at *disjoint*
+/// indices. The claiming discipline (an atomic cursor handing out each
+/// index to exactly one worker) is what makes the disjointness hold; this
+/// wrapper only carries the pointer across the `Sync` boundary.
+pub(crate) struct SharedSlots<'a, T> {
+    ptr: *mut Option<T>,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [Option<T>]>,
+}
+
+unsafe impl<T: Send> Sync for SharedSlots<'_, T> {}
+
+impl<'a, T> SharedSlots<'a, T> {
+    pub(crate) fn new(slice: &'a mut [Option<T>]) -> Self {
+        SharedSlots { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: std::marker::PhantomData }
+    }
+
+    /// Write slot `i`.
+    ///
+    /// # Safety
+    /// Each index must be written by at most one thread over the wrapper's
+    /// lifetime, and the underlying slice must outlive all writers (both
+    /// guaranteed by claiming indices from a shared atomic cursor inside a
+    /// thread scope borrowing the slice).
+    pub(crate) unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.len);
+        unsafe { *self.ptr.add(i) = Some(value) };
+    }
+}
 
 /// Retrieve every query of `queries` against `matcher`, using up to
 /// `threads` worker threads (0 = one per available CPU). Results are
@@ -25,36 +71,45 @@ pub fn retrieve_batch(
     if queries.is_empty() {
         return Vec::new();
     }
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        threads
-    }
-    .min(queries.len());
+    let threads = resolve_threads(threads).min(queries.len());
     if threads <= 1 {
-        return queries.iter().map(|q| matcher.retrieve(q)).collect();
+        let mut scratch = MatcherScratch::for_base(matcher.base());
+        return queries
+            .iter()
+            .map(|q| {
+                let mut out = MatchOutcome::default();
+                matcher.retrieve_with(&mut scratch, q, &mut out);
+                out
+            })
+            .collect();
     }
 
+    // Chunked claiming: big enough to amortize the atomic, small enough
+    // that uneven query costs still balance across workers.
+    let chunk = (queries.len() / (threads * 4)).clamp(1, 32);
     let mut results: Vec<Option<MatchOutcome>> = (0..queries.len()).map(|_| None).collect();
+    let slots = SharedSlots::new(&mut results);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    // Work stealing over a shared counter: chunks of slots are claimed by
-    // index, so result order is by construction the query order.
-    let slots: Vec<std::sync::Mutex<&mut Option<MatchOutcome>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
-    thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= queries.len() {
-                    break;
+            s.spawn(|| {
+                let mut scratch = MatcherScratch::for_base(matcher.base());
+                loop {
+                    let start = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+                    if start >= queries.len() {
+                        break;
+                    }
+                    let end = (start + chunk).min(queries.len());
+                    for (i, query) in queries.iter().enumerate().take(end).skip(start) {
+                        let mut out = MatchOutcome::default();
+                        matcher.retrieve_with(&mut scratch, query, &mut out);
+                        // SAFETY: the cursor hands each chunk to one worker.
+                        unsafe { slots.write(i, out) };
+                    }
                 }
-                let out = matcher.retrieve(&queries[i]);
-                **slots[i].lock().unwrap() = Some(out);
             });
         }
-    })
-    .expect("worker panicked");
-    drop(slots);
+    });
     results.into_iter().map(|r| r.expect("every slot filled")).collect()
 }
 
@@ -124,5 +179,20 @@ mod tests {
         let out = retrieve_batch(&matcher, std::slice::from_ref(&q), 16);
         assert_eq!(out.len(), 1);
         assert!(out[0].best().is_some());
+    }
+
+    #[test]
+    fn large_batch_chunked_claiming_covers_all_slots() {
+        let base = world();
+        let matcher = Matcher::new(&base, MatchConfig { k: 1, ..Default::default() });
+        // more queries than one chunk round, to exercise wrap-around
+        let queries: Vec<Polyline> = (0..40)
+            .map(|i| base.source(crate::ids::ShapeId(i % 40)).shape.clone())
+            .collect();
+        let out = retrieve_batch(&matcher, &queries, 3);
+        assert_eq!(out.len(), queries.len());
+        for o in &out {
+            assert!(o.best().is_some());
+        }
     }
 }

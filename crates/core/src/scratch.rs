@@ -1,0 +1,105 @@
+//! Reusable per-query scratch state for the matcher (the zero-allocation
+//! hot path).
+//!
+//! DESIGN.md §5 records that dense O(p)/O(n) per-query state once turned
+//! the §2.5 polylog retrieval into linear time — which is why the matcher
+//! historically used hash maps. [`MatcherScratch`] gets the best of both:
+//! dense arrays for O(1) uncontended access, with **epoch stamps** instead
+//! of clears. Each query (and each envelope iteration, for the vertex-dedup
+//! set) draws a fresh stamp from a monotone counter; an entry is live only
+//! when its stamp equals the current one, so "resetting" all p counters is
+//! a single integer increment. Per-query work stays O(touched), and after a
+//! warm-up pass the whole retrieval touches the heap zero times.
+
+use geosir_geom::{Polyline, Triangle};
+
+use crate::shapebase::ShapeBase;
+use crate::similarity::PreparedShape;
+
+/// Arena of reusable buffers for [`crate::matcher::Matcher::retrieve_with`].
+///
+/// One scratch serves one thread; create it once (or take it from the
+/// matcher's internal pool via the scratchless entry points) and thread it
+/// through every retrieval. A scratch is not tied to a particular base —
+/// [`MatcherScratch::ensure`] re-sizes the dense arrays when the base's
+/// dimensions change, and stale stamps from earlier bases can never collide
+/// with freshly drawn ones (the clocks only move forward).
+#[derive(Debug, Default)]
+pub struct MatcherScratch {
+    // --- stamp clocks (monotone; 0 means "never stamped") ---
+    query_clock: u64,
+    pub(crate) iter_clock: u64,
+
+    // --- per-copy dense state, indexed by CopyId ---
+    pub(crate) counter_stamp: Vec<u64>,
+    pub(crate) counters: Vec<u32>,
+    pub(crate) scored_stamp: Vec<u64>,
+
+    // --- per-shape dense state, indexed by ShapeId ---
+    pub(crate) best_stamp: Vec<u64>,
+    pub(crate) best_score: Vec<f64>,
+    pub(crate) best_copy: Vec<u32>,
+    /// Shapes with at least one scored copy this query, in first-touch
+    /// order — the sparse enumeration `finish` ranks from.
+    pub(crate) touched_shapes: Vec<u32>,
+
+    // --- per-pooled-vertex dense state ---
+    /// In-iteration dedup (ring-cover triangles overlap).
+    pub(crate) seen_stamp: Vec<u64>,
+
+    // --- reusable buffers ---
+    pub(crate) cover: Vec<Triangle>,
+    pub(crate) reported: Vec<u32>,
+    pub(crate) ranked: Vec<(u32, f64, u32)>,
+    pub(crate) score_buf: Vec<f64>,
+    /// The normalized query geometry.
+    pub(crate) norm_query: Option<Polyline>,
+    /// Index over the normalized query (forward h_avg direction).
+    pub(crate) query: Option<PreparedShape>,
+    /// Index over the current candidate (reverse direction, symmetric
+    /// kinds).
+    pub(crate) back: Option<PreparedShape>,
+}
+
+impl MatcherScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scratch with its dense arrays pre-sized for `base`.
+    pub fn for_base(base: &ShapeBase) -> Self {
+        let mut s = Self::default();
+        s.ensure(base);
+        s
+    }
+
+    /// Size the dense arrays for `base`. Growth keeps existing stamps —
+    /// they belong to past queries and can never equal a future stamp.
+    pub(crate) fn ensure(&mut self, base: &ShapeBase) {
+        let copies = base.num_copies();
+        let shapes = base.num_shapes();
+        let vertices = base.total_vertices();
+        if self.counter_stamp.len() < copies {
+            self.counter_stamp.resize(copies, 0);
+            self.counters.resize(copies, 0);
+            self.scored_stamp.resize(copies, 0);
+        }
+        if self.best_stamp.len() < shapes {
+            self.best_stamp.resize(shapes, 0);
+            self.best_score.resize(shapes, 0.0);
+            self.best_copy.resize(shapes, 0);
+        }
+        if self.seen_stamp.len() < vertices {
+            self.seen_stamp.resize(vertices, 0);
+        }
+    }
+
+    /// Start a new query: returns the stamp identifying this query's
+    /// entries in the per-copy/per-shape arrays.
+    pub(crate) fn begin_query(&mut self) -> u64 {
+        self.query_clock += 1;
+        self.touched_shapes.clear();
+        self.query_clock
+    }
+
+}

@@ -5,7 +5,8 @@ use geosir_geom::rangesearch::{Backend, DynSimplexIndex};
 use geosir_geom::{Point, Polyline, Similarity, Triangle};
 
 use crate::ids::{CopyId, ImageId, ShapeId};
-use crate::normalize::normalized_copies;
+use crate::normalize::{normalized_copies, NormalizedCopy};
+use crate::parallel::{resolve_threads, SharedSlots};
 
 /// A shape as extracted from an image, before normalization.
 #[derive(Debug, Clone)]
@@ -62,16 +63,56 @@ impl ShapeBaseBuilder {
 
     /// Normalize every shape about its α-diameters and build the vertex
     /// index. `alpha ∈ [0, 1)`; `backend` picks the simplex range-search
-    /// structure (see DESIGN.md for the trade-off).
+    /// structure (see DESIGN.md for the trade-off). Uses every available
+    /// CPU; see [`ShapeBaseBuilder::build_with_threads`].
     pub fn build(self, alpha: f64, backend: Backend) -> ShapeBase {
+        self.build_with_threads(alpha, backend, 0)
+    }
+
+    /// [`ShapeBaseBuilder::build`] with an explicit worker count
+    /// (0 = one per available CPU).
+    ///
+    /// The per-shape normalization (α-diameter enumeration is quadratic in
+    /// the shape's vertex count) dominates build time and is embarrassingly
+    /// parallel, so workers claim shapes from an atomic cursor and drop
+    /// each shape's copies into its own slot. The merge then runs in shape
+    /// order, so the resulting base — copy order, pooled-vertex order, and
+    /// therefore the index built over them — is byte-identical no matter
+    /// how many threads ran.
+    pub fn build_with_threads(self, alpha: f64, backend: Backend, threads: usize) -> ShapeBase {
+        let threads = resolve_threads(threads).min(self.shapes.len().max(1));
+        let mut per_shape: Vec<Option<Vec<NormalizedCopy>>> =
+            (0..self.shapes.len()).map(|_| None).collect();
+        if threads <= 1 {
+            for (slot, src) in per_shape.iter_mut().zip(&self.shapes) {
+                *slot = Some(normalized_copies(&src.shape, alpha));
+            }
+        } else {
+            let slots = SharedSlots::new(&mut per_shape);
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let shapes = &self.shapes;
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= shapes.len() {
+                            break;
+                        }
+                        // SAFETY: the cursor hands each index to one worker.
+                        unsafe { slots.write(i, normalized_copies(&shapes[i].shape, alpha)) };
+                    });
+                }
+            });
+        }
+
         let mut copies = Vec::new();
         let mut vertex_points: Vec<Point> = Vec::new();
         let mut vertex_copy: Vec<u32> = Vec::new();
         let anchor0 = Point::ORIGIN;
         let anchor1 = Point::new(1.0, 0.0);
         const ANCHOR_TOL: f64 = 1e-9;
-        for (sid, src) in self.shapes.iter().enumerate() {
-            for nc in normalized_copies(&src.shape, alpha) {
+        for (sid, (src, slot)) in self.shapes.iter().zip(per_shape.iter_mut()).enumerate() {
+            for nc in slot.take().expect("every shape normalized") {
                 let copy_idx = copies.len() as u32;
                 let mut anchor_credit = 0u32;
                 for &p in nc.shape.points() {
@@ -252,6 +293,36 @@ mod tests {
         let mut out = Vec::new();
         base.report_triangle(&big, &mut out);
         assert_eq!(out.len(), base.total_vertices());
+    }
+
+    #[test]
+    fn parallel_build_identical_to_serial() {
+        for threads in [2usize, 4, 0] {
+            let mut serial = ShapeBaseBuilder::new();
+            let mut parallel = ShapeBaseBuilder::new();
+            for b in [&mut serial, &mut parallel] {
+                for i in 0..17 {
+                    let f = i as f64;
+                    b.add_shape(ImageId(i), tri_at(f * 0.7 - 3.0, f * 1.3, 0.5 + f * 0.21));
+                }
+            }
+            let a = serial.build_with_threads(0.15, Backend::RangeTree, 1);
+            let b = parallel.build_with_threads(0.15, Backend::RangeTree, threads);
+            assert_eq!(a.num_copies(), b.num_copies(), "threads = {threads}");
+            assert_eq!(a.total_vertices(), b.total_vertices());
+            for vid in 0..a.total_vertices() as u32 {
+                // bit-identical: same shapes normalized by the same code,
+                // merged in the same order
+                assert_eq!(a.vertex_point(vid), b.vertex_point(vid), "vertex {vid}");
+                assert_eq!(a.vertex_owner(vid), b.vertex_owner(vid));
+            }
+            for (cid, ca) in a.copies() {
+                let cb = b.copy(cid);
+                assert_eq!(ca.shape_id, cb.shape_id);
+                assert_eq!(ca.anchor_credit, cb.anchor_credit);
+                assert_eq!(ca.normalized.points(), cb.normalized.points());
+            }
+        }
     }
 
     #[test]

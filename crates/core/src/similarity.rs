@@ -35,6 +35,7 @@ pub enum ScoreKind {
 }
 
 /// A shape prepared for repeated distance evaluations against it.
+#[derive(Debug)]
 pub struct PreparedShape {
     shape: Polyline,
     index: SegmentIndex,
@@ -44,6 +45,14 @@ impl PreparedShape {
     pub fn new(shape: Polyline) -> Self {
         let index = SegmentIndex::of_polyline(&shape);
         PreparedShape { shape, index }
+    }
+
+    /// Re-prepare for `shape` in place, reusing the vertex buffer and the
+    /// AABB tree's allocations (the matcher's scratch path re-prepares one
+    /// candidate after another without touching the heap).
+    pub fn rebuild_from(&mut self, shape: &Polyline) {
+        self.shape.copy_from(shape);
+        self.index.rebuild_of_polyline(&self.shape);
     }
 
     pub fn shape(&self) -> &Polyline {
@@ -109,13 +118,23 @@ pub fn h_avg_discrete(a: &Polyline, b: &PreparedShape) -> f64 {
 
 /// Median variant mentioned in §2.2 for discrete averages.
 pub fn h_median_discrete(a: &Polyline, b: &PreparedShape) -> f64 {
-    let mut d: Vec<f64> = a.points().iter().map(|&p| b.dist(p)).collect();
-    d.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    h_median_discrete_with(a, b, &mut Vec::new())
+}
+
+/// [`h_median_discrete`] over a caller-provided distance buffer, selecting
+/// the order statistics in O(n) instead of fully sorting.
+pub fn h_median_discrete_with(a: &Polyline, b: &PreparedShape, d: &mut Vec<f64>) -> f64 {
+    d.clear();
+    d.extend(a.points().iter().map(|&p| b.dist(p)));
     let n = d.len();
+    let cmp = |x: &f64, y: &f64| x.partial_cmp(y).unwrap();
+    let (lo, mid, _) = d.select_nth_unstable_by(n / 2, cmp);
     if n % 2 == 1 {
-        d[n / 2]
+        *mid
     } else {
-        0.5 * (d[n / 2 - 1] + d[n / 2])
+        // the (n/2 − 1)-th statistic is the maximum of the lower partition
+        let below = lo.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        0.5 * (below + *mid)
     }
 }
 
@@ -146,17 +165,41 @@ pub fn h_avg_continuous(a: &Polyline, b: &PreparedShape) -> f64 {
 /// Score `candidate` against `query` under `kind`. For the symmetric kinds
 /// both directions are evaluated (the candidate is indexed on the fly).
 pub fn score(kind: ScoreKind, candidate: &Polyline, query: &PreparedShape) -> f64 {
+    score_with(kind, candidate, query, &mut None)
+}
+
+/// [`score`] with a reusable slot for the reverse-direction index: the
+/// symmetric kinds re-prepare the candidate into `back` instead of
+/// allocating a fresh [`PreparedShape`] per call.
+pub fn score_with(
+    kind: ScoreKind,
+    candidate: &Polyline,
+    query: &PreparedShape,
+    back: &mut Option<PreparedShape>,
+) -> f64 {
     match kind {
         ScoreKind::DiscreteDirected => h_avg_discrete(candidate, query),
         ScoreKind::ContinuousDirected => h_avg_continuous(candidate, query),
         ScoreKind::DiscreteSymmetric => {
-            let back = PreparedShape::new(candidate.clone());
-            h_avg_discrete(candidate, query).max(h_avg_discrete(query.shape(), &back))
+            let back = prepare_into(back, candidate);
+            h_avg_discrete(candidate, query).max(h_avg_discrete(query.shape(), back))
         }
         ScoreKind::ContinuousSymmetric => {
-            let back = PreparedShape::new(candidate.clone());
-            h_avg_continuous(candidate, query).max(h_avg_continuous(query.shape(), &back))
+            let back = prepare_into(back, candidate);
+            h_avg_continuous(candidate, query).max(h_avg_continuous(query.shape(), back))
         }
+    }
+}
+
+/// Fill `slot` with an index over `shape`, reusing its allocations when
+/// already occupied.
+pub fn prepare_into<'a>(slot: &'a mut Option<PreparedShape>, shape: &Polyline) -> &'a PreparedShape {
+    match slot {
+        Some(p) => {
+            p.rebuild_from(shape);
+            p
+        }
+        None => slot.insert(PreparedShape::new(shape.clone())),
     }
 }
 

@@ -39,9 +39,17 @@ pub fn envelope_contains(poly: &Polyline, p: Point, eps: f64) -> bool {
 /// number of triangles is at most `12·m` for `m` edges. Panics if
 /// `inner < 0`, `outer ≤ inner` or either is non-finite.
 pub fn ring_cover(poly: &Polyline, inner: f64, outer: f64) -> RingCover {
+    let mut triangles = Vec::with_capacity(12 * poly.num_edges());
+    ring_cover_into(poly, inner, outer, &mut triangles);
+    RingCover { inner, outer, triangles }
+}
+
+/// [`ring_cover`] writing into a caller-provided buffer (cleared first), so
+/// the matcher's iteration loop allocates nothing once the buffer is warm.
+pub fn ring_cover_into(poly: &Polyline, inner: f64, outer: f64, triangles: &mut Vec<Triangle>) {
     assert!(inner >= 0.0 && outer.is_finite() && inner.is_finite(), "bad ring radii");
     assert!(outer > inner, "ring must have positive width: {inner}..{outer}");
-    let mut triangles = Vec::with_capacity(12 * poly.num_edges());
+    triangles.clear();
 
     // Per-edge side bands.
     for e in poly.edges() {
@@ -51,23 +59,28 @@ pub fn ring_cover(poly: &Polyline, inner: f64, outer: f64) -> RingCover {
             let lo = n * (inner * side);
             let hi = n * (outer * side);
             let quad = [e.a + lo, e.b + lo, e.b + hi, e.a + hi];
-            push_quad(&mut triangles, quad);
+            push_quad(triangles, quad);
         }
     }
 
     // Per-vertex square annuli.
     let inner_half = inner / std::f64::consts::SQRT_2;
     for &v in poly.points() {
-        push_square_annulus(&mut triangles, v, inner_half, outer);
+        push_square_annulus(triangles, v, inner_half, outer);
     }
-
-    RingCover { inner, outer, triangles }
 }
 
 /// Cover of the full ε-envelope (ring with `inner = 0`).
 pub fn envelope_cover(poly: &Polyline, eps: f64) -> RingCover {
-    assert!(eps > 0.0, "envelope width must be positive");
     let mut triangles = Vec::with_capacity(6 * poly.num_edges());
+    envelope_cover_into(poly, eps, &mut triangles);
+    RingCover { inner: 0.0, outer: eps, triangles }
+}
+
+/// [`envelope_cover`] writing into a caller-provided buffer (cleared first).
+pub fn envelope_cover_into(poly: &Polyline, eps: f64, triangles: &mut Vec<Triangle>) {
+    assert!(eps > 0.0, "envelope width must be positive");
+    triangles.clear();
     for e in poly.edges() {
         let Some(d) = e.dir().normalized() else { continue };
         let n = d.perp();
@@ -77,12 +90,11 @@ pub fn envelope_cover(poly: &Polyline, eps: f64) -> RingCover {
             e.b - n * eps,
             e.b + n * eps,
         ];
-        push_quad(&mut triangles, quad);
+        push_quad(triangles, quad);
     }
     for &v in poly.points() {
-        push_square_annulus(&mut triangles, v, 0.0, eps);
+        push_square_annulus(triangles, v, 0.0, eps);
     }
-    RingCover { inner: 0.0, outer: eps, triangles }
 }
 
 fn push_quad(out: &mut Vec<Triangle>, q: [Point; 4]) {

@@ -63,6 +63,7 @@ pub fn integrate(f: impl Fn(f64) -> f64, a: f64, b: f64, tol: f64) -> f64 {
         let fm = f(m);
         ((b - a) / 6.0 * (fa + 4.0 * fm + fb), m, fm)
     }
+    #[allow(clippy::too_many_arguments)] // adaptive Simpson threads all endpoint samples
     fn rec(
         f: &impl Fn(f64) -> f64,
         a: f64,

@@ -271,6 +271,22 @@ impl Polyline {
     pub fn map_points(&self, mut f: impl FnMut(Point) -> Point) -> Polyline {
         Polyline { pts: self.pts.iter().map(|&p| f(p)).collect(), closed: self.closed }
     }
+
+    /// Overwrite this polyline with `src`'s geometry, reusing the vertex
+    /// allocation (no validation — `src` is already a valid shape).
+    pub fn copy_from(&mut self, src: &Polyline) {
+        self.pts.clear();
+        self.pts.extend_from_slice(&src.pts);
+        self.closed = src.closed;
+    }
+
+    /// Overwrite with `f` applied to every vertex of `src` — the
+    /// allocation-free counterpart of [`Polyline::map_points`].
+    pub fn copy_mapped_from(&mut self, src: &Polyline, mut f: impl FnMut(Point) -> Point) {
+        self.pts.clear();
+        self.pts.extend(src.pts.iter().map(|&p| f(p)));
+        self.closed = src.closed;
+    }
 }
 
 #[cfg(test)]

@@ -17,6 +17,9 @@ pub struct SegmentIndex {
     nodes: Vec<SNode>,
     segs: Vec<Segment>,
     root: Option<u32>,
+    /// Permutation scratch for (re)builds, kept so [`Self::rebuild`] is
+    /// allocation-free once capacities are warm.
+    ids: Vec<u32>,
 }
 
 #[derive(Debug)]
@@ -32,18 +35,42 @@ const NONE: u32 = u32::MAX;
 
 impl SegmentIndex {
     pub fn build(segments: &[Segment]) -> Self {
-        let segs = segments.to_vec();
-        let mut ids: Vec<u32> = (0..segs.len() as u32).collect();
-        let mut nodes = Vec::with_capacity(2 * segs.len());
-        let root =
-            if ids.is_empty() { None } else { Some(build_rec(&segs, &mut ids, &mut nodes)) };
-        SegmentIndex { nodes, segs, root }
+        let mut idx =
+            SegmentIndex { nodes: Vec::new(), segs: Vec::new(), root: None, ids: Vec::new() };
+        idx.rebuild(segments.iter().copied());
+        idx
     }
 
     /// Index over the edges of a polyline — the `h_avg` evaluation structure
     /// for a query shape.
     pub fn of_polyline(pl: &Polyline) -> Self {
-        Self::build(&pl.edges().collect::<Vec<_>>())
+        let mut idx =
+            SegmentIndex { nodes: Vec::new(), segs: Vec::new(), root: None, ids: Vec::new() };
+        idx.rebuild_of_polyline(pl);
+        idx
+    }
+
+    /// Rebuild the tree over a new segment set in place, reusing every
+    /// allocation (node pool, segment store, permutation scratch).
+    pub fn rebuild(&mut self, segments: impl IntoIterator<Item = Segment>) {
+        self.segs.clear();
+        self.segs.extend(segments);
+        self.nodes.clear();
+        self.ids.clear();
+        self.ids.extend(0..self.segs.len() as u32);
+        self.root = if self.ids.is_empty() {
+            None
+        } else {
+            Some(build_rec(&self.segs, &mut self.ids, &mut self.nodes))
+        };
+    }
+
+    /// [`Self::rebuild`] over a polyline's edges.
+    pub fn rebuild_of_polyline(&mut self, pl: &Polyline) {
+        // Collecting edges through the iterator avoids the intermediate
+        // Vec<Segment> the old `of_polyline` built.
+        let n = pl.num_edges();
+        self.rebuild((0..n).map(|i| pl.edge(i)));
     }
 
     pub fn len(&self) -> usize {

@@ -30,8 +30,8 @@ fn dp_rec(points: &[Point], lo: usize, hi: usize, tol: f64, keep: &mut [bool]) {
     }
     let seg = Segment::new(points[lo], points[hi]);
     let (mut worst, mut worst_d) = (lo, -1.0);
-    for i in (lo + 1)..hi {
-        let d = seg.dist_to_point(points[i]);
+    for (i, p) in points.iter().enumerate().take(hi).skip(lo + 1) {
+        let d = seg.dist_to_point(*p);
         if d > worst_d {
             worst = i;
             worst_d = d;

@@ -296,7 +296,7 @@ mod tests {
         let base = corpus.build_base(0.05, Backend::KdTree);
         let multiplicity = base.num_copies() as f64 / base.num_shapes() as f64;
         assert!(
-            multiplicity >= 2.0 && multiplicity <= 30.0,
+            (2.0..=30.0).contains(&multiplicity),
             "copies per shape = {multiplicity}"
         );
     }

@@ -63,8 +63,8 @@ fn main() {
     // ------------------------------------------------------------------
     let matcher = Matcher::new(&base, MatchConfig { k: 3, beta: 0.3, ..Default::default() });
     let mut hits = 0;
-    for probe_family in 0..families.len() {
-        let sketch = perturb(&families[probe_family], &mut rng, 0.04);
+    for (probe_family, family) in families.iter().enumerate() {
+        let sketch = perturb(family, &mut rng, 0.04);
         let outcome = matcher.retrieve(&sketch);
         let Some(best) = outcome.best() else {
             println!("family {probe_family}: no match (not present in any image?)");

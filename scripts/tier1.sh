@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything that must stay green on every commit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
+
+echo "tier1: OK"

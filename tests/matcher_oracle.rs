@@ -35,7 +35,7 @@ fn oracle_best(base: &ShapeBase, query: &Polyline) -> Option<(ShapeId, f64)> {
     let mut best: Option<(ShapeId, f64)> = None;
     for (_, copy) in base.copies() {
         let s = score(ScoreKind::DiscreteSymmetric, &copy.normalized, &prepared);
-        if best.map_or(true, |(_, b)| s < b) {
+        if best.is_none_or(|(_, b)| s < b) {
             best = Some((copy.shape_id, s));
         }
     }

@@ -1,0 +1,195 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `bench_with_input`/`sample_size`, `BenchmarkId`,
+//! and `black_box` — backed by a simple timed loop that prints one line
+//! per benchmark. No warm-up modeling, outlier analysis, or reports; the
+//! numbers are indicative, and the real value is that `cargo bench`
+//! compiles and exercises every benchmark body offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The measurement driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    /// Median ns/iter of the completed run (set by `iter`).
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f`, sampling until the per-bench budget or sample count is
+    /// exhausted.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // calibrate: how many iterations fit in ~1ms?
+        let mut iters_per_sample = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 4;
+        }
+        let mut samples = Vec::with_capacity(self.samples);
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() / iters_per_sample as f64);
+            if start.elapsed() > self.budget {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.last_ns = samples[samples.len() / 2] * 1e9;
+    }
+}
+
+fn run_one(label: &str, samples: usize, budget: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples, budget, last_ns: f64::NAN };
+    f(&mut b);
+    if b.last_ns.is_nan() {
+        println!("bench {label:<50} (no measurement)");
+    } else if b.last_ns >= 1e6 {
+        println!("bench {label:<50} {:>12.3} ms/iter", b.last_ns / 1e6);
+    } else if b.last_ns >= 1e3 {
+        println!("bench {label:<50} {:>12.3} µs/iter", b.last_ns / 1e3);
+    } else {
+        println!("bench {label:<50} {:>12.1} ns/iter", b.last_ns);
+    }
+}
+
+/// Top-level benchmark registry/driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+const DEFAULT_SAMPLES: usize = 20;
+const DEFAULT_BUDGET: Duration = Duration::from_millis(500);
+
+impl Criterion {
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(name, DEFAULT_SAMPLES, DEFAULT_BUDGET, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            samples: DEFAULT_SAMPLES,
+            budget: DEFAULT_BUDGET,
+        }
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+    budget: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), self.samples, self.budget, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), self.samples, self.budget, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Groups benchmark functions under one registry function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

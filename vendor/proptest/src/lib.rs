@@ -1,0 +1,109 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace uses: the
+//! `proptest!` test macro, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!`, `prop_oneof!`, `Just`, range and regex-string
+//! strategies, `.prop_map`, `.prop_recursive`, and `BoxedStrategy`.
+//! Each `#[test]` runs a fixed number of deterministically seeded cases
+//! (seed derived from the test name). No shrinking and no failure
+//! persistence: a failing case panics with the sampled inputs so the
+//! case can be reproduced by reading the message.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// The test-defining macro. Each function becomes a `#[test]` that runs
+/// the body over deterministically sampled values of its arguments.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__proptest_gen| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), __proptest_gen);)+
+                    let __proptest_vals = || {
+                        let mut s = String::new();
+                        $(
+                            s.push_str(concat!(stringify!($arg), " = "));
+                            s.push_str(&format!("{:?}, ", &$arg));
+                        )+
+                        s
+                    };
+                    let __proptest_result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    __proptest_result.map_err(|e| e.with_inputs(__proptest_vals()))
+                });
+            }
+        )+
+    };
+}
+
+/// Assert inside a proptest body; failure aborts the case (not the
+/// process) and reports the sampled inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return Err($crate::test_runner::TestCaseError::fail(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                        stringify!($left), stringify!($right), l, r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+                }
+            }
+        }
+    };
+}
+
+/// Discard the current case (counts as a rejection, not a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,365 @@
+//! Value-generation strategies (sampling only — no shrink trees).
+
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+use crate::test_runner::Gen;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, gen: &mut Gen) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursive strategies: `depth` levels of `f` applied over the base
+    /// case, each level choosing 50/50 between recursing and bottoming
+    /// out. `_desired_size` and `_expected_branch` are accepted for API
+    /// compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut current = base.clone();
+        for _ in 0..depth {
+            let rec = f(current).boxed();
+            current = OneOf::new(vec![base.clone(), rec]).boxed();
+        }
+        current
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Object-safe sampling, used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_sample(&self, gen: &mut Gen) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_sample(&self, gen: &mut Gen) -> S::Value {
+        self.sample(gen)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, gen: &mut Gen) -> T {
+        self.0.dyn_sample(gen)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _gen: &mut Gen) -> T {
+        self.0.clone()
+    }
+}
+
+/// `.prop_map` adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample(&self, gen: &mut Gen) -> U {
+        (self.f)(self.inner.sample(gen))
+    }
+}
+
+/// Uniform choice among alternatives (`prop_oneof!`).
+pub struct OneOf<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Clone for OneOf<T> {
+    fn clone(&self) -> Self {
+        OneOf { arms: self.arms.clone() }
+    }
+}
+
+impl<T> OneOf<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn sample(&self, gen: &mut Gen) -> T {
+        let i = gen.below(self.arms.len() as u64) as usize;
+        self.arms[i].sample(gen)
+    }
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                self.start.wrapping_add(gen.below(width) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, gen: &mut Gen) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if width == u64::MAX {
+                    return lo.wrapping_add(gen.next_u64() as $t);
+                }
+                lo.wrapping_add(gen.below(width + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_int_ranges!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+macro_rules! impl_float_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, gen: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (gen.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, gen: &mut Gen) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + (gen.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_float_ranges!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident / $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, gen: &mut Gen) -> Self::Value {
+                ($(self.$idx.sample(gen),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!(
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5)
+);
+
+/// String-literal strategies: a small regex subset sufficient for
+/// patterns like `"[a-z][a-z0-9_]{0,6}"` — literals, character classes
+/// with ranges, and `{m}` / `{m,n}` / `?` / `*` / `+` quantifiers
+/// (unbounded quantifiers capped at 8 repetitions).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, gen: &mut Gen) -> String {
+        sample_regex(self, gen)
+    }
+}
+
+fn sample_regex(pattern: &str, gen: &mut Gen) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // one atom: a class or a literal
+        let class: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        for c in lo..=hi {
+                            set.push(char::from_u32(c).unwrap());
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            }
+            '\\' => {
+                let c = chars[i + 1];
+                i += 2;
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // optional quantifier
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern}"))
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, "")) => (m.parse().unwrap(), m.parse::<usize>().unwrap() + 8),
+                        Some((m, n)) => (m.parse().unwrap(), n.parse().unwrap()),
+                        None => {
+                            let m: usize = body.parse().unwrap();
+                            (m, m)
+                        }
+                    }
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!class.is_empty(), "empty character class in {pattern}");
+        let count = min + gen.below((max - min + 1) as u64) as usize;
+        for _ in 0..count {
+            out.push(class[gen.below(class.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::Gen;
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut gen = Gen::new(3);
+        for _ in 0..200 {
+            let s = sample_regex("[a-z][a-z0-9_]{0,6}", &mut gen);
+            assert!(!s.is_empty() && s.len() <= 7, "{s}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut gen = Gen::new(9);
+        for _ in 0..1000 {
+            let v = (0.0..1.0f64, 3usize..10).sample(&mut gen);
+            assert!(v.0 >= 0.0 && v.0 < 1.0);
+            assert!((3..10).contains(&v.1));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let s = crate::prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut gen = Gen::new(11);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[(s.sample(&mut gen) - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u32),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        let strat = (0u32..10).prop_map(Tree::Leaf).prop_recursive(4, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut gen = Gen::new(5);
+        let mut saw_node = false;
+        for _ in 0..100 {
+            if let Tree::Node(..) = strat.sample(&mut gen) {
+                saw_node = true;
+            }
+        }
+        assert!(saw_node);
+    }
+}

@@ -1,0 +1,107 @@
+//! Deterministic case runner and the value generator handed to
+//! strategies.
+
+/// Raw entropy source for strategies (SplitMix64; deterministic per
+/// test, independent of `rand`).
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    pub fn new(seed: u64) -> Self {
+        Gen { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 mantissa bits.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Why a case did not complete: a genuine failure or an assumption
+/// rejection.
+#[derive(Debug)]
+pub struct TestCaseError {
+    pub rejected: bool,
+    pub message: String,
+    pub inputs: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: String) -> Self {
+        TestCaseError { rejected: false, message, inputs: String::new() }
+    }
+
+    pub fn reject(cond: &str) -> Self {
+        TestCaseError { rejected: true, message: format!("assumption failed: {cond}"), inputs: String::new() }
+    }
+
+    pub fn with_inputs(mut self, inputs: String) -> Self {
+        self.inputs = inputs;
+        self
+    }
+}
+
+/// Cases per property. Matches the spirit of proptest's default (256)
+/// at a cost suited to running the whole workspace's properties in CI.
+pub const CASES: u32 = 96;
+const MAX_REJECTS: u32 = 65_536;
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `case` for [`CASES`] accepted samples, panicking on the first
+/// failure with the case's seed and sampled inputs.
+pub fn run(name: &str, mut case: impl FnMut(&mut Gen) -> Result<(), TestCaseError>) {
+    let base = fnv1a(name);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut case_index = 0u64;
+    while accepted < CASES {
+        let seed = base.wrapping_add(case_index.wrapping_mul(0xA076_1D64_78BD_642F));
+        case_index += 1;
+        let mut gen = Gen::new(seed);
+        match case(&mut gen) {
+            Ok(()) => accepted += 1,
+            Err(e) if e.rejected => {
+                rejected += 1;
+                if rejected > MAX_REJECTS {
+                    panic!(
+                        "proptest '{name}': too many rejected cases ({rejected}); \
+                         last: {}",
+                        e.message
+                    );
+                }
+            }
+            Err(e) => {
+                panic!(
+                    "proptest '{name}' failed at case #{case_index} (seed {seed:#x})\n\
+                     inputs: {}\n{}",
+                    e.inputs, e.message
+                );
+            }
+        }
+    }
+}
