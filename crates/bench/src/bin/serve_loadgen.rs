@@ -1,0 +1,243 @@
+//! Closed-loop load generator for `geosir-serve` — the server-side
+//! counterpart of the `throughput` harness, on the same scaling_polylog
+//! corpus so the two reports are directly comparable.
+//!
+//! Boots an in-process server on an ephemeral loopback port, bulk-loads
+//! the corpus, then drives it from `--connections` closed-loop client
+//! threads. Each thread cycles the query set and, with probability
+//! `--insert-permille`/1000 per request, sends an insert of a fresh
+//! shape instead — so queries race live snapshot publications exactly as
+//! they would in production. After an untimed warm-up window, a timed
+//! measurement window records every per-request latency; exact (not
+//! bucketed) percentiles come from the merged samples, and snapshot
+//! publication percentiles come from the server's `Stats` frame.
+//!
+//! Emits `BENCH_2.json` in the working directory:
+//!
+//! ```sh
+//! cargo run --release -p geosir-bench --bin serve_loadgen \
+//!     [-- n_shapes] [--connections C] [--insert-permille M] \
+//!     [--warmup-secs W] [--measure-secs S]
+//! ```
+
+use geosir_bench::{percentile_us, scaling_corpus};
+use geosir_core::dynamic::DynamicBase;
+use geosir_core::matcher::MatchConfig;
+use geosir_geom::rangesearch::Backend;
+use geosir_geom::{Point, Polyline};
+use geosir_imaging::synth::random_simple_polygon;
+use geosir_serve::{serve, Client, ServeConfig};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What one client thread saw during the measurement window.
+#[derive(Default)]
+struct ThreadReport {
+    latencies_us: Vec<u64>,
+    requests: u64,
+    inserts: u64,
+    busy_rejects: u64,
+}
+
+struct Args {
+    n_shapes: usize,
+    connections: usize,
+    insert_permille: u32,
+    warmup_secs: f64,
+    measure_secs: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        n_shapes: 4000,
+        connections: 4,
+        insert_permille: 50,
+        warmup_secs: 2.0,
+        measure_secs: 8.0,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--connections" => args.connections = num(it.next(), "--connections") as usize,
+            "--insert-permille" => args.insert_permille = num(it.next(), "--insert-permille") as u32,
+            "--warmup-secs" => args.warmup_secs = num(it.next(), "--warmup-secs"),
+            "--measure-secs" => args.measure_secs = num(it.next(), "--measure-secs"),
+            other => args.n_shapes = other.parse().expect("n_shapes must be an integer"),
+        }
+    }
+    args
+}
+
+fn num(value: Option<&String>, name: &str) -> f64 {
+    value
+        .unwrap_or_else(|| panic!("{name} needs a value"))
+        .parse()
+        .unwrap_or_else(|_| panic!("{name} needs a number"))
+}
+
+fn fresh_shape(rng: &mut StdRng) -> Polyline {
+    let n = rng.random_range(10..30);
+    let poly = random_simple_polygon(rng, n, 0.35);
+    let stretch = rng.random_range(0.15..1.0);
+    poly.map_points(|q| Point::new(q.x, q.y * stretch))
+}
+
+fn main() {
+    let args = parse_args();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "# serve_loadgen — {} shapes, {} connections, {}‰ inserts, {} cores",
+        args.n_shapes, args.connections, args.insert_permille, cores
+    );
+
+    // --- boot the server on the shared corpus ---
+    let (shapes, queries) = scaling_corpus(args.n_shapes);
+    // A roomy insert buffer: buffered shapes are scored against copies
+    // prepared at insert time (cheap), while cascading them into a small
+    // level mid-run makes every near-miss query pay that level's full
+    // ε-growth schedule (expensive) — so under sustained insert load a
+    // large buffer beats eager leveling.
+    let mut base = DynamicBase::new(
+        0.0,
+        Backend::RangeTree,
+        MatchConfig { beta: 0.2, ..Default::default() },
+        512,
+    );
+    base.bulk_load(shapes);
+    let t0 = Instant::now();
+    let handle = serve(
+        "127.0.0.1:0",
+        base,
+        ServeConfig { queue_cap: 4 * args.connections.max(1), ..Default::default() },
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+    println!("server up on {addr} in {:.0} ms", t0.elapsed().as_secs_f64() * 1e3);
+
+    // --- closed-loop client threads ---
+    let measuring = Arc::new(AtomicBool::new(false));
+    let running = Arc::new(AtomicBool::new(true));
+    let mut threads = Vec::new();
+    for conn_id in 0..args.connections {
+        let queries = queries.clone();
+        let measuring = measuring.clone();
+        let running = running.clone();
+        let insert_permille = args.insert_permille;
+        threads.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(1000 + conn_id as u64);
+            let mut client = Client::connect(addr).expect("connect");
+            let mut report = ThreadReport::default();
+            let mut next_image = 1_000_000u32 + conn_id as u32 * 1_000_000;
+            let mut qi = conn_id; // stagger starting offsets across threads
+            let mut last_epoch = 0u64;
+            while running.load(Ordering::Relaxed) {
+                let do_insert = rng.random_range(0..1000) < insert_permille;
+                let t = Instant::now();
+                let (epoch, rejected) = if do_insert {
+                    let shape = fresh_shape(&mut rng);
+                    next_image += 1;
+                    match client.insert(next_image, &shape).expect("insert") {
+                        Some((epoch, _id)) => (epoch, false),
+                        None => (last_epoch, true),
+                    }
+                } else {
+                    let q = &queries[qi % queries.len()];
+                    qi += 1;
+                    let reply = client.query(q, 1).expect("query");
+                    (if reply.rejected { last_epoch } else { reply.epoch }, reply.rejected)
+                };
+                let us = t.elapsed().as_micros() as u64;
+                assert!(epoch >= last_epoch, "per-connection epoch regressed");
+                last_epoch = epoch;
+                if measuring.load(Ordering::Relaxed) {
+                    report.requests += 1;
+                    if rejected {
+                        report.busy_rejects += 1;
+                    } else {
+                        if do_insert {
+                            report.inserts += 1;
+                        }
+                        report.latencies_us.push(us);
+                    }
+                }
+            }
+            report
+        }));
+    }
+
+    // --- warm-up, then measure ---
+    std::thread::sleep(Duration::from_secs_f64(args.warmup_secs));
+    measuring.store(true, Ordering::Relaxed);
+    let window = Instant::now();
+    std::thread::sleep(Duration::from_secs_f64(args.measure_secs));
+    measuring.store(false, Ordering::Relaxed);
+    let elapsed = window.elapsed().as_secs_f64();
+    running.store(false, Ordering::Relaxed);
+
+    let mut merged = ThreadReport::default();
+    for t in threads {
+        let r = t.join().expect("client thread");
+        merged.latencies_us.extend(r.latencies_us);
+        merged.requests += r.requests;
+        merged.inserts += r.inserts;
+        merged.busy_rejects += r.busy_rejects;
+    }
+
+    // server-side view: snapshot publication cost + final epoch
+    let mut probe = Client::connect(addr).expect("stats connect");
+    let stats = probe.stats().expect("stats");
+    probe.shutdown().expect("shutdown");
+    handle.join();
+
+    let qps = merged.requests as f64 / elapsed;
+    let served = merged.latencies_us.len();
+    let p50 = percentile_us(&mut merged.latencies_us, 0.5);
+    let p99 = percentile_us(&mut merged.latencies_us, 0.99);
+    let reject_rate = merged.busy_rejects as f64 / (merged.requests.max(1)) as f64;
+
+    println!(
+        "requests/sec {qps:.0} over {elapsed:.1} s ({} requests, {} served, \
+         {} inserts, {} busy), latency p50 {p50} µs p99 {p99} µs, \
+         publishes {} (p50 {} µs p99 {} µs), final epoch {}",
+        merged.requests,
+        served,
+        merged.inserts,
+        merged.busy_rejects,
+        stats.snapshots_published,
+        stats.publish_p50_us,
+        stats.publish_p99_us,
+        stats.epoch
+    );
+    assert!(served > 0, "measurement window served no requests");
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve_loadgen\",\n  \"corpus\": \"scaling_polylog\",\n  \
+         \"n_shapes\": {},\n  \"cores\": {cores},\n  \"connections\": {},\n  \
+         \"insert_permille\": {},\n  \
+         \"warmup_secs\": {:.1},\n  \"measure_secs\": {elapsed:.2},\n  \
+         \"requests\": {},\n  \"served\": {served},\n  \"inserts\": {},\n  \
+         \"busy_rejects\": {},\n  \"reject_rate\": {reject_rate:.4},\n  \
+         \"qps\": {qps:.1},\n  \
+         \"latency_p50_us\": {p50},\n  \"latency_p99_us\": {p99},\n  \
+         \"snapshots_published\": {},\n  \
+         \"publish_p50_us\": {},\n  \"publish_p99_us\": {},\n  \
+         \"final_epoch\": {}\n}}\n",
+        args.n_shapes,
+        args.connections,
+        args.insert_permille,
+        args.warmup_secs,
+        merged.requests,
+        merged.inserts,
+        merged.busy_rejects,
+        stats.snapshots_published,
+        stats.publish_p50_us,
+        stats.publish_p99_us,
+        stats.epoch
+    );
+    std::fs::write("BENCH_2.json", &json).expect("write BENCH_2.json");
+    println!("wrote BENCH_2.json");
+}

@@ -7,9 +7,14 @@
 //! - single-thread queries/sec with a **fresh scratch per query** (the
 //!   per-query state-allocation regime the matcher historically ran in);
 //! - single-thread queries/sec with one **reused scratch** (the
-//!   zero-allocation path);
+//!   zero-allocation path), plus exact per-query p50/p99 latency;
 //! - all-core batch queries/sec via `retrieve_batch` (reused per-worker
 //!   scratches, chunked claiming).
+//!
+//! Every timed section is preceded by `warmup_rounds` untimed passes so
+//! scratch buffers sit at their high-water mark — the same schema
+//! `serve_loadgen` uses, which keeps `BENCH_1.json` and `BENCH_2.json`
+//! comparable.
 //!
 //! Emits a hand-rolled JSON report to `BENCH_1.json` in the working
 //! directory (run from the repo root):
@@ -18,46 +23,26 @@
 //! cargo run --release -p geosir-bench --bin throughput [-- n_shapes]
 //! ```
 
-use geosir_core::ids::ImageId;
+use geosir_bench::{percentile_us, scaling_corpus};
 use geosir_core::matcher::{MatchConfig, MatchOutcome, Matcher};
 use geosir_core::parallel::retrieve_batch;
 use geosir_core::scratch::MatcherScratch;
 use geosir_core::shapebase::{ShapeBase, ShapeBaseBuilder};
 use geosir_geom::rangesearch::Backend;
-use geosir_geom::{Point, Polyline};
-use geosir_imaging::synth::random_simple_polygon;
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use geosir_geom::Polyline;
 use std::time::Instant;
 
-/// The scaling_polylog corpus: distinct simple polygons of varied aspect
-/// ratio, with every tenth shape doubling as a near-exact query.
-fn corpus(n_shapes: usize) -> (ShapeBaseBuilder, Vec<Polyline>) {
-    let mut rng = StdRng::seed_from_u64(5);
-    let mut builder = ShapeBaseBuilder::new();
-    let mut queries = Vec::new();
-    for i in 0..n_shapes {
-        let n = rng.random_range(10..30);
-        let poly = random_simple_polygon(&mut rng, n, 0.35);
-        let stretch = rng.random_range(0.15..1.0);
-        let shape = poly.map_points(|q| Point::new(q.x, q.y * stretch));
-        if i % (n_shapes / 10).max(1) == 0 {
-            queries.push(shape.clone());
-        }
-        builder.add_shape(ImageId(i as u32), shape);
-    }
-    (builder, queries)
-}
-
 fn time_build(n_shapes: usize, threads: usize) -> (f64, ShapeBase) {
-    let (builder, _) = corpus(n_shapes);
+    let (shapes, _) = scaling_corpus(n_shapes);
+    let mut builder = ShapeBaseBuilder::new();
+    for (image, shape) in shapes {
+        builder.add_shape(image, shape);
+    }
     let start = Instant::now();
     let base = builder.build_with_threads(0.0, Backend::RangeTree, threads);
     (start.elapsed().as_secs_f64() * 1e3, base)
 }
 
-/// Repeat `queries` round-robin until at least `min_total` retrievals ran;
-/// returns queries/sec.
 fn qps(total_queries: usize, secs: f64) -> f64 {
     total_queries as f64 / secs
 }
@@ -68,6 +53,7 @@ fn main() {
     let cores =
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let rounds = 4usize; // query-set repetitions per timed measurement
+    let warmup_rounds = 1usize; // untimed passes before each timed section
 
     println!("# throughput — {n_shapes} shapes, {cores} cores");
 
@@ -78,13 +64,21 @@ fn main() {
     println!("build: serial {serial_ms:.0} ms, parallel {parallel_ms:.0} ms ({:.2}x)",
         serial_ms / parallel_ms);
 
-    let (_, queries) = corpus(n_shapes);
+    let (_, queries) = scaling_corpus(n_shapes);
     let matcher = Matcher::new(&base, MatchConfig { beta: 0.2, ..Default::default() });
     let total = queries.len() * rounds;
 
     // --- single thread, fresh scratch per query (per-query state setup) ---
-    let start = Instant::now();
     let mut sink = 0usize;
+    for _ in 0..warmup_rounds {
+        for q in &queries {
+            let mut scratch = MatcherScratch::for_base(&base);
+            let mut out = MatchOutcome::default();
+            matcher.retrieve_with(&mut scratch, q, &mut out);
+            sink += out.matches.len();
+        }
+    }
+    let start = Instant::now();
     for _ in 0..rounds {
         for q in &queries {
             let mut scratch = MatcherScratch::for_base(&base);
@@ -98,20 +92,36 @@ fn main() {
     // --- single thread, one reused scratch (zero-allocation path) ---
     let mut scratch = MatcherScratch::for_base(&base);
     let mut out = MatchOutcome::default();
-    let start = Instant::now();
-    for _ in 0..rounds {
+    for _ in 0..warmup_rounds {
         for q in &queries {
             matcher.retrieve_with(&mut scratch, q, &mut out);
             sink += out.matches.len();
         }
     }
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(total);
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for q in &queries {
+            let t0 = Instant::now();
+            matcher.retrieve_with(&mut scratch, q, &mut out);
+            latencies_us.push(t0.elapsed().as_micros() as u64);
+            sink += out.matches.len();
+        }
+    }
     let reused_qps = qps(total, start.elapsed().as_secs_f64());
+    let p50_us = percentile_us(&mut latencies_us, 0.5);
+    let p99_us = percentile_us(&mut latencies_us, 0.99);
 
     // --- all cores, retrieve_batch ---
     let batch: Vec<Polyline> = std::iter::repeat_with(|| queries.iter().cloned())
         .take(rounds)
         .flatten()
         .collect();
+    let warm: Vec<Polyline> = queries.clone();
+    for _ in 0..warmup_rounds {
+        let outs = retrieve_batch(&matcher, &warm, 0);
+        sink += outs.iter().map(|o| o.matches.len()).sum::<usize>();
+    }
     let start = Instant::now();
     let outs = retrieve_batch(&matcher, &batch, 0);
     let batch_qps = qps(batch.len(), start.elapsed().as_secs_f64());
@@ -119,7 +129,8 @@ fn main() {
 
     println!(
         "queries/sec: fresh-scratch {fresh_qps:.0}, reused-scratch {reused_qps:.0} \
-         ({:.2}x), batch x{cores} {batch_qps:.0} ({:.2}x vs fresh)",
+         ({:.2}x, p50 {p50_us} µs, p99 {p99_us} µs), batch x{cores} {batch_qps:.0} \
+         ({:.2}x vs fresh)",
         reused_qps / fresh_qps,
         batch_qps / fresh_qps
     );
@@ -128,11 +139,12 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"throughput\",\n  \"corpus\": \"scaling_polylog\",\n  \
          \"n_shapes\": {n_shapes},\n  \"n_vertices\": {},\n  \"cores\": {cores},\n  \
-         \"queries\": {},\n  \"rounds\": {rounds},\n  \
+         \"queries\": {},\n  \"rounds\": {rounds},\n  \"warmup_rounds\": {warmup_rounds},\n  \
          \"build_serial_ms\": {serial_ms:.2},\n  \"build_parallel_ms\": {parallel_ms:.2},\n  \
          \"build_speedup\": {:.3},\n  \
          \"qps_fresh_scratch\": {fresh_qps:.1},\n  \"qps_reused_scratch\": {reused_qps:.1},\n  \
          \"qps_batch\": {batch_qps:.1},\n  \
+         \"latency_p50_us\": {p50_us},\n  \"latency_p99_us\": {p99_us},\n  \
          \"batch_speedup_vs_fresh\": {:.3}\n}}\n",
         base.total_vertices(),
         queries.len(),

@@ -5,12 +5,48 @@
 //! CSV so EXPERIMENTS.md can record paper-vs-measured side by side.
 
 use geosir_core::hashing::{GeometricHash, Signature};
+use geosir_core::ids::ImageId;
 use geosir_core::matcher::{MatchConfig, Matcher};
 use geosir_core::shapebase::ShapeBase;
 use geosir_geom::rangesearch::Backend;
-use geosir_geom::Polyline;
-use geosir_imaging::synth::{generate, Corpus, CorpusConfig};
+use geosir_geom::{Point, Polyline};
+use geosir_imaging::synth::{generate, random_simple_polygon, Corpus, CorpusConfig};
 use geosir_storage::{BufferPool, LayoutPolicy, ShapeStore};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// The `scaling_polylog` corpus shared by the `throughput` and
+/// `serve_loadgen` harnesses: deterministic (seed 5) simple polygons of
+/// 10–30 vertices with varied aspect ratio; every `n/10`-th shape doubles
+/// as a near-exact query. Both benches MUST draw from this one stream so
+/// their QPS numbers are comparable.
+pub fn scaling_corpus(n_shapes: usize) -> (Vec<(ImageId, Polyline)>, Vec<Polyline>) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut shapes = Vec::with_capacity(n_shapes);
+    let mut queries = Vec::new();
+    for i in 0..n_shapes {
+        let n = rng.random_range(10..30);
+        let poly = random_simple_polygon(&mut rng, n, 0.35);
+        let stretch = rng.random_range(0.15..1.0);
+        let shape = poly.map_points(|q| Point::new(q.x, q.y * stretch));
+        if i % (n_shapes / 10).max(1) == 0 {
+            queries.push(shape.clone());
+        }
+        shapes.push((ImageId(i as u32), shape));
+    }
+    (shapes, queries)
+}
+
+/// Exact latency percentile over raw samples (µs): nearest-rank on a
+/// sorted copy. `q` in (0, 1].
+pub fn percentile_us(samples: &mut [u64], q: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+    samples[rank - 1]
+}
 
 /// The standard experiment world: corpus, shape base, hash signatures.
 pub struct World {

@@ -10,14 +10,27 @@
 //! on every live sub-base with results merged. Every sub-base is a plain
 //! [`ShapeBase`] + [`Matcher`], so all §2.5 guarantees carry over
 //! per-sub-base and the merge preserves them.
+//!
+//! ## Snapshots
+//!
+//! Levels are immutable between cascades and held behind `Arc`, so
+//! [`DynamicBase::snapshot`] can capture the entire queryable state —
+//! levels, insert buffer, tombstones, epoch — in O(buffer + levels) time
+//! without copying any index. A [`Snapshot`] answers queries with no
+//! access to the `DynamicBase` it came from: one writer can keep
+//! inserting (mutating levels via cascades) while any number of reader
+//! threads retrieve against earlier snapshots. This is the foundation of
+//! `geosir-serve`'s snapshot-isolated live updates.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use geosir_geom::rangesearch::Backend;
 use geosir_geom::Polyline;
 
 use crate::ids::{ImageId, ShapeId};
-use crate::matcher::{Match, MatchConfig, MatchOutcome};
+use crate::matcher::{Match, MatchConfig, MatchOutcome, Matcher, MatcherPlan};
+use crate::scratch::MatcherScratch;
 use crate::shapebase::{ShapeBase, ShapeBaseBuilder};
 
 /// A shape registered with the dynamic base (stable across rebuilds).
@@ -29,20 +42,47 @@ pub struct DynamicBase {
     alpha: f64,
     backend: Backend,
     config: MatchConfig,
-    /// Insert buffer: shapes not yet in any level (scored brute force).
-    buffer: Vec<(GlobalShapeId, ImageId, Polyline)>,
+    /// Insert buffer: shapes not yet in any level (scored brute force
+    /// against normalized copies prepared — indexed — at insert time).
+    buffer: Vec<BufferedShape>,
     buffer_cap: usize,
     /// Binary-carry slots; slot i holds a static base of capacity
-    /// `buffer_cap · 2^i` (or is empty).
-    levels: Vec<Option<Level>>,
+    /// `buffer_cap · 2^i` (or is empty). `Arc` so snapshots share levels
+    /// instead of copying them.
+    levels: Vec<Option<Arc<Level>>>,
     deleted: HashSet<GlobalShapeId>,
     next_id: u64,
+    /// Mutation counter: bumped by every applied insert and delete, so
+    /// snapshots are totally ordered.
+    epoch: u64,
     /// Rebuild accounting (for tests and ops visibility).
     pub shapes_rebuilt: u64,
+    /// Warm (scratch, outcome) pairs for the scratchless [`Self::retrieve`]
+    /// entry point, so a query loop pays dense-array setup once. Bounded
+    /// like the matcher's pool.
+    scratch_pool: std::sync::Mutex<Vec<(MatcherScratch, MatchOutcome)>>,
+}
+
+/// One not-yet-leveled insert. The normalized copies are derived — and
+/// their segment indexes built — once at insert time (writer-side), so
+/// brute-force scoring during queries does no index construction at all:
+/// re-deriving copies and re-indexing candidates per query per buffered
+/// shape used to dominate mixed read/write workloads. `Arc` so snapshot
+/// captures clone a pointer, not the indexes.
+#[derive(Clone)]
+struct BufferedShape {
+    id: GlobalShapeId,
+    image: ImageId,
+    shape: Polyline,
+    /// Empty only for degenerate geometry, which then simply never
+    /// matches until the next rebuild compacts it.
+    copies: Arc<Vec<crate::similarity::PreparedShape>>,
 }
 
 struct Level {
     base: ShapeBase,
+    /// Query-independent matcher precomputation, built once per level.
+    plan: Arc<MatcherPlan>,
     /// Level-local ShapeId → global id.
     ids: Vec<GlobalShapeId>,
     images: Vec<ImageId>,
@@ -71,8 +111,20 @@ impl DynamicBase {
             levels: Vec::new(),
             deleted: HashSet::new(),
             next_id: 0,
+            epoch: 0,
             shapes_rebuilt: 0,
+            scratch_pool: std::sync::Mutex::new(Vec::new()),
         }
+    }
+
+    /// The mutation epoch: bumped by every applied insert and delete.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The retrieval configuration queries run with.
+    pub fn config(&self) -> &MatchConfig {
+        &self.config
     }
 
     /// Number of live (non-deleted) shapes.
@@ -91,25 +143,73 @@ impl DynamicBase {
         self.levels.iter().flatten().count()
     }
 
-    /// Insert a shape; amortized O(polylog) index work per insert.
+    /// Insert a shape; amortized O(polylog) index work per insert. The
+    /// shape's normalized copies are computed — and indexed — here, once,
+    /// so every query that brute-forces the buffer only scores (writer
+    /// pays, readers don't).
     pub fn insert(&mut self, image: ImageId, shape: Polyline) -> GlobalShapeId {
         let id = GlobalShapeId(self.next_id);
         self.next_id += 1;
-        self.buffer.push((id, image, shape));
+        self.epoch += 1;
+        let copies: Vec<_> = crate::normalize::normalized_copies(&shape, self.alpha)
+            .into_iter()
+            .map(|c| crate::similarity::PreparedShape::new(c.shape))
+            .collect();
+        self.buffer.push(BufferedShape { id, image, shape, copies: Arc::new(copies) });
         if self.buffer.len() >= self.buffer_cap {
             self.cascade();
         }
         id
     }
 
+    /// Bulk-load a batch of shapes into a single level, bypassing the
+    /// cascade: one build instead of O(n/cap) incremental rebuilds. The
+    /// natural way to open a server on an existing corpus; subsequent
+    /// [`Self::insert`]s trickle in through the buffer as usual.
+    pub fn bulk_load(
+        &mut self,
+        shapes: impl IntoIterator<Item = (ImageId, Polyline)>,
+    ) -> Vec<GlobalShapeId> {
+        let mut pool: Vec<(GlobalShapeId, ImageId, Polyline)> = Vec::new();
+        let mut assigned = Vec::new();
+        for (image, shape) in shapes {
+            let id = GlobalShapeId(self.next_id);
+            self.next_id += 1;
+            self.epoch += 1;
+            assigned.push(id);
+            pool.push((id, image, shape));
+        }
+        if pool.is_empty() {
+            return assigned;
+        }
+        // smallest slot whose capacity `cap · 2^slot` holds the batch
+        let mut slot = 0usize;
+        while self.buffer_cap << slot < pool.len() {
+            slot += 1;
+        }
+        // if occupied (or any occupied above would break the invariant
+        // loosely), fall back to merging through the cascade machinery
+        while slot < self.levels.len() && self.levels[slot].is_some() {
+            slot += 1;
+        }
+        while self.levels.len() <= slot {
+            self.levels.push(None);
+        }
+        self.shapes_rebuilt += pool.len() as u64;
+        self.levels[slot] = Some(Arc::new(Level::build(pool, self.alpha, self.backend, &self.config)));
+        assigned
+    }
+
     /// Delete a shape (tombstone; storage is reclaimed at the next rebuild
     /// that touches its level).
     pub fn delete(&mut self, id: GlobalShapeId) -> bool {
-        let exists = self.buffer.iter().any(|(g, _, _)| *g == id)
+        let exists = self.buffer.iter().any(|b| b.id == id)
             || self.levels.iter().flatten().any(|l| l.ids.contains(&id));
         if exists && self.deleted.insert(id) {
+            self.epoch += 1;
             // buffer entries can be dropped eagerly
-            self.buffer.retain(|(g, _, _)| !self.deleted.contains(g));
+            let deleted = &self.deleted;
+            self.buffer.retain(|b| !deleted.contains(&b.id));
             true
         } else {
             false
@@ -122,7 +222,10 @@ impl DynamicBase {
     /// participates in at most `log₂(N / cap)` rebuilds. Tombstoned shapes
     /// are dropped during merges, so deletes are eventually compacted.
     fn cascade(&mut self) {
-        let mut pool: Vec<(GlobalShapeId, ImageId, Polyline)> = std::mem::take(&mut self.buffer);
+        let mut pool: Vec<(GlobalShapeId, ImageId, Polyline)> = std::mem::take(&mut self.buffer)
+            .into_iter()
+            .map(|b| (b.id, b.image, b.shape))
+            .collect();
         let mut slot = 0usize;
         loop {
             if slot >= self.levels.len() {
@@ -131,10 +234,13 @@ impl DynamicBase {
             match self.levels[slot].take() {
                 None => break,
                 Some(level) => {
+                    // Snapshots may still hold this Arc; clone the level's
+                    // contents out rather than unwrapping, so live readers
+                    // keep a consistent view while we rebuild.
                     for ((gid, image), shape) in
-                        level.ids.into_iter().zip(level.images).zip(level.shapes)
+                        level.ids.iter().zip(&level.images).zip(&level.shapes)
                     {
-                        pool.push((gid, image, shape));
+                        pool.push((*gid, *image, shape.clone()));
                     }
                     slot += 1;
                 }
@@ -148,6 +254,74 @@ impl DynamicBase {
             return;
         }
         self.shapes_rebuilt += pool.len() as u64;
+        self.levels[slot] = Some(Arc::new(Level::build(pool, self.alpha, self.backend, &self.config)));
+    }
+
+    /// k best live shapes across all levels and the buffer.
+    ///
+    /// Routed through the scratch-reusing [`Self::retrieve_with`] path via
+    /// an internal bounded pool, so a query loop pays dense-array setup
+    /// once, not per query (and never once per level per query).
+    pub fn retrieve(&self, query: &Polyline) -> Vec<DynMatch> {
+        let (mut scratch, mut tmp) =
+            self.scratch_pool.lock().unwrap().pop().unwrap_or_default();
+        let mut all = Vec::new();
+        self.retrieve_with(&mut scratch, &mut tmp, query, &mut all);
+        let mut pool = self.scratch_pool.lock().unwrap();
+        if pool.len() < 4 {
+            pool.push((scratch, tmp));
+        }
+        all
+    }
+
+    /// [`Self::retrieve`] through caller-owned scratch, intermediate
+    /// outcome, and out-parameter: the zero-allocation hot path for level
+    /// queries. After a warm-up query, level retrieval touches the heap
+    /// zero times; only the brute-force scoring of a **non-empty insert
+    /// buffer** still allocates (it normalizes and indexes the query once
+    /// per call — buffered shapes carry copies prepared at insert time).
+    pub fn retrieve_with(
+        &self,
+        scratch: &mut MatcherScratch,
+        tmp: &mut MatchOutcome,
+        query: &Polyline,
+        out: &mut Vec<DynMatch>,
+    ) {
+        retrieve_levels_into(
+            self.levels.iter().flatten().map(Arc::as_ref),
+            &self.buffer,
+            &self.deleted,
+            &self.config,
+            self.config.k,
+            scratch,
+            tmp,
+            query,
+            out,
+        );
+    }
+
+    /// Capture the queryable state — levels, buffer, tombstones, epoch —
+    /// as an immutable, independently-queryable [`Snapshot`]. O(buffer +
+    /// levels + tombstones): level indexes are shared, not copied.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            epoch: self.epoch,
+            config: self.config.clone(),
+            levels: self.levels.iter().flatten().cloned().collect(),
+            buffer: self.buffer.clone(),
+            deleted: self.deleted.clone(),
+            live: self.len(),
+        }
+    }
+}
+
+impl Level {
+    fn build(
+        pool: Vec<(GlobalShapeId, ImageId, Polyline)>,
+        alpha: f64,
+        backend: Backend,
+        config: &MatchConfig,
+    ) -> Level {
         let mut builder = ShapeBaseBuilder::new();
         let mut ids = Vec::with_capacity(pool.len());
         let mut images = Vec::with_capacity(pool.len());
@@ -159,44 +333,143 @@ impl DynamicBase {
             images.push(image);
             shapes.push(shape);
         }
-        let base = builder.build(self.alpha, self.backend);
-        self.levels[slot] = Some(Level { base, ids, images, shapes });
+        let base = builder.build(alpha, backend);
+        let plan = Arc::new(MatcherPlan::new(&base, config));
+        Level { base, plan, ids, images, shapes }
+    }
+}
+
+/// An immutable, consistent view of a [`DynamicBase`] at one epoch.
+///
+/// Queries against a snapshot touch no shared mutable state: the writer
+/// may cascade, insert, and delete freely while readers retrieve. A
+/// snapshot holds `Arc`s to the levels it was taken over, so a level's
+/// memory is reclaimed when the last snapshot referencing it drops.
+#[derive(Clone)]
+pub struct Snapshot {
+    epoch: u64,
+    config: MatchConfig,
+    levels: Vec<Arc<Level>>,
+    buffer: Vec<BufferedShape>,
+    deleted: HashSet<GlobalShapeId>,
+    live: usize,
+}
+
+impl Snapshot {
+    /// The mutation epoch this snapshot captured.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
-    /// k best live shapes across all levels and the buffer.
-    pub fn retrieve(&self, query: &Polyline) -> Vec<DynMatch> {
-        let mut all: Vec<DynMatch> = Vec::new();
-        for level in self.levels.iter().flatten() {
-            let matcher = crate::matcher::Matcher::new(&level.base, self.config.clone());
-            let out: MatchOutcome = matcher.retrieve(query);
-            for Match { shape, score, .. } in out.matches {
-                let gid = level.ids[shape.index()];
-                if !self.deleted.contains(&gid) {
-                    all.push(DynMatch { shape: gid, image: level.images[shape.index()], score });
-                }
-            }
-        }
-        // buffered shapes: scored directly (the buffer is small by design)
-        if !self.buffer.is_empty() {
-            if let Some((qn, _)) = crate::normalize::normalize_about_diameter(query) {
-                let prepared = crate::similarity::PreparedShape::new(qn.shape);
-                for (gid, image, shape) in &self.buffer {
-                    let best = crate::normalize::normalized_copies(shape, self.alpha)
-                        .iter()
-                        .map(|c| {
-                            crate::similarity::score(self.config.score, &c.shape, &prepared)
-                        })
-                        .fold(f64::INFINITY, f64::min);
-                    if best.is_finite() {
-                        all.push(DynMatch { shape: *gid, image: *image, score: best });
-                    }
-                }
-            }
-        }
-        all.sort_by(|a, b| a.score.partial_cmp(&b.score).unwrap().then(a.shape.cmp(&b.shape)));
-        all.truncate(self.config.k);
-        all
+    /// Live (non-deleted) shapes visible to queries.
+    pub fn len(&self) -> usize {
+        self.live
     }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Occupied levels captured.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The retrieval configuration captured from the base.
+    pub fn config(&self) -> &MatchConfig {
+        &self.config
+    }
+
+    /// k best live shapes at this snapshot's epoch (`k = 0` means the
+    /// base's configured k).
+    pub fn retrieve(&self, query: &Polyline, k: usize) -> Vec<DynMatch> {
+        let mut scratch = MatcherScratch::new();
+        let mut tmp = MatchOutcome::default();
+        let mut out = Vec::new();
+        self.retrieve_with(&mut scratch, &mut tmp, query, k, &mut out);
+        out
+    }
+
+    /// [`Self::retrieve`] through caller-owned scratch — the entry point
+    /// server workers drive with long-lived per-worker scratches.
+    pub fn retrieve_with(
+        &self,
+        scratch: &mut MatcherScratch,
+        tmp: &mut MatchOutcome,
+        query: &Polyline,
+        k: usize,
+        out: &mut Vec<DynMatch>,
+    ) {
+        let k = if k == 0 { self.config.k } else { k };
+        retrieve_levels_into(
+            self.levels.iter().map(Arc::as_ref),
+            &self.buffer,
+            &self.deleted,
+            &self.config,
+            k,
+            scratch,
+            tmp,
+            query,
+            out,
+        );
+    }
+}
+
+/// The shared retrieval merge: query every level through the
+/// scratch-reusing matcher path, brute-force the insert buffer, filter
+/// tombstones, rank globally, truncate to k. Allocation-free in steady
+/// state except for the buffer path (documented at the callers).
+#[allow(clippy::too_many_arguments)]
+fn retrieve_levels_into<'l>(
+    levels: impl Iterator<Item = &'l Level>,
+    buffer: &[BufferedShape],
+    deleted: &HashSet<GlobalShapeId>,
+    config: &MatchConfig,
+    k: usize,
+    scratch: &mut MatcherScratch,
+    tmp: &mut MatchOutcome,
+    query: &Polyline,
+    out: &mut Vec<DynMatch>,
+) {
+    out.clear();
+    for level in levels {
+        let mut level_config = config.clone();
+        level_config.k = k;
+        let matcher = Matcher::with_plan(&level.base, level_config, level.plan.clone());
+        matcher.retrieve_with(scratch, query, tmp);
+        for &Match { shape, score, .. } in &tmp.matches {
+            let gid = level.ids[shape.index()];
+            if !deleted.contains(&gid) {
+                out.push(DynMatch { shape: gid, image: level.images[shape.index()], score });
+            }
+        }
+    }
+    // buffered shapes: scored directly against the copies prepared at
+    // insert time (the buffer is small by design; only the query is
+    // normalized and indexed here — candidate indexes were built by the
+    // writer, so symmetric scoring does zero per-call index work)
+    if !buffer.is_empty() {
+        if let Some((qn, _)) = crate::normalize::normalize_about_diameter(query) {
+            let prepared = crate::similarity::PreparedShape::new(qn.shape);
+            for b in buffer {
+                if deleted.contains(&b.id) {
+                    continue;
+                }
+                let best = b
+                    .copies
+                    .iter()
+                    .map(|c| crate::similarity::score_prepared(config.score, c, &prepared))
+                    .fold(f64::INFINITY, f64::min);
+                if best.is_finite() {
+                    out.push(DynMatch { shape: b.id, image: b.image, score: best });
+                }
+            }
+        }
+    }
+    out.sort_unstable_by(|a, b| {
+        a.score.partial_cmp(&b.score).unwrap().then(a.shape.cmp(&b.shape))
+    });
+    out.truncate(k);
 }
 
 #[cfg(test)]
@@ -318,6 +591,118 @@ mod tests {
     fn delete_unknown_id_is_false() {
         let mut db = dynbase(4);
         assert!(!db.delete(GlobalShapeId(99)));
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_writes() {
+        let mut db = dynbase(4);
+        let victim_shape = shape(3);
+        let victim = db.insert(ImageId(0), victim_shape.clone());
+        for i in 1..13 {
+            db.insert(ImageId(i), shape(i as u64 + 20));
+        }
+        let snap = db.snapshot();
+        let epoch_before = snap.epoch();
+        assert_eq!(snap.len(), 13);
+
+        // mutate the base: delete the victim, insert enough to cascade
+        assert!(db.delete(victim));
+        for i in 13..30 {
+            db.insert(ImageId(i), shape(i as u64 + 20));
+        }
+        assert!(db.epoch() > epoch_before);
+
+        // the snapshot still sees the pre-mutation world
+        assert_eq!(snap.epoch(), epoch_before);
+        assert_eq!(snap.len(), 13);
+        let hits = snap.retrieve(&victim_shape, 1);
+        assert_eq!(hits.first().map(|m| m.shape), Some(victim), "snapshot lost the victim");
+
+        // a fresh snapshot sees the new world
+        let snap2 = db.snapshot();
+        assert!(snap2.epoch() > epoch_before);
+        assert!(!snap2.retrieve(&victim_shape, 3).iter().any(|m| m.shape == victim));
+    }
+
+    #[test]
+    fn snapshot_matches_base_retrieval() {
+        let mut db = dynbase(4);
+        for i in 0..21 {
+            db.insert(ImageId(i), shape(i as u64 + 200));
+        }
+        let snap = db.snapshot();
+        for i in 0..21u64 {
+            let q = shape(i + 200);
+            let from_base = db.retrieve(&q);
+            let from_snap = snap.retrieve(&q, 0);
+            assert_eq!(from_base.len(), from_snap.len());
+            for (a, b) in from_base.iter().zip(&from_snap) {
+                assert_eq!(a.shape, b.shape);
+                assert_eq!(a.score, b.score);
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental_inserts() {
+        let shapes: Vec<Polyline> = (0..20).map(|i| shape(i as u64 + 400)).collect();
+        let mut incremental = dynbase(4);
+        for (i, s) in shapes.iter().enumerate() {
+            incremental.insert(ImageId(i as u32), s.clone());
+        }
+        let mut bulk = dynbase(4);
+        let ids = bulk
+            .bulk_load(shapes.iter().enumerate().map(|(i, s)| (ImageId(i as u32), s.clone())));
+        assert_eq!(ids.len(), 20);
+        assert_eq!(bulk.len(), 20);
+        assert_eq!(bulk.num_levels(), 1, "bulk load must build exactly one level");
+        assert_eq!(bulk.epoch(), 20);
+        for q in shapes.iter().take(8) {
+            let a = incremental.retrieve(q);
+            let b = bulk.retrieve(q);
+            assert_eq!(a.first().map(|m| m.image), b.first().map(|m| m.image));
+            assert!((a[0].score - b[0].score).abs() < 1e-9);
+        }
+        // live updates keep working after a bulk load
+        let extra = shape(999);
+        let id = bulk.insert(ImageId(99), extra.clone());
+        assert_eq!(bulk.retrieve(&extra).first().map(|m| m.shape), Some(id));
+        assert!(bulk.delete(id));
+    }
+
+    #[test]
+    fn retrieve_with_reused_scratch_matches_scratchless() {
+        let mut db = dynbase(4);
+        for i in 0..18 {
+            db.insert(ImageId(i), shape(i as u64 + 300));
+        }
+        let mut scratch = crate::scratch::MatcherScratch::new();
+        let mut tmp = MatchOutcome::default();
+        let mut out = Vec::new();
+        for i in 0..18u64 {
+            let q = shape(i + 300);
+            db.retrieve_with(&mut scratch, &mut tmp, &q, &mut out);
+            let fresh = db.retrieve(&q);
+            assert_eq!(out.len(), fresh.len());
+            for (a, b) in out.iter().zip(&fresh) {
+                assert_eq!(a.shape, b.shape);
+                assert_eq!(a.score, b.score);
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_counts_mutations() {
+        let mut db = dynbase(4);
+        assert_eq!(db.epoch(), 0);
+        let id = db.insert(ImageId(0), shape(1));
+        assert_eq!(db.epoch(), 1);
+        db.insert(ImageId(1), shape(2));
+        assert_eq!(db.epoch(), 2);
+        assert!(db.delete(id));
+        assert_eq!(db.epoch(), 3);
+        assert!(!db.delete(id), "failed delete must not bump the epoch");
+        assert_eq!(db.epoch(), 3);
     }
 
     #[test]

@@ -28,6 +28,8 @@ pub mod selectivity;
 pub mod shapebase;
 pub mod similarity;
 
+pub use dynamic::{DynMatch, DynamicBase, GlobalShapeId, Snapshot};
 pub use ids::{CopyId, ImageId, ShapeId};
-pub use matcher::{MatchConfig, MatchOutcome, Matcher};
+pub use matcher::{MatchConfig, MatchOutcome, Matcher, MatcherPlan};
+pub use scratch::MatcherScratch;
 pub use shapebase::{ShapeBase, ShapeBaseBuilder};

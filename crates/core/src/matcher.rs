@@ -153,6 +153,61 @@ enum RunMode {
     Threshold(f64),
 }
 
+/// Query-independent precomputation over one base: the termination bound
+/// factor and per-copy candidacy thresholds the fattening loop consults.
+///
+/// Computing these is O(total copies), which is negligible next to one
+/// retrieval but *not* next to constructing a [`Matcher`] per level per
+/// query (the pattern dynamic bases and snapshot servers use). A plan is
+/// therefore computed once per built base, shared via `Arc`, and handed to
+/// [`Matcher::with_plan`] for O(1) matcher construction.
+///
+/// A plan depends on the base and on `beta` only; all other
+/// [`MatchConfig`] knobs can vary freely across matchers sharing one plan.
+#[derive(Debug, Clone)]
+pub struct MatcherPlan {
+    /// `min_C out_min(C)/n_C` — see module docs.
+    bound_factor: f64,
+    /// Per-copy candidacy thresholds `ceil((1−β)·n_C)` **net of anchor
+    /// credit** (the copy's anchor vertices count as inside every envelope
+    /// of a normalized query).
+    net_thresholds: Vec<u32>,
+    /// Copies whose anchor credit alone meets the threshold (degenerate
+    /// two-vertex shapes): candidates of every query, scored up front.
+    credit_candidates: Vec<CopyId>,
+    /// The β the thresholds were computed for (guards `with_plan` misuse).
+    beta: f64,
+}
+
+impl MatcherPlan {
+    pub fn new(base: &ShapeBase, config: &MatchConfig) -> Self {
+        assert!((0.0..1.0).contains(&config.beta), "beta must be in [0, 1)");
+        let mut bound_factor: f64 = 1.0;
+        let mut net_thresholds = Vec::with_capacity(base.num_copies());
+        let mut credit_candidates = Vec::new();
+        for (cid, copy) in base.copies() {
+            let n_c = copy.normalized.num_vertices() as u32;
+            let need = (((1.0 - config.beta) * n_c as f64).ceil() as u32).clamp(1, n_c);
+            let net = need.saturating_sub(copy.anchor_credit);
+            net_thresholds.push(net);
+            if net == 0 {
+                credit_candidates.push(cid);
+            }
+            // A non-candidate has at most need−1 vertices inside, hence at
+            // least n_c − need + 1 outside.
+            let out_min = n_c - need + 1;
+            bound_factor = bound_factor.min(out_min as f64 / n_c as f64);
+        }
+        MatcherPlan { bound_factor, net_thresholds, credit_candidates, beta: config.beta }
+    }
+}
+
+/// Bound on scratches kept warm in a matcher's internal pool. Scratches
+/// returned to a full pool are dropped, so bursty scratchless callers
+/// (e.g. a momentary spike of threads calling [`Matcher::retrieve`])
+/// cannot grow the pool without bound.
+const SCRATCH_POOL_CAP: usize = 4;
+
 /// The retrieval engine over a built [`ShapeBase`].
 ///
 /// ```
@@ -179,51 +234,44 @@ enum RunMode {
 pub struct Matcher<'a> {
     base: &'a ShapeBase,
     config: MatchConfig,
-    /// `min_C out_min(C)/n_C` — see module docs.
-    bound_factor: f64,
-    /// Per-copy candidacy thresholds `ceil((1−β)·n_C)` **net of anchor
-    /// credit** (the copy's anchor vertices count as inside every envelope
-    /// of a normalized query).
-    net_thresholds: Vec<u32>,
-    /// Copies whose anchor credit alone meets the threshold (degenerate
-    /// two-vertex shapes): candidates of every query, scored up front.
-    credit_candidates: Vec<CopyId>,
+    plan: std::sync::Arc<MatcherPlan>,
     /// Warm scratches for the scratchless entry points, so `retrieve()` in
-    /// a loop pays the dense-array setup once, not per query.
+    /// a loop pays the dense-array setup once, not per query. Bounded at
+    /// [`SCRATCH_POOL_CAP`].
     scratch_pool: std::sync::Mutex<Vec<MatcherScratch>>,
 }
 
 impl<'a> Matcher<'a> {
     pub fn new(base: &'a ShapeBase, config: MatchConfig) -> Self {
+        let plan = std::sync::Arc::new(MatcherPlan::new(base, &config));
+        Self::with_plan(base, config, plan)
+    }
+
+    /// Construct from a precomputed, shared [`MatcherPlan`] — O(1), no
+    /// allocation. The plan must have been computed for `base` and for
+    /// `config.beta` (checked).
+    pub fn with_plan(
+        base: &'a ShapeBase,
+        config: MatchConfig,
+        plan: std::sync::Arc<MatcherPlan>,
+    ) -> Self {
         assert!((0.0..1.0).contains(&config.beta), "beta must be in [0, 1)");
         assert!(config.k >= 1, "k must be at least 1");
         if let EpsSchedule::Geometric(g) = config.schedule {
             assert!(g > 1.0, "geometric growth must exceed 1");
         }
-        let mut bound_factor: f64 = 1.0;
-        let mut net_thresholds = Vec::with_capacity(base.num_copies());
-        let mut credit_candidates = Vec::new();
-        for (cid, copy) in base.copies() {
-            let n_c = copy.normalized.num_vertices() as u32;
-            let need = (((1.0 - config.beta) * n_c as f64).ceil() as u32).clamp(1, n_c);
-            let net = need.saturating_sub(copy.anchor_credit);
-            net_thresholds.push(net);
-            if net == 0 {
-                credit_candidates.push(cid);
-            }
-            // A non-candidate has at most need−1 vertices inside, hence at
-            // least n_c − need + 1 outside.
-            let out_min = n_c - need + 1;
-            bound_factor = bound_factor.min(out_min as f64 / n_c as f64);
-        }
-        Matcher {
-            base,
-            config,
-            bound_factor,
-            net_thresholds,
-            credit_candidates,
-            scratch_pool: std::sync::Mutex::new(Vec::new()),
-        }
+        assert_eq!(
+            plan.net_thresholds.len(),
+            base.num_copies(),
+            "plan was computed for a different base"
+        );
+        assert!(plan.beta == config.beta, "plan was computed for a different beta");
+        Matcher { base, config, plan, scratch_pool: std::sync::Mutex::new(Vec::new()) }
+    }
+
+    /// The shared plan (for reuse via [`Matcher::with_plan`]).
+    pub fn plan(&self) -> std::sync::Arc<MatcherPlan> {
+        self.plan.clone()
     }
 
     pub fn config(&self) -> &MatchConfig {
@@ -240,7 +288,11 @@ impl<'a> Matcher<'a> {
     }
 
     fn return_scratch(&self, scratch: MatcherScratch) {
-        self.scratch_pool.lock().unwrap().push(scratch);
+        let mut pool = self.scratch_pool.lock().unwrap();
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(scratch);
+        }
+        // else: drop — the pool is bounded (see SCRATCH_POOL_CAP)
     }
 
     /// Normalize `query` about its diameter and retrieve the k best shapes.
@@ -400,7 +452,7 @@ impl<'a> Matcher<'a> {
         //
         // Degenerate copies (e.g. two-vertex segments) are candidates on
         // credit alone; score them up front so they are never lost.
-        for &cid in &self.credit_candidates {
+        for &cid in &self.plan.credit_candidates {
             scored_stamp[cid.index()] = qstamp;
             self.score_candidate(cid, prepared, back, &mut best, outcome);
         }
@@ -449,7 +501,7 @@ impl<'a> Matcher<'a> {
                         counters[oi] = 0;
                     }
                     counters[oi] += 1;
-                    if counters[oi] >= self.net_thresholds[oi] && scored_stamp[oi] != qstamp {
+                    if counters[oi] >= self.plan.net_thresholds[oi] && scored_stamp[oi] != qstamp {
                         scored_stamp[oi] = qstamp;
                         self.score_candidate(owner, prepared, back, &mut best, outcome);
                     }
@@ -466,9 +518,9 @@ impl<'a> Matcher<'a> {
                     best.len() >= self.config.k
                         && best
                             .kth(certify_rank, score_buf)
-                            .is_some_and(|kth| kth <= self.bound_factor * eps)
+                            .is_some_and(|kth| kth <= self.plan.bound_factor * eps)
                 }
-                RunMode::Threshold(tau) => self.bound_factor * eps >= tau,
+                RunMode::Threshold(tau) => self.plan.bound_factor * eps >= tau,
             };
             if done {
                 self.finish(&best, ranked, mode, outcome, false);
@@ -549,10 +601,10 @@ impl<'a> Matcher<'a> {
                         .map(|m| m.score)
                         .unwrap_or(f64::INFINITY);
                     outcome.matches.len() < self.config.k
-                        || certified_score > self.bound_factor * outcome.stats.final_eps
+                        || certified_score > self.plan.bound_factor * outcome.stats.final_eps
                 }
                 RunMode::Threshold(tau) => {
-                    self.bound_factor * outcome.stats.final_eps < tau
+                    self.plan.bound_factor * outcome.stats.final_eps < tau
                 }
             };
     }
@@ -858,6 +910,54 @@ mod tests {
     fn invalid_beta_rejected() {
         let base = build_base(&gallery(), 0.0);
         let _ = Matcher::new(&base, MatchConfig { beta: 1.5, ..Default::default() });
+    }
+
+    #[test]
+    fn scratch_pool_is_bounded() {
+        // Burst regime: many callers hold scratches simultaneously, then
+        // all return at once. The pool must keep at most SCRATCH_POOL_CAP
+        // and drop the rest (regression: it once grew without bound).
+        let base = build_base(&gallery(), 0.0);
+        let matcher = Matcher::new(&base, MatchConfig::default());
+        let burst: Vec<_> = (0..SCRATCH_POOL_CAP * 5).map(|_| matcher.pooled_scratch()).collect();
+        assert!(matcher.scratch_pool.lock().unwrap().is_empty());
+        for scratch in burst {
+            matcher.return_scratch(scratch);
+        }
+        assert_eq!(matcher.scratch_pool.lock().unwrap().len(), SCRATCH_POOL_CAP);
+        // the bounded pool still serves the scratchless entry points
+        assert!(matcher.retrieve(&gallery()[0]).best().is_some());
+        assert!(matcher.scratch_pool.lock().unwrap().len() <= SCRATCH_POOL_CAP);
+    }
+
+    #[test]
+    fn with_plan_matches_fresh_construction() {
+        let shapes = gallery();
+        let base = build_base(&shapes, 0.0);
+        let config = MatchConfig { k: 2, beta: 0.2, ..Default::default() };
+        let fresh = Matcher::new(&base, config.clone());
+        let shared = Matcher::with_plan(&base, config, fresh.plan());
+        for q in &shapes {
+            let a = fresh.retrieve(q);
+            let b = shared.retrieve(q);
+            assert_eq!(a.matches.len(), b.matches.len());
+            for (x, y) in a.matches.iter().zip(&b.matches) {
+                assert_eq!(x.shape, y.shape);
+                assert_eq!(x.score, y.score);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different beta")]
+    fn with_plan_rejects_mismatched_beta() {
+        let base = build_base(&gallery(), 0.0);
+        let fresh = Matcher::new(&base, MatchConfig { beta: 0.1, ..Default::default() });
+        let _ = Matcher::with_plan(
+            &base,
+            MatchConfig { beta: 0.3, ..Default::default() },
+            fresh.plan(),
+        );
     }
 
     #[test]

@@ -191,6 +191,21 @@ pub fn score_with(
     }
 }
 
+/// [`score`] when the candidate is already prepared: no per-call index
+/// build at all. The fast path for scoring against pre-indexed shapes
+/// (e.g. a dynamic base's insert buffer, whose copies are prepared once
+/// at insert time).
+pub fn score_prepared(kind: ScoreKind, candidate: &PreparedShape, query: &PreparedShape) -> f64 {
+    match kind {
+        ScoreKind::DiscreteDirected => h_avg_discrete(candidate.shape(), query),
+        ScoreKind::ContinuousDirected => h_avg_continuous(candidate.shape(), query),
+        ScoreKind::DiscreteSymmetric => h_avg_discrete(candidate.shape(), query)
+            .max(h_avg_discrete(query.shape(), candidate)),
+        ScoreKind::ContinuousSymmetric => h_avg_continuous(candidate.shape(), query)
+            .max(h_avg_continuous(query.shape(), candidate)),
+    }
+}
+
 /// Fill `slot` with an index over `shape`, reusing its allocations when
 /// already occupied.
 pub fn prepare_into<'a>(slot: &'a mut Option<PreparedShape>, shape: &Polyline) -> &'a PreparedShape {

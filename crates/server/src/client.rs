@@ -1,0 +1,113 @@
+//! Blocking client for the GeoSIR wire protocol.
+//!
+//! One [`Client`] wraps one TCP connection; the protocol is strictly
+//! request/reply per connection, so a `Client` is `Send` but not meant
+//! to be shared — open one per thread (the load generator does exactly
+//! that).
+
+use std::io::{BufWriter, Write as _};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use geosir_geom::Polyline;
+
+use crate::wire::{Frame, ServerStats, WireError, WireMatch, WireShape};
+
+/// A connected client. All calls block until the server replies.
+pub struct Client {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+}
+
+/// What a query round trip produced.
+#[derive(Debug, Clone)]
+pub struct QueryReply {
+    /// Snapshot epoch the query ran against.
+    pub epoch: u64,
+    /// Hits, best score first.
+    pub matches: Vec<WireMatch>,
+    /// True when the server shed the request under load (`Busy`).
+    pub rejected: bool,
+}
+
+impl Client {
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, WireError> {
+        let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
+        stream.set_nodelay(true).map_err(WireError::Io)?;
+        let reader = stream.try_clone().map_err(WireError::Io)?;
+        Ok(Client { reader, writer: BufWriter::new(stream) })
+    }
+
+    /// Send one frame and wait for the reply frame.
+    pub fn request(&mut self, frame: &Frame) -> Result<Frame, WireError> {
+        frame.write_to(&mut self.writer)?;
+        self.writer.flush().map_err(WireError::Io)?;
+        Frame::read_from(&mut self.reader)
+    }
+
+    /// Retrieve up to `k` nearest shapes (`k = 0` → server default).
+    pub fn query(&mut self, query: &Polyline, k: u32) -> Result<QueryReply, WireError> {
+        let reply = self.request(&Frame::Query { k, shape: WireShape::from_polyline(query) })?;
+        match reply {
+            Frame::Matches { epoch, matches } => Ok(QueryReply { epoch, matches, rejected: false }),
+            Frame::Busy => Ok(QueryReply { epoch: 0, matches: Vec::new(), rejected: true }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Retrieve for several queries in one round trip.
+    pub fn query_batch(
+        &mut self,
+        queries: &[Polyline],
+        k: u32,
+    ) -> Result<(u64, Vec<Vec<WireMatch>>), WireError> {
+        let shapes = queries.iter().map(WireShape::from_polyline).collect();
+        match self.request(&Frame::QueryBatch { k, shapes })? {
+            Frame::BatchMatches { epoch, results } => Ok((epoch, results)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Insert a shape; returns `(epoch, id)` once the new snapshot is
+    /// published, or `None` when shed under load.
+    pub fn insert(&mut self, image: u32, shape: &Polyline) -> Result<Option<(u64, u64)>, WireError> {
+        let reply =
+            self.request(&Frame::Insert { image, shape: WireShape::from_polyline(shape) })?;
+        match reply {
+            Frame::Inserted { epoch, id } => Ok(Some((epoch, id))),
+            Frame::Busy => Ok(None),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Delete by global shape id; `Some((epoch, existed))`, or `None`
+    /// when shed under load.
+    pub fn delete(&mut self, id: u64) -> Result<Option<(u64, bool)>, WireError> {
+        match self.request(&Frame::Delete { id })? {
+            Frame::Deleted { epoch, existed } => Ok(Some((epoch, existed))),
+            Frame::Busy => Ok(None),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    pub fn stats(&mut self) -> Result<ServerStats, WireError> {
+        match self.request(&Frame::Stats)? {
+            Frame::StatsReport(stats) => Ok(stats),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ask the server to shut down gracefully; resolves on `Bye`.
+    pub fn shutdown(&mut self) -> Result<(), WireError> {
+        match self.request(&Frame::Shutdown)? {
+            Frame::Bye => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(frame: &Frame) -> WireError {
+    // The server answered with a frame that is not a legal reply to what
+    // we sent — treat it like any other protocol violation.
+    let _ = frame;
+    WireError::Malformed
+}

@@ -1,0 +1,23 @@
+//! # geosir-serve — concurrent retrieval server
+//!
+//! A standalone TCP service exposing the GeoSIR dynamic shape base over
+//! a length-prefixed binary protocol, built on `std::net` threads:
+//!
+//! - [`wire`] — versioned, checksummed frame codec ([`wire::Frame`]).
+//! - [`server`] — listener / worker-pool / single-writer architecture
+//!   with snapshot-isolated queries and bounded-queue backpressure
+//!   ([`server::serve`]).
+//! - [`client`] — blocking request/reply client ([`client::Client`]).
+//! - [`metrics`] — lock-free counters and latency histograms surfaced
+//!   through the `Stats` frame.
+//!
+//! See `DESIGN.md` §7 for the full architecture discussion.
+
+pub mod client;
+pub mod metrics;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, QueryReply};
+pub use server::{serve, ServeConfig, ServerHandle};
+pub use wire::{Frame, ServerStats, WireError, WireMatch, WireShape, PROTOCOL_VERSION};

@@ -1,0 +1,112 @@
+//! Lock-free server counters and latency histograms.
+//!
+//! Workers record into atomics only — no mutex on the request path — and
+//! the `Stats` frame handler folds the counters into a
+//! [`crate::wire::ServerStats`] on demand.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Power-of-two latency histogram over microseconds: bucket `i` counts
+/// samples in `[2^(i-1), 2^i)` µs (bucket 0: `< 1` µs). 40 buckets cover
+/// up to ~2^39 µs ≈ 6 days, far beyond any plausible request latency.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; Histogram::BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+impl Histogram {
+    const BUCKETS: usize = 40;
+
+    pub fn record_us(&self, us: u64) {
+        let idx = (64 - us.leading_zeros() as usize).min(Self::BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Approximate quantile (bucket upper bound), 0 when empty.
+    /// `q` in (0, 1].
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return if i == 0 { 1 } else { 1u64 << i };
+            }
+        }
+        1u64 << (Self::BUCKETS - 1)
+    }
+}
+
+/// All counters one server instance maintains.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    pub requests: AtomicU64,
+    pub queries: AtomicU64,
+    pub inserts: AtomicU64,
+    pub deletes: AtomicU64,
+    pub busy_rejects: AtomicU64,
+    pub protocol_errors: AtomicU64,
+    /// Request latency: enqueue → reply built.
+    pub latency: Histogram,
+    /// Snapshot-publish latency: apply batch → snapshot installed.
+    pub publish: Histogram,
+    pub snapshots_published: AtomicU64,
+}
+
+impl Metrics {
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = Histogram::default();
+        for us in [3u64, 3, 3, 3, 3, 3, 3, 3, 3, 900] {
+            h.record_us(us);
+        }
+        assert_eq!(h.count(), 10);
+        // p50 lands in the bucket holding 3 µs: (2, 4] → upper bound 4
+        assert_eq!(h.quantile_us(0.5), 4);
+        // p99 must reach the 900 µs outlier's bucket: (512, 1024]
+        assert_eq!(h.quantile_us(0.99), 1024);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn zero_and_huge_samples_stay_in_range() {
+        let h = Histogram::default();
+        h.record_us(0);
+        h.record_us(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile_us(1.0) >= 1);
+    }
+}

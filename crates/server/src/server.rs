@@ -1,0 +1,573 @@
+//! The concurrent retrieval server.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!              ┌────────────┐   accept    ┌─────────────────┐
+//!   clients ──▶│  listener  │────────────▶│ conn thread × C │
+//!              └────────────┘             └───────┬─────────┘
+//!                                   try_push      │      try_push
+//!                            ┌────────────────────┴─────────────┐
+//!                            ▼ (full → Busy)                    ▼ (full → Busy)
+//!                   ┌────────────────┐                 ┌────────────────┐
+//!                   │  read queue    │                 │  write queue   │
+//!                   └───────┬────────┘                 └───────┬────────┘
+//!                           ▼                                  ▼
+//!                   ┌────────────────┐  publish Arc   ┌────────────────┐
+//!                   │ worker × W     │◀───────────────│ writer thread  │
+//!                   │ (own scratch)  │   (RwLock swap)│ (owns DynBase) │
+//!                   └────────────────┘                └────────────────┘
+//! ```
+//!
+//! **Snapshot isolation.** Queries never touch the [`DynamicBase`]: each
+//! worker clones the published `Arc<Snapshot>` (a pointer bump) and runs
+//! the retrieval against that immutable view. The single writer thread
+//! applies inserts/deletes, takes a fresh snapshot, and swaps the
+//! published `Arc` — readers mid-query keep their old snapshot alive,
+//! new queries see the new epoch, and no reader ever blocks on a writer
+//! (or vice versa). Write replies are sent only *after* the publish, so a
+//! client that saw `Inserted{epoch}` is guaranteed every later query
+//! observes `epoch` or newer: read-your-writes across connections.
+//!
+//! **Backpressure.** Both queues are bounded. A connection thread uses
+//! `try_push`; when the queue is full the client gets [`Frame::Busy`]
+//! immediately instead of the request queueing unboundedly — load is shed
+//! at the edge, and an overloaded server stays responsive. Shed requests
+//! are counted in [`ServerStats::busy_rejects`].
+//!
+//! **Graceful shutdown.** A `Shutdown` frame (or
+//! [`ServerHandle::shutdown`]) closes both queues: pushes start failing,
+//! but workers and the writer drain every already-admitted job and reply
+//! before exiting — no accepted request is dropped. The listener is woken
+//! by a self-connection and joins the connection threads, which notice
+//! the flag at their next poll tick.
+
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use geosir_core::dynamic::{DynamicBase, GlobalShapeId, Snapshot};
+use geosir_core::matcher::MatchOutcome;
+use geosir_core::scratch::MatcherScratch;
+use geosir_core::ImageId;
+
+use crate::metrics::Metrics;
+use crate::wire::{error_code, Frame, ServerStats, WireError, WireMatch};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads answering queries (0 = one per available CPU).
+    pub workers: usize,
+    /// Bounded read-queue capacity; beyond it, queries get `Busy`.
+    pub queue_cap: usize,
+    /// Bounded write-queue capacity; beyond it, inserts/deletes get `Busy`.
+    pub write_queue_cap: usize,
+    /// Idle-poll granularity for connection threads (how quickly they
+    /// notice shutdown; not a request timeout).
+    pub poll_interval: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            queue_cap: 128,
+            write_queue_cap: 256,
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Why a push was refused.
+enum PushError<T> {
+    Full(T),
+    Closed(T),
+}
+
+/// Bounded MPMC queue: `try_push` (never blocks) + blocking `pop` that
+/// drains remaining items after close and only then returns `None`.
+struct BoundedQueue<T> {
+    inner: Mutex<QueueState<T>>,
+    cv: Condvar,
+    cap: usize,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(cap: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            cv: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut st = self.inner.lock().unwrap();
+        if st.closed {
+            return Err(PushError::Closed(item));
+        }
+        if st.items.len() >= self.cap {
+            return Err(PushError::Full(item));
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Block until an item is available; after [`Self::close`], keep
+    /// returning queued items until empty, then `None`.
+    fn pop(&self) -> Option<T> {
+        let mut st = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Non-blocking pop (used by the writer to batch).
+    fn try_pop(&self) -> Option<T> {
+        self.inner.lock().unwrap().items.pop_front()
+    }
+
+    fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.cv.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+}
+
+/// One admitted request: the decoded frame plus the channel the owning
+/// connection thread waits on.
+struct Job {
+    frame: Frame,
+    reply: mpsc::Sender<Frame>,
+    enqueued: Instant,
+}
+
+struct Shared {
+    snapshot: RwLock<Arc<Snapshot>>,
+    last_publish: Mutex<Instant>,
+    read_queue: BoundedQueue<Job>,
+    write_queue: BoundedQueue<Job>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    cfg: ServeConfig,
+}
+
+impl Shared {
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return; // already under way
+        }
+        self.read_queue.close();
+        self.write_queue.close();
+        // wake the listener out of accept()
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn current_snapshot(&self) -> Arc<Snapshot> {
+        self.snapshot.read().unwrap().clone()
+    }
+
+    fn stats(&self) -> ServerStats {
+        let snap = self.current_snapshot();
+        let m = &self.metrics;
+        ServerStats {
+            epoch: snap.epoch(),
+            live_shapes: snap.len() as u64,
+            levels: snap.num_levels() as u64,
+            requests: Metrics::get(&m.requests),
+            queries: Metrics::get(&m.queries),
+            inserts: Metrics::get(&m.inserts),
+            deletes: Metrics::get(&m.deletes),
+            busy_rejects: Metrics::get(&m.busy_rejects),
+            protocol_errors: Metrics::get(&m.protocol_errors),
+            latency_p50_us: m.latency.quantile_us(0.5),
+            latency_p99_us: m.latency.quantile_us(0.99),
+            snapshots_published: Metrics::get(&m.snapshots_published),
+            publish_p50_us: m.publish.quantile_us(0.5),
+            publish_p99_us: m.publish.quantile_us(0.99),
+            snapshot_age_us: self.last_publish.lock().unwrap().elapsed().as_micros() as u64,
+            queue_depth: self.read_queue.depth() as u64,
+        }
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::shutdown`] (or send a `Shutdown` frame) and then
+/// [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begin graceful shutdown: queues close, admitted work drains.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// True once shutdown has begun (requested locally or over the wire).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.is_shutdown()
+    }
+
+    /// Current stats, gathered locally (no wire round trip).
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Wait for every server thread to finish. Blocks until shutdown has
+    /// been requested (by [`Self::shutdown`] or a `Shutdown` frame).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Start serving `base` on `addr` (use port 0 for an ephemeral port).
+/// Publishes the initial snapshot before returning, so the first query
+/// cannot race an empty slot.
+pub fn serve(addr: &str, base: DynamicBase, cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let workers = if cfg.workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        cfg.workers
+    };
+    let shared = Arc::new(Shared {
+        snapshot: RwLock::new(Arc::new(base.snapshot())),
+        last_publish: Mutex::new(Instant::now()),
+        read_queue: BoundedQueue::new(cfg.queue_cap),
+        write_queue: BoundedQueue::new(cfg.write_queue_cap),
+        metrics: Metrics::default(),
+        shutdown: AtomicBool::new(false),
+        addr: local,
+        cfg: cfg.clone(),
+    });
+
+    let mut threads = Vec::new();
+    for i in 0..workers {
+        let shared = shared.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("geosir-worker-{i}"))
+                .spawn(move || worker_loop(&shared))?,
+        );
+    }
+    {
+        let shared = shared.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("geosir-writer".into())
+                .spawn(move || writer_loop(base, &shared))?,
+        );
+    }
+    {
+        let shared = shared.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("geosir-listener".into())
+                .spawn(move || listener_loop(listener, &shared))?,
+        );
+    }
+    Ok(ServerHandle { addr: local, shared, threads })
+}
+
+fn listener_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.is_shutdown() {
+                    break; // the wake-up self-connection (or a late client)
+                }
+                let shared = shared.clone();
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name("geosir-conn".into())
+                    .spawn(move || connection_loop(stream, &shared))
+                {
+                    conns.push(handle);
+                }
+            }
+            Err(_) => {
+                if shared.is_shutdown() {
+                    break;
+                }
+            }
+        }
+        conns.retain(|h| !h.is_finished());
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// Submit to a queue, translating refusal into the shed/shutdown reply.
+/// The `Err` frame is cold (shed/shutdown only), so its size is fine.
+#[allow(clippy::result_large_err)]
+fn submit(queue: &BoundedQueue<Job>, shared: &Shared, job: Job) -> Result<(), Frame> {
+    match queue.try_push(job) {
+        Ok(()) => Ok(()),
+        Err(PushError::Full(_)) => {
+            Metrics::bump(&shared.metrics.busy_rejects);
+            Err(Frame::Busy)
+        }
+        Err(PushError::Closed(_)) => Err(Frame::Error {
+            code: error_code::SHUTTING_DOWN,
+            message: "server is shutting down".into(),
+        }),
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let mut stream = stream;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.cfg.poll_interval));
+    let (reply_tx, reply_rx) = mpsc::channel::<Frame>();
+    let mut peek = [0u8; 1];
+    loop {
+        // idle-poll for the first byte so a quiet connection notices
+        // shutdown within one poll interval
+        match stream.peek(&mut peek) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.is_shutdown() {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        }
+        let frame = match Frame::read_from(&mut stream) {
+            Ok(f) => f,
+            Err(WireError::Io(_)) => break,
+            Err(e) => {
+                // protocol violation: answer once, then hang up
+                Metrics::bump(&shared.metrics.protocol_errors);
+                let _ = Frame::Error { code: error_code::MALFORMED, message: e.to_string() }
+                    .write_to(&mut stream);
+                break;
+            }
+        };
+        let outcome = match frame {
+            Frame::Query { .. } | Frame::QueryBatch { .. } | Frame::Stats => submit(
+                &shared.read_queue,
+                shared,
+                Job { frame, reply: reply_tx.clone(), enqueued: Instant::now() },
+            ),
+            Frame::Insert { .. } | Frame::Delete { .. } => submit(
+                &shared.write_queue,
+                shared,
+                Job { frame, reply: reply_tx.clone(), enqueued: Instant::now() },
+            ),
+            Frame::Shutdown => {
+                shared.begin_shutdown();
+                let _ = Frame::Bye.write_to(&mut stream);
+                break;
+            }
+            _ => Err(Frame::Error {
+                code: error_code::UNEXPECTED_FRAME,
+                message: "response frame sent as request".into(),
+            }),
+        };
+        let reply = match outcome {
+            // admitted: a worker or the writer will reply exactly once
+            Ok(()) => match reply_rx.recv() {
+                Ok(r) => r,
+                Err(_) => break,
+            },
+            // refused: answer immediately (Busy / Error)
+            Err(immediate) => immediate,
+        };
+        if reply.write_to(&mut stream).is_err() {
+            break;
+        }
+        let _ = stream.flush();
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    // Long-lived per-worker scratch: after warm-up, the per-query
+    // retrieval path touches the heap only for the reply frame.
+    let mut scratch = MatcherScratch::new();
+    let mut tmp = MatchOutcome::default();
+    let mut hits = Vec::new();
+    while let Some(job) = shared.read_queue.pop() {
+        let reply = match &job.frame {
+            Frame::Query { k, shape } => match shape.to_polyline() {
+                Some(query) => {
+                    Metrics::bump(&shared.metrics.queries);
+                    let snap = shared.current_snapshot();
+                    snap.retrieve_with(&mut scratch, &mut tmp, &query, *k as usize, &mut hits);
+                    Frame::Matches { epoch: snap.epoch(), matches: to_wire(&hits) }
+                }
+                None => bad_shape(),
+            },
+            Frame::QueryBatch { k, shapes } => {
+                let snap = shared.current_snapshot();
+                let mut results = Vec::with_capacity(shapes.len());
+                for shape in shapes {
+                    match shape.to_polyline() {
+                        Some(query) => {
+                            Metrics::bump(&shared.metrics.queries);
+                            snap.retrieve_with(
+                                &mut scratch,
+                                &mut tmp,
+                                &query,
+                                *k as usize,
+                                &mut hits,
+                            );
+                            results.push(to_wire(&hits));
+                        }
+                        None => results.push(Vec::new()),
+                    }
+                }
+                Frame::BatchMatches { epoch: snap.epoch(), results }
+            }
+            Frame::Stats => Frame::StatsReport(shared.stats()),
+            _ => Frame::Error {
+                code: error_code::UNEXPECTED_FRAME,
+                message: "write frame on read queue".into(),
+            },
+        };
+        Metrics::bump(&shared.metrics.requests);
+        shared.metrics.latency.record_us(job.enqueued.elapsed().as_micros() as u64);
+        let _ = job.reply.send(reply);
+    }
+}
+
+fn writer_loop(mut base: DynamicBase, shared: &Arc<Shared>) {
+    const MAX_BATCH: usize = 64;
+    while let Some(first) = shared.write_queue.pop() {
+        // batch whatever else is already queued (bounded), apply, publish
+        // once, then reply — so replies always describe published state
+        let mut batch = vec![first];
+        while batch.len() < MAX_BATCH {
+            match shared.write_queue.try_pop() {
+                Some(job) => batch.push(job),
+                None => break,
+            }
+        }
+        let mut replies = Vec::with_capacity(batch.len());
+        for job in &batch {
+            let reply = match &job.frame {
+                Frame::Insert { image, shape } => match shape.to_polyline() {
+                    Some(poly) => {
+                        Metrics::bump(&shared.metrics.inserts);
+                        let id = base.insert(ImageId(*image), poly);
+                        Frame::Inserted { epoch: base.epoch(), id: id.0 }
+                    }
+                    None => bad_shape(),
+                },
+                Frame::Delete { id } => {
+                    Metrics::bump(&shared.metrics.deletes);
+                    let existed = base.delete(GlobalShapeId(*id));
+                    Frame::Deleted { epoch: base.epoch(), existed }
+                }
+                _ => Frame::Error {
+                    code: error_code::UNEXPECTED_FRAME,
+                    message: "read frame on write queue".into(),
+                },
+            };
+            replies.push(reply);
+        }
+        let t0 = Instant::now();
+        let snap = Arc::new(base.snapshot());
+        *shared.snapshot.write().unwrap() = snap;
+        *shared.last_publish.lock().unwrap() = Instant::now();
+        shared.metrics.publish.record_us(t0.elapsed().as_micros() as u64);
+        Metrics::bump(&shared.metrics.snapshots_published);
+        for (job, reply) in batch.into_iter().zip(replies) {
+            Metrics::bump(&shared.metrics.requests);
+            shared.metrics.latency.record_us(job.enqueued.elapsed().as_micros() as u64);
+            let _ = job.reply.send(reply);
+        }
+    }
+}
+
+fn bad_shape() -> Frame {
+    Frame::Error { code: error_code::BAD_SHAPE, message: "payload is not a valid polyline".into() }
+}
+
+fn to_wire(hits: &[geosir_core::dynamic::DynMatch]) -> Vec<WireMatch> {
+    hits.iter().map(|m| WireMatch { shape: m.shape.0, image: m.image.0, score: m.score }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_queue_sheds_when_full_and_drains_after_close() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        match q.try_push(3) {
+            Err(PushError::Full(v)) => assert_eq!(v, 3),
+            _ => panic!("push into a full queue must refuse"),
+        }
+        q.close();
+        match q.try_push(4) {
+            Err(PushError::Closed(_)) => {}
+            _ => panic!("push into a closed queue must refuse"),
+        }
+        // admitted items still drain after close
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn bounded_queue_cap_zero_clamps_to_one() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(0);
+        assert!(q.try_push(1).is_ok());
+        assert!(matches!(q.try_push(2), Err(PushError::Full(_))));
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(q.try_push(42).is_ok());
+        assert_eq!(t.join().unwrap(), Some(42));
+    }
+}

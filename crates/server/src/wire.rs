@@ -1,0 +1,588 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Hand-rolled codec in the style of `geosir_storage::record`: fixed
+//! little-endian layouts over `bytes::{Buf, BufMut}`, no self-describing
+//! metadata. Every frame travels as
+//!
+//! ```text
+//! version   u8   (PROTOCOL_VERSION)
+//! type      u8   frame discriminant
+//! length    u32  payload byte count (≤ MAX_PAYLOAD)
+//! payload   length bytes
+//! checksum  u32  FNV-1a over version, type, length, payload
+//! ```
+//!
+//! The checksum closes the gap TCP's checksum leaves open (stack bugs,
+//! proxies, in-flight truncation at process kill): a reader either gets a
+//! frame whose every byte was vouched for, or a clean [`WireError`] — never
+//! a silently corrupt query. Decoding never panics on adversarial input;
+//! the malformed-input tests in `tests/` drive truncations, bad versions,
+//! bad checksums, and oversized length prefixes through both the slice and
+//! stream entry points.
+
+use bytes::{Buf, BufMut};
+use geosir_geom::Polyline;
+use std::io::{Read, Write};
+
+/// Protocol version this build speaks. A mismatched peer gets
+/// [`WireError::BadVersion`] instead of a garbled decode.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Ceiling on a frame's payload size. A length prefix above this is
+/// rejected *before* any allocation, so a hostile 4 GiB prefix cannot OOM
+/// the server.
+pub const MAX_PAYLOAD: usize = 16 << 20;
+
+/// Frame header bytes preceding the payload (version, type, length).
+pub const HEADER_LEN: usize = 6;
+
+/// Trailing checksum bytes.
+pub const CHECKSUM_LEN: usize = 4;
+
+/// Error codes carried by [`Frame::Error`].
+pub mod error_code {
+    /// The request frame could not be decoded.
+    pub const MALFORMED: u16 = 1;
+    /// The shape payload does not form a valid polyline.
+    pub const BAD_SHAPE: u16 = 2;
+    /// The server is shutting down and no longer accepts work.
+    pub const SHUTTING_DOWN: u16 = 3;
+    /// A response frame arrived where a request was expected.
+    pub const UNEXPECTED_FRAME: u16 = 4;
+}
+
+/// Shape geometry on the wire: closed flag + f64 vertex pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireShape {
+    pub closed: bool,
+    pub points: Vec<(f64, f64)>,
+}
+
+impl WireShape {
+    pub fn from_polyline(p: &Polyline) -> WireShape {
+        WireShape {
+            closed: p.is_closed(),
+            points: p.points().iter().map(|q| (q.x, q.y)).collect(),
+        }
+    }
+
+    /// Reconstruct the polyline; `None` when the vertex set is not a valid
+    /// open/closed polyline (too few points, non-finite coordinates).
+    pub fn to_polyline(&self) -> Option<Polyline> {
+        if self.points.iter().any(|(x, y)| !x.is_finite() || !y.is_finite()) {
+            return None;
+        }
+        let pts: Vec<geosir_geom::Point> =
+            self.points.iter().map(|&(x, y)| geosir_geom::Point::new(x, y)).collect();
+        if self.closed {
+            Polyline::closed(pts).ok()
+        } else {
+            Polyline::open(pts).ok()
+        }
+    }
+}
+
+/// One retrieval hit on the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireMatch {
+    /// [`geosir_core::dynamic::GlobalShapeId`] value.
+    pub shape: u64,
+    pub image: u32,
+    pub score: f64,
+}
+
+/// The server's observable state, served via [`Frame::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Snapshot epoch readers currently see.
+    pub epoch: u64,
+    /// Live shapes in the published snapshot.
+    pub live_shapes: u64,
+    /// Levels in the published snapshot.
+    pub levels: u64,
+    /// Requests admitted (queries + batches + writes + stats).
+    pub requests: u64,
+    pub queries: u64,
+    pub inserts: u64,
+    pub deletes: u64,
+    /// Requests shed with [`Frame::Busy`] because a queue was full.
+    pub busy_rejects: u64,
+    /// Connections dropped over protocol errors.
+    pub protocol_errors: u64,
+    /// Request latency percentiles (enqueue → reply built), microseconds.
+    pub latency_p50_us: u64,
+    pub latency_p99_us: u64,
+    /// Snapshot publications since start, and publish-latency percentiles.
+    pub snapshots_published: u64,
+    pub publish_p50_us: u64,
+    pub publish_p99_us: u64,
+    /// Microseconds since the published snapshot was installed.
+    pub snapshot_age_us: u64,
+    /// Read-queue depth at the instant the stats were gathered.
+    pub queue_depth: u64,
+}
+
+/// Every message either peer can send. Request frames (client → server):
+/// `Query`, `QueryBatch`, `Insert`, `Delete`, `Stats`, `Shutdown`.
+/// Response frames (server → client): the rest.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Retrieve the k best shapes (`k = 0`: server default).
+    Query { k: u32, shape: WireShape },
+    /// Retrieve for every shape in one round trip.
+    QueryBatch { k: u32, shapes: Vec<WireShape> },
+    /// Add a shape to the live base.
+    Insert { image: u32, shape: WireShape },
+    /// Tombstone a shape by global id.
+    Delete { id: u64 },
+    /// Fetch [`ServerStats`].
+    Stats,
+    /// Begin graceful shutdown: in-flight requests drain, then the server
+    /// exits.
+    Shutdown,
+
+    /// Reply to `Query`.
+    Matches { epoch: u64, matches: Vec<WireMatch> },
+    /// Reply to `QueryBatch`, one result list per query, in order.
+    BatchMatches { epoch: u64, results: Vec<Vec<WireMatch>> },
+    /// Reply to `Insert`: the assigned global id.
+    Inserted { epoch: u64, id: u64 },
+    /// Reply to `Delete`.
+    Deleted { epoch: u64, existed: bool },
+    /// Reply to `Stats`.
+    StatsReport(ServerStats),
+    /// Load shed: the bounded request queue was full. Retry later.
+    Busy,
+    /// Reply to `Shutdown`.
+    Bye,
+    /// The request could not be served; see [`error_code`].
+    Error { code: u16, message: String },
+}
+
+/// Frame type discriminants (requests low, responses high).
+mod frame_type {
+    pub const QUERY: u8 = 1;
+    pub const QUERY_BATCH: u8 = 2;
+    pub const INSERT: u8 = 3;
+    pub const DELETE: u8 = 4;
+    pub const STATS: u8 = 5;
+    pub const SHUTDOWN: u8 = 6;
+    pub const MATCHES: u8 = 64;
+    pub const BATCH_MATCHES: u8 = 65;
+    pub const INSERTED: u8 = 66;
+    pub const DELETED: u8 = 67;
+    pub const STATS_REPORT: u8 = 68;
+    pub const BUSY: u8 = 69;
+    pub const BYE: u8 = 70;
+    pub const ERROR: u8 = 71;
+}
+
+/// Decode / transport failures. Every variant leaves the connection in a
+/// "close me" state; none panics.
+#[derive(Debug)]
+pub enum WireError {
+    Io(std::io::Error),
+    /// First header byte is not [`PROTOCOL_VERSION`].
+    BadVersion(u8),
+    /// Unknown frame discriminant.
+    BadType(u8),
+    /// Length prefix exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// Stored checksum does not match the received bytes.
+    BadChecksum,
+    /// Payload bytes do not decode as the declared frame type.
+    Malformed,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o: {e}"),
+            WireError::BadVersion(v) => {
+                write!(f, "bad protocol version {v} (want {PROTOCOL_VERSION})")
+            }
+            WireError::BadType(t) => write!(f, "unknown frame type {t}"),
+            WireError::Oversized(n) => {
+                write!(f, "payload length {n} exceeds cap {MAX_PAYLOAD}")
+            }
+            WireError::BadChecksum => write!(f, "frame checksum mismatch"),
+            WireError::Malformed => write!(f, "malformed frame payload"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// FNV-1a over the frame bytes — cheap, dependency-free, and adequate for
+/// integrity (not authenticity) checking.
+fn fnv1a(chunks: &[&[u8]]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for chunk in chunks {
+        for &b in *chunk {
+            h ^= b as u32;
+            h = h.wrapping_mul(0x0100_0193);
+        }
+    }
+    h
+}
+
+fn put_shape(out: &mut Vec<u8>, shape: &WireShape) {
+    out.put_u8(shape.closed as u8);
+    out.put_u32_le(shape.points.len() as u32);
+    for &(x, y) in &shape.points {
+        out.put_f64_le(x);
+        out.put_f64_le(y);
+    }
+}
+
+fn get_shape(buf: &mut &[u8]) -> Result<WireShape, WireError> {
+    if buf.len() < 5 {
+        return Err(WireError::Malformed);
+    }
+    let closed = match buf.get_u8() {
+        0 => false,
+        1 => true,
+        _ => return Err(WireError::Malformed),
+    };
+    let n = buf.get_u32_le() as usize;
+    if buf.len() < n * 16 {
+        return Err(WireError::Malformed);
+    }
+    let mut points = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x = buf.get_f64_le();
+        let y = buf.get_f64_le();
+        points.push((x, y));
+    }
+    Ok(WireShape { closed, points })
+}
+
+fn put_matches(out: &mut Vec<u8>, matches: &[WireMatch]) {
+    out.put_u32_le(matches.len() as u32);
+    for m in matches {
+        out.put_u64_le(m.shape);
+        out.put_u32_le(m.image);
+        out.put_f64_le(m.score);
+    }
+}
+
+fn get_matches(buf: &mut &[u8]) -> Result<Vec<WireMatch>, WireError> {
+    if buf.len() < 4 {
+        return Err(WireError::Malformed);
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.len() < n * 20 {
+        return Err(WireError::Malformed);
+    }
+    let mut matches = Vec::with_capacity(n);
+    for _ in 0..n {
+        let shape = buf.get_u64_le();
+        let image = buf.get_u32_le();
+        let score = buf.get_f64_le();
+        matches.push(WireMatch { shape, image, score });
+    }
+    Ok(matches)
+}
+
+impl Frame {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Query { .. } => frame_type::QUERY,
+            Frame::QueryBatch { .. } => frame_type::QUERY_BATCH,
+            Frame::Insert { .. } => frame_type::INSERT,
+            Frame::Delete { .. } => frame_type::DELETE,
+            Frame::Stats => frame_type::STATS,
+            Frame::Shutdown => frame_type::SHUTDOWN,
+            Frame::Matches { .. } => frame_type::MATCHES,
+            Frame::BatchMatches { .. } => frame_type::BATCH_MATCHES,
+            Frame::Inserted { .. } => frame_type::INSERTED,
+            Frame::Deleted { .. } => frame_type::DELETED,
+            Frame::StatsReport(_) => frame_type::STATS_REPORT,
+            Frame::Busy => frame_type::BUSY,
+            Frame::Bye => frame_type::BYE,
+            Frame::Error { .. } => frame_type::ERROR,
+        }
+    }
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Query { k, shape } => {
+                out.put_u32_le(*k);
+                put_shape(out, shape);
+            }
+            Frame::QueryBatch { k, shapes } => {
+                out.put_u32_le(*k);
+                out.put_u32_le(shapes.len() as u32);
+                for s in shapes {
+                    put_shape(out, s);
+                }
+            }
+            Frame::Insert { image, shape } => {
+                out.put_u32_le(*image);
+                put_shape(out, shape);
+            }
+            Frame::Delete { id } => out.put_u64_le(*id),
+            Frame::Stats | Frame::Shutdown | Frame::Busy | Frame::Bye => {}
+            Frame::Matches { epoch, matches } => {
+                out.put_u64_le(*epoch);
+                put_matches(out, matches);
+            }
+            Frame::BatchMatches { epoch, results } => {
+                out.put_u64_le(*epoch);
+                out.put_u32_le(results.len() as u32);
+                for matches in results {
+                    put_matches(out, matches);
+                }
+            }
+            Frame::Inserted { epoch, id } => {
+                out.put_u64_le(*epoch);
+                out.put_u64_le(*id);
+            }
+            Frame::Deleted { epoch, existed } => {
+                out.put_u64_le(*epoch);
+                out.put_u8(*existed as u8);
+            }
+            Frame::StatsReport(s) => {
+                for v in [
+                    s.epoch,
+                    s.live_shapes,
+                    s.levels,
+                    s.requests,
+                    s.queries,
+                    s.inserts,
+                    s.deletes,
+                    s.busy_rejects,
+                    s.protocol_errors,
+                    s.latency_p50_us,
+                    s.latency_p99_us,
+                    s.snapshots_published,
+                    s.publish_p50_us,
+                    s.publish_p99_us,
+                    s.snapshot_age_us,
+                    s.queue_depth,
+                ] {
+                    out.put_u64_le(v);
+                }
+            }
+            Frame::Error { code, message } => {
+                out.put_u16_le(*code);
+                out.put_u32_le(message.len() as u32);
+                out.put_slice(message.as_bytes());
+            }
+        }
+    }
+
+    fn decode_payload(type_byte: u8, mut buf: &[u8]) -> Result<Frame, WireError> {
+        let buf = &mut buf;
+        let frame = match type_byte {
+            frame_type::QUERY => {
+                if buf.len() < 4 {
+                    return Err(WireError::Malformed);
+                }
+                let k = buf.get_u32_le();
+                Frame::Query { k, shape: get_shape(buf)? }
+            }
+            frame_type::QUERY_BATCH => {
+                if buf.len() < 8 {
+                    return Err(WireError::Malformed);
+                }
+                let k = buf.get_u32_le();
+                let n = buf.get_u32_le() as usize;
+                // ≥ 5 bytes per shape: cheap pre-check against hostile counts
+                if buf.len() < n * 5 {
+                    return Err(WireError::Malformed);
+                }
+                let mut shapes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    shapes.push(get_shape(buf)?);
+                }
+                Frame::QueryBatch { k, shapes }
+            }
+            frame_type::INSERT => {
+                if buf.len() < 4 {
+                    return Err(WireError::Malformed);
+                }
+                let image = buf.get_u32_le();
+                Frame::Insert { image, shape: get_shape(buf)? }
+            }
+            frame_type::DELETE => {
+                if buf.len() < 8 {
+                    return Err(WireError::Malformed);
+                }
+                Frame::Delete { id: buf.get_u64_le() }
+            }
+            frame_type::STATS => Frame::Stats,
+            frame_type::SHUTDOWN => Frame::Shutdown,
+            frame_type::MATCHES => {
+                if buf.len() < 8 {
+                    return Err(WireError::Malformed);
+                }
+                let epoch = buf.get_u64_le();
+                Frame::Matches { epoch, matches: get_matches(buf)? }
+            }
+            frame_type::BATCH_MATCHES => {
+                if buf.len() < 12 {
+                    return Err(WireError::Malformed);
+                }
+                let epoch = buf.get_u64_le();
+                let n = buf.get_u32_le() as usize;
+                if buf.len() < n * 4 {
+                    return Err(WireError::Malformed);
+                }
+                let mut results = Vec::with_capacity(n);
+                for _ in 0..n {
+                    results.push(get_matches(buf)?);
+                }
+                Frame::BatchMatches { epoch, results }
+            }
+            frame_type::INSERTED => {
+                if buf.len() < 16 {
+                    return Err(WireError::Malformed);
+                }
+                Frame::Inserted { epoch: buf.get_u64_le(), id: buf.get_u64_le() }
+            }
+            frame_type::DELETED => {
+                if buf.len() < 9 {
+                    return Err(WireError::Malformed);
+                }
+                let epoch = buf.get_u64_le();
+                let existed = match buf.get_u8() {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed),
+                };
+                Frame::Deleted { epoch, existed }
+            }
+            frame_type::STATS_REPORT => {
+                if buf.len() < 16 * 8 {
+                    return Err(WireError::Malformed);
+                }
+                let mut v = [0u64; 16];
+                for slot in &mut v {
+                    *slot = buf.get_u64_le();
+                }
+                Frame::StatsReport(ServerStats {
+                    epoch: v[0],
+                    live_shapes: v[1],
+                    levels: v[2],
+                    requests: v[3],
+                    queries: v[4],
+                    inserts: v[5],
+                    deletes: v[6],
+                    busy_rejects: v[7],
+                    protocol_errors: v[8],
+                    latency_p50_us: v[9],
+                    latency_p99_us: v[10],
+                    snapshots_published: v[11],
+                    publish_p50_us: v[12],
+                    publish_p99_us: v[13],
+                    snapshot_age_us: v[14],
+                    queue_depth: v[15],
+                })
+            }
+            frame_type::BUSY => Frame::Busy,
+            frame_type::BYE => Frame::Bye,
+            frame_type::ERROR => {
+                if buf.len() < 6 {
+                    return Err(WireError::Malformed);
+                }
+                let code = buf.get_u16_le();
+                let n = buf.get_u32_le() as usize;
+                if buf.len() < n {
+                    return Err(WireError::Malformed);
+                }
+                let message = std::str::from_utf8(&buf[..n])
+                    .map_err(|_| WireError::Malformed)?
+                    .to_string();
+                buf.advance(n);
+                Frame::Error { code, message }
+            }
+            other => return Err(WireError::BadType(other)),
+        };
+        if !buf.is_empty() {
+            return Err(WireError::Malformed); // trailing garbage
+        }
+        Ok(frame)
+    }
+
+    /// Append the complete framed encoding (header, payload, checksum).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let header_at = out.len();
+        out.put_u8(PROTOCOL_VERSION);
+        out.put_u8(self.type_byte());
+        out.put_u32_le(0); // payload length backpatched below
+        let payload_at = out.len();
+        self.encode_payload(out);
+        let payload_len = (out.len() - payload_at) as u32;
+        out[header_at + 2..header_at + HEADER_LEN].copy_from_slice(&payload_len.to_le_bytes());
+        let sum = fnv1a(&[&out[header_at..]]);
+        out.put_u32_le(sum);
+    }
+
+    /// Decode one frame from the start of `buf`; returns the frame and the
+    /// total bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(Frame, usize), WireError> {
+        if buf.len() < HEADER_LEN {
+            return Err(WireError::Io(std::io::ErrorKind::UnexpectedEof.into()));
+        }
+        let version = buf[0];
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let type_byte = buf[1];
+        let len = u32::from_le_bytes(buf[2..6].try_into().unwrap());
+        if len as usize > MAX_PAYLOAD {
+            return Err(WireError::Oversized(len));
+        }
+        let total = HEADER_LEN + len as usize + CHECKSUM_LEN;
+        if buf.len() < total {
+            return Err(WireError::Io(std::io::ErrorKind::UnexpectedEof.into()));
+        }
+        let body_end = HEADER_LEN + len as usize;
+        let stored = u32::from_le_bytes(buf[body_end..total].try_into().unwrap());
+        if fnv1a(&[&buf[..body_end]]) != stored {
+            return Err(WireError::BadChecksum);
+        }
+        let frame = Frame::decode_payload(type_byte, &buf[HEADER_LEN..body_end])?;
+        Ok((frame, total))
+    }
+
+    /// Write the framed encoding to a stream (single `write_all`).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), WireError> {
+        let mut buf = Vec::with_capacity(64);
+        self.encode(&mut buf);
+        w.write_all(&buf)?;
+        Ok(())
+    }
+
+    /// Read exactly one frame from a stream.
+    ///
+    /// Validates the header (version, type range, length cap) before
+    /// allocating or reading the payload, so a hostile peer cannot force
+    /// an oversized allocation.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Frame, WireError> {
+        let mut header = [0u8; HEADER_LEN];
+        r.read_exact(&mut header)?;
+        if header[0] != PROTOCOL_VERSION {
+            return Err(WireError::BadVersion(header[0]));
+        }
+        let len = u32::from_le_bytes(header[2..6].try_into().unwrap());
+        if len as usize > MAX_PAYLOAD {
+            return Err(WireError::Oversized(len));
+        }
+        let mut rest = vec![0u8; len as usize + CHECKSUM_LEN];
+        r.read_exact(&mut rest)?;
+        let body_end = len as usize;
+        let stored = u32::from_le_bytes(rest[body_end..].try_into().unwrap());
+        if fnv1a(&[&header, &rest[..body_end]]) != stored {
+            return Err(WireError::BadChecksum);
+        }
+        Frame::decode_payload(header[1], &rest[..body_end])
+    }
+}

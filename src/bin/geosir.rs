@@ -5,10 +5,21 @@
 //! ```sh
 //! cargo run --release --bin geosir
 //! ```
+//!
+//! `geosir serve [ADDR] [--shapes N] [--workers W] [--queue-cap Q]`
+//! instead boots the TCP retrieval server (see `DESIGN.md` §7).
 
 use std::io::{BufRead, Write};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        if let Err(msg) = geosir::server_cmd::run(&args[1..]) {
+            eprintln!("geosir serve: {msg}");
+            std::process::exit(2);
+        }
+        return;
+    }
     let stdin = std::io::stdin();
     let mut session = geosir::cli::Session::new();
     let interactive = atty_guess();

@@ -17,15 +17,19 @@
 //! - [`storage`] — simulated external storage (block device, LRU buffer
 //!   pool, layout policies);
 //! - [`query`] — topological operators, the query language and the planner;
-//! - [`imaging`] — raster front end and synthetic corpus generators.
+//! - [`imaging`] — raster front end and synthetic corpus generators;
+//! - [`serve`] — the concurrent TCP retrieval server (wire protocol,
+//!   snapshot-isolated live updates, backpressure; `geosir serve`).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub mod cli;
+pub mod server_cmd;
 pub mod system;
 
 pub use geosir_core as core;
 pub use geosir_geom as geom;
 pub use geosir_imaging as imaging;
 pub use geosir_query as query;
+pub use geosir_serve as serve;
 pub use geosir_storage as storage;

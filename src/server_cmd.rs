@@ -1,0 +1,79 @@
+//! `geosir serve` — boot the retrieval server from the command line.
+//!
+//! ```sh
+//! geosir serve [ADDR] [--shapes N] [--workers W] [--queue-cap Q]
+//! ```
+//!
+//! Binds `ADDR` (default `127.0.0.1:7401`; use port 0 for an ephemeral
+//! port, printed on startup), optionally bulk-loads a deterministic
+//! synthetic corpus of `N` shapes, and serves until a `Shutdown` frame
+//! arrives. See `DESIGN.md` §7 for the architecture and `README.md` for
+//! a loadgen walkthrough.
+
+use geosir_core::dynamic::DynamicBase;
+use geosir_core::ids::ImageId;
+use geosir_core::matcher::MatchConfig;
+use geosir_geom::rangesearch::Backend;
+use geosir_geom::{Point, Polyline};
+use geosir_imaging::synth::random_simple_polygon;
+use geosir_serve::{serve, ServeConfig};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Parse `args` (everything after the literal `serve`) and run the
+/// server until shutdown. Returns an error string for the caller to
+/// print (keeps this module free of process::exit).
+pub fn run(args: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7401".to_string();
+    let mut shapes = 0usize;
+    let mut cfg = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--shapes" => shapes = int_flag("--shapes", it.next())?,
+            "--workers" => cfg.workers = int_flag("--workers", it.next())?,
+            "--queue-cap" => cfg.queue_cap = int_flag("--queue-cap", it.next())?,
+            other if !other.starts_with('-') => addr = other.to_string(),
+            other => {
+                return Err(format!("unknown flag {other} (usage in README.md quickstart)"));
+            }
+        }
+    }
+
+    // Roomy insert buffer: buffered shapes carry indexes prepared at
+    // insert time, so brute-forcing a large buffer is cheaper than the
+    // small levels a tight cap would cascade into under live inserts.
+    let mut base =
+        DynamicBase::new(0.0, Backend::RangeTree, MatchConfig { beta: 0.2, ..Default::default() }, 512);
+    if shapes > 0 {
+        base.bulk_load(synthetic_corpus(shapes));
+        println!("loaded {shapes} synthetic shapes (epoch {})", base.epoch());
+    }
+
+    let handle = serve(&addr, base, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!("geosir-serve listening on {} (send a Shutdown frame to stop)", handle.addr());
+    handle.join();
+    println!("geosir-serve drained and stopped");
+    Ok(())
+}
+
+fn int_flag(name: &str, value: Option<&String>) -> Result<usize, String> {
+    value
+        .ok_or_else(|| format!("{name} needs a value"))?
+        .parse()
+        .map_err(|_| format!("{name} needs an integer value"))
+}
+
+/// The same deterministic corpus family the benches use: varied-aspect
+/// simple polygons, seeded so every invocation serves identical data.
+fn synthetic_corpus(n: usize) -> Vec<(ImageId, Polyline)> {
+    let mut rng = StdRng::seed_from_u64(5);
+    (0..n)
+        .map(|i| {
+            let verts = rng.random_range(10..30);
+            let poly = random_simple_polygon(&mut rng, verts, 0.35);
+            let stretch = rng.random_range(0.15..1.0);
+            (ImageId(i as u32), poly.map_points(|q| Point::new(q.x, q.y * stretch)))
+        })
+        .collect()
+}
