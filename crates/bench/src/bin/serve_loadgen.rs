@@ -19,16 +19,31 @@
 //!     [-- n_shapes] [--connections C] [--insert-permille M] \
 //!     [--warmup-secs W] [--measure-secs S]
 //! ```
+//!
+//! With `--fsync always|interval[=ms]|never` it instead measures the
+//! **durability tax**: the same workload runs once against the plain
+//! in-memory server and once against a durable one (WAL + background
+//! checkpoints in a scratch directory, corpus ingested through the log),
+//! and `BENCH_3.json` reports both plus the QPS ratio:
+//!
+//! ```sh
+//! cargo run --release -p geosir-bench --bin serve_loadgen -- \
+//!     --fsync interval=25
+//! ```
 
 use geosir_bench::{percentile_us, scaling_corpus};
 use geosir_core::dynamic::DynamicBase;
+use geosir_core::ids::ImageId;
 use geosir_core::matcher::MatchConfig;
 use geosir_geom::rangesearch::Backend;
 use geosir_geom::{Point, Polyline};
 use geosir_imaging::synth::random_simple_polygon;
-use geosir_serve::{serve, Client, ServeConfig};
+use geosir_serve::wire::ServerStats;
+use geosir_serve::{serve, serve_durable, BaseTemplate, Client, DurabilityConfig, ServeConfig};
+use geosir_storage::wal::FsyncPolicy;
 use rand::prelude::*;
 use rand::rngs::StdRng;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -42,12 +57,14 @@ struct ThreadReport {
     busy_rejects: u64,
 }
 
+#[derive(Clone)]
 struct Args {
     n_shapes: usize,
     connections: usize,
     insert_permille: u32,
     warmup_secs: f64,
     measure_secs: f64,
+    fsync: Option<FsyncPolicy>,
 }
 
 fn parse_args() -> Args {
@@ -57,6 +74,7 @@ fn parse_args() -> Args {
         insert_permille: 50,
         warmup_secs: 2.0,
         measure_secs: 8.0,
+        fsync: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -66,6 +84,10 @@ fn parse_args() -> Args {
             "--insert-permille" => args.insert_permille = num(it.next(), "--insert-permille") as u32,
             "--warmup-secs" => args.warmup_secs = num(it.next(), "--warmup-secs"),
             "--measure-secs" => args.measure_secs = num(it.next(), "--measure-secs"),
+            "--fsync" => {
+                let v = it.next().expect("--fsync needs a policy");
+                args.fsync = Some(FsyncPolicy::parse(v).expect("bad --fsync policy"));
+            }
             other => args.n_shapes = other.parse().expect("n_shapes must be an integer"),
         }
     }
@@ -86,39 +108,29 @@ fn fresh_shape(rng: &mut StdRng) -> Polyline {
     poly.map_points(|q| Point::new(q.x, q.y * stretch))
 }
 
-fn main() {
-    let args = parse_args();
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    println!(
-        "# serve_loadgen — {} shapes, {} connections, {}‰ inserts, {} cores",
-        args.n_shapes, args.connections, args.insert_permille, cores
-    );
+/// One full run of the closed-loop workload against `addr`.
+struct Summary {
+    requests: u64,
+    served: usize,
+    inserts: u64,
+    busy_rejects: u64,
+    reject_rate: f64,
+    qps: f64,
+    p50: u64,
+    p99: u64,
+    elapsed: f64,
+    load_secs: f64,
+    stats: ServerStats,
+}
 
-    // --- boot the server on the shared corpus ---
-    let (shapes, queries) = scaling_corpus(args.n_shapes);
-    // A roomy insert buffer: buffered shapes are scored against copies
-    // prepared at insert time (cheap), while cascading them into a small
-    // level mid-run makes every near-miss query pay that level's full
-    // ε-growth schedule (expensive) — so under sustained insert load a
-    // large buffer beats eager leveling.
-    let mut base = DynamicBase::new(
-        0.0,
-        Backend::RangeTree,
-        MatchConfig { beta: 0.2, ..Default::default() },
-        512,
-    );
-    base.bulk_load(shapes);
-    let t0 = Instant::now();
-    let handle = serve(
-        "127.0.0.1:0",
-        base,
-        ServeConfig { queue_cap: 4 * args.connections.max(1), ..Default::default() },
-    )
-    .expect("bind loopback");
-    let addr = handle.addr();
-    println!("server up on {addr} in {:.0} ms", t0.elapsed().as_secs_f64() * 1e3);
-
-    // --- closed-loop client threads ---
+/// Drive the measurement window against an already-running server and
+/// collect merged client-side latencies plus the server's stats frame.
+fn drive(
+    addr: std::net::SocketAddr,
+    args: &Args,
+    load_secs: f64,
+) -> Summary {
+    let (_, queries) = scaling_corpus(args.n_shapes);
     let measuring = Arc::new(AtomicBool::new(false));
     let running = Arc::new(AtomicBool::new(true));
     let mut threads = Vec::new();
@@ -191,53 +203,239 @@ fn main() {
     let mut probe = Client::connect(addr).expect("stats connect");
     let stats = probe.stats().expect("stats");
     probe.shutdown().expect("shutdown");
-    handle.join();
 
     let qps = merged.requests as f64 / elapsed;
     let served = merged.latencies_us.len();
     let p50 = percentile_us(&mut merged.latencies_us, 0.5);
     let p99 = percentile_us(&mut merged.latencies_us, 0.99);
     let reject_rate = merged.busy_rejects as f64 / (merged.requests.max(1)) as f64;
-
-    println!(
-        "requests/sec {qps:.0} over {elapsed:.1} s ({} requests, {} served, \
-         {} inserts, {} busy), latency p50 {p50} µs p99 {p99} µs, \
-         publishes {} (p50 {} µs p99 {} µs), final epoch {}",
-        merged.requests,
-        served,
-        merged.inserts,
-        merged.busy_rejects,
-        stats.snapshots_published,
-        stats.publish_p50_us,
-        stats.publish_p99_us,
-        stats.epoch
-    );
     assert!(served > 0, "measurement window served no requests");
 
+    Summary {
+        requests: merged.requests,
+        served,
+        inserts: merged.inserts,
+        busy_rejects: merged.busy_rejects,
+        reject_rate,
+        qps,
+        p50,
+        p99,
+        elapsed,
+        load_secs,
+        stats,
+    }
+}
+
+fn base_template() -> BaseTemplate {
+    // A roomy insert buffer: buffered shapes are scored against copies
+    // prepared at insert time (cheap), while cascading them into a small
+    // level mid-run makes every near-miss query pay that level's full
+    // ε-growth schedule (expensive) — so under sustained insert load a
+    // large buffer beats eager leveling.
+    BaseTemplate {
+        alpha: 0.0,
+        backend: Backend::RangeTree,
+        config: MatchConfig { beta: 0.2, ..Default::default() },
+        buffer_cap: 512,
+    }
+}
+
+/// Run against the plain in-memory server. `ingest_via_client` drives
+/// the corpus through live inserts instead of `bulk_load`, so that the
+/// base's level structure matches the durable server's (which can only
+/// ingest through the WAL) — otherwise the durability-tax ratio would
+/// mostly measure Bentley–Saxe leveling, not the log.
+fn run_in_memory(
+    args: &Args,
+    shapes: Vec<(ImageId, Polyline)>,
+    ingest_via_client: bool,
+) -> Summary {
+    let t = base_template();
+    let mut base = DynamicBase::new(t.alpha, t.backend, t.config, t.buffer_cap);
+    let mut load_secs = 0.0;
+    if !ingest_via_client {
+        let t0 = Instant::now();
+        base.bulk_load(shapes.clone());
+        load_secs = t0.elapsed().as_secs_f64();
+    }
+    let handle = serve(
+        "127.0.0.1:0",
+        base,
+        ServeConfig { queue_cap: 4 * args.connections.max(1), ..Default::default() },
+    )
+    .expect("bind loopback");
+    if ingest_via_client {
+        let t0 = Instant::now();
+        let mut loader = Client::connect(handle.addr()).expect("loader connect");
+        for (image, shape) in &shapes {
+            loader.insert_retrying(image.0, shape).expect("ingest");
+        }
+        load_secs = t0.elapsed().as_secs_f64();
+    }
+    println!("in-memory server up on {} (corpus in {load_secs:.2} s)", handle.addr());
+    let summary = drive(handle.addr(), args, load_secs);
+    handle.join();
+    summary
+}
+
+/// Run against a durable server: scratch data dir, corpus ingested
+/// through the WAL (so `load_secs` doubles as a log-ingest benchmark).
+fn run_durable(args: &Args, fsync: FsyncPolicy, shapes: Vec<(ImageId, Polyline)>) -> Summary {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("geosir-loadgen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut dcfg = DurabilityConfig::new(&dir);
+    dcfg.fsync = fsync;
+    let (handle, _) = serve_durable(
+        "127.0.0.1:0",
+        &base_template(),
+        dcfg,
+        ServeConfig { queue_cap: 4 * args.connections.max(1), ..Default::default() },
+    )
+    .expect("bind loopback (durable)");
+    let addr = handle.addr();
+
+    let t0 = Instant::now();
+    let mut loader = Client::connect(addr).expect("loader connect");
+    for (image, shape) in &shapes {
+        loader.insert_retrying(image.0, shape).expect("WAL ingest");
+    }
+    let load_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "durable server up on {addr} ({} shapes through the WAL in {load_secs:.2} s, \
+         {:.0} inserts/s, fsync={fsync:?})",
+        shapes.len(),
+        shapes.len() as f64 / load_secs.max(1e-9),
+    );
+
+    let summary = drive(addr, args, load_secs);
+    handle.join();
+    cleanup_dir(&dir);
+    summary
+}
+
+fn cleanup_dir(dir: &PathBuf) {
+    std::fs::remove_dir_all(dir).ok();
+}
+
+fn print_summary(label: &str, s: &Summary) {
+    println!(
+        "[{label}] requests/sec {:.0} over {:.1} s ({} requests, {} served, \
+         {} inserts, {} busy), latency p50 {} µs p99 {} µs, \
+         publishes {} (p50 {} µs p99 {} µs), final epoch {}",
+        s.qps,
+        s.elapsed,
+        s.requests,
+        s.served,
+        s.inserts,
+        s.busy_rejects,
+        s.p50,
+        s.p99,
+        s.stats.snapshots_published,
+        s.stats.publish_p50_us,
+        s.stats.publish_p99_us,
+        s.stats.epoch
+    );
+}
+
+/// The shared JSON body both report files use for one run.
+fn summary_json(s: &Summary, indent: &str) -> String {
+    format!(
+        "{indent}\"requests\": {},\n{indent}\"served\": {},\n{indent}\"inserts\": {},\n\
+         {indent}\"busy_rejects\": {},\n{indent}\"reject_rate\": {:.4},\n\
+         {indent}\"qps\": {:.1},\n{indent}\"load_secs\": {:.3},\n\
+         {indent}\"latency_p50_us\": {},\n{indent}\"latency_p99_us\": {},\n\
+         {indent}\"snapshots_published\": {},\n{indent}\"publish_p50_us\": {},\n\
+         {indent}\"publish_p99_us\": {},\n{indent}\"final_epoch\": {}",
+        s.requests,
+        s.served,
+        s.inserts,
+        s.busy_rejects,
+        s.reject_rate,
+        s.qps,
+        s.load_secs,
+        s.p50,
+        s.p99,
+        s.stats.snapshots_published,
+        s.stats.publish_p50_us,
+        s.stats.publish_p99_us,
+        s.stats.epoch
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "# serve_loadgen — {} shapes, {} connections, {}‰ inserts, {} cores",
+        args.n_shapes, args.connections, args.insert_permille, cores
+    );
+
+    let (shapes, _) = scaling_corpus(args.n_shapes);
+
+    let Some(fsync) = args.fsync else {
+        // classic mode: in-memory server only, BENCH_2.json
+        let s = run_in_memory(&args, shapes, false);
+        print_summary("in-memory", &s);
+        let json = format!(
+            "{{\n  \"bench\": \"serve_loadgen\",\n  \"corpus\": \"scaling_polylog\",\n  \
+             \"n_shapes\": {},\n  \"cores\": {cores},\n  \"connections\": {},\n  \
+             \"insert_permille\": {},\n  \"warmup_secs\": {:.1},\n  \
+             \"measure_secs\": {:.2},\n{}\n}}\n",
+            args.n_shapes,
+            args.connections,
+            args.insert_permille,
+            args.warmup_secs,
+            s.elapsed,
+            summary_json(&s, "  "),
+        );
+        std::fs::write("BENCH_2.json", &json).expect("write BENCH_2.json");
+        println!("wrote BENCH_2.json");
+        return;
+    };
+
+    // durability-tax mode: baseline then durable, same workload and the
+    // same insert-driven ingest so both bases have identical structure
+    let baseline = run_in_memory(&args, shapes.clone(), true);
+    print_summary("in-memory", &baseline);
+    let durable = run_durable(&args, fsync, shapes);
+    print_summary("durable", &durable);
+
+    let tax = baseline.qps / durable.qps.max(1e-9);
+    println!(
+        "durability tax at fsync={fsync:?}: {tax:.2}x \
+         ({:.0} → {:.0} qps; wal appends {}, syncs {}, fsync p50 {} µs p99 {} µs, \
+         checkpoints {})",
+        baseline.qps,
+        durable.qps,
+        durable.stats.wal_appends,
+        durable.stats.wal_syncs,
+        durable.stats.fsync_p50_us,
+        durable.stats.fsync_p99_us,
+        durable.stats.checkpoints,
+    );
+
     let json = format!(
-        "{{\n  \"bench\": \"serve_loadgen\",\n  \"corpus\": \"scaling_polylog\",\n  \
+        "{{\n  \"bench\": \"serve_loadgen_durability\",\n  \"corpus\": \"scaling_polylog\",\n  \
          \"n_shapes\": {},\n  \"cores\": {cores},\n  \"connections\": {},\n  \
-         \"insert_permille\": {},\n  \
-         \"warmup_secs\": {:.1},\n  \"measure_secs\": {elapsed:.2},\n  \
-         \"requests\": {},\n  \"served\": {served},\n  \"inserts\": {},\n  \
-         \"busy_rejects\": {},\n  \"reject_rate\": {reject_rate:.4},\n  \
-         \"qps\": {qps:.1},\n  \
-         \"latency_p50_us\": {p50},\n  \"latency_p99_us\": {p99},\n  \
-         \"snapshots_published\": {},\n  \
-         \"publish_p50_us\": {},\n  \"publish_p99_us\": {},\n  \
-         \"final_epoch\": {}\n}}\n",
+         \"insert_permille\": {},\n  \"warmup_secs\": {:.1},\n  \"measure_secs\": {:.2},\n  \
+         \"fsync\": \"{fsync:?}\",\n  \"durability_tax_qps_ratio\": {tax:.3},\n  \
+         \"wal_appends\": {},\n  \"wal_syncs\": {},\n  \"fsync_p50_us\": {},\n  \
+         \"fsync_p99_us\": {},\n  \"checkpoints\": {},\n  \
+         \"in_memory\": {{\n{}\n  }},\n  \"durable\": {{\n{}\n  }}\n}}\n",
         args.n_shapes,
         args.connections,
         args.insert_permille,
         args.warmup_secs,
-        merged.requests,
-        merged.inserts,
-        merged.busy_rejects,
-        stats.snapshots_published,
-        stats.publish_p50_us,
-        stats.publish_p99_us,
-        stats.epoch
+        durable.elapsed,
+        durable.stats.wal_appends,
+        durable.stats.wal_syncs,
+        durable.stats.fsync_p50_us,
+        durable.stats.fsync_p99_us,
+        durable.stats.checkpoints,
+        summary_json(&baseline, "    "),
+        summary_json(&durable, "    "),
     );
-    std::fs::write("BENCH_2.json", &json).expect("write BENCH_2.json");
-    println!("wrote BENCH_2.json");
+    std::fs::write("BENCH_3.json", &json).expect("write BENCH_3.json");
+    println!("wrote BENCH_3.json");
 }

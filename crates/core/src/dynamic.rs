@@ -179,8 +179,64 @@ impl DynamicBase {
             assigned.push(id);
             pool.push((id, image, shape));
         }
+        self.bulk_load_level(pool);
+        assigned
+    }
+
+    /// Rebuild a base from checkpointed state: shapes with their original
+    /// global ids in one level, plus the persisted `next_id` and `epoch`
+    /// counters. The recovery entry point — WAL-tail records are then
+    /// replayed on top via [`Self::insert_with_id`] / [`Self::delete`].
+    pub fn restore(
+        alpha: f64,
+        backend: Backend,
+        config: MatchConfig,
+        buffer_cap: usize,
+        shapes: Vec<(GlobalShapeId, ImageId, Polyline)>,
+        next_id: u64,
+        epoch: u64,
+    ) -> Self {
+        let mut base = DynamicBase::new(alpha, backend, config, buffer_cap);
+        let max_id = shapes.iter().map(|(g, _, _)| g.0 + 1).max().unwrap_or(0);
+        base.bulk_load_level(shapes);
+        base.next_id = next_id.max(max_id);
+        base.epoch = epoch;
+        base
+    }
+
+    /// Replay one insert with its original id (WAL recovery). Idempotent:
+    /// an id already present (or ahead of `next_id` bookkeeping from a
+    /// later checkpoint) is skipped and reported as `false`.
+    pub fn insert_with_id(&mut self, id: GlobalShapeId, image: ImageId, shape: Polyline) -> bool {
+        if self.contains(id) {
+            return false;
+        }
+        self.next_id = self.next_id.max(id.0 + 1);
+        self.epoch += 1;
+        let copies: Vec<_> = crate::normalize::normalized_copies(&shape, self.alpha)
+            .into_iter()
+            .map(|c| crate::similarity::PreparedShape::new(c.shape))
+            .collect();
+        self.buffer.push(BufferedShape { id, image, shape, copies: Arc::new(copies) });
+        if self.buffer.len() >= self.buffer_cap {
+            self.cascade();
+        }
+        true
+    }
+
+    /// Whether `id` is live (inserted, not tombstoned). A scan — meant
+    /// for replay and tests, not the query path.
+    pub fn contains(&self, id: GlobalShapeId) -> bool {
+        !self.deleted.contains(&id)
+            && (self.buffer.iter().any(|b| b.id == id)
+                || self.levels.iter().flatten().any(|l| l.ids.contains(&id)))
+    }
+
+    /// Place `pool` (pre-assigned ids) into the smallest free slot that
+    /// holds it — shared by [`Self::bulk_load`] and [`Self::restore`].
+    fn bulk_load_level(&mut self, pool: Vec<(GlobalShapeId, ImageId, Polyline)>) {
         if pool.is_empty() {
-            return assigned;
+            return;
         }
         // smallest slot whose capacity `cap · 2^slot` holds the batch
         let mut slot = 0usize;
@@ -197,7 +253,6 @@ impl DynamicBase {
         }
         self.shapes_rebuilt += pool.len() as u64;
         self.levels[slot] = Some(Arc::new(Level::build(pool, self.alpha, self.backend, &self.config)));
-        assigned
     }
 
     /// Delete a shape (tombstone; storage is reclaimed at the next rebuild
@@ -306,6 +361,7 @@ impl DynamicBase {
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
             epoch: self.epoch,
+            next_id: self.next_id,
             config: self.config.clone(),
             levels: self.levels.iter().flatten().cloned().collect(),
             buffer: self.buffer.clone(),
@@ -348,6 +404,7 @@ impl Level {
 #[derive(Clone)]
 pub struct Snapshot {
     epoch: u64,
+    next_id: u64,
     config: MatchConfig,
     levels: Vec<Arc<Level>>,
     buffer: Vec<BufferedShape>,
@@ -359,6 +416,34 @@ impl Snapshot {
     /// The mutation epoch this snapshot captured.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The id-allocation watermark at capture time: every id ever
+    /// assigned (live or deleted) is below this. Checkpoints persist it
+    /// so recovery never reuses a tombstoned id.
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Every live (non-tombstoned) shape with its original geometry —
+    /// the checkpoint serialization entry point. Order is levels (large
+    /// to recent) then the insert buffer; [`DynamicBase::restore`]
+    /// accepts it directly.
+    pub fn live_shapes(&self) -> Vec<(GlobalShapeId, ImageId, Polyline)> {
+        let mut out = Vec::with_capacity(self.live);
+        for level in &self.levels {
+            for ((gid, image), shape) in level.ids.iter().zip(&level.images).zip(&level.shapes) {
+                if !self.deleted.contains(gid) {
+                    out.push((*gid, *image, shape.clone()));
+                }
+            }
+        }
+        for b in &self.buffer {
+            if !self.deleted.contains(&b.id) {
+                out.push((b.id, b.image, b.shape.clone()));
+            }
+        }
+        out
     }
 
     /// Live (non-deleted) shapes visible to queries.
@@ -703,6 +788,74 @@ mod tests {
         assert_eq!(db.epoch(), 3);
         assert!(!db.delete(id), "failed delete must not bump the epoch");
         assert_eq!(db.epoch(), 3);
+    }
+
+    #[test]
+    fn live_shapes_restore_round_trip() {
+        let mut db = dynbase(4);
+        let mut ids = Vec::new();
+        for i in 0..14 {
+            ids.push(db.insert(ImageId(i), shape(i as u64 + 700)));
+        }
+        assert!(db.delete(ids[3]));
+        assert!(db.delete(ids[9]));
+        let snap = db.snapshot();
+        let live = snap.live_shapes();
+        assert_eq!(live.len(), 12);
+        assert!(!live.iter().any(|(g, _, _)| *g == ids[3] || *g == ids[9]));
+
+        let restored = DynamicBase::restore(
+            0.05,
+            Backend::KdTree,
+            MatchConfig { k: 3, beta: 0.3, ..Default::default() },
+            4,
+            live,
+            snap.next_id(),
+            snap.epoch(),
+        );
+        assert_eq!(restored.len(), 12);
+        assert_eq!(restored.epoch(), snap.epoch());
+        // queries agree on the best hit (and its exact score) with the
+        // original; deeper ranks may differ across level decompositions
+        for i in 0..14u64 {
+            let q = shape(i + 700);
+            let a = db.retrieve(&q);
+            let b = restored.retrieve(&q);
+            assert_eq!(
+                a.first().map(|m| m.shape),
+                b.first().map(|m| m.shape),
+                "query {i} best match diverged after restore"
+            );
+            if let (Some(x), Some(y)) = (a.first(), b.first()) {
+                assert!((x.score - y.score).abs() < 1e-9, "query {i} score diverged");
+            }
+        }
+        // a tombstoned id is never reused by later inserts
+        let fresh = {
+            let mut r = restored;
+            r.insert(ImageId(99), shape(999))
+        };
+        assert!(fresh.0 >= snap.next_id(), "restore must respect the id watermark");
+    }
+
+    #[test]
+    fn insert_with_id_is_idempotent_replay() {
+        let mut db = dynbase(4);
+        let s = shape(5);
+        assert!(db.insert_with_id(GlobalShapeId(7), ImageId(1), s.clone()));
+        assert!(
+            !db.insert_with_id(GlobalShapeId(7), ImageId(1), s.clone()),
+            "replaying the same record twice must not double-insert"
+        );
+        assert_eq!(db.len(), 1);
+        assert!(db.contains(GlobalShapeId(7)));
+        assert!(!db.contains(GlobalShapeId(3)));
+        // the watermark advanced past the replayed id
+        let next = db.insert(ImageId(2), shape(6));
+        assert!(next.0 > 7);
+        // delete replay: removing the replayed id works, double delete is false
+        assert!(db.delete(GlobalShapeId(7)));
+        assert!(!db.contains(GlobalShapeId(7)));
     }
 
     #[test]

@@ -4,18 +4,64 @@
 //! request/reply per connection, so a `Client` is `Send` but not meant
 //! to be shared — open one per thread (the load generator does exactly
 //! that).
+//!
+//! Every connection carries deadlines ([`ClientConfig`]): connect,
+//! read, and write timeouts, so a hung server surfaces as a timed-out
+//! [`WireError::Io`] instead of a thread parked forever. On top of
+//! that, [`Client::insert_retrying`] offers bounded
+//! exponential-backoff retries that are *safe*: each insert carries a
+//! client-generated idempotency key, so resending after a timeout (the
+//! classic "was it applied?" ambiguity) cannot double-insert — the
+//! server deduplicates by key and re-acks the original id.
 
 use std::io::{BufWriter, Write as _};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use geosir_geom::Polyline;
 
 use crate::wire::{Frame, ServerStats, WireError, WireMatch, WireShape};
 
-/// A connected client. All calls block until the server replies.
+/// Connection deadlines and retry tuning.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Deadline for establishing the TCP connection.
+    pub connect_timeout: Option<Duration>,
+    /// Deadline for each blocking read (reply wait).
+    pub read_timeout: Option<Duration>,
+    /// Deadline for each blocking write.
+    pub write_timeout: Option<Duration>,
+    /// Retry attempts for [`Client::insert_retrying`] (beyond the first).
+    pub retries: u32,
+    /// First backoff delay; doubles per attempt up to `retry_cap`.
+    pub retry_base: Duration,
+    pub retry_cap: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            retries: 4,
+            retry_base: Duration::from_millis(10),
+            retry_cap: Duration::from_secs(1),
+        }
+    }
+}
+
+/// A connected client. All calls block until the server replies (or a
+/// deadline fires).
 pub struct Client {
     reader: TcpStream,
     writer: BufWriter<TcpStream>,
+    cfg: ClientConfig,
+    /// Resolved peer addresses, kept for reconnect-on-retry.
+    addrs: Vec<SocketAddr>,
+    /// Next idempotency key: odd, stepping by 2, randomly seeded per
+    /// client so two clients virtually never collide.
+    next_key: u64,
 }
 
 /// What a query round trip produced.
@@ -27,14 +73,77 @@ pub struct QueryReply {
     pub matches: Vec<WireMatch>,
     /// True when the server shed the request under load (`Busy`).
     pub rejected: bool,
+    /// Server's retry-after hint when shed, milliseconds (0 = none).
+    pub retry_after_ms: u32,
+}
+
+/// A random nonzero odd seed without a rand dependency: hash a fresh
+/// `RandomState` (per-process random) plus a monotonically bumped
+/// counter (per-client distinct).
+fn key_seed() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+    h.write_u64(COUNTER.fetch_add(1, Ordering::Relaxed));
+    h.finish() | 1
+}
+
+fn connect_stream(addrs: &[SocketAddr], cfg: &ClientConfig) -> Result<TcpStream, WireError> {
+    let mut last: Option<std::io::Error> = None;
+    for addr in addrs {
+        let attempt = match cfg.connect_timeout {
+            Some(t) => TcpStream::connect_timeout(addr, t),
+            None => TcpStream::connect(addr),
+        };
+        match attempt {
+            Ok(s) => {
+                s.set_nodelay(true).map_err(WireError::Io)?;
+                s.set_read_timeout(cfg.read_timeout).map_err(WireError::Io)?;
+                s.set_write_timeout(cfg.write_timeout).map_err(WireError::Io)?;
+                return Ok(s);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(WireError::Io(last.unwrap_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "no addresses to connect to")
+    })))
 }
 
 impl Client {
+    /// Connect with default deadlines ([`ClientConfig::default`]).
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, WireError> {
-        let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
-        stream.set_nodelay(true).map_err(WireError::Io)?;
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit deadlines and retry tuning.
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, cfg: ClientConfig) -> Result<Client, WireError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs().map_err(WireError::Io)?.collect();
+        let stream = connect_stream(&addrs, &cfg)?;
         let reader = stream.try_clone().map_err(WireError::Io)?;
-        Ok(Client { reader, writer: BufWriter::new(stream) })
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+            cfg,
+            addrs,
+            next_key: key_seed(),
+        })
+    }
+
+    /// Drop the current connection and dial again (used between retry
+    /// attempts after an I/O error, when the old socket is suspect).
+    fn reconnect(&mut self) -> Result<(), WireError> {
+        let stream = connect_stream(&self.addrs, &self.cfg)?;
+        self.reader = stream.try_clone().map_err(WireError::Io)?;
+        self.writer = BufWriter::new(stream);
+        Ok(())
+    }
+
+    fn fresh_key(&mut self) -> u64 {
+        let k = self.next_key;
+        self.next_key = self.next_key.wrapping_add(2);
+        k
     }
 
     /// Send one frame and wait for the reply frame.
@@ -48,8 +157,15 @@ impl Client {
     pub fn query(&mut self, query: &Polyline, k: u32) -> Result<QueryReply, WireError> {
         let reply = self.request(&Frame::Query { k, shape: WireShape::from_polyline(query) })?;
         match reply {
-            Frame::Matches { epoch, matches } => Ok(QueryReply { epoch, matches, rejected: false }),
-            Frame::Busy => Ok(QueryReply { epoch: 0, matches: Vec::new(), rejected: true }),
+            Frame::Matches { epoch, matches } => {
+                Ok(QueryReply { epoch, matches, rejected: false, retry_after_ms: 0 })
+            }
+            Frame::Busy { retry_after_ms } => Ok(QueryReply {
+                epoch: 0,
+                matches: Vec::new(),
+                rejected: true,
+                retry_after_ms,
+            }),
             other => Err(unexpected(&other)),
         }
     }
@@ -68,13 +184,75 @@ impl Client {
     }
 
     /// Insert a shape; returns `(epoch, id)` once the new snapshot is
-    /// published, or `None` when shed under load.
+    /// published, or `None` when shed under load. One attempt; see
+    /// [`Client::insert_retrying`] for the retrying variant.
     pub fn insert(&mut self, image: u32, shape: &Polyline) -> Result<Option<(u64, u64)>, WireError> {
+        let key = self.fresh_key();
+        match self.insert_keyed(image, key, shape)? {
+            InsertReply::Done(epoch, id) => Ok(Some((epoch, id))),
+            InsertReply::Busy(_) => Ok(None),
+        }
+    }
+
+    /// Insert with bounded exponential-backoff retries. `Busy` waits for
+    /// the server's retry-after hint (at least the current backoff); an
+    /// I/O error (timeout, reset) reconnects and resends the *same*
+    /// idempotency key, so an insert that actually landed before the
+    /// error is acked, not duplicated. Fails after `cfg.retries`
+    /// exhausted or on any protocol/server error.
+    pub fn insert_retrying(
+        &mut self,
+        image: u32,
+        shape: &Polyline,
+    ) -> Result<(u64, u64), WireError> {
+        let key = self.fresh_key();
+        let mut backoff = self.cfg.retry_base;
+        let mut last_err: Option<WireError> = None;
+        for attempt in 0..=self.cfg.retries {
+            if attempt > 0 && last_err.is_some() {
+                // the connection died mid-round-trip: dial a fresh one
+                if let Err(e) = self.reconnect() {
+                    last_err = Some(e);
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(self.cfg.retry_cap);
+                    continue;
+                }
+            }
+            match self.insert_keyed(image, key, shape) {
+                Ok(InsertReply::Done(epoch, id)) => return Ok((epoch, id)),
+                Ok(InsertReply::Busy(hint_ms)) => {
+                    last_err = None;
+                    let hint = Duration::from_millis(hint_ms as u64);
+                    std::thread::sleep(hint.max(backoff));
+                    backoff = (backoff * 2).min(self.cfg.retry_cap);
+                }
+                Err(WireError::Io(e)) => {
+                    last_err = Some(WireError::Io(e));
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(self.cfg.retry_cap);
+                }
+                Err(other) => return Err(other), // protocol error: no retry
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "insert retries exhausted (server busy)",
+            ))
+        }))
+    }
+
+    fn insert_keyed(
+        &mut self,
+        image: u32,
+        key: u64,
+        shape: &Polyline,
+    ) -> Result<InsertReply, WireError> {
         let reply =
-            self.request(&Frame::Insert { image, shape: WireShape::from_polyline(shape) })?;
+            self.request(&Frame::Insert { image, key, shape: WireShape::from_polyline(shape) })?;
         match reply {
-            Frame::Inserted { epoch, id } => Ok(Some((epoch, id))),
-            Frame::Busy => Ok(None),
+            Frame::Inserted { epoch, id } => Ok(InsertReply::Done(epoch, id)),
+            Frame::Busy { retry_after_ms } => Ok(InsertReply::Busy(retry_after_ms)),
             other => Err(unexpected(&other)),
         }
     }
@@ -84,7 +262,7 @@ impl Client {
     pub fn delete(&mut self, id: u64) -> Result<Option<(u64, bool)>, WireError> {
         match self.request(&Frame::Delete { id })? {
             Frame::Deleted { epoch, existed } => Ok(Some((epoch, existed))),
-            Frame::Busy => Ok(None),
+            Frame::Busy { .. } => Ok(None),
             other => Err(unexpected(&other)),
         }
     }
@@ -105,9 +283,64 @@ impl Client {
     }
 }
 
+enum InsertReply {
+    Done(u64, u64),
+    Busy(u32),
+}
+
 fn unexpected(frame: &Frame) -> WireError {
-    // The server answered with a frame that is not a legal reply to what
-    // we sent — treat it like any other protocol violation.
-    let _ = frame;
-    WireError::Malformed
+    // A server-reported error keeps its code (so callers can see e.g.
+    // READ_ONLY); any other unexpected frame is a protocol violation.
+    match frame {
+        Frame::Error { code, message } => {
+            WireError::Server { code: *code, message: message.clone() }
+        }
+        _ => WireError::Malformed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_nonzero_and_distinct() {
+        // the server treats key 0 as "no key": a client must never emit it
+        let mut c_keys = Vec::new();
+        let seed = key_seed();
+        let mut k = seed;
+        for _ in 0..1000 {
+            assert_ne!(k, 0);
+            c_keys.push(k);
+            k = k.wrapping_add(2);
+        }
+        c_keys.sort_unstable();
+        c_keys.dedup();
+        assert_eq!(c_keys.len(), 1000, "keys must not repeat within a client");
+    }
+
+    #[test]
+    fn seeds_differ_across_clients() {
+        // RandomState + counter: two seeds colliding is ~2^-63
+        assert_ne!(key_seed(), key_seed());
+    }
+
+    #[test]
+    fn connect_timeout_fires_on_unroutable_peer() {
+        // RFC 5737 TEST-NET-1 address: guaranteed unroutable, so connect
+        // must fail by deadline rather than hang
+        let cfg = ClientConfig {
+            connect_timeout: Some(Duration::from_millis(200)),
+            ..ClientConfig::default()
+        };
+        let t0 = std::time::Instant::now();
+        // whatever the network does (unreachable, filtered, or a proxy
+        // that answers), the call must return within the deadline — the
+        // OS default connect timeout is minutes
+        let _ = Client::connect_with("192.0.2.1:9", cfg);
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "connect must respect the deadline, not the OS default"
+        );
+    }
 }

@@ -1,0 +1,275 @@
+//! Durability configuration and startup recovery.
+//!
+//! The durable server keeps three kinds of state in one data directory:
+//!
+//! - `wal-<lsn>.log` segments — every acked Insert/Delete, appended (and
+//!   fsynced, per policy) **before** the ack ([`geosir_storage::wal`]);
+//! - `ckpt-<lsn>.gsir` — whole-base checkpoints through the 1 KB page
+//!   store ([`geosir_storage::checkpoint`]);
+//! - `MANIFEST` — the crash-safe pointer naming the checkpoint and the
+//!   last LSN it covers ([`geosir_storage::manifest`]).
+//!
+//! [`recover`] inverts that: load the manifest's checkpoint (if any),
+//! rebuild the base with one bulk load, replay the WAL tail with
+//! `lsn > manifest.last_lsn` idempotently, and open a fresh segment for
+//! new writes. A torn WAL tail truncates (the records past the tear were
+//! never acked under `fsync=always`); a corrupt checkpoint is a real
+//! error — the manifest only ever names fully-fsynced checkpoints, so
+//! damage there is bit rot, not a crash artifact.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use geosir_core::dynamic::{DynamicBase, GlobalShapeId};
+use geosir_core::matcher::MatchConfig;
+use geosir_core::ImageId;
+use geosir_geom::rangesearch::Backend;
+use geosir_geom::{Point, Polyline};
+use geosir_storage::checkpoint;
+use geosir_storage::faults::IoFactory;
+use geosir_storage::manifest::Manifest;
+use geosir_storage::wal::{self, FsyncPolicy, Lsn, Wal, WalRecord};
+
+/// Where and how hard to persist.
+#[derive(Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding WAL segments, checkpoints, and the manifest.
+    pub data_dir: PathBuf,
+    /// When acked records are forced to stable storage.
+    pub fsync: FsyncPolicy,
+    /// WAL records between checkpoints.
+    pub checkpoint_every: u64,
+    /// Injectable WAL segment-file factory — the fault-injection tests
+    /// pass a [`geosir_storage::faults::FaultyFactory`]; `None` uses
+    /// real files.
+    pub io_factory: Option<Arc<dyn IoFactory>>,
+}
+
+impl std::fmt::Debug for DurabilityConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurabilityConfig")
+            .field("data_dir", &self.data_dir)
+            .field("fsync", &self.fsync)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("io_factory", &self.io_factory.is_some())
+            .finish()
+    }
+}
+
+impl DurabilityConfig {
+    pub fn new(data_dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig {
+            data_dir: data_dir.into(),
+            fsync: FsyncPolicy::Always,
+            checkpoint_every: 1024,
+            io_factory: None,
+        }
+    }
+}
+
+/// Parameters to construct the (empty) dynamic base — recovery needs
+/// them because the base itself is rebuilt from checkpoint + WAL, but
+/// its tuning is configuration, not data.
+#[derive(Debug, Clone)]
+pub struct BaseTemplate {
+    pub alpha: f64,
+    pub backend: Backend,
+    pub config: MatchConfig,
+    pub buffer_cap: usize,
+}
+
+impl BaseTemplate {
+    pub fn empty_base(&self) -> DynamicBase {
+        DynamicBase::new(self.alpha, self.backend, self.config.clone(), self.buffer_cap)
+    }
+}
+
+/// What startup recovery found and did.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Last LSN the loaded checkpoint covered (0 = started fresh).
+    pub checkpoint_lsn: Lsn,
+    /// Shapes restored from the checkpoint.
+    pub checkpoint_shapes: usize,
+    /// WAL records replayed on top of the checkpoint.
+    pub replayed: usize,
+    /// True when the WAL ended in a torn/corrupt record that was
+    /// truncated (the expected shape of a crash).
+    pub truncated_tail: bool,
+    /// Bytes dropped past the truncation point.
+    pub dropped_bytes: usize,
+    /// Highest LSN in the recovered state.
+    pub last_lsn: Lsn,
+    /// Wall time recovery took, microseconds.
+    pub recovery_us: u64,
+}
+
+/// Everything [`recover`] hands the server.
+pub(crate) struct Recovered {
+    pub base: DynamicBase,
+    pub wal: Wal,
+    /// Highest LSN applied to `base` (new appends start above it).
+    pub applied_lsn: Lsn,
+    /// Idempotency keys re-seeded from replayed inserts: key → assigned id.
+    pub dedup: HashMap<u64, u64>,
+    pub report: RecoveryReport,
+}
+
+fn persist_err(e: geosir_storage::file_disk::PersistError) -> io::Error {
+    match e {
+        geosir_storage::file_disk::PersistError::Io(e) => e,
+        other => io::Error::other(other),
+    }
+}
+
+/// Rebuild the base from `cfg.data_dir`: manifest → checkpoint → WAL
+/// tail, then open a fresh WAL segment for new writes.
+pub(crate) fn recover(template: &BaseTemplate, cfg: &DurabilityConfig) -> io::Result<Recovered> {
+    let t0 = Instant::now();
+    std::fs::create_dir_all(&cfg.data_dir)?;
+    let mut report = RecoveryReport::default();
+
+    let manifest = Manifest::load(&cfg.data_dir).map_err(persist_err)?;
+    let (mut base, after_lsn) = match &manifest {
+        Some(m) => {
+            let data = checkpoint::read(&cfg.data_dir.join(&m.checkpoint)).map_err(persist_err)?;
+            report.checkpoint_lsn = m.last_lsn;
+            report.checkpoint_shapes = data.shapes.len();
+            let base = DynamicBase::restore(
+                template.alpha,
+                template.backend,
+                template.config.clone(),
+                template.buffer_cap,
+                data.shapes,
+                data.next_id,
+                data.epoch,
+            );
+            (base, m.last_lsn)
+        }
+        None => (template.empty_base(), 0),
+    };
+
+    let (records, tail) = wal::replay(&cfg.data_dir, after_lsn)?;
+    report.truncated_tail = tail.truncated;
+    report.dropped_bytes = tail.dropped_bytes;
+    let mut dedup = HashMap::new();
+    let mut last_lsn = tail.last_lsn.unwrap_or(after_lsn).max(after_lsn);
+    for (lsn, rec) in records {
+        match rec {
+            WalRecord::Insert { key, id, image, closed, points } => {
+                let pts: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
+                let shape = if closed { Polyline::closed(pts) } else { Polyline::open(pts) };
+                if let Ok(shape) = shape {
+                    base.insert_with_id(GlobalShapeId(id), ImageId(image), shape);
+                }
+                if key != 0 {
+                    dedup.insert(key, id);
+                }
+            }
+            WalRecord::Delete { id } => {
+                base.delete(GlobalShapeId(id));
+            }
+        }
+        report.replayed += 1;
+        last_lsn = lsn;
+    }
+
+    let wal = match &cfg.io_factory {
+        Some(f) => Wal::open_with(&cfg.data_dir, cfg.fsync, last_lsn + 1, f.clone())?,
+        None => Wal::open(&cfg.data_dir, cfg.fsync, last_lsn + 1)?,
+    };
+    report.last_lsn = last_lsn;
+    report.recovery_us = t0.elapsed().as_micros() as u64;
+    Ok(Recovered { base, wal, applied_lsn: last_lsn, dedup, report })
+}
+
+/// Checkpoint file name for the state up to `lsn`.
+pub(crate) fn checkpoint_name(lsn: Lsn) -> String {
+    format!("ckpt-{lsn:020}.gsir")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geosir_storage::checkpoint::CheckpointData;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("geosir-durable-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    fn template() -> BaseTemplate {
+        BaseTemplate {
+            alpha: 0.0,
+            backend: Backend::KdTree,
+            config: MatchConfig::default(),
+            buffer_cap: 4,
+        }
+    }
+
+    fn tri(i: u64) -> Polyline {
+        Polyline::closed(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0 + i as f64 * 0.01, 0.2),
+            Point::new(1.5, 2.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn recover_from_empty_dir_starts_fresh() {
+        let dir = tmpdir("fresh");
+        let cfg = DurabilityConfig::new(&dir);
+        let r = recover(&template(), &cfg).unwrap();
+        assert!(r.base.is_empty());
+        assert_eq!(r.applied_lsn, 0);
+        assert_eq!(r.report.replayed, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_replays_wal_on_top_of_checkpoint() {
+        let dir = tmpdir("ckpt-tail");
+        std::fs::create_dir_all(&dir).unwrap();
+        // checkpoint covering lsn ≤ 5 with two shapes
+        let data = CheckpointData {
+            epoch: 9,
+            next_id: 2,
+            shapes: vec![
+                (GlobalShapeId(0), ImageId(0), tri(0)),
+                (GlobalShapeId(1), ImageId(1), tri(1)),
+            ],
+        };
+        checkpoint::write(&dir.join(checkpoint_name(5)), &data).unwrap();
+        Manifest { checkpoint: checkpoint_name(5), last_lsn: 5, epoch: 9 }.store(&dir).unwrap();
+        // WAL tail: insert id 2 (lsn 6), delete id 0 (lsn 7)
+        let mut wal = Wal::open(&dir, FsyncPolicy::Always, 6).unwrap();
+        wal.append(&WalRecord::Insert {
+            key: 77,
+            id: 2,
+            image: 2,
+            closed: true,
+            points: tri(2).points().iter().map(|p| (p.x, p.y)).collect(),
+        })
+        .unwrap();
+        wal.append(&WalRecord::Delete { id: 0 }).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+
+        let r = recover(&template(), &DurabilityConfig::new(&dir)).unwrap();
+        assert_eq!(r.report.checkpoint_shapes, 2);
+        assert_eq!(r.report.replayed, 2);
+        assert_eq!(r.applied_lsn, 7);
+        assert_eq!(r.base.len(), 2, "two from checkpoint + one insert - one delete");
+        assert!(r.base.contains(GlobalShapeId(1)));
+        assert!(r.base.contains(GlobalShapeId(2)));
+        assert!(!r.base.contains(GlobalShapeId(0)));
+        assert_eq!(r.dedup.get(&77), Some(&2), "dedup map re-seeded from the WAL");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

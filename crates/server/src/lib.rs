@@ -6,18 +6,26 @@
 //! - [`wire`] — versioned, checksummed frame codec ([`wire::Frame`]).
 //! - [`server`] — listener / worker-pool / single-writer architecture
 //!   with snapshot-isolated queries and bounded-queue backpressure
-//!   ([`server::serve`]).
-//! - [`client`] — blocking request/reply client ([`client::Client`]).
+//!   ([`server::serve`]), plus the durable variant
+//!   ([`server::serve_durable`]): WAL-before-ack writes, background
+//!   checkpoints, crash recovery, and read-only degradation on
+//!   persistent I/O failure.
+//! - [`durable`] — durability configuration and startup recovery
+//!   ([`durable::DurabilityConfig`], [`durable::RecoveryReport`]).
+//! - [`client`] — blocking request/reply client ([`client::Client`])
+//!   with connect/read/write deadlines and idempotent retries.
 //! - [`metrics`] — lock-free counters and latency histograms surfaced
 //!   through the `Stats` frame.
 //!
-//! See `DESIGN.md` §7 for the full architecture discussion.
+//! See `DESIGN.md` §7 (serving) and §8 (durability & recovery).
 
 pub mod client;
+pub mod durable;
 pub mod metrics;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, QueryReply};
-pub use server::{serve, ServeConfig, ServerHandle};
+pub use client::{Client, ClientConfig, QueryReply};
+pub use durable::{BaseTemplate, DurabilityConfig, RecoveryReport};
+pub use server::{serve, serve_durable, ServeConfig, ServerHandle};
 pub use wire::{Frame, ServerStats, WireError, WireMatch, WireShape, PROTOCOL_VERSION};

@@ -65,6 +65,17 @@ pub struct Metrics {
     /// Snapshot-publish latency: apply batch → snapshot installed.
     pub publish: Histogram,
     pub snapshots_published: AtomicU64,
+    /// Durability path (all zero when the server runs in-memory).
+    pub wal_appends: AtomicU64,
+    pub wal_syncs: AtomicU64,
+    /// WAL fsync latency, recorded per issued fsync.
+    pub fsync: Histogram,
+    pub checkpoints: AtomicU64,
+    pub checkpoint_failures: AtomicU64,
+    /// Wall time of the last startup recovery, microseconds.
+    pub last_recovery_us: AtomicU64,
+    /// Persistent-path I/O errors (WAL commit, checkpoint, accept).
+    pub io_errors: AtomicU64,
 }
 
 impl Metrics {

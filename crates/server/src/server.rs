@@ -42,10 +42,11 @@
 //! by a self-connection and joins the connection threads, which notice
 //! the flag at their next poll tick.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -54,7 +55,12 @@ use geosir_core::dynamic::{DynamicBase, GlobalShapeId, Snapshot};
 use geosir_core::matcher::MatchOutcome;
 use geosir_core::scratch::MatcherScratch;
 use geosir_core::ImageId;
+use geosir_geom::Polyline;
+use geosir_storage::checkpoint::{self, CheckpointData};
+use geosir_storage::manifest::Manifest;
+use geosir_storage::wal::{Lsn, Wal, WalRecord};
 
+use crate::durable::{self, BaseTemplate, DurabilityConfig, RecoveryReport, Recovered};
 use crate::metrics::Metrics;
 use crate::wire::{error_code, Frame, ServerStats, WireError, WireMatch};
 
@@ -70,6 +76,8 @@ pub struct ServeConfig {
     /// Idle-poll granularity for connection threads (how quickly they
     /// notice shutdown; not a request timeout).
     pub poll_interval: Duration,
+    /// Retry-after hint attached to `Busy` load-shed replies.
+    pub retry_after_ms: u32,
 }
 
 impl Default for ServeConfig {
@@ -79,6 +87,7 @@ impl Default for ServeConfig {
             queue_cap: 128,
             write_queue_cap: 256,
             poll_interval: Duration::from_millis(50),
+            retry_after_ms: 50,
         }
     }
 }
@@ -163,8 +172,32 @@ struct Job {
     enqueued: Instant,
 }
 
+/// The reader-visible state: the snapshot **and** the WAL position it
+/// reflects, swapped together so the checkpointer always captures a
+/// consistent (state, lsn) pair.
+struct Published {
+    snap: Arc<Snapshot>,
+    wal_lsn: Lsn,
+}
+
+/// Durability state shared between the writer (appends) and the
+/// checkpointer (rotates/prunes). The `Mutex<Wal>` is uncontended in
+/// steady state — the checkpointer takes it only around rotation.
+struct DurableState {
+    wal: Mutex<Wal>,
+    data_dir: PathBuf,
+    checkpoint_every: u64,
+    /// Set on persistent WAL/checkpoint I/O failure: writes are refused
+    /// with [`error_code::READ_ONLY`], queries keep working.
+    read_only: AtomicBool,
+    /// WAL records appended since the last completed checkpoint.
+    records_since_ckpt: AtomicU64,
+    /// LSN the newest on-disk checkpoint covers.
+    last_ckpt_lsn: AtomicU64,
+}
+
 struct Shared {
-    snapshot: RwLock<Arc<Snapshot>>,
+    published: RwLock<Published>,
     last_publish: Mutex<Instant>,
     read_queue: BoundedQueue<Job>,
     write_queue: BoundedQueue<Job>,
@@ -172,11 +205,16 @@ struct Shared {
     shutdown: AtomicBool,
     addr: SocketAddr,
     cfg: ServeConfig,
+    durable: Option<DurableState>,
 }
 
 impl Shared {
     fn is_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn is_read_only(&self) -> bool {
+        self.durable.as_ref().is_some_and(|d| d.read_only.load(Ordering::SeqCst))
     }
 
     fn begin_shutdown(&self) {
@@ -190,13 +228,22 @@ impl Shared {
     }
 
     fn current_snapshot(&self) -> Arc<Snapshot> {
-        self.snapshot.read().unwrap().clone()
+        self.published.read().unwrap().snap.clone()
     }
 
     fn stats(&self) -> ServerStats {
         let snap = self.current_snapshot();
         let m = &self.metrics;
         ServerStats {
+            read_only: self.is_read_only() as u64,
+            wal_appends: Metrics::get(&m.wal_appends),
+            wal_syncs: Metrics::get(&m.wal_syncs),
+            fsync_p50_us: m.fsync.quantile_us(0.5),
+            fsync_p99_us: m.fsync.quantile_us(0.99),
+            checkpoints: Metrics::get(&m.checkpoints),
+            checkpoint_failures: Metrics::get(&m.checkpoint_failures),
+            last_recovery_us: Metrics::get(&m.last_recovery_us),
+            io_errors: Metrics::get(&m.io_errors),
             epoch: snap.epoch(),
             live_shapes: snap.len() as u64,
             levels: snap.num_levels() as u64,
@@ -247,6 +294,12 @@ impl ServerHandle {
         self.shared.stats()
     }
 
+    /// True when the server has degraded to read-only mode after a
+    /// persistent WAL or checkpoint I/O failure.
+    pub fn is_read_only(&self) -> bool {
+        self.shared.is_read_only()
+    }
+
     /// Wait for every server thread to finish. Blocks until shutdown has
     /// been requested (by [`Self::shutdown`] or a `Shutdown` frame).
     pub fn join(self) {
@@ -256,10 +309,46 @@ impl ServerHandle {
     }
 }
 
-/// Start serving `base` on `addr` (use port 0 for an ephemeral port).
+/// Start serving `base` on `addr` (use port 0 for an ephemeral port),
+/// in-memory: no WAL, no checkpoints, state dies with the process.
 /// Publishes the initial snapshot before returning, so the first query
 /// cannot race an empty slot.
 pub fn serve(addr: &str, base: DynamicBase, cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    serve_inner(addr, base, cfg, None, HashMap::new(), 0)
+}
+
+/// Start a **durable** server: recover the base from `dcfg.data_dir`
+/// (checkpoint + WAL replay), then serve it with every write logged
+/// before its ack and periodic background checkpoints. Returns the
+/// handle and a report of what recovery found.
+pub fn serve_durable(
+    addr: &str,
+    template: &BaseTemplate,
+    dcfg: DurabilityConfig,
+    cfg: ServeConfig,
+) -> std::io::Result<(ServerHandle, RecoveryReport)> {
+    let Recovered { base, wal, applied_lsn, dedup, report } = durable::recover(template, &dcfg)?;
+    let state = DurableState {
+        wal: Mutex::new(wal),
+        data_dir: dcfg.data_dir.clone(),
+        checkpoint_every: dcfg.checkpoint_every.max(1),
+        read_only: AtomicBool::new(false),
+        records_since_ckpt: AtomicU64::new(0),
+        last_ckpt_lsn: AtomicU64::new(report.checkpoint_lsn),
+    };
+    let handle = serve_inner(addr, base, cfg, Some(state), dedup, applied_lsn)?;
+    handle.shared.metrics.last_recovery_us.store(report.recovery_us, Ordering::Relaxed);
+    Ok((handle, report))
+}
+
+fn serve_inner(
+    addr: &str,
+    base: DynamicBase,
+    cfg: ServeConfig,
+    durable: Option<DurableState>,
+    dedup: HashMap<u64, u64>,
+    applied_lsn: Lsn,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let workers = if cfg.workers == 0 {
@@ -267,8 +356,10 @@ pub fn serve(addr: &str, base: DynamicBase, cfg: ServeConfig) -> std::io::Result
     } else {
         cfg.workers
     };
+    let snap0 = Arc::new(base.snapshot());
+    let next_id = snap0.next_id();
     let shared = Arc::new(Shared {
-        snapshot: RwLock::new(Arc::new(base.snapshot())),
+        published: RwLock::new(Published { snap: snap0, wal_lsn: applied_lsn }),
         last_publish: Mutex::new(Instant::now()),
         read_queue: BoundedQueue::new(cfg.queue_cap),
         write_queue: BoundedQueue::new(cfg.write_queue_cap),
@@ -276,6 +367,7 @@ pub fn serve(addr: &str, base: DynamicBase, cfg: ServeConfig) -> std::io::Result
         shutdown: AtomicBool::new(false),
         addr: local,
         cfg: cfg.clone(),
+        durable,
     });
 
     let mut threads = Vec::new();
@@ -289,10 +381,19 @@ pub fn serve(addr: &str, base: DynamicBase, cfg: ServeConfig) -> std::io::Result
     }
     {
         let shared = shared.clone();
+        let ctx = WriterCtx { next_id, dedup_order: dedup.keys().copied().collect(), dedup };
         threads.push(
             std::thread::Builder::new()
                 .name("geosir-writer".into())
-                .spawn(move || writer_loop(base, &shared))?,
+                .spawn(move || writer_loop(base, ctx, &shared))?,
+        );
+    }
+    if shared.durable.is_some() {
+        let shared = shared.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("geosir-checkpointer".into())
+                .spawn(move || checkpointer_loop(&shared))?,
         );
     }
     {
@@ -322,9 +423,15 @@ fn listener_loop(listener: TcpListener, shared: &Arc<Shared>) {
                     conns.push(handle);
                 }
             }
-            Err(_) => {
+            Err(e) => {
                 if shared.is_shutdown() {
                     break;
+                }
+                if !is_transient_accept_error(e.kind()) {
+                    // real socket trouble (EMFILE, ENOBUFS, …): count it
+                    // and back off instead of hot-spinning the accept loop
+                    Metrics::bump(&shared.metrics.io_errors);
+                    std::thread::sleep(Duration::from_millis(10));
                 }
             }
         }
@@ -335,6 +442,20 @@ fn listener_loop(listener: TcpListener, shared: &Arc<Shared>) {
     }
 }
 
+/// Accept/poll errors that mean "try again now", not "the socket is
+/// sick": a connection that died between SYN and accept, a poll tick, or
+/// an interrupted syscall. Everything else is backed off and counted.
+fn is_transient_accept_error(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::ConnectionReset
+    )
+}
+
 /// Submit to a queue, translating refusal into the shed/shutdown reply.
 /// The `Err` frame is cold (shed/shutdown only), so its size is fine.
 #[allow(clippy::result_large_err)]
@@ -343,7 +464,7 @@ fn submit(queue: &BoundedQueue<Job>, shared: &Shared, job: Job) -> Result<(), Fr
         Ok(()) => Ok(()),
         Err(PushError::Full(_)) => {
             Metrics::bump(&shared.metrics.busy_rejects);
-            Err(Frame::Busy)
+            Err(Frame::Busy { retry_after_ms: shared.cfg.retry_after_ms })
         }
         Err(PushError::Closed(_)) => Err(Frame::Error {
             code: error_code::SHUTTING_DOWN,
@@ -473,11 +594,58 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
-fn writer_loop(mut base: DynamicBase, shared: &Arc<Shared>) {
+/// Writer-thread state beyond the base itself.
+struct WriterCtx {
+    /// Next `GlobalShapeId` to assign (pre-assigned so the WAL record
+    /// can be written before the base is touched).
+    next_id: u64,
+    /// Idempotency key → assigned id, bounded FIFO eviction.
+    dedup: HashMap<u64, u64>,
+    dedup_order: VecDeque<u64>,
+}
+
+/// Bound on remembered idempotency keys — enough to cover any plausible
+/// retry window without growing without limit.
+const DEDUP_CAP: usize = 8192;
+
+impl WriterCtx {
+    fn remember(&mut self, key: u64, id: u64) {
+        if key == 0 {
+            return;
+        }
+        if self.dedup.insert(key, id).is_none() {
+            self.dedup_order.push_back(key);
+            while self.dedup_order.len() > DEDUP_CAP {
+                if let Some(old) = self.dedup_order.pop_front() {
+                    self.dedup.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+/// One planned mutation (or its immediate refusal).
+enum Act {
+    Reply(Frame),
+    /// Duplicate idempotency key: re-ack the original id, no mutation.
+    DupInsert { id: u64 },
+    Insert { key: u64, id: u64, image: u32, poly: Polyline },
+    Delete { id: u64 },
+}
+
+fn read_only_reply() -> Frame {
+    Frame::Error {
+        code: error_code::READ_ONLY,
+        message: "server is in degraded read-only mode (persistent I/O failure)".into(),
+    }
+}
+
+fn writer_loop(mut base: DynamicBase, mut ctx: WriterCtx, shared: &Arc<Shared>) {
     const MAX_BATCH: usize = 64;
     while let Some(first) = shared.write_queue.pop() {
-        // batch whatever else is already queued (bounded), apply, publish
-        // once, then reply — so replies always describe published state
+        // batch whatever else is already queued (bounded), log, apply,
+        // publish once, then reply — so replies always describe durable,
+        // published state
         let mut batch = vec![first];
         while batch.len() < MAX_BATCH {
             match shared.write_queue.try_pop() {
@@ -485,39 +653,212 @@ fn writer_loop(mut base: DynamicBase, shared: &Arc<Shared>) {
                 None => break,
             }
         }
-        let mut replies = Vec::with_capacity(batch.len());
+
+        // Plan: validate, dedup, and pre-assign ids without touching the
+        // base, so every mutation can hit the WAL before any state does.
+        let read_only = shared.is_read_only();
+        let mut acts = Vec::with_capacity(batch.len());
         for job in &batch {
-            let reply = match &job.frame {
-                Frame::Insert { image, shape } => match shape.to_polyline() {
-                    Some(poly) => {
-                        Metrics::bump(&shared.metrics.inserts);
-                        let id = base.insert(ImageId(*image), poly);
-                        Frame::Inserted { epoch: base.epoch(), id: id.0 }
+            let act = match &job.frame {
+                Frame::Insert { image, key, shape } => {
+                    Metrics::bump(&shared.metrics.inserts);
+                    if read_only {
+                        Act::Reply(read_only_reply())
+                    } else if let Some(&id) = ctx.dedup.get(key).filter(|_| *key != 0) {
+                        Act::DupInsert { id }
+                    } else {
+                        match shape.to_polyline() {
+                            Some(poly) => {
+                                let id = ctx.next_id;
+                                ctx.next_id += 1;
+                                Act::Insert { key: *key, id, image: *image, poly }
+                            }
+                            None => Act::Reply(bad_shape()),
+                        }
                     }
-                    None => bad_shape(),
-                },
+                }
                 Frame::Delete { id } => {
                     Metrics::bump(&shared.metrics.deletes);
-                    let existed = base.delete(GlobalShapeId(*id));
-                    Frame::Deleted { epoch: base.epoch(), existed }
+                    if read_only {
+                        Act::Reply(read_only_reply())
+                    } else {
+                        Act::Delete { id: *id }
+                    }
                 }
-                _ => Frame::Error {
+                _ => Act::Reply(Frame::Error {
                     code: error_code::UNEXPECTED_FRAME,
                     message: "read frame on write queue".into(),
-                },
+                }),
+            };
+            acts.push(act);
+        }
+
+        // Log: append every mutation and commit (fsync per policy)
+        // BEFORE applying or acking. A failure here flips the server
+        // read-only and refuses the whole batch — nothing un-logged is
+        // ever acked or published.
+        let mut logged = 0u64;
+        if let Some(d) = &shared.durable {
+            let has_mutation =
+                acts.iter().any(|a| matches!(a, Act::Insert { .. } | Act::Delete { .. }));
+            if has_mutation {
+                let mut wal = d.wal.lock().unwrap();
+                let res = (|| {
+                    for act in &acts {
+                        match act {
+                            Act::Insert { key, id, image, poly } => {
+                                wal.append(&WalRecord::Insert {
+                                    key: *key,
+                                    id: *id,
+                                    image: *image,
+                                    closed: poly.is_closed(),
+                                    points: poly.points().iter().map(|p| (p.x, p.y)).collect(),
+                                })?;
+                                logged += 1;
+                            }
+                            Act::Delete { id } => {
+                                wal.append(&WalRecord::Delete { id: *id })?;
+                                logged += 1;
+                            }
+                            Act::Reply(_) | Act::DupInsert { .. } => {}
+                        }
+                    }
+                    wal.commit()
+                })();
+                shared.metrics.wal_appends.store(wal.appends, Ordering::Relaxed);
+                shared.metrics.wal_syncs.store(wal.syncs, Ordering::Relaxed);
+                drop(wal);
+                match res {
+                    Ok(fsync) => {
+                        if let Some(dur) = fsync {
+                            shared.metrics.fsync.record_us(dur.as_micros() as u64);
+                        }
+                        d.records_since_ckpt.fetch_add(logged, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        // degraded mode: refuse this batch and all future
+                        // writes; queries keep serving the last snapshot
+                        Metrics::bump(&shared.metrics.io_errors);
+                        d.read_only.store(true, Ordering::SeqCst);
+                        for act in &mut acts {
+                            if matches!(act, Act::Insert { .. } | Act::Delete { .. }) {
+                                *act = Act::Reply(read_only_reply());
+                            }
+                        }
+                    }
+                }
+                // acked writes are on the log (fsynced per policy) past
+                // this point; a crash here must lose nothing acked
+                geosir_storage::fail_point!("wal.post-append");
+            }
+        }
+
+        // Apply + reply.
+        let mut applied = false;
+        let mut replies = Vec::with_capacity(acts.len());
+        for act in acts {
+            let reply = match act {
+                Act::Reply(f) => f,
+                Act::DupInsert { id } => Frame::Inserted { epoch: base.epoch(), id },
+                Act::Insert { key, id, image, poly } => {
+                    base.insert_with_id(GlobalShapeId(id), ImageId(image), poly);
+                    ctx.remember(key, id);
+                    applied = true;
+                    Frame::Inserted { epoch: base.epoch(), id }
+                }
+                Act::Delete { id } => {
+                    let existed = base.delete(GlobalShapeId(id));
+                    applied = true;
+                    Frame::Deleted { epoch: base.epoch(), existed }
+                }
             };
             replies.push(reply);
         }
-        let t0 = Instant::now();
-        let snap = Arc::new(base.snapshot());
-        *shared.snapshot.write().unwrap() = snap;
-        *shared.last_publish.lock().unwrap() = Instant::now();
-        shared.metrics.publish.record_us(t0.elapsed().as_micros() as u64);
-        Metrics::bump(&shared.metrics.snapshots_published);
+        if applied {
+            let t0 = Instant::now();
+            let snap = Arc::new(base.snapshot());
+            let wal_lsn = shared
+                .durable
+                .as_ref()
+                .map(|d| d.wal.lock().unwrap().next_lsn().saturating_sub(1))
+                .unwrap_or(0);
+            *shared.published.write().unwrap() = Published { snap, wal_lsn };
+            *shared.last_publish.lock().unwrap() = Instant::now();
+            shared.metrics.publish.record_us(t0.elapsed().as_micros() as u64);
+            Metrics::bump(&shared.metrics.snapshots_published);
+        }
         for (job, reply) in batch.into_iter().zip(replies) {
             Metrics::bump(&shared.metrics.requests);
             shared.metrics.latency.record_us(job.enqueued.elapsed().as_micros() as u64);
             let _ = job.reply.send(reply);
+        }
+    }
+    // graceful shutdown: force the tail to disk whatever the policy
+    if let Some(d) = &shared.durable {
+        let mut wal = d.wal.lock().unwrap();
+        let _ = wal.sync();
+        shared.metrics.wal_syncs.store(wal.syncs, Ordering::Relaxed);
+    }
+}
+
+/// Background checkpointer: every `checkpoint_every` logged records,
+/// serialize the published snapshot through the 1 KB page store, point
+/// the manifest at it, then rotate the WAL and prune covered segments.
+/// Persistent failure (3 consecutive) flips the server read-only.
+fn checkpointer_loop(shared: &Arc<Shared>) {
+    let Some(d) = &shared.durable else { return };
+    let mut consecutive_failures = 0u32;
+    while !shared.is_shutdown() {
+        std::thread::sleep(shared.cfg.poll_interval);
+        let pending = d.records_since_ckpt.load(Ordering::Relaxed);
+        if pending < d.checkpoint_every || shared.is_read_only() {
+            continue;
+        }
+        // consistent pair: this snapshot contains exactly the effects of
+        // records ≤ wal_lsn, so replay after it starts at wal_lsn + 1
+        let (snap, lsn) = {
+            let p = shared.published.read().unwrap();
+            (p.snap.clone(), p.wal_lsn)
+        };
+        if lsn <= d.last_ckpt_lsn.load(Ordering::Relaxed) {
+            continue;
+        }
+        let data = CheckpointData {
+            epoch: snap.epoch(),
+            next_id: snap.next_id(),
+            shapes: snap.live_shapes(),
+        };
+        let name = durable::checkpoint_name(lsn);
+        // ordering: checkpoint → manifest → rotate → prune. A crash
+        // between any two steps recovers correctly: the old manifest
+        // with the old WAL, or the new one with not-yet-pruned segments
+        // whose covered records replay as no-ops.
+        let result = checkpoint::write(&d.data_dir.join(&name), &data)
+            .and_then(|()| Manifest { checkpoint: name, last_lsn: lsn, epoch: snap.epoch() }
+                .store(&d.data_dir))
+            .map_err(|e| std::io::Error::other(e.to_string()))
+            .and_then(|()| {
+                let mut wal = d.wal.lock().unwrap();
+                wal.rotate()?;
+                wal.prune_up_to(lsn)?;
+                shared.metrics.wal_syncs.store(wal.syncs, Ordering::Relaxed);
+                Ok(())
+            });
+        match result {
+            Ok(()) => {
+                Metrics::bump(&shared.metrics.checkpoints);
+                d.records_since_ckpt.fetch_sub(pending, Ordering::Relaxed);
+                d.last_ckpt_lsn.store(lsn, Ordering::Relaxed);
+                consecutive_failures = 0;
+            }
+            Err(_) => {
+                Metrics::bump(&shared.metrics.checkpoint_failures);
+                Metrics::bump(&shared.metrics.io_errors);
+                consecutive_failures += 1;
+                if consecutive_failures >= 3 {
+                    d.read_only.store(true, Ordering::SeqCst);
+                }
+            }
         }
     }
 }
@@ -559,6 +900,54 @@ mod tests {
         let q: BoundedQueue<u32> = BoundedQueue::new(0);
         assert!(q.try_push(1).is_ok());
         assert!(matches!(q.try_push(2), Err(PushError::Full(_))));
+    }
+
+    #[test]
+    fn accept_error_classifier_separates_transient_from_fatal() {
+        use std::io::ErrorKind;
+        // "try again" conditions: a dead connection in the backlog, a
+        // poll tick, an interrupted syscall
+        for k in [
+            ErrorKind::WouldBlock,
+            ErrorKind::TimedOut,
+            ErrorKind::Interrupted,
+            ErrorKind::ConnectionAborted,
+            ErrorKind::ConnectionReset,
+        ] {
+            assert!(is_transient_accept_error(k), "{k:?} must be transient");
+        }
+        // resource exhaustion and misconfiguration are real trouble:
+        // the loop must back off and count them, not spin
+        for k in [
+            ErrorKind::OutOfMemory,
+            ErrorKind::PermissionDenied,
+            ErrorKind::InvalidInput,
+            ErrorKind::NotConnected,
+            ErrorKind::Other,
+        ] {
+            assert!(!is_transient_accept_error(k), "{k:?} must not be transient");
+        }
+    }
+
+    #[test]
+    fn writer_ctx_dedup_is_bounded_fifo() {
+        let mut ctx = WriterCtx {
+            next_id: 0,
+            dedup: HashMap::new(),
+            dedup_order: VecDeque::new(),
+        };
+        ctx.remember(0, 99); // key 0 = "no key": never remembered
+        assert!(ctx.dedup.is_empty());
+        for k in 1..=(DEDUP_CAP as u64 + 10) {
+            ctx.remember(k, k + 1000);
+        }
+        assert_eq!(ctx.dedup.len(), DEDUP_CAP);
+        assert!(!ctx.dedup.contains_key(&1), "oldest keys evicted");
+        assert_eq!(ctx.dedup.get(&(DEDUP_CAP as u64 + 10)), Some(&(DEDUP_CAP as u64 + 1010)));
+        // re-remembering an existing key must not double-queue it
+        let len = ctx.dedup_order.len();
+        ctx.remember(DEDUP_CAP as u64 + 10, 7);
+        assert_eq!(ctx.dedup_order.len(), len);
     }
 
     #[test]

@@ -26,7 +26,11 @@ use std::io::{Read, Write};
 
 /// Protocol version this build speaks. A mismatched peer gets
 /// [`WireError::BadVersion`] instead of a garbled decode.
-pub const PROTOCOL_VERSION: u8 = 1;
+///
+/// v2: `Insert` carries a client idempotency key, `Busy` carries a
+/// retry-after hint, stats report durability counters, and servers may
+/// answer writes with [`error_code::READ_ONLY`] in degraded mode.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Ceiling on a frame's payload size. A length prefix above this is
 /// rejected *before* any allocation, so a hostile 4 GiB prefix cannot OOM
@@ -49,6 +53,9 @@ pub mod error_code {
     pub const SHUTTING_DOWN: u16 = 3;
     /// A response frame arrived where a request was expected.
     pub const UNEXPECTED_FRAME: u16 = 4;
+    /// The server is in degraded read-only mode (persistent WAL or
+    /// checkpoint I/O failure); queries still work, writes do not.
+    pub const READ_ONLY: u16 = 5;
 }
 
 /// Shape geometry on the wire: closed flag + f64 vertex pairs.
@@ -120,6 +127,22 @@ pub struct ServerStats {
     pub snapshot_age_us: u64,
     /// Read-queue depth at the instant the stats were gathered.
     pub queue_depth: u64,
+    /// 1 when the server is in degraded read-only mode, else 0.
+    pub read_only: u64,
+    /// WAL records appended / fsyncs issued since start (0 when the
+    /// server runs without durability).
+    pub wal_appends: u64,
+    pub wal_syncs: u64,
+    /// WAL fsync latency percentiles, microseconds.
+    pub fsync_p50_us: u64,
+    pub fsync_p99_us: u64,
+    /// Checkpoints completed / failed since start.
+    pub checkpoints: u64,
+    pub checkpoint_failures: u64,
+    /// Wall time the last startup recovery took, microseconds.
+    pub last_recovery_us: u64,
+    /// Persistent-path I/O errors observed (WAL, checkpoint, accept).
+    pub io_errors: u64,
 }
 
 /// Every message either peer can send. Request frames (client → server):
@@ -131,8 +154,11 @@ pub enum Frame {
     Query { k: u32, shape: WireShape },
     /// Retrieve for every shape in one round trip.
     QueryBatch { k: u32, shapes: Vec<WireShape> },
-    /// Add a shape to the live base.
-    Insert { image: u32, shape: WireShape },
+    /// Add a shape to the live base. `key` is a client-chosen
+    /// idempotency token (0 = none): resending the same key after a
+    /// timeout cannot double-insert — the server replies with the
+    /// originally assigned id.
+    Insert { image: u32, key: u64, shape: WireShape },
     /// Tombstone a shape by global id.
     Delete { id: u64 },
     /// Fetch [`ServerStats`].
@@ -151,8 +177,9 @@ pub enum Frame {
     Deleted { epoch: u64, existed: bool },
     /// Reply to `Stats`.
     StatsReport(ServerStats),
-    /// Load shed: the bounded request queue was full. Retry later.
-    Busy,
+    /// Load shed: the bounded request queue was full. Retry after the
+    /// hinted delay (0 = client's choice).
+    Busy { retry_after_ms: u32 },
     /// Reply to `Shutdown`.
     Bye,
     /// The request could not be served; see [`error_code`].
@@ -192,6 +219,9 @@ pub enum WireError {
     BadChecksum,
     /// Payload bytes do not decode as the declared frame type.
     Malformed,
+    /// The server refused the request with [`Frame::Error`]; see
+    /// [`error_code`] for the code.
+    Server { code: u16, message: String },
 }
 
 impl std::fmt::Display for WireError {
@@ -207,6 +237,9 @@ impl std::fmt::Display for WireError {
             }
             WireError::BadChecksum => write!(f, "frame checksum mismatch"),
             WireError::Malformed => write!(f, "malformed frame payload"),
+            WireError::Server { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
         }
     }
 }
@@ -296,6 +329,7 @@ impl Frame {
             Frame::Query { .. } => frame_type::QUERY,
             Frame::QueryBatch { .. } => frame_type::QUERY_BATCH,
             Frame::Insert { .. } => frame_type::INSERT,
+            Frame::Busy { .. } => frame_type::BUSY,
             Frame::Delete { .. } => frame_type::DELETE,
             Frame::Stats => frame_type::STATS,
             Frame::Shutdown => frame_type::SHUTDOWN,
@@ -304,7 +338,6 @@ impl Frame {
             Frame::Inserted { .. } => frame_type::INSERTED,
             Frame::Deleted { .. } => frame_type::DELETED,
             Frame::StatsReport(_) => frame_type::STATS_REPORT,
-            Frame::Busy => frame_type::BUSY,
             Frame::Bye => frame_type::BYE,
             Frame::Error { .. } => frame_type::ERROR,
         }
@@ -323,12 +356,14 @@ impl Frame {
                     put_shape(out, s);
                 }
             }
-            Frame::Insert { image, shape } => {
+            Frame::Insert { image, key, shape } => {
                 out.put_u32_le(*image);
+                out.put_u64_le(*key);
                 put_shape(out, shape);
             }
             Frame::Delete { id } => out.put_u64_le(*id),
-            Frame::Stats | Frame::Shutdown | Frame::Busy | Frame::Bye => {}
+            Frame::Busy { retry_after_ms } => out.put_u32_le(*retry_after_ms),
+            Frame::Stats | Frame::Shutdown | Frame::Bye => {}
             Frame::Matches { epoch, matches } => {
                 out.put_u64_le(*epoch);
                 put_matches(out, matches);
@@ -366,6 +401,15 @@ impl Frame {
                     s.publish_p99_us,
                     s.snapshot_age_us,
                     s.queue_depth,
+                    s.read_only,
+                    s.wal_appends,
+                    s.wal_syncs,
+                    s.fsync_p50_us,
+                    s.fsync_p99_us,
+                    s.checkpoints,
+                    s.checkpoint_failures,
+                    s.last_recovery_us,
+                    s.io_errors,
                 ] {
                     out.put_u64_le(v);
                 }
@@ -405,11 +449,12 @@ impl Frame {
                 Frame::QueryBatch { k, shapes }
             }
             frame_type::INSERT => {
-                if buf.len() < 4 {
+                if buf.len() < 12 {
                     return Err(WireError::Malformed);
                 }
                 let image = buf.get_u32_le();
-                Frame::Insert { image, shape: get_shape(buf)? }
+                let key = buf.get_u64_le();
+                Frame::Insert { image, key, shape: get_shape(buf)? }
             }
             frame_type::DELETE => {
                 if buf.len() < 8 {
@@ -460,10 +505,10 @@ impl Frame {
                 Frame::Deleted { epoch, existed }
             }
             frame_type::STATS_REPORT => {
-                if buf.len() < 16 * 8 {
+                if buf.len() < 25 * 8 {
                     return Err(WireError::Malformed);
                 }
-                let mut v = [0u64; 16];
+                let mut v = [0u64; 25];
                 for slot in &mut v {
                     *slot = buf.get_u64_le();
                 }
@@ -484,9 +529,23 @@ impl Frame {
                     publish_p99_us: v[13],
                     snapshot_age_us: v[14],
                     queue_depth: v[15],
+                    read_only: v[16],
+                    wal_appends: v[17],
+                    wal_syncs: v[18],
+                    fsync_p50_us: v[19],
+                    fsync_p99_us: v[20],
+                    checkpoints: v[21],
+                    checkpoint_failures: v[22],
+                    last_recovery_us: v[23],
+                    io_errors: v[24],
                 })
             }
-            frame_type::BUSY => Frame::Busy,
+            frame_type::BUSY => {
+                if buf.len() < 4 {
+                    return Err(WireError::Malformed);
+                }
+                Frame::Busy { retry_after_ms: buf.get_u32_le() }
+            }
             frame_type::BYE => Frame::Bye,
             frame_type::ERROR => {
                 if buf.len() < 6 {

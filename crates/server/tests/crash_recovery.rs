@@ -1,0 +1,191 @@
+//! Crash-recovery harness: `kill -9` stand-ins at instrumented crash
+//! points. The parent test re-executes this test binary as a child
+//! process with a `GEOSIR_CRASHPOINT` armed; the child runs a durable
+//! server in-process and prints one `ACKED <tri> <id>` line (flushed)
+//! per acknowledged write until the armed point `abort()`s it. The
+//! parent then recovers from the same data directory and verifies the
+//! invariant the WAL exists for: **every acked write survives**.
+//!
+//! Only built with `--features failpoints`; the hooks are compiled out
+//! of production binaries entirely.
+
+#![cfg(feature = "failpoints")]
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use geosir_core::matcher::MatchConfig;
+use geosir_geom::rangesearch::Backend;
+use geosir_geom::{Point, Polyline};
+use geosir_serve::{serve_durable, BaseTemplate, Client, DurabilityConfig, ServeConfig};
+use geosir_storage::wal::FsyncPolicy;
+
+const CHILD_DIR_ENV: &str = "GEOSIR_CRASH_DIR";
+
+fn tmpdir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("geosir-crash-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn template() -> BaseTemplate {
+    BaseTemplate {
+        alpha: 0.0,
+        backend: Backend::KdTree,
+        config: MatchConfig { beta: 0.2, ..Default::default() },
+        buffer_cap: 8,
+    }
+}
+
+fn tri(i: u64) -> Polyline {
+    Polyline::closed(vec![
+        Point::new(0.0, 0.0),
+        Point::new(3.0 + i as f64 * 0.01, 0.2),
+        Point::new(1.5, 2.0 + (i % 5) as f64 * 0.1),
+    ])
+    .unwrap()
+}
+
+fn durability(dir: &PathBuf) -> DurabilityConfig {
+    let mut d = DurabilityConfig::new(dir);
+    d.fsync = FsyncPolicy::Always;
+    d.checkpoint_every = 16;
+    d
+}
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig { workers: 1, poll_interval: Duration::from_millis(5), ..Default::default() }
+}
+
+/// The crashing workload. A no-op unless spawned by a parent test with
+/// [`CHILD_DIR_ENV`] set — `cargo test` runs it directly as an instant
+/// pass. Inserts shapes against a durable server in-process and reports
+/// each ack on stdout; the armed crash point aborts the whole process
+/// (server threads included) partway through.
+#[test]
+fn crash_child_workload() {
+    let Ok(dir) = std::env::var(CHILD_DIR_ENV) else { return };
+    let dir = PathBuf::from(dir);
+    let (handle, _) = serve_durable("127.0.0.1:0", &template(), durability(&dir), serve_cfg())
+        .expect("child: serve_durable");
+    let mut c = Client::connect(handle.addr()).expect("child: connect");
+    let out = std::io::stdout();
+    for i in 0..64u64 {
+        if let Ok(Some((_, id))) = c.insert(i as u32, &tri(i)) {
+            // flush per line: abort() discards buffered stdout
+            let mut o = out.lock();
+            writeln!(o, "ACKED {i} {id}").unwrap();
+            o.flush().unwrap();
+        }
+        // breathing room so the background checkpointer can interleave
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // crash points in the checkpointer may fire after the last insert
+    std::thread::sleep(Duration::from_secs(3));
+}
+
+/// Spawn the child with `point` armed, wait for it to abort, and return
+/// the `(tri index, id)` pairs it acked before dying.
+fn run_crashing_child(dir: &PathBuf, point: &str) -> Vec<(u64, u64)> {
+    let exe = std::env::current_exe().unwrap();
+    let mut child = Command::new(exe)
+        .args(["crash_child_workload", "--exact", "--nocapture", "--test-threads=1"])
+        .env(CHILD_DIR_ENV, dir)
+        .env("GEOSIR_CRASHPOINT", point)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn child");
+
+    let start = Instant::now();
+    let status = loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => break status,
+            None if start.elapsed() > Duration::from_secs(20) => {
+                child.kill().ok();
+                panic!("crash point `{point}` never fired within 20s");
+            }
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    };
+    assert!(
+        !status.success(),
+        "crash point `{point}` did not abort the child (exit: {status:?})"
+    );
+
+    let mut out = String::new();
+    use std::io::Read as _;
+    child.stdout.take().unwrap().read_to_string(&mut out).unwrap();
+    let acked: Vec<(u64, u64)> = out
+        .lines()
+        .filter_map(|l| {
+            let mut f = l.split_whitespace();
+            match (f.next(), f.next(), f.next()) {
+                (Some("ACKED"), Some(i), Some(id)) => Some((i.parse().ok()?, id.parse().ok()?)),
+                _ => None,
+            }
+        })
+        .collect();
+    assert!(!acked.is_empty(), "child acked nothing before `{point}` fired");
+    acked
+}
+
+/// Recover from `dir` with a clean server and assert every acked write
+/// is present (recovery may legitimately contain *more*: writes logged
+/// but not yet acked at crash time).
+fn assert_acked_survive(dir: &PathBuf, point: &str, acked: &[(u64, u64)]) {
+    let (handle, report) = serve_durable("127.0.0.1:0", &template(), durability(dir), serve_cfg())
+        .unwrap_or_else(|e| panic!("recovery after `{point}` failed: {e}"));
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let stats = c.stats().unwrap();
+    assert!(
+        stats.live_shapes >= acked.len() as u64,
+        "`{point}`: {} acked but only {} recovered ({report:?})",
+        acked.len(),
+        stats.live_shapes
+    );
+    for &(i, id) in acked {
+        let reply = c.query(&tri(i), 1).unwrap();
+        assert!(
+            reply.matches.iter().any(|m| m.shape == id),
+            "`{point}`: acked shape {id} (tri {i}) lost; report {report:?}"
+        );
+    }
+    handle.shutdown();
+    handle.join();
+}
+
+fn crash_and_recover(name: &str, point: &str) {
+    let dir = tmpdir(name);
+    let acked = run_crashing_child(&dir, point);
+    assert_acked_survive(&dir, point, &acked);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Crash right after the WAL append+fsync, before the in-memory apply
+/// and the ack. Everything previously acked was already applied AND
+/// logged; the in-flight batch is logged but unacked (replay may
+/// resurrect it — allowed).
+#[test]
+fn recovers_from_crash_after_wal_append() {
+    crash_and_recover("post-append", "wal.post-append:6");
+}
+
+/// Crash mid-checkpoint: the `.tmp` checkpoint file is partially
+/// written and never renamed. Recovery must ignore it and rebuild from
+/// the previous checkpoint (here: none) plus the full WAL.
+#[test]
+fn recovers_from_crash_mid_checkpoint() {
+    crash_and_recover("mid-ckpt", "checkpoint.mid");
+}
+
+/// Crash mid-rotation: the checkpoint and manifest are durable but the
+/// WAL was not yet rotated/pruned. Replay of the stale covered records
+/// must be a no-op (idempotent apply), not a double-insert.
+#[test]
+fn recovers_from_crash_mid_wal_rotation() {
+    crash_and_recover("mid-rotate", "wal.mid-rotation");
+}

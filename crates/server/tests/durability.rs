@@ -1,0 +1,288 @@
+//! Durable-server integration tests over real TCP loopback: acked
+//! writes survive a restart (WAL replay and checkpoint paths),
+//! idempotency keys deduplicate resent inserts, and a dead disk flips
+//! the server into advertised read-only mode instead of killing it.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use geosir_core::matcher::MatchConfig;
+use geosir_geom::rangesearch::Backend;
+use geosir_geom::{Point, Polyline};
+use geosir_serve::wire::{error_code, Frame, WireError, WireShape};
+use geosir_serve::{serve_durable, BaseTemplate, Client, DurabilityConfig, ServeConfig};
+use geosir_storage::faults::{FaultKind, FaultPlan, FaultyFactory};
+use geosir_storage::wal::FsyncPolicy;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("geosir-durab-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn template() -> BaseTemplate {
+    BaseTemplate {
+        alpha: 0.0,
+        backend: Backend::KdTree,
+        config: MatchConfig { beta: 0.2, ..Default::default() },
+        buffer_cap: 8,
+    }
+}
+
+fn tri(i: u64) -> Polyline {
+    Polyline::closed(vec![
+        Point::new(0.0, 0.0),
+        Point::new(3.0 + i as f64 * 0.01, 0.2),
+        Point::new(1.5, 2.0 + (i % 5) as f64 * 0.1),
+    ])
+    .unwrap()
+}
+
+fn poll_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+/// Acked writes survive shutdown + restart purely via WAL replay, and a
+/// later restart goes through a checkpoint once enough records accrue.
+#[test]
+fn acked_writes_survive_restart_via_wal_and_checkpoint() {
+    let dir = tmpdir("restart");
+    let cfg = ServeConfig { workers: 1, poll_interval: Duration::from_millis(10), ..Default::default() };
+    let mut dcfg = DurabilityConfig::new(&dir);
+    dcfg.fsync = FsyncPolicy::Always;
+    dcfg.checkpoint_every = 20;
+
+    // generation 1: fresh dir, insert 8 shapes and delete one.
+    // `acked` holds (tri index, assigned id) for every write the server acked.
+    let mut acked: Vec<(u64, u64)> = Vec::new();
+    let deleted_id;
+    {
+        let (handle, report) =
+            serve_durable("127.0.0.1:0", &template(), dcfg.clone(), cfg.clone()).unwrap();
+        assert_eq!(report.replayed, 0);
+        assert_eq!(report.checkpoint_shapes, 0);
+        let mut c = Client::connect(handle.addr()).unwrap();
+        for i in 0..8u64 {
+            let (_, id) = c.insert_retrying(i as u32, &tri(i)).unwrap();
+            acked.push((i, id));
+        }
+        deleted_id = acked.remove(3).1;
+        assert_eq!(c.delete(deleted_id).unwrap().map(|(_, e)| e), Some(true));
+        assert!(handle.stats().wal_appends >= 9);
+        assert!(handle.stats().wal_syncs >= 9, "fsync=always must sync per batch");
+        handle.shutdown();
+        handle.join();
+    }
+
+    // generation 2: pure WAL replay (below the checkpoint threshold)
+    {
+        let (handle, report) =
+            serve_durable("127.0.0.1:0", &template(), dcfg.clone(), cfg.clone()).unwrap();
+        assert_eq!(report.checkpoint_shapes, 0, "no checkpoint yet");
+        assert_eq!(report.replayed, 9, "8 inserts + 1 delete replayed");
+        assert!(!report.truncated_tail, "clean shutdown leaves no torn tail");
+        let mut c = Client::connect(handle.addr()).unwrap();
+        for &(i, id) in &acked {
+            let reply = c.query(&tri(i), 1).unwrap();
+            assert!(
+                reply.matches.iter().any(|m| m.shape == id),
+                "shape {id} (tri {i}) lost across restart"
+            );
+        }
+        let stats = c.stats().unwrap();
+        assert_eq!(stats.live_shapes, 7);
+        assert!(stats.last_recovery_us > 0);
+
+        // push past checkpoint_every so the background checkpointer runs
+        for i in 8..40u64 {
+            let (_, id) = c.insert_retrying(i as u32, &tri(i)).unwrap();
+            acked.push((i, id));
+        }
+        assert!(
+            poll_until(Duration::from_secs(30), || handle.stats().checkpoints >= 1),
+            "checkpointer never ran: {:?}",
+            handle.stats()
+        );
+        handle.shutdown();
+        handle.join();
+    }
+
+    // generation 3: recovery = checkpoint + short WAL tail
+    {
+        let (handle, report) =
+            serve_durable("127.0.0.1:0", &template(), dcfg.clone(), cfg.clone()).unwrap();
+        assert!(report.checkpoint_shapes > 0, "restart must load the checkpoint");
+        assert!(
+            report.replayed < acked.len(),
+            "checkpoint must shorten replay ({} replayed)",
+            report.replayed
+        );
+        let mut c = Client::connect(handle.addr()).unwrap();
+        let stats = c.stats().unwrap();
+        assert_eq!(stats.live_shapes, acked.len() as u64);
+        // the tombstoned id must not have resurrected
+        let reply = c.query(&tri(3), 5).unwrap();
+        assert!(
+            reply.matches.iter().all(|m| m.shape != deleted_id),
+            "deleted shape came back from recovery"
+        );
+        // id watermark preserved: a fresh insert gets a brand-new id
+        let (_, new_id) = c.insert_retrying(99, &tri(99)).unwrap();
+        assert!(
+            acked.iter().all(|&(_, id)| id != new_id) && new_id != deleted_id,
+            "id {new_id} was reused after recovery"
+        );
+        handle.shutdown();
+        handle.join();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Resending an insert with the same idempotency key must not
+/// double-insert: the server re-acks the originally assigned id.
+#[test]
+fn duplicate_idempotency_key_is_deduplicated() {
+    let dir = tmpdir("dedup");
+    let (handle, _) = serve_durable(
+        "127.0.0.1:0",
+        &template(),
+        DurabilityConfig::new(&dir),
+        ServeConfig { workers: 1, ..Default::default() },
+    )
+    .unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    let frame = Frame::Insert { image: 7, key: 0xDEAD_BEEF, shape: WireShape::from_polyline(&tri(1)) };
+    let first = match c.request(&frame).unwrap() {
+        Frame::Inserted { id, .. } => id,
+        other => panic!("want Inserted, got {other:?}"),
+    };
+    // the "retry": same key, same payload
+    let second = match c.request(&frame).unwrap() {
+        Frame::Inserted { id, .. } => id,
+        other => panic!("want Inserted, got {other:?}"),
+    };
+    assert_eq!(first, second, "duplicate key must re-ack the original id");
+    assert_eq!(handle.stats().live_shapes, 1, "the shape must exist exactly once");
+
+    // key 0 means "no key": two sends are two shapes
+    let unkeyed = Frame::Insert { image: 8, key: 0, shape: WireShape::from_polyline(&tri(2)) };
+    c.request(&unkeyed).unwrap();
+    c.request(&unkeyed).unwrap();
+    assert_eq!(handle.stats().live_shapes, 3);
+
+    handle.shutdown();
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A WAL whose disk dies mid-flight must flip the server to advertised
+/// read-only mode: writes refused with READ_ONLY, queries still served,
+/// process alive.
+#[test]
+fn dead_wal_disk_degrades_to_read_only_not_a_crash() {
+    let dir = tmpdir("deaddisk");
+    let mut dcfg = DurabilityConfig::new(&dir);
+    // segment creation costs a few ops (magic + syncs); let a handful of
+    // appends through, then everything fails persistently
+    dcfg.io_factory = Some(Arc::new(FaultyFactory { plan: FaultPlan::dead_disk_from(8) }));
+    let (handle, _) = serve_durable(
+        "127.0.0.1:0",
+        &template(),
+        dcfg,
+        ServeConfig { workers: 1, ..Default::default() },
+    )
+    .unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+
+    // write until the fault fires
+    let mut acked = 0u64;
+    let mut refused = false;
+    for i in 0..32u64 {
+        match c.insert(i as u32, &tri(i)) {
+            Ok(Some(_)) => acked += 1,
+            Err(WireError::Server { code, .. }) => {
+                assert_eq!(code, error_code::READ_ONLY);
+                refused = true;
+                break;
+            }
+            other => panic!("unexpected insert outcome: {other:?}"),
+        }
+    }
+    assert!(refused, "the dead disk never surfaced as READ_ONLY ({acked} acked)");
+    assert!(handle.is_read_only());
+
+    // queries keep working against the last published snapshot
+    let reply = c.query(&tri(0), 1).unwrap();
+    assert!(!reply.rejected);
+    assert_eq!(reply.matches.is_empty(), acked == 0);
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.read_only, 1);
+    assert!(stats.io_errors >= 1);
+
+    // later writes are refused immediately, still no crash
+    match c.insert(500, &tri(500)) {
+        Err(WireError::Server { code, .. }) => assert_eq!(code, error_code::READ_ONLY),
+        other => panic!("read-only server accepted a write: {other:?}"),
+    }
+
+    handle.shutdown();
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Short writes (torn records) from the fault layer surface as a
+/// truncated-but-recovered WAL on the next start, at the last acked LSN
+/// the disk actually took.
+#[test]
+fn torn_wal_tail_recovers_to_last_valid_record() {
+    let dir = tmpdir("torn");
+    // run 1: a disk that starts short-writing persistently partway in
+    {
+        let mut dcfg = DurabilityConfig::new(&dir);
+        dcfg.io_factory =
+            Some(Arc::new(FaultyFactory { plan: FaultPlan::new(FaultKind::ShortWrite, 10, true) }));
+        let (handle, _) = serve_durable(
+            "127.0.0.1:0",
+            &template(),
+            dcfg,
+            ServeConfig { workers: 1, ..Default::default() },
+        )
+        .unwrap();
+        let mut c = Client::connect(handle.addr()).unwrap();
+        for i in 0..24u64 {
+            // fsync=always: the torn append errors the batch and flips
+            // read-only at some point — both outcomes are fine here
+            if c.insert(i as u32, &tri(i)).is_err() {
+                break;
+            }
+        }
+        handle.shutdown();
+        handle.join();
+    }
+    // run 2: recovery must truncate the torn tail, not refuse to start
+    let (handle, report) = serve_durable(
+        "127.0.0.1:0",
+        &template(),
+        DurabilityConfig::new(&dir),
+        ServeConfig { workers: 1, ..Default::default() },
+    )
+    .unwrap();
+    assert!(report.truncated_tail, "the short write must appear as a torn tail");
+    assert!(report.dropped_bytes > 0);
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.live_shapes, report.replayed as u64, "replay and state agree");
+    handle.shutdown();
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -46,6 +46,15 @@ fn rand_stats(rng: &mut StdRng) -> ServerStats {
         publish_p99_us: rng.random(),
         snapshot_age_us: rng.random(),
         queue_depth: rng.random(),
+        read_only: rng.random_range(0..2),
+        wal_appends: rng.random(),
+        wal_syncs: rng.random(),
+        fsync_p50_us: rng.random(),
+        fsync_p99_us: rng.random(),
+        checkpoints: rng.random(),
+        checkpoint_failures: rng.random(),
+        last_recovery_us: rng.random(),
+        io_errors: rng.random(),
     }
 }
 
@@ -57,7 +66,7 @@ fn rand_frame(pick: u8, rng: &mut StdRng) -> Frame {
             k: rng.random_range(0..64),
             shapes: (0..rng.random_range(0..5usize)).map(|_| rand_shape(rng)).collect(),
         },
-        2 => Frame::Insert { image: rng.random(), shape: rand_shape(rng) },
+        2 => Frame::Insert { image: rng.random(), key: rng.random(), shape: rand_shape(rng) },
         3 => Frame::Delete { id: rng.random() },
         4 => Frame::Stats,
         5 => Frame::Shutdown,
@@ -69,7 +78,7 @@ fn rand_frame(pick: u8, rng: &mut StdRng) -> Frame {
         8 => Frame::Inserted { epoch: rng.random(), id: rng.random() },
         9 => Frame::Deleted { epoch: rng.random(), existed: rng.random() },
         10 => Frame::StatsReport(rand_stats(rng)),
-        11 => Frame::Busy,
+        11 => Frame::Busy { retry_after_ms: rng.random() },
         12 => Frame::Bye,
         _ => Frame::Error {
             code: rng.random(),
@@ -236,7 +245,7 @@ fn read_from_reports_clean_eof() {
 #[test]
 fn non_finite_shape_survives_the_wire_but_fails_polyline_conversion() {
     let shape = WireShape { closed: true, points: vec![(f64::NAN, 0.0), (1.0, 1.0), (0.0, 1.0)] };
-    let frame = Frame::Insert { image: 3, shape: shape.clone() };
+    let frame = Frame::Insert { image: 3, key: 41, shape: shape.clone() };
     let mut buf = Vec::new();
     frame.encode(&mut buf);
     let (decoded, _) = Frame::decode(&buf).unwrap();

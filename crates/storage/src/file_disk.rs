@@ -58,6 +58,8 @@ fn checksum(data: &[u8]) -> u64 {
 
 /// Write the full block image of `disk` to `path`
 /// (header, then per block: 8-byte checksum + 1 KB payload).
+/// The file is fsynced before returning, so a completed `dump` survives
+/// power loss — the checkpointer relies on this before its rename.
 pub fn dump(disk: &DiskSim, path: &Path) -> Result<(), PersistError> {
     let mut f = File::create(path)?;
     f.write_all(&MAGIC)?;
@@ -68,6 +70,7 @@ pub fn dump(disk: &DiskSim, path: &Path) -> Result<(), PersistError> {
         f.write_all(&data)?;
     }
     f.flush()?;
+    f.sync_all()?;
     Ok(())
 }
 
@@ -160,6 +163,63 @@ mod tests {
         let path = tmp("magic");
         std::fs::write(&path, b"definitely not a block image").unwrap();
         assert!(matches!(load(&path), Err(PersistError::BadMagic)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_image_round_trips() {
+        // a freshly-initialized (zero-block) base must dump and load
+        let path = tmp("empty");
+        dump(&DiskSim::new(0), &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.num_blocks(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn multi_page_base_round_trips_and_flipped_byte_is_checksum_error() {
+        // a >1-page shape base: enough records to fill several 1 KB
+        // blocks; a flipped payload byte must surface as Corrupt, never
+        // as silently-garbled shapes
+        use geosir_core::hashing::GeometricHash;
+        use geosir_core::ids::ImageId;
+        use geosir_core::shapebase::ShapeBaseBuilder;
+        use geosir_geom::rangesearch::Backend;
+        use geosir_geom::{Point, Polyline};
+
+        let mut b = ShapeBaseBuilder::new();
+        for i in 0..40u32 {
+            let pts = vec![
+                Point::new(0.0, 0.0),
+                Point::new(3.0 + i as f64 * 0.05, 0.2),
+                Point::new(1.5, 2.0 + (i % 7) as f64 * 0.1),
+            ];
+            b.add_shape(ImageId(i), Polyline::closed(pts).unwrap());
+        }
+        let base = b.build(0.0, Backend::KdTree);
+        let gh = GeometricHash::build(&base, 50);
+        let sigs: Vec<_> = base.copies().map(|(_, c)| gh.signature(&c.normalized)).collect();
+        let store =
+            crate::store::ShapeStore::build(&base, &sigs, crate::layout::LayoutPolicy::MeanCurve);
+        assert!(store.disk().num_blocks() > 1, "need a multi-page base for this test");
+
+        let path = tmp("multipage");
+        dump(store.disk(), &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.num_blocks(), store.disk().num_blocks());
+        for blk in 0..loaded.num_blocks() {
+            assert_eq!(loaded.read(blk), store.disk().read(blk), "block {blk} differs");
+        }
+
+        // flip one byte in the middle of the image
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(
+            matches!(load(&path), Err(PersistError::Corrupt(_))),
+            "flipped byte must be a checksum error, not garbage shapes"
+        );
         std::fs::remove_file(&path).ok();
     }
 

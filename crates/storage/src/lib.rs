@@ -13,18 +13,39 @@
 //!   optimization of the average measure);
 //! - [`store`] — the packed store mapping copies to blocks, plus the
 //!   trace replay used by the experiments.
+//!
+//! Beyond the paper's simulation, the crate carries the durability
+//! layer `geosir-serve` acks writes against:
+//!
+//! - [`wal`] — append-only write-ahead log (length-prefixed records,
+//!   per-record CRC-32, monotonic LSNs, configurable fsync policy,
+//!   torn-tail-tolerant replay);
+//! - [`checkpoint`] — whole-base snapshots serialized through the same
+//!   1 KB pages, installed by atomic rename;
+//! - [`manifest`] — the crash-safe pointer tying a checkpoint to the
+//!   WAL position replay resumes from;
+//! - [`faults`] — I/O fault injection and `fail_point!` crash hooks
+//!   (the latter compiled under `--features failpoints`) for the
+//!   crash-recovery and degraded-mode tests.
 
 pub mod buffer;
+pub mod checkpoint;
 pub mod disk;
 pub mod extindex;
+pub mod faults;
 pub mod file_disk;
 pub mod layout;
+pub mod manifest;
 pub mod record;
 pub mod store;
+pub mod wal;
 
 pub use buffer::BufferPool;
+pub use checkpoint::CheckpointData;
 pub use disk::{DiskSim, BLOCK_SIZE};
 pub use extindex::ExternalVertexIndex;
 pub use layout::LayoutPolicy;
+pub use manifest::Manifest;
 pub use record::ShapeRecord;
 pub use store::ShapeStore;
+pub use wal::{FsyncPolicy, Lsn, Wal, WalRecord};

@@ -1,0 +1,621 @@
+//! Append-only write-ahead log for the dynamic shape base.
+//!
+//! The server acks an Insert/Delete only after its record is in the log
+//! (and fsynced, per policy), so acknowledged mutations survive a crash:
+//! restart = load the last good checkpoint, then replay the WAL tail.
+//!
+//! ## On-disk format
+//!
+//! Segment files named `wal-<first_lsn:020>.log`, each:
+//!
+//! ```text
+//! magic      8 bytes  "GSWAL" 0 0 1
+//! records    *
+//! ```
+//!
+//! and every record:
+//!
+//! ```text
+//! len        u32 LE   payload byte count (≤ MAX_RECORD)
+//! crc        u32 LE   CRC-32 (IEEE) over the payload
+//! payload    len bytes: lsn u64 | body (see WalRecord)
+//! ```
+//!
+//! A crash mid-write leaves a torn tail: a half-written length prefix,
+//! a payload shorter than `len`, or a CRC mismatch. [`replay`] treats
+//! the first such record as the end of the log — it *truncates* there
+//! (reporting how much was dropped) instead of failing, because a torn
+//! tail is the expected shape of a crash, not corruption to refuse.
+//! A bad record *before* the tail (bit rot, a flipped byte) also stops
+//! replay at the last valid LSN: everything after it is suspect.
+//!
+//! LSNs are assigned monotonically by [`Wal::append`] and must be
+//! strictly increasing within the replayed stream; a violation is
+//! treated like corruption.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::{Buf, BufMut};
+
+use crate::faults::{FileFactory, Io, IoFactory};
+
+/// Log sequence number: a global, monotonically increasing record id.
+pub type Lsn = u64;
+
+/// Segment header: "GSWAL" + two reserved bytes + format version.
+const SEG_MAGIC: [u8; 8] = *b"GSWAL\x00\x00\x01";
+
+/// Ceiling on one record's payload — a garbage length prefix must not
+/// provoke a giant allocation during replay.
+pub const MAX_RECORD: usize = 16 << 20;
+
+/// When appended records are forced to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync before every ack — full durability, slowest.
+    Always,
+    /// fsync at most once per interval (milliseconds); a crash can lose
+    /// up to one interval of *acked* writes, but process kill loses
+    /// nothing (the data is in the page cache).
+    IntervalMs(u64),
+    /// Never fsync; rely on the OS flushing dirty pages.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parse a CLI spelling: `always`, `interval` (default 50 ms),
+    /// `interval=<ms>`, `never`.
+    pub fn parse(s: &str) -> Result<FsyncPolicy, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            "interval" => Ok(FsyncPolicy::IntervalMs(50)),
+            other => match other.strip_prefix("interval=") {
+                Some(ms) => ms
+                    .parse()
+                    .map(FsyncPolicy::IntervalMs)
+                    .map_err(|_| format!("bad fsync interval `{ms}`")),
+                None => Err(format!("unknown fsync policy `{other}` (always|interval[=ms]|never)")),
+            },
+        }
+    }
+}
+
+/// One logged mutation. Geometry is stored at full f64 fidelity — the
+/// log must reproduce exactly what the writer applied.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    Insert {
+        /// Client-supplied idempotency key (0 = none); replay re-seeds
+        /// the server's dedup table from these.
+        key: u64,
+        /// The assigned `GlobalShapeId` value.
+        id: u64,
+        image: u32,
+        closed: bool,
+        points: Vec<(f64, f64)>,
+    },
+    Delete {
+        id: u64,
+    },
+}
+
+const REC_INSERT: u8 = 1;
+const REC_DELETE: u8 = 2;
+
+impl WalRecord {
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        match self {
+            WalRecord::Insert { key, id, image, closed, points } => {
+                out.put_u8(REC_INSERT);
+                out.put_u64_le(*key);
+                out.put_u64_le(*id);
+                out.put_u32_le(*image);
+                out.put_u8(*closed as u8);
+                out.put_u32_le(points.len() as u32);
+                for &(x, y) in points {
+                    out.put_f64_le(x);
+                    out.put_f64_le(y);
+                }
+            }
+            WalRecord::Delete { id } => {
+                out.put_u8(REC_DELETE);
+                out.put_u64_le(*id);
+            }
+        }
+    }
+
+    fn decode_body(mut buf: &[u8]) -> Option<WalRecord> {
+        let buf = &mut buf;
+        if buf.is_empty() {
+            return None;
+        }
+        let rec = match buf.get_u8() {
+            REC_INSERT => {
+                if buf.len() < 8 + 8 + 4 + 1 + 4 {
+                    return None;
+                }
+                let key = buf.get_u64_le();
+                let id = buf.get_u64_le();
+                let image = buf.get_u32_le();
+                let closed = match buf.get_u8() {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                };
+                let n = buf.get_u32_le() as usize;
+                if buf.len() < n * 16 {
+                    return None;
+                }
+                let mut points = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let x = buf.get_f64_le();
+                    let y = buf.get_f64_le();
+                    points.push((x, y));
+                }
+                WalRecord::Insert { key, id, image, closed, points }
+            }
+            REC_DELETE => {
+                if buf.len() < 8 {
+                    return None;
+                }
+                WalRecord::Delete { id: buf.get_u64_le() }
+            }
+            _ => return None,
+        };
+        if !buf.is_empty() {
+            return None; // trailing garbage inside the payload
+        }
+        Some(rec)
+    }
+}
+
+/// CRC-32 (IEEE 802.3), table-driven; the classic log-record checksum.
+pub fn crc32(data: &[u8]) -> u32 {
+    const fn make_table() -> [u32; 256] {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    }
+    static TABLE: [u32; 256] = make_table();
+    let mut c = !0u32;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// The appender. One writer owns it (the server wraps it in a mutex so
+/// the checkpointer can rotate); recovery uses the free [`replay`].
+pub struct Wal {
+    dir: PathBuf,
+    factory: Arc<dyn IoFactory>,
+    policy: FsyncPolicy,
+    seg: Box<dyn Io>,
+    seg_first_lsn: Lsn,
+    next_lsn: Lsn,
+    last_sync: Instant,
+    unsynced: bool,
+    buf: Vec<u8>,
+    /// Records appended over this Wal's lifetime.
+    pub appends: u64,
+    /// fsyncs issued over this Wal's lifetime.
+    pub syncs: u64,
+}
+
+fn segment_path(dir: &Path, first_lsn: Lsn) -> PathBuf {
+    dir.join(format!("wal-{first_lsn:020}.log"))
+}
+
+/// Best-effort directory fsync so renames/creates survive power loss;
+/// ignored where the platform refuses to open directories.
+pub(crate) fn sync_dir(dir: &Path) {
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+impl Wal {
+    /// Open a WAL in `dir`, starting a **fresh** segment whose first
+    /// record will carry `next_lsn`. Existing segments are left alone
+    /// (recovery replays them; [`Wal::prune_up_to`] removes them after a
+    /// checkpoint).
+    pub fn open(dir: &Path, policy: FsyncPolicy, next_lsn: Lsn) -> io::Result<Wal> {
+        Wal::open_with(dir, policy, next_lsn, Arc::new(FileFactory))
+    }
+
+    /// [`Wal::open`] with an injectable segment-file factory (tests).
+    pub fn open_with(
+        dir: &Path,
+        policy: FsyncPolicy,
+        next_lsn: Lsn,
+        factory: Arc<dyn IoFactory>,
+    ) -> io::Result<Wal> {
+        std::fs::create_dir_all(dir)?;
+        let mut seg = factory.create(&segment_path(dir, next_lsn))?;
+        seg.append(&SEG_MAGIC)?;
+        seg.sync()?;
+        sync_dir(dir);
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            factory,
+            policy,
+            seg,
+            seg_first_lsn: next_lsn,
+            next_lsn,
+            last_sync: Instant::now(),
+            unsynced: false,
+            buf: Vec::with_capacity(256),
+            appends: 0,
+            syncs: 0,
+        })
+    }
+
+    /// The LSN the next appended record will receive.
+    pub fn next_lsn(&self) -> Lsn {
+        self.next_lsn
+    }
+
+    /// Append one record; returns its LSN. Durable only after
+    /// [`Wal::commit`] (or per the fsync policy).
+    pub fn append(&mut self, rec: &WalRecord) -> io::Result<Lsn> {
+        let lsn = self.next_lsn;
+        self.buf.clear();
+        self.buf.put_u32_le(0); // length, backpatched
+        self.buf.put_u32_le(0); // crc, backpatched
+        self.buf.put_u64_le(lsn);
+        rec.encode_body(&mut self.buf);
+        let payload_len = (self.buf.len() - 8) as u32;
+        let crc = crc32(&self.buf[8..]);
+        self.buf[0..4].copy_from_slice(&payload_len.to_le_bytes());
+        self.buf[4..8].copy_from_slice(&crc.to_le_bytes());
+        self.seg.append(&self.buf)?;
+        self.next_lsn = lsn + 1;
+        self.appends += 1;
+        self.unsynced = true;
+        Ok(lsn)
+    }
+
+    /// Make appended records durable per the fsync policy. Called once
+    /// per write batch, before those writes are acked. Returns the
+    /// fsync duration when one was issued.
+    pub fn commit(&mut self) -> io::Result<Option<Duration>> {
+        if !self.unsynced {
+            return Ok(None);
+        }
+        let due = match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::IntervalMs(ms) => self.last_sync.elapsed() >= Duration::from_millis(ms),
+            FsyncPolicy::Never => false,
+        };
+        if !due {
+            return Ok(None);
+        }
+        let t = Instant::now();
+        self.seg.sync()?;
+        self.syncs += 1;
+        self.last_sync = Instant::now();
+        self.unsynced = false;
+        Ok(Some(t.elapsed()))
+    }
+
+    /// Force an fsync regardless of policy.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.seg.sync()?;
+        self.syncs += 1;
+        self.last_sync = Instant::now();
+        self.unsynced = false;
+        Ok(())
+    }
+
+    /// Close the current segment (fsynced) and start a new one at the
+    /// current `next_lsn`. Called by the checkpointer after the manifest
+    /// records a new checkpoint.
+    pub fn rotate(&mut self) -> io::Result<()> {
+        self.seg.sync()?;
+        self.syncs += 1;
+        crate::fail_point!("wal.mid-rotation");
+        let mut seg = self.factory.create(&segment_path(&self.dir, self.next_lsn))?;
+        seg.append(&SEG_MAGIC)?;
+        seg.sync()?;
+        sync_dir(&self.dir);
+        self.seg = seg;
+        self.seg_first_lsn = self.next_lsn;
+        self.unsynced = false;
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+
+    /// Delete segments whose every record is ≤ `lsn` (covered by a
+    /// checkpoint). The active segment is never deleted.
+    pub fn prune_up_to(&self, lsn: Lsn) -> io::Result<usize> {
+        let mut firsts = list_segments(&self.dir)?;
+        firsts.retain(|&f| f != self.seg_first_lsn);
+        firsts.sort_unstable();
+        let mut removed = 0;
+        for (i, &first) in firsts.iter().enumerate() {
+            // a segment's records span [first, next segment's first); the
+            // active segment bounds the last listed one
+            let next_first = firsts.get(i + 1).copied().unwrap_or(self.seg_first_lsn);
+            if next_first <= lsn + 1 && next_first > first {
+                std::fs::remove_file(segment_path(&self.dir, first))?;
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            sync_dir(&self.dir);
+        }
+        Ok(removed)
+    }
+}
+
+/// `wal-<lsn>.log` first-LSNs present in `dir`, unsorted.
+fn list_segments(dir: &Path) -> io::Result<Vec<Lsn>> {
+    let mut firsts = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let name = name.to_string_lossy();
+        if let Some(rest) = name.strip_prefix("wal-") {
+            if let Some(num) = rest.strip_suffix(".log") {
+                if let Ok(lsn) = num.parse() {
+                    firsts.push(lsn);
+                }
+            }
+        }
+    }
+    Ok(firsts)
+}
+
+/// What [`replay`] found.
+#[derive(Debug, Default)]
+pub struct ReplayReport {
+    /// Segments visited.
+    pub segments: usize,
+    /// Records decoded and returned.
+    pub records: usize,
+    /// True when replay stopped at a torn or corrupt record instead of
+    /// a clean end of log.
+    pub truncated: bool,
+    /// Bytes dropped after the truncation point (0 when clean).
+    pub dropped_bytes: usize,
+    /// Highest LSN replayed (`None` when the log held no records).
+    pub last_lsn: Option<Lsn>,
+}
+
+/// Replay every record with `lsn > after_lsn` from the segments in
+/// `dir`, in LSN order. Stops — without error — at the first torn or
+/// corrupt record; everything before it is returned, everything after
+/// it is reported as dropped. I/O errors (unreadable directory/file)
+/// are still real errors.
+pub fn replay(dir: &Path, after_lsn: Lsn) -> io::Result<(Vec<(Lsn, WalRecord)>, ReplayReport)> {
+    let mut report = ReplayReport::default();
+    let mut out = Vec::new();
+    if !dir.exists() {
+        return Ok((out, report));
+    }
+    let mut firsts = list_segments(dir)?;
+    firsts.sort_unstable();
+    let mut prev_lsn: Option<Lsn> = None;
+    'segments: for &first in &firsts {
+        let bytes = std::fs::read(segment_path(dir, first))?;
+        report.segments += 1;
+        if bytes.len() < SEG_MAGIC.len() || bytes[..SEG_MAGIC.len()] != SEG_MAGIC {
+            // torn segment creation (or not ours): stop here
+            report.truncated = true;
+            report.dropped_bytes += bytes.len();
+            break;
+        }
+        let mut off = SEG_MAGIC.len();
+        while off < bytes.len() {
+            let rest = &bytes[off..];
+            if rest.len() < 8 {
+                report.truncated = true; // torn header
+                report.dropped_bytes += rest.len();
+                break 'segments;
+            }
+            let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+            if len > MAX_RECORD || rest.len() < 8 + len {
+                report.truncated = true; // torn or garbage length
+                report.dropped_bytes += rest.len();
+                break 'segments;
+            }
+            let payload = &rest[8..8 + len];
+            if crc32(payload) != crc {
+                report.truncated = true; // torn payload or bit rot
+                report.dropped_bytes += rest.len();
+                break 'segments;
+            }
+            if payload.len() < 8 {
+                report.truncated = true;
+                report.dropped_bytes += rest.len();
+                break 'segments;
+            }
+            let lsn = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+            let Some(rec) = WalRecord::decode_body(&payload[8..]) else {
+                report.truncated = true; // valid CRC but undecodable body
+                report.dropped_bytes += rest.len();
+                break 'segments;
+            };
+            if prev_lsn.is_some_and(|p| lsn <= p) {
+                report.truncated = true; // LSN went backwards: corrupt
+                report.dropped_bytes += rest.len();
+                break 'segments;
+            }
+            prev_lsn = Some(lsn);
+            report.last_lsn = Some(lsn);
+            if lsn > after_lsn {
+                out.push((lsn, rec));
+                report.records += 1;
+            }
+            off += 8 + len;
+        }
+    }
+    Ok((out, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("geosir-wal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    fn insert(i: u64) -> WalRecord {
+        WalRecord::Insert {
+            key: 1000 + i,
+            id: i,
+            image: i as u32,
+            closed: true,
+            points: vec![(i as f64, 0.5), (0.25, -1.5 * i as f64), (2.0, 2.0)],
+        }
+    }
+
+    #[test]
+    fn append_replay_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let mut wal = Wal::open(&dir, FsyncPolicy::Always, 1).unwrap();
+        let mut lsns = Vec::new();
+        for i in 0..10 {
+            let rec =
+                if i % 3 == 2 { WalRecord::Delete { id: i } } else { insert(i) };
+            lsns.push((wal.append(&rec).unwrap(), rec));
+            wal.commit().unwrap();
+        }
+        assert_eq!(wal.appends, 10);
+        assert!(wal.syncs >= 10, "fsync=always must sync per commit");
+        drop(wal);
+        let (replayed, report) = replay(&dir, 0).unwrap();
+        assert!(!report.truncated);
+        assert_eq!(report.last_lsn, Some(10));
+        assert_eq!(replayed, lsns);
+        // replay after a checkpoint LSN skips the prefix
+        let (tail, _) = replay(&dir, 7).unwrap();
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail[0].0, 8);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_valid_lsn() {
+        let dir = tmpdir("torn");
+        let mut wal = Wal::open(&dir, FsyncPolicy::Never, 1).unwrap();
+        for i in 0..6 {
+            wal.append(&insert(i)).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let seg = segment_path(&dir, 1);
+        let bytes = std::fs::read(&seg).unwrap();
+        // cut the file mid-way through the last record
+        std::fs::write(&seg, &bytes[..bytes.len() - 10]).unwrap();
+        let (replayed, report) = replay(&dir, 0).unwrap();
+        assert!(report.truncated);
+        assert!(report.dropped_bytes > 0);
+        assert_eq!(replayed.len(), 5, "five intact records survive the torn sixth");
+        assert_eq!(report.last_lsn, Some(5));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flipped_byte_stops_replay_at_last_valid_record() {
+        let dir = tmpdir("flip");
+        let mut wal = Wal::open(&dir, FsyncPolicy::Never, 1).unwrap();
+        for i in 0..6 {
+            wal.append(&insert(i)).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let seg = segment_path(&dir, 1);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        // flip one byte inside record 4's payload (not its header)
+        let rec_len = {
+            let rest = &bytes[SEG_MAGIC.len()..];
+            8 + u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize
+        };
+        let off = SEG_MAGIC.len() + 3 * rec_len + 20;
+        bytes[off] ^= 0x40;
+        std::fs::write(&seg, &bytes).unwrap();
+        let (replayed, report) = replay(&dir, 0).unwrap();
+        assert!(report.truncated, "a CRC mismatch must stop replay");
+        assert_eq!(replayed.len(), 3, "records before the flipped byte survive");
+        assert_eq!(report.last_lsn, Some(3));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_and_pruning_preserve_the_tail() {
+        let dir = tmpdir("rotate");
+        let mut wal = Wal::open(&dir, FsyncPolicy::Always, 1).unwrap();
+        for i in 0..4 {
+            wal.append(&insert(i)).unwrap();
+        }
+        wal.commit().unwrap();
+        // checkpoint covered lsn ≤ 4: rotate, then prune
+        wal.rotate().unwrap();
+        for i in 4..7 {
+            wal.append(&insert(i)).unwrap();
+        }
+        wal.commit().unwrap();
+        assert_eq!(wal.prune_up_to(4).unwrap(), 1, "the covered segment goes");
+        let (tail, report) = replay(&dir, 4).unwrap();
+        assert!(!report.truncated);
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail.first().map(|(l, _)| *l), Some(5));
+        // pruning must never touch the active segment
+        assert_eq!(wal.prune_up_to(100).unwrap(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interval_policy_syncs_lazily() {
+        let dir = tmpdir("interval");
+        let mut wal = Wal::open(&dir, FsyncPolicy::IntervalMs(10_000), 1).unwrap();
+        let syncs0 = wal.syncs;
+        for i in 0..20 {
+            wal.append(&insert(i)).unwrap();
+            wal.commit().unwrap();
+        }
+        assert_eq!(wal.syncs, syncs0, "interval policy must not sync every commit");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_log_replays_to_nothing() {
+        let dir = tmpdir("empty");
+        let wal = Wal::open(&dir, FsyncPolicy::Always, 1).unwrap();
+        drop(wal);
+        let (recs, report) = replay(&dir, 0).unwrap();
+        assert!(recs.is_empty());
+        assert!(!report.truncated);
+        assert_eq!(report.last_lsn, None);
+        // a directory that never existed is an empty log, not an error
+        let (recs, _) = replay(&dir.join("nope"), 0).unwrap();
+        assert!(recs.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // IEEE CRC-32 of "123456789"
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+}

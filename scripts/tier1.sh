@@ -7,4 +7,17 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Durability hooks: crash-recovery harness (abort-at-failpoint children)
+# plus the full server suite with the fault hooks compiled in. Budget:
+# the crash tests must stay under 30 s wall — they are child-process
+# spawns, not sleeps — so a blowup here is a regression by itself.
+start=$(date +%s)
+cargo test -q -p geosir-serve --features failpoints
+elapsed=$(( $(date +%s) - start ))
+if [ "$elapsed" -gt 30 ]; then
+    echo "tier1: FAIL — failpoints suite took ${elapsed}s (budget 30s)" >&2
+    exit 1
+fi
+cargo clippy -p geosir-serve --features failpoints --all-targets -- -D warnings
+
 echo "tier1: OK"

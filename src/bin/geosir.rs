@@ -6,8 +6,10 @@
 //! cargo run --release --bin geosir
 //! ```
 //!
-//! `geosir serve [ADDR] [--shapes N] [--workers W] [--queue-cap Q]`
-//! instead boots the TCP retrieval server (see `DESIGN.md` §7).
+//! `geosir serve [ADDR] [--shapes N] [--workers W] [--queue-cap Q]
+//! [--data-dir DIR] [--fsync POLICY] [--checkpoint-every N]` instead
+//! boots the TCP retrieval server, durably when given a data directory
+//! (see `DESIGN.md` §7–§8).
 
 use std::io::{BufRead, Write};
 

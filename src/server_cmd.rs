@@ -2,13 +2,18 @@
 //!
 //! ```sh
 //! geosir serve [ADDR] [--shapes N] [--workers W] [--queue-cap Q]
+//!              [--data-dir DIR] [--fsync always|interval=<ms>|never]
+//!              [--checkpoint-every N]
 //! ```
 //!
 //! Binds `ADDR` (default `127.0.0.1:7401`; use port 0 for an ephemeral
 //! port, printed on startup), optionally bulk-loads a deterministic
 //! synthetic corpus of `N` shapes, and serves until a `Shutdown` frame
-//! arrives. See `DESIGN.md` §7 for the architecture and `README.md` for
-//! a loadgen walkthrough.
+//! arrives. With `--data-dir` the server runs durably: every write is
+//! WAL-logged before it is acked, the base is checkpointed in the
+//! background, and a restart over the same directory recovers every
+//! acknowledged write. See `DESIGN.md` §7–§8 and the `README.md`
+//! quickstart.
 
 use geosir_core::dynamic::DynamicBase;
 use geosir_core::ids::ImageId;
@@ -16,7 +21,8 @@ use geosir_core::matcher::MatchConfig;
 use geosir_geom::rangesearch::Backend;
 use geosir_geom::{Point, Polyline};
 use geosir_imaging::synth::random_simple_polygon;
-use geosir_serve::{serve, ServeConfig};
+use geosir_serve::{serve, serve_durable, BaseTemplate, DurabilityConfig, ServeConfig};
+use geosir_storage::wal::FsyncPolicy;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -27,12 +33,26 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let mut addr = "127.0.0.1:7401".to_string();
     let mut shapes = 0usize;
     let mut cfg = ServeConfig::default();
+    let mut data_dir: Option<String> = None;
+    let mut fsync = FsyncPolicy::Always;
+    let mut checkpoint_every = 1024u64;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--shapes" => shapes = int_flag("--shapes", it.next())?,
             "--workers" => cfg.workers = int_flag("--workers", it.next())?,
             "--queue-cap" => cfg.queue_cap = int_flag("--queue-cap", it.next())?,
+            "--data-dir" => {
+                data_dir =
+                    Some(it.next().ok_or("--data-dir needs a directory path")?.to_string());
+            }
+            "--fsync" => {
+                let v = it.next().ok_or("--fsync needs a policy")?;
+                fsync = FsyncPolicy::parse(v).map_err(|e| format!("bad --fsync `{v}`: {e}"))?;
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = int_flag("--checkpoint-every", it.next())? as u64;
+            }
             other if !other.starts_with('-') => addr = other.to_string(),
             other => {
                 return Err(format!("unknown flag {other} (usage in README.md quickstart)"));
@@ -43,16 +63,53 @@ pub fn run(args: &[String]) -> Result<(), String> {
     // Roomy insert buffer: buffered shapes carry indexes prepared at
     // insert time, so brute-forcing a large buffer is cheaper than the
     // small levels a tight cap would cascade into under live inserts.
-    let mut base =
-        DynamicBase::new(0.0, Backend::RangeTree, MatchConfig { beta: 0.2, ..Default::default() }, 512);
-    if shapes > 0 {
-        base.bulk_load(synthetic_corpus(shapes));
-        println!("loaded {shapes} synthetic shapes (epoch {})", base.epoch());
-    }
+    let template = BaseTemplate {
+        alpha: 0.0,
+        backend: Backend::RangeTree,
+        config: MatchConfig { beta: 0.2, ..Default::default() },
+        buffer_cap: 512,
+    };
 
-    let handle = serve(&addr, base, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
-    println!("geosir-serve listening on {} (send a Shutdown frame to stop)", handle.addr());
-    handle.join();
+    if let Some(dir) = data_dir {
+        if shapes > 0 {
+            return Err("--shapes cannot be combined with --data-dir: durable state \
+                        must arrive through the WAL (insert via a client instead)"
+                .to_string());
+        }
+        let mut dcfg = DurabilityConfig::new(&dir);
+        dcfg.fsync = fsync;
+        dcfg.checkpoint_every = checkpoint_every;
+        let (handle, report) =
+            serve_durable(&addr, &template, dcfg, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
+        println!(
+            "recovered {} checkpointed + {} replayed shapes in {} µs{} (last LSN {})",
+            report.checkpoint_shapes,
+            report.replayed,
+            report.recovery_us,
+            if report.truncated_tail {
+                format!(" [torn WAL tail: {} bytes dropped]", report.dropped_bytes)
+            } else {
+                String::new()
+            },
+            report.last_lsn,
+        );
+        println!(
+            "geosir-serve listening on {} (durable: {dir}, fsync={fsync:?}; \
+             send a Shutdown frame to stop)",
+            handle.addr()
+        );
+        handle.join();
+    } else {
+        let mut base =
+            DynamicBase::new(template.alpha, template.backend, template.config, template.buffer_cap);
+        if shapes > 0 {
+            base.bulk_load(synthetic_corpus(shapes));
+            println!("loaded {shapes} synthetic shapes (epoch {})", base.epoch());
+        }
+        let handle = serve(&addr, base, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
+        println!("geosir-serve listening on {} (send a Shutdown frame to stop)", handle.addr());
+        handle.join();
+    }
     println!("geosir-serve drained and stopped");
     Ok(())
 }
