@@ -13,9 +13,16 @@
 //! rebuild the base with one bulk load, replay the WAL tail with
 //! `lsn > manifest.last_lsn` idempotently, and open a fresh segment for
 //! new writes. A torn WAL tail truncates (the records past the tear were
-//! never acked under `fsync=always`); a corrupt checkpoint is a real
-//! error — the manifest only ever names fully-fsynced checkpoints, so
-//! damage there is bit rot, not a crash artifact.
+//! never acked under `fsync=always`) and is then **repaired on disk**
+//! ([`wal::repair`]) before the fresh segment opens — otherwise the next
+//! restart would stop at the same tear and skip the newer segment's
+//! acked records. A corrupt checkpoint, a tear anywhere but the final
+//! segment, or a replayed insert that no longer reconstructs a valid
+//! shape are real errors — the manifest only ever names fully-fsynced
+//! checkpoints and the writer only logs validated shapes, so damage
+//! there is bit rot or a logic bug, never a crash artifact, and
+//! starting up with silently missing acked data would break the
+//! durability contract.
 
 use std::collections::HashMap;
 use std::io;
@@ -153,6 +160,10 @@ pub(crate) fn recover(template: &BaseTemplate, cfg: &DurabilityConfig) -> io::Re
     };
 
     let (records, tail) = wal::replay(&cfg.data_dir, after_lsn)?;
+    // Truncate the tear on disk NOW, before the fresh segment opens:
+    // a later restart must walk this segment cleanly and continue into
+    // everything appended after it, or acked writes get skipped.
+    wal::repair(&cfg.data_dir, &tail)?;
     report.truncated_tail = tail.truncated;
     report.dropped_bytes = tail.dropped_bytes;
     let mut dedup = HashMap::new();
@@ -161,10 +172,22 @@ pub(crate) fn recover(template: &BaseTemplate, cfg: &DurabilityConfig) -> io::Re
         match rec {
             WalRecord::Insert { key, id, image, closed, points } => {
                 let pts: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
+                // The writer validated this shape before logging it and
+                // the record's CRC matched, so a construction failure is
+                // corruption or a logic bug — refuse to start rather
+                // than ack-then-vanish (a retry of `key` would be
+                // deduplicated to an id that exists nowhere).
                 let shape = if closed { Polyline::closed(pts) } else { Polyline::open(pts) };
-                if let Ok(shape) = shape {
-                    base.insert_with_id(GlobalShapeId(id), ImageId(image), shape);
-                }
+                let shape = shape.map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "WAL lsn {lsn}: acked insert (id {id}) does not reconstruct \
+                             a valid shape ({e}); refusing to recover with missing acked data"
+                        ),
+                    )
+                })?;
+                base.insert_with_id(GlobalShapeId(id), ImageId(image), shape);
                 if key != 0 {
                     dedup.insert(key, id);
                 }
@@ -270,6 +293,81 @@ mod tests {
         assert!(r.base.contains(GlobalShapeId(2)));
         assert!(!r.base.contains(GlobalShapeId(0)));
         assert_eq!(r.dedup.get(&77), Some(&2), "dedup map re-seeded from the WAL");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn insert_rec(i: u64) -> WalRecord {
+        WalRecord::Insert {
+            key: 0,
+            id: i,
+            image: i as u32,
+            closed: true,
+            points: tri(i).points().iter().map(|p| (p.x, p.y)).collect(),
+        }
+    }
+
+    /// The double-crash scenario from the WAL layer, end to end through
+    /// [`recover`]: recovery must repair the torn segment on disk so
+    /// writes acked *after* the first recovery survive a second one.
+    #[test]
+    fn recovery_repairs_torn_tail_so_later_acks_survive_the_next_restart() {
+        let dir = tmpdir("repair");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut wal = Wal::open(&dir, FsyncPolicy::Never, 1).unwrap();
+        for i in 0..4 {
+            wal.append(&insert_rec(i)).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        // crash: tear the tail mid record 4
+        let seg = dir.join(format!("wal-{:020}.log", 1));
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 7]).unwrap();
+
+        // restart 1: truncated to 3 records, tear repaired, 2 new acks
+        let cfg = DurabilityConfig::new(&dir);
+        let r = recover(&template(), &cfg).unwrap();
+        assert!(r.report.truncated_tail);
+        assert_eq!(r.base.len(), 3);
+        assert_eq!(r.applied_lsn, 3);
+        let mut wal = r.wal;
+        wal.append(&insert_rec(10)).unwrap();
+        wal.append(&insert_rec(11)).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+
+        // restart 2: the 3 pre-tear and 2 post-recovery acks all survive
+        let r = recover(&template(), &cfg).unwrap();
+        assert!(!r.report.truncated_tail, "repaired tear must not resurface");
+        assert_eq!(r.base.len(), 5, "acked writes lost across the second restart");
+        assert!(r.base.contains(GlobalShapeId(10)));
+        assert!(r.base.contains(GlobalShapeId(11)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A CRC-valid WAL insert whose geometry fails shape validation is
+    /// corruption (the writer only logs validated shapes): recovery must
+    /// refuse to start, not silently drop the acked record while seeding
+    /// its idempotency key.
+    #[test]
+    fn replayed_insert_with_invalid_shape_is_a_recovery_error() {
+        let dir = tmpdir("badshape");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut wal = Wal::open(&dir, FsyncPolicy::Always, 1).unwrap();
+        wal.append(&WalRecord::Insert {
+            key: 55,
+            id: 0,
+            image: 0,
+            closed: true,
+            points: vec![(0.0, 0.0), (1.0, 1.0)], // 2 points: no closed shape
+        })
+        .unwrap();
+        wal.commit().unwrap();
+        drop(wal);
+        let err = recover(&template(), &DurabilityConfig::new(&dir))
+            .err()
+            .expect("recovery must refuse an acked insert with an invalid shape");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

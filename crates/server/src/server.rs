@@ -625,12 +625,89 @@ impl WriterCtx {
 }
 
 /// One planned mutation (or its immediate refusal).
+#[derive(Debug)]
 enum Act {
     Reply(Frame),
     /// Duplicate idempotency key: re-ack the original id, no mutation.
-    DupInsert { id: u64 },
+    /// `same_batch` marks a duplicate of an Insert planned earlier in
+    /// the *current* batch — not yet logged or applied — whose ack must
+    /// be withdrawn together with the original's if the batch's WAL
+    /// append fails.
+    DupInsert { id: u64, same_batch: bool },
     Insert { key: u64, id: u64, image: u32, poly: Polyline },
     Delete { id: u64 },
+}
+
+/// Plan a batch of write frames: validate, dedup, and pre-assign ids
+/// without touching the base, so every mutation can hit the WAL before
+/// any state does. Idempotency keys are checked against the long-lived
+/// dedup map **and** the keys planned earlier in this same batch — a
+/// retried Insert landing in the same batch as its original becomes a
+/// `DupInsert` re-acking the original's pre-assigned id instead of
+/// double-inserting.
+fn plan_batch<'a>(
+    frames: impl Iterator<Item = &'a Frame>,
+    ctx: &mut WriterCtx,
+    read_only: bool,
+    metrics: &Metrics,
+) -> Vec<Act> {
+    let mut batch_keys: HashMap<u64, u64> = HashMap::new();
+    let mut acts = Vec::new();
+    for frame in frames {
+        let act = match frame {
+            Frame::Insert { image, key, shape } => {
+                Metrics::bump(&metrics.inserts);
+                if read_only {
+                    Act::Reply(read_only_reply())
+                } else if let Some(&id) = ctx.dedup.get(key).filter(|_| *key != 0) {
+                    Act::DupInsert { id, same_batch: false }
+                } else if let Some(&id) = batch_keys.get(key).filter(|_| *key != 0) {
+                    Act::DupInsert { id, same_batch: true }
+                } else {
+                    match shape.to_polyline() {
+                        Some(poly) => {
+                            let id = ctx.next_id;
+                            ctx.next_id += 1;
+                            if *key != 0 {
+                                batch_keys.insert(*key, id);
+                            }
+                            Act::Insert { key: *key, id, image: *image, poly }
+                        }
+                        None => Act::Reply(bad_shape()),
+                    }
+                }
+            }
+            Frame::Delete { id } => {
+                Metrics::bump(&metrics.deletes);
+                if read_only {
+                    Act::Reply(read_only_reply())
+                } else {
+                    Act::Delete { id: *id }
+                }
+            }
+            _ => Act::Reply(Frame::Error {
+                code: error_code::UNEXPECTED_FRAME,
+                message: "read frame on write queue".into(),
+            }),
+        };
+        acts.push(act);
+    }
+    acts
+}
+
+/// After a failed WAL append, withdraw every act that depended on this
+/// batch reaching the log: the mutations themselves, plus same-batch
+/// duplicates whose original insert was just refused. Cross-batch
+/// duplicates keep their re-ack — their original is already durable.
+fn refuse_unlogged(acts: &mut [Act]) {
+    for act in acts.iter_mut() {
+        if matches!(
+            act,
+            Act::Insert { .. } | Act::Delete { .. } | Act::DupInsert { same_batch: true, .. }
+        ) {
+            *act = Act::Reply(read_only_reply());
+        }
+    }
 }
 
 fn read_only_reply() -> Frame {
@@ -654,44 +731,9 @@ fn writer_loop(mut base: DynamicBase, mut ctx: WriterCtx, shared: &Arc<Shared>) 
             }
         }
 
-        // Plan: validate, dedup, and pre-assign ids without touching the
-        // base, so every mutation can hit the WAL before any state does.
         let read_only = shared.is_read_only();
-        let mut acts = Vec::with_capacity(batch.len());
-        for job in &batch {
-            let act = match &job.frame {
-                Frame::Insert { image, key, shape } => {
-                    Metrics::bump(&shared.metrics.inserts);
-                    if read_only {
-                        Act::Reply(read_only_reply())
-                    } else if let Some(&id) = ctx.dedup.get(key).filter(|_| *key != 0) {
-                        Act::DupInsert { id }
-                    } else {
-                        match shape.to_polyline() {
-                            Some(poly) => {
-                                let id = ctx.next_id;
-                                ctx.next_id += 1;
-                                Act::Insert { key: *key, id, image: *image, poly }
-                            }
-                            None => Act::Reply(bad_shape()),
-                        }
-                    }
-                }
-                Frame::Delete { id } => {
-                    Metrics::bump(&shared.metrics.deletes);
-                    if read_only {
-                        Act::Reply(read_only_reply())
-                    } else {
-                        Act::Delete { id: *id }
-                    }
-                }
-                _ => Act::Reply(Frame::Error {
-                    code: error_code::UNEXPECTED_FRAME,
-                    message: "read frame on write queue".into(),
-                }),
-            };
-            acts.push(act);
-        }
+        let mut acts =
+            plan_batch(batch.iter().map(|j| &j.frame), &mut ctx, read_only, &shared.metrics);
 
         // Log: append every mutation and commit (fsync per policy)
         // BEFORE applying or acking. A failure here flips the server
@@ -740,11 +782,7 @@ fn writer_loop(mut base: DynamicBase, mut ctx: WriterCtx, shared: &Arc<Shared>) 
                         // writes; queries keep serving the last snapshot
                         Metrics::bump(&shared.metrics.io_errors);
                         d.read_only.store(true, Ordering::SeqCst);
-                        for act in &mut acts {
-                            if matches!(act, Act::Insert { .. } | Act::Delete { .. }) {
-                                *act = Act::Reply(read_only_reply());
-                            }
-                        }
+                        refuse_unlogged(&mut acts);
                     }
                 }
                 // acked writes are on the log (fsynced per policy) past
@@ -759,7 +797,7 @@ fn writer_loop(mut base: DynamicBase, mut ctx: WriterCtx, shared: &Arc<Shared>) 
         for act in acts {
             let reply = match act {
                 Act::Reply(f) => f,
-                Act::DupInsert { id } => Frame::Inserted { epoch: base.epoch(), id },
+                Act::DupInsert { id, .. } => Frame::Inserted { epoch: base.epoch(), id },
                 Act::Insert { key, id, image, poly } => {
                     base.insert_with_id(GlobalShapeId(id), ImageId(image), poly);
                     ctx.remember(key, id);
@@ -948,6 +986,85 @@ mod tests {
         let len = ctx.dedup_order.len();
         ctx.remember(DEDUP_CAP as u64 + 10, 7);
         assert_eq!(ctx.dedup_order.len(), len);
+    }
+
+    fn fresh_ctx(next_id: u64) -> WriterCtx {
+        WriterCtx { next_id, dedup: HashMap::new(), dedup_order: VecDeque::new() }
+    }
+
+    fn keyed_insert(key: u64) -> Frame {
+        let poly = Polyline::closed(vec![
+            geosir_geom::Point::new(0.0, 0.0),
+            geosir_geom::Point::new(3.0, 0.2),
+            geosir_geom::Point::new(1.5, 2.0),
+        ])
+        .unwrap();
+        Frame::Insert { image: 1, key, shape: crate::wire::WireShape::from_polyline(&poly) }
+    }
+
+    /// A retried Insert landing in the same writer batch as its original
+    /// must dedup against the original's pre-assigned id — the long-lived
+    /// map is only updated at apply time, so the batch itself has to
+    /// remember what it planned.
+    #[test]
+    fn same_batch_duplicate_key_plans_as_dup_insert() {
+        let mut ctx = fresh_ctx(5);
+        let m = Metrics::default();
+        let frames = [keyed_insert(42), keyed_insert(42), keyed_insert(0), keyed_insert(0)];
+        let acts = plan_batch(frames.iter(), &mut ctx, false, &m);
+        assert!(matches!(acts[0], Act::Insert { id: 5, key: 42, .. }));
+        assert!(
+            matches!(acts[1], Act::DupInsert { id: 5, same_batch: true }),
+            "second occurrence must re-ack the first's pre-assigned id"
+        );
+        // key 0 means "no key": both are real inserts
+        assert!(matches!(acts[2], Act::Insert { id: 6, .. }));
+        assert!(matches!(acts[3], Act::Insert { id: 7, .. }));
+        assert_eq!(ctx.next_id, 8, "exactly three ids consumed");
+    }
+
+    #[test]
+    fn cross_batch_duplicate_still_wins_over_batch_scan() {
+        let mut ctx = fresh_ctx(10);
+        ctx.remember(42, 3); // key 42 already applied as id 3 in an earlier batch
+        let m = Metrics::default();
+        let acts = plan_batch([keyed_insert(42)].iter(), &mut ctx, false, &m);
+        assert!(matches!(acts[0], Act::DupInsert { id: 3, same_batch: false }));
+        assert_eq!(ctx.next_id, 10, "no id consumed for a known key");
+    }
+
+    /// When the batch's WAL append fails, same-batch duplicates must be
+    /// withdrawn with their original (it was never logged or applied),
+    /// while cross-batch duplicates keep re-acking their durable original.
+    #[test]
+    fn refuse_unlogged_withdraws_same_batch_dups_only() {
+        let mut acts = vec![
+            Act::DupInsert { id: 3, same_batch: false },
+            Act::Insert {
+                key: 42,
+                id: 5,
+                image: 1,
+                poly: Polyline::closed(vec![
+                    geosir_geom::Point::new(0.0, 0.0),
+                    geosir_geom::Point::new(3.0, 0.2),
+                    geosir_geom::Point::new(1.5, 2.0),
+                ])
+                .unwrap(),
+            },
+            Act::DupInsert { id: 5, same_batch: true },
+            Act::Delete { id: 1 },
+        ];
+        refuse_unlogged(&mut acts);
+        assert!(
+            matches!(acts[0], Act::DupInsert { id: 3, same_batch: false }),
+            "a dup of an already-durable insert keeps its ack"
+        );
+        for (i, act) in acts.iter().enumerate().skip(1) {
+            match act {
+                Act::Reply(Frame::Error { code, .. }) => assert_eq!(*code, error_code::READ_ONLY),
+                other => panic!("act {i} must be withdrawn, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -22,12 +22,17 @@
 //! ```
 //!
 //! A crash mid-write leaves a torn tail: a half-written length prefix,
-//! a payload shorter than `len`, or a CRC mismatch. [`replay`] treats
-//! the first such record as the end of the log — it *truncates* there
-//! (reporting how much was dropped) instead of failing, because a torn
-//! tail is the expected shape of a crash, not corruption to refuse.
-//! A bad record *before* the tail (bit rot, a flipped byte) also stops
-//! replay at the last valid LSN: everything after it is suspect.
+//! a payload shorter than `len`, or a CRC mismatch. [`replay`] tolerates
+//! such a record only in the **final** (highest-LSN) segment, where it
+//! treats it as the end of the log — it *truncates* there (reporting how
+//! much was dropped) instead of failing, because a torn tail is the
+//! expected shape of a crash, not corruption to refuse. Recovery must
+//! then call [`repair`] to truncate the torn segment on disk before
+//! opening a fresh one; otherwise a later restart would hit the same
+//! tear, end replay early, and skip every segment appended since — and
+//! acked writes would be lost. A bad record in a *non-final* segment
+//! (bit rot, a flipped byte) is a hard error: the newer segments hold
+//! acked records that cannot be replayed safely on top of a hole.
 //!
 //! LSNs are assigned monotonically by [`Wal::append`] and must be
 //! strictly increasing within the replayed stream; a violation is
@@ -228,6 +233,34 @@ pub(crate) fn sync_dir(dir: &Path) {
     }
 }
 
+/// Create the segment file for `first_lsn` and write its header.
+/// Refuses to overwrite an existing segment holding more than a bare
+/// header: the appender only ever opens strictly above the recovered
+/// LSN range, so a non-empty file at this path means records that would
+/// be silently destroyed — a bug upstream, never something to paper
+/// over. (A header-only leftover from a crash between segment creation
+/// and the first append is recreated harmlessly.)
+fn create_segment(factory: &dyn IoFactory, dir: &Path, first_lsn: Lsn) -> io::Result<Box<dyn Io>> {
+    let path = segment_path(dir, first_lsn);
+    if let Ok(meta) = std::fs::metadata(&path) {
+        if meta.len() > SEG_MAGIC.len() as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!(
+                    "refusing to overwrite WAL segment {} ({} bytes of records)",
+                    path.display(),
+                    meta.len()
+                ),
+            ));
+        }
+    }
+    let mut seg = factory.create(&path)?;
+    seg.append(&SEG_MAGIC)?;
+    seg.sync()?;
+    sync_dir(dir);
+    Ok(seg)
+}
+
 impl Wal {
     /// Open a WAL in `dir`, starting a **fresh** segment whose first
     /// record will carry `next_lsn`. Existing segments are left alone
@@ -245,10 +278,7 @@ impl Wal {
         factory: Arc<dyn IoFactory>,
     ) -> io::Result<Wal> {
         std::fs::create_dir_all(dir)?;
-        let mut seg = factory.create(&segment_path(dir, next_lsn))?;
-        seg.append(&SEG_MAGIC)?;
-        seg.sync()?;
-        sync_dir(dir);
+        let seg = create_segment(factory.as_ref(), dir, next_lsn)?;
         Ok(Wal {
             dir: dir.to_path_buf(),
             factory,
@@ -328,10 +358,7 @@ impl Wal {
         self.seg.sync()?;
         self.syncs += 1;
         crate::fail_point!("wal.mid-rotation");
-        let mut seg = self.factory.create(&segment_path(&self.dir, self.next_lsn))?;
-        seg.append(&SEG_MAGIC)?;
-        seg.sync()?;
-        sync_dir(&self.dir);
+        let seg = create_segment(self.factory.as_ref(), &self.dir, self.next_lsn)?;
         self.seg = seg;
         self.seg_first_lsn = self.next_lsn;
         self.unsynced = false;
@@ -379,6 +406,18 @@ fn list_segments(dir: &Path) -> io::Result<Vec<Lsn>> {
     Ok(firsts)
 }
 
+/// Where [`replay`] hit a torn/corrupt record: the segment (named by
+/// its first LSN) and the byte length of its valid prefix. [`repair`]
+/// consumes this to truncate the tear on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornSegment {
+    /// First LSN of the segment holding the tear (names the file).
+    pub first_lsn: Lsn,
+    /// Bytes of valid prefix (header + intact records). Below the
+    /// header length the whole file is garbage.
+    pub valid_len: u64,
+}
+
 /// What [`replay`] found.
 #[derive(Debug, Default)]
 pub struct ReplayReport {
@@ -391,15 +430,68 @@ pub struct ReplayReport {
     pub truncated: bool,
     /// Bytes dropped after the truncation point (0 when clean).
     pub dropped_bytes: usize,
+    /// The torn final segment, when `truncated`; pass to [`repair`].
+    pub torn: Option<TornSegment>,
     /// Highest LSN replayed (`None` when the log held no records).
     pub last_lsn: Option<Lsn>,
 }
 
+/// Scan one segment's records, pushing those with `lsn > after_lsn`
+/// onto `out`. Returns `Some(valid_prefix_len)` when the segment ends
+/// in a torn or corrupt record (0 when even the header is bad), `None`
+/// when it ends cleanly.
+fn scan_segment(
+    bytes: &[u8],
+    after_lsn: Lsn,
+    prev_lsn: &mut Option<Lsn>,
+    out: &mut Vec<(Lsn, WalRecord)>,
+    report: &mut ReplayReport,
+) -> Option<usize> {
+    if bytes.len() < SEG_MAGIC.len() || bytes[..SEG_MAGIC.len()] != SEG_MAGIC {
+        return Some(0); // torn segment creation (or not ours)
+    }
+    let mut off = SEG_MAGIC.len();
+    while off < bytes.len() {
+        let rest = &bytes[off..];
+        if rest.len() < 8 {
+            return Some(off); // torn header
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+        if len > MAX_RECORD || rest.len() < 8 + len {
+            return Some(off); // torn or garbage length
+        }
+        let payload = &rest[8..8 + len];
+        if crc32(payload) != crc || payload.len() < 8 {
+            return Some(off); // torn payload or bit rot
+        }
+        let lsn = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+        let Some(rec) = WalRecord::decode_body(&payload[8..]) else {
+            return Some(off); // valid CRC but undecodable body
+        };
+        if prev_lsn.is_some_and(|p| lsn <= p) {
+            return Some(off); // LSN went backwards: corrupt
+        }
+        *prev_lsn = Some(lsn);
+        report.last_lsn = Some(lsn);
+        if lsn > after_lsn {
+            out.push((lsn, rec));
+            report.records += 1;
+        }
+        off += 8 + len;
+    }
+    None
+}
+
 /// Replay every record with `lsn > after_lsn` from the segments in
-/// `dir`, in LSN order. Stops — without error — at the first torn or
-/// corrupt record; everything before it is returned, everything after
-/// it is reported as dropped. I/O errors (unreadable directory/file)
-/// are still real errors.
+/// `dir`, in LSN order. A torn or corrupt record in the **final**
+/// segment stops replay without error — everything before it is
+/// returned, everything after it is reported as dropped, and the tear's
+/// location is reported for [`repair`]. A torn/corrupt record in a
+/// *non-final* segment is an `InvalidData` error: the newer segments
+/// hold acked records that cannot be applied on top of a hole, and
+/// silently skipping either side loses data. I/O errors (unreadable
+/// directory/file) are still real errors.
 pub fn replay(dir: &Path, after_lsn: Lsn) -> io::Result<(Vec<(Lsn, WalRecord)>, ReplayReport)> {
     let mut report = ReplayReport::default();
     let mut out = Vec::new();
@@ -409,62 +501,51 @@ pub fn replay(dir: &Path, after_lsn: Lsn) -> io::Result<(Vec<(Lsn, WalRecord)>, 
     let mut firsts = list_segments(dir)?;
     firsts.sort_unstable();
     let mut prev_lsn: Option<Lsn> = None;
-    'segments: for &first in &firsts {
+    for (si, &first) in firsts.iter().enumerate() {
         let bytes = std::fs::read(segment_path(dir, first))?;
         report.segments += 1;
-        if bytes.len() < SEG_MAGIC.len() || bytes[..SEG_MAGIC.len()] != SEG_MAGIC {
-            // torn segment creation (or not ours): stop here
+        if let Some(valid_len) = scan_segment(&bytes, after_lsn, &mut prev_lsn, &mut out, &mut report)
+        {
+            let newer = firsts.len() - si - 1;
+            if newer > 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "WAL segment {} is corrupt at byte {valid_len} but {newer} newer \
+                         segment(s) follow; refusing to recover past mid-log corruption",
+                        segment_path(dir, first).display()
+                    ),
+                ));
+            }
             report.truncated = true;
-            report.dropped_bytes += bytes.len();
-            break;
-        }
-        let mut off = SEG_MAGIC.len();
-        while off < bytes.len() {
-            let rest = &bytes[off..];
-            if rest.len() < 8 {
-                report.truncated = true; // torn header
-                report.dropped_bytes += rest.len();
-                break 'segments;
-            }
-            let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
-            let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
-            if len > MAX_RECORD || rest.len() < 8 + len {
-                report.truncated = true; // torn or garbage length
-                report.dropped_bytes += rest.len();
-                break 'segments;
-            }
-            let payload = &rest[8..8 + len];
-            if crc32(payload) != crc {
-                report.truncated = true; // torn payload or bit rot
-                report.dropped_bytes += rest.len();
-                break 'segments;
-            }
-            if payload.len() < 8 {
-                report.truncated = true;
-                report.dropped_bytes += rest.len();
-                break 'segments;
-            }
-            let lsn = u64::from_le_bytes(payload[0..8].try_into().unwrap());
-            let Some(rec) = WalRecord::decode_body(&payload[8..]) else {
-                report.truncated = true; // valid CRC but undecodable body
-                report.dropped_bytes += rest.len();
-                break 'segments;
-            };
-            if prev_lsn.is_some_and(|p| lsn <= p) {
-                report.truncated = true; // LSN went backwards: corrupt
-                report.dropped_bytes += rest.len();
-                break 'segments;
-            }
-            prev_lsn = Some(lsn);
-            report.last_lsn = Some(lsn);
-            if lsn > after_lsn {
-                out.push((lsn, rec));
-                report.records += 1;
-            }
-            off += 8 + len;
+            report.dropped_bytes = bytes.len() - valid_len;
+            report.torn = Some(TornSegment { first_lsn: first, valid_len: valid_len as u64 });
         }
     }
     Ok((out, report))
+}
+
+/// Physically repair the tear [`replay`] reported: truncate the torn
+/// segment to its valid prefix (or remove it entirely when not even the
+/// header survived), fsyncing the file and directory. Recovery calls
+/// this before opening a fresh segment so the *next* replay walks the
+/// repaired segment cleanly and continues into everything appended
+/// after it — without the repair, the old tear would keep ending replay
+/// early, newer segments full of acked records would be skipped, and
+/// reopening at the stale LSN would truncate them. Returns true when a
+/// repair was performed.
+pub fn repair(dir: &Path, report: &ReplayReport) -> io::Result<bool> {
+    let Some(torn) = report.torn else { return Ok(false) };
+    let path = segment_path(dir, torn.first_lsn);
+    if torn.valid_len < SEG_MAGIC.len() as u64 {
+        std::fs::remove_file(&path)?;
+    } else {
+        let f = std::fs::OpenOptions::new().write(true).open(&path)?;
+        f.set_len(torn.valid_len)?;
+        f.sync_all()?;
+    }
+    sync_dir(dir);
+    Ok(true)
 }
 
 #[cfg(test)]
@@ -582,6 +663,108 @@ mod tests {
         assert_eq!(tail.first().map(|(l, _)| *l), Some(5));
         // pruning must never touch the active segment
         assert_eq!(wal.prune_up_to(100).unwrap(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The double-crash scenario: a torn tail, a recovery that appends
+    /// new acked records, and a second recovery. Without [`repair`],
+    /// the second replay hits the old tear first, ends early, and the
+    /// reopen truncates the newer segment — losing acked writes.
+    #[test]
+    fn repair_then_reopen_survives_a_second_restart() {
+        let dir = tmpdir("tworestarts");
+        let mut wal = Wal::open(&dir, FsyncPolicy::Never, 1).unwrap();
+        for i in 0..6 {
+            wal.append(&insert(i)).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let seg = segment_path(&dir, 1);
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 10]).unwrap(); // crash: torn record 6
+
+        // restart 1: replay truncates to lsn 5, the tear is repaired on
+        // disk, and new acked records land in a fresh segment at lsn 6
+        let (replayed, report) = replay(&dir, 0).unwrap();
+        assert_eq!(replayed.len(), 5);
+        assert_eq!(report.torn.map(|t| t.first_lsn), Some(1));
+        assert!(repair(&dir, &report).unwrap());
+        let mut wal = Wal::open(&dir, FsyncPolicy::Never, report.last_lsn.unwrap() + 1).unwrap();
+        for i in 10..13 {
+            wal.append(&insert(i)).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+
+        // restart 2: all five pre-tear records AND all three post-repair
+        // records come back; the repaired tear does not resurface
+        let (replayed, report) = replay(&dir, 0).unwrap();
+        assert!(!report.truncated, "repaired tear must not resurface");
+        assert_eq!(replayed.len(), 8, "acked records lost across the second restart");
+        assert_eq!(report.last_lsn, Some(8));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repair_removes_a_segment_with_a_torn_header() {
+        let dir = tmpdir("tornmagic");
+        let wal = Wal::open(&dir, FsyncPolicy::Never, 1).unwrap();
+        drop(wal);
+        let seg = segment_path(&dir, 1);
+        std::fs::write(&seg, b"GSW").unwrap(); // crash mid segment creation
+        let (replayed, report) = replay(&dir, 0).unwrap();
+        assert!(replayed.is_empty());
+        assert_eq!(report.torn.map(|t| t.valid_len), Some(0));
+        assert!(repair(&dir, &report).unwrap());
+        assert!(!seg.exists(), "a header-less segment is removed outright");
+        let (_, report) = replay(&dir, 0).unwrap();
+        assert!(!report.truncated);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Corruption with newer segments behind it cannot be truncated
+    /// away — those segments hold acked records that must not be
+    /// applied on top of a hole. Replay refuses loudly.
+    #[test]
+    fn mid_log_corruption_is_an_error_not_silent_truncation() {
+        let dir = tmpdir("midlog");
+        let mut wal = Wal::open(&dir, FsyncPolicy::Always, 1).unwrap();
+        for i in 0..4 {
+            wal.append(&insert(i)).unwrap();
+        }
+        wal.commit().unwrap();
+        wal.rotate().unwrap();
+        for i in 4..6 {
+            wal.append(&insert(i)).unwrap();
+        }
+        wal.commit().unwrap();
+        drop(wal);
+        // flip a byte in the FIRST (non-final) segment
+        let seg = segment_path(&dir, 1);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let off = bytes.len() - 4;
+        bytes[off] ^= 0x01;
+        std::fs::write(&seg, &bytes).unwrap();
+        let err = replay(&dir, 0).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_refuses_to_clobber_a_segment_with_records() {
+        let dir = tmpdir("clobber");
+        let mut wal = Wal::open(&dir, FsyncPolicy::Always, 1).unwrap();
+        wal.append(&insert(0)).unwrap();
+        wal.commit().unwrap();
+        drop(wal);
+        let err = Wal::open(&dir, FsyncPolicy::Always, 1)
+            .err()
+            .expect("open must refuse to clobber a segment with records");
+        assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+        // ...but a header-only leftover (crash between segment creation
+        // and the first append) is recreated harmlessly
+        drop(Wal::open(&dir, FsyncPolicy::Always, 2).unwrap());
+        drop(Wal::open(&dir, FsyncPolicy::Always, 2).unwrap());
         std::fs::remove_dir_all(&dir).ok();
     }
 
