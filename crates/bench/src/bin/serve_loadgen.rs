@@ -30,8 +30,16 @@
 //! cargo run --release -p geosir-bench --bin serve_loadgen -- \
 //!     --fsync interval=25
 //! ```
+//!
+//! Either way the run finishes by pulling the server's full metrics
+//! registry over the wire (`MetricsDump`) and writing `BENCH_4.json`:
+//! matcher work counters (rings, candidates, `h_avg` evaluations),
+//! per-stage latency histograms, scratch-pool hit rates, WAL costs, and
+//! queue depth — the server-internal baseline later perf PRs diff
+//! against.
 
 use geosir_bench::{percentile_us, scaling_corpus};
+use geosir_serve::obs::Snapshot;
 use geosir_core::dynamic::DynamicBase;
 use geosir_core::ids::ImageId;
 use geosir_core::matcher::MatchConfig;
@@ -121,6 +129,7 @@ struct Summary {
     elapsed: f64,
     load_secs: f64,
     stats: ServerStats,
+    snap: Snapshot,
 }
 
 /// Drive the measurement window against an already-running server and
@@ -199,9 +208,11 @@ fn drive(
         merged.busy_rejects += r.busy_rejects;
     }
 
-    // server-side view: snapshot publication cost + final epoch
+    // server-side view: the stats frame plus the full metrics registry
+    // (per-stage histograms, matcher counters, WAL latencies)
     let mut probe = Client::connect(addr).expect("stats connect");
     let stats = probe.stats().expect("stats");
+    let snap = probe.metrics().expect("metrics dump");
     probe.shutdown().expect("shutdown");
 
     let qps = merged.requests as f64 / elapsed;
@@ -223,6 +234,7 @@ fn drive(
         elapsed,
         load_secs,
         stats,
+        snap,
     }
 }
 
@@ -363,6 +375,88 @@ fn summary_json(s: &Summary, indent: &str) -> String {
     )
 }
 
+/// Extract the server-internal perf baseline from the registry
+/// snapshot: matcher work counters, per-stage latency histograms,
+/// scratch-pool hit rate, WAL costs, and queue depth — the series later
+/// perf PRs diff against.
+/// (json key, series name, labels) for a labeled series projection.
+type SeriesSpec = (&'static str, &'static str, &'static [(&'static str, &'static str)]);
+
+fn registry_json(snap: &Snapshot, indent: &str) -> String {
+    const COUNTERS: &[&str] = &[
+        "geosir_matcher_runs_total",
+        "geosir_matcher_rings_total",
+        "geosir_matcher_candidates_reported_total",
+        "geosir_matcher_havg_evals_total",
+        "geosir_matcher_counter_promotions_total",
+        "geosir_matcher_vertices_processed_total",
+        "geosir_matcher_exhausted_total",
+        "geosir_dynamic_queries_total",
+        "geosir_dynamic_scratch_pool_hits_total",
+        "geosir_dynamic_scratch_pool_misses_total",
+        "geosir_snapshot_publishes_total",
+        "geosir_wal_appends_total",
+        "geosir_wal_syncs_total",
+        "geosir_checkpoints_total",
+    ];
+    const HISTOGRAMS: &[SeriesSpec] = &[
+        ("request_latency_query_us", "geosir_request_latency_us", &[("type", "query")]),
+        ("request_latency_write_us", "geosir_request_latency_us", &[("type", "write")]),
+        ("stage_retrieve_us", "geosir_stage_duration_us", &[("stage", "retrieve")]),
+        ("stage_wal_us", "geosir_stage_duration_us", &[("stage", "wal")]),
+        ("stage_publish_us", "geosir_stage_duration_us", &[("stage", "publish")]),
+        ("snapshot_publish_us", "geosir_snapshot_publish_us", &[]),
+        ("wal_append_us", "geosir_wal_append_us", &[]),
+        ("wal_fsync_us", "geosir_wal_fsync_us", &[]),
+        ("fsync_wait_us", "geosir_fsync_wait_us", &[]),
+        ("matcher_rings_per_query", "geosir_matcher_rings_per_query", &[]),
+        ("matcher_candidates_per_query", "geosir_matcher_candidates_per_query", &[]),
+    ];
+    const GAUGES: &[SeriesSpec] = &[
+        ("queue_depth_read", "geosir_queue_depth", &[("queue", "read")]),
+        ("queue_depth_write", "geosir_queue_depth", &[("queue", "write")]),
+        ("snapshot_age_us", "geosir_snapshot_age_us", &[]),
+        ("snapshot_epoch", "geosir_snapshot_epoch", &[]),
+        ("live_shapes", "geosir_live_shapes", &[]),
+    ];
+    let mut lines = Vec::new();
+    for name in COUNTERS {
+        lines.push(format!("{indent}\"{name}\": {}", snap.counter(name, &[])));
+    }
+    for (key, name, labels) in GAUGES {
+        lines.push(format!("{indent}\"{key}\": {}", snap.gauge(name, labels)));
+    }
+    for (key, name, labels) in HISTOGRAMS {
+        let (count, p50, p99) = match snap.histogram(name, labels) {
+            Some(h) => (h.count(), h.quantile(0.5), h.quantile(0.99)),
+            None => (0, 0, 0),
+        };
+        lines.push(format!(
+            "{indent}\"{key}\": {{ \"count\": {count}, \"p50\": {p50}, \"p99\": {p99} }}"
+        ));
+    }
+    lines.join(",\n")
+}
+
+/// `BENCH_4.json`: the first server-internal perf baseline — client-side
+/// throughput alongside the registry extract from the same run.
+fn write_bench4(label: &str, args: &Args, cores: usize, s: &Summary) {
+    let json = format!(
+        "{{\n  \"bench\": \"serve_loadgen_obs\",\n  \"mode\": \"{label}\",\n  \
+         \"corpus\": \"scaling_polylog\",\n  \"n_shapes\": {},\n  \"cores\": {cores},\n  \
+         \"connections\": {},\n  \"insert_permille\": {},\n  \"measure_secs\": {:.2},\n  \
+         \"client\": {{\n{}\n  }},\n  \"server_registry\": {{\n{}\n  }}\n}}\n",
+        args.n_shapes,
+        args.connections,
+        args.insert_permille,
+        s.elapsed,
+        summary_json(s, "    "),
+        registry_json(&s.snap, "    "),
+    );
+    std::fs::write("BENCH_4.json", &json).expect("write BENCH_4.json");
+    println!("wrote BENCH_4.json ({label} registry baseline)");
+}
+
 fn main() {
     let args = parse_args();
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -391,6 +485,7 @@ fn main() {
         );
         std::fs::write("BENCH_2.json", &json).expect("write BENCH_2.json");
         println!("wrote BENCH_2.json");
+        write_bench4("in_memory", &args, cores, &s);
         return;
     };
 
@@ -438,4 +533,5 @@ fn main() {
     );
     std::fs::write("BENCH_3.json", &json).expect("write BENCH_3.json");
     println!("wrote BENCH_3.json");
+    write_bench4("durable", &args, cores, &durable);
 }

@@ -27,6 +27,7 @@ use std::sync::Arc;
 
 use geosir_geom::rangesearch::Backend;
 use geosir_geom::Polyline;
+use geosir_obs as obs;
 
 use crate::ids::{ImageId, ShapeId};
 use crate::matcher::{Match, MatchConfig, MatchOutcome, Matcher, MatcherPlan};
@@ -95,6 +96,58 @@ pub struct DynMatch {
     pub shape: GlobalShapeId,
     pub image: ImageId,
     pub score: f64,
+}
+
+/// Per-query totals aggregated across every level (the per-level
+/// [`crate::matcher::MatchStats`] in the shared outcome is overwritten
+/// level by level). The server worker feeds these into the per-query
+/// trace it publishes at `/debug/last_queries`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RetrieveStats {
+    /// Levels queried.
+    pub levels: u64,
+    /// Envelope iterations summed over levels.
+    pub rings: u64,
+    /// Vertices the range-search index reported (pre-filter).
+    pub vertices_reported: u64,
+    /// Ring vertices processed after exact-distance filtering.
+    pub vertices_processed: u64,
+    /// `h_avg` evaluations (credit + counter promotions).
+    pub candidates_scored: u64,
+    /// Triangles submitted to the range-search index.
+    pub triangles_queried: u64,
+    /// Buffered shapes scored brute force.
+    pub buffer_scored: u64,
+    /// Largest termination ε across levels, as a fraction of that
+    /// level's cap (0 when no level was queried).
+    pub max_eps_fraction: f64,
+    /// Levels that hit the ε-cap without certifying their answer.
+    pub exhausted_levels: u64,
+}
+
+/// Registry handles for the per-query dynamic-retrieval distributions;
+/// cached per thread, recorded once per query.
+#[derive(Clone)]
+struct DynMetrics {
+    queries: Arc<obs::Counter>,
+    rings_per_query: Arc<obs::Histogram>,
+    candidates_per_query: Arc<obs::Histogram>,
+    buffer_scored: Arc<obs::Counter>,
+    pool_hits: Arc<obs::Counter>,
+    pool_misses: Arc<obs::Counter>,
+}
+
+impl DynMetrics {
+    fn build(reg: &obs::Registry) -> DynMetrics {
+        DynMetrics {
+            queries: reg.counter("geosir_dynamic_queries_total", &[]),
+            rings_per_query: reg.histogram("geosir_matcher_rings_per_query", &[]),
+            candidates_per_query: reg.histogram("geosir_matcher_candidates_per_query", &[]),
+            buffer_scored: reg.counter("geosir_dynamic_buffer_scored_total", &[]),
+            pool_hits: reg.counter("geosir_dynamic_scratch_pool_hits_total", &[]),
+            pool_misses: reg.counter("geosir_dynamic_scratch_pool_misses_total", &[]),
+        }
+    }
 }
 
 impl DynamicBase {
@@ -318,8 +371,15 @@ impl DynamicBase {
     /// an internal bounded pool, so a query loop pays dense-array setup
     /// once, not per query (and never once per level per query).
     pub fn retrieve(&self, query: &Polyline) -> Vec<DynMatch> {
-        let (mut scratch, mut tmp) =
-            self.scratch_pool.lock().unwrap().pop().unwrap_or_default();
+        let pooled = self.scratch_pool.lock().unwrap().pop();
+        obs::with_metrics(DynMetrics::build, |m| {
+            if pooled.is_some() {
+                m.pool_hits.inc();
+            } else {
+                m.pool_misses.inc();
+            }
+        });
+        let (mut scratch, mut tmp) = pooled.unwrap_or_default();
         let mut all = Vec::new();
         self.retrieve_with(&mut scratch, &mut tmp, query, &mut all);
         let mut pool = self.scratch_pool.lock().unwrap();
@@ -352,6 +412,7 @@ impl DynamicBase {
             tmp,
             query,
             out,
+            &mut RetrieveStats::default(),
         );
     }
 
@@ -485,6 +546,21 @@ impl Snapshot {
         k: usize,
         out: &mut Vec<DynMatch>,
     ) {
+        self.retrieve_with_stats(scratch, tmp, query, k, out, &mut RetrieveStats::default());
+    }
+
+    /// [`Self::retrieve_with`] that also reports the query's aggregated
+    /// matcher work in `stats` — what the server attaches to the query's
+    /// trace. Same hot path, no extra allocation.
+    pub fn retrieve_with_stats(
+        &self,
+        scratch: &mut MatcherScratch,
+        tmp: &mut MatchOutcome,
+        query: &Polyline,
+        k: usize,
+        out: &mut Vec<DynMatch>,
+        stats: &mut RetrieveStats,
+    ) {
         let k = if k == 0 { self.config.k } else { k };
         retrieve_levels_into(
             self.levels.iter().map(Arc::as_ref),
@@ -496,6 +572,7 @@ impl Snapshot {
             tmp,
             query,
             out,
+            stats,
         );
     }
 }
@@ -515,13 +592,28 @@ fn retrieve_levels_into<'l>(
     tmp: &mut MatchOutcome,
     query: &Polyline,
     out: &mut Vec<DynMatch>,
+    stats: &mut RetrieveStats,
 ) {
     out.clear();
+    *stats = RetrieveStats::default();
     for level in levels {
         let mut level_config = config.clone();
         level_config.k = k;
         let matcher = Matcher::with_plan(&level.base, level_config, level.plan.clone());
         matcher.retrieve_with(scratch, query, tmp);
+        stats.levels += 1;
+        stats.rings += tmp.stats.iterations as u64;
+        stats.vertices_reported += tmp.stats.vertices_reported as u64;
+        stats.vertices_processed += tmp.stats.vertices_processed as u64;
+        stats.candidates_scored += tmp.stats.candidates_scored as u64;
+        stats.triangles_queried += tmp.stats.triangles_queried as u64;
+        if tmp.stats.exhausted {
+            stats.exhausted_levels += 1;
+        }
+        if tmp.stats.eps_cap > 0.0 {
+            stats.max_eps_fraction =
+                stats.max_eps_fraction.max(tmp.stats.final_eps / tmp.stats.eps_cap);
+        }
         for &Match { shape, score, .. } in &tmp.matches {
             let gid = level.ids[shape.index()];
             if !deleted.contains(&gid) {
@@ -545,6 +637,7 @@ fn retrieve_levels_into<'l>(
                     .iter()
                     .map(|c| crate::similarity::score_prepared(config.score, c, &prepared))
                     .fold(f64::INFINITY, f64::min);
+                stats.buffer_scored += 1;
                 if best.is_finite() {
                     out.push(DynMatch { shape: b.id, image: b.image, score: best });
                 }
@@ -555,6 +648,12 @@ fn retrieve_levels_into<'l>(
         a.score.partial_cmp(&b.score).unwrap().then(a.shape.cmp(&b.shape))
     });
     out.truncate(k);
+    obs::with_metrics(DynMetrics::build, |m| {
+        m.queries.inc();
+        m.rings_per_query.record(stats.rings);
+        m.candidates_per_query.record(stats.vertices_reported);
+        m.buffer_scored.add(stats.buffer_scored);
+    });
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@
 
 use geosir_geom::envelope::{envelope_cover_into, ring_cover_into};
 use geosir_geom::{Polyline, Similarity};
+use geosir_obs as obs;
 
 use crate::ids::{CopyId, ImageId, ShapeId};
 use crate::normalize::LUNE_AREA;
@@ -76,6 +77,43 @@ impl Default for MatchConfig {
             log_power: 3,
             max_iterations: 10_000,
             certify_all: false,
+        }
+    }
+}
+
+/// Registry handles for the matcher's per-run recording, resolved
+/// through [`obs::with_metrics`]' thread-local cache: steady state is a
+/// map hit plus a handful of relaxed atomic adds per retrieval, so the
+/// instrumentation stays invisible next to the retrieval itself.
+#[derive(Clone)]
+struct MatcherMetrics {
+    runs: std::sync::Arc<obs::Counter>,
+    rings: std::sync::Arc<obs::Counter>,
+    triangles: std::sync::Arc<obs::Counter>,
+    reported: std::sync::Arc<obs::Counter>,
+    processed: std::sync::Arc<obs::Counter>,
+    scores: std::sync::Arc<obs::Counter>,
+    promotions: std::sync::Arc<obs::Counter>,
+    exhausted: std::sync::Arc<obs::Counter>,
+    final_eps_permille: std::sync::Arc<obs::Histogram>,
+    pool_hits: std::sync::Arc<obs::Counter>,
+    pool_misses: std::sync::Arc<obs::Counter>,
+}
+
+impl MatcherMetrics {
+    fn build(reg: &obs::Registry) -> MatcherMetrics {
+        MatcherMetrics {
+            runs: reg.counter("geosir_matcher_runs_total", &[]),
+            rings: reg.counter("geosir_matcher_rings_total", &[]),
+            triangles: reg.counter("geosir_matcher_triangles_total", &[]),
+            reported: reg.counter("geosir_matcher_candidates_reported_total", &[]),
+            processed: reg.counter("geosir_matcher_vertices_processed_total", &[]),
+            scores: reg.counter("geosir_matcher_havg_evals_total", &[]),
+            promotions: reg.counter("geosir_matcher_counter_promotions_total", &[]),
+            exhausted: reg.counter("geosir_matcher_exhausted_total", &[]),
+            final_eps_permille: reg.histogram("geosir_matcher_final_eps_permille", &[]),
+            pool_hits: reg.counter("geosir_matcher_scratch_pool_hits_total", &[]),
+            pool_misses: reg.counter("geosir_matcher_scratch_pool_misses_total", &[]),
         }
     }
 }
@@ -284,7 +322,15 @@ impl<'a> Matcher<'a> {
     }
 
     fn pooled_scratch(&self) -> MatcherScratch {
-        self.scratch_pool.lock().unwrap().pop().unwrap_or_default()
+        let pooled = self.scratch_pool.lock().unwrap().pop();
+        obs::with_metrics(MatcherMetrics::build, |m| {
+            if pooled.is_some() {
+                m.pool_hits.inc();
+            } else {
+                m.pool_misses.inc();
+            }
+        });
+        pooled.unwrap_or_default()
     }
 
     fn return_scratch(&self, scratch: MatcherScratch) {
@@ -607,6 +653,27 @@ impl<'a> Matcher<'a> {
                     self.plan.bound_factor * outcome.stats.final_eps < tau
                 }
             };
+        let stats = &outcome.stats;
+        obs::with_metrics(MatcherMetrics::build, |m| {
+            m.runs.inc();
+            m.rings.add(stats.iterations as u64);
+            m.triangles.add(stats.triangles_queried as u64);
+            m.reported.add(stats.vertices_reported as u64);
+            m.processed.add(stats.vertices_processed as u64);
+            m.scores.add(stats.candidates_scored as u64);
+            // Promotions = scorings the counters triggered; the credit
+            // candidates were scored unconditionally up front.
+            m.promotions.add(
+                stats.candidates_scored.saturating_sub(self.plan.credit_candidates.len()) as u64,
+            );
+            if stats.exhausted {
+                m.exhausted.inc();
+            }
+            if stats.eps_cap > 0.0 {
+                let permille = (stats.final_eps / stats.eps_cap * 1000.0).round();
+                m.final_eps_permille.record(permille.clamp(0.0, 1000.0) as u64);
+            }
+        });
     }
 }
 

@@ -79,18 +79,30 @@ impl MatcherScratch {
         let copies = base.num_copies();
         let shapes = base.num_shapes();
         let vertices = base.total_vertices();
+        let mut grew = false;
         if self.counter_stamp.len() < copies {
             self.counter_stamp.resize(copies, 0);
             self.counters.resize(copies, 0);
             self.scored_stamp.resize(copies, 0);
+            grew = true;
         }
         if self.best_stamp.len() < shapes {
             self.best_stamp.resize(shapes, 0);
             self.best_score.resize(shapes, 0.0);
             self.best_copy.resize(shapes, 0);
+            grew = true;
         }
         if self.seen_stamp.len() < vertices {
             self.seen_stamp.resize(vertices, 0);
+            grew = true;
+        }
+        if grew {
+            // A growth event in steady state means scratches are being
+            // created cold or the base outgrew every pooled scratch —
+            // the zero-allocation claim depends on this staying flat.
+            geosir_obs::with_current(|reg| {
+                reg.counter("geosir_matcher_scratch_grows_total", &[]).inc()
+            });
         }
     }
 

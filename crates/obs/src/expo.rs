@@ -1,0 +1,268 @@
+//! Text exposition: Prometheus-format rendering and a minimal HTTP
+//! responder for `/metrics` and `/debug/last_queries`.
+//!
+//! There is no HTTP library in the tree, so this speaks just enough
+//! HTTP/1.1 for `curl` and a Prometheus scraper: read the request head,
+//! match the path, write one `Connection: close` response. The accept
+//! loop itself lives with the caller (the server already owns listener
+//! threads and a shutdown protocol); [`handle_connection`] does the
+//! per-connection work, and [`MetricsServer`] wraps a standalone
+//! listener for programs without their own.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::registry::{bucket_upper_bound, Registry, SnapValue, Snapshot};
+
+/// Render a snapshot in Prometheus text exposition format.
+///
+/// Histograms emit cumulative `_bucket{le=...}` series over their
+/// non-empty buckets plus `+Inf`, `_sum`, and `_count`.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(256 + snap.entries.len() * 96);
+    let mut last_name: Option<&str> = None;
+    for e in &snap.entries {
+        if last_name != Some(e.name.as_str()) {
+            let kind = match &e.value {
+                SnapValue::Counter(_) => "counter",
+                SnapValue::Gauge(_) => "gauge",
+                SnapValue::Histogram(_) => "histogram",
+            };
+            out.push_str("# TYPE ");
+            out.push_str(&e.name);
+            out.push(' ');
+            out.push_str(kind);
+            out.push('\n');
+            last_name = Some(e.name.as_str());
+        }
+        match &e.value {
+            SnapValue::Counter(v) => {
+                push_series(&mut out, &e.name, &e.labels, None);
+                out.push_str(&format!(" {v}\n"));
+            }
+            SnapValue::Gauge(v) => {
+                push_series(&mut out, &e.name, &e.labels, None);
+                out.push_str(&format!(" {v}\n"));
+            }
+            SnapValue::Histogram(h) => {
+                let mut cum = 0u64;
+                for &(idx, n) in &h.buckets {
+                    cum += n;
+                    let le = bucket_upper_bound(idx as usize);
+                    push_series(
+                        &mut out,
+                        &format!("{}_bucket", e.name),
+                        &e.labels,
+                        Some(&le.to_string()),
+                    );
+                    out.push_str(&format!(" {cum}\n"));
+                }
+                push_series(&mut out, &format!("{}_bucket", e.name), &e.labels, Some("+Inf"));
+                out.push_str(&format!(" {cum}\n"));
+                push_series(&mut out, &format!("{}_sum", e.name), &e.labels, None);
+                out.push_str(&format!(" {}\n", h.sum));
+                push_series(&mut out, &format!("{}_count", e.name), &e.labels, None);
+                out.push_str(&format!(" {cum}\n"));
+            }
+        }
+    }
+    out
+}
+
+fn push_series(out: &mut String, name: &str, labels: &[(String, String)], le: Option<&str>) {
+    out.push_str(name);
+    if !labels.is_empty() || le.is_some() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(v);
+            out.push('"');
+        }
+        if let Some(le) = le {
+            if !first {
+                out.push(',');
+            }
+            out.push_str("le=\"");
+            out.push_str(le);
+            out.push('"');
+        }
+        out.push('}');
+    }
+}
+
+/// Serve one HTTP connection against `registry`: `GET /metrics` →
+/// Prometheus text, `GET /debug/last_queries` → JSON trace log,
+/// anything else → 404. Closes the connection after one response.
+pub fn handle_connection(stream: &mut TcpStream, registry: &Registry) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 256];
+    // Read until end of the request head; we ignore any body.
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > 8192 {
+            return respond(stream, 400, "text/plain", "request head too large");
+        }
+        let n = stream.read(&mut byte)?;
+        if n == 0 {
+            return Ok(());
+        }
+        head.extend_from_slice(&byte[..n]);
+    }
+    let line = head.split(|&b| b == b'\r').next().unwrap_or(&[]);
+    let line = String::from_utf8_lossy(line);
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        return respond(stream, 405, "text/plain", "only GET is supported");
+    }
+    match path.split('?').next().unwrap_or("") {
+        "/metrics" => {
+            let body = render_prometheus(&registry.snapshot());
+            respond(stream, 200, "text/plain; version=0.0.4", &body)
+        }
+        "/debug/last_queries" => {
+            let body = registry.traces().to_json();
+            respond(stream, 200, "application/json", &body)
+        }
+        _ => respond(stream, 404, "text/plain", "not found; try /metrics or /debug/last_queries"),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A standalone exposition listener for programs that do not have their
+/// own accept loop (the retrieval server wires [`handle_connection`]
+/// into its existing shutdown machinery instead).
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and serve
+    /// `registry` until [`MetricsServer::shutdown`] or drop.
+    pub fn bind(addr: &str, registry: Arc<Registry>) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let thread = std::thread::Builder::new()
+            .name("geosir-metrics".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop2.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(mut stream) = stream {
+                        let _ = handle_connection(&mut stream, &registry);
+                    }
+                }
+            })?;
+        Ok(MetricsServer { addr, stop, thread: Some(thread) })
+    }
+
+    /// Address actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the thread.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocking accept with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn prometheus_rendering_shapes() {
+        let reg = Registry::new();
+        reg.counter("geosir_requests_total", &[("type", "query")]).add(5);
+        reg.gauge("geosir_queue_depth", &[("queue", "read")]).set(3);
+        let h = reg.histogram("geosir_latency_us", &[]);
+        h.record(100);
+        h.record(400);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE geosir_requests_total counter"), "{text}");
+        assert!(text.contains("geosir_requests_total{type=\"query\"} 5"), "{text}");
+        assert!(text.contains("geosir_queue_depth{queue=\"read\"} 3"), "{text}");
+        assert!(text.contains("geosir_latency_us_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("geosir_latency_us_sum 500"), "{text}");
+        assert!(text.contains("geosir_latency_us_count 2"), "{text}");
+    }
+
+    #[test]
+    fn http_endpoint_serves_metrics_and_traces() {
+        let reg = Arc::new(Registry::new());
+        reg.counter("geosir_test_total", &[]).add(9);
+        let mut ev = TraceEvent::new(77, "query");
+        ev.total_us = 10;
+        ev.stage("retrieve", 8);
+        reg.traces().push(ev);
+
+        let mut server = MetricsServer::bind("127.0.0.1:0", reg).unwrap();
+        let addr = server.addr();
+
+        let metrics = http_get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200"), "{metrics}");
+        assert!(metrics.contains("geosir_test_total 9"), "{metrics}");
+
+        let traces = http_get(addr, "/debug/last_queries");
+        assert!(traces.contains("\"trace_id\":77"), "{traces}");
+
+        let missing = http_get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        server.shutdown();
+    }
+}

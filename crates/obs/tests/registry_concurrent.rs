@@ -1,0 +1,147 @@
+//! Registry correctness under concurrency, plus histogram quantile
+//! accuracy bounds.
+//!
+//! The record path is relaxed atomics with no synchronization between
+//! recording threads, so these tests pin the two guarantees callers
+//! rely on: nothing is lost (counts observed after `join` equal the
+//! records issued), and per-thread registries merge into exactly the
+//! sum of their parts. The quantile tests bound the log-linear scheme's
+//! error: a reported quantile is the upper bound of its bucket — never
+//! below the true sample, never more than 25% above it.
+
+use std::sync::Arc;
+
+use geosir_obs::{bucket_index, bucket_upper_bound, Registry, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+/// Deterministic value stream without a rand dependency (obs is
+/// std-only; its dev-deps stay minimal too).
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+proptest! {
+    /// N threads hammer the *same* series through shared handles; after
+    /// join, the snapshot must account for every single record.
+    #[test]
+    fn concurrent_records_are_never_lost(threads in 1usize..6, per_thread in 1u64..300) {
+        let reg = Arc::new(Registry::new());
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    let counter = reg.counter("hits", &[]);
+                    let gauge = reg.gauge("depth", &[]);
+                    let hist = reg.histogram("lat", &[]);
+                    let mut sum = 0u64;
+                    let mut state = 0x9E37_79B9 ^ (t as u64 + 1);
+                    for _ in 0..per_thread {
+                        counter.inc();
+                        gauge.add(1);
+                        let v = xorshift(&mut state) % 10_000;
+                        hist.record(v);
+                        sum += v;
+                    }
+                    sum
+                })
+            })
+            .collect();
+        let expected_sum: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+
+        let snap = reg.snapshot();
+        let total = threads as u64 * per_thread;
+        prop_assert_eq!(snap.counter("hits", &[]), total);
+        prop_assert_eq!(snap.gauge("depth", &[]), total as i64);
+        let h = snap.histogram("lat", &[]).expect("histogram series");
+        prop_assert_eq!(h.count(), total);
+        prop_assert_eq!(h.sum, expected_sum);
+    }
+
+    /// Each thread records into its *own* registry; merging the
+    /// snapshots must equal the sum of the per-thread records — the
+    /// property the wire layer leans on when folding per-server
+    /// snapshots together.
+    #[test]
+    fn merged_snapshot_equals_sum_of_per_thread_records(threads in 1usize..6, per_thread in 1u64..300) {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let reg = Registry::new();
+                    reg.counter("hits", &[("shard", "x")]).add(per_thread);
+                    let hist = reg.histogram("lat", &[]);
+                    let mut state = 0xDEAD_BEEF ^ (t as u64 + 1);
+                    let mut sum = 0u64;
+                    for _ in 0..per_thread {
+                        let v = xorshift(&mut state) % 50_000;
+                        hist.record(v);
+                        sum += v;
+                    }
+                    (reg.snapshot(), sum)
+                })
+            })
+            .collect();
+        let mut merged = geosir_obs::Snapshot::default();
+        let mut expected_sum = 0u64;
+        for h in handles {
+            let (snap, sum) = h.join().unwrap();
+            // round-trip through the wire form while we're here
+            let mut buf = Vec::new();
+            snap.encode(&mut buf);
+            let back = geosir_obs::Snapshot::decode(&buf).expect("snapshot decode");
+            prop_assert_eq!(&back, &snap);
+            merged.merge(&back);
+            expected_sum += sum;
+        }
+        let total = threads as u64 * per_thread;
+        prop_assert_eq!(merged.counter("hits", &[("shard", "x")]), total);
+        let h = merged.histogram("lat", &[]).expect("histogram series");
+        prop_assert_eq!(h.count(), total);
+        prop_assert_eq!(h.sum, expected_sum);
+    }
+
+    /// A reported quantile is the upper bound of the bucket holding the
+    /// true rank-statistic sample: at least the true value, at most 25%
+    /// above it (exact below 16).
+    #[test]
+    fn quantiles_bound_the_true_value_within_25_percent(n in 1usize..400, seed in 1u64..100, shift in 0u32..40) {
+        let hist = geosir_obs::Histogram::new();
+        let mut state = seed.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1;
+        let mut values: Vec<u64> = (0..n)
+            .map(|_| xorshift(&mut state) >> (24 + shift % 39))
+            .collect();
+        for &v in &values {
+            hist.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let truth = values[rank - 1];
+            let reported = hist.quantile(q);
+            prop_assert!(reported >= truth, "q={q}: reported {reported} < true {truth}");
+            prop_assert!(
+                reported <= truth + truth / 4 + 1,
+                "q={q}: reported {reported} exceeds 25% above true {truth}"
+            );
+        }
+    }
+
+    /// Every u64 maps into a valid bucket whose bounds bracket it.
+    #[test]
+    fn bucket_index_is_total_and_bracketing(seed in 1u64..500) {
+        let mut state = seed;
+        for _ in 0..64 {
+            let v = xorshift(&mut state);
+            let idx = bucket_index(v);
+            prop_assert!(idx < HISTOGRAM_BUCKETS);
+            prop_assert!(v <= bucket_upper_bound(idx));
+            if idx > 0 {
+                prop_assert!(v > bucket_upper_bound(idx - 1));
+            }
+        }
+    }
+}

@@ -62,6 +62,8 @@ pub struct Client {
     /// Next idempotency key: odd, stepping by 2, randomly seeded per
     /// client so two clients virtually never collide.
     next_key: u64,
+    /// Next trace id, seeded independently of the key sequence.
+    next_trace: u64,
 }
 
 /// What a query round trip produced.
@@ -75,6 +77,9 @@ pub struct QueryReply {
     pub rejected: bool,
     /// Server's retry-after hint when shed, milliseconds (0 = none).
     pub retry_after_ms: u32,
+    /// Trace id this query carried — look it up in the server's
+    /// `/debug/last_queries` for per-stage timings.
+    pub trace: u64,
 }
 
 /// A random nonzero odd seed without a rand dependency: hash a fresh
@@ -128,6 +133,7 @@ impl Client {
             cfg,
             addrs,
             next_key: key_seed(),
+            next_trace: key_seed(),
         })
     }
 
@@ -146,6 +152,12 @@ impl Client {
         k
     }
 
+    fn fresh_trace(&mut self) -> u64 {
+        let t = self.next_trace;
+        self.next_trace = self.next_trace.wrapping_add(2);
+        t
+    }
+
     /// Send one frame and wait for the reply frame.
     pub fn request(&mut self, frame: &Frame) -> Result<Frame, WireError> {
         frame.write_to(&mut self.writer)?;
@@ -154,17 +166,22 @@ impl Client {
     }
 
     /// Retrieve up to `k` nearest shapes (`k = 0` → server default).
+    /// Each query carries a fresh trace id (returned in the reply) so
+    /// its per-stage timings can be found in the server's trace log.
     pub fn query(&mut self, query: &Polyline, k: u32) -> Result<QueryReply, WireError> {
-        let reply = self.request(&Frame::Query { k, shape: WireShape::from_polyline(query) })?;
+        let trace = self.fresh_trace();
+        let reply =
+            self.request(&Frame::Query { k, trace, shape: WireShape::from_polyline(query) })?;
         match reply {
             Frame::Matches { epoch, matches } => {
-                Ok(QueryReply { epoch, matches, rejected: false, retry_after_ms: 0 })
+                Ok(QueryReply { epoch, matches, rejected: false, retry_after_ms: 0, trace })
             }
             Frame::Busy { retry_after_ms } => Ok(QueryReply {
                 epoch: 0,
                 matches: Vec::new(),
                 rejected: true,
                 retry_after_ms,
+                trace,
             }),
             other => Err(unexpected(&other)),
         }
@@ -248,8 +265,13 @@ impl Client {
         key: u64,
         shape: &Polyline,
     ) -> Result<InsertReply, WireError> {
-        let reply =
-            self.request(&Frame::Insert { image, key, shape: WireShape::from_polyline(shape) })?;
+        let trace = self.fresh_trace();
+        let reply = self.request(&Frame::Insert {
+            image,
+            key,
+            trace,
+            shape: WireShape::from_polyline(shape),
+        })?;
         match reply {
             Frame::Inserted { epoch, id } => Ok(InsertReply::Done(epoch, id)),
             Frame::Busy { retry_after_ms } => Ok(InsertReply::Busy(retry_after_ms)),
@@ -270,6 +292,18 @@ impl Client {
     pub fn stats(&mut self) -> Result<ServerStats, WireError> {
         match self.request(&Frame::Stats)? {
             Frame::StatsReport(stats) => Ok(stats),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch the server's full metrics-registry snapshot — every
+    /// counter, gauge, and histogram the server registered, decoded
+    /// into a [`geosir_obs::Snapshot`].
+    pub fn metrics(&mut self) -> Result<geosir_obs::Snapshot, WireError> {
+        match self.request(&Frame::MetricsDump)? {
+            Frame::MetricsReport { snapshot } => {
+                geosir_obs::Snapshot::decode(&snapshot).ok_or(WireError::Malformed)
+            }
             other => Err(unexpected(&other)),
         }
     }

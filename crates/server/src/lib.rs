@@ -14,10 +14,15 @@
 //!   ([`durable::DurabilityConfig`], [`durable::RecoveryReport`]).
 //! - [`client`] — blocking request/reply client ([`client::Client`])
 //!   with connect/read/write deadlines and idempotent retries.
-//! - [`metrics`] — lock-free counters and latency histograms surfaced
-//!   through the `Stats` frame.
+//! - [`metrics`] — per-server handles into a [`geosir_obs::Registry`]:
+//!   counters, gauges, and log-linear histograms surfaced through the
+//!   `Stats` frame, the `MetricsDump` frame, and (with
+//!   [`server::ServeConfig::metrics_addr`]) an HTTP endpoint serving
+//!   Prometheus text at `/metrics` and the per-query trace ring at
+//!   `/debug/last_queries`.
 //!
-//! See `DESIGN.md` §7 (serving) and §8 (durability & recovery).
+//! See `DESIGN.md` §7 (serving), §8 (durability & recovery), and §9
+//! (observability).
 
 pub mod client;
 pub mod durable;
@@ -27,5 +32,6 @@ pub mod wire;
 
 pub use client::{Client, ClientConfig, QueryReply};
 pub use durable::{BaseTemplate, DurabilityConfig, RecoveryReport};
+pub use geosir_obs as obs;
 pub use server::{serve, serve_durable, ServeConfig, ServerHandle};
 pub use wire::{Frame, ServerStats, WireError, WireMatch, WireShape, PROTOCOL_VERSION};

@@ -1,90 +1,138 @@
-//! Lock-free server counters and latency histograms.
+//! Server metrics, registered on a per-server [`geosir_obs::Registry`].
 //!
-//! Workers record into atomics only — no mutex on the request path — and
-//! the `Stats` frame handler folds the counters into a
-//! [`crate::wire::ServerStats`] on demand.
+//! Earlier versions kept a private power-of-two histogram here; it has
+//! been folded into the shared `geosir-obs` registry, whose log-linear
+//! buckets (four sub-buckets per octave) resolve sub-millisecond
+//! latencies instead of collapsing 600 µs and 1 ms into one bucket.
+//! Every series below is also visible on the `--metrics-addr`
+//! Prometheus endpoint and in the [`crate::wire::Frame::MetricsReport`]
+//! snapshot; [`crate::wire::ServerStats`] is now just a fixed-layout
+//! projection of the registry for the `Stats` frame.
+//!
+//! Series registered here:
+//!
+//! | name | kind | meaning |
+//! |------|------|---------|
+//! | `geosir_requests_total` | counter | requests admitted and answered |
+//! | `geosir_queries_total` | counter | query shapes evaluated |
+//! | `geosir_inserts_total` / `geosir_deletes_total` | counter | write frames seen |
+//! | `geosir_busy_rejects_total` | counter | requests shed with `Busy` |
+//! | `geosir_protocol_errors_total` | counter | connections dropped on bad frames |
+//! | `geosir_request_latency_us{type=…}` | histogram | admission → reply, per request type |
+//! | `geosir_snapshot_publishes_total` | counter | snapshot swaps |
+//! | `geosir_snapshot_publish_us` | histogram | snapshot build + swap time |
+//! | `geosir_snapshot_age_us` | gauge | age of the published snapshot |
+//! | `geosir_queue_depth{queue=…}` | gauge | read / write queue depth |
+//! | `geosir_worker_busy_us_total{worker=…}` | counter | per-worker time spent on jobs |
+//! | `geosir_wal_appended_records` / `geosir_wal_synced_batches` | gauge | WAL absolute positions |
+//! | `geosir_fsync_wait_us` | histogram | writer-observed commit fsync latency |
+//! | `geosir_checkpoints_total` / `geosir_checkpoint_failures_total` | counter | checkpointer outcomes |
+//! | `geosir_recovery_us` | gauge | wall time of the last startup recovery |
+//! | `geosir_io_errors_total` | counter | persistent-path I/O errors |
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Power-of-two latency histogram over microseconds: bucket `i` counts
-/// samples in `[2^(i-1), 2^i)` µs (bucket 0: `< 1` µs). 40 buckets cover
-/// up to ~2^39 µs ≈ 6 days, far beyond any plausible request latency.
-#[derive(Debug)]
-pub struct Histogram {
-    buckets: [AtomicU64; Histogram::BUCKETS],
+use geosir_obs as obs;
+
+/// Which latency series a finished request records into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqKind {
+    Query,
+    Write,
+    Stats,
 }
 
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
-    }
-}
-
-impl Histogram {
-    const BUCKETS: usize = 40;
-
-    pub fn record_us(&self, us: u64) {
-        let idx = (64 - us.leading_zeros() as usize).min(Self::BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
-    }
-
-    /// Approximate quantile (bucket upper bound), 0 when empty.
-    /// `q` in (0, 1].
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target {
-                return if i == 0 { 1 } else { 1u64 << i };
-            }
-        }
-        1u64 << (Self::BUCKETS - 1)
-    }
-}
-
-/// All counters one server instance maintains.
-#[derive(Debug, Default)]
+/// Handles into the server's registry, resolved once at startup so the
+/// hot path is plain relaxed atomics — no name lookups, no locks.
 pub struct Metrics {
-    pub requests: AtomicU64,
-    pub queries: AtomicU64,
-    pub inserts: AtomicU64,
-    pub deletes: AtomicU64,
-    pub busy_rejects: AtomicU64,
-    pub protocol_errors: AtomicU64,
-    /// Request latency: enqueue → reply built.
-    pub latency: Histogram,
-    /// Snapshot-publish latency: apply batch → snapshot installed.
-    pub publish: Histogram,
-    pub snapshots_published: AtomicU64,
-    /// Durability path (all zero when the server runs in-memory).
-    pub wal_appends: AtomicU64,
-    pub wal_syncs: AtomicU64,
-    /// WAL fsync latency, recorded per issued fsync.
-    pub fsync: Histogram,
-    pub checkpoints: AtomicU64,
-    pub checkpoint_failures: AtomicU64,
-    /// Wall time of the last startup recovery, microseconds.
-    pub last_recovery_us: AtomicU64,
-    /// Persistent-path I/O errors (WAL commit, checkpoint, accept).
-    pub io_errors: AtomicU64,
+    /// The registry every handle lives in; server threads install it as
+    /// their thread registry so core/storage instrumentation lands here.
+    pub registry: Arc<obs::Registry>,
+
+    pub requests: Arc<obs::Counter>,
+    pub queries: Arc<obs::Counter>,
+    pub inserts: Arc<obs::Counter>,
+    pub deletes: Arc<obs::Counter>,
+    pub busy_rejects: Arc<obs::Counter>,
+    pub protocol_errors: Arc<obs::Counter>,
+    pub io_errors: Arc<obs::Counter>,
+
+    pub latency_query: Arc<obs::Histogram>,
+    pub latency_write: Arc<obs::Histogram>,
+    pub latency_stats: Arc<obs::Histogram>,
+
+    pub snapshots_published: Arc<obs::Counter>,
+    pub publish: Arc<obs::Histogram>,
+    pub snapshot_age_us: Arc<obs::Gauge>,
+
+    pub read_queue_depth: Arc<obs::Gauge>,
+    pub write_queue_depth: Arc<obs::Gauge>,
+
+    pub wal_appends: Arc<obs::Gauge>,
+    pub wal_syncs: Arc<obs::Gauge>,
+    pub fsync: Arc<obs::Histogram>,
+    pub checkpoints: Arc<obs::Counter>,
+    pub checkpoint_failures: Arc<obs::Counter>,
+    pub last_recovery_us: Arc<obs::Gauge>,
+
+    pub read_only: Arc<obs::Gauge>,
+    pub epoch: Arc<obs::Gauge>,
+    pub live_shapes: Arc<obs::Gauge>,
 }
 
 impl Metrics {
-    pub fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    pub fn new(registry: Arc<obs::Registry>) -> Metrics {
+        let r = &registry;
+        Metrics {
+            requests: r.counter("geosir_requests_total", &[]),
+            queries: r.counter("geosir_queries_total", &[]),
+            inserts: r.counter("geosir_inserts_total", &[]),
+            deletes: r.counter("geosir_deletes_total", &[]),
+            busy_rejects: r.counter("geosir_busy_rejects_total", &[]),
+            protocol_errors: r.counter("geosir_protocol_errors_total", &[]),
+            io_errors: r.counter("geosir_io_errors_total", &[]),
+            latency_query: r.histogram("geosir_request_latency_us", &[("type", "query")]),
+            latency_write: r.histogram("geosir_request_latency_us", &[("type", "write")]),
+            latency_stats: r.histogram("geosir_request_latency_us", &[("type", "stats")]),
+            snapshots_published: r.counter("geosir_snapshot_publishes_total", &[]),
+            publish: r.histogram("geosir_snapshot_publish_us", &[]),
+            snapshot_age_us: r.gauge("geosir_snapshot_age_us", &[]),
+            read_queue_depth: r.gauge("geosir_queue_depth", &[("queue", "read")]),
+            write_queue_depth: r.gauge("geosir_queue_depth", &[("queue", "write")]),
+            wal_appends: r.gauge("geosir_wal_appended_records", &[]),
+            wal_syncs: r.gauge("geosir_wal_synced_batches", &[]),
+            fsync: r.histogram("geosir_fsync_wait_us", &[]),
+            checkpoints: r.counter("geosir_checkpoints_total", &[]),
+            checkpoint_failures: r.counter("geosir_checkpoint_failures_total", &[]),
+            last_recovery_us: r.gauge("geosir_recovery_us", &[]),
+            read_only: r.gauge("geosir_read_only", &[]),
+            epoch: r.gauge("geosir_snapshot_epoch", &[]),
+            live_shapes: r.gauge("geosir_live_shapes", &[]),
+            registry,
+        }
     }
 
-    pub fn get(counter: &AtomicU64) -> u64 {
-        counter.load(Ordering::Relaxed)
+    /// The latency histogram for one request type.
+    pub fn latency(&self, kind: ReqKind) -> &obs::Histogram {
+        match kind {
+            ReqKind::Query => &self.latency_query,
+            ReqKind::Write => &self.latency_write,
+            ReqKind::Stats => &self.latency_stats,
+        }
+    }
+
+    /// Quantile over *all* request types merged — what `ServerStats`
+    /// reports as overall request latency.
+    pub fn latency_quantile(&self, q: f64) -> u64 {
+        obs::merged_quantile(&[&self.latency_query, &self.latency_write, &self.latency_stats], q)
+    }
+}
+
+impl Default for Metrics {
+    /// A metrics set on a fresh private registry (each server gets its
+    /// own, so several servers in one test process stay isolated).
+    fn default() -> Metrics {
+        Metrics::new(Arc::new(obs::Registry::new()))
     }
 }
 
@@ -93,31 +141,52 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_quantiles_bracket_samples() {
-        let h = Histogram::default();
-        for us in [3u64, 3, 3, 3, 3, 3, 3, 3, 3, 900] {
-            h.record_us(us);
+    fn latency_series_split_by_type_and_merge_for_overall_quantile() {
+        let m = Metrics::default();
+        for _ in 0..99 {
+            m.latency(ReqKind::Query).record(100);
         }
-        assert_eq!(h.count(), 10);
-        // p50 lands in the bucket holding 3 µs: (2, 4] → upper bound 4
-        assert_eq!(h.quantile_us(0.5), 4);
-        // p99 must reach the 900 µs outlier's bucket: (512, 1024]
-        assert_eq!(h.quantile_us(0.99), 1024);
+        m.latency(ReqKind::Write).record(8_000);
+        assert!(m.latency(ReqKind::Query).quantile(0.99) < 150);
+        // the single slow write dominates the merged tail
+        assert!(m.latency_quantile(0.999) >= 8_000);
+        // and the registry sees both labeled series
+        let snap = m.registry.snapshot();
+        assert_eq!(
+            snap.histogram("geosir_request_latency_us", &[("type", "query")]).unwrap().count(),
+            99
+        );
+        assert_eq!(
+            snap.histogram("geosir_request_latency_us", &[("type", "write")]).unwrap().count(),
+            1
+        );
     }
 
     #[test]
-    fn empty_histogram_reports_zero() {
-        let h = Histogram::default();
-        assert_eq!(h.quantile_us(0.5), 0);
-        assert_eq!(h.count(), 0);
+    fn sub_millisecond_percentiles_stay_distinct() {
+        // the old power-of-two buckets collapsed 600 µs and 1 ms into
+        // neighbouring octaves; the log-linear registry buckets must
+        // keep p50 and p99 clearly apart
+        let m = Metrics::default();
+        for _ in 0..90 {
+            m.latency(ReqKind::Query).record(310);
+        }
+        for _ in 0..10 {
+            m.latency(ReqKind::Query).record(950);
+        }
+        let p50 = m.latency_quantile(0.5);
+        let p99 = m.latency_quantile(0.99);
+        assert!(p50 < p99, "p50 {p50} must stay below p99 {p99}");
+        assert!((250..=400).contains(&p50), "p50 {p50} out of bucket range");
+        assert!((800..=1200).contains(&p99), "p99 {p99} out of bucket range");
     }
 
     #[test]
-    fn zero_and_huge_samples_stay_in_range() {
-        let h = Histogram::default();
-        h.record_us(0);
-        h.record_us(u64::MAX);
-        assert_eq!(h.count(), 2);
-        assert!(h.quantile_us(1.0) >= 1);
+    fn default_metrics_use_private_registries() {
+        let a = Metrics::default();
+        let b = Metrics::default();
+        a.requests.inc();
+        assert_eq!(a.registry.snapshot().counter("geosir_requests_total", &[]), 1);
+        assert_eq!(b.registry.snapshot().counter("geosir_requests_total", &[]), 0);
     }
 }

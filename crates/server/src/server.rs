@@ -51,17 +51,18 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-use geosir_core::dynamic::{DynamicBase, GlobalShapeId, Snapshot};
+use geosir_core::dynamic::{DynamicBase, GlobalShapeId, RetrieveStats, Snapshot};
 use geosir_core::matcher::MatchOutcome;
 use geosir_core::scratch::MatcherScratch;
 use geosir_core::ImageId;
 use geosir_geom::Polyline;
+use geosir_obs as obs;
 use geosir_storage::checkpoint::{self, CheckpointData};
 use geosir_storage::manifest::Manifest;
 use geosir_storage::wal::{Lsn, Wal, WalRecord};
 
 use crate::durable::{self, BaseTemplate, DurabilityConfig, RecoveryReport, Recovered};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, ReqKind};
 use crate::wire::{error_code, Frame, ServerStats, WireError, WireMatch};
 
 /// Server tuning knobs.
@@ -76,8 +77,13 @@ pub struct ServeConfig {
     /// Idle-poll granularity for connection threads (how quickly they
     /// notice shutdown; not a request timeout).
     pub poll_interval: Duration,
-    /// Retry-after hint attached to `Busy` load-shed replies.
+    /// Fallback retry-after hint for `Busy` load-shed replies, used
+    /// until a drain rate has been observed — the live hint is derived
+    /// from queue depth and recent drain rate ([`retry_hint_ms`]).
     pub retry_after_ms: u32,
+    /// Bind address for the HTTP metrics endpoint (`/metrics`
+    /// Prometheus text, `/debug/last_queries` JSON); `None` disables it.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +94,7 @@ impl Default for ServeConfig {
             write_queue_cap: 256,
             poll_interval: Duration::from_millis(50),
             retry_after_ms: 50,
+            metrics_addr: None,
         }
     }
 }
@@ -98,12 +105,97 @@ enum PushError<T> {
     Closed(T),
 }
 
+/// Rolling-window drain observation feeding the `Busy` retry hint:
+/// how many items left the queue over roughly the last
+/// [`DRAIN_WINDOW_US`] microseconds. Lazily rotated on read; races
+/// between observers only blur the hint, never corrupt state.
+struct DrainTracker {
+    start: Instant,
+    /// Items drained since creation.
+    drained: AtomicU64,
+    /// µs offset (from `start`) at which the current window began.
+    window_start_us: AtomicU64,
+    /// `drained` value when the current window began.
+    drained_at_start: AtomicU64,
+    /// Last completed window, for reads landing right after a rotation.
+    last_drained: AtomicU64,
+    last_elapsed_us: AtomicU64,
+}
+
+/// How much history the drain-rate estimate looks at.
+const DRAIN_WINDOW_US: u64 = 200_000;
+
+impl DrainTracker {
+    fn new() -> Self {
+        DrainTracker {
+            start: Instant::now(),
+            drained: AtomicU64::new(0),
+            window_start_us: AtomicU64::new(0),
+            drained_at_start: AtomicU64::new(0),
+            last_drained: AtomicU64::new(0),
+            last_elapsed_us: AtomicU64::new(0),
+        }
+    }
+
+    fn note_drained(&self) {
+        self.drained.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(items drained, elapsed µs)` over the recent window; `(0, 0)`
+    /// until anything has drained (callers fall back to the config).
+    fn recent_rate(&self) -> (u64, u64) {
+        let now = self.start.elapsed().as_micros() as u64;
+        let ws = self.window_start_us.load(Ordering::Relaxed);
+        let elapsed = now.saturating_sub(ws);
+        let drained = self.drained.load(Ordering::Relaxed);
+        let in_window = drained.saturating_sub(self.drained_at_start.load(Ordering::Relaxed));
+        if elapsed >= DRAIN_WINDOW_US {
+            // the window is stale: remember it and start a fresh one
+            if self
+                .window_start_us
+                .compare_exchange(ws, now, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.drained_at_start.store(drained, Ordering::Relaxed);
+                if in_window > 0 {
+                    self.last_drained.store(in_window, Ordering::Relaxed);
+                    self.last_elapsed_us.store(elapsed, Ordering::Relaxed);
+                }
+            }
+            (in_window, elapsed)
+        } else if in_window > 0 {
+            (in_window, elapsed.max(1))
+        } else {
+            (self.last_drained.load(Ordering::Relaxed), self.last_elapsed_us.load(Ordering::Relaxed))
+        }
+    }
+}
+
+/// Derive the `Busy{retry_after_ms}` hint from observed queue state:
+/// the estimated wall time for `depth` queued items to drain at the
+/// recently measured rate (`drained` items over `window_us`). Without
+/// an observed rate the configured fallback applies. Clamped to
+/// [1 ms, 10 s] so a cold or stalled window cannot produce a zero or
+/// an absurd hint. As the queue drains, `depth` falls and the hint
+/// shrinks with it.
+fn retry_hint_ms(depth: usize, drained: u64, window_us: u64, fallback_ms: u32) -> u32 {
+    if drained == 0 || window_us == 0 {
+        return fallback_ms.max(1);
+    }
+    let est_us = (depth as u128 + 1) * window_us as u128 / drained as u128;
+    (est_us / 1000).clamp(1, 10_000) as u32
+}
+
 /// Bounded MPMC queue: `try_push` (never blocks) + blocking `pop` that
 /// drains remaining items after close and only then returns `None`.
+/// Tracks its drain rate (for the `Busy` hint) and mirrors its depth
+/// into an optional gauge.
 struct BoundedQueue<T> {
     inner: Mutex<QueueState<T>>,
     cv: Condvar,
     cap: usize,
+    drain: DrainTracker,
+    depth_gauge: Option<Arc<obs::Gauge>>,
 }
 
 struct QueueState<T> {
@@ -117,6 +209,19 @@ impl<T> BoundedQueue<T> {
             inner: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
             cv: Condvar::new(),
             cap: cap.max(1),
+            drain: DrainTracker::new(),
+            depth_gauge: None,
+        }
+    }
+
+    fn with_gauge(mut self, gauge: Arc<obs::Gauge>) -> Self {
+        self.depth_gauge = Some(gauge);
+        self
+    }
+
+    fn set_gauge(&self, depth: usize) {
+        if let Some(g) = &self.depth_gauge {
+            g.set(depth as i64);
         }
     }
 
@@ -129,7 +234,9 @@ impl<T> BoundedQueue<T> {
             return Err(PushError::Full(item));
         }
         st.items.push_back(item);
+        let depth = st.items.len();
         drop(st);
+        self.set_gauge(depth);
         self.cv.notify_one();
         Ok(())
     }
@@ -140,6 +247,10 @@ impl<T> BoundedQueue<T> {
         let mut st = self.inner.lock().unwrap();
         loop {
             if let Some(item) = st.items.pop_front() {
+                let depth = st.items.len();
+                drop(st);
+                self.drain.note_drained();
+                self.set_gauge(depth);
                 return Some(item);
             }
             if st.closed {
@@ -151,7 +262,15 @@ impl<T> BoundedQueue<T> {
 
     /// Non-blocking pop (used by the writer to batch).
     fn try_pop(&self) -> Option<T> {
-        self.inner.lock().unwrap().items.pop_front()
+        let mut st = self.inner.lock().unwrap();
+        let item = st.items.pop_front();
+        if item.is_some() {
+            let depth = st.items.len();
+            drop(st);
+            self.drain.note_drained();
+            self.set_gauge(depth);
+        }
+        item
     }
 
     fn close(&self) {
@@ -162,6 +281,12 @@ impl<T> BoundedQueue<T> {
     fn depth(&self) -> usize {
         self.inner.lock().unwrap().items.len()
     }
+
+    /// The live retry hint for this queue right now.
+    fn retry_hint(&self, fallback_ms: u32) -> u32 {
+        let (drained, window_us) = self.drain.recent_rate();
+        retry_hint_ms(self.depth(), drained, window_us, fallback_ms)
+    }
 }
 
 /// One admitted request: the decoded frame plus the channel the owning
@@ -170,6 +295,16 @@ struct Job {
     frame: Frame,
     reply: mpsc::Sender<Frame>,
     enqueued: Instant,
+}
+
+impl Job {
+    /// The client-minted trace id riding in the frame (0 = none).
+    fn trace(&self) -> u64 {
+        match &self.frame {
+            Frame::Query { trace, .. } | Frame::Insert { trace, .. } => *trace,
+            _ => 0,
+        }
+    }
 }
 
 /// The reader-visible state: the snapshot **and** the WAL position it
@@ -204,6 +339,9 @@ struct Shared {
     metrics: Metrics,
     shutdown: AtomicBool,
     addr: SocketAddr,
+    /// Bound address of the HTTP metrics endpoint, when enabled (used
+    /// to wake its accept loop at shutdown).
+    metrics_addr: Mutex<Option<SocketAddr>>,
     cfg: ServeConfig,
     durable: Option<DurableState>,
 }
@@ -223,41 +361,61 @@ impl Shared {
         }
         self.read_queue.close();
         self.write_queue.close();
-        // wake the listener out of accept()
+        // wake the listener (and the metrics endpoint) out of accept()
         let _ = TcpStream::connect(self.addr);
+        if let Some(maddr) = *self.metrics_addr.lock().unwrap() {
+            let _ = TcpStream::connect(maddr);
+        }
     }
 
     fn current_snapshot(&self) -> Arc<Snapshot> {
         self.published.read().unwrap().snap.clone()
     }
 
+    /// Bring the passive gauges up to date: queue depths, snapshot age,
+    /// snapshot identity, degraded-mode flag. Called before serving a
+    /// metrics scrape or gathering `ServerStats`, so point-in-time
+    /// values are fresh without any hot-path cost.
+    fn refresh_gauges(&self) {
+        let m = &self.metrics;
+        m.read_queue_depth.set(self.read_queue.depth() as i64);
+        m.write_queue_depth.set(self.write_queue.depth() as i64);
+        m.snapshot_age_us
+            .set(self.last_publish.lock().unwrap().elapsed().as_micros() as i64);
+        m.read_only.set(self.is_read_only() as i64);
+        let snap = self.current_snapshot();
+        m.epoch.set(snap.epoch() as i64);
+        m.live_shapes.set(snap.len() as i64);
+    }
+
     fn stats(&self) -> ServerStats {
+        self.refresh_gauges();
         let snap = self.current_snapshot();
         let m = &self.metrics;
         ServerStats {
             read_only: self.is_read_only() as u64,
-            wal_appends: Metrics::get(&m.wal_appends),
-            wal_syncs: Metrics::get(&m.wal_syncs),
-            fsync_p50_us: m.fsync.quantile_us(0.5),
-            fsync_p99_us: m.fsync.quantile_us(0.99),
-            checkpoints: Metrics::get(&m.checkpoints),
-            checkpoint_failures: Metrics::get(&m.checkpoint_failures),
-            last_recovery_us: Metrics::get(&m.last_recovery_us),
-            io_errors: Metrics::get(&m.io_errors),
+            wal_appends: m.wal_appends.get() as u64,
+            wal_syncs: m.wal_syncs.get() as u64,
+            fsync_p50_us: m.fsync.quantile(0.5),
+            fsync_p99_us: m.fsync.quantile(0.99),
+            checkpoints: m.checkpoints.get(),
+            checkpoint_failures: m.checkpoint_failures.get(),
+            last_recovery_us: m.last_recovery_us.get() as u64,
+            io_errors: m.io_errors.get(),
             epoch: snap.epoch(),
             live_shapes: snap.len() as u64,
             levels: snap.num_levels() as u64,
-            requests: Metrics::get(&m.requests),
-            queries: Metrics::get(&m.queries),
-            inserts: Metrics::get(&m.inserts),
-            deletes: Metrics::get(&m.deletes),
-            busy_rejects: Metrics::get(&m.busy_rejects),
-            protocol_errors: Metrics::get(&m.protocol_errors),
-            latency_p50_us: m.latency.quantile_us(0.5),
-            latency_p99_us: m.latency.quantile_us(0.99),
-            snapshots_published: Metrics::get(&m.snapshots_published),
-            publish_p50_us: m.publish.quantile_us(0.5),
-            publish_p99_us: m.publish.quantile_us(0.99),
+            requests: m.requests.get(),
+            queries: m.queries.get(),
+            inserts: m.inserts.get(),
+            deletes: m.deletes.get(),
+            busy_rejects: m.busy_rejects.get(),
+            protocol_errors: m.protocol_errors.get(),
+            latency_p50_us: m.latency_quantile(0.5),
+            latency_p99_us: m.latency_quantile(0.99),
+            snapshots_published: m.snapshots_published.get(),
+            publish_p50_us: m.publish.quantile(0.5),
+            publish_p99_us: m.publish.quantile(0.99),
             snapshot_age_us: self.last_publish.lock().unwrap().elapsed().as_micros() as u64,
             queue_depth: self.read_queue.depth() as u64,
         }
@@ -277,6 +435,18 @@ impl ServerHandle {
     /// The bound address (useful with port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Bound address of the HTTP metrics endpoint, when
+    /// [`ServeConfig::metrics_addr`] was set (useful with port 0).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        *self.shared.metrics_addr.lock().unwrap()
+    }
+
+    /// The server's metrics registry — every series the worker, writer,
+    /// WAL, and checkpointer record lands here.
+    pub fn registry(&self) -> Arc<obs::Registry> {
+        self.shared.metrics.registry.clone()
     }
 
     /// Begin graceful shutdown: queues close, admitted work drains.
@@ -314,7 +484,8 @@ impl ServerHandle {
 /// Publishes the initial snapshot before returning, so the first query
 /// cannot race an empty slot.
 pub fn serve(addr: &str, base: DynamicBase, cfg: ServeConfig) -> std::io::Result<ServerHandle> {
-    serve_inner(addr, base, cfg, None, HashMap::new(), 0)
+    let registry = Arc::new(obs::Registry::new());
+    serve_inner(addr, base, cfg, None, HashMap::new(), 0, registry)
 }
 
 /// Start a **durable** server: recover the base from `dcfg.data_dir`
@@ -327,7 +498,13 @@ pub fn serve_durable(
     dcfg: DurabilityConfig,
     cfg: ServeConfig,
 ) -> std::io::Result<(ServerHandle, RecoveryReport)> {
-    let Recovered { base, wal, applied_lsn, dedup, report } = durable::recover(template, &dcfg)?;
+    let registry = Arc::new(obs::Registry::new());
+    // route the WAL-replay / checkpoint-read instrumentation inside
+    // recovery to this server's registry, not the process global
+    obs::set_thread_registry(Some(registry.clone()));
+    let recovered = durable::recover(template, &dcfg);
+    obs::set_thread_registry(None);
+    let Recovered { base, wal, applied_lsn, dedup, report } = recovered?;
     let state = DurableState {
         wal: Mutex::new(wal),
         data_dir: dcfg.data_dir.clone(),
@@ -336,8 +513,14 @@ pub fn serve_durable(
         records_since_ckpt: AtomicU64::new(0),
         last_ckpt_lsn: AtomicU64::new(report.checkpoint_lsn),
     };
-    let handle = serve_inner(addr, base, cfg, Some(state), dedup, applied_lsn)?;
-    handle.shared.metrics.last_recovery_us.store(report.recovery_us, Ordering::Relaxed);
+    let handle = serve_inner(addr, base, cfg, Some(state), dedup, applied_lsn, registry)?;
+    let m = &handle.shared.metrics;
+    m.last_recovery_us.set(report.recovery_us as i64);
+    let r = &m.registry;
+    r.gauge("geosir_recovery_replayed_records", &[]).set(report.replayed as i64);
+    r.gauge("geosir_recovery_checkpoint_shapes", &[]).set(report.checkpoint_shapes as i64);
+    r.gauge("geosir_recovery_truncated_tail", &[]).set(report.truncated_tail as i64);
+    r.gauge("geosir_recovery_dropped_bytes", &[]).set(report.dropped_bytes as i64);
     Ok((handle, report))
 }
 
@@ -348,6 +531,7 @@ fn serve_inner(
     durable: Option<DurableState>,
     dedup: HashMap<u64, u64>,
     applied_lsn: Lsn,
+    registry: Arc<obs::Registry>,
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
@@ -358,14 +542,18 @@ fn serve_inner(
     };
     let snap0 = Arc::new(base.snapshot());
     let next_id = snap0.next_id();
+    let metrics = Metrics::new(registry);
+    let read_gauge = metrics.read_queue_depth.clone();
+    let write_gauge = metrics.write_queue_depth.clone();
     let shared = Arc::new(Shared {
         published: RwLock::new(Published { snap: snap0, wal_lsn: applied_lsn }),
         last_publish: Mutex::new(Instant::now()),
-        read_queue: BoundedQueue::new(cfg.queue_cap),
-        write_queue: BoundedQueue::new(cfg.write_queue_cap),
-        metrics: Metrics::default(),
+        read_queue: BoundedQueue::new(cfg.queue_cap).with_gauge(read_gauge),
+        write_queue: BoundedQueue::new(cfg.write_queue_cap).with_gauge(write_gauge),
+        metrics,
         shutdown: AtomicBool::new(false),
         addr: local,
+        metrics_addr: Mutex::new(None),
         cfg: cfg.clone(),
         durable,
     });
@@ -376,7 +564,7 @@ fn serve_inner(
         threads.push(
             std::thread::Builder::new()
                 .name(format!("geosir-worker-{i}"))
-                .spawn(move || worker_loop(&shared))?,
+                .spawn(move || worker_loop(i, &shared))?,
         );
     }
     {
@@ -404,7 +592,43 @@ fn serve_inner(
                 .spawn(move || listener_loop(listener, &shared))?,
         );
     }
+    if let Some(maddr) = &cfg.metrics_addr {
+        let expo = TcpListener::bind(maddr.as_str())?;
+        *shared.metrics_addr.lock().unwrap() = Some(expo.local_addr()?);
+        let shared = shared.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("geosir-metrics".into())
+                .spawn(move || metrics_loop(expo, &shared))?,
+        );
+    }
     Ok(ServerHandle { addr: local, shared, threads })
+}
+
+/// Accept loop for the HTTP metrics endpoint: refresh the passive
+/// gauges, then let `geosir-obs` answer `/metrics` and
+/// `/debug/last_queries`. Scrapes are served inline — they are rare,
+/// cheap, and must not compete with workers for queue slots.
+fn metrics_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                if shared.is_shutdown() {
+                    break;
+                }
+                shared.refresh_gauges();
+                let _ = obs::expo::handle_connection(&mut stream, &shared.metrics.registry);
+            }
+            Err(e) => {
+                if shared.is_shutdown() {
+                    break;
+                }
+                if !is_transient_accept_error(e.kind()) {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+    }
 }
 
 fn listener_loop(listener: TcpListener, shared: &Arc<Shared>) {
@@ -430,7 +654,7 @@ fn listener_loop(listener: TcpListener, shared: &Arc<Shared>) {
                 if !is_transient_accept_error(e.kind()) {
                     // real socket trouble (EMFILE, ENOBUFS, …): count it
                     // and back off instead of hot-spinning the accept loop
-                    Metrics::bump(&shared.metrics.io_errors);
+                    shared.metrics.io_errors.inc();
                     std::thread::sleep(Duration::from_millis(10));
                 }
             }
@@ -463,8 +687,10 @@ fn submit(queue: &BoundedQueue<Job>, shared: &Shared, job: Job) -> Result<(), Fr
     match queue.try_push(job) {
         Ok(()) => Ok(()),
         Err(PushError::Full(_)) => {
-            Metrics::bump(&shared.metrics.busy_rejects);
-            Err(Frame::Busy { retry_after_ms: shared.cfg.retry_after_ms })
+            shared.metrics.busy_rejects.inc();
+            // hint derived from live queue depth + observed drain rate,
+            // so a draining queue hands out ever-shorter waits
+            Err(Frame::Busy { retry_after_ms: queue.retry_hint(shared.cfg.retry_after_ms) })
         }
         Err(PushError::Closed(_)) => Err(Frame::Error {
             code: error_code::SHUTTING_DOWN,
@@ -501,14 +727,15 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
             Err(WireError::Io(_)) => break,
             Err(e) => {
                 // protocol violation: answer once, then hang up
-                Metrics::bump(&shared.metrics.protocol_errors);
+                shared.metrics.protocol_errors.inc();
                 let _ = Frame::Error { code: error_code::MALFORMED, message: e.to_string() }
                     .write_to(&mut stream);
                 break;
             }
         };
         let outcome = match frame {
-            Frame::Query { .. } | Frame::QueryBatch { .. } | Frame::Stats => submit(
+            Frame::Query { .. } | Frame::QueryBatch { .. } | Frame::Stats
+            | Frame::MetricsDump => submit(
                 &shared.read_queue,
                 shared,
                 Job { frame, reply: reply_tx.clone(), enqueued: Instant::now() },
@@ -544,30 +771,64 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
+fn worker_loop(worker: usize, shared: &Arc<Shared>) {
+    // Route the matcher/dynamic-base instrumentation recorded deep in
+    // geosir-core to this server's registry for the thread's lifetime.
+    obs::set_thread_registry(Some(shared.metrics.registry.clone()));
+    let worker_label = worker.to_string();
+    let busy_us = shared
+        .metrics
+        .registry
+        .counter("geosir_worker_busy_us_total", &[("worker", worker_label.as_str())]);
     // Long-lived per-worker scratch: after warm-up, the per-query
     // retrieval path touches the heap only for the reply frame.
     let mut scratch = MatcherScratch::new();
     let mut tmp = MatchOutcome::default();
     let mut hits = Vec::new();
+    let mut rstats = RetrieveStats::default();
     while let Some(job) = shared.read_queue.pop() {
+        let queue_wait_us = job.enqueued.elapsed().as_micros() as u64;
+        let started = Instant::now();
+        let traces = shared.metrics.registry.traces();
         let reply = match &job.frame {
-            Frame::Query { k, shape } => match shape.to_polyline() {
+            Frame::Query { k, trace, shape } => match shape.to_polyline() {
                 Some(query) => {
-                    Metrics::bump(&shared.metrics.queries);
+                    shared.metrics.queries.inc();
                     let snap = shared.current_snapshot();
-                    snap.retrieve_with(&mut scratch, &mut tmp, &query, *k as usize, &mut hits);
+                    let span = obs::SpanGuard::enter("retrieve");
+                    snap.retrieve_with_stats(
+                        &mut scratch,
+                        &mut tmp,
+                        &query,
+                        *k as usize,
+                        &mut hits,
+                        &mut rstats,
+                    );
+                    let retrieve_us = span.elapsed_us();
+                    drop(span);
+                    let trace_id = if *trace != 0 { *trace } else { traces.assign_id() };
+                    let mut ev = obs::TraceEvent::new(trace_id, "query");
+                    ev.total_us = queue_wait_us + retrieve_us;
+                    ev.stage("queue_wait", queue_wait_us)
+                        .stage("retrieve", retrieve_us)
+                        .note("epoch", snap.epoch())
+                        .note("rings", rstats.rings)
+                        .note("candidates", rstats.vertices_reported)
+                        .note("scored", rstats.candidates_scored)
+                        .note("hits", hits.len() as u64);
+                    traces.push(ev);
                     Frame::Matches { epoch: snap.epoch(), matches: to_wire(&hits) }
                 }
                 None => bad_shape(),
             },
             Frame::QueryBatch { k, shapes } => {
                 let snap = shared.current_snapshot();
+                let span = obs::SpanGuard::enter("retrieve_batch");
                 let mut results = Vec::with_capacity(shapes.len());
                 for shape in shapes {
                     match shape.to_polyline() {
                         Some(query) => {
-                            Metrics::bump(&shared.metrics.queries);
+                            shared.metrics.queries.inc();
                             snap.retrieve_with(
                                 &mut scratch,
                                 &mut tmp,
@@ -580,16 +841,33 @@ fn worker_loop(shared: &Arc<Shared>) {
                         None => results.push(Vec::new()),
                     }
                 }
+                let batch_us = span.elapsed_us();
+                drop(span);
+                let mut ev = obs::TraceEvent::new(traces.assign_id(), "batch");
+                ev.total_us = queue_wait_us + batch_us;
+                ev.stage("queue_wait", queue_wait_us)
+                    .stage("retrieve", batch_us)
+                    .note("queries", shapes.len() as u64);
+                traces.push(ev);
                 Frame::BatchMatches { epoch: snap.epoch(), results }
             }
             Frame::Stats => Frame::StatsReport(shared.stats()),
+            Frame::MetricsDump => {
+                shared.refresh_gauges();
+                let mut bytes = Vec::with_capacity(4096);
+                shared.metrics.registry.snapshot().encode(&mut bytes);
+                Frame::MetricsReport { snapshot: bytes }
+            }
             _ => Frame::Error {
                 code: error_code::UNEXPECTED_FRAME,
                 message: "write frame on read queue".into(),
             },
         };
-        Metrics::bump(&shared.metrics.requests);
-        shared.metrics.latency.record_us(job.enqueued.elapsed().as_micros() as u64);
+        let kind =
+            if matches!(job.frame, Frame::Stats | Frame::MetricsDump) { ReqKind::Stats } else { ReqKind::Query };
+        shared.metrics.requests.inc();
+        shared.metrics.latency(kind).record(job.enqueued.elapsed().as_micros() as u64);
+        busy_us.add(started.elapsed().as_micros() as u64);
         let _ = job.reply.send(reply);
     }
 }
@@ -655,8 +933,8 @@ fn plan_batch<'a>(
     let mut acts = Vec::new();
     for frame in frames {
         let act = match frame {
-            Frame::Insert { image, key, shape } => {
-                Metrics::bump(&metrics.inserts);
+            Frame::Insert { image, key, shape, .. } => {
+                metrics.inserts.inc();
                 if read_only {
                     Act::Reply(read_only_reply())
                 } else if let Some(&id) = ctx.dedup.get(key).filter(|_| *key != 0) {
@@ -678,7 +956,7 @@ fn plan_batch<'a>(
                 }
             }
             Frame::Delete { id } => {
-                Metrics::bump(&metrics.deletes);
+                metrics.deletes.inc();
                 if read_only {
                     Act::Reply(read_only_reply())
                 } else {
@@ -718,6 +996,9 @@ fn read_only_reply() -> Frame {
 }
 
 fn writer_loop(mut base: DynamicBase, mut ctx: WriterCtx, shared: &Arc<Shared>) {
+    // WAL append/fsync instrumentation inside geosir-storage lands on
+    // this server's registry for the thread's lifetime.
+    obs::set_thread_registry(Some(shared.metrics.registry.clone()));
     const MAX_BATCH: usize = 64;
     while let Some(first) = shared.write_queue.pop() {
         // batch whatever else is already queued (bounded), log, apply,
@@ -731,6 +1012,7 @@ fn writer_loop(mut base: DynamicBase, mut ctx: WriterCtx, shared: &Arc<Shared>) 
             }
         }
 
+        let batch_started = Instant::now();
         let read_only = shared.is_read_only();
         let mut acts =
             plan_batch(batch.iter().map(|j| &j.frame), &mut ctx, read_only, &shared.metrics);
@@ -740,10 +1022,12 @@ fn writer_loop(mut base: DynamicBase, mut ctx: WriterCtx, shared: &Arc<Shared>) 
         // read-only and refuses the whole batch — nothing un-logged is
         // ever acked or published.
         let mut logged = 0u64;
+        let mut wal_us = 0u64;
         if let Some(d) = &shared.durable {
             let has_mutation =
                 acts.iter().any(|a| matches!(a, Act::Insert { .. } | Act::Delete { .. }));
             if has_mutation {
+                let span = obs::SpanGuard::enter("wal");
                 let mut wal = d.wal.lock().unwrap();
                 let res = (|| {
                     for act in &acts {
@@ -767,20 +1051,22 @@ fn writer_loop(mut base: DynamicBase, mut ctx: WriterCtx, shared: &Arc<Shared>) 
                     }
                     wal.commit()
                 })();
-                shared.metrics.wal_appends.store(wal.appends, Ordering::Relaxed);
-                shared.metrics.wal_syncs.store(wal.syncs, Ordering::Relaxed);
+                shared.metrics.wal_appends.set(wal.appends as i64);
+                shared.metrics.wal_syncs.set(wal.syncs as i64);
                 drop(wal);
+                wal_us = span.elapsed_us();
+                drop(span);
                 match res {
                     Ok(fsync) => {
                         if let Some(dur) = fsync {
-                            shared.metrics.fsync.record_us(dur.as_micros() as u64);
+                            shared.metrics.fsync.record_duration(dur);
                         }
                         d.records_since_ckpt.fetch_add(logged, Ordering::Relaxed);
                     }
                     Err(_) => {
                         // degraded mode: refuse this batch and all future
                         // writes; queries keep serving the last snapshot
-                        Metrics::bump(&shared.metrics.io_errors);
+                        shared.metrics.io_errors.inc();
                         d.read_only.store(true, Ordering::SeqCst);
                         refuse_unlogged(&mut acts);
                     }
@@ -812,8 +1098,9 @@ fn writer_loop(mut base: DynamicBase, mut ctx: WriterCtx, shared: &Arc<Shared>) 
             };
             replies.push(reply);
         }
+        let mut publish_us = 0u64;
         if applied {
-            let t0 = Instant::now();
+            let span = obs::SpanGuard::enter("publish");
             let snap = Arc::new(base.snapshot());
             let wal_lsn = shared
                 .durable
@@ -822,12 +1109,35 @@ fn writer_loop(mut base: DynamicBase, mut ctx: WriterCtx, shared: &Arc<Shared>) 
                 .unwrap_or(0);
             *shared.published.write().unwrap() = Published { snap, wal_lsn };
             *shared.last_publish.lock().unwrap() = Instant::now();
-            shared.metrics.publish.record_us(t0.elapsed().as_micros() as u64);
-            Metrics::bump(&shared.metrics.snapshots_published);
+            publish_us = span.elapsed_us();
+            drop(span);
+            shared.metrics.publish.record(publish_us);
+            shared.metrics.snapshots_published.inc();
         }
+        let traces = shared.metrics.registry.traces();
+        let batch_len = batch.len() as u64;
         for (job, reply) in batch.into_iter().zip(replies) {
-            Metrics::bump(&shared.metrics.requests);
-            shared.metrics.latency.record_us(job.enqueued.elapsed().as_micros() as u64);
+            shared.metrics.requests.inc();
+            shared.metrics.latency(ReqKind::Write).record(job.enqueued.elapsed().as_micros() as u64);
+            let kind = match &job.frame {
+                Frame::Insert { .. } => "insert",
+                Frame::Delete { .. } => "delete",
+                _ => "write",
+            };
+            let trace = job.trace();
+            let trace_id = if trace != 0 { trace } else { traces.assign_id() };
+            let mut ev = obs::TraceEvent::new(trace_id, kind);
+            ev.total_us = job.enqueued.elapsed().as_micros() as u64;
+            // queue_wait is per job; wal and publish are shared by the
+            // whole batch (that is what the client actually waited on)
+            ev.stage(
+                "queue_wait",
+                batch_started.duration_since(job.enqueued).as_micros() as u64,
+            )
+            .stage("wal", wal_us)
+            .stage("publish", publish_us)
+            .note("batch", batch_len);
+            traces.push(ev);
             let _ = job.reply.send(reply);
         }
     }
@@ -835,7 +1145,7 @@ fn writer_loop(mut base: DynamicBase, mut ctx: WriterCtx, shared: &Arc<Shared>) 
     if let Some(d) = &shared.durable {
         let mut wal = d.wal.lock().unwrap();
         let _ = wal.sync();
-        shared.metrics.wal_syncs.store(wal.syncs, Ordering::Relaxed);
+        shared.metrics.wal_syncs.set(wal.syncs as i64);
     }
 }
 
@@ -844,6 +1154,9 @@ fn writer_loop(mut base: DynamicBase, mut ctx: WriterCtx, shared: &Arc<Shared>) 
 /// the manifest at it, then rotate the WAL and prune covered segments.
 /// Persistent failure (3 consecutive) flips the server read-only.
 fn checkpointer_loop(shared: &Arc<Shared>) {
+    // checkpoint/manifest instrumentation inside geosir-storage lands
+    // on this server's registry
+    obs::set_thread_registry(Some(shared.metrics.registry.clone()));
     let Some(d) = &shared.durable else { return };
     let mut consecutive_failures = 0u32;
     while !shared.is_shutdown() {
@@ -879,19 +1192,19 @@ fn checkpointer_loop(shared: &Arc<Shared>) {
                 let mut wal = d.wal.lock().unwrap();
                 wal.rotate()?;
                 wal.prune_up_to(lsn)?;
-                shared.metrics.wal_syncs.store(wal.syncs, Ordering::Relaxed);
+                shared.metrics.wal_syncs.set(wal.syncs as i64);
                 Ok(())
             });
         match result {
             Ok(()) => {
-                Metrics::bump(&shared.metrics.checkpoints);
+                shared.metrics.checkpoints.inc();
                 d.records_since_ckpt.fetch_sub(pending, Ordering::Relaxed);
                 d.last_ckpt_lsn.store(lsn, Ordering::Relaxed);
                 consecutive_failures = 0;
             }
             Err(_) => {
-                Metrics::bump(&shared.metrics.checkpoint_failures);
-                Metrics::bump(&shared.metrics.io_errors);
+                shared.metrics.checkpoint_failures.inc();
+                shared.metrics.io_errors.inc();
                 consecutive_failures += 1;
                 if consecutive_failures >= 3 {
                     d.read_only.store(true, Ordering::SeqCst);
@@ -999,7 +1312,49 @@ mod tests {
             geosir_geom::Point::new(1.5, 2.0),
         ])
         .unwrap();
-        Frame::Insert { image: 1, key, shape: crate::wire::WireShape::from_polyline(&poly) }
+        Frame::Insert { image: 1, key, trace: 0, shape: crate::wire::WireShape::from_polyline(&poly) }
+    }
+
+    /// Satellite requirement: the `Busy` hint must be proportional to the
+    /// backlog at a fixed drain rate, so it shrinks as the queue drains.
+    #[test]
+    fn retry_hint_shrinks_as_the_queue_drains() {
+        // observed rate: 50 items per 100 ms → 2 ms per item
+        let hints: Vec<u32> =
+            [100usize, 50, 20, 5, 0].iter().map(|&d| retry_hint_ms(d, 50, 100_000, 50)).collect();
+        for pair in hints.windows(2) {
+            assert!(pair[0] > pair[1], "hint must shrink with depth: {hints:?}");
+        }
+        assert!(hints[0] >= 200, "100 queued at 2 ms each is ≥ 200 ms, got {}", hints[0]);
+        assert!(hints[4] <= 2, "an empty queue drains immediately, got {}", hints[4]);
+    }
+
+    #[test]
+    fn retry_hint_falls_back_without_an_observed_rate() {
+        assert_eq!(retry_hint_ms(10, 0, 0, 50), 50);
+        assert_eq!(retry_hint_ms(10, 0, 100_000, 50), 50);
+        // fallback 0 still yields a usable nonzero hint
+        assert_eq!(retry_hint_ms(10, 0, 0, 0), 1);
+    }
+
+    #[test]
+    fn retry_hint_is_clamped_against_stalls() {
+        // 1 item drained over 10 s with a deep backlog: clamped to 10 s
+        assert_eq!(retry_hint_ms(10_000, 1, 10_000_000, 50), 10_000);
+    }
+
+    #[test]
+    fn drain_tracker_reports_pops() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(8);
+        for i in 0..6 {
+            assert!(q.try_push(i).is_ok());
+        }
+        for _ in 0..6 {
+            q.pop();
+        }
+        let (drained, window_us) = q.drain.recent_rate();
+        assert_eq!(drained, 6);
+        assert!(window_us > 0);
     }
 
     /// A retried Insert landing in the same writer batch as its original

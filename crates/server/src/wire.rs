@@ -30,7 +30,12 @@ use std::io::{Read, Write};
 /// v2: `Insert` carries a client idempotency key, `Busy` carries a
 /// retry-after hint, stats report durability counters, and servers may
 /// answer writes with [`error_code::READ_ONLY`] in degraded mode.
-pub const PROTOCOL_VERSION: u8 = 2;
+///
+/// v3: `Query` and `Insert` carry a client-chosen trace id (0 = none)
+/// that the server threads through its stage timings and surfaces in
+/// `/debug/last_queries`; `MetricsDump` / `MetricsReport` fetch a full
+/// [`geosir_obs::Snapshot`] of the server's metrics registry.
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Ceiling on a frame's payload size. A length prefix above this is
 /// rejected *before* any allocation, so a hostile 4 GiB prefix cannot OOM
@@ -150,19 +155,25 @@ pub struct ServerStats {
 /// Response frames (server → client): the rest.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
-    /// Retrieve the k best shapes (`k = 0`: server default).
-    Query { k: u32, shape: WireShape },
+    /// Retrieve the k best shapes (`k = 0`: server default). `trace` is
+    /// a client-chosen trace id (0 = server assigns one) that tags the
+    /// query's stage timings in the server's trace log.
+    Query { k: u32, trace: u64, shape: WireShape },
     /// Retrieve for every shape in one round trip.
     QueryBatch { k: u32, shapes: Vec<WireShape> },
     /// Add a shape to the live base. `key` is a client-chosen
     /// idempotency token (0 = none): resending the same key after a
     /// timeout cannot double-insert — the server replies with the
-    /// originally assigned id.
-    Insert { image: u32, key: u64, shape: WireShape },
+    /// originally assigned id. `trace` tags the write's stage timings
+    /// (0 = server assigns one).
+    Insert { image: u32, key: u64, trace: u64, shape: WireShape },
     /// Tombstone a shape by global id.
     Delete { id: u64 },
     /// Fetch [`ServerStats`].
     Stats,
+    /// Fetch the full metrics-registry snapshot ([`geosir_obs::Snapshot`]
+    /// bytes come back in [`Frame::MetricsReport`]).
+    MetricsDump,
     /// Begin graceful shutdown: in-flight requests drain, then the server
     /// exits.
     Shutdown,
@@ -177,6 +188,10 @@ pub enum Frame {
     Deleted { epoch: u64, existed: bool },
     /// Reply to `Stats`.
     StatsReport(ServerStats),
+    /// Reply to `MetricsDump`: an encoded [`geosir_obs::Snapshot`] of
+    /// every metric series the server registered. Opaque bytes on the
+    /// wire so the codec stays decoupled from the registry layout.
+    MetricsReport { snapshot: Vec<u8> },
     /// Load shed: the bounded request queue was full. Retry after the
     /// hinted delay (0 = client's choice).
     Busy { retry_after_ms: u32 },
@@ -194,6 +209,7 @@ mod frame_type {
     pub const DELETE: u8 = 4;
     pub const STATS: u8 = 5;
     pub const SHUTDOWN: u8 = 6;
+    pub const METRICS_DUMP: u8 = 7;
     pub const MATCHES: u8 = 64;
     pub const BATCH_MATCHES: u8 = 65;
     pub const INSERTED: u8 = 66;
@@ -202,6 +218,7 @@ mod frame_type {
     pub const BUSY: u8 = 69;
     pub const BYE: u8 = 70;
     pub const ERROR: u8 = 71;
+    pub const METRICS_REPORT: u8 = 72;
 }
 
 /// Decode / transport failures. Every variant leaves the connection in a
@@ -332,6 +349,8 @@ impl Frame {
             Frame::Busy { .. } => frame_type::BUSY,
             Frame::Delete { .. } => frame_type::DELETE,
             Frame::Stats => frame_type::STATS,
+            Frame::MetricsDump => frame_type::METRICS_DUMP,
+            Frame::MetricsReport { .. } => frame_type::METRICS_REPORT,
             Frame::Shutdown => frame_type::SHUTDOWN,
             Frame::Matches { .. } => frame_type::MATCHES,
             Frame::BatchMatches { .. } => frame_type::BATCH_MATCHES,
@@ -345,8 +364,9 @@ impl Frame {
 
     fn encode_payload(&self, out: &mut Vec<u8>) {
         match self {
-            Frame::Query { k, shape } => {
+            Frame::Query { k, trace, shape } => {
                 out.put_u32_le(*k);
+                out.put_u64_le(*trace);
                 put_shape(out, shape);
             }
             Frame::QueryBatch { k, shapes } => {
@@ -356,14 +376,19 @@ impl Frame {
                     put_shape(out, s);
                 }
             }
-            Frame::Insert { image, key, shape } => {
+            Frame::Insert { image, key, trace, shape } => {
                 out.put_u32_le(*image);
                 out.put_u64_le(*key);
+                out.put_u64_le(*trace);
                 put_shape(out, shape);
             }
             Frame::Delete { id } => out.put_u64_le(*id),
             Frame::Busy { retry_after_ms } => out.put_u32_le(*retry_after_ms),
-            Frame::Stats | Frame::Shutdown | Frame::Bye => {}
+            Frame::Stats | Frame::MetricsDump | Frame::Shutdown | Frame::Bye => {}
+            Frame::MetricsReport { snapshot } => {
+                out.put_u32_le(snapshot.len() as u32);
+                out.put_slice(snapshot);
+            }
             Frame::Matches { epoch, matches } => {
                 out.put_u64_le(*epoch);
                 put_matches(out, matches);
@@ -426,11 +451,12 @@ impl Frame {
         let buf = &mut buf;
         let frame = match type_byte {
             frame_type::QUERY => {
-                if buf.len() < 4 {
+                if buf.len() < 12 {
                     return Err(WireError::Malformed);
                 }
                 let k = buf.get_u32_le();
-                Frame::Query { k, shape: get_shape(buf)? }
+                let trace = buf.get_u64_le();
+                Frame::Query { k, trace, shape: get_shape(buf)? }
             }
             frame_type::QUERY_BATCH => {
                 if buf.len() < 8 {
@@ -449,12 +475,13 @@ impl Frame {
                 Frame::QueryBatch { k, shapes }
             }
             frame_type::INSERT => {
-                if buf.len() < 12 {
+                if buf.len() < 20 {
                     return Err(WireError::Malformed);
                 }
                 let image = buf.get_u32_le();
                 let key = buf.get_u64_le();
-                Frame::Insert { image, key, shape: get_shape(buf)? }
+                let trace = buf.get_u64_le();
+                Frame::Insert { image, key, trace, shape: get_shape(buf)? }
             }
             frame_type::DELETE => {
                 if buf.len() < 8 {
@@ -463,6 +490,7 @@ impl Frame {
                 Frame::Delete { id: buf.get_u64_le() }
             }
             frame_type::STATS => Frame::Stats,
+            frame_type::METRICS_DUMP => Frame::MetricsDump,
             frame_type::SHUTDOWN => Frame::Shutdown,
             frame_type::MATCHES => {
                 if buf.len() < 8 {
@@ -547,6 +575,18 @@ impl Frame {
                 Frame::Busy { retry_after_ms: buf.get_u32_le() }
             }
             frame_type::BYE => Frame::Bye,
+            frame_type::METRICS_REPORT => {
+                if buf.len() < 4 {
+                    return Err(WireError::Malformed);
+                }
+                let n = buf.get_u32_le() as usize;
+                if buf.len() < n {
+                    return Err(WireError::Malformed);
+                }
+                let snapshot = buf[..n].to_vec();
+                buf.advance(n);
+                Frame::MetricsReport { snapshot }
+            }
             frame_type::ERROR => {
                 if buf.len() < 6 {
                     return Err(WireError::Malformed);

@@ -161,7 +161,12 @@ fn duplicate_idempotency_key_is_deduplicated() {
     .unwrap();
     let mut c = Client::connect(handle.addr()).unwrap();
 
-    let frame = Frame::Insert { image: 7, key: 0xDEAD_BEEF, shape: WireShape::from_polyline(&tri(1)) };
+    let frame = Frame::Insert {
+        image: 7,
+        key: 0xDEAD_BEEF,
+        trace: 0,
+        shape: WireShape::from_polyline(&tri(1)),
+    };
     let first = match c.request(&frame).unwrap() {
         Frame::Inserted { id, .. } => id,
         other => panic!("want Inserted, got {other:?}"),
@@ -175,7 +180,8 @@ fn duplicate_idempotency_key_is_deduplicated() {
     assert_eq!(handle.stats().live_shapes, 1, "the shape must exist exactly once");
 
     // key 0 means "no key": two sends are two shapes
-    let unkeyed = Frame::Insert { image: 8, key: 0, shape: WireShape::from_polyline(&tri(2)) };
+    let unkeyed =
+        Frame::Insert { image: 8, key: 0, trace: 0, shape: WireShape::from_polyline(&tri(2)) };
     c.request(&unkeyed).unwrap();
     c.request(&unkeyed).unwrap();
     assert_eq!(handle.stats().live_shapes, 3);

@@ -1,0 +1,185 @@
+//! End-to-end observability over a live durable server: under a mixed
+//! read/write load the `/metrics` endpoint serves non-zero per-stage
+//! series (matcher work, request latency, WAL fsync, queue gauges), a
+//! query's client-minted trace id shows up in `/debug/last_queries`
+//! with non-zero stage durations, and the same registry arrives intact
+//! over the wire through `MetricsDump`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+
+use geosir_core::matcher::MatchConfig;
+use geosir_geom::rangesearch::Backend;
+use geosir_geom::{Point, Polyline};
+use geosir_serve::{serve_durable, BaseTemplate, Client, DurabilityConfig, ServeConfig};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("geosir-obs-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn template() -> BaseTemplate {
+    BaseTemplate {
+        alpha: 0.0,
+        backend: Backend::KdTree,
+        config: MatchConfig { beta: 0.2, ..Default::default() },
+        buffer_cap: 8,
+    }
+}
+
+fn tri(i: u64) -> Polyline {
+    Polyline::closed(vec![
+        Point::new(0.0, 0.0),
+        Point::new(3.0 + i as f64 * 0.01, 0.2),
+        Point::new(1.5, 2.0 + (i % 5) as f64 * 0.1),
+    ])
+    .unwrap()
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect metrics endpoint");
+    write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read response");
+    out
+}
+
+/// Value of a Prometheus series whose line starts with `prefix` (the
+/// full name including any label set), or None when absent.
+fn series_value(text: &str, prefix: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(prefix)?;
+        rest.strip_prefix(' ')?.trim().parse().ok()
+    })
+}
+
+#[test]
+fn live_metrics_and_trace_ids_under_mixed_load() {
+    let dir = tmpdir("mixed");
+    let cfg = ServeConfig {
+        workers: 2,
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        ..Default::default()
+    };
+    let (handle, _) =
+        serve_durable("127.0.0.1:0", &template(), DurabilityConfig::new(&dir), cfg).unwrap();
+    let maddr = handle.metrics_addr().expect("metrics endpoint must be bound");
+
+    // --- mixed load: writes interleaved with queries ---
+    let mut c = Client::connect(handle.addr()).unwrap();
+    for i in 0..16u64 {
+        c.insert_retrying(i as u32, &tri(i)).unwrap();
+    }
+    let mut last_trace = 0u64;
+    for i in 0..12u64 {
+        let reply = c.query(&tri(i), 2).unwrap();
+        assert!(!reply.rejected);
+        assert!(!reply.matches.is_empty(), "query {i} found nothing");
+        assert_ne!(reply.trace, 0, "client must mint a trace id");
+        last_trace = reply.trace;
+    }
+
+    // --- /metrics: core series exist and moved ---
+    let resp = http_get(maddr, "/metrics");
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+    let body = resp.split("\r\n\r\n").nth(1).unwrap_or("");
+    for (series, at_least) in [
+        ("geosir_requests_total", 28.0),
+        ("geosir_queries_total", 12.0),
+        ("geosir_inserts_total", 16.0),
+        ("geosir_snapshot_publishes_total", 1.0),
+        ("geosir_matcher_runs_total", 12.0),
+        ("geosir_matcher_rings_total", 1.0),
+        ("geosir_matcher_havg_evals_total", 1.0),
+        ("geosir_wal_appends_total", 16.0),
+        ("geosir_wal_fsync_us_count", 1.0),
+        ("geosir_fsync_wait_us_count", 1.0),
+        ("geosir_live_shapes", 16.0),
+        ("geosir_request_latency_us_count{type=\"query\"}", 12.0),
+        ("geosir_request_latency_us_count{type=\"write\"}", 16.0),
+        ("geosir_stage_duration_us_count{stage=\"retrieve\"}", 12.0),
+        ("geosir_stage_duration_us_count{stage=\"wal\"}", 1.0),
+        ("geosir_stage_duration_us_count{stage=\"publish\"}", 1.0),
+    ] {
+        let v = series_value(body, series)
+            .unwrap_or_else(|| panic!("series `{series}` missing from /metrics:\n{body}"));
+        assert!(v >= at_least, "series `{series}` = {v}, want >= {at_least}");
+    }
+    // gauges must at least be exported (0 is fine for a drained queue)
+    assert!(body.contains("geosir_queue_depth{queue=\"read\"}"), "{body}");
+    assert!(body.contains("geosir_queue_depth{queue=\"write\"}"), "{body}");
+
+    // --- /debug/last_queries: the trace id we just got back, with
+    // non-zero stage durations ---
+    let resp = http_get(maddr, "/debug/last_queries");
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+    let json = resp.split("\r\n\r\n").nth(1).unwrap_or("");
+    let needle = format!("\"trace_id\":{last_trace}");
+    let at = json.find(&needle).unwrap_or_else(|| {
+        panic!("trace id {last_trace} not in /debug/last_queries:\n{json}")
+    });
+    let event = &json[at..json[at..].find("}}").map(|e| at + e + 2).unwrap_or(json.len())];
+    assert!(event.contains("\"kind\":\"query\""), "{event}");
+    let retrieve_us: u64 = event
+        .split("\"retrieve\":")
+        .nth(1)
+        .and_then(|s| s.split(&[',', '}'][..]).next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no retrieve stage in trace event: {event}"));
+    assert!(retrieve_us > 0, "retrieve stage duration must be non-zero: {event}");
+    // writes are traced too (server-assigned ids), through the WAL stage
+    assert!(json.contains("\"kind\":\"insert\""), "{json}");
+    assert!(json.contains("\"wal\":"), "{json}");
+
+    // --- the same registry over the wire: MetricsDump ---
+    let snap = c.metrics().expect("metrics dump");
+    assert!(snap.counter("geosir_requests_total", &[]) >= 28);
+    assert!(snap.counter("geosir_matcher_runs_total", &[]) >= 12);
+    let lat = snap
+        .histogram("geosir_request_latency_us", &[("type", "query")])
+        .expect("latency histogram over the wire");
+    assert!(lat.count() >= 12);
+    assert!(lat.quantile(0.99) > 0);
+
+    handle.shutdown();
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Two servers in one process must not cross-talk: each registry only
+/// sees its own requests.
+#[test]
+fn per_server_registries_stay_isolated() {
+    let dir_a = tmpdir("iso-a");
+    let dir_b = tmpdir("iso-b");
+    let cfg = ServeConfig { workers: 1, ..Default::default() };
+    let (a, _) =
+        serve_durable("127.0.0.1:0", &template(), DurabilityConfig::new(&dir_a), cfg.clone())
+            .unwrap();
+    let (b, _) =
+        serve_durable("127.0.0.1:0", &template(), DurabilityConfig::new(&dir_b), cfg).unwrap();
+
+    let mut ca = Client::connect(a.addr()).unwrap();
+    for i in 0..5u64 {
+        ca.insert_retrying(i as u32, &tri(i)).unwrap();
+    }
+    let mut cb = Client::connect(b.addr()).unwrap();
+    cb.insert_retrying(0, &tri(0)).unwrap();
+
+    let snap_a = ca.metrics().unwrap();
+    let snap_b = cb.metrics().unwrap();
+    assert_eq!(snap_a.counter("geosir_inserts_total", &[]), 5);
+    assert_eq!(snap_b.counter("geosir_inserts_total", &[]), 1);
+    assert_eq!(snap_a.gauge("geosir_live_shapes", &[]), 5);
+    assert_eq!(snap_b.gauge("geosir_live_shapes", &[]), 1);
+
+    a.shutdown();
+    a.join();
+    b.shutdown();
+    b.join();
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}

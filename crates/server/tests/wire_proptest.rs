@@ -60,13 +60,18 @@ fn rand_stats(rng: &mut StdRng) -> ServerStats {
 
 /// One random frame of each variant family, chosen by `pick`.
 fn rand_frame(pick: u8, rng: &mut StdRng) -> Frame {
-    match pick % 14 {
-        0 => Frame::Query { k: rng.random_range(0..64), shape: rand_shape(rng) },
+    match pick % 16 {
+        0 => Frame::Query { k: rng.random_range(0..64), trace: rng.random(), shape: rand_shape(rng) },
         1 => Frame::QueryBatch {
             k: rng.random_range(0..64),
             shapes: (0..rng.random_range(0..5usize)).map(|_| rand_shape(rng)).collect(),
         },
-        2 => Frame::Insert { image: rng.random(), key: rng.random(), shape: rand_shape(rng) },
+        2 => Frame::Insert {
+            image: rng.random(),
+            key: rng.random(),
+            trace: rng.random(),
+            shape: rand_shape(rng),
+        },
         3 => Frame::Delete { id: rng.random() },
         4 => Frame::Stats,
         5 => Frame::Shutdown,
@@ -80,6 +85,10 @@ fn rand_frame(pick: u8, rng: &mut StdRng) -> Frame {
         10 => Frame::StatsReport(rand_stats(rng)),
         11 => Frame::Busy { retry_after_ms: rng.random() },
         12 => Frame::Bye,
+        13 => Frame::MetricsDump,
+        14 => Frame::MetricsReport {
+            snapshot: (0..rng.random_range(0..64usize)).map(|_| rng.random()).collect(),
+        },
         _ => Frame::Error {
             code: rng.random(),
             message: String::from_utf8(
@@ -92,7 +101,7 @@ fn rand_frame(pick: u8, rng: &mut StdRng) -> Frame {
 
 proptest! {
     #[test]
-    fn every_frame_type_round_trips(pick in 0u8..14, seed in 0u64..200) {
+    fn every_frame_type_round_trips(pick in 0u8..16, seed in 0u64..200) {
         let mut rng = StdRng::seed_from_u64(seed);
         let frame = rand_frame(pick, &mut rng);
         let mut buf = Vec::new();
@@ -120,7 +129,7 @@ proptest! {
     }
 
     #[test]
-    fn truncation_at_any_point_errors_cleanly(pick in 0u8..14, seed in 0u64..50) {
+    fn truncation_at_any_point_errors_cleanly(pick in 0u8..16, seed in 0u64..50) {
         let mut rng = StdRng::seed_from_u64(seed);
         let frame = rand_frame(pick, &mut rng);
         let mut buf = Vec::new();
@@ -245,7 +254,7 @@ fn read_from_reports_clean_eof() {
 #[test]
 fn non_finite_shape_survives_the_wire_but_fails_polyline_conversion() {
     let shape = WireShape { closed: true, points: vec![(f64::NAN, 0.0), (1.0, 1.0), (0.0, 1.0)] };
-    let frame = Frame::Insert { image: 3, key: 41, shape: shape.clone() };
+    let frame = Frame::Insert { image: 3, key: 41, trace: 9, shape: shape.clone() };
     let mut buf = Vec::new();
     frame.encode(&mut buf);
     let (decoded, _) = Frame::decode(&buf).unwrap();

@@ -118,6 +118,7 @@ fn decode(bytes: &[u8]) -> Result<CheckpointData, PersistError> {
 /// Serialize `data` into 1 KB pages and atomically install it at
 /// `path` (via `path.tmp` + rename + dir fsync).
 pub fn write(path: &Path, data: &CheckpointData) -> Result<(), PersistError> {
+    let t = std::time::Instant::now();
     let stream = encode(data);
     let blocks = stream.len().div_ceil(BLOCK_SIZE).max(1);
     let mut disk = DiskSim::new(blocks);
@@ -131,6 +132,11 @@ pub fn write(path: &Path, data: &CheckpointData) -> Result<(), PersistError> {
     if let Some(dir) = path.parent() {
         sync_dir(dir);
     }
+    geosir_obs::with_current(|reg| {
+        reg.counter("geosir_checkpoint_writes_total", &[]).inc();
+        reg.histogram("geosir_checkpoint_write_us", &[]).record_duration(t.elapsed());
+        reg.gauge("geosir_checkpoint_last_shapes", &[]).set(data.shapes.len() as i64);
+    });
     Ok(())
 }
 

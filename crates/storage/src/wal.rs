@@ -44,8 +44,35 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::{Buf, BufMut};
+use geosir_obs as obs;
 
 use crate::faults::{FileFactory, Io, IoFactory};
+
+/// Registry handles for WAL I/O latency and volume, cached per thread.
+/// Append is the writer's hot path; recording is one map hit plus
+/// atomic adds, dwarfed by the file write itself.
+#[derive(Clone)]
+struct WalMetrics {
+    appends: Arc<obs::Counter>,
+    append_us: Arc<obs::Histogram>,
+    syncs: Arc<obs::Counter>,
+    fsync_us: Arc<obs::Histogram>,
+    rotations: Arc<obs::Counter>,
+    pruned_segments: Arc<obs::Counter>,
+}
+
+impl WalMetrics {
+    fn build(reg: &obs::Registry) -> WalMetrics {
+        WalMetrics {
+            appends: reg.counter("geosir_wal_appends_total", &[]),
+            append_us: reg.histogram("geosir_wal_append_us", &[]),
+            syncs: reg.counter("geosir_wal_syncs_total", &[]),
+            fsync_us: reg.histogram("geosir_wal_fsync_us", &[]),
+            rotations: reg.counter("geosir_wal_rotations_total", &[]),
+            pruned_segments: reg.counter("geosir_wal_pruned_segments_total", &[]),
+        }
+    }
+}
 
 /// Log sequence number: a global, monotonically increasing record id.
 pub type Lsn = u64;
@@ -312,7 +339,12 @@ impl Wal {
         let crc = crc32(&self.buf[8..]);
         self.buf[0..4].copy_from_slice(&payload_len.to_le_bytes());
         self.buf[4..8].copy_from_slice(&crc.to_le_bytes());
+        let t = Instant::now();
         self.seg.append(&self.buf)?;
+        obs::with_metrics(WalMetrics::build, |m| {
+            m.appends.inc();
+            m.append_us.record_duration(t.elapsed());
+        });
         self.next_lsn = lsn + 1;
         self.appends += 1;
         self.unsynced = true;
@@ -336,15 +368,25 @@ impl Wal {
         }
         let t = Instant::now();
         self.seg.sync()?;
+        let took = t.elapsed();
+        obs::with_metrics(WalMetrics::build, |m| {
+            m.syncs.inc();
+            m.fsync_us.record_duration(took);
+        });
         self.syncs += 1;
         self.last_sync = Instant::now();
         self.unsynced = false;
-        Ok(Some(t.elapsed()))
+        Ok(Some(took))
     }
 
     /// Force an fsync regardless of policy.
     pub fn sync(&mut self) -> io::Result<()> {
+        let t = Instant::now();
         self.seg.sync()?;
+        obs::with_metrics(WalMetrics::build, |m| {
+            m.syncs.inc();
+            m.fsync_us.record_duration(t.elapsed());
+        });
         self.syncs += 1;
         self.last_sync = Instant::now();
         self.unsynced = false;
@@ -363,6 +405,7 @@ impl Wal {
         self.seg_first_lsn = self.next_lsn;
         self.unsynced = false;
         self.last_sync = Instant::now();
+        obs::with_metrics(WalMetrics::build, |m| m.rotations.inc());
         Ok(())
     }
 
@@ -384,6 +427,7 @@ impl Wal {
         }
         if removed > 0 {
             sync_dir(&self.dir);
+            obs::with_metrics(WalMetrics::build, |m| m.pruned_segments.add(removed as u64));
         }
         Ok(removed)
     }

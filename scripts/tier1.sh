@@ -20,4 +20,11 @@ if [ "$elapsed" -gt 30 ]; then
 fi
 cargo clippy -p geosir-serve --features failpoints --all-targets -- -D warnings
 
+# Observability smoke: scrape /metrics + /debug/last_queries from a live
+# durable server. Fast path — reuses the release binary built above, no
+# compilation, ~2 s wall. Skip with GEOSIR_TIER1_NO_SCRAPE=1.
+if [ "${GEOSIR_TIER1_NO_SCRAPE:-0}" != 1 ]; then
+    ./scripts/metrics_scrape.sh
+fi
+
 echo "tier1: OK"

@@ -7,9 +7,10 @@
 //! ```
 //!
 //! `geosir serve [ADDR] [--shapes N] [--workers W] [--queue-cap Q]
-//! [--data-dir DIR] [--fsync POLICY] [--checkpoint-every N]` instead
-//! boots the TCP retrieval server, durably when given a data directory
-//! (see `DESIGN.md` §7–§8).
+//! [--data-dir DIR] [--fsync POLICY] [--checkpoint-every N]
+//! [--metrics-addr ADDR]` instead boots the TCP retrieval server,
+//! durably when given a data directory (see `DESIGN.md` §7–§9), and
+//! `geosir stats [ADDR]` scrapes a running server's metrics registry.
 
 use std::io::{BufRead, Write};
 
@@ -18,6 +19,13 @@ fn main() {
     if args.first().map(String::as_str) == Some("serve") {
         if let Err(msg) = geosir::server_cmd::run(&args[1..]) {
             eprintln!("geosir serve: {msg}");
+            std::process::exit(2);
+        }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("stats") {
+        if let Err(msg) = geosir::server_cmd::stats(&args[1..]) {
+            eprintln!("geosir stats: {msg}");
             std::process::exit(2);
         }
         return;

@@ -57,7 +57,7 @@ impl Session {
             "help" => {
                 let _ = writeln!(
                     out,
-                    "commands:\n  gen <images> [seed]      generate a synthetic image base\n  shape <image#> <pts>     stage a shape (pts: x,y x,y ...)\n  build [alpha]            build the shape base from staged shapes\n  bind <name> <pts>        name a sketch for queries\n  query <name> [k]         retrieve the k best matches for a sketch\n  similar <name> <tau>     all shapes scoring within tau\n  topo <expr>              topological query over bound names\n  vs <name>                significant-vertices estimate V_S\n  stats                    base statistics\n  quit"
+                    "commands:\n  gen <images> [seed]      generate a synthetic image base\n  shape <image#> <pts>     stage a shape (pts: x,y x,y ...)\n  build [alpha]            build the shape base from staged shapes\n  bind <name> <pts>        name a sketch for queries\n  query <name> [k]         retrieve the k best matches for a sketch\n  similar <name> <tau>     all shapes scoring within tau\n  topo <expr>              topological query over bound names\n  vs <name>                significant-vertices estimate V_S\n  stats                    base statistics\n  metrics                  dump the in-process metrics registry\n  quit"
                 );
                 Ok(())
             }
@@ -203,6 +203,19 @@ impl Session {
                     None => {
                         let _ = writeln!(out, "no shape base");
                     }
+                }
+                Ok(())
+            }
+            "metrics" => {
+                // Matcher instrumentation (rings, candidates, h_avg
+                // scorings) records against the process-global registry
+                // when no server owns the thread, so interactive queries
+                // show up here.
+                let snap = geosir_obs::current().snapshot();
+                if snap.entries.is_empty() {
+                    let _ = writeln!(out, "no metrics recorded yet (run a query first)");
+                } else {
+                    let _ = write!(out, "{}", geosir_obs::expo::render_prometheus(&snap));
                 }
                 Ok(())
             }

@@ -1,9 +1,11 @@
-//! `geosir serve` — boot the retrieval server from the command line.
+//! `geosir serve` — boot the retrieval server from the command line —
+//! and `geosir stats` — scrape a running one.
 //!
 //! ```sh
 //! geosir serve [ADDR] [--shapes N] [--workers W] [--queue-cap Q]
 //!              [--data-dir DIR] [--fsync always|interval=<ms>|never]
-//!              [--checkpoint-every N]
+//!              [--checkpoint-every N] [--metrics-addr ADDR]
+//! geosir stats [ADDR]
 //! ```
 //!
 //! Binds `ADDR` (default `127.0.0.1:7401`; use port 0 for an ephemeral
@@ -12,7 +14,13 @@
 //! arrives. With `--data-dir` the server runs durably: every write is
 //! WAL-logged before it is acked, the base is checkpointed in the
 //! background, and a restart over the same directory recovers every
-//! acknowledged write. See `DESIGN.md` §7–§8 and the `README.md`
+//! acknowledged write. With `--metrics-addr` the server additionally
+//! serves Prometheus text on `GET /metrics` and the recent-query trace
+//! ring on `GET /debug/last_queries`.
+//!
+//! `geosir stats` connects to a running server, pulls its metrics
+//! registry over the wire (`MetricsDump`), and prints the snapshot in
+//! Prometheus text form. See `DESIGN.md` §7–§9 and the `README.md`
 //! quickstart.
 
 use geosir_core::dynamic::DynamicBase;
@@ -52,6 +60,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
             }
             "--checkpoint-every" => {
                 checkpoint_every = int_flag("--checkpoint-every", it.next())? as u64;
+            }
+            "--metrics-addr" => {
+                cfg.metrics_addr =
+                    Some(it.next().ok_or("--metrics-addr needs host:port")?.to_string());
             }
             other if !other.starts_with('-') => addr = other.to_string(),
             other => {
@@ -98,6 +110,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
              send a Shutdown frame to stop)",
             handle.addr()
         );
+        if let Some(m) = handle.metrics_addr() {
+            println!("metrics: http://{m}/metrics  traces: http://{m}/debug/last_queries");
+        }
         handle.join();
     } else {
         let mut base =
@@ -108,9 +123,36 @@ pub fn run(args: &[String]) -> Result<(), String> {
         }
         let handle = serve(&addr, base, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
         println!("geosir-serve listening on {} (send a Shutdown frame to stop)", handle.addr());
+        if let Some(m) = handle.metrics_addr() {
+            println!("metrics: http://{m}/metrics  traces: http://{m}/debug/last_queries");
+        }
         handle.join();
     }
     println!("geosir-serve drained and stopped");
+    Ok(())
+}
+
+/// `geosir stats [ADDR]`: pull the registry snapshot from a running
+/// server over the wire and print it as Prometheus text, prefixed with
+/// a one-line summary of the headline counters.
+pub fn stats(args: &[String]) -> Result<(), String> {
+    let addr = match args {
+        [] => "127.0.0.1:7401".to_string(),
+        [a] if !a.starts_with('-') => a.clone(),
+        _ => return Err("usage: geosir stats [ADDR]".to_string()),
+    };
+    let mut client = geosir_serve::Client::connect(&addr)
+        .map_err(|e| format!("connect {addr}: {e:?}"))?;
+    let snap = client.metrics().map_err(|e| format!("metrics dump from {addr}: {e:?}"))?;
+    println!(
+        "# {addr}: {} requests ({} queries, {} inserts, {} deletes), {} busy rejects",
+        snap.counter("geosir_requests_total", &[]),
+        snap.counter("geosir_queries_total", &[]),
+        snap.counter("geosir_inserts_total", &[]),
+        snap.counter("geosir_deletes_total", &[]),
+        snap.counter("geosir_busy_rejects_total", &[]),
+    );
+    print!("{}", geosir_obs::expo::render_prometheus(&snap));
     Ok(())
 }
 
