@@ -37,6 +37,20 @@
 //! per-stage latency histograms, scratch-pool hit rates, WAL costs, and
 //! queue depth — the server-internal baseline later perf PRs diff
 //! against.
+//!
+//! With `--explain-ab` it instead measures the **introspection tax**:
+//! two identical in-memory servers are booted on the same corpus — A
+//! with per-query plan capture off, B with the slow-query log enabled
+//! (so every query runs through `explain_with_stats` and slow ones are
+//! journaled) — and the measurement window is split into interleaved
+//! rounds alternating A/B/A/B, so clock drift and thermal state hit
+//! both sides equally. `BENCH_5.json` reports both sides plus
+//! `overhead_pct`; the budget (enforced by `scripts/bench_compare.sh`)
+//! is ≤3%:
+//!
+//! ```sh
+//! cargo run --release -p geosir-bench --bin serve_loadgen -- --explain-ab
+//! ```
 
 use geosir_bench::{percentile_us, scaling_corpus};
 use geosir_serve::obs::Snapshot;
@@ -73,6 +87,7 @@ struct Args {
     warmup_secs: f64,
     measure_secs: f64,
     fsync: Option<FsyncPolicy>,
+    explain_ab: bool,
 }
 
 fn parse_args() -> Args {
@@ -83,6 +98,7 @@ fn parse_args() -> Args {
         warmup_secs: 2.0,
         measure_secs: 8.0,
         fsync: None,
+        explain_ab: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -96,6 +112,7 @@ fn parse_args() -> Args {
                 let v = it.next().expect("--fsync needs a policy");
                 args.fsync = Some(FsyncPolicy::parse(v).expect("bad --fsync policy"));
             }
+            "--explain-ab" => args.explain_ab = true,
             other => args.n_shapes = other.parse().expect("n_shapes must be an integer"),
         }
     }
@@ -330,6 +347,198 @@ fn cleanup_dir(dir: &PathBuf) {
     std::fs::remove_dir_all(dir).ok();
 }
 
+/// One bounded measurement window against `addr` for the A/B mode:
+/// fresh closed-loop clients, a short settle so connection setup stays
+/// out of the numbers, then `window_secs` of measured load.
+fn measure_window(addr: std::net::SocketAddr, args: &Args, round: usize, window_secs: f64) -> ThreadReport {
+    let (_, queries) = scaling_corpus(args.n_shapes);
+    let measuring = Arc::new(AtomicBool::new(false));
+    let running = Arc::new(AtomicBool::new(true));
+    let mut threads = Vec::new();
+    for conn_id in 0..args.connections {
+        let queries = queries.clone();
+        let measuring = measuring.clone();
+        let running = running.clone();
+        let insert_permille = args.insert_permille;
+        threads.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(1000 + conn_id as u64 + round as u64 * 7919);
+            let mut client = Client::connect(addr).expect("connect");
+            let mut report = ThreadReport::default();
+            let mut next_image =
+                1_000_000u32 + conn_id as u32 * 1_000_000 + round as u32 * 100_000;
+            let mut qi = conn_id + round * 13;
+            while running.load(Ordering::Relaxed) {
+                let do_insert = rng.random_range(0..1000) < insert_permille;
+                let t = Instant::now();
+                let rejected = if do_insert {
+                    let shape = fresh_shape(&mut rng);
+                    next_image += 1;
+                    client.insert(next_image, &shape).expect("insert").is_none()
+                } else {
+                    let q = &queries[qi % queries.len()];
+                    qi += 1;
+                    client.query(q, 1).expect("query").rejected
+                };
+                let us = t.elapsed().as_micros() as u64;
+                if measuring.load(Ordering::Relaxed) {
+                    report.requests += 1;
+                    if rejected {
+                        report.busy_rejects += 1;
+                    } else {
+                        if do_insert {
+                            report.inserts += 1;
+                        }
+                        report.latencies_us.push(us);
+                    }
+                }
+            }
+            report
+        }));
+    }
+    std::thread::sleep(Duration::from_millis(200));
+    measuring.store(true, Ordering::Relaxed);
+    std::thread::sleep(Duration::from_secs_f64(window_secs));
+    measuring.store(false, Ordering::Relaxed);
+    running.store(false, Ordering::Relaxed);
+    let mut merged = ThreadReport::default();
+    for t in threads {
+        let r = t.join().expect("client thread");
+        merged.latencies_us.extend(r.latencies_us);
+        merged.requests += r.requests;
+        merged.inserts += r.inserts;
+        merged.busy_rejects += r.busy_rejects;
+    }
+    merged
+}
+
+/// Fold interleaved window reports plus a final server probe into the
+/// same [`Summary`] shape the other modes report.
+fn summarize_ab(addr: std::net::SocketAddr, mut merged: ThreadReport, elapsed: f64) -> Summary {
+    let mut probe = Client::connect(addr).expect("probe connect");
+    let stats = probe.stats().expect("stats");
+    let snap = probe.metrics().expect("metrics dump");
+    let served = merged.latencies_us.len();
+    assert!(served > 0, "A/B window served no requests");
+    Summary {
+        requests: merged.requests,
+        served,
+        inserts: merged.inserts,
+        busy_rejects: merged.busy_rejects,
+        reject_rate: merged.busy_rejects as f64 / merged.requests.max(1) as f64,
+        qps: merged.requests as f64 / elapsed,
+        p50: percentile_us(&mut merged.latencies_us, 0.5),
+        p99: percentile_us(&mut merged.latencies_us, 0.99),
+        elapsed,
+        load_secs: 0.0,
+        stats,
+        snap,
+    }
+}
+
+/// The introspection-tax mode behind `--explain-ab`: identical servers,
+/// side A with plan capture off, side B with the slow-query log on (so
+/// every query runs through `explain_with_stats` and slow ones are
+/// journaled through the rotating JSONL writer), measured in
+/// interleaved rounds. Writes `BENCH_5.json`.
+fn run_explain_ab(args: &Args, cores: usize) {
+    let t = base_template();
+    let (shapes, _) = scaling_corpus(args.n_shapes);
+    let mut base_a = DynamicBase::new(t.alpha, t.backend, t.config.clone(), t.buffer_cap);
+    base_a.bulk_load(shapes.clone());
+    let mut base_b = DynamicBase::new(t.alpha, t.backend, t.config, t.buffer_cap);
+    base_b.bulk_load(shapes);
+
+    let queue_cap = 4 * args.connections.max(1);
+    let handle_a = serve(
+        "127.0.0.1:0",
+        base_a,
+        ServeConfig { queue_cap, ..Default::default() },
+    )
+    .expect("bind side A");
+    let mut slow_dir = std::env::temp_dir();
+    slow_dir.push(format!("geosir-explain-ab-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&slow_dir);
+    let handle_b = serve(
+        "127.0.0.1:0",
+        base_b,
+        ServeConfig {
+            queue_cap,
+            slow_query_log: Some(slow_dir.clone()),
+            // the default threshold: plan capture runs on *every* query,
+            // the log only records genuinely slow ones — the production
+            // configuration whose overhead the 3% budget bounds
+            ..Default::default()
+        },
+    )
+    .expect("bind side B");
+    println!(
+        "A/B servers up: A={} (capture off)  B={} (slow-query log at {})",
+        handle_a.addr(),
+        handle_b.addr(),
+        slow_dir.display()
+    );
+
+    // joint warm-up so both sides reach steady state before any window
+    for addr in [handle_a.addr(), handle_b.addr()] {
+        measure_window(addr, args, 0, args.warmup_secs / 2.0);
+    }
+
+    const ROUNDS: usize = 4;
+    let window = args.measure_secs / (2 * ROUNDS) as f64;
+    let mut merged_a = ThreadReport::default();
+    let mut merged_b = ThreadReport::default();
+    for round in 1..=ROUNDS {
+        for (merged, addr) in
+            [(&mut merged_a, handle_a.addr()), (&mut merged_b, handle_b.addr())]
+        {
+            let r = measure_window(addr, args, round, window);
+            merged.latencies_us.extend(r.latencies_us);
+            merged.requests += r.requests;
+            merged.inserts += r.inserts;
+            merged.busy_rejects += r.busy_rejects;
+        }
+    }
+    let side_secs = window * ROUNDS as f64;
+    let a = summarize_ab(handle_a.addr(), merged_a, side_secs);
+    let b = summarize_ab(handle_b.addr(), merged_b, side_secs);
+    print_summary("capture-off", &a);
+    print_summary("capture-on", &b);
+
+    let overhead_pct = (a.qps - b.qps) / a.qps.max(1e-9) * 100.0;
+    let slow_logged = b.snap.counter("geosir_slow_queries_total", &[]);
+    println!(
+        "introspection tax: {overhead_pct:.2}% ({:.0} → {:.0} qps over {ROUNDS} \
+         interleaved rounds; side B captured every query, journaled {slow_logged})",
+        a.qps, b.qps,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve_loadgen_explain_ab\",\n  \"mode\": \"in_memory\",\n  \
+         \"corpus\": \"scaling_polylog\",\n  \"n_shapes\": {},\n  \"cores\": {cores},\n  \
+         \"connections\": {},\n  \"insert_permille\": {},\n  \"rounds\": {ROUNDS},\n  \
+         \"measure_secs_per_side\": {side_secs:.2},\n  \
+         \"overhead_pct\": {overhead_pct:.2},\n  \"slow_queries_logged\": {slow_logged},\n  \
+         \"client\": {{\n{}\n  }},\n  \"client_capture\": {{\n{}\n  }},\n  \
+         \"server_registry\": {{\n{}\n  }},\n  \"server_registry_capture\": {{\n{}\n  }}\n}}\n",
+        args.n_shapes,
+        args.connections,
+        args.insert_permille,
+        summary_json(&a, "    "),
+        summary_json(&b, "    "),
+        registry_json(&a.snap, "    "),
+        registry_json(&b.snap, "    "),
+    );
+    std::fs::write("BENCH_5.json", &json).expect("write BENCH_5.json");
+    println!("wrote BENCH_5.json (introspection A/B)");
+
+    for handle in [handle_a, handle_b] {
+        let mut c = Client::connect(handle.addr()).expect("shutdown connect");
+        c.shutdown().expect("shutdown");
+        handle.join();
+    }
+    cleanup_dir(&slow_dir);
+}
+
 fn print_summary(label: &str, s: &Summary) {
     println!(
         "[{label}] requests/sec {:.0} over {:.1} s ({} requests, {} served, \
@@ -464,6 +673,11 @@ fn main() {
         "# serve_loadgen — {} shapes, {} connections, {}‰ inserts, {} cores",
         args.n_shapes, args.connections, args.insert_permille, cores
     );
+
+    if args.explain_ab {
+        run_explain_ab(&args, cores);
+        return;
+    }
 
     let (shapes, _) = scaling_corpus(args.n_shapes);
 

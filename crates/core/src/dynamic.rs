@@ -30,7 +30,9 @@ use geosir_geom::Polyline;
 use geosir_obs as obs;
 
 use crate::ids::{ImageId, ShapeId};
-use crate::matcher::{Match, MatchConfig, MatchOutcome, Matcher, MatcherPlan};
+use crate::matcher::{
+    Match, MatchConfig, MatchOutcome, Matcher, MatcherPlan, RingExplain, Termination,
+};
 use crate::scratch::MatcherScratch;
 use crate::shapebase::{ShapeBase, ShapeBaseBuilder};
 
@@ -123,10 +125,68 @@ pub struct RetrieveStats {
     pub max_eps_fraction: f64,
     /// Levels that hit the ε-cap without certifying their answer.
     pub exhausted_levels: u64,
+    /// Termination reason of the last level queried (the largest, most
+    /// recently built one) — what the flight recorder attributes the
+    /// query to. `None` when no level was queried.
+    pub last_termination: Termination,
+}
+
+/// One level's share of an EXPLAIN'd query: the matcher's per-ring
+/// breakdown plus the level-local totals it sums to.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LevelExplain {
+    /// Shapes indexed in this level.
+    pub shapes: u64,
+    /// Per-envelope-iteration records, in order.
+    pub rings: Vec<RingExplain>,
+    /// Why this level's fattening loop stopped.
+    pub termination: Termination,
+    /// ε at exit, and the cap that was in force.
+    pub final_eps: f64,
+    pub eps_cap: f64,
+    /// The level plan's termination bound factor.
+    pub bound_factor: f64,
+    /// Level totals (the ring deltas sum to these).
+    pub vertices_reported: u64,
+    pub vertices_processed: u64,
+    pub candidates_scored: u64,
+    /// Candidates scored on anchor credit alone.
+    pub credit_scored: u32,
+    /// Cap hit without a certified answer.
+    pub exhausted: bool,
+}
+
+/// A full query EXPLAIN: per-level breakdowns plus the aggregate
+/// [`RetrieveStats`]. Produced by [`Snapshot::explain_with_stats`]
+/// into a caller-owned value; the capture allocates only on the
+/// explain path itself — plain retrievals never touch it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryExplain {
+    /// One entry per level, in query order (largest/oldest first).
+    pub levels: Vec<LevelExplain>,
+    /// Buffered shapes scored brute force.
+    pub buffer_scored: u64,
+    /// The same aggregate stats a plain retrieval reports.
+    pub stats: RetrieveStats,
+}
+
+impl QueryExplain {
+    /// Reset for reuse, keeping allocated capacity where possible.
+    pub fn clear(&mut self) {
+        self.levels.clear();
+        self.buffer_scored = 0;
+        self.stats = RetrieveStats::default();
+    }
 }
 
 /// Registry handles for the per-query dynamic-retrieval distributions;
 /// cached per thread, recorded once per query.
+///
+/// `pool_hits`/`pool_misses` count warm-scratch reuse per query: a hit
+/// is a query that completed without growing any scratch array —
+/// whether the scratch came from the internal pool or is a long-lived
+/// per-worker one (the serve path). A miss is a cold or outgrown
+/// scratch paying dense-array (re)allocation.
 #[derive(Clone)]
 struct DynMetrics {
     queries: Arc<obs::Counter>,
@@ -371,14 +431,10 @@ impl DynamicBase {
     /// an internal bounded pool, so a query loop pays dense-array setup
     /// once, not per query (and never once per level per query).
     pub fn retrieve(&self, query: &Polyline) -> Vec<DynMatch> {
+        // Warm/cold accounting happens inside `retrieve_levels_into`
+        // (a warm scratch — pooled here or per-worker on the serve
+        // path — counts as a hit), so no recording at the pool itself.
         let pooled = self.scratch_pool.lock().unwrap().pop();
-        obs::with_metrics(DynMetrics::build, |m| {
-            if pooled.is_some() {
-                m.pool_hits.inc();
-            } else {
-                m.pool_misses.inc();
-            }
-        });
         let (mut scratch, mut tmp) = pooled.unwrap_or_default();
         let mut all = Vec::new();
         self.retrieve_with(&mut scratch, &mut tmp, query, &mut all);
@@ -413,6 +469,7 @@ impl DynamicBase {
             query,
             out,
             &mut RetrieveStats::default(),
+            None,
         );
     }
 
@@ -573,7 +630,42 @@ impl Snapshot {
             query,
             out,
             stats,
+            None,
         );
+    }
+
+    /// [`Self::retrieve_with_stats`] that additionally captures a full
+    /// per-level, per-ring [`QueryExplain`] — the EXPLAIN ANALYZE
+    /// entry point. Identical retrieval semantics and stats; the only
+    /// extra cost is the capture itself, paid only on this path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn explain_with_stats(
+        &self,
+        scratch: &mut MatcherScratch,
+        tmp: &mut MatchOutcome,
+        query: &Polyline,
+        k: usize,
+        out: &mut Vec<DynMatch>,
+        stats: &mut RetrieveStats,
+        explain: &mut QueryExplain,
+    ) {
+        let k = if k == 0 { self.config.k } else { k };
+        explain.clear();
+        retrieve_levels_into(
+            self.levels.iter().map(Arc::as_ref),
+            &self.buffer,
+            &self.deleted,
+            &self.config,
+            k,
+            scratch,
+            tmp,
+            query,
+            out,
+            stats,
+            Some(explain),
+        );
+        explain.buffer_scored = stats.buffer_scored;
+        explain.stats = *stats;
     }
 }
 
@@ -593,9 +685,15 @@ fn retrieve_levels_into<'l>(
     query: &Polyline,
     out: &mut Vec<DynMatch>,
     stats: &mut RetrieveStats,
+    mut explain: Option<&mut QueryExplain>,
 ) {
     out.clear();
     *stats = RetrieveStats::default();
+    // Warm-scratch detection for the hit/miss metrics below: a query
+    // that finishes without growing any dense array reused a warm
+    // scratch (pooled, or the per-worker one on the serve path).
+    let grows_before = scratch.grow_events;
+    tmp.explain.enabled = explain.is_some();
     for level in levels {
         let mut level_config = config.clone();
         level_config.k = k;
@@ -607,12 +705,28 @@ fn retrieve_levels_into<'l>(
         stats.vertices_processed += tmp.stats.vertices_processed as u64;
         stats.candidates_scored += tmp.stats.candidates_scored as u64;
         stats.triangles_queried += tmp.stats.triangles_queried as u64;
+        stats.last_termination = tmp.stats.termination;
         if tmp.stats.exhausted {
             stats.exhausted_levels += 1;
         }
         if tmp.stats.eps_cap > 0.0 {
             stats.max_eps_fraction =
                 stats.max_eps_fraction.max(tmp.stats.final_eps / tmp.stats.eps_cap);
+        }
+        if let Some(ex) = explain.as_deref_mut() {
+            ex.levels.push(LevelExplain {
+                shapes: level.ids.len() as u64,
+                rings: tmp.explain.rings.clone(),
+                termination: tmp.stats.termination,
+                final_eps: tmp.stats.final_eps,
+                eps_cap: tmp.stats.eps_cap,
+                bound_factor: tmp.explain.bound_factor,
+                vertices_reported: tmp.stats.vertices_reported as u64,
+                vertices_processed: tmp.stats.vertices_processed as u64,
+                candidates_scored: tmp.stats.candidates_scored as u64,
+                credit_scored: tmp.explain.credit_scored,
+                exhausted: tmp.stats.exhausted,
+            });
         }
         for &Match { shape, score, .. } in &tmp.matches {
             let gid = level.ids[shape.index()];
@@ -621,6 +735,7 @@ fn retrieve_levels_into<'l>(
             }
         }
     }
+    tmp.explain.enabled = false;
     // buffered shapes: scored directly against the copies prepared at
     // insert time (the buffer is small by design; only the query is
     // normalized and indexed here — candidate indexes were built by the
@@ -653,6 +768,15 @@ fn retrieve_levels_into<'l>(
         m.rings_per_query.record(stats.rings);
         m.candidates_per_query.record(stats.vertices_reported);
         m.buffer_scored.add(stats.buffer_scored);
+        // Scratch reuse: a query that never grew a dense array ran
+        // entirely on warm scratch (from the internal pool *or* a
+        // long-lived per-worker scratch — the serve path used to
+        // bypass this accounting and both counters sat at 0 forever).
+        if scratch.grow_events == grows_before {
+            m.pool_hits.inc();
+        } else {
+            m.pool_misses.inc();
+        }
     });
 }
 
@@ -955,6 +1079,104 @@ mod tests {
         // delete replay: removing the replayed id works, double delete is false
         assert!(db.delete(GlobalShapeId(7)));
         assert!(!db.contains(GlobalShapeId(7)));
+    }
+
+    #[test]
+    fn explain_reconciles_with_plain_retrieval() {
+        let mut db = dynbase(4);
+        // 14 inserts with cap 4: 12 cascade into levels, 14 % 4 = 2 stay
+        // buffered so buffer_scored moves
+        for i in 0..14 {
+            db.insert(ImageId(i), shape(i as u64 + 500));
+        }
+        assert!(db.num_levels() >= 1);
+        let snap = db.snapshot();
+
+        let mut scratch = MatcherScratch::new();
+        let mut tmp = MatchOutcome::default();
+        let q = shape(505);
+
+        let mut plain = Vec::new();
+        let mut plain_stats = RetrieveStats::default();
+        snap.retrieve_with_stats(&mut scratch, &mut tmp, &q, 0, &mut plain, &mut plain_stats);
+
+        let mut explained = Vec::new();
+        let mut ex_stats = RetrieveStats::default();
+        let mut explain = QueryExplain::default();
+        snap.explain_with_stats(
+            &mut scratch,
+            &mut tmp,
+            &q,
+            0,
+            &mut explained,
+            &mut ex_stats,
+            &mut explain,
+        );
+
+        // identical results and stats with and without capture
+        assert_eq!(plain, explained);
+        assert_eq!(plain_stats, ex_stats);
+        assert_eq!(explain.stats, ex_stats);
+
+        // per-level records reconcile with the aggregate stats
+        assert_eq!(explain.levels.len() as u64, ex_stats.levels);
+        let rings: u64 = explain.levels.iter().map(|l| l.rings.len() as u64).sum();
+        assert_eq!(rings, ex_stats.rings);
+        let reported: u64 = explain.levels.iter().map(|l| l.vertices_reported).sum();
+        assert_eq!(reported, ex_stats.vertices_reported);
+        let scored: u64 = explain.levels.iter().map(|l| l.candidates_scored).sum();
+        assert_eq!(scored, ex_stats.candidates_scored);
+        assert_eq!(explain.buffer_scored, ex_stats.buffer_scored);
+        assert!(explain.buffer_scored >= 2, "buffered shapes must be brute-force scored");
+        for level in &explain.levels {
+            assert_ne!(level.termination, Termination::None);
+            // ring deltas sum to the level totals
+            let lv: u64 = level.rings.iter().map(|r| r.vertices_processed as u64).sum();
+            assert_eq!(lv, level.vertices_processed);
+            let lp: u64 = level.rings.iter().map(|r| r.promotions as u64).sum();
+            assert_eq!(lp + level.credit_scored as u64, level.candidates_scored);
+        }
+        assert_ne!(ex_stats.last_termination, Termination::None);
+
+        // a later plain retrieval through the same outcome captures
+        // nothing (enabled was reset)
+        snap.retrieve_with_stats(&mut scratch, &mut tmp, &q, 0, &mut plain, &mut plain_stats);
+        assert!(tmp.explain.rings.is_empty());
+    }
+
+    #[test]
+    fn per_worker_scratch_reuse_counts_as_pool_hits() {
+        // Serve-path regression: workers hold long-lived scratches and
+        // never touch the internal pool, so the old pool-site counters
+        // sat at 0 forever. Warm reuse must now count as hits.
+        let reg = std::sync::Arc::new(obs::Registry::new());
+        obs::set_thread_registry(Some(reg.clone()));
+        let mut db = dynbase(4);
+        for i in 0..12 {
+            db.insert(ImageId(i), shape(i as u64 + 600));
+        }
+        let snap = db.snapshot();
+        let mut scratch = MatcherScratch::new(); // cold, like a fresh worker
+        let mut tmp = MatchOutcome::default();
+        let mut out = Vec::new();
+        let mut stats = RetrieveStats::default();
+        for i in 0..5u64 {
+            snap.retrieve_with_stats(
+                &mut scratch,
+                &mut tmp,
+                &shape(600 + i),
+                0,
+                &mut out,
+                &mut stats,
+            );
+        }
+        obs::set_thread_registry(None);
+        let snapm = reg.snapshot();
+        let hits = snapm.counter("geosir_dynamic_scratch_pool_hits_total", &[]);
+        let misses = snapm.counter("geosir_dynamic_scratch_pool_misses_total", &[]);
+        assert_eq!(hits + misses, 5, "every query must be classified");
+        assert_eq!(misses, 1, "only the first (cold) query grows the scratch");
+        assert_eq!(hits, 4, "warm per-worker reuse must count as hits");
     }
 
     #[test]

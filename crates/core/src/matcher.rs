@@ -128,6 +128,107 @@ pub struct Match {
     pub score: f64,
 }
 
+/// Why the fattening loop stopped — the §2.5 exit conditions, recorded
+/// for EXPLAIN output and the flight recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Termination {
+    /// Not run (outcome never produced by a retrieval).
+    #[default]
+    None,
+    /// Bound-based: the certified rank's score provably beats every
+    /// unseen copy (`kth ≤ bound_factor · ε`).
+    Certified,
+    /// Threshold mode: `bound_factor · ε ≥ τ`, so every unseen copy
+    /// scores worse than the threshold.
+    Threshold,
+    /// The ε-cap `(A / (2 p l_Q)) · log^ρ n` was reached without a
+    /// certified answer; results are best-effort.
+    EpsCap,
+    /// The `max_iterations` safety valve fired.
+    MaxIterations,
+    /// The base had no copies; nothing to retrieve.
+    EmptyBase,
+}
+
+impl Termination {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Termination::None => "none",
+            Termination::Certified => "certified",
+            Termination::Threshold => "threshold",
+            Termination::EpsCap => "eps_cap",
+            Termination::MaxIterations => "max_iterations",
+            Termination::EmptyBase => "empty_base",
+        }
+    }
+
+    /// The flight-recorder code for this reason
+    /// ([`obs::flight::termination_name`] inverts it).
+    pub fn flight_code(&self) -> u8 {
+        match self {
+            Termination::None => obs::flight::TERM_NONE,
+            Termination::Certified => obs::flight::TERM_CERTIFIED,
+            Termination::Threshold => obs::flight::TERM_THRESHOLD,
+            Termination::EpsCap => obs::flight::TERM_EPS_CAP,
+            Termination::MaxIterations => obs::flight::TERM_MAX_ITERS,
+            Termination::EmptyBase => obs::flight::TERM_EMPTY,
+        }
+    }
+
+    /// Inverse of [`Termination::flight_code`]; `None` for bytes no
+    /// reason maps to (a malformed wire frame, a newer peer).
+    pub fn from_flight_code(code: u8) -> Option<Termination> {
+        Some(match code {
+            obs::flight::TERM_NONE => Termination::None,
+            obs::flight::TERM_CERTIFIED => Termination::Certified,
+            obs::flight::TERM_THRESHOLD => Termination::Threshold,
+            obs::flight::TERM_EPS_CAP => Termination::EpsCap,
+            obs::flight::TERM_MAX_ITERS => Termination::MaxIterations,
+            obs::flight::TERM_EMPTY => Termination::EmptyBase,
+            _ => return None,
+        })
+    }
+}
+
+/// One envelope iteration's work, as recorded by an EXPLAIN run: the
+/// ring's ε plus the deltas of every per-run total attributable to it.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RingExplain {
+    /// 1-based iteration number.
+    pub ring: u32,
+    /// Outer ε of this ring (the envelope grown to).
+    pub eps: f64,
+    /// Cover triangles submitted to the range-search index.
+    pub triangles: u32,
+    /// Vertices the index reported (pre-filter).
+    pub vertices_reported: u32,
+    /// Ring vertices processed after exact-distance filtering.
+    pub vertices_processed: u32,
+    /// Copies promoted to an `h_avg` evaluation by their counters
+    /// crossing the candidacy threshold during this ring.
+    pub promotions: u32,
+}
+
+/// Per-run EXPLAIN capture, written into the caller-owned
+/// [`MatchOutcome`]. Strictly zero-cost when `enabled` is false: the
+/// hot loop checks one bool and never touches the vectors, so the
+/// counting-allocator tests hold with explain off. With it on, ring
+/// records reuse the vector's capacity across queries.
+#[derive(Debug, Clone, Default)]
+pub struct MatchExplain {
+    /// Set by the caller before a retrieval to request per-ring
+    /// capture; survives [`MatchOutcome::clear`].
+    pub enabled: bool,
+    /// One record per envelope iteration, in order.
+    pub rings: Vec<RingExplain>,
+    /// Candidates scored on anchor credit alone, before ring 1.
+    pub credit_scored: u32,
+    /// The plan's termination bound factor `min_C out_min(C)/n_C`;
+    /// `bound_factor · final_eps` is the score every unseen copy
+    /// provably exceeds at exit.
+    pub bound_factor: f64,
+}
+
 /// Instrumentation counters — the quantities the paper's complexity claims
 /// are about (`r` iterations, `K` vertices processed) plus the record
 /// access trace the storage experiments replay.
@@ -150,6 +251,9 @@ pub struct MatchStats {
     /// True when the cap was hit without a provably-best answer — the
     /// caller should fall back to geometric hashing (§3).
     pub exhausted: bool,
+    /// Why the loop stopped. Populated on every run (not just EXPLAIN
+    /// ones) so the flight recorder can attribute cheap queries too.
+    pub termination: Termination,
 }
 
 /// The result of a retrieval.
@@ -165,6 +269,9 @@ pub struct MatchOutcome {
     /// replayed against the external-memory vertex index to measure the
     /// *auxiliary structure's* I/Os (§4).
     pub triangle_trace: Vec<geosir_geom::Triangle>,
+    /// Per-ring EXPLAIN capture; empty unless `explain.enabled` was set
+    /// before the retrieval.
+    pub explain: MatchExplain,
 }
 
 impl MatchOutcome {
@@ -179,6 +286,11 @@ impl MatchOutcome {
         self.stats = MatchStats::default();
         self.access_trace.clear();
         self.triangle_trace.clear();
+        // `explain.enabled` is the caller's request and survives the
+        // clear; only the captured data resets.
+        self.explain.rings.clear();
+        self.explain.credit_scored = 0;
+        self.explain.bound_factor = 0.0;
     }
 }
 
@@ -451,7 +563,18 @@ impl<'a> Matcher<'a> {
     fn run(&self, scratch: &mut MatcherScratch, mode: RunMode, outcome: &mut MatchOutcome) {
         let base = self.base;
         if base.num_copies() == 0 {
+            outcome.stats.termination = Termination::EmptyBase;
             return;
+        }
+        // Resolve the cached metric handles once per run: counters that
+        // count *events* (rings, promotions) are bumped at their event
+        // sites below, so a dashboard watching a long-running query sees
+        // them move ring by ring instead of jumping at the end.
+        let metrics = obs::with_metrics(MatcherMetrics::build, |m| m.clone());
+        let explain_on = outcome.explain.enabled;
+        if explain_on {
+            outcome.explain.bound_factor = self.plan.bound_factor;
+            outcome.explain.credit_scored = self.plan.credit_candidates.len() as u32;
         }
         scratch.ensure(base);
         let qstamp = scratch.begin_query();
@@ -509,6 +632,20 @@ impl<'a> Matcher<'a> {
         for iter in 1..=self.config.max_iterations {
             outcome.stats.iterations = iter;
             outcome.stats.final_eps = eps;
+            metrics.rings.inc();
+            // Ring-start watermarks, so the ring's EXPLAIN record can
+            // report deltas of the per-run totals (stack-only; unused
+            // and branch-predicted away when explain is off).
+            let ring_base = if explain_on {
+                (
+                    outcome.stats.triangles_queried,
+                    outcome.stats.vertices_reported,
+                    outcome.stats.vertices_processed,
+                    outcome.stats.candidates_scored,
+                )
+            } else {
+                (0, 0, 0, 0)
+            };
 
             if prev_eps == 0.0 {
                 envelope_cover_into(query, eps, cover);
@@ -549,9 +686,21 @@ impl<'a> Matcher<'a> {
                     counters[oi] += 1;
                     if counters[oi] >= self.plan.net_thresholds[oi] && scored_stamp[oi] != qstamp {
                         scored_stamp[oi] = qstamp;
+                        metrics.promotions.inc();
                         self.score_candidate(owner, prepared, back, &mut best, outcome);
                     }
                 }
+            }
+
+            if explain_on {
+                outcome.explain.rings.push(RingExplain {
+                    ring: iter as u32,
+                    eps,
+                    triangles: (outcome.stats.triangles_queried - ring_base.0) as u32,
+                    vertices_reported: (outcome.stats.vertices_reported - ring_base.1) as u32,
+                    vertices_processed: (outcome.stats.vertices_processed - ring_base.2) as u32,
+                    promotions: (outcome.stats.candidates_scored - ring_base.3) as u32,
+                });
             }
 
             // Provable-termination check: every unseen copy scores worse
@@ -569,7 +718,11 @@ impl<'a> Matcher<'a> {
                 RunMode::Threshold(tau) => self.plan.bound_factor * eps >= tau,
             };
             if done {
-                self.finish(&best, ranked, mode, outcome, false);
+                outcome.stats.termination = match mode {
+                    RunMode::TopK => Termination::Certified,
+                    RunMode::Threshold(_) => Termination::Threshold,
+                };
+                self.finish(&best, ranked, mode, outcome, false, &metrics);
                 return;
             }
 
@@ -582,12 +735,18 @@ impl<'a> Matcher<'a> {
                 if prev_eps < eps_cap {
                     eps = eps_cap; // one final iteration exactly at the cap
                 } else {
+                    outcome.stats.termination = Termination::EpsCap;
                     break;
                 }
             }
         }
 
-        self.finish(&best, ranked, mode, outcome, true);
+        if outcome.stats.termination == Termination::None {
+            // fell out of the loop without hitting the cap: the
+            // max_iterations safety valve fired
+            outcome.stats.termination = Termination::MaxIterations;
+        }
+        self.finish(&best, ranked, mode, outcome, true, &metrics);
     }
 
     fn score_candidate(
@@ -612,6 +771,7 @@ impl<'a> Matcher<'a> {
         mode: RunMode,
         outcome: &mut MatchOutcome,
         exhausted: bool,
+        metrics: &MatcherMetrics,
     ) {
         ranked.clear();
         for &sid in best.touched.iter() {
@@ -654,26 +814,22 @@ impl<'a> Matcher<'a> {
                 }
             };
         let stats = &outcome.stats;
-        obs::with_metrics(MatcherMetrics::build, |m| {
-            m.runs.inc();
-            m.rings.add(stats.iterations as u64);
-            m.triangles.add(stats.triangles_queried as u64);
-            m.reported.add(stats.vertices_reported as u64);
-            m.processed.add(stats.vertices_processed as u64);
-            m.scores.add(stats.candidates_scored as u64);
-            // Promotions = scorings the counters triggered; the credit
-            // candidates were scored unconditionally up front.
-            m.promotions.add(
-                stats.candidates_scored.saturating_sub(self.plan.credit_candidates.len()) as u64,
-            );
-            if stats.exhausted {
-                m.exhausted.inc();
-            }
-            if stats.eps_cap > 0.0 {
-                let permille = (stats.final_eps / stats.eps_cap * 1000.0).round();
-                m.final_eps_permille.record(permille.clamp(0.0, 1000.0) as u64);
-            }
-        });
+        // Rings and counter promotions were already counted at their
+        // event sites in `run` (once per ring, once per promotion —
+        // they used to be per-run aggregate adds here, which left the
+        // counters frozen mid-query); the rest are per-run totals.
+        metrics.runs.inc();
+        metrics.triangles.add(stats.triangles_queried as u64);
+        metrics.reported.add(stats.vertices_reported as u64);
+        metrics.processed.add(stats.vertices_processed as u64);
+        metrics.scores.add(stats.candidates_scored as u64);
+        if stats.exhausted {
+            metrics.exhausted.inc();
+        }
+        if stats.eps_cap > 0.0 {
+            let permille = (stats.final_eps / stats.eps_cap * 1000.0).round();
+            metrics.final_eps_permille.record(permille.clamp(0.0, 1000.0) as u64);
+        }
     }
 }
 
@@ -1034,5 +1190,96 @@ mod tests {
         let q = Polyline::closed(vec![p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0)]).unwrap();
         let out = matcher.retrieve(&q);
         assert!(out.matches.is_empty());
+        assert_eq!(out.stats.termination, Termination::EmptyBase);
+    }
+
+    /// A 40-vertex saw polyline nothing in the gallery resembles: its
+    /// retrieval needs several envelope iterations, making it the
+    /// multi-ring workload for counter and EXPLAIN tests.
+    fn saw_query() -> Polyline {
+        let mut saw = Vec::new();
+        for i in 0..20 {
+            saw.push(p(i as f64, 0.0));
+            saw.push(p(i as f64 + 0.5, 4.0));
+        }
+        Polyline::open(saw).unwrap()
+    }
+
+    #[test]
+    fn ring_and_promotion_counters_count_events() {
+        // Regression: rings_total and counter_promotions_total were
+        // per-run aggregate adds in finish(), so a dashboard could not
+        // tell a 1-ring query from a 12-ring one mid-flight — and a
+        // BENCH workload of 1-ring queries showed both frozen exactly
+        // at runs_total. They must now count events.
+        let reg = std::sync::Arc::new(obs::Registry::new());
+        obs::set_thread_registry(Some(reg.clone()));
+        let shapes = gallery();
+        let base = build_base(&shapes, 0.0);
+        let matcher = Matcher::new(&base, MatchConfig { beta: 0.0, ..Default::default() });
+
+        let multi = matcher.retrieve(&saw_query());
+        let exact = matcher.retrieve(&shapes[0]);
+        obs::set_thread_registry(None);
+
+        assert!(multi.stats.iterations > 1, "saw query must take several rings");
+        let snap = reg.snapshot();
+        let runs = snap.counter("geosir_matcher_runs_total", &[]);
+        let rings = snap.counter("geosir_matcher_rings_total", &[]);
+        let promotions = snap.counter("geosir_matcher_counter_promotions_total", &[]);
+        assert_eq!(runs, 2);
+        assert_eq!(rings, (multi.stats.iterations + exact.stats.iterations) as u64);
+        assert!(rings > runs, "multi-ring run must push rings_total past runs_total");
+        // this base has no credit candidates, so every h_avg eval was a
+        // counter promotion
+        assert_eq!(
+            promotions,
+            (multi.stats.candidates_scored + exact.stats.candidates_scored) as u64
+        );
+        assert!(promotions >= 1, "the exact query must have promoted its source shape");
+    }
+
+    #[test]
+    fn explain_capture_reconciles_with_stats() {
+        let shapes = gallery();
+        let base = build_base(&shapes, 0.0);
+        let matcher = Matcher::new(&base, MatchConfig { beta: 0.0, ..Default::default() });
+        let mut scratch = MatcherScratch::new();
+        let mut out = MatchOutcome::default();
+        out.explain.enabled = true;
+        matcher.retrieve_with(&mut scratch, &saw_query(), &mut out);
+
+        // one record per iteration, deltas summing to the run totals
+        assert_eq!(out.explain.rings.len(), out.stats.iterations);
+        let sum = |f: fn(&RingExplain) -> u32| -> usize {
+            out.explain.rings.iter().map(|r| f(r) as usize).sum()
+        };
+        assert_eq!(sum(|r| r.triangles), out.stats.triangles_queried);
+        assert_eq!(sum(|r| r.vertices_reported), out.stats.vertices_reported);
+        assert_eq!(sum(|r| r.vertices_processed), out.stats.vertices_processed);
+        assert_eq!(
+            sum(|r| r.promotions) + out.explain.credit_scored as usize,
+            out.stats.candidates_scored
+        );
+        // ε strictly grows ring to ring and ends at final_eps
+        for w in out.explain.rings.windows(2) {
+            assert!(w[1].eps > w[0].eps);
+            assert_eq!(w[1].ring, w[0].ring + 1);
+        }
+        assert_eq!(out.explain.rings.last().unwrap().eps, out.stats.final_eps);
+        assert!(out.explain.bound_factor > 0.0);
+        assert_ne!(out.stats.termination, Termination::None);
+
+        // an exact hit terminates via the certification bound
+        matcher.retrieve_with(&mut scratch, &shapes[0], &mut out);
+        assert_eq!(out.stats.termination, Termination::Certified);
+        assert_eq!(out.explain.rings.len(), out.stats.iterations);
+
+        // explain off: same retrieval, zero capture
+        let mut plain = MatchOutcome::default();
+        matcher.retrieve_with(&mut scratch, &saw_query(), &mut plain);
+        assert!(plain.explain.rings.is_empty());
+        assert_eq!(plain.explain.credit_scored, 0);
+        assert_ne!(plain.stats.termination, Termination::None);
     }
 }

@@ -29,6 +29,10 @@ pub struct MatcherScratch {
     // --- stamp clocks (monotone; 0 means "never stamped") ---
     query_clock: u64,
     pub(crate) iter_clock: u64,
+    /// Times [`Self::ensure`] grew an array — 0 growths across a query
+    /// means the scratch was warm for every base it touched, which is
+    /// what the dynamic layer counts as a scratch-reuse "hit".
+    pub(crate) grow_events: u64,
 
     // --- per-copy dense state, indexed by CopyId ---
     pub(crate) counter_stamp: Vec<u64>,
@@ -97,6 +101,7 @@ impl MatcherScratch {
             grew = true;
         }
         if grew {
+            self.grow_events += 1;
             // A growth event in steady state means scratches are being
             // created cold or the base outgrew every pooled scratch —
             // the zero-allocation claim depends on this staying flat.

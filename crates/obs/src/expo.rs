@@ -135,7 +135,16 @@ pub fn handle_connection(stream: &mut TcpStream, registry: &Registry) -> io::Res
             let body = registry.traces().to_json();
             respond(stream, 200, "application/json", &body)
         }
-        _ => respond(stream, 404, "text/plain", "not found; try /metrics or /debug/last_queries"),
+        "/debug/flight" => {
+            let body = registry.flight().to_json();
+            respond(stream, 200, "application/json", &body)
+        }
+        _ => respond(
+            stream,
+            404,
+            "text/plain",
+            "not found; try /metrics, /debug/last_queries, or /debug/flight",
+        ),
     }
 }
 
@@ -249,6 +258,11 @@ mod tests {
         ev.total_us = 10;
         ev.stage("retrieve", 8);
         reg.traces().push(ev);
+        reg.flight().push(&crate::flight::QueryProfile {
+            trace_id: 91,
+            total_us: 12,
+            ..Default::default()
+        });
 
         let mut server = MetricsServer::bind("127.0.0.1:0", reg).unwrap();
         let addr = server.addr();
@@ -259,6 +273,10 @@ mod tests {
 
         let traces = http_get(addr, "/debug/last_queries");
         assert!(traces.contains("\"trace_id\":77"), "{traces}");
+
+        let flight = http_get(addr, "/debug/flight");
+        assert!(flight.starts_with("HTTP/1.1 200"), "{flight}");
+        assert!(flight.contains("\"trace_id\":91"), "{flight}");
 
         let missing = http_get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");

@@ -9,8 +9,12 @@
 //!    guards feeding per-stage duration histograms, plus a ring buffer
 //!    of per-query [`TraceEvent`]s whose ids flow client → wire →
 //!    worker → writer → WAL.
-//! 3. **Exposition** ([`expo`]) — Prometheus text format on
-//!    `/metrics` and a JSON slow-query log on `/debug/last_queries`.
+//! 3. **Flight recorder** ([`flight`]) — an always-on lock-free ring
+//!    of the last N compact [`QueryProfile`]s, cheap enough to run
+//!    unconditionally and dumped to disk on a crash.
+//! 4. **Exposition** ([`expo`]) — Prometheus text format on
+//!    `/metrics`, a JSON trace log on `/debug/last_queries`, and the
+//!    flight-recorder ring on `/debug/flight`.
 //!
 //! # Registry resolution
 //!
@@ -29,10 +33,12 @@
 //! allocator test in `tests/alloc_obs.rs`.
 
 pub mod expo;
+pub mod flight;
 pub mod registry;
 pub mod span;
 pub mod trace;
 
+pub use flight::{FlightRecorder, QueryProfile};
 pub use registry::{
     bucket_index, bucket_upper_bound, merged_quantile, Counter, Gauge, Histogram, Registry,
     SnapEntry, SnapHistogram, SnapValue, Snapshot, HISTOGRAM_BUCKETS,

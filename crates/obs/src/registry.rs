@@ -24,6 +24,7 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
+use crate::flight::FlightRecorder;
 use crate::trace::TraceLog;
 
 /// Number of histogram buckets: values 0..15 exactly, then four
@@ -226,6 +227,7 @@ pub struct Registry {
     id: u64,
     series: RwLock<HashMap<String, Vec<(LabelSet, Metric)>>>,
     traces: TraceLog,
+    flight: FlightRecorder,
 }
 
 impl Default for Registry {
@@ -251,6 +253,7 @@ impl Registry {
             id: REGISTRY_IDS.fetch_add(1, Ordering::Relaxed),
             series: RwLock::new(HashMap::new()),
             traces: TraceLog::new(128),
+            flight: FlightRecorder::new(256),
         }
     }
 
@@ -262,6 +265,12 @@ impl Registry {
     /// Ring buffer of recent per-query traces backing `/debug/last_queries`.
     pub fn traces(&self) -> &TraceLog {
         &self.traces
+    }
+
+    /// The always-on flight recorder backing `/debug/flight` and the
+    /// on-disk crash dump.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
     }
 
     fn lookup<T, F, N>(&self, name: &str, labels: &[(&str, &str)], found: F, make: N) -> Arc<T>
@@ -409,10 +418,12 @@ impl SnapHistogram {
     }
 
     fn merge(&mut self, other: &SnapHistogram) {
-        self.sum += other.sum;
+        // Saturate rather than overflow: merging shards that each
+        // recorded near-u64::MAX samples must stay a valid histogram.
+        self.sum = self.sum.saturating_add(other.sum);
         for &(i, n) in &other.buckets {
             match self.buckets.binary_search_by_key(&i, |&(bi, _)| bi) {
-                Ok(pos) => self.buckets[pos].1 += n,
+                Ok(pos) => self.buckets[pos].1 = self.buckets[pos].1.saturating_add(n),
                 Err(pos) => self.buckets.insert(pos, (i, n)),
             }
         }
@@ -711,6 +722,105 @@ mod tests {
         buf.push(0); // trailing byte
         assert!(Snapshot::decode(&buf).is_none());
         assert!(Snapshot::decode(&buf[..buf.len() - 2]).is_none());
+    }
+
+    #[test]
+    fn merge_empty_and_nonempty_histograms() {
+        // empty ⊕ nonempty must equal nonempty, in both fold orders
+        let empty_reg = Registry::new();
+        empty_reg.histogram("lat", &[]); // registered, zero samples
+        let full_reg = Registry::new();
+        let h = full_reg.histogram("lat", &[]);
+        h.record(100);
+        h.record(900);
+
+        let empty = empty_reg.snapshot();
+        let full = full_reg.snapshot();
+
+        let mut a = empty.clone();
+        a.merge(&full);
+        let ha = a.histogram("lat", &[]).unwrap();
+        assert_eq!(ha.count(), 2);
+        assert_eq!(ha.sum, 1000);
+
+        let mut b = full.clone();
+        b.merge(&empty);
+        let hb = b.histogram("lat", &[]).unwrap();
+        assert_eq!(hb, ha, "merge must commute for empty⊕nonempty");
+        // quantiles of the merged snapshot match the nonempty source
+        assert_eq!(ha.quantile(0.5), full.histogram("lat", &[]).unwrap().quantile(0.5));
+
+        // empty ⊕ empty stays empty and quantiles report 0
+        let mut c = empty.clone();
+        c.merge(&empty);
+        let hc = c.histogram("lat", &[]).unwrap();
+        assert_eq!(hc.count(), 0);
+        assert_eq!(hc.quantile(0.5), 0);
+        assert_eq!(hc.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_saturated_top_bucket() {
+        // u64::MAX lands in the final bucket; merging two such
+        // histograms must add counts there, keep sums wrapping-free
+        // out of scope (sum saturation is the caller's concern — we
+        // use one huge value per side so the sum stays in range), and
+        // keep quantiles pinned at the top bucket's bound.
+        let top = bucket_upper_bound(HISTOGRAM_BUCKETS - 1);
+        assert_eq!(top, u64::MAX);
+
+        let make = || {
+            let reg = Registry::new();
+            reg.histogram("big", &[]).record(u64::MAX / 4);
+            reg.snapshot()
+        };
+        let a = make();
+        let mut merged = a.clone();
+        merged.merge(&a);
+        let h = merged.histogram("big", &[]).unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.buckets.len(), 1, "both samples share the one top-region bucket");
+        assert_eq!(h.buckets[0].1, 2);
+        // the reported quantile is the bucket's upper bound — for the
+        // saturated region that is a coarse over-estimate, but it must
+        // still be a valid bucket bound ≥ the true sample
+        let q = h.quantile(1.0);
+        assert!(q >= u64::MAX / 4);
+        assert_eq!(q, bucket_upper_bound(h.buckets[0].0 as usize));
+
+        // and an actually-saturated sample reports exactly u64::MAX
+        let reg = Registry::new();
+        reg.histogram("sat", &[]).record(u64::MAX);
+        let mut s = reg.snapshot();
+        s.merge(&reg.snapshot());
+        let hs = s.histogram("sat", &[]).unwrap();
+        assert_eq!(hs.count(), 2);
+        assert_eq!(hs.quantile(0.5), u64::MAX);
+        assert_eq!(hs.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_at_p0_and_p100() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[]);
+        for v in [3u64, 50, 7000] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let sh = snap.histogram("lat", &[]).unwrap();
+        // p0: rank clamps to 1, so the answer is the first occupied
+        // bucket's bound — the minimum sample's bucket, not 0
+        assert_eq!(sh.quantile(0.0), 3);
+        // p100: the last occupied bucket's bound, ≥ the max sample and
+        // within the 25% relative error budget
+        let p100 = sh.quantile(1.0);
+        assert!((7000..=8750).contains(&p100), "p100 = {p100}");
+        // merging with itself must not move either endpoint
+        let mut doubled = snap.clone();
+        doubled.merge(&snap);
+        let dh = doubled.histogram("lat", &[]).unwrap();
+        assert_eq!(dh.quantile(0.0), 3);
+        assert_eq!(dh.quantile(1.0), p100);
     }
 
     #[test]

@@ -82,6 +82,31 @@ pub struct QueryReply {
     pub trace: u64,
 }
 
+/// What an EXPLAIN round trip produced: the matches a plain query
+/// would have returned, plus the server's per-level/per-ring breakdown
+/// and timings.
+#[derive(Debug, Clone)]
+pub struct ExplainReply {
+    /// Snapshot epoch the query ran against.
+    pub epoch: u64,
+    /// Trace id (server-assigned when the client sent 0) — joins
+    /// against `/debug/last_queries`, `/debug/flight`, and the
+    /// slow-query log.
+    pub trace: u64,
+    /// Admission → reply on the server, microseconds.
+    pub total_us: u64,
+    /// Time the request spent queued before a worker picked it up.
+    pub queue_us: u64,
+    /// Hits, best score first — identical to a plain query's.
+    pub matches: Vec<WireMatch>,
+    /// The captured per-level/per-ring EXPLAIN breakdown.
+    pub report: geosir_core::dynamic::QueryExplain,
+    /// True when the server shed the request under load (`Busy`).
+    pub rejected: bool,
+    /// Server's retry-after hint when shed, milliseconds (0 = none).
+    pub retry_after_ms: u32,
+}
+
 /// A random nonzero odd seed without a rand dependency: hash a fresh
 /// `RandomState` (per-process random) plus a monotonically bumped
 /// counter (per-client distinct).
@@ -182,6 +207,41 @@ impl Client {
                 rejected: true,
                 retry_after_ms,
                 trace,
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Run a query with EXPLAIN/ANALYZE-style introspection: same
+    /// matches a plain [`Client::query`] would return, plus the
+    /// server's per-level/per-ring breakdown of how the §2.5 fattening
+    /// loop spent its time.
+    pub fn explain(&mut self, query: &Polyline, k: u32) -> Result<ExplainReply, WireError> {
+        let trace = self.fresh_trace();
+        let reply =
+            self.request(&Frame::Explain { k, trace, shape: WireShape::from_polyline(query) })?;
+        match reply {
+            Frame::ExplainReport { epoch, trace, total_us, queue_us, matches, report } => {
+                Ok(ExplainReply {
+                    epoch,
+                    trace,
+                    total_us,
+                    queue_us,
+                    matches,
+                    report,
+                    rejected: false,
+                    retry_after_ms: 0,
+                })
+            }
+            Frame::Busy { retry_after_ms } => Ok(ExplainReply {
+                epoch: 0,
+                trace,
+                total_us: 0,
+                queue_us: 0,
+                matches: Vec::new(),
+                report: Default::default(),
+                rejected: true,
+                retry_after_ms,
             }),
             other => Err(unexpected(&other)),
         }

@@ -30,7 +30,7 @@ pub mod metrics;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientConfig, QueryReply};
+pub use client::{Client, ClientConfig, ExplainReply, QueryReply};
 pub use durable::{BaseTemplate, DurabilityConfig, RecoveryReport};
 pub use geosir_obs as obs;
 pub use server::{serve, serve_durable, ServeConfig, ServerHandle};

@@ -15,6 +15,9 @@
 //! |------|------|---------|
 //! | `geosir_requests_total` | counter | requests admitted and answered |
 //! | `geosir_queries_total` | counter | query shapes evaluated |
+//! | `geosir_explains_total` | counter | `Explain` requests served |
+//! | `geosir_slow_queries_total` | counter | queries landed in the slow-query log |
+//! | `geosir_slow_query_log_errors_total` | counter | slow-query log append failures |
 //! | `geosir_inserts_total` / `geosir_deletes_total` | counter | write frames seen |
 //! | `geosir_busy_rejects_total` | counter | requests shed with `Busy` |
 //! | `geosir_protocol_errors_total` | counter | connections dropped on bad frames |
@@ -51,6 +54,9 @@ pub struct Metrics {
 
     pub requests: Arc<obs::Counter>,
     pub queries: Arc<obs::Counter>,
+    pub explains: Arc<obs::Counter>,
+    pub slow_queries: Arc<obs::Counter>,
+    pub slow_log_errors: Arc<obs::Counter>,
     pub inserts: Arc<obs::Counter>,
     pub deletes: Arc<obs::Counter>,
     pub busy_rejects: Arc<obs::Counter>,
@@ -86,6 +92,9 @@ impl Metrics {
         Metrics {
             requests: r.counter("geosir_requests_total", &[]),
             queries: r.counter("geosir_queries_total", &[]),
+            explains: r.counter("geosir_explains_total", &[]),
+            slow_queries: r.counter("geosir_slow_queries_total", &[]),
+            slow_log_errors: r.counter("geosir_slow_query_log_errors_total", &[]),
             inserts: r.counter("geosir_inserts_total", &[]),
             deletes: r.counter("geosir_deletes_total", &[]),
             busy_rejects: r.counter("geosir_busy_rejects_total", &[]),

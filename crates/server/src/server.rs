@@ -51,7 +51,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-use geosir_core::dynamic::{DynamicBase, GlobalShapeId, RetrieveStats, Snapshot};
+use geosir_core::dynamic::{DynamicBase, GlobalShapeId, QueryExplain, RetrieveStats, Snapshot};
 use geosir_core::matcher::MatchOutcome;
 use geosir_core::scratch::MatcherScratch;
 use geosir_core::ImageId;
@@ -82,8 +82,22 @@ pub struct ServeConfig {
     /// from queue depth and recent drain rate ([`retry_hint_ms`]).
     pub retry_after_ms: u32,
     /// Bind address for the HTTP metrics endpoint (`/metrics`
-    /// Prometheus text, `/debug/last_queries` JSON); `None` disables it.
+    /// Prometheus text, `/debug/last_queries` JSON, `/debug/flight`);
+    /// `None` disables it.
     pub metrics_addr: Option<String>,
+    /// Directory for the structured slow-query log (JSONL segments,
+    /// size-rotated); `None` disables slow-query capture entirely —
+    /// queries then run the plain, capture-free retrieval path.
+    pub slow_query_log: Option<PathBuf>,
+    /// Queries whose admission → reply time meets or exceeds this many
+    /// microseconds land in the slow-query log with their full
+    /// EXPLAIN report. 0 logs every query (useful for tests and
+    /// short traffic captures).
+    pub slow_query_us: u64,
+    /// Rotate a slow-query segment when it would exceed this many bytes.
+    pub slow_query_log_max_bytes: u64,
+    /// Rotated slow-query segments to keep.
+    pub slow_query_log_keep: usize,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +109,10 @@ impl Default for ServeConfig {
             poll_interval: Duration::from_millis(50),
             retry_after_ms: 50,
             metrics_addr: None,
+            slow_query_log: None,
+            slow_query_us: 10_000,
+            slow_query_log_max_bytes: 1 << 20,
+            slow_query_log_keep: 4,
         }
     }
 }
@@ -301,10 +319,20 @@ impl Job {
     /// The client-minted trace id riding in the frame (0 = none).
     fn trace(&self) -> u64 {
         match &self.frame {
-            Frame::Query { trace, .. } | Frame::Insert { trace, .. } => *trace,
+            Frame::Query { trace, .. }
+            | Frame::Explain { trace, .. }
+            | Frame::Insert { trace, .. } => *trace,
             _ => 0,
         }
     }
+}
+
+/// Slow-query capture state: the threshold plus the rotating JSONL
+/// writer behind a mutex (appends are rare — only over-threshold
+/// queries reach it — so contention is not a concern).
+struct SlowLog {
+    threshold_us: u64,
+    writer: Mutex<geosir_storage::slowlog::RotatingJsonl>,
 }
 
 /// The reader-visible state: the snapshot **and** the WAL position it
@@ -344,6 +372,7 @@ struct Shared {
     metrics_addr: Mutex<Option<SocketAddr>>,
     cfg: ServeConfig,
     durable: Option<DurableState>,
+    slow_log: Option<SlowLog>,
 }
 
 impl Shared {
@@ -545,6 +574,19 @@ fn serve_inner(
     let metrics = Metrics::new(registry);
     let read_gauge = metrics.read_queue_depth.clone();
     let write_gauge = metrics.write_queue_depth.clone();
+    let slow_log = match &cfg.slow_query_log {
+        Some(dir) => Some(SlowLog {
+            threshold_us: cfg.slow_query_us,
+            writer: Mutex::new(geosir_storage::slowlog::RotatingJsonl::open(
+                dir,
+                "slow",
+                cfg.slow_query_log_max_bytes,
+                cfg.slow_query_log_keep,
+                Box::new(geosir_storage::faults::FileFactory),
+            )?),
+        }),
+        None => None,
+    };
     let shared = Arc::new(Shared {
         published: RwLock::new(Published { snap: snap0, wal_lsn: applied_lsn }),
         last_publish: Mutex::new(Instant::now()),
@@ -556,7 +598,26 @@ fn serve_inner(
         metrics_addr: Mutex::new(None),
         cfg: cfg.clone(),
         durable,
+        slow_log,
     });
+
+    // The flight recorder must survive to disk when the process dies
+    // abnormally. Two death paths converge on the same dump: armed
+    // fail_point! crashes abort without unwinding (their hook runs just
+    // before the abort), and real panics reach the same hooks through a
+    // process-wide chained panic hook. The hook holds only a Weak — a
+    // shut-down server's registry can be freed, and test processes that
+    // start many servers don't accumulate live ones.
+    if let Some(d) = &shared.durable {
+        let dump_path = d.data_dir.join("flight.dump.json");
+        let reg = Arc::downgrade(&shared.metrics.registry);
+        geosir_storage::faults::on_crash(move || {
+            if let Some(reg) = reg.upgrade() {
+                let _ = std::fs::write(&dump_path, reg.flight().to_json());
+            }
+        });
+        install_panic_flight_dump();
+    }
 
     let mut threads = Vec::new();
     for i in 0..workers {
@@ -605,10 +666,152 @@ fn serve_inner(
     Ok(ServerHandle { addr: local, shared, threads })
 }
 
+/// Chain the flight-recorder dump into the process panic hook, once per
+/// process: a panicking server thread writes the same
+/// `flight.dump.json` an armed crash point would, then the previous
+/// hook (backtrace printing) runs as usual.
+fn install_panic_flight_dump() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            geosir_storage::faults::run_crash_hooks();
+            prev(info);
+        }));
+    });
+}
+
+/// Serialize one slow-query record as a single JSON line: identity and
+/// timing up front (join keys for the trace log and flight recorder),
+/// then the full per-level/per-ring EXPLAIN breakdown. Hand-rolled like
+/// the trace log's JSON — every value is numeric or a static
+/// identifier, so no escaping is needed.
+#[allow(clippy::too_many_arguments)]
+fn slow_query_json(
+    out: &mut String,
+    trace_id: u64,
+    kind: &str,
+    total_us: u64,
+    queue_us: u64,
+    epoch: u64,
+    hits: usize,
+    explain: &QueryExplain,
+) {
+    use std::fmt::Write as _;
+    let s = &explain.stats;
+    let _ = write!(
+        out,
+        "{{\"trace_id\":{trace_id},\"kind\":\"{kind}\",\"total_us\":{total_us},\
+         \"queue_us\":{queue_us},\"epoch\":{epoch},\"hits\":{hits},\
+         \"termination\":\"{}\",\"levels\":{},\"rings\":{},\
+         \"vertices_reported\":{},\"vertices_processed\":{},\
+         \"candidates_scored\":{},\"triangles_queried\":{},\
+         \"buffer_scored\":{},\"exhausted_levels\":{},\"per_level\":[",
+        s.last_termination.as_str(),
+        s.levels,
+        s.rings,
+        s.vertices_reported,
+        s.vertices_processed,
+        s.candidates_scored,
+        s.triangles_queried,
+        explain.buffer_scored,
+        s.exhausted_levels,
+    );
+    for (i, level) in explain.levels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"shapes\":{},\"termination\":\"{}\",\"final_eps\":{},\
+             \"eps_cap\":{},\"bound_factor\":{},\"vertices_reported\":{},\
+             \"vertices_processed\":{},\"candidates_scored\":{},\
+             \"credit_scored\":{},\"exhausted\":{},\"rings\":[",
+            level.shapes,
+            level.termination.as_str(),
+            level.final_eps,
+            level.eps_cap,
+            level.bound_factor,
+            level.vertices_reported,
+            level.vertices_processed,
+            level.candidates_scored,
+            level.credit_scored,
+            level.exhausted,
+        );
+        for (j, r) in level.rings.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"ring\":{},\"eps\":{},\"triangles\":{},\
+                 \"vertices_reported\":{},\"vertices_processed\":{},\
+                 \"promotions\":{}}}",
+                r.ring, r.eps, r.triangles, r.vertices_reported, r.vertices_processed, r.promotions,
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+}
+
+impl Shared {
+    /// Append one over-threshold query to the slow-query log. Failures
+    /// are counted, never retried, and never block the query path —
+    /// telemetry must not stall retrievals even on a dead disk.
+    #[allow(clippy::too_many_arguments)]
+    fn log_slow_query(
+        &self,
+        trace_id: u64,
+        kind: &str,
+        total_us: u64,
+        queue_us: u64,
+        epoch: u64,
+        hits: usize,
+        explain: &QueryExplain,
+    ) {
+        let Some(slow) = &self.slow_log else { return };
+        let mut line = String::with_capacity(512);
+        slow_query_json(&mut line, trace_id, kind, total_us, queue_us, epoch, hits, explain);
+        let result = slow.writer.lock().unwrap().append_line(&line);
+        match result {
+            Ok(()) => self.metrics.slow_queries.inc(),
+            Err(_) => self.metrics.slow_log_errors.inc(),
+        }
+    }
+
+    /// Record one finished read-path request in the always-on flight
+    /// recorder: a handful of relaxed stores, no locks, no allocation.
+    #[allow(clippy::too_many_arguments)]
+    fn record_flight(
+        &self,
+        trace_id: u64,
+        kind: u8,
+        total_us: u64,
+        queue_us: u64,
+        epoch: u64,
+        stats: &RetrieveStats,
+    ) {
+        self.metrics.registry.flight().push(&obs::QueryProfile {
+            trace_id,
+            kind,
+            total_us,
+            queue_us,
+            rings: stats.rings.min(u32::MAX as u64) as u32,
+            levels: stats.levels.min(u32::MAX as u64) as u32,
+            candidates: stats.vertices_reported,
+            scored: stats.candidates_scored.min(u32::MAX as u64) as u32,
+            epoch,
+            termination: stats.last_termination.flight_code(),
+        });
+    }
+}
+
 /// Accept loop for the HTTP metrics endpoint: refresh the passive
-/// gauges, then let `geosir-obs` answer `/metrics` and
-/// `/debug/last_queries`. Scrapes are served inline — they are rare,
-/// cheap, and must not compete with workers for queue slots.
+/// gauges, then let `geosir-obs` answer `/metrics`,
+/// `/debug/last_queries`, and `/debug/flight`. Scrapes are served
+/// inline — they are rare, cheap, and must not compete with workers for
+/// queue slots.
 fn metrics_loop(listener: TcpListener, shared: &Arc<Shared>) {
     loop {
         match listener.accept() {
@@ -734,8 +937,8 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
             }
         };
         let outcome = match frame {
-            Frame::Query { .. } | Frame::QueryBatch { .. } | Frame::Stats
-            | Frame::MetricsDump => submit(
+            Frame::Query { .. } | Frame::Explain { .. } | Frame::QueryBatch { .. }
+            | Frame::Stats | Frame::MetricsDump => submit(
                 &shared.read_queue,
                 shared,
                 Job { frame, reply: reply_tx.clone(), enqueued: Instant::now() },
@@ -786,6 +989,12 @@ fn worker_loop(worker: usize, shared: &Arc<Shared>) {
     let mut tmp = MatchOutcome::default();
     let mut hits = Vec::new();
     let mut rstats = RetrieveStats::default();
+    let mut qx = QueryExplain::default();
+    // With a slow-query log configured, every query runs with explain
+    // capture on — the report must already exist by the time the query
+    // turns out to be slow. Without one, queries take the plain
+    // zero-capture path.
+    let capture = shared.slow_log.is_some();
     while let Some(job) = shared.read_queue.pop() {
         let queue_wait_us = job.enqueued.elapsed().as_micros() as u64;
         let started = Instant::now();
@@ -796,14 +1005,26 @@ fn worker_loop(worker: usize, shared: &Arc<Shared>) {
                     shared.metrics.queries.inc();
                     let snap = shared.current_snapshot();
                     let span = obs::SpanGuard::enter("retrieve");
-                    snap.retrieve_with_stats(
-                        &mut scratch,
-                        &mut tmp,
-                        &query,
-                        *k as usize,
-                        &mut hits,
-                        &mut rstats,
-                    );
+                    if capture {
+                        snap.explain_with_stats(
+                            &mut scratch,
+                            &mut tmp,
+                            &query,
+                            *k as usize,
+                            &mut hits,
+                            &mut rstats,
+                            &mut qx,
+                        );
+                    } else {
+                        snap.retrieve_with_stats(
+                            &mut scratch,
+                            &mut tmp,
+                            &query,
+                            *k as usize,
+                            &mut hits,
+                            &mut rstats,
+                        );
+                    }
                     let retrieve_us = span.elapsed_us();
                     drop(span);
                     let trace_id = if *trace != 0 { *trace } else { traces.assign_id() };
@@ -817,7 +1038,85 @@ fn worker_loop(worker: usize, shared: &Arc<Shared>) {
                         .note("scored", rstats.candidates_scored)
                         .note("hits", hits.len() as u64);
                     traces.push(ev);
+                    let total_us = queue_wait_us + retrieve_us;
+                    if capture
+                        && shared.slow_log.as_ref().is_some_and(|s| total_us >= s.threshold_us)
+                    {
+                        shared.log_slow_query(
+                            trace_id,
+                            "query",
+                            total_us,
+                            queue_wait_us,
+                            snap.epoch(),
+                            hits.len(),
+                            &qx,
+                        );
+                    }
+                    shared.record_flight(
+                        trace_id,
+                        obs::flight::KIND_QUERY,
+                        total_us,
+                        queue_wait_us,
+                        snap.epoch(),
+                        &rstats,
+                    );
                     Frame::Matches { epoch: snap.epoch(), matches: to_wire(&hits) }
+                }
+                None => bad_shape(),
+            },
+            Frame::Explain { k, trace, shape } => match shape.to_polyline() {
+                Some(query) => {
+                    shared.metrics.explains.inc();
+                    let snap = shared.current_snapshot();
+                    let span = obs::SpanGuard::enter("retrieve");
+                    snap.explain_with_stats(
+                        &mut scratch,
+                        &mut tmp,
+                        &query,
+                        *k as usize,
+                        &mut hits,
+                        &mut rstats,
+                        &mut qx,
+                    );
+                    let retrieve_us = span.elapsed_us();
+                    drop(span);
+                    let trace_id = if *trace != 0 { *trace } else { traces.assign_id() };
+                    let mut ev = obs::TraceEvent::new(trace_id, "explain");
+                    ev.total_us = queue_wait_us + retrieve_us;
+                    ev.stage("queue_wait", queue_wait_us)
+                        .stage("retrieve", retrieve_us)
+                        .note("epoch", snap.epoch())
+                        .note("rings", rstats.rings)
+                        .note("hits", hits.len() as u64);
+                    traces.push(ev);
+                    let total_us = queue_wait_us + retrieve_us;
+                    if shared.slow_log.as_ref().is_some_and(|s| total_us >= s.threshold_us) {
+                        shared.log_slow_query(
+                            trace_id,
+                            "explain",
+                            total_us,
+                            queue_wait_us,
+                            snap.epoch(),
+                            hits.len(),
+                            &qx,
+                        );
+                    }
+                    shared.record_flight(
+                        trace_id,
+                        obs::flight::KIND_EXPLAIN,
+                        total_us,
+                        queue_wait_us,
+                        snap.epoch(),
+                        &rstats,
+                    );
+                    Frame::ExplainReport {
+                        epoch: snap.epoch(),
+                        trace: trace_id,
+                        total_us,
+                        queue_us: queue_wait_us,
+                        matches: to_wire(&hits),
+                        report: qx.clone(),
+                    }
                 }
                 None => bad_shape(),
             },
@@ -843,12 +1142,21 @@ fn worker_loop(worker: usize, shared: &Arc<Shared>) {
                 }
                 let batch_us = span.elapsed_us();
                 drop(span);
-                let mut ev = obs::TraceEvent::new(traces.assign_id(), "batch");
+                let batch_trace = traces.assign_id();
+                let mut ev = obs::TraceEvent::new(batch_trace, "batch");
                 ev.total_us = queue_wait_us + batch_us;
                 ev.stage("queue_wait", queue_wait_us)
                     .stage("retrieve", batch_us)
                     .note("queries", shapes.len() as u64);
                 traces.push(ev);
+                shared.record_flight(
+                    batch_trace,
+                    obs::flight::KIND_BATCH,
+                    queue_wait_us + batch_us,
+                    queue_wait_us,
+                    snap.epoch(),
+                    &RetrieveStats::default(),
+                );
                 Frame::BatchMatches { epoch: snap.epoch(), results }
             }
             Frame::Stats => Frame::StatsReport(shared.stats()),
@@ -1138,6 +1446,18 @@ fn writer_loop(mut base: DynamicBase, mut ctx: WriterCtx, shared: &Arc<Shared>) 
             .stage("publish", publish_us)
             .note("batch", batch_len);
             traces.push(ev);
+            let flight_kind = match &job.frame {
+                Frame::Insert { .. } => obs::flight::KIND_INSERT,
+                _ => obs::flight::KIND_DELETE,
+            };
+            shared.metrics.registry.flight().push(&obs::QueryProfile {
+                trace_id,
+                kind: flight_kind,
+                total_us: job.enqueued.elapsed().as_micros() as u64,
+                queue_us: batch_started.duration_since(job.enqueued).as_micros() as u64,
+                epoch: base.epoch(),
+                ..Default::default()
+            });
             let _ = job.reply.send(reply);
         }
     }

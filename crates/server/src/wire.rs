@@ -21,6 +21,8 @@
 //! stream entry points.
 
 use bytes::{Buf, BufMut};
+use geosir_core::dynamic::{LevelExplain, QueryExplain};
+use geosir_core::matcher::{RingExplain, Termination};
 use geosir_geom::Polyline;
 use std::io::{Read, Write};
 
@@ -35,7 +37,12 @@ use std::io::{Read, Write};
 /// that the server threads through its stage timings and surfaces in
 /// `/debug/last_queries`; `MetricsDump` / `MetricsReport` fetch a full
 /// [`geosir_obs::Snapshot`] of the server's metrics registry.
-pub const PROTOCOL_VERSION: u8 = 3;
+///
+/// v4: `Explain` runs a query with per-ring/per-level introspection and
+/// answers with `ExplainReport` — the matches plus the full
+/// [`QueryExplain`] (EXPLAIN ANALYZE for the §2.5 fattening loop) and
+/// server-side timings.
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// Ceiling on a frame's payload size. A length prefix above this is
 /// rejected *before* any allocation, so a hostile 4 GiB prefix cannot OOM
@@ -174,6 +181,11 @@ pub enum Frame {
     /// Fetch the full metrics-registry snapshot ([`geosir_obs::Snapshot`]
     /// bytes come back in [`Frame::MetricsReport`]).
     MetricsDump,
+    /// Run `Query` with per-ring/per-level introspection enabled and
+    /// reply with [`Frame::ExplainReport`]. Same payload as `Query`;
+    /// rides the same read queue and sees the same snapshot a plain
+    /// query would.
+    Explain { k: u32, trace: u64, shape: WireShape },
     /// Begin graceful shutdown: in-flight requests drain, then the server
     /// exits.
     Shutdown,
@@ -192,6 +204,18 @@ pub enum Frame {
     /// every metric series the server registered. Opaque bytes on the
     /// wire so the codec stays decoupled from the registry layout.
     MetricsReport { snapshot: Vec<u8> },
+    /// Reply to `Explain`: the matches a plain query would have
+    /// returned, plus the captured [`QueryExplain`] and the server-side
+    /// timings (`queue_us` enqueue → worker pickup, `total_us` enqueue →
+    /// reply built) the slow-query log records.
+    ExplainReport {
+        epoch: u64,
+        trace: u64,
+        total_us: u64,
+        queue_us: u64,
+        matches: Vec<WireMatch>,
+        report: QueryExplain,
+    },
     /// Load shed: the bounded request queue was full. Retry after the
     /// hinted delay (0 = client's choice).
     Busy { retry_after_ms: u32 },
@@ -210,6 +234,7 @@ mod frame_type {
     pub const STATS: u8 = 5;
     pub const SHUTDOWN: u8 = 6;
     pub const METRICS_DUMP: u8 = 7;
+    pub const EXPLAIN: u8 = 8;
     pub const MATCHES: u8 = 64;
     pub const BATCH_MATCHES: u8 = 65;
     pub const INSERTED: u8 = 66;
@@ -219,6 +244,7 @@ mod frame_type {
     pub const BYE: u8 = 70;
     pub const ERROR: u8 = 71;
     pub const METRICS_REPORT: u8 = 72;
+    pub const EXPLAIN_REPORT: u8 = 73;
 }
 
 /// Decode / transport failures. Every variant leaves the connection in a
@@ -340,6 +366,110 @@ fn get_matches(buf: &mut &[u8]) -> Result<Vec<WireMatch>, WireError> {
     Ok(matches)
 }
 
+fn put_explain(out: &mut Vec<u8>, e: &QueryExplain) {
+    out.put_u64_le(e.buffer_scored);
+    // aggregate RetrieveStats
+    out.put_u64_le(e.stats.levels);
+    out.put_u64_le(e.stats.rings);
+    out.put_u64_le(e.stats.vertices_reported);
+    out.put_u64_le(e.stats.vertices_processed);
+    out.put_u64_le(e.stats.candidates_scored);
+    out.put_u64_le(e.stats.triangles_queried);
+    out.put_u64_le(e.stats.buffer_scored);
+    out.put_f64_le(e.stats.max_eps_fraction);
+    out.put_u64_le(e.stats.exhausted_levels);
+    out.put_u8(e.stats.last_termination.flight_code());
+    // per-level breakdowns
+    out.put_u32_le(e.levels.len() as u32);
+    for level in &e.levels {
+        out.put_u64_le(level.shapes);
+        out.put_u8(level.termination.flight_code());
+        out.put_f64_le(level.final_eps);
+        out.put_f64_le(level.eps_cap);
+        out.put_f64_le(level.bound_factor);
+        out.put_u64_le(level.vertices_reported);
+        out.put_u64_le(level.vertices_processed);
+        out.put_u64_le(level.candidates_scored);
+        out.put_u32_le(level.credit_scored);
+        out.put_u8(level.exhausted as u8);
+        out.put_u32_le(level.rings.len() as u32);
+        for r in &level.rings {
+            out.put_u32_le(r.ring);
+            out.put_f64_le(r.eps);
+            out.put_u32_le(r.triangles);
+            out.put_u32_le(r.vertices_reported);
+            out.put_u32_le(r.vertices_processed);
+            out.put_u32_le(r.promotions);
+        }
+    }
+}
+
+fn get_termination(buf: &mut &[u8]) -> Result<Termination, WireError> {
+    Termination::from_flight_code(buf.get_u8()).ok_or(WireError::Malformed)
+}
+
+fn get_explain(buf: &mut &[u8]) -> Result<QueryExplain, WireError> {
+    // fixed prefix: buffer_scored + 9 stats words + termination byte
+    if buf.len() < 8 + 9 * 8 + 1 + 4 {
+        return Err(WireError::Malformed);
+    }
+    let mut e = QueryExplain { buffer_scored: buf.get_u64_le(), ..Default::default() };
+    e.stats.levels = buf.get_u64_le();
+    e.stats.rings = buf.get_u64_le();
+    e.stats.vertices_reported = buf.get_u64_le();
+    e.stats.vertices_processed = buf.get_u64_le();
+    e.stats.candidates_scored = buf.get_u64_le();
+    e.stats.triangles_queried = buf.get_u64_le();
+    e.stats.buffer_scored = buf.get_u64_le();
+    e.stats.max_eps_fraction = buf.get_f64_le();
+    e.stats.exhausted_levels = buf.get_u64_le();
+    e.stats.last_termination = get_termination(buf)?;
+    let levels = buf.get_u32_le() as usize;
+    // ≥ 62 bytes per level: cheap pre-check against hostile counts
+    if buf.len() < levels * 62 {
+        return Err(WireError::Malformed);
+    }
+    for _ in 0..levels {
+        if buf.len() < 62 {
+            return Err(WireError::Malformed);
+        }
+        let mut level = LevelExplain {
+            shapes: buf.get_u64_le(),
+            termination: get_termination(buf)?,
+            final_eps: buf.get_f64_le(),
+            eps_cap: buf.get_f64_le(),
+            bound_factor: buf.get_f64_le(),
+            vertices_reported: buf.get_u64_le(),
+            vertices_processed: buf.get_u64_le(),
+            candidates_scored: buf.get_u64_le(),
+            credit_scored: buf.get_u32_le(),
+            exhausted: match buf.get_u8() {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::Malformed),
+            },
+            rings: Vec::new(),
+        };
+        let rings = buf.get_u32_le() as usize;
+        if buf.len() < rings * 28 {
+            return Err(WireError::Malformed);
+        }
+        level.rings.reserve(rings);
+        for _ in 0..rings {
+            level.rings.push(RingExplain {
+                ring: buf.get_u32_le(),
+                eps: buf.get_f64_le(),
+                triangles: buf.get_u32_le(),
+                vertices_reported: buf.get_u32_le(),
+                vertices_processed: buf.get_u32_le(),
+                promotions: buf.get_u32_le(),
+            });
+        }
+        e.levels.push(level);
+    }
+    Ok(e)
+}
+
 impl Frame {
     fn type_byte(&self) -> u8 {
         match self {
@@ -350,6 +480,8 @@ impl Frame {
             Frame::Delete { .. } => frame_type::DELETE,
             Frame::Stats => frame_type::STATS,
             Frame::MetricsDump => frame_type::METRICS_DUMP,
+            Frame::Explain { .. } => frame_type::EXPLAIN,
+            Frame::ExplainReport { .. } => frame_type::EXPLAIN_REPORT,
             Frame::MetricsReport { .. } => frame_type::METRICS_REPORT,
             Frame::Shutdown => frame_type::SHUTDOWN,
             Frame::Matches { .. } => frame_type::MATCHES,
@@ -364,7 +496,7 @@ impl Frame {
 
     fn encode_payload(&self, out: &mut Vec<u8>) {
         match self {
-            Frame::Query { k, trace, shape } => {
+            Frame::Query { k, trace, shape } | Frame::Explain { k, trace, shape } => {
                 out.put_u32_le(*k);
                 out.put_u64_le(*trace);
                 put_shape(out, shape);
@@ -392,6 +524,14 @@ impl Frame {
             Frame::Matches { epoch, matches } => {
                 out.put_u64_le(*epoch);
                 put_matches(out, matches);
+            }
+            Frame::ExplainReport { epoch, trace, total_us, queue_us, matches, report } => {
+                out.put_u64_le(*epoch);
+                out.put_u64_le(*trace);
+                out.put_u64_le(*total_us);
+                out.put_u64_le(*queue_us);
+                put_matches(out, matches);
+                put_explain(out, report);
             }
             Frame::BatchMatches { epoch, results } => {
                 out.put_u64_le(*epoch);
@@ -491,6 +631,14 @@ impl Frame {
             }
             frame_type::STATS => Frame::Stats,
             frame_type::METRICS_DUMP => Frame::MetricsDump,
+            frame_type::EXPLAIN => {
+                if buf.len() < 12 {
+                    return Err(WireError::Malformed);
+                }
+                let k = buf.get_u32_le();
+                let trace = buf.get_u64_le();
+                Frame::Explain { k, trace, shape: get_shape(buf)? }
+            }
             frame_type::SHUTDOWN => Frame::Shutdown,
             frame_type::MATCHES => {
                 if buf.len() < 8 {
@@ -498,6 +646,18 @@ impl Frame {
                 }
                 let epoch = buf.get_u64_le();
                 Frame::Matches { epoch, matches: get_matches(buf)? }
+            }
+            frame_type::EXPLAIN_REPORT => {
+                if buf.len() < 32 {
+                    return Err(WireError::Malformed);
+                }
+                let epoch = buf.get_u64_le();
+                let trace = buf.get_u64_le();
+                let total_us = buf.get_u64_le();
+                let queue_us = buf.get_u64_le();
+                let matches = get_matches(buf)?;
+                let report = get_explain(buf)?;
+                Frame::ExplainReport { epoch, trace, total_us, queue_us, matches, report }
             }
             frame_type::BATCH_MATCHES => {
                 if buf.len() < 12 {

@@ -189,3 +189,23 @@ fn recovers_from_crash_mid_checkpoint() {
 fn recovers_from_crash_mid_wal_rotation() {
     crash_and_recover("mid-rotate", "wal.mid-rotation");
 }
+
+/// An armed crash point must leave a readable flight-recorder dump in
+/// the data directory: the last-requests ring, flushed by the crash
+/// hook before `abort()`, with the writes the child performed.
+#[test]
+fn crash_leaves_readable_flight_dump() {
+    let dir = tmpdir("flight-dump");
+    let acked = run_crashing_child(&dir, "wal.post-append:6");
+    let dump = std::fs::read_to_string(dir.join("flight.dump.json"))
+        .expect("crash must write flight.dump.json to the data dir");
+    assert!(dump.starts_with('['), "dump must be a JSON array: {dump}");
+    assert!(dump.contains("\"kind\":\"insert\""), "acked inserts must be in the ring: {dump}");
+    assert!(dump.contains("\"trace_id\":"), "{dump}");
+    // profiles are complete objects — the seqlock must not publish torn slots
+    assert_eq!(dump.matches("\"trace_id\"").count(), dump.matches("\"termination\"").count());
+    assert!(!acked.is_empty());
+    // and the dump does not interfere with normal recovery
+    assert_acked_survive(&dir, "wal.post-append:6", &acked);
+    std::fs::remove_dir_all(&dir).ok();
+}

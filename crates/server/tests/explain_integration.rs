@@ -1,0 +1,227 @@
+//! End-to-end introspection over a live durable server: an `Explain`
+//! request's report must *reconcile* with the registry (the plan is the
+//! same work the counters saw, not a parallel estimate), a zero
+//! threshold must land every query in the slow-query JSONL with the
+//! client-minted trace id, and the flight recorder must surface recent
+//! requests at `/debug/flight`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+
+use geosir_core::matcher::MatchConfig;
+use geosir_geom::rangesearch::Backend;
+use geosir_geom::{Point, Polyline};
+use geosir_serve::{serve_durable, BaseTemplate, Client, DurabilityConfig, ServeConfig};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("geosir-explain-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn template() -> BaseTemplate {
+    BaseTemplate {
+        alpha: 0.0,
+        backend: Backend::KdTree,
+        config: MatchConfig { beta: 0.2, ..Default::default() },
+        buffer_cap: 8,
+    }
+}
+
+fn tri(i: u64) -> Polyline {
+    Polyline::closed(vec![
+        Point::new(0.0, 0.0),
+        Point::new(3.0 + i as f64 * 0.01, 0.2),
+        Point::new(1.5, 2.0 + (i % 5) as f64 * 0.1),
+    ])
+    .unwrap()
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect metrics endpoint");
+    write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read response");
+    out
+}
+
+/// The explain report must describe the same work the registry counted:
+/// between two `MetricsDump` snapshots bracketing a single `Explain`,
+/// the matcher ring / promotion counter deltas equal the report's
+/// per-ring sums exactly (single worker, single client — no other
+/// traffic to blur the deltas).
+#[test]
+fn explain_report_reconciles_with_registry_deltas() {
+    let dir = tmpdir("reconcile");
+    let cfg = ServeConfig { workers: 1, ..Default::default() };
+    let (handle, _) =
+        serve_durable("127.0.0.1:0", &template(), DurabilityConfig::new(&dir), cfg).unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    // 12 % buffer_cap(8) = 4 shapes stay in the insert buffer, so the
+    // report must show brute-force buffer work alongside level scans.
+    for i in 0..12u64 {
+        c.insert_retrying(i as u32, &tri(i)).unwrap();
+    }
+
+    let before = c.metrics().unwrap();
+    let reply = c.explain(&tri(3), 2).unwrap();
+    let after = c.metrics().unwrap();
+
+    assert!(!reply.rejected);
+    assert_ne!(reply.trace, 0, "client must mint a trace id");
+    assert!(!reply.matches.is_empty(), "explain still answers the query");
+    assert!(reply.total_us > 0);
+
+    let report = &reply.report;
+    assert!(!report.levels.is_empty(), "12 inserts must have built at least one level");
+    assert!(report.buffer_scored > 0, "4 buffered shapes must be brute-force scored");
+
+    // Registry deltas == report sums. The explain ran between the two
+    // dumps on the only worker, so the deltas are exactly its work.
+    let delta = |name: &str| {
+        after.counter(name, &[]).saturating_sub(before.counter(name, &[]))
+    };
+    assert_eq!(delta("geosir_explains_total"), 1);
+    let report_rings: u64 =
+        report.levels.iter().map(|l| l.rings.len() as u64).sum();
+    assert_eq!(report.stats.rings, report_rings, "stats.rings vs per-level rings");
+    assert_eq!(
+        delta("geosir_matcher_rings_total"),
+        report_rings,
+        "ring counter must move once per ring, not once per run"
+    );
+    let report_promotions: u64 = report
+        .levels
+        .iter()
+        .flat_map(|l| l.rings.iter())
+        .map(|r| u64::from(r.promotions))
+        .sum();
+    assert_eq!(
+        delta("geosir_matcher_counter_promotions_total"),
+        report_promotions,
+        "promotion counter must move once per promotion event"
+    );
+    assert_eq!(delta("geosir_matcher_runs_total"), report.levels.len() as u64);
+    // The serve path must feed the scratch-pool counters (satellite:
+    // they were stuck at zero): exactly one acquisition per query.
+    assert_eq!(
+        delta("geosir_dynamic_scratch_pool_hits_total")
+            + delta("geosir_dynamic_scratch_pool_misses_total"),
+        1,
+        "one scratch acquisition per explain"
+    );
+
+    // And the explain's matches agree with a plain query.
+    let plain = c.query(&tri(3), 2).unwrap();
+    let ids = |ms: &[geosir_serve::WireMatch]| ms.iter().map(|m| m.shape).collect::<Vec<_>>();
+    assert_eq!(ids(&reply.matches), ids(&plain.matches));
+
+    handle.shutdown();
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// With `slow_query_us = 0` every query is "slow": each one must land
+/// in the JSONL log carrying the same trace id the client minted, with
+/// the full per-level plan attached.
+#[test]
+fn threshold_zero_logs_every_query_with_its_trace_id() {
+    let dir = tmpdir("slowlog");
+    let log_dir = dir.join("slow-queries");
+    let cfg = ServeConfig {
+        workers: 2,
+        slow_query_log: Some(log_dir.clone()),
+        slow_query_us: 0,
+        ..Default::default()
+    };
+    let (handle, _) =
+        serve_durable("127.0.0.1:0", &template(), DurabilityConfig::new(&dir), cfg).unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    for i in 0..10u64 {
+        c.insert_retrying(i as u32, &tri(i)).unwrap();
+    }
+    let mut traces = Vec::new();
+    for i in 0..6u64 {
+        let reply = c.query(&tri(i), 2).unwrap();
+        assert!(!reply.rejected);
+        traces.push(reply.trace);
+    }
+    // explains flow through the same log
+    let ex = c.explain(&tri(0), 1).unwrap();
+    traces.push(ex.trace);
+
+    let snap = c.metrics().unwrap();
+    assert!(
+        snap.counter("geosir_slow_queries_total", &[]) >= 7,
+        "every query must count as slow at threshold 0"
+    );
+    assert_eq!(snap.counter("geosir_slow_query_log_errors_total", &[]), 0);
+
+    handle.shutdown();
+    handle.join();
+
+    // FileIo appends are unbuffered, but shut the server down first so
+    // the log is quiescent before we read it back.
+    let mut body = String::new();
+    for entry in std::fs::read_dir(&log_dir).expect("slow-query log dir must exist") {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "jsonl") {
+            body.push_str(&std::fs::read_to_string(&path).unwrap());
+        }
+    }
+    for trace in &traces {
+        assert!(
+            body.contains(&format!("\"trace_id\":{trace}")),
+            "trace {trace} missing from slow-query log:\n{body}"
+        );
+    }
+    for line in body.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "not one-object-per-line: {line}");
+        assert!(line.contains("\"termination\":"), "{line}");
+        assert!(line.contains("\"per_level\":["), "{line}");
+    }
+    assert!(body.contains("\"kind\":\"query\""), "{body}");
+    assert!(body.contains("\"kind\":\"explain\""), "{body}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The always-on flight recorder: reads and writes both show up at
+/// `/debug/flight` keyed by trace id, without any explain/slow-log
+/// configuration.
+#[test]
+fn flight_recorder_serves_recent_requests() {
+    let dir = tmpdir("flight");
+    let cfg = ServeConfig {
+        workers: 1,
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        ..Default::default()
+    };
+    let (handle, _) =
+        serve_durable("127.0.0.1:0", &template(), DurabilityConfig::new(&dir), cfg).unwrap();
+    let maddr = handle.metrics_addr().unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    for i in 0..8u64 {
+        c.insert_retrying(i as u32, &tri(i)).unwrap();
+    }
+    let reply = c.query(&tri(2), 2).unwrap();
+
+    let resp = http_get(maddr, "/debug/flight");
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+    let json = resp.split("\r\n\r\n").nth(1).unwrap_or("");
+    let needle = format!("\"trace_id\":{}", reply.trace);
+    let at = json
+        .find(&needle)
+        .unwrap_or_else(|| panic!("query trace {} not in flight ring:\n{json}", reply.trace));
+    let profile = &json[at..json[at..].find('}').map(|e| at + e + 1).unwrap_or(json.len())];
+    assert!(profile.contains("\"kind\":\"query\""), "{profile}");
+    assert!(profile.contains("\"termination\":"), "{profile}");
+    // writes are recorded too
+    assert!(json.contains("\"kind\":\"insert\""), "{json}");
+
+    handle.shutdown();
+    handle.join();
+    std::fs::remove_dir_all(&dir).ok();
+}

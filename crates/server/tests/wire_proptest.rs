@@ -58,9 +58,53 @@ fn rand_stats(rng: &mut StdRng) -> ServerStats {
     }
 }
 
+fn rand_explain(rng: &mut StdRng) -> geosir_core::dynamic::QueryExplain {
+    use geosir_core::dynamic::{LevelExplain, QueryExplain};
+    use geosir_core::matcher::{RingExplain, Termination};
+    let rand_term = |rng: &mut StdRng| {
+        Termination::from_flight_code(rng.random_range(0..6u8)).unwrap()
+    };
+    let mut e = QueryExplain { buffer_scored: rng.random(), ..Default::default() };
+    e.stats.levels = rng.random();
+    e.stats.rings = rng.random();
+    e.stats.vertices_reported = rng.random();
+    e.stats.vertices_processed = rng.random();
+    e.stats.candidates_scored = rng.random();
+    e.stats.triangles_queried = rng.random();
+    e.stats.buffer_scored = rng.random();
+    e.stats.max_eps_fraction = rng.random_range(0.0..1.0);
+    e.stats.exhausted_levels = rng.random();
+    e.stats.last_termination = rand_term(rng);
+    for _ in 0..rng.random_range(0..4usize) {
+        e.levels.push(LevelExplain {
+            shapes: rng.random(),
+            termination: rand_term(rng),
+            final_eps: rng.random_range(0.0..10.0),
+            eps_cap: rng.random_range(0.0..10.0),
+            bound_factor: rng.random_range(0.0..10.0),
+            vertices_reported: rng.random(),
+            vertices_processed: rng.random(),
+            candidates_scored: rng.random(),
+            credit_scored: rng.random(),
+            exhausted: rng.random(),
+            rings: (0..rng.random_range(0..5usize))
+                .map(|i| RingExplain {
+                    ring: i as u32 + 1,
+                    eps: rng.random_range(0.0..10.0),
+                    triangles: rng.random(),
+                    vertices_reported: rng.random(),
+                    vertices_processed: rng.random(),
+                    promotions: rng.random(),
+                })
+                .collect(),
+        });
+    }
+    e
+}
+
 /// One random frame of each variant family, chosen by `pick`.
 fn rand_frame(pick: u8, rng: &mut StdRng) -> Frame {
-    match pick % 16 {
+    match pick % 18 {
         0 => Frame::Query { k: rng.random_range(0..64), trace: rng.random(), shape: rand_shape(rng) },
         1 => Frame::QueryBatch {
             k: rng.random_range(0..64),
@@ -89,6 +133,19 @@ fn rand_frame(pick: u8, rng: &mut StdRng) -> Frame {
         14 => Frame::MetricsReport {
             snapshot: (0..rng.random_range(0..64usize)).map(|_| rng.random()).collect(),
         },
+        15 => Frame::Explain {
+            k: rng.random_range(0..64),
+            trace: rng.random(),
+            shape: rand_shape(rng),
+        },
+        16 => Frame::ExplainReport {
+            epoch: rng.random(),
+            trace: rng.random(),
+            total_us: rng.random(),
+            queue_us: rng.random(),
+            matches: rand_matches(rng),
+            report: rand_explain(rng),
+        },
         _ => Frame::Error {
             code: rng.random(),
             message: String::from_utf8(
@@ -101,7 +158,7 @@ fn rand_frame(pick: u8, rng: &mut StdRng) -> Frame {
 
 proptest! {
     #[test]
-    fn every_frame_type_round_trips(pick in 0u8..16, seed in 0u64..200) {
+    fn every_frame_type_round_trips(pick in 0u8..18, seed in 0u64..200) {
         let mut rng = StdRng::seed_from_u64(seed);
         let frame = rand_frame(pick, &mut rng);
         let mut buf = Vec::new();
@@ -129,7 +186,7 @@ proptest! {
     }
 
     #[test]
-    fn truncation_at_any_point_errors_cleanly(pick in 0u8..16, seed in 0u64..50) {
+    fn truncation_at_any_point_errors_cleanly(pick in 0u8..18, seed in 0u64..50) {
         let mut rng = StdRng::seed_from_u64(seed);
         let frame = rand_frame(pick, &mut rng);
         let mut buf = Vec::new();

@@ -171,6 +171,38 @@ impl IoFactory for FaultyFactory {
     }
 }
 
+/// Last-gasp hooks run just before the process dies abnormally.
+///
+/// `fail_point!` crashes go through `std::process::abort()` — a faithful
+/// `kill -9` stand-in — which means **panic hooks and `Drop` impls never
+/// run**. Anything that must survive a simulated crash (the flight
+/// recorder's dump, for one) registers here instead; [`crash_if_armed`]
+/// runs the hooks right before aborting, and callers' real panic hooks
+/// can invoke [`run_crash_hooks`] too so both death paths converge.
+static CRASH_HOOKS: std::sync::Mutex<Vec<Box<dyn Fn() + Send>>> =
+    std::sync::Mutex::new(Vec::new());
+
+/// Register a hook to run immediately before an armed crash point aborts
+/// the process (or whenever [`run_crash_hooks`] is called). Hooks must
+/// not panic and should only do simple, re-entrancy-free work — they run
+/// while the process is dying.
+pub fn on_crash(hook: impl Fn() + Send + 'static) {
+    if let Ok(mut hooks) = CRASH_HOOKS.lock() {
+        hooks.push(Box::new(hook));
+    }
+}
+
+/// Run every registered crash hook. Uses `try_lock` so a crash point
+/// firing from inside a hook (or while another thread is registering)
+/// degrades to skipping the hooks rather than deadlocking the abort.
+pub fn run_crash_hooks() {
+    if let Ok(hooks) = CRASH_HOOKS.try_lock() {
+        for hook in hooks.iter() {
+            hook();
+        }
+    }
+}
+
 /// Abort the process if the named crash point is armed via
 /// `GEOSIR_CRASHPOINT=name[:skip]` (crashes on the `skip+1`-th hit).
 /// Compiled to an empty inline function without the `failpoints` feature.
@@ -196,6 +228,7 @@ pub fn crash_if_armed(name: &str) {
     if let Some(a) = armed {
         if a.name == name && a.remaining.fetch_sub(1, Ordering::SeqCst) <= 0 {
             eprintln!("geosir failpoint `{name}`: simulating crash (abort)");
+            run_crash_hooks();
             std::process::abort();
         }
     }

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Diff the introspection A/B report (BENCH_5.json) against the server
+# registry baseline (BENCH_4.json) and enforce the two perf budgets:
+#
+#   1. the A/B capture-off side must hold >= 90% of the BENCH_4 qps
+#      (a >10% throughput regression fails the build), and
+#   2. overhead_pct — capture-on vs capture-off across the interleaved
+#      windows — must stay <= 3%.
+#
+# Both files should come from the same machine in the same session
+# (CI regenerates them back-to-back); comparing artifacts produced on
+# different hardware measures the hardware, not the code.
+#
+# Usage: scripts/bench_compare.sh [BENCH_5.json [BENCH_4.json]]
+set -euo pipefail
+
+B5="${1:-BENCH_5.json}"
+B4="${2:-BENCH_4.json}"
+
+for f in "$B5" "$B4"; do
+    if [ ! -f "$f" ]; then
+        echo "bench_compare: missing $f (run serve_loadgen, then serve_loadgen --explain-ab)" >&2
+        exit 2
+    fi
+done
+
+python3 - "$B5" "$B4" <<'EOF'
+import json
+import sys
+
+b5_path, b4_path = sys.argv[1], sys.argv[2]
+with open(b5_path) as f:
+    b5 = json.load(f)
+with open(b4_path) as f:
+    b4 = json.load(f)
+
+qps5 = b5["client"]["qps"]
+qps4 = b4["client"]["qps"]
+overhead = b5["overhead_pct"]
+ratio = qps5 / qps4 if qps4 else float("inf")
+
+print(f"bench_compare: {b5_path} (capture-off side) vs {b4_path}")
+print(f"  qps            {qps4:>10.1f} -> {qps5:>10.1f}   ({(ratio - 1) * 100:+.1f}%)")
+print(f"  latency p50 us {b4['client']['latency_p50_us']:>10} -> {b5['client']['latency_p50_us']:>10}")
+print(f"  latency p99 us {b4['client']['latency_p99_us']:>10} -> {b5['client']['latency_p99_us']:>10}")
+print(f"  capture overhead: {overhead:+.2f}% (budget <= 3%)")
+
+reg5, reg4 = b5.get("server_registry", {}), b4.get("server_registry", {})
+shown = 0
+for key in sorted(set(reg4) & set(reg5)):
+    old, new = reg4[key], reg5[key]
+    if isinstance(old, dict) or isinstance(new, dict):
+        continue  # histograms: counts differ by window length, skip
+    if old != new and shown < 12:
+        print(f"  {key}: {old} -> {new}")
+        shown += 1
+
+failed = False
+if ratio < 0.90:
+    print(f"bench_compare: FAIL — qps regressed {(1 - ratio) * 100:.1f}% (> 10% budget)")
+    failed = True
+if overhead > 3.0:
+    print(f"bench_compare: FAIL — capture overhead {overhead:.2f}% (> 3% budget)")
+    failed = True
+if failed:
+    sys.exit(1)
+print("bench_compare: OK")
+EOF

@@ -31,7 +31,12 @@ trap cleanup EXIT
 SERVER_PID=$!
 
 http_get() { # path -> response on stdout
-    exec 3<>"/dev/tcp/127.0.0.1/$MPORT"
+    # `|| return 1` is load-bearing: a bare failed `exec 3<>` inside an
+    # `if` condition does not stop the function, and the trailing
+    # `exec 3<&-` succeeds on a never-opened fd — so without it this
+    # function returns 0 for a refused connection and the readiness
+    # loop below breaks before the server is up.
+    exec 3<>"/dev/tcp/127.0.0.1/$MPORT" || return 1
     printf 'GET %s HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n' "$1" >&3
     cat <&3
     exec 3<&-

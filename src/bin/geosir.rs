@@ -8,9 +8,11 @@
 //!
 //! `geosir serve [ADDR] [--shapes N] [--workers W] [--queue-cap Q]
 //! [--data-dir DIR] [--fsync POLICY] [--checkpoint-every N]
-//! [--metrics-addr ADDR]` instead boots the TCP retrieval server,
-//! durably when given a data directory (see `DESIGN.md` §7–§9), and
-//! `geosir stats [ADDR]` scrapes a running server's metrics registry.
+//! [--metrics-addr ADDR] [--slow-query-log DIR] [--slow-query-us T]`
+//! instead boots the TCP retrieval server, durably when given a data
+//! directory (see `DESIGN.md` §7–§9), `geosir stats [ADDR]` scrapes a
+//! running server's metrics registry, and `geosir explain [ADDR]
+//! [--k K] [--seed N] [--verts V]` prints a query's retrieval plan.
 
 use std::io::{BufRead, Write};
 
@@ -26,6 +28,13 @@ fn main() {
     if args.first().map(String::as_str) == Some("stats") {
         if let Err(msg) = geosir::server_cmd::stats(&args[1..]) {
             eprintln!("geosir stats: {msg}");
+            std::process::exit(2);
+        }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("explain") {
+        if let Err(msg) = geosir::server_cmd::explain(&args[1..]) {
+            eprintln!("geosir explain: {msg}");
             std::process::exit(2);
         }
         return;

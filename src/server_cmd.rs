@@ -1,11 +1,14 @@
 //! `geosir serve` — boot the retrieval server from the command line —
-//! and `geosir stats` — scrape a running one.
+//! plus `geosir stats` (scrape a running one) and `geosir explain`
+//! (run one query with full plan capture and pretty-print the report).
 //!
 //! ```sh
 //! geosir serve [ADDR] [--shapes N] [--workers W] [--queue-cap Q]
 //!              [--data-dir DIR] [--fsync always|interval=<ms>|never]
 //!              [--checkpoint-every N] [--metrics-addr ADDR]
+//!              [--slow-query-log DIR] [--slow-query-us T]
 //! geosir stats [ADDR]
+//! geosir explain [ADDR] [--k K] [--seed N] [--verts V]
 //! ```
 //!
 //! Binds `ADDR` (default `127.0.0.1:7401`; use port 0 for an ephemeral
@@ -15,13 +18,18 @@
 //! WAL-logged before it is acked, the base is checkpointed in the
 //! background, and a restart over the same directory recovers every
 //! acknowledged write. With `--metrics-addr` the server additionally
-//! serves Prometheus text on `GET /metrics` and the recent-query trace
-//! ring on `GET /debug/last_queries`.
+//! serves Prometheus text on `GET /metrics`, the recent-query trace
+//! ring on `GET /debug/last_queries`, and the flight recorder on
+//! `GET /debug/flight`. With `--slow-query-log` every query slower than
+//! `--slow-query-us` (default 10 000; 0 logs everything) is appended to
+//! a rotating JSONL log in that directory with its full plan.
 //!
 //! `geosir stats` connects to a running server, pulls its metrics
 //! registry over the wire (`MetricsDump`), and prints the snapshot in
-//! Prometheus text form. See `DESIGN.md` §7–§9 and the `README.md`
-//! quickstart.
+//! Prometheus text form. `geosir explain` sends one `Explain` frame —
+//! a deterministic synthetic query shape, same family as the benches —
+//! and prints the per-level, per-ring retrieval plan. See `DESIGN.md`
+//! §7–§9 and the `README.md` quickstart.
 
 use geosir_core::dynamic::DynamicBase;
 use geosir_core::ids::ImageId;
@@ -64,6 +72,14 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "--metrics-addr" => {
                 cfg.metrics_addr =
                     Some(it.next().ok_or("--metrics-addr needs host:port")?.to_string());
+            }
+            "--slow-query-log" => {
+                cfg.slow_query_log = Some(
+                    it.next().ok_or("--slow-query-log needs a directory path")?.into(),
+                );
+            }
+            "--slow-query-us" => {
+                cfg.slow_query_us = int_flag("--slow-query-us", it.next())? as u64;
             }
             other if !other.starts_with('-') => addr = other.to_string(),
             other => {
@@ -111,7 +127,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
             handle.addr()
         );
         if let Some(m) = handle.metrics_addr() {
-            println!("metrics: http://{m}/metrics  traces: http://{m}/debug/last_queries");
+            println!(
+                "metrics: http://{m}/metrics  traces: http://{m}/debug/last_queries  \
+                 flight: http://{m}/debug/flight"
+            );
         }
         handle.join();
     } else {
@@ -124,7 +143,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
         let handle = serve(&addr, base, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
         println!("geosir-serve listening on {} (send a Shutdown frame to stop)", handle.addr());
         if let Some(m) = handle.metrics_addr() {
-            println!("metrics: http://{m}/metrics  traces: http://{m}/debug/last_queries");
+            println!(
+                "metrics: http://{m}/metrics  traces: http://{m}/debug/last_queries  \
+                 flight: http://{m}/debug/flight"
+            );
         }
         handle.join();
     }
@@ -154,6 +176,119 @@ pub fn stats(args: &[String]) -> Result<(), String> {
     );
     print!("{}", geosir_obs::expo::render_prometheus(&snap));
     Ok(())
+}
+
+/// `geosir explain [ADDR] [--k K] [--seed N] [--verts V]`: send one
+/// `Explain` frame with a deterministic synthetic query shape and
+/// pretty-print the retrieval plan the server captured while answering
+/// it — per-level ring schedule, vertex/candidate counts, and the
+/// termination reason — so a slow query can be diagnosed from a shell
+/// without touching the metrics endpoint.
+pub fn explain(args: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7401".to_string();
+    let mut k = 4u32;
+    let mut seed = 5u64;
+    let mut verts = 16usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--k" => k = int_flag("--k", it.next())? as u32,
+            "--seed" => seed = int_flag("--seed", it.next())? as u64,
+            "--verts" => verts = int_flag("--verts", it.next())?,
+            other if !other.starts_with('-') => addr = other.to_string(),
+            other => {
+                return Err(format!(
+                    "unknown flag {other} (usage: geosir explain [ADDR] [--k K] \
+                     [--seed N] [--verts V])"
+                ));
+            }
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let query = random_simple_polygon(&mut rng, verts.max(3), 0.35);
+    let mut client = geosir_serve::Client::connect(&addr)
+        .map_err(|e| format!("connect {addr}: {e:?}"))?;
+    let reply = client.explain(&query, k).map_err(|e| format!("explain on {addr}: {e:?}"))?;
+    if reply.rejected {
+        return Err(format!(
+            "server busy (retry after {} ms) — plan not captured",
+            reply.retry_after_ms
+        ));
+    }
+    print_explain(&addr, k, seed, verts, &reply);
+    Ok(())
+}
+
+fn print_explain(addr: &str, k: u32, seed: u64, verts: usize, reply: &geosir_serve::ExplainReply) {
+    let r = &reply.report;
+    let s = &r.stats;
+    println!(
+        "EXPLAIN @{addr}  trace={}  epoch={}  (k={k}, seed={seed}, {verts} vertices)",
+        reply.trace, reply.epoch
+    );
+    println!(
+        "time:    {} µs total ({} µs queued, {} µs retrieving)",
+        reply.total_us,
+        reply.queue_us,
+        reply.total_us.saturating_sub(reply.queue_us)
+    );
+    match reply.matches.first() {
+        Some(best) => println!(
+            "matches: {}  (best: shape {} image {} score {:.4})",
+            reply.matches.len(),
+            best.shape,
+            best.image,
+            best.score
+        ),
+        None => println!("matches: 0"),
+    }
+    println!(
+        "totals:  {} levels, {} rings, {} triangles queried, {} vertices reported \
+         / {} processed, {} candidates scored, {} buffer-scored",
+        s.levels,
+        s.rings,
+        s.triangles_queried,
+        s.vertices_reported,
+        s.vertices_processed,
+        s.candidates_scored,
+        r.buffer_scored
+    );
+    println!(
+        "stop:    {}  (max ε fraction {:.3}, {} level(s) exhausted)",
+        s.last_termination.as_str(),
+        s.max_eps_fraction,
+        s.exhausted_levels
+    );
+    for (i, level) in r.levels.iter().enumerate() {
+        println!(
+            "level {i}: {} shapes  term={}{}  final ε={:.4} (cap {:.4}, bound ×{:.2})  \
+             verts {}/{}  scored {} (+{} credit)",
+            level.shapes,
+            level.termination.as_str(),
+            if level.exhausted { " [exhausted]" } else { "" },
+            level.final_eps,
+            level.eps_cap,
+            level.bound_factor,
+            level.vertices_reported,
+            level.vertices_processed,
+            level.candidates_scored,
+            level.credit_scored
+        );
+        for ring in &level.rings {
+            println!(
+                "    ring {}: ε={:.4}  triangles={}  verts {}/{}  promotions={}",
+                ring.ring,
+                ring.eps,
+                ring.triangles,
+                ring.vertices_reported,
+                ring.vertices_processed,
+                ring.promotions
+            );
+        }
+    }
+    if r.buffer_scored > 0 {
+        println!("buffer:  {} unmerged shape(s) brute-force scored", r.buffer_scored);
+    }
 }
 
 fn int_flag(name: &str, value: Option<&String>) -> Result<usize, String> {
