@@ -1,0 +1,46 @@
+use geosir_server::wire::{Frame, PROTOCOL_VERSION};
+
+fn fnv1a(parts: &[&[u8]]) -> u32 {
+    let mut h: u32 = 0x811c9dc5;
+    for p in parts {
+        for &b in *p {
+            h ^= b as u32;
+            h = h.wrapping_mul(0x0100_0193);
+        }
+    }
+    h
+}
+
+#[test]
+fn crafted_explain_report_truncated_ring_count() {
+    // EXPLAIN_REPORT = 73
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&[0u8; 32]); // epoch, trace, total_us, queue_us
+    payload.extend_from_slice(&0u32.to_le_bytes()); // 0 matches
+    // explain: buffer_scored + 9 stats words
+    payload.extend_from_slice(&[0u8; 80]);
+    payload.push(1); // last_termination (valid code)
+    payload.extend_from_slice(&1u32.to_le_bytes()); // 1 level
+    // level fixed fields: 62 bytes, termination byte at offset 8 must be valid,
+    // exhausted byte at offset 61 must be 0/1 — all zeros works if 0 is valid
+    let mut level = [0u8; 62];
+    level[8] = 1; // termination
+    level[61] = 0; // exhausted
+    payload.extend_from_slice(&level);
+    // deliberately omit the 4-byte rings count
+
+    let mut buf = Vec::new();
+    buf.push(PROTOCOL_VERSION);
+    buf.push(73u8);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&payload);
+    let sum = fnv1a(&[&buf]);
+    buf.extend_from_slice(&sum.to_le_bytes());
+
+    // must error cleanly, not panic
+    let res = std::panic::catch_unwind(|| Frame::decode(&buf));
+    match res {
+        Ok(inner) => println!("decode returned: {:?}", inner.map(|(f, n)| (format!("{f:?}").chars().take(60).collect::<String>(), n))),
+        Err(_) => panic!("DECODER PANICKED on crafted frame"),
+    }
+}
