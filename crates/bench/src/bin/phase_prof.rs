@@ -1,0 +1,155 @@
+//! Per-phase cost decomposition of one retrieval: where does a query's
+//! time actually go? Re-times each phase of the matcher pipeline in
+//! isolation (query preparation, envelope/ring cover generation,
+//! simplex-index reporting, candidate scoring) against the full
+//! `retrieve_with` wall time on the same corpus, so kernel-level
+//! optimisations can be aimed at the phase that dominates.
+//!
+//! ```sh
+//! cargo run --release -p geosir-bench --bin phase_prof [--features simd] [-- n_shapes]
+//! ```
+
+use geosir_bench::scaling_corpus;
+use geosir_core::matcher::{MatchConfig, MatchOutcome, Matcher};
+use geosir_core::scratch::MatcherScratch;
+use geosir_core::shapebase::ShapeBaseBuilder;
+use geosir_core::similarity::{prepare_into, score, ScoreKind};
+use geosir_geom::envelope::envelope_cover_into;
+use geosir_geom::Triangle;
+use std::time::Instant;
+
+fn main() {
+    let n_shapes: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4000);
+    let (shapes, queries) = scaling_corpus(n_shapes);
+    let mut builder = ShapeBaseBuilder::new();
+    let polys: Vec<_> = shapes.iter().map(|(_, s)| s.clone()).collect();
+    for (image, shape) in shapes {
+        builder.add_shape(image, shape);
+    }
+    let base = builder.build_with_threads(0.0, geosir_geom::rangesearch::Backend::RangeTree, 0);
+    let cfg = MatchConfig { beta: 0.2, ..Default::default() };
+    let matcher = Matcher::new(&base, cfg);
+
+    let mut scratch = MatcherScratch::for_base(&base);
+    let mut out = MatchOutcome::default();
+
+    // warm-up + collect per-query ring stats from real runs
+    let mut finals: Vec<(f64, usize, usize, usize)> = Vec::new(); // eps, iters, scored, tris
+    for q in &queries {
+        matcher.retrieve_with(&mut scratch, q, &mut out);
+        finals.push((
+            out.stats.final_eps,
+            out.stats.iterations,
+            out.stats.candidates_scored,
+            out.stats.triangles_queried,
+        ));
+    }
+
+    // total retrieve
+    let t0 = Instant::now();
+    for q in &queries {
+        matcher.retrieve_with(&mut scratch, q, &mut out);
+    }
+    let total_us = t0.elapsed().as_micros() as f64 / queries.len() as f64;
+
+    // phase: query preparation
+    let mut slot;
+    let t0 = Instant::now();
+    for q in &queries {
+        slot = None;
+        let _ = prepare_into(&mut slot, q);
+    }
+    let prep_us = t0.elapsed().as_micros() as f64 / queries.len() as f64;
+
+    // phase: cover generation, replayed at each query's real eps schedule
+    // (geometric from eps_base; approximated by timing the final-ring
+    // cover once per recorded iteration — an upper bound on cover cost)
+    let mut cover: Vec<Triangle> = Vec::new();
+    let t0 = Instant::now();
+    let mut tri_sink = 0usize;
+    for (q, (eps, iters, _, _)) in queries.iter().zip(&finals) {
+        for _ in 0..*iters {
+            envelope_cover_into(q, *eps, &mut cover);
+            tri_sink += cover.len();
+        }
+    }
+    let cover_us = t0.elapsed().as_micros() as f64 / queries.len() as f64;
+
+    // phase: simplex reporting at the final cover
+    let mut reported: Vec<u32> = Vec::new();
+    let t0 = Instant::now();
+    let mut vert_sink = 0usize;
+    for (q, (eps, _, _, _)) in queries.iter().zip(&finals) {
+        envelope_cover_into(q, *eps, &mut cover);
+        for tri in &cover {
+            reported.clear();
+            base.report_triangle(tri, &mut reported);
+            vert_sink += reported.len();
+        }
+    }
+    let report_us = t0.elapsed().as_micros() as f64 / queries.len() as f64;
+
+    // phase: candidate scoring (h_avg), at the recorded promotion count
+    let t0 = Instant::now();
+    let mut score_sink = 0.0;
+    let mut scored = 0usize;
+    for (qi, (q, (_, _, nscored, _))) in queries.iter().zip(&finals).enumerate() {
+        slot = None;
+        let prepared = prepare_into(&mut slot, q);
+        for c in 0..*nscored {
+            let cand = &polys[(qi * 31 + c * 7) % polys.len()];
+            score_sink += score(ScoreKind::DiscreteSymmetric, cand, prepared);
+            scored += 1;
+        }
+    }
+    let score_us = t0.elapsed().as_micros() as f64 / queries.len() as f64;
+
+    // full retrieve against a kd-tree-backed base (same corpus)
+    let mut builder2 = ShapeBaseBuilder::new();
+    for (i, s) in polys.iter().enumerate() {
+        builder2.add_shape(geosir_core::ids::ImageId(i as u32), s.clone());
+    }
+    let base_kd = builder2.build_with_threads(0.0, geosir_geom::rangesearch::Backend::KdTree, 0);
+    let matcher_kd = Matcher::new(&base_kd, MatchConfig { beta: 0.2, ..Default::default() });
+    let mut scratch_kd = MatcherScratch::for_base(&base_kd);
+    for q in &queries {
+        matcher_kd.retrieve_with(&mut scratch_kd, q, &mut out);
+    }
+    let t0 = Instant::now();
+    for q in &queries {
+        matcher_kd.retrieve_with(&mut scratch_kd, q, &mut out);
+    }
+    let total_kd_us = t0.elapsed().as_micros() as f64 / queries.len() as f64;
+
+    // backend comparison: the same final covers against a kd-tree index
+    let pts: Vec<geosir_geom::Point> =
+        (0..base.total_vertices()).map(|v| base.vertex_point(v as u32)).collect();
+    use geosir_geom::rangesearch::{KdTreeIndex, SimplexIndex};
+    let kd = KdTreeIndex::build(&pts);
+    let t0 = Instant::now();
+    let mut kd_sink = 0usize;
+    for (q, (eps, _, _, _)) in queries.iter().zip(&finals) {
+        envelope_cover_into(q, *eps, &mut cover);
+        for tri in &cover {
+            reported.clear();
+            kd.report(tri, &mut reported);
+            kd_sink += reported.len();
+        }
+    }
+    let kd_us = t0.elapsed().as_micros() as f64 / queries.len() as f64;
+
+    let avg_scored = finals.iter().map(|f| f.2).sum::<usize>() as f64 / finals.len() as f64;
+    let avg_iters = finals.iter().map(|f| f.1).sum::<usize>() as f64 / finals.len() as f64;
+    let avg_tris = finals.iter().map(|f| f.3).sum::<usize>() as f64 / finals.len() as f64;
+    println!("# phase_prof — {n_shapes} shapes, {} queries", queries.len());
+    println!("avg per query: iters {avg_iters:.1}, tris {avg_tris:.1}, scored {avg_scored:.1}");
+    println!("retrieve total:   {total_us:8.1} µs/query (RangeTree base)");
+    println!("retrieve total:   {total_kd_us:8.1} µs/query (KdTree base)");
+    println!("  prepare query:  {prep_us:8.1} µs/query");
+    println!("  cover gen:      {cover_us:8.1} µs/query (upper bound, final ring x iters)");
+    println!("  simplex report: {report_us:8.1} µs/query (final ring only; incl cover regen)");
+    println!("  scoring h_avg:  {score_us:8.1} µs/query ({:.1} µs/candidate)",
+        score_us / (avg_scored.max(1e-9)));
+    println!("  kd-tree report: {kd_us:8.1} µs/query (same covers)");
+    println!("(sinks: tris {tri_sink}, verts {vert_sink}, kd {kd_sink}, score {score_sink:.3}, scored {scored})");
+}

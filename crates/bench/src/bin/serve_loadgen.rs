@@ -38,6 +38,19 @@
 //! queue depth — the server-internal baseline later perf PRs diff
 //! against.
 //!
+//! With `--c10k` it measures the **pipelined serve path** (protocol v5 +
+//! the epoll event loop): every client keeps `--pipeline-depth` requests
+//! in flight per connection, and the run sweeps worker counts and
+//! connection counts, holds thousands of idle connections open while an
+//! active set drives load (the C10K point — idle sockets must cost
+//! nothing), and re-runs the classic 4-connection closed loop as a
+//! regression guard. Writes `BENCH_6.json`:
+//!
+//! ```sh
+//! cargo run --release -p geosir-bench --features simd --bin serve_loadgen -- \
+//!     --c10k --warmup-secs 1 --measure-secs 3
+//! ```
+//!
 //! With `--explain-ab` it instead measures the **introspection tax**:
 //! two identical in-memory servers are booted on the same corpus — A
 //! with per-query plan capture off, B with the slow-query log enabled
@@ -60,11 +73,15 @@ use geosir_core::matcher::MatchConfig;
 use geosir_geom::rangesearch::Backend;
 use geosir_geom::{Point, Polyline};
 use geosir_imaging::synth::random_simple_polygon;
-use geosir_serve::wire::ServerStats;
-use geosir_serve::{serve, serve_durable, BaseTemplate, Client, DurabilityConfig, ServeConfig};
+use geosir_serve::wire::{ServerStats, WireShape};
+use geosir_serve::{
+    serve, serve_durable, BaseTemplate, Client, DurabilityConfig, Frame, PipelinedClient,
+    ServeConfig, ServerHandle,
+};
 use geosir_storage::wal::FsyncPolicy;
 use rand::prelude::*;
 use rand::rngs::StdRng;
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -88,6 +105,10 @@ struct Args {
     measure_secs: f64,
     fsync: Option<FsyncPolicy>,
     explain_ab: bool,
+    c10k: bool,
+    pipeline_depth: usize,
+    idle_conns: usize,
+    backend: Backend,
 }
 
 fn parse_args() -> Args {
@@ -99,7 +120,15 @@ fn parse_args() -> Args {
         measure_secs: 8.0,
         fsync: None,
         explain_ab: false,
+        c10k: false,
+        pipeline_depth: 32,
+        // In-process loadgen holds BOTH ends of every socket (2 fds per
+        // connection), so the default stays under a 20 000-fd rlimit
+        // with room for the active set, listeners, and logs.
+        idle_conns: 9_000,
+        backend: Backend::RangeTree,
     };
+    let mut backend: Option<Backend> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -113,9 +142,25 @@ fn parse_args() -> Args {
                 args.fsync = Some(FsyncPolicy::parse(v).expect("bad --fsync policy"));
             }
             "--explain-ab" => args.explain_ab = true,
+            "--c10k" => args.c10k = true,
+            "--pipeline-depth" => {
+                args.pipeline_depth = (num(it.next(), "--pipeline-depth") as usize).max(1)
+            }
+            "--idle-conns" => args.idle_conns = num(it.next(), "--idle-conns") as usize,
+            "--backend" => {
+                backend = Some(match it.next().expect("--backend needs kd|rangetree").as_str() {
+                    "kd" | "kdtree" => Backend::KdTree,
+                    "rangetree" | "rt" => Backend::RangeTree,
+                    other => panic!("unknown --backend {other} (want kd|rangetree)"),
+                })
+            }
             other => args.n_shapes = other.parse().expect("n_shapes must be an integer"),
         }
     }
+    // The pipelined c10k path defaults to the kd backend (the SIMD
+    // union-report descent is what it exercises); the classic modes
+    // keep RangeTree so BENCH_2..5 stay comparable across PRs.
+    args.backend = backend.unwrap_or(if args.c10k { Backend::KdTree } else { Backend::RangeTree });
     args
 }
 
@@ -255,7 +300,7 @@ fn drive(
     }
 }
 
-fn base_template() -> BaseTemplate {
+fn base_template(backend: Backend) -> BaseTemplate {
     // A roomy insert buffer: buffered shapes are scored against copies
     // prepared at insert time (cheap), while cascading them into a small
     // level mid-run makes every near-miss query pay that level's full
@@ -263,7 +308,7 @@ fn base_template() -> BaseTemplate {
     // large buffer beats eager leveling.
     BaseTemplate {
         alpha: 0.0,
-        backend: Backend::RangeTree,
+        backend,
         config: MatchConfig { beta: 0.2, ..Default::default() },
         buffer_cap: 512,
     }
@@ -279,7 +324,7 @@ fn run_in_memory(
     shapes: Vec<(ImageId, Polyline)>,
     ingest_via_client: bool,
 ) -> Summary {
-    let t = base_template();
+    let t = base_template(args.backend);
     let mut base = DynamicBase::new(t.alpha, t.backend, t.config, t.buffer_cap);
     let mut load_secs = 0.0;
     if !ingest_via_client {
@@ -317,7 +362,7 @@ fn run_durable(args: &Args, fsync: FsyncPolicy, shapes: Vec<(ImageId, Polyline)>
     dcfg.fsync = fsync;
     let (handle, _) = serve_durable(
         "127.0.0.1:0",
-        &base_template(),
+        &base_template(args.backend),
         dcfg,
         ServeConfig { queue_cap: 4 * args.connections.max(1), ..Default::default() },
     )
@@ -413,7 +458,12 @@ fn measure_window(addr: std::net::SocketAddr, args: &Args, round: usize, window_
 
 /// Fold interleaved window reports plus a final server probe into the
 /// same [`Summary`] shape the other modes report.
-fn summarize_ab(addr: std::net::SocketAddr, mut merged: ThreadReport, elapsed: f64) -> Summary {
+fn summarize_ab(
+    addr: std::net::SocketAddr,
+    mut merged: ThreadReport,
+    elapsed: f64,
+    load_secs: f64,
+) -> Summary {
     let mut probe = Client::connect(addr).expect("probe connect");
     let stats = probe.stats().expect("stats");
     let snap = probe.metrics().expect("metrics dump");
@@ -429,7 +479,7 @@ fn summarize_ab(addr: std::net::SocketAddr, mut merged: ThreadReport, elapsed: f
         p50: percentile_us(&mut merged.latencies_us, 0.5),
         p99: percentile_us(&mut merged.latencies_us, 0.99),
         elapsed,
-        load_secs: 0.0,
+        load_secs,
         stats,
         snap,
     }
@@ -441,12 +491,16 @@ fn summarize_ab(addr: std::net::SocketAddr, mut merged: ThreadReport, elapsed: f
 /// journaled through the rotating JSONL writer), measured in
 /// interleaved rounds. Writes `BENCH_5.json`.
 fn run_explain_ab(args: &Args, cores: usize) {
-    let t = base_template();
+    let t = base_template(args.backend);
     let (shapes, _) = scaling_corpus(args.n_shapes);
+    let t0 = Instant::now();
     let mut base_a = DynamicBase::new(t.alpha, t.backend, t.config.clone(), t.buffer_cap);
     base_a.bulk_load(shapes.clone());
+    let load_secs_a = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
     let mut base_b = DynamicBase::new(t.alpha, t.backend, t.config, t.buffer_cap);
     base_b.bulk_load(shapes);
+    let load_secs_b = t0.elapsed().as_secs_f64();
 
     let queue_cap = 4 * args.connections.max(1);
     let handle_a = serve(
@@ -499,8 +553,8 @@ fn run_explain_ab(args: &Args, cores: usize) {
         }
     }
     let side_secs = window * ROUNDS as f64;
-    let a = summarize_ab(handle_a.addr(), merged_a, side_secs);
-    let b = summarize_ab(handle_b.addr(), merged_b, side_secs);
+    let a = summarize_ab(handle_a.addr(), merged_a, side_secs, load_secs_a);
+    let b = summarize_ab(handle_b.addr(), merged_b, side_secs, load_secs_b);
     print_summary("capture-off", &a);
     print_summary("capture-on", &b);
 
@@ -666,6 +720,425 @@ fn write_bench4(label: &str, args: &Args, cores: usize, s: &Summary) {
     println!("wrote BENCH_4.json ({label} registry baseline)");
 }
 
+/// One measured configuration in the `--c10k` sweeps.
+struct C10kPoint {
+    label: String,
+    workers: usize,
+    connections: usize,
+    depth: usize,
+    summary: Summary,
+}
+
+/// Boot a fresh in-memory server for one c10k sweep point. Every point
+/// gets its own base (bulk-loaded, not insert-warmed) so points are
+/// independent; the kd backend is the serve-path default here because
+/// the union-report descent is what the SIMD leaf filter accelerates.
+fn boot_point(
+    args: &Args,
+    shapes: &[(ImageId, Polyline)],
+    workers: usize,
+    connections: usize,
+    depth: usize,
+) -> (ServerHandle, f64) {
+    let t = base_template(args.backend);
+    let mut base = DynamicBase::new(t.alpha, t.backend, t.config, t.buffer_cap);
+    let t0 = Instant::now();
+    base.bulk_load(shapes.to_vec());
+    let load_secs = t0.elapsed().as_secs_f64();
+    let handle = serve(
+        "127.0.0.1:0",
+        base,
+        ServeConfig {
+            workers,
+            // roomy enough that the pipeline depth itself, not queue
+            // admission, is the concurrency limiter at every point
+            queue_cap: (connections * depth).max(64),
+            max_in_flight: depth.max(64) as u32,
+            ..Default::default()
+        },
+    )
+    .expect("bind c10k server");
+    (handle, load_secs)
+}
+
+fn shutdown_server(handle: ServerHandle) {
+    let mut c = Client::connect(handle.addr()).expect("shutdown connect");
+    c.shutdown().expect("shutdown");
+    handle.join();
+}
+
+/// Closed-loop pipelined driver: each connection keeps `depth` requests
+/// in flight over one socket and matches replies by correlation id.
+/// Unlike [`drive`] this does NOT assert per-connection epoch
+/// monotonicity (out-of-order completion makes interleavings where a
+/// later-submitted query reports an older epoch legal) and does NOT
+/// shut the server down — c10k points probe the server afterwards.
+fn drive_pipelined(
+    addr: std::net::SocketAddr,
+    args: &Args,
+    connections: usize,
+    depth: usize,
+    load_secs: f64,
+) -> Summary {
+    let (_, queries) = scaling_corpus(args.n_shapes);
+    let measuring = Arc::new(AtomicBool::new(false));
+    let running = Arc::new(AtomicBool::new(true));
+    let mut threads = Vec::new();
+    for conn_id in 0..connections {
+        let queries = queries.clone();
+        let measuring = measuring.clone();
+        let running = running.clone();
+        let insert_permille = args.insert_permille;
+        threads.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(5000 + conn_id as u64);
+            let mut client = PipelinedClient::connect(addr).expect("connect");
+            let mut report = ThreadReport::default();
+            // corr -> (submit time, was_insert); latency is submit-to-reply,
+            // so it includes time queued behind the connection's own pipeline
+            let mut pending: HashMap<u64, (Instant, bool)> = HashMap::new();
+            let mut qi = conn_id;
+            let mut seq = 0u64;
+            while running.load(Ordering::Relaxed) {
+                while client.in_flight() < depth {
+                    let do_insert = rng.random_range(0..1000) < insert_permille;
+                    let corr = if do_insert {
+                        let shape = fresh_shape(&mut rng);
+                        seq += 1;
+                        client
+                            .submit(&Frame::Insert {
+                                image: 1_000_000u32
+                                    .wrapping_add((conn_id as u32) << 16)
+                                    .wrapping_add(seq as u32),
+                                key: ((conn_id as u64 + 1) << 40) | seq,
+                                trace: 0,
+                                shape: WireShape::from_polyline(&shape),
+                            })
+                            .expect("submit insert")
+                    } else {
+                        let q = &queries[qi % queries.len()];
+                        qi += 1;
+                        client.submit_query(q, 1).expect("submit query")
+                    };
+                    pending.insert(corr, (Instant::now(), do_insert));
+                }
+                let (corr, frame) = match client.recv_any() {
+                    Ok(r) => r,
+                    Err(e) => {
+                        // Before dying, grab a server-side picture: a stall
+                        // here is either lost replies or a wedged loop, and
+                        // the stats tell those apart.
+                        let diag = Client::connect(addr)
+                            .and_then(|mut c| c.stats())
+                            .map(|s| format!("{s:?}"))
+                            .unwrap_or_else(|e| format!("stats probe failed: {e}"));
+                        panic!(
+                            "recv on conn {conn_id} ({} in flight): {e:?}\nserver: {diag}",
+                            client.in_flight()
+                        );
+                    }
+                };
+                let (t0, was_insert) =
+                    pending.remove(&corr).expect("reply with unknown correlation id");
+                let us = t0.elapsed().as_micros() as u64;
+                let rejected = matches!(frame, Frame::Busy { .. });
+                if let Frame::Error { code, message } = &frame {
+                    panic!("server error {code}: {message}");
+                }
+                if measuring.load(Ordering::Relaxed) {
+                    report.requests += 1;
+                    if rejected {
+                        report.busy_rejects += 1;
+                    } else {
+                        if was_insert {
+                            report.inserts += 1;
+                        }
+                        report.latencies_us.push(us);
+                    }
+                }
+            }
+            // drain without refilling so the server isn't left with
+            // orphaned work from this connection
+            while client.in_flight() > 0 {
+                if client.recv_any().is_err() {
+                    break;
+                }
+            }
+            report
+        }));
+    }
+
+    std::thread::sleep(Duration::from_secs_f64(args.warmup_secs));
+    measuring.store(true, Ordering::Relaxed);
+    let window = Instant::now();
+    std::thread::sleep(Duration::from_secs_f64(args.measure_secs));
+    measuring.store(false, Ordering::Relaxed);
+    let elapsed = window.elapsed().as_secs_f64();
+    running.store(false, Ordering::Relaxed);
+
+    let mut merged = ThreadReport::default();
+    for t in threads {
+        let r = t.join().expect("pipelined client thread");
+        merged.latencies_us.extend(r.latencies_us);
+        merged.requests += r.requests;
+        merged.inserts += r.inserts;
+        merged.busy_rejects += r.busy_rejects;
+    }
+
+    let mut probe = Client::connect(addr).expect("stats connect");
+    let stats = probe.stats().expect("stats");
+    let snap = probe.metrics().expect("metrics dump");
+    drop(probe);
+
+    let qps = merged.requests as f64 / elapsed;
+    let served = merged.latencies_us.len();
+    let p50 = percentile_us(&mut merged.latencies_us, 0.5);
+    let p99 = percentile_us(&mut merged.latencies_us, 0.99);
+    let reject_rate = merged.busy_rejects as f64 / merged.requests.max(1) as f64;
+    assert!(served > 0, "pipelined window served no requests");
+
+    Summary {
+        requests: merged.requests,
+        served,
+        inserts: merged.inserts,
+        busy_rejects: merged.busy_rejects,
+        reject_rate,
+        qps,
+        p50,
+        p99,
+        elapsed,
+        load_secs,
+        stats,
+        snap,
+    }
+}
+
+/// Open `n` connections that never send a byte. Under the readiness
+/// loop each one costs a slab slot and an epoll registration — the
+/// point of the C10K measurement is that they cost nothing else.
+fn open_idle_conns(addr: std::net::SocketAddr, n: usize) -> Vec<std::net::TcpStream> {
+    let mut conns = Vec::with_capacity(n);
+    let mut retries = 0usize;
+    while conns.len() < n {
+        match std::net::TcpStream::connect(addr) {
+            Ok(s) => conns.push(s),
+            Err(e) => {
+                retries += 1;
+                assert!(retries < 10_000, "idle connect storm failed: {e}");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        if conns.len() % 2000 == 0 {
+            println!("  idle connections open: {}", conns.len());
+        }
+    }
+    conns
+}
+
+/// Prove a sample of the idle sockets is still being served after the
+/// measured window: speak one v5 query over each and demand `Matches`.
+fn probe_idle_liveness(
+    conns: &mut [std::net::TcpStream],
+    query: &Polyline,
+) -> usize {
+    let n = conns.len();
+    if n == 0 {
+        return 0;
+    }
+    let sample: Vec<usize> = [0, n / 2, n - 1].into_iter().collect();
+    let mut checked = 0;
+    for &i in sample.iter() {
+        let s = &mut conns[i];
+        s.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+        let frame = Frame::Query { k: 1, trace: 0, shape: WireShape::from_polyline(query) };
+        frame.write_to_corr(s, 7).expect("idle conn write");
+        let (reply, corr) = Frame::read_from_corr(s).expect("idle conn read");
+        assert_eq!(corr, 7, "idle conn correlation id mismatch");
+        assert!(
+            matches!(reply, Frame::Matches { .. }),
+            "idle connection {i} got a non-Matches reply after the load window"
+        );
+        checked += 1;
+    }
+    checked
+}
+
+fn c10k_point_json(p: &C10kPoint, indent: &str) -> String {
+    let s = &p.summary;
+    format!(
+        "{indent}{{ \"label\": \"{}\", \"workers\": {}, \"connections\": {}, \
+         \"pipeline_depth\": {}, \"qps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \
+         \"reject_rate\": {:.4}, \"requests\": {} }}",
+        p.label, p.workers, p.connections, p.depth, s.qps, s.p50, s.p99, s.reject_rate,
+        s.requests,
+    )
+}
+
+/// Best-effort read of the BENCH_5 client qps for the speedup ratio;
+/// the first "qps" in that file is the capture-off client summary.
+fn bench5_baseline_qps() -> f64 {
+    const FALLBACK: f64 = 330.0;
+    let Ok(text) = std::fs::read_to_string("BENCH_5.json") else { return FALLBACK };
+    let Some(at) = text.find("\"qps\":") else { return FALLBACK };
+    let rest = &text[at + 6..];
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().unwrap_or(FALLBACK)
+}
+
+/// The `--c10k` mode: pipelined protocol-v5 load against the readiness
+/// loop. Sweeps worker counts and connection counts, holds a C10K-scale
+/// idle set open through a measured window, and re-runs the classic
+/// 4-connection one-request-at-a-time loop as the regression guard.
+/// Writes `BENCH_6.json`.
+fn run_c10k(args: &Args, cores: usize) {
+    let (shapes, queries) = scaling_corpus(args.n_shapes);
+    let depth = args.pipeline_depth;
+    let mut points: Vec<C10kPoint> = Vec::new();
+
+    // debug: run a single connections point and exit
+    if let Ok(v) = std::env::var("GEOSIR_C10K_ONLY_CONNS") {
+        let conns: usize = v.parse().expect("GEOSIR_C10K_ONLY_CONNS");
+        let (handle, load_secs) = boot_point(args, &shapes, cores.max(1), conns, depth);
+        let s = drive_pipelined(handle.addr(), args, conns, depth, load_secs);
+        println!(
+            "[only conns={conns}] {:.0} qps, p50 {} µs, p99 {} µs, reject {:.2}%",
+            s.qps, s.p50, s.p99, s.reject_rate * 100.0
+        );
+        shutdown_server(handle);
+        return;
+    }
+
+    // -- QPS vs workers, fixed 4 connections (the host may have fewer
+    // cores than the top of the sweep; "cores" in the JSON is honest) --
+    for workers in [1usize, 2, 4, 8] {
+        let conns = 4;
+        let (handle, load_secs) = boot_point(args, &shapes, workers, conns, depth);
+        let s = drive_pipelined(handle.addr(), args, conns, depth, load_secs);
+        println!(
+            "[c10k workers={workers}] {:.0} qps, p50 {} µs, p99 {} µs, reject {:.2}%",
+            s.qps, s.p50, s.p99, s.reject_rate * 100.0
+        );
+        shutdown_server(handle);
+        points.push(C10kPoint {
+            label: format!("workers_{workers}"),
+            workers,
+            connections: conns,
+            depth,
+            summary: s,
+        });
+    }
+
+    // -- QPS vs connections, workers pinned to the host's parallelism --
+    let w = cores.max(1);
+    for conns in [1usize, 2, 4, 8, 16, 64, 256] {
+        let (handle, load_secs) = boot_point(args, &shapes, w, conns, depth);
+        let s = drive_pipelined(handle.addr(), args, conns, depth, load_secs);
+        println!(
+            "[c10k conns={conns}] {:.0} qps, p50 {} µs, p99 {} µs, reject {:.2}%",
+            s.qps, s.p50, s.p99, s.reject_rate * 100.0
+        );
+        shutdown_server(handle);
+        points.push(C10kPoint {
+            label: format!("conns_{conns}"),
+            workers: w,
+            connections: conns,
+            depth,
+            summary: s,
+        });
+    }
+
+    // -- the C10K point: thousands of idle sockets held open while a
+    // small active set drives pipelined load, then the idle sockets
+    // must still answer queries --
+    let active = 256usize;
+    let (handle, load_secs) = boot_point(args, &shapes, w, active, depth);
+    println!("opening {} idle connections…", args.idle_conns);
+    let t0 = Instant::now();
+    let mut idle = open_idle_conns(handle.addr(), args.idle_conns);
+    let idle_open_secs = t0.elapsed().as_secs_f64();
+    let s = drive_pipelined(handle.addr(), args, active, depth, load_secs);
+    let idle_checked = probe_idle_liveness(&mut idle, &queries[0]);
+    println!(
+        "[c10k idle={} active={active}] {:.0} qps, p50 {} µs, p99 {} µs \
+         (idle set opened in {idle_open_secs:.1} s, {idle_checked} idle conns probed live)",
+        idle.len(),
+        s.qps,
+        s.p50,
+        s.p99,
+    );
+    let idle_count = idle.len();
+    drop(idle);
+    shutdown_server(handle);
+    let c10k_point = C10kPoint {
+        label: "c10k_idle".into(),
+        workers: w,
+        connections: active,
+        depth,
+        summary: s,
+    };
+
+    // -- regression guard: the classic closed loop (one request at a
+    // time per connection, no pipelining) on the BENCH_2/5 backend --
+    let compat_args = Args { connections: 4, backend: Backend::RangeTree, ..args.clone() };
+    let t = base_template(compat_args.backend);
+    let mut base = DynamicBase::new(t.alpha, t.backend, t.config, t.buffer_cap);
+    let t0 = Instant::now();
+    base.bulk_load(shapes.clone());
+    let compat_load = t0.elapsed().as_secs_f64();
+    let handle = serve(
+        "127.0.0.1:0",
+        base,
+        ServeConfig { queue_cap: 4 * compat_args.connections, ..Default::default() },
+    )
+    .expect("bind compat server");
+    let compat = drive(handle.addr(), &compat_args, compat_load);
+    handle.join();
+    println!(
+        "[c10k compat 4-conn closed loop] {:.0} qps, p50 {} µs, p99 {} µs",
+        compat.qps, compat.p50, compat.p99
+    );
+
+    let baseline_qps = bench5_baseline_qps();
+    let headline = points
+        .iter()
+        .chain(std::iter::once(&c10k_point))
+        .max_by(|a, b| a.summary.qps.total_cmp(&b.summary.qps))
+        .expect("at least one point");
+    let speedup = headline.summary.qps / baseline_qps.max(1e-9);
+    println!(
+        "headline: {:.0} qps at workers={} conns={} depth={} — {speedup:.1}x over the \
+         BENCH_5 closed-loop baseline ({baseline_qps:.0} qps)",
+        headline.summary.qps, headline.workers, headline.connections, headline.depth
+    );
+
+    let sweep_json: Vec<String> =
+        points.iter().map(|p| c10k_point_json(p, "    ")).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serve_loadgen_c10k\",\n  \"corpus\": \"scaling_polylog\",\n  \
+         \"n_shapes\": {},\n  \"host_cores\": {cores},\n  \"insert_permille\": {},\n  \
+         \"protocol_version\": 5,\n  \"pipeline_depth\": {depth},\n  \
+         \"backend\": \"{:?}\",\n  \"measure_secs_per_point\": {:.2},\n  \
+         \"baseline_bench5_qps\": {baseline_qps:.1},\n  \
+         \"headline_qps\": {:.1},\n  \"headline_speedup\": {speedup:.2},\n  \
+         \"sweep\": [\n{}\n  ],\n  \"c10k\": {{\n    \"idle_connections\": {idle_count},\n    \
+         \"idle_open_secs\": {idle_open_secs:.2},\n    \"idle_liveness_checked\": {idle_checked},\n    \
+         \"fd_note\": \"loadgen holds both socket ends in-process: 2 fds per connection\",\n\
+         {}\n  }},\n  \"closed_loop_compat\": {{\n    \"connections\": 4,\n    \
+         \"backend\": \"RangeTree\",\n    \"pipelined\": false,\n{}\n  }},\n  \
+         \"headline_registry\": {{\n{}\n  }}\n}}\n",
+        args.n_shapes,
+        args.insert_permille,
+        args.backend,
+        args.measure_secs,
+        headline.summary.qps,
+        sweep_json.join(",\n"),
+        c10k_point_json(&c10k_point, "    \"point\": "),
+        summary_json(&compat, "    "),
+        registry_json(&c10k_point.summary.snap, "    "),
+    );
+    std::fs::write("BENCH_6.json", &json).expect("write BENCH_6.json");
+    println!("wrote BENCH_6.json (c10k pipelined serve path)");
+}
+
 fn main() {
     let args = parse_args();
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -673,6 +1146,11 @@ fn main() {
         "# serve_loadgen — {} shapes, {} connections, {}‰ inserts, {} cores",
         args.n_shapes, args.connections, args.insert_permille, cores
     );
+
+    if args.c10k {
+        run_c10k(&args, cores);
+        return;
+    }
 
     if args.explain_ab {
         run_explain_ab(&args, cores);

@@ -459,7 +459,9 @@ impl DynamicBase {
         out: &mut Vec<DynMatch>,
     ) {
         retrieve_levels_into(
-            self.levels.iter().flatten().map(Arc::as_ref),
+            // largest level first: its certified k-th best becomes the
+            // Threshold cutoff that keeps the smaller levels cheap
+            self.levels.iter().flatten().map(Arc::as_ref).rev(),
             &self.buffer,
             &self.deleted,
             &self.config,
@@ -620,7 +622,7 @@ impl Snapshot {
     ) {
         let k = if k == 0 { self.config.k } else { k };
         retrieve_levels_into(
-            self.levels.iter().map(Arc::as_ref),
+            self.levels.iter().map(Arc::as_ref).rev(),
             &self.buffer,
             &self.deleted,
             &self.config,
@@ -632,6 +634,34 @@ impl Snapshot {
             stats,
             None,
         );
+    }
+
+    /// Coalesced retrieval: answer a batch of `(query, k)` pairs against
+    /// this one snapshot, reusing a single scratch across the whole
+    /// batch. This is what the server's event loop feeds with
+    /// concurrently-arrived queries — the per-query costs it amortizes
+    /// (snapshot pin, queue pop, scratch warm-up) are paid once per
+    /// batch instead of once per query. `out` and `stats` are cleared
+    /// and refilled with exactly one entry per query, in order; each
+    /// query's results and stats are identical to what a lone
+    /// [`Self::retrieve_with_stats`] call would have produced.
+    pub fn retrieve_many(
+        &self,
+        scratch: &mut MatcherScratch,
+        tmp: &mut MatchOutcome,
+        queries: &[(&Polyline, usize)],
+        out: &mut Vec<Vec<DynMatch>>,
+        stats: &mut Vec<RetrieveStats>,
+    ) {
+        out.clear();
+        stats.clear();
+        for &(query, k) in queries {
+            let mut hits = Vec::new();
+            let mut st = RetrieveStats::default();
+            self.retrieve_with_stats(scratch, tmp, query, k, &mut hits, &mut st);
+            out.push(hits);
+            stats.push(st);
+        }
     }
 
     /// [`Self::retrieve_with_stats`] that additionally captures a full
@@ -652,7 +682,7 @@ impl Snapshot {
         let k = if k == 0 { self.config.k } else { k };
         explain.clear();
         retrieve_levels_into(
-            self.levels.iter().map(Arc::as_ref),
+            self.levels.iter().map(Arc::as_ref).rev(),
             &self.buffer,
             &self.deleted,
             &self.config,
@@ -669,10 +699,30 @@ impl Snapshot {
     }
 }
 
+/// The k-th smallest score in `out` (`INFINITY` when there are fewer
+/// than `k` entries): the exact pruning cutoff for later levels and
+/// the buffer scan. Sorts `out` in place (same order the final merge
+/// uses) rather than allocating a scratch score vector — the retrieval
+/// path is zero-alloc in steady state and `out` stays tiny (≤ k per
+/// level queried so far).
+fn kth_best_score(out: &mut [DynMatch], k: usize) -> f64 {
+    if k == 0 || out.len() < k {
+        return f64::INFINITY;
+    }
+    out.sort_unstable_by(|a, b| a.score.partial_cmp(&b.score).unwrap().then(a.shape.cmp(&b.shape)));
+    out[k - 1].score
+}
+
 /// The shared retrieval merge: query every level through the
 /// scratch-reusing matcher path, brute-force the insert buffer, filter
 /// tombstones, rank globally, truncate to k. Allocation-free in steady
 /// state except for the buffer path (documented at the callers).
+///
+/// Callers pass `levels` **largest first**: the first level runs a full
+/// top-k certification, and its k-th best score then caps every smaller
+/// level via a Threshold run — without this, a freshly cascaded level
+/// whose shapes resemble no query forces the full ε-growth schedule on
+/// every retrieval (the 256-connection insert-storm pathology).
 #[allow(clippy::too_many_arguments)]
 fn retrieve_levels_into<'l>(
     levels: impl Iterator<Item = &'l Level>,
@@ -698,7 +748,20 @@ fn retrieve_levels_into<'l>(
         let mut level_config = config.clone();
         level_config.k = k;
         let matcher = Matcher::with_plan(&level.base, level_config, level.plan.clone());
-        matcher.retrieve_with(scratch, query, tmp);
+        // Cross-level cutoff: once k candidates are on the board, later
+        // (smaller) levels only need to prove nothing better than the
+        // running k-th best exists — a Threshold run terminates as soon
+        // as bound_factor·ε reaches that score, instead of paying the
+        // full ε-growth schedule certifying a top-k it cannot improve.
+        // Exact: Threshold(τ) reports every copy scoring ≤ τ, and any
+        // copy scoring > τ would be truncated from the merged top-k
+        // anyway (ties at τ are kept and break by id as before).
+        let cutoff = kth_best_score(out, k);
+        if cutoff.is_finite() {
+            matcher.retrieve_within_with(scratch, query, cutoff, tmp);
+        } else {
+            matcher.retrieve_with(scratch, query, tmp);
+        }
         stats.levels += 1;
         stats.rings += tmp.stats.iterations as u64;
         stats.vertices_reported += tmp.stats.vertices_reported as u64;
@@ -743,6 +806,11 @@ fn retrieve_levels_into<'l>(
     if !buffer.is_empty() {
         if let Some((qn, _)) = crate::normalize::normalize_about_diameter(query) {
             let prepared = crate::similarity::PreparedShape::new(qn.shape);
+            // Exact top-k pruning: the level pass is complete, so the
+            // k-th best level score bounds what a buffered shape must
+            // strictly beat to enter the final ranking — candidates the
+            // bounded scorer proves worse would be truncated below.
+            let cutoff = kth_best_score(out, k);
             for b in buffer {
                 if deleted.contains(&b.id) {
                     continue;
@@ -750,7 +818,14 @@ fn retrieve_levels_into<'l>(
                 let best = b
                     .copies
                     .iter()
-                    .map(|c| crate::similarity::score_prepared(config.score, c, &prepared))
+                    .map(|c| {
+                        crate::similarity::score_prepared_bounded(
+                            config.score,
+                            c,
+                            &prepared,
+                            cutoff,
+                        )
+                    })
                     .fold(f64::INFINITY, f64::min);
                 stats.buffer_scored += 1;
                 if best.is_finite() {
@@ -873,6 +948,48 @@ mod tests {
                 "scores diverge"
             );
         }
+    }
+
+    #[test]
+    fn best_match_in_smaller_later_level_survives_cutoff() {
+        // Build a base where the big (first-queried) level holds only
+        // mediocre matches and the exact match sits in a *smaller* level
+        // queried afterwards under the Threshold cutoff: the cutoff pass
+        // must still surface it, and with a better (smaller) score than
+        // anything the big level certified.
+        let mut db = dynbase(4);
+        // 16 fillers cascade into a 16-shape level...
+        for i in 0..16 {
+            db.insert(ImageId(i), shape(i as u64 + 500));
+        }
+        // ...then the needle plus 3 more fillers cascade into a 4-shape
+        // level (buffer empties at each power-of-two merge)
+        let needle = shape(77);
+        let needle_id = db.insert(ImageId(100), needle.clone());
+        for i in 17..20 {
+            db.insert(ImageId(i), shape(i as u64 + 500));
+        }
+        assert!(db.num_levels() >= 2, "test needs a multi-level base");
+        let hits = db.retrieve(&needle);
+        assert_eq!(hits.first().map(|m| m.shape), Some(needle_id), "needle lost to cutoff");
+        assert!(hits[0].score < 1e-9, "needle score should be ~0");
+        // and the ranking must match a from-scratch static base
+        let mut builder = ShapeBaseBuilder::new();
+        for i in 0..16 {
+            builder.add_shape(ImageId(i), shape(i as u64 + 500));
+        }
+        builder.add_shape(ImageId(100), needle.clone());
+        for i in 17..20 {
+            builder.add_shape(ImageId(i), shape(i as u64 + 500));
+        }
+        let static_base = builder.build(0.05, Backend::KdTree);
+        let matcher = crate::matcher::Matcher::new(
+            &static_base,
+            MatchConfig { k: 3, beta: 0.3, ..Default::default() },
+        );
+        let stat = matcher.retrieve(&needle);
+        assert_eq!(hits.first().map(|m| m.image), stat.best().map(|m| m.image));
+        assert!((hits[0].score - stat.best().unwrap().score).abs() < 1e-9);
     }
 
     #[test]

@@ -655,40 +655,42 @@ impl<'a> Matcher<'a> {
             outcome.stats.triangles_queried += cover.len();
             outcome.triangle_trace.extend_from_slice(cover);
 
-            // In-iteration vertex dedup (the ring cover's triangles
-            // overlap): one fresh stamp per iteration.
+            // One union traversal answers the whole ring cover: the
+            // slivers tile a single annulus, so per-triangle descents
+            // would walk the same index region dozens of times. The
+            // union is duplicate-free, but the iteration stamp stays as
+            // a second line of defense (backends may overlap on shared
+            // edges).
             *iter_clock += 1;
             let istamp = *iter_clock;
-            for tri in cover.iter() {
-                reported.clear();
-                base.report_triangle(tri, reported);
-                outcome.stats.vertices_reported += reported.len();
-                for &vid in reported.iter() {
-                    if seen_stamp[vid as usize] == istamp {
-                        continue; // already handled this iteration
-                    }
-                    seen_stamp[vid as usize] = istamp;
-                    // Exact ring membership (DESIGN.md: exactness
-                    // discipline) — the cover may overshoot.
-                    let d = prepared.dist(base.vertex_point(vid));
-                    // First iteration (prev_eps = 0) is a closed envelope
-                    // [0, ε]; later rings are half-open (prev, ε].
-                    if (prev_eps > 0.0 && d <= prev_eps) || d > eps {
-                        continue;
-                    }
-                    outcome.stats.vertices_processed += 1;
-                    let owner = base.vertex_owner(vid);
-                    let oi = owner.index();
-                    if counter_stamp[oi] != qstamp {
-                        counter_stamp[oi] = qstamp;
-                        counters[oi] = 0;
-                    }
-                    counters[oi] += 1;
-                    if counters[oi] >= self.plan.net_thresholds[oi] && scored_stamp[oi] != qstamp {
-                        scored_stamp[oi] = qstamp;
-                        metrics.promotions.inc();
-                        self.score_candidate(owner, prepared, back, &mut best, outcome);
-                    }
+            reported.clear();
+            base.report_triangles(cover, reported);
+            outcome.stats.vertices_reported += reported.len();
+            for &vid in reported.iter() {
+                if seen_stamp[vid as usize] == istamp {
+                    continue; // already handled this iteration
+                }
+                seen_stamp[vid as usize] = istamp;
+                // Exact ring membership (DESIGN.md: exactness
+                // discipline) — the cover may overshoot.
+                let d = prepared.dist(base.vertex_point(vid));
+                // First iteration (prev_eps = 0) is a closed envelope
+                // [0, ε]; later rings are half-open (prev, ε].
+                if (prev_eps > 0.0 && d <= prev_eps) || d > eps {
+                    continue;
+                }
+                outcome.stats.vertices_processed += 1;
+                let owner = base.vertex_owner(vid);
+                let oi = owner.index();
+                if counter_stamp[oi] != qstamp {
+                    counter_stamp[oi] = qstamp;
+                    counters[oi] = 0;
+                }
+                counters[oi] += 1;
+                if counters[oi] >= self.plan.net_thresholds[oi] && scored_stamp[oi] != qstamp {
+                    scored_stamp[oi] = qstamp;
+                    metrics.promotions.inc();
+                    self.score_candidate(owner, prepared, back, &mut best, outcome);
                 }
             }
 

@@ -206,6 +206,13 @@ impl ShapeBase {
     pub fn report_triangle(&self, tri: &Triangle, out: &mut Vec<u32>) {
         self.index.report(tri, out);
     }
+
+    /// Report pooled-vertex ids inside **any** triangle of `tris`
+    /// (boundary inclusive), without duplicates — one index traversal for
+    /// a whole ring cover instead of one per sliver.
+    pub fn report_triangles(&self, tris: &[Triangle], out: &mut Vec<u32>) {
+        self.index.report_union(tris, out);
+    }
 }
 
 impl std::fmt::Debug for ShapeBase {

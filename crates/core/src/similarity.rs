@@ -206,6 +206,58 @@ pub fn score_prepared(kind: ScoreKind, candidate: &PreparedShape, query: &Prepar
     }
 }
 
+/// Directed discrete `h_avg` with early abandonment: every distance term
+/// is non-negative, so once the running sum exceeds `cutoff · n` the
+/// final average is provably `> cutoff` and the scan stops, returning
+/// `f64::INFINITY`. The comparison carries a relative slack so a result
+/// exactly at the cutoff is never abandoned (callers prune strictly).
+fn h_avg_discrete_abandoning(a: &Polyline, b: &PreparedShape, cutoff: f64) -> f64 {
+    let pts = a.points();
+    let cutoff_sum = cutoff * pts.len() as f64;
+    let limit = cutoff_sum + cutoff_sum.abs() * 1e-9;
+    let mut acc = 0.0;
+    for &p in pts {
+        acc += b.dist(p);
+        if acc > limit {
+            return f64::INFINITY;
+        }
+    }
+    acc / pts.len() as f64
+}
+
+/// [`score_prepared`] with a pruning cutoff: may return `f64::INFINITY`
+/// instead of the exact score when the score is provably **strictly
+/// greater** than `cutoff` — exact for any caller that discards
+/// candidates above `cutoff` anyway (ties are always scored exactly).
+/// The discrete kinds abandon per-vertex; the continuous kinds have no
+/// cheap partial lower bound and fall back to the full evaluation.
+pub fn score_prepared_bounded(
+    kind: ScoreKind,
+    candidate: &PreparedShape,
+    query: &PreparedShape,
+    cutoff: f64,
+) -> f64 {
+    if !cutoff.is_finite() {
+        return score_prepared(kind, candidate, query);
+    }
+    match kind {
+        ScoreKind::DiscreteDirected => h_avg_discrete_abandoning(candidate.shape(), query, cutoff),
+        ScoreKind::DiscreteSymmetric => {
+            // max of two averages: either direction exceeding the cutoff
+            // proves the max does
+            let fwd = h_avg_discrete_abandoning(candidate.shape(), query, cutoff);
+            if !fwd.is_finite() {
+                return f64::INFINITY;
+            }
+            let rev = h_avg_discrete_abandoning(query.shape(), candidate, cutoff);
+            fwd.max(rev)
+        }
+        ScoreKind::ContinuousDirected | ScoreKind::ContinuousSymmetric => {
+            score_prepared(kind, candidate, query)
+        }
+    }
+}
+
 /// Fill `slot` with an index over `shape`, reusing its allocations when
 /// already occupied.
 pub fn prepare_into<'a>(slot: &'a mut Option<PreparedShape>, shape: &Polyline) -> &'a PreparedShape {
@@ -366,6 +418,39 @@ mod tests {
         assert!((vs.dist(p(1.0, 1.0)) - 1.0).abs() < 1e-12);
         let a = square(0.0, 2.0, 0.5);
         assert!(h_avg_pointset(&a, &vs) > 0.0);
+    }
+
+    #[test]
+    fn bounded_score_exact_below_cutoff_pruned_above() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(0x5eed);
+        for kind in [ScoreKind::DiscreteDirected, ScoreKind::DiscreteSymmetric] {
+            for _ in 0..200 {
+                let a = square(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0), 0.8);
+                let b = square(
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(-1.0..1.0),
+                    rng.random_range(0.3..1.2),
+                );
+                let pa = PreparedShape::new(a);
+                let pb = PreparedShape::new(b);
+                let exact = score_prepared(kind, &pa, &pb);
+                // cutoff sampled around the exact value so both branches run
+                let cutoff = exact * rng.random_range(0.25..2.0);
+                let bounded = score_prepared_bounded(kind, &pa, &pb, cutoff);
+                if exact <= cutoff {
+                    assert_eq!(bounded, exact, "{kind:?}: score at/below cutoff must be exact");
+                } else {
+                    // pruned results are INFINITY, never a wrong finite score
+                    assert!(
+                        bounded == exact || bounded.is_infinite(),
+                        "{kind:?}: bounded={bounded} exact={exact} cutoff={cutoff}"
+                    );
+                }
+                // an infinite cutoff must always reproduce the exact score
+                assert_eq!(score_prepared_bounded(kind, &pa, &pb, f64::INFINITY), exact);
+            }
+        }
     }
 
     #[test]

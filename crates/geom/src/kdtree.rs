@@ -1,53 +1,80 @@
-//! A 2D kd-tree over points: nearest-neighbor queries and triangle
-//! reporting with linear space.
+//! A 2D bucketed kd-tree over points: nearest-neighbor queries and
+//! triangle reporting with linear space.
 //!
 //! This is the O(n)-space alternative to the fractional-cascading range tree
 //! for the matcher's simplex queries (DESIGN.md: backends are ablated
-//! against each other), and the nearest-vertex structure used by discrete
-//! similarity measures.
+//! against each other). Leaves hold up to [`LEAF_MAX`] points in
+//! struct-of-arrays columns (`xs`/`ys`/`ids`), laid out contiguously in
+//! leaf order so any subtree is one contiguous id range — full-containment
+//! reporting is a single `memcpy`, and leaf filters run over flat columns
+//! (4-wide AVX2 under the `simd` feature, bit-identical to the scalar
+//! predicate; see [`crate::simd`]).
+//!
+//! [`KdTree::report_union`] answers a whole *set* of triangles in one
+//! descent: the matcher's envelope rings are covered by dozens of sliver
+//! triangles tiling one annulus, and walking the tree once with a
+//! shrinking active-triangle list replaces dozens of root-to-leaf walks
+//! over the same region. Each point is visited at most once, so the union
+//! is duplicate-free by construction.
 
 use crate::bbox::Aabb;
 use crate::point::Point;
+use crate::simd;
 use crate::triangle::Triangle;
+
+/// Leaf bucket capacity: big enough that descent cost amortizes, small
+/// enough that the exact per-point filter stays output-sensitive.
+const LEAF_MAX: usize = 32;
 
 /// Immutable kd-tree; point identities are indices into the construction
 /// slice.
 #[derive(Debug)]
 pub struct KdTree {
     nodes: Vec<KdNode>,
-    pts: Vec<Point>,
+    /// Leaf-order SoA columns: `ids[i]` is the construction index of the
+    /// point at (`xs[i]`, `ys[i]`). Every subtree is a contiguous range.
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    ids: Vec<u32>,
     root: Option<u32>,
 }
 
 #[derive(Debug)]
 struct KdNode {
-    /// Index of the splitting point in `pts`.
-    id: u32,
+    bbox: Aabb,
+    /// `NONE` for leaves.
     left: u32,
     right: u32,
-    bbox: Aabb,
-    /// 0 = split on x, 1 = split on y.
-    axis: u8,
+    /// Subtree's contiguous range in the SoA columns.
+    start: u32,
+    end: u32,
 }
 
 const NONE: u32 = u32::MAX;
 
 impl KdTree {
     pub fn build(points: &[Point]) -> Self {
-        let pts = points.to_vec();
         let mut ids: Vec<u32> = (0..points.len() as u32).collect();
-        let mut nodes = Vec::with_capacity(points.len());
-        let root =
-            if ids.is_empty() { None } else { Some(build_rec(&pts, &mut ids, 0, &mut nodes)) };
-        KdTree { nodes, pts, root }
+        let mut tree = KdTree {
+            nodes: Vec::with_capacity(2 * (points.len() / LEAF_MAX + 1)),
+            xs: Vec::with_capacity(points.len()),
+            ys: Vec::with_capacity(points.len()),
+            ids: Vec::with_capacity(points.len()),
+            root: None,
+        };
+        if !ids.is_empty() {
+            let root = build_rec(points, &mut ids, 0, &mut tree);
+            tree.root = Some(root);
+        }
+        tree
     }
 
     pub fn len(&self) -> usize {
-        self.pts.len()
+        self.ids.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.pts.is_empty()
+        self.ids.is_empty()
     }
 
     /// Index and distance of the point nearest to `q`, or `None` if empty.
@@ -63,47 +90,124 @@ impl KdTree {
         if node.bbox.dist_sq(q) >= best.1 {
             return;
         }
-        let p = self.pts[node.id as usize];
-        let d2 = p.dist_sq(q);
-        if d2 < best.1 {
-            *best = (node.id, d2);
+        if node.left == NONE {
+            for i in node.start as usize..node.end as usize {
+                let dx = self.xs[i] - q.x;
+                let dy = self.ys[i] - q.y;
+                let d2 = dx * dx + dy * dy;
+                if d2 < best.1 {
+                    *best = (self.ids[i], d2);
+                }
+            }
+            return;
         }
-        let qv = if node.axis == 0 { q.x } else { q.y };
-        let pv = if node.axis == 0 { p.x } else { p.y };
-        let (first, second) = if qv < pv { (node.left, node.right) } else { (node.right, node.left) };
-        if first != NONE {
-            self.nearest_rec(first, q, best);
-        }
-        if second != NONE {
-            self.nearest_rec(second, q, best);
-        }
+        // nearer child first, so the far side prunes on its bbox bound
+        let dl = self.nodes[node.left as usize].bbox.dist_sq(q);
+        let dr = self.nodes[node.right as usize].bbox.dist_sq(q);
+        let (first, second) = if dl <= dr { (node.left, node.right) } else { (node.right, node.left) };
+        self.nearest_rec(first, q, best);
+        self.nearest_rec(second, q, best);
     }
 
     /// Append the ids of all points inside the triangle (boundary inclusive)
     /// to `out`.
     pub fn report_triangle(&self, tri: &Triangle, out: &mut Vec<u32>) {
-        if let Some(root) = self.root {
-            self.tri_rec(root, tri, out);
-        }
+        self.report_union(std::slice::from_ref(tri), out);
     }
 
-    fn tri_rec(&self, v: u32, tri: &Triangle, out: &mut Vec<u32>) {
+    /// Append the ids of all points inside **any** of `tris` (boundary
+    /// inclusive) to `out`, without duplicates: one tree descent carries
+    /// the list of triangles still intersecting the current subtree, so a
+    /// cover of many overlapping slivers costs one walk, not one per
+    /// triangle.
+    pub fn report_union(&self, tris: &[Triangle], out: &mut Vec<u32>) {
+        let Some(root) = self.root else { return };
+        if tris.is_empty() {
+            return;
+        }
+        // Precompute edge constants once per call; empty when the AVX2
+        // leaf kernel is compiled out or unavailable at run time.
+        let pre: Vec<simd::TriPre> =
+            if simd::tri_kernel_available() { tris.iter().map(simd::TriPre::of).collect() } else { Vec::new() };
+        let mut active: Vec<u32> = (0..tris.len() as u32).collect();
+        let n = active.len();
+        self.union_rec(root, tris, &pre, &mut active, 0, n, out);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn union_rec(
+        &self,
+        v: u32,
+        tris: &[Triangle],
+        pre: &[simd::TriPre],
+        active: &mut Vec<u32>,
+        lo: usize,
+        hi: usize,
+        out: &mut Vec<u32>,
+    ) {
         let node = &self.nodes[v as usize];
-        if !tri.intersects_box(&node.bbox) {
+        // Filter the parent's surviving triangles against this subtree's
+        // bbox; a triangle that swallows the whole bbox short-circuits to
+        // a contiguous copy of the subtree's ids.
+        let base = active.len();
+        for k in lo..hi {
+            let t = &tris[active[k] as usize];
+            if !t.intersects_box(&node.bbox) {
+                continue;
+            }
+            if t.contains_box(&node.bbox) {
+                out.extend_from_slice(&self.ids[node.start as usize..node.end as usize]);
+                active.truncate(base);
+                return;
+            }
+            active.push(active[k]);
+        }
+        let (nlo, nhi) = (base, active.len());
+        if nlo == nhi {
             return;
         }
-        if tri.contains_box(&node.bbox) {
-            self.report_all(v, out);
+        if node.left == NONE {
+            let (s, e) = (node.start as usize, node.end as usize);
+            self.leaf_filter(s, e, tris, pre, &active[nlo..nhi], out);
+        } else {
+            self.union_rec(node.left, tris, pre, active, nlo, nhi, out);
+            self.union_rec(node.right, tris, pre, active, nlo, nhi, out);
+        }
+        active.truncate(base);
+    }
+
+    /// Exact per-point membership over one leaf's columns: a point is
+    /// reported when any active triangle contains it.
+    fn leaf_filter(
+        &self,
+        s: usize,
+        e: usize,
+        tris: &[Triangle],
+        pre: &[simd::TriPre],
+        active: &[u32],
+        out: &mut Vec<u32>,
+    ) {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if !pre.is_empty() {
+            // SAFETY: `pre` is only populated after `avx2_available()`.
+            unsafe {
+                simd::avx2::tri_union_filter(
+                    &self.xs[s..e],
+                    &self.ys[s..e],
+                    &self.ids[s..e],
+                    pre,
+                    active,
+                    out,
+                );
+            }
             return;
         }
-        if tri.contains(self.pts[node.id as usize]) {
-            out.push(node.id);
-        }
-        if node.left != NONE {
-            self.tri_rec(node.left, tri, out);
-        }
-        if node.right != NONE {
-            self.tri_rec(node.right, tri, out);
+        let _ = pre;
+        for i in s..e {
+            let p = Point::new(self.xs[i], self.ys[i]);
+            if active.iter().any(|&k| tris[k as usize].contains(p)) {
+                out.push(self.ids[i]);
+            }
         }
     }
 
@@ -120,33 +224,36 @@ impl KdTree {
             return;
         }
         if bb.contains(node.bbox.min) && bb.contains(node.bbox.max) {
-            self.report_all(v, out);
+            out.extend_from_slice(&self.ids[node.start as usize..node.end as usize]);
             return;
         }
-        if bb.contains(self.pts[node.id as usize]) {
-            out.push(node.id);
+        if node.left == NONE {
+            for i in node.start as usize..node.end as usize {
+                if bb.contains(Point::new(self.xs[i], self.ys[i])) {
+                    out.push(self.ids[i]);
+                }
+            }
+            return;
         }
-        if node.left != NONE {
-            self.box_rec(node.left, bb, out);
-        }
-        if node.right != NONE {
-            self.box_rec(node.right, bb, out);
-        }
-    }
-
-    fn report_all(&self, v: u32, out: &mut Vec<u32>) {
-        let node = &self.nodes[v as usize];
-        out.push(node.id);
-        if node.left != NONE {
-            self.report_all(node.left, out);
-        }
-        if node.right != NONE {
-            self.report_all(node.right, out);
-        }
+        self.box_rec(node.left, bb, out);
+        self.box_rec(node.right, bb, out);
     }
 }
 
-fn build_rec(pts: &[Point], ids: &mut [u32], depth: usize, nodes: &mut Vec<KdNode>) -> u32 {
+fn build_rec(pts: &[Point], ids: &mut [u32], depth: usize, tree: &mut KdTree) -> u32 {
+    let bbox = Aabb::of_points(ids.iter().map(|&i| pts[i as usize]));
+    if ids.len() <= LEAF_MAX {
+        let start = tree.ids.len() as u32;
+        for &id in ids.iter() {
+            let p = pts[id as usize];
+            tree.xs.push(p.x);
+            tree.ys.push(p.y);
+            tree.ids.push(id);
+        }
+        let slot = tree.nodes.len();
+        tree.nodes.push(KdNode { bbox, left: NONE, right: NONE, start, end: tree.ids.len() as u32 });
+        return slot as u32;
+    }
     let axis = (depth % 2) as u8;
     let mid = ids.len() / 2;
     ids.select_nth_unstable_by(mid, |&a, &b| {
@@ -157,21 +264,17 @@ fn build_rec(pts: &[Point], ids: &mut [u32], depth: usize, nodes: &mut Vec<KdNod
             pa.y.partial_cmp(&pb.y).unwrap().then(pa.x.partial_cmp(&pb.x).unwrap())
         }
     });
-    let id = ids[mid];
-    let bbox = Aabb::of_points(ids.iter().map(|&i| pts[i as usize]));
-    let slot = nodes.len();
-    nodes.push(KdNode { id, left: NONE, right: NONE, bbox, axis });
-    // Recurse after reserving the slot (children get later indices).
-    let (lo, rest) = ids.split_at_mut(mid);
-    let hi = &mut rest[1..];
-    if !lo.is_empty() {
-        let l = build_rec(pts, lo, depth + 1, nodes);
-        nodes[slot].left = l;
-    }
-    if !hi.is_empty() {
-        let r = build_rec(pts, hi, depth + 1, nodes);
-        nodes[slot].right = r;
-    }
+    let slot = tree.nodes.len();
+    tree.nodes.push(KdNode { bbox, left: NONE, right: NONE, start: 0, end: 0 });
+    let (lo, hi) = ids.split_at_mut(mid);
+    let l = build_rec(pts, lo, depth + 1, tree);
+    let r = build_rec(pts, hi, depth + 1, tree);
+    let (start, end) = (tree.nodes[l as usize].start, tree.nodes[r as usize].end);
+    let node = &mut tree.nodes[slot];
+    node.left = l;
+    node.right = r;
+    node.start = start;
+    node.end = end;
     slot as u32
 }
 
@@ -234,6 +337,40 @@ mod tests {
         }
     }
 
+    /// One descent over a set of overlapping slivers equals the dedup'd
+    /// union of per-triangle reports — the matcher's ring-cover contract.
+    #[test]
+    fn union_report_matches_per_triangle_union() {
+        let pts = random_points(7, 900);
+        let t = KdTree::build(&pts);
+        let mut rng = StdRng::seed_from_u64(41);
+        for round in 0..40 {
+            let ntris = rng.random_range(1usize..24);
+            // thin slivers radiating from a shared hub, like a ring cover
+            let hub = Point::new(rng.random_range(-0.5..0.5), rng.random_range(-0.5..0.5));
+            let tris: Vec<Triangle> = (0..ntris)
+                .map(|_| {
+                    let a = Point::new(rng.random_range(-1.2..1.2), rng.random_range(-1.2..1.2));
+                    let b = Point::new(a.x + rng.random_range(-0.05..0.05), a.y + rng.random_range(-0.05..0.05));
+                    Triangle::new(hub, a, b)
+                })
+                .collect();
+            let mut got = Vec::new();
+            t.report_union(&tris, &mut got);
+            let mut sorted = got.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), got.len(), "round {round}: union reported duplicates");
+            let mut want = Vec::new();
+            for tri in &tris {
+                t.report_triangle(tri, &mut want);
+            }
+            want.sort_unstable();
+            want.dedup();
+            assert_eq!(sorted, want, "round {round}: union disagrees with per-triangle");
+        }
+    }
+
     #[test]
     fn box_report_matches_brute_force() {
         let pts = random_points(21, 500);
@@ -278,6 +415,25 @@ mod tests {
             for p in &pts {
                 prop_assert!(d <= p.dist(q) + 1e-12);
             }
+        }
+
+        #[test]
+        fn union_never_misses(seed in 0u64..100) {
+            let pts = random_points(seed, 300);
+            let t = KdTree::build(&pts);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x7777);
+            let tris: Vec<Triangle> = (0..rng.random_range(1usize..8)).map(|_| Triangle::new(
+                Point::new(rng.random_range(-1.2..1.2), rng.random_range(-1.2..1.2)),
+                Point::new(rng.random_range(-1.2..1.2), rng.random_range(-1.2..1.2)),
+                Point::new(rng.random_range(-1.2..1.2), rng.random_range(-1.2..1.2)),
+            )).collect();
+            let mut got = Vec::new();
+            t.report_union(&tris, &mut got);
+            got.sort_unstable();
+            let want: Vec<u32> = pts.iter().enumerate()
+                .filter(|(_, p)| tris.iter().any(|t| t.contains(**p)))
+                .map(|(i, _)| i as u32).collect();
+            prop_assert_eq!(got, want);
         }
     }
 }

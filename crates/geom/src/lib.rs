@@ -23,6 +23,7 @@ pub mod rangesearch;
 pub mod rangetree;
 pub mod segindex;
 pub mod segment;
+pub(crate) mod simd;
 pub mod sweep;
 pub mod topology;
 pub mod transform;

@@ -30,6 +30,19 @@ pub trait SimplexIndex {
     /// Append the ids of all points inside `tri` (boundary inclusive).
     fn report(&self, tri: &Triangle, out: &mut Vec<u32>);
 
+    /// Append the ids of all points inside **any** triangle of `tris`
+    /// (boundary inclusive), without duplicates. The matcher's ring
+    /// covers are dozens of slivers tiling one annulus; backends that can
+    /// answer the whole set in one traversal override this (the kd-tree
+    /// descends once with a shrinking active-triangle list).
+    fn report_union(&self, tris: &[Triangle], out: &mut Vec<u32>) {
+        let start = out.len();
+        for tri in tris {
+            self.report(tri, out);
+        }
+        dedup_from(out, start);
+    }
+
     /// Number of indexed points.
     fn len(&self) -> usize;
 
@@ -43,6 +56,22 @@ pub trait SimplexIndex {
         self.report(tri, &mut out);
         out.len()
     }
+}
+
+/// Sort-and-dedup the tail of `out` starting at `start`, in place.
+fn dedup_from(out: &mut Vec<u32>, start: usize) {
+    out[start..].sort_unstable();
+    let mut w = start;
+    let mut last = None;
+    for r in start..out.len() {
+        let id = out[r];
+        if Some(id) != last {
+            out[w] = id;
+            w += 1;
+            last = Some(id);
+        }
+    }
+    out.truncate(w);
 }
 
 /// Fractional-cascading range tree + exact triangle filter.
@@ -66,19 +95,7 @@ impl SimplexIndex for RangeTreeIndex {
         self.report_split(tri, 12, out);
         // Sub-triangles share edges, so a point exactly on a shared edge
         // can be reported twice — dedup within this query's output.
-        let slice = &mut out[start..];
-        slice.sort_unstable();
-        let mut w = start;
-        let mut last = None;
-        for r in start..out.len() {
-            let id = out[r];
-            if Some(id) != last {
-                out[w] = id;
-                w += 1;
-                last = Some(id);
-            }
-        }
-        out.truncate(w);
+        dedup_from(out, start);
     }
 
     fn len(&self) -> usize {
@@ -143,6 +160,11 @@ impl SimplexIndex for KdTreeIndex {
 
     fn report(&self, tri: &Triangle, out: &mut Vec<u32>) {
         self.tree.report_triangle(tri, out);
+    }
+
+    fn report_union(&self, tris: &[Triangle], out: &mut Vec<u32>) {
+        // one descent for the whole cover; duplicate-free by construction
+        self.tree.report_union(tris, out);
     }
 
     fn len(&self) -> usize {
@@ -213,6 +235,15 @@ impl DynSimplexIndex {
         }
     }
 
+    /// Duplicate-free union report over a whole triangle cover.
+    pub fn report_union(&self, tris: &[Triangle], out: &mut Vec<u32>) {
+        match self {
+            DynSimplexIndex::RangeTree(i) => i.report_union(tris, out),
+            DynSimplexIndex::KdTree(i) => i.report_union(tris, out),
+            DynSimplexIndex::BruteForce(i) => i.report_union(tris, out),
+        }
+    }
+
     pub fn len(&self) -> usize {
         match self {
             DynSimplexIndex::RangeTree(i) => i.len(),
@@ -265,6 +296,38 @@ mod tests {
             assert_eq!(sorted_report(&rt, &tri), want, "range tree disagrees");
             assert_eq!(sorted_report(&kd, &tri), want, "kd-tree disagrees");
             assert_eq!(rt.count(&tri), want.len());
+        }
+    }
+
+    /// All backends agree on `report_union` — override and default impl
+    /// alike — and report no duplicates.
+    #[test]
+    fn backends_agree_on_union_report() {
+        let pts = random_points(13, 700);
+        let rt = RangeTreeIndex::build(&pts);
+        let kd = KdTreeIndex::build(&pts);
+        let bf = BruteForceIndex::build(&pts);
+        let mut rng = StdRng::seed_from_u64(14);
+        for round in 0..60 {
+            let tris: Vec<Triangle> =
+                (0..rng.random_range(1usize..12)).map(|_| random_triangle(&mut rng)).collect();
+            let mut want = Vec::new();
+            bf.report_union(&tris, &mut want);
+            want.sort_unstable();
+            for (name, got) in [("rt", {
+                let mut v = Vec::new();
+                rt.report_union(&tris, &mut v);
+                v
+            }), ("kd", {
+                let mut v = Vec::new();
+                kd.report_union(&tris, &mut v);
+                v
+            })] {
+                let mut sorted = got.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted.len(), got.len(), "round {round}: {name} union had duplicates");
+                assert_eq!(sorted, want, "round {round}: {name} union disagrees");
+            }
         }
     }
 

@@ -5,11 +5,16 @@
 //! from a static AABB tree over Q's edges with branch-and-bound descent —
 //! see DESIGN.md (substitutions) for why this is equivalent for our
 //! purposes. Distances are exact; only the search order differs.
+//!
+//! Small segment sets (at most [`crate::simd::FLAT_MAX`]) skip the tree and
+//! use a flat scan — scalar, or 4-wide AVX2 under the `simd` feature — with
+//! bit-identical distances either way (see [`crate::simd`]).
 
 use crate::bbox::Aabb;
 use crate::point::Point;
 use crate::polyline::Polyline;
 use crate::segment::Segment;
+use crate::simd;
 
 /// Static AABB tree over segments supporting exact nearest-segment queries.
 #[derive(Debug)]
@@ -20,6 +25,11 @@ pub struct SegmentIndex {
     /// Permutation scratch for (re)builds, kept so [`Self::rebuild`] is
     /// allocation-free once capacities are warm.
     ids: Vec<u32>,
+    /// Small sets are scanned flat instead of descending the tree.
+    flat: bool,
+    /// Column layout of `segs` for the vectorized flat kernel.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    cols: simd::SegColumns,
 }
 
 #[derive(Debug)]
@@ -34,9 +44,20 @@ struct SNode {
 const NONE: u32 = u32::MAX;
 
 impl SegmentIndex {
+    fn empty() -> Self {
+        SegmentIndex {
+            nodes: Vec::new(),
+            segs: Vec::new(),
+            root: None,
+            ids: Vec::new(),
+            flat: false,
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            cols: simd::SegColumns::default(),
+        }
+    }
+
     pub fn build(segments: &[Segment]) -> Self {
-        let mut idx =
-            SegmentIndex { nodes: Vec::new(), segs: Vec::new(), root: None, ids: Vec::new() };
+        let mut idx = Self::empty();
         idx.rebuild(segments.iter().copied());
         idx
     }
@@ -44,18 +65,27 @@ impl SegmentIndex {
     /// Index over the edges of a polyline — the `h_avg` evaluation structure
     /// for a query shape.
     pub fn of_polyline(pl: &Polyline) -> Self {
-        let mut idx =
-            SegmentIndex { nodes: Vec::new(), segs: Vec::new(), root: None, ids: Vec::new() };
+        let mut idx = Self::empty();
         idx.rebuild_of_polyline(pl);
         idx
     }
 
-    /// Rebuild the tree over a new segment set in place, reusing every
-    /// allocation (node pool, segment store, permutation scratch).
+    /// Rebuild the index over a new segment set in place, reusing every
+    /// allocation (node pool, segment store, columns, permutation scratch).
+    /// Small sets take the flat-scan layout; larger ones build the tree.
     pub fn rebuild(&mut self, segments: impl IntoIterator<Item = Segment>) {
         self.segs.clear();
         self.segs.extend(segments);
         self.nodes.clear();
+        self.flat = !self.segs.is_empty() && self.segs.len() <= simd::FLAT_MAX;
+        if self.flat {
+            self.root = None;
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            self.cols.fill(&self.segs);
+            return;
+        }
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        self.cols.clear();
         self.ids.clear();
         self.ids.extend(0..self.segs.len() as u32);
         self.root = if self.ids.is_empty() {
@@ -84,10 +114,26 @@ impl SegmentIndex {
     /// Distance from `q` to the nearest segment, with the segment's index.
     /// `None` when the index is empty.
     pub fn nearest(&self, q: Point) -> Option<(u32, f64)> {
+        if self.flat {
+            let (i, d2) = self.scan_flat(q);
+            return Some((i, d2.sqrt()));
+        }
         let root = self.root?;
         let mut best = (NONE, f64::INFINITY); // squared distance
         self.rec(root, q, &mut best);
         Some((best.0, best.1.sqrt()))
+    }
+
+    /// Flat scan dispatch: AVX2 when compiled in and supported, else scalar.
+    /// Both produce bit-identical `(argmin, d²)` — see [`crate::simd`].
+    #[inline]
+    fn scan_flat(&self, q: Point) -> (u32, f64) {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if simd::avx2_available() {
+            // SAFETY: AVX2 support just verified; `cols` mirrors `segs`.
+            return unsafe { simd::avx2::scan(&self.cols, &self.segs, q) };
+        }
+        simd::scan_scalar(&self.segs, q)
     }
 
     /// Just the distance (the common call in `h_avg` inner loops).
@@ -180,6 +226,38 @@ mod tests {
         for _ in 0..200 {
             let q = Point::new(rng.random_range(-2.0..3.0), rng.random_range(-2.0..3.0));
             assert!((idx.dist(q) - sq.dist_to_point(q)).abs() < 1e-12);
+        }
+    }
+
+    /// The flat scan (≤ FLAT_MAX segs) and the tree must agree bit-for-bit:
+    /// same per-segment d² formula, min over a superset of visited leaves.
+    #[test]
+    fn flat_and_tree_distances_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let segs: Vec<Segment> = (0..100)
+            .map(|_| {
+                Segment::new(
+                    Point::new(rng.random_range(-5.0..5.0), rng.random_range(-5.0..5.0)),
+                    Point::new(rng.random_range(-5.0..5.0), rng.random_range(-5.0..5.0)),
+                )
+            })
+            .collect();
+        let tree = SegmentIndex::build(&segs); // 100 > FLAT_MAX → tree
+        assert!(!tree.flat);
+        let flat = SegmentIndex::build(&segs[..60]); // ≤ FLAT_MAX → flat
+        assert!(flat.flat);
+        let sub = SegmentIndex::build(&segs[..60]);
+        for _ in 0..200 {
+            let q = Point::new(rng.random_range(-8.0..8.0), rng.random_range(-8.0..8.0));
+            // flat vs brute-force over the same segments, exact bits
+            let brute =
+                segs[..60].iter().map(|s| s.dist_sq_to_point(q)).fold(f64::INFINITY, f64::min);
+            assert_eq!(flat.dist(q).to_bits(), brute.sqrt().to_bits());
+            assert_eq!(sub.dist(q).to_bits(), flat.dist(q).to_bits());
+            // tree vs brute-force over all 100, exact bits
+            let brute_all =
+                segs.iter().map(|s| s.dist_sq_to_point(q)).fold(f64::INFINITY, f64::min);
+            assert_eq!(tree.dist(q).to_bits(), brute_all.sqrt().to_bits());
         }
     }
 

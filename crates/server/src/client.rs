@@ -82,6 +82,19 @@ pub struct QueryReply {
     pub trace: u64,
 }
 
+/// What a batch round trip produced.
+#[derive(Debug, Clone)]
+pub struct BatchReply {
+    /// Snapshot epoch the whole batch ran against.
+    pub epoch: u64,
+    /// Per-query hit lists, in request order.
+    pub results: Vec<Vec<WireMatch>>,
+    /// True when the server shed the whole batch under load (`Busy`).
+    pub rejected: bool,
+    /// Server's retry-after hint when shed, milliseconds (0 = none).
+    pub retry_after_ms: u32,
+}
+
 /// What an EXPLAIN round trip produced: the matches a plain query
 /// would have returned, plus the server's per-level/per-ring breakdown
 /// and timings.
@@ -247,17 +260,69 @@ impl Client {
         }
     }
 
-    /// Retrieve for several queries in one round trip.
+    /// Retrieve for several queries in one round trip. A shed batch
+    /// comes back with `rejected` set and the server's retry-after
+    /// hint, exactly like [`Client::query`] — it is not an error.
     pub fn query_batch(
         &mut self,
         queries: &[Polyline],
         k: u32,
-    ) -> Result<(u64, Vec<Vec<WireMatch>>), WireError> {
+    ) -> Result<BatchReply, WireError> {
         let shapes = queries.iter().map(WireShape::from_polyline).collect();
         match self.request(&Frame::QueryBatch { k, shapes })? {
-            Frame::BatchMatches { epoch, results } => Ok((epoch, results)),
+            Frame::BatchMatches { epoch, results } => {
+                Ok(BatchReply { epoch, results, rejected: false, retry_after_ms: 0 })
+            }
+            Frame::Busy { retry_after_ms } => {
+                Ok(BatchReply { epoch: 0, results: Vec::new(), rejected: true, retry_after_ms })
+            }
             other => Err(unexpected(&other)),
         }
+    }
+
+    /// Batch retrieval with bounded exponential-backoff retries,
+    /// mirroring [`Client::insert_retrying`]: `Busy` waits for the
+    /// server's retry-after hint (at least the current backoff) and
+    /// resends; an I/O error reconnects first. Queries are read-only,
+    /// so a resend after an ambiguous failure is always safe.
+    pub fn query_batch_retrying(
+        &mut self,
+        queries: &[Polyline],
+        k: u32,
+    ) -> Result<BatchReply, WireError> {
+        let mut backoff = self.cfg.retry_base;
+        let mut last_err: Option<WireError> = None;
+        for attempt in 0..=self.cfg.retries {
+            if attempt > 0 && last_err.is_some() {
+                if let Err(e) = self.reconnect() {
+                    last_err = Some(e);
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(self.cfg.retry_cap);
+                    continue;
+                }
+            }
+            match self.query_batch(queries, k) {
+                Ok(reply) if !reply.rejected => return Ok(reply),
+                Ok(reply) => {
+                    last_err = None;
+                    let hint = Duration::from_millis(reply.retry_after_ms as u64);
+                    std::thread::sleep(hint.max(backoff));
+                    backoff = (backoff * 2).min(self.cfg.retry_cap);
+                }
+                Err(WireError::Io(e)) => {
+                    last_err = Some(WireError::Io(e));
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(self.cfg.retry_cap);
+                }
+                Err(other) => return Err(other), // protocol error: no retry
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "batch retries exhausted (server busy)",
+            ))
+        }))
     }
 
     /// Insert a shape; returns `(epoch, id)` once the new snapshot is
@@ -374,6 +439,108 @@ impl Client {
             Frame::Bye => Ok(()),
             other => Err(unexpected(&other)),
         }
+    }
+}
+
+/// A pipelined connection: many requests in flight at once, each
+/// tagged with a client-minted correlation id (protocol v5), replies
+/// matched by id in whatever order the server finishes them.
+///
+/// The workflow is `submit_*` (returns the correlation id without
+/// waiting), then [`PipelinedClient::recv_any`] /
+/// [`PipelinedClient::recv`] to collect replies. Replies that arrive
+/// while waiting for a specific id are buffered, never dropped. The
+/// server bounds the number of outstanding requests per connection
+/// ([`crate::ServeConfig::max_in_flight`]); beyond it, it simply stops
+/// reading this connection's socket until replies drain — submission
+/// then blocks in the kernel, not in the server's memory.
+pub struct PipelinedClient {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+    next_corr: u64,
+    /// Replies read off the wire while waiting for a different id.
+    ooo: std::collections::HashMap<u64, Frame>,
+    in_flight: usize,
+}
+
+impl PipelinedClient {
+    /// Connect with default deadlines ([`ClientConfig::default`]).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<PipelinedClient, WireError> {
+        PipelinedClient::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit deadlines.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        cfg: ClientConfig,
+    ) -> Result<PipelinedClient, WireError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs().map_err(WireError::Io)?.collect();
+        let stream = connect_stream(&addrs, &cfg)?;
+        let reader = stream.try_clone().map_err(WireError::Io)?;
+        Ok(PipelinedClient {
+            reader,
+            writer: BufWriter::new(stream),
+            next_corr: 1, // 0 means "no correlation id" on the wire
+            ooo: std::collections::HashMap::new(),
+            in_flight: 0,
+        })
+    }
+
+    /// Submit any request frame without waiting; returns the
+    /// correlation id its reply will carry. Writes are buffered — they
+    /// reach the socket at the next `recv_*` or [`Self::flush`].
+    pub fn submit(&mut self, frame: &Frame) -> Result<u64, WireError> {
+        let corr = self.next_corr;
+        self.next_corr = self.next_corr.wrapping_add(1).max(1);
+        frame.write_to_corr(&mut self.writer, corr)?;
+        self.in_flight += 1;
+        Ok(corr)
+    }
+
+    /// Submit a k-nearest query without waiting.
+    pub fn submit_query(&mut self, query: &Polyline, k: u32) -> Result<u64, WireError> {
+        self.submit(&Frame::Query { k, trace: 0, shape: WireShape::from_polyline(query) })
+    }
+
+    /// Push all buffered request bytes to the socket.
+    pub fn flush(&mut self) -> Result<(), WireError> {
+        self.writer.flush().map_err(WireError::Io)
+    }
+
+    /// Requests submitted whose replies have not been returned yet
+    /// (buffered out-of-order replies still count as outstanding).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight + self.ooo.len()
+    }
+
+    /// Wait for the reply to one specific correlation id; replies to
+    /// other ids arriving first are buffered for their own `recv`.
+    pub fn recv(&mut self, corr: u64) -> Result<Frame, WireError> {
+        if let Some(frame) = self.ooo.remove(&corr) {
+            return Ok(frame);
+        }
+        self.flush()?;
+        loop {
+            let (frame, got) = Frame::read_from_corr(&mut self.reader)?;
+            self.in_flight = self.in_flight.saturating_sub(1);
+            if got == corr {
+                return Ok(frame);
+            }
+            self.ooo.insert(got, frame);
+        }
+    }
+
+    /// Wait for whichever reply arrives next (buffered ones first);
+    /// returns `(correlation id, frame)`.
+    pub fn recv_any(&mut self) -> Result<(u64, Frame), WireError> {
+        if let Some(corr) = self.ooo.keys().next().copied() {
+            let frame = self.ooo.remove(&corr).unwrap();
+            return Ok((corr, frame));
+        }
+        self.flush()?;
+        let (frame, corr) = Frame::read_from_corr(&mut self.reader)?;
+        self.in_flight = self.in_flight.saturating_sub(1);
+        Ok((corr, frame))
     }
 }
 

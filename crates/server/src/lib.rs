@@ -25,12 +25,16 @@
 //! (observability).
 
 pub mod client;
+#[cfg(target_os = "linux")]
+mod conn;
 pub mod durable;
 pub mod metrics;
+#[cfg(target_os = "linux")]
+mod poll;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientConfig, ExplainReply, QueryReply};
+pub use client::{BatchReply, Client, ClientConfig, ExplainReply, PipelinedClient, QueryReply};
 pub use durable::{BaseTemplate, DurabilityConfig, RecoveryReport};
 pub use geosir_obs as obs;
 pub use server::{serve, serve_durable, ServeConfig, ServerHandle};

@@ -32,6 +32,10 @@
 //! | `geosir_checkpoints_total` / `geosir_checkpoint_failures_total` | counter | checkpointer outcomes |
 //! | `geosir_recovery_us` | gauge | wall time of the last startup recovery |
 //! | `geosir_io_errors_total` | counter | persistent-path I/O errors |
+//! | `geosir_poll_wakeups_total` | counter | event-loop epoll returns |
+//! | `geosir_poll_events_per_wake` | histogram | readiness events delivered per wakeup |
+//! | `geosir_conns_open` | gauge | connections currently registered with the event loop |
+//! | `geosir_coalesced_batch` | histogram | read-queue jobs coalesced per worker pop |
 
 use std::sync::Arc;
 
@@ -84,6 +88,11 @@ pub struct Metrics {
     pub read_only: Arc<obs::Gauge>,
     pub epoch: Arc<obs::Gauge>,
     pub live_shapes: Arc<obs::Gauge>,
+
+    pub poll_wakeups: Arc<obs::Counter>,
+    pub poll_events: Arc<obs::Histogram>,
+    pub conns_open: Arc<obs::Gauge>,
+    pub coalesced_batch: Arc<obs::Histogram>,
 }
 
 impl Metrics {
@@ -117,6 +126,10 @@ impl Metrics {
             read_only: r.gauge("geosir_read_only", &[]),
             epoch: r.gauge("geosir_snapshot_epoch", &[]),
             live_shapes: r.gauge("geosir_live_shapes", &[]),
+            poll_wakeups: r.counter("geosir_poll_wakeups_total", &[]),
+            poll_events: r.histogram("geosir_poll_events_per_wake", &[]),
+            conns_open: r.gauge("geosir_conns_open", &[]),
+            coalesced_batch: r.histogram("geosir_coalesced_batch", &[]),
             registry,
         }
     }

@@ -1,0 +1,380 @@
+//! Minimal epoll + eventfd bindings over raw syscalls — std-only, no
+//! libc crate (the workspace builds offline with no new dependencies).
+//!
+//! The event loop in [`crate::server`] drives every connection from one
+//! thread with edge-triggered readiness: [`Poller::wait`] parks until a
+//! socket changes state (or [`Waker::wake`] fires from a worker thread
+//! posting a completion), and the loop then reads/writes until
+//! `WouldBlock`. Only epoll and eventfd need raw syscalls; sockets stay
+//! ordinary nonblocking `std::net` types.
+//!
+//! Linux-only by construction (`target_os = "linux"` gate in `lib.rs`);
+//! other platforms keep the thread-per-connection serve path.
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// Readiness flags (uapi `epoll.h`).
+pub const EPOLLIN: u32 = 0x1;
+pub const EPOLLOUT: u32 = 0x4;
+pub const EPOLLERR: u32 = 0x8;
+pub const EPOLLHUP: u32 = 0x10;
+pub const EPOLLRDHUP: u32 = 0x2000;
+pub const EPOLLET: u32 = 1 << 31;
+
+const EPOLL_CTL_ADD: usize = 1;
+const EPOLL_CTL_DEL: usize = 2;
+#[allow(dead_code)]
+const EPOLL_CTL_MOD: usize = 3;
+
+const EPOLL_CLOEXEC: usize = 0o2000000;
+const EFD_CLOEXEC: usize = 0o2000000;
+const EFD_NONBLOCK: usize = 0o4000;
+
+/// One readiness report. x86_64 uses the packed 12-byte layout the
+/// kernel ABI demands there; every other architecture uses the natural
+/// 16-byte layout.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy, Default)]
+pub struct EpollEvent {
+    pub events: u32,
+    /// The token registered with the fd (connection slot + generation).
+    pub data: u64,
+}
+
+#[cfg(target_arch = "x86_64")]
+mod sys {
+    const SYS_READ: usize = 0;
+    const SYS_WRITE: usize = 1;
+    const SYS_CLOSE: usize = 3;
+    const SYS_EPOLL_WAIT: usize = 232;
+    const SYS_EPOLL_CTL: usize = 233;
+    const SYS_EVENTFD2: usize = 290;
+    const SYS_EPOLL_CREATE1: usize = 291;
+
+    /// x86_64 syscall ABI: nr in rax, args in rdi/rsi/rdx/r10; the
+    /// kernel clobbers rcx and r11; the result (or -errno) is in rax.
+    #[inline]
+    unsafe fn syscall4(nr: usize, a1: usize, a2: usize, a3: usize, a4: usize) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") nr as isize => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    pub unsafe fn epoll_create1() -> isize {
+        syscall4(SYS_EPOLL_CREATE1, super::EPOLL_CLOEXEC, 0, 0, 0)
+    }
+    pub unsafe fn epoll_ctl(epfd: usize, op: usize, fd: usize, ev: usize) -> isize {
+        syscall4(SYS_EPOLL_CTL, epfd, op, fd, ev)
+    }
+    pub unsafe fn epoll_wait(epfd: usize, events: usize, max: usize, timeout_ms: isize) -> isize {
+        syscall4(SYS_EPOLL_WAIT, epfd, events, max, timeout_ms as usize)
+    }
+    pub unsafe fn eventfd2(initval: usize, flags: usize) -> isize {
+        syscall4(SYS_EVENTFD2, initval, flags, 0, 0)
+    }
+    pub unsafe fn read(fd: usize, buf: usize, len: usize) -> isize {
+        syscall4(SYS_READ, fd, buf, len, 0)
+    }
+    pub unsafe fn write(fd: usize, buf: usize, len: usize) -> isize {
+        syscall4(SYS_WRITE, fd, buf, len, 0)
+    }
+    pub unsafe fn close(fd: usize) -> isize {
+        syscall4(SYS_CLOSE, fd, 0, 0, 0)
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod sys {
+    const SYS_EVENTFD2: usize = 19;
+    const SYS_EPOLL_CREATE1: usize = 20;
+    const SYS_EPOLL_CTL: usize = 21;
+    const SYS_EPOLL_PWAIT: usize = 22;
+    const SYS_CLOSE: usize = 57;
+    const SYS_READ: usize = 63;
+    const SYS_WRITE: usize = 64;
+
+    /// aarch64 syscall ABI: nr in x8, args in x0..x5, result in x0.
+    #[inline]
+    unsafe fn syscall6(
+        nr: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "svc 0",
+            in("x8") nr,
+            inlateout("x0") a1 => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x3") a4,
+            in("x4") a5,
+            in("x5") a6,
+            options(nostack),
+        );
+        ret
+    }
+
+    pub unsafe fn epoll_create1() -> isize {
+        syscall6(SYS_EPOLL_CREATE1, super::EPOLL_CLOEXEC, 0, 0, 0, 0, 0)
+    }
+    pub unsafe fn epoll_ctl(epfd: usize, op: usize, fd: usize, ev: usize) -> isize {
+        syscall6(SYS_EPOLL_CTL, epfd, op, fd, ev, 0, 0)
+    }
+    /// aarch64 has no plain `epoll_wait`; `epoll_pwait` with a null
+    /// sigmask is identical.
+    pub unsafe fn epoll_wait(epfd: usize, events: usize, max: usize, timeout_ms: isize) -> isize {
+        syscall6(SYS_EPOLL_PWAIT, epfd, events, max, timeout_ms as usize, 0, 8)
+    }
+    pub unsafe fn eventfd2(initval: usize, flags: usize) -> isize {
+        syscall6(SYS_EVENTFD2, initval, flags, 0, 0, 0, 0)
+    }
+    pub unsafe fn read(fd: usize, buf: usize, len: usize) -> isize {
+        syscall6(SYS_READ, fd, buf, len, 0, 0, 0)
+    }
+    pub unsafe fn write(fd: usize, buf: usize, len: usize) -> isize {
+        syscall6(SYS_WRITE, fd, buf, len, 0, 0, 0)
+    }
+    pub unsafe fn close(fd: usize) -> isize {
+        syscall6(SYS_CLOSE, fd, 0, 0, 0, 0, 0)
+    }
+}
+
+const EINTR: i32 = 4;
+const EAGAIN: i32 = 11;
+
+fn check(ret: isize) -> io::Result<usize> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret as usize)
+    }
+}
+
+/// An epoll instance. All registrations are edge-triggered with both
+/// read and write interest plus peer-hangup: the loop re-arms nothing,
+/// it just consumes state changes.
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    pub fn new() -> io::Result<Poller> {
+        let epfd = check(unsafe { sys::epoll_create1() })? as RawFd;
+        Ok(Poller { epfd })
+    }
+
+    /// Register `fd` under `token` with edge-triggered read+write+hangup
+    /// interest.
+    pub fn add(&self, fd: RawFd, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET, token)
+    }
+
+    /// Register `fd` read-only, level-triggered (the listener: one
+    /// accept sweep per wakeup, no write side).
+    pub fn add_read_level(&self, fd: RawFd, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, EPOLLIN, token)
+    }
+
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    fn ctl(&self, op: usize, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let ev = EpollEvent { events, data: token };
+        check(unsafe {
+            sys::epoll_ctl(self.epfd as usize, op, fd as usize, &ev as *const EpollEvent as usize)
+        })?;
+        Ok(())
+    }
+
+    /// Park until readiness (or `timeout_ms`; -1 = forever). Fills
+    /// `events` and returns how many fired. A signal interruption
+    /// reports as zero events, not an error.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let ret = unsafe {
+            sys::epoll_wait(
+                self.epfd as usize,
+                events.as_mut_ptr() as usize,
+                events.len(),
+                timeout_ms as isize,
+            )
+        };
+        match check(ret) {
+            Ok(n) => Ok(n),
+            Err(e) if e.raw_os_error() == Some(EINTR) => Ok(0),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.epfd as usize) };
+    }
+}
+
+// The poller is only ever *used* by the event-loop thread, but worker
+// threads hold it inside the shared I/O state; epoll fds are safe to
+// share.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+/// Cross-thread wakeup for the event loop: an eventfd registered with
+/// the poller. Workers call [`Waker::wake`] after posting a completion;
+/// the loop calls [`Waker::drain`] when the token fires.
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    pub fn new() -> io::Result<Waker> {
+        let fd = check(unsafe { sys::eventfd2(0, EFD_CLOEXEC | EFD_NONBLOCK) })? as RawFd;
+        Ok(Waker { fd })
+    }
+
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Post one wakeup. Multiple wakes before the loop runs coalesce in
+    /// the eventfd counter — exactly the semantics completions need.
+    pub fn wake(&self) {
+        let one = 1u64.to_ne_bytes();
+        // An EAGAIN here means the counter is already saturated — the
+        // loop is guaranteed to wake, so dropping the increment is fine.
+        unsafe { sys::write(self.fd as usize, one.as_ptr() as usize, 8) };
+    }
+
+    /// Consume pending wakeups so the edge re-arms.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        loop {
+            let ret = unsafe { sys::read(self.fd as usize, buf.as_mut_ptr() as usize, 8) };
+            if ret < 0 {
+                let errno = -ret as i32;
+                if errno == EINTR {
+                    continue;
+                }
+                debug_assert_eq!(errno, EAGAIN, "eventfd read failed with errno {errno}");
+                return;
+            }
+            // EFD_NONBLOCK + counter semantics: one successful read
+            // empties the counter.
+            return;
+        }
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.fd as usize) };
+    }
+}
+
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn waker_wakes_and_coalesces() {
+        let poller = Poller::new().unwrap();
+        let waker = Waker::new().unwrap();
+        poller.add_read_level(waker.fd(), 7).unwrap();
+
+        // nothing pending: a zero timeout reports no events
+        let mut events = [EpollEvent::default(); 8];
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0);
+
+        // several wakes coalesce into one readiness report
+        waker.wake();
+        waker.wake();
+        waker.wake();
+        let n = poller.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let token = events[0].data; // copy out: the struct may be packed
+        assert_eq!(token, 7);
+        waker.drain();
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0, "drained waker re-arms");
+    }
+
+    #[test]
+    fn edge_triggered_socket_readiness() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(server_side.as_raw_fd(), 42).unwrap();
+
+        // a fresh socket is immediately writable (edge on registration)
+        let mut events = [EpollEvent::default(); 8];
+        let n = poller.wait(&mut events, 1000).unwrap();
+        assert!(n >= 1);
+        let token = events[0].data; // copy out: the struct may be packed
+        assert_eq!(token, 42);
+        assert_ne!(events[0].events & EPOLLOUT, 0);
+
+        // bytes from the peer raise a readable edge
+        client.write_all(b"ping").unwrap();
+        let n = poller.wait(&mut events, 1000).unwrap();
+        assert!(n >= 1);
+        assert!((0..n).any(|i| events[i].data == 42 && events[i].events & EPOLLIN != 0));
+
+        // edge-triggered: without consuming the bytes, no further edge
+        // fires for the same readable state... so consume, then expect
+        // quiescence
+        let mut sink = [0u8; 16];
+        let mut srv = &server_side;
+        assert_eq!(srv.read(&mut sink).unwrap(), 4);
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0);
+
+        // peer close raises a hangup edge
+        drop(client);
+        let n = poller.wait(&mut events, 1000).unwrap();
+        assert!(n >= 1);
+        assert!((0..n).any(|i| {
+            events[i].data == 42 && events[i].events & (EPOLLRDHUP | EPOLLHUP | EPOLLIN) != 0
+        }));
+
+        poller.delete(server_side.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn delete_stops_events() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(server_side.as_raw_fd(), 1).unwrap();
+        poller.delete(server_side.as_raw_fd()).unwrap();
+        client.write_all(b"x").unwrap();
+        let mut events = [EpollEvent::default(); 4];
+        assert_eq!(poller.wait(&mut events, 50).unwrap(), 0);
+    }
+}

@@ -3,21 +3,40 @@
 //! ## Architecture
 //!
 //! ```text
-//!              ┌────────────┐   accept    ┌─────────────────┐
-//!   clients ──▶│  listener  │────────────▶│ conn thread × C │
-//!              └────────────┘             └───────┬─────────┘
-//!                                   try_push      │      try_push
-//!                            ┌────────────────────┴─────────────┐
-//!                            ▼ (full → Busy)                    ▼ (full → Busy)
-//!                   ┌────────────────┐                 ┌────────────────┐
-//!                   │  read queue    │                 │  write queue   │
-//!                   └───────┬────────┘                 └───────┬────────┘
-//!                           ▼                                  ▼
-//!                   ┌────────────────┐  publish Arc   ┌────────────────┐
-//!                   │ worker × W     │◀───────────────│ writer thread  │
-//!                   │ (own scratch)  │   (RwLock swap)│ (owns DynBase) │
-//!                   └────────────────┘                └────────────────┘
+//!              ┌────────────┐  epoll (ET)  ┌──────────────────────┐
+//!   clients ──▶│  listener  │─────────────▶│ event loop (1 thread)│
+//!              └────────────┘   nonblock   │  C conns × state     │◀─ waker ─┐
+//!                                          └──────────┬───────────┘          │
+//!                                     try_push        │       try_push       │
+//!                            ┌─────────────────────────┴────────────┐        │
+//!                            ▼ (full → Busy inline)                 ▼        │
+//!                   ┌────────────────┐                 ┌────────────────┐    │
+//!                   │  read queue    │                 │  write queue   │    │
+//!                   └───────┬────────┘                 └───────┬────────┘    │
+//!                           ▼ pop_batch (coalesce)             ▼             │
+//!                   ┌────────────────┐  publish Arc   ┌────────────────┐     │
+//!                   │ worker × W     │◀───────────────│ writer thread  │     │
+//!                   │ (own scratch)  │   (RwLock swap)│ (owns DynBase) │     │
+//!                   └───────┬────────┘                └───────┬────────┘     │
+//!                           └────────── completions ──────────┴──────────────┘
 //! ```
+//!
+//! **Readiness-driven I/O (Linux).** One event-loop thread owns every
+//! connection: an edge-triggered epoll poller (raw syscalls, no libc —
+//! see [`crate::poll`]) reports readiness, and the loop reads each
+//! ready socket to `WouldBlock` into a per-connection arena, peels off
+//! complete frames ([`crate::conn`]), and submits them to the worker
+//! queues without ever blocking. Workers reply by encoding into pooled
+//! buffers, posting them on a completion list, and waking the loop
+//! through an eventfd; the loop matches completions to live connections
+//! by generation-checked tokens and writes them out, resuming partial
+//! writes on the next `EPOLLOUT` edge. Pipelined clients (protocol v5)
+//! keep up to [`ServeConfig::max_in_flight`] requests outstanding per
+//! connection, each tagged with its correlation id, and completions are
+//! delivered in whatever order the workers finish — pre-v5 connections
+//! are implicitly serial (window of 1) so their untagged replies stay
+//! ordered. On non-Linux platforms (or if epoll setup fails) the server
+//! falls back to the previous thread-per-connection loop.
 //!
 //! **Snapshot isolation.** Queries never touch the [`DynamicBase`]: each
 //! worker clones the published `Arc<Snapshot>` (a pointer bump) and runs
@@ -51,7 +70,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-use geosir_core::dynamic::{DynamicBase, GlobalShapeId, QueryExplain, RetrieveStats, Snapshot};
+use geosir_core::dynamic::{DynMatch, DynamicBase, GlobalShapeId, QueryExplain, RetrieveStats, Snapshot};
 use geosir_core::matcher::MatchOutcome;
 use geosir_core::scratch::MatcherScratch;
 use geosir_core::ImageId;
@@ -63,7 +82,7 @@ use geosir_storage::wal::{Lsn, Wal, WalRecord};
 
 use crate::durable::{self, BaseTemplate, DurabilityConfig, RecoveryReport, Recovered};
 use crate::metrics::{Metrics, ReqKind};
-use crate::wire::{error_code, Frame, ServerStats, WireError, WireMatch};
+use crate::wire::{error_code, Frame, ServerStats, WireError, WireMatch, PROTOCOL_VERSION};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -98,6 +117,17 @@ pub struct ServeConfig {
     pub slow_query_log_max_bytes: u64,
     /// Rotated slow-query segments to keep.
     pub slow_query_log_keep: usize,
+    /// Most read-queue jobs a worker coalesces into one pop: queries
+    /// that arrived concurrently run against a single snapshot with one
+    /// warm scratch ([`Snapshot::retrieve_many`]). 1 disables
+    /// coalescing (each job pops alone).
+    pub coalesce_max: usize,
+    /// Most pipelined requests one connection may keep outstanding
+    /// before the event loop stops draining its receive buffer. Bounds
+    /// per-connection memory under a firehose client. Pre-v5
+    /// connections are always capped at 1 (their replies carry no
+    /// correlation id, so they must stay ordered).
+    pub max_in_flight: u32,
 }
 
 impl Default for ServeConfig {
@@ -113,6 +143,8 @@ impl Default for ServeConfig {
             slow_query_us: 10_000,
             slow_query_log_max_bytes: 1 << 20,
             slow_query_log_keep: 4,
+            coalesce_max: 16,
+            max_in_flight: 128,
         }
     }
 }
@@ -278,6 +310,34 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Blocking pop of at least one item, then up to `max - 1` more
+    /// that are already queued — no waiting for stragglers. Appends to
+    /// `out` and returns `true`, or returns `false` once the queue is
+    /// closed and empty. This is the coalescing pop: everything that
+    /// arrived while the worker was busy drains in one lock acquisition
+    /// and runs against one snapshot.
+    fn pop_batch(&self, max: usize, out: &mut Vec<T>) -> bool {
+        let max = max.max(1);
+        let mut st = self.inner.lock().unwrap();
+        loop {
+            if !st.items.is_empty() {
+                let take = max.min(st.items.len());
+                out.extend(st.items.drain(..take));
+                let depth = st.items.len();
+                drop(st);
+                for _ in 0..take {
+                    self.drain.note_drained();
+                }
+                self.set_gauge(depth);
+                return true;
+            }
+            if st.closed {
+                return false;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
     /// Non-blocking pop (used by the writer to batch).
     fn try_pop(&self) -> Option<T> {
         let mut st = self.inner.lock().unwrap();
@@ -307,11 +367,43 @@ impl<T> BoundedQueue<T> {
     }
 }
 
-/// One admitted request: the decoded frame plus the channel the owning
-/// connection thread waits on.
+/// Where a finished request's reply goes.
+///
+/// The event loop admits requests with `Conn`: the worker encodes the
+/// reply in the request's own protocol version with its correlation id,
+/// posts the bytes on the shared completion list, and wakes the loop,
+/// which routes them to the connection by token (generation-checked —
+/// a completion for a connection that died in the meantime is quietly
+/// recycled). The thread-per-connection fallback path uses `Chan`.
+enum ReplyTo {
+    /// Blocking connection thread waiting on a channel.
+    Chan(mpsc::Sender<Frame>),
+    /// Event-loop connection: post encoded bytes + wake the poller.
+    #[cfg(target_os = "linux")]
+    Conn { io: Arc<IoShared>, token: u64, corr: u64, version: u8 },
+}
+
+impl ReplyTo {
+    fn send(&self, frame: Frame) {
+        match self {
+            ReplyTo::Chan(tx) => {
+                let _ = tx.send(frame);
+            }
+            #[cfg(target_os = "linux")]
+            ReplyTo::Conn { io, token, corr, version } => {
+                let mut buf = io.pool.lock().unwrap().pop().unwrap_or_default();
+                frame.encode_versioned(*version, *corr, &mut buf);
+                io.completions.lock().unwrap().push((*token, buf));
+                io.waker.wake();
+            }
+        }
+    }
+}
+
+/// One admitted request: the decoded frame plus where its reply goes.
 struct Job {
     frame: Frame,
-    reply: mpsc::Sender<Frame>,
+    reply: ReplyTo,
     enqueued: Instant,
 }
 
@@ -619,10 +711,14 @@ fn serve_inner(
         install_panic_flight_dump();
     }
 
-    let mut threads = Vec::new();
+    // Workers and the writer produce reply completions; the serve path
+    // spawned below consumes them, so it must know when the last one
+    // has been posted — the event loop gets that signal from a reaper
+    // thread that joins exactly this set.
+    let mut core = Vec::new();
     for i in 0..workers {
         let shared = shared.clone();
-        threads.push(
+        core.push(
             std::thread::Builder::new()
                 .name(format!("geosir-worker-{i}"))
                 .spawn(move || worker_loop(i, &shared))?,
@@ -631,12 +727,13 @@ fn serve_inner(
     {
         let shared = shared.clone();
         let ctx = WriterCtx { next_id, dedup_order: dedup.keys().copied().collect(), dedup };
-        threads.push(
+        core.push(
             std::thread::Builder::new()
                 .name("geosir-writer".into())
                 .spawn(move || writer_loop(base, ctx, &shared))?,
         );
     }
+    let mut threads = Vec::new();
     if shared.durable.is_some() {
         let shared = shared.clone();
         threads.push(
@@ -645,14 +742,7 @@ fn serve_inner(
                 .spawn(move || checkpointer_loop(&shared))?,
         );
     }
-    {
-        let shared = shared.clone();
-        threads.push(
-            std::thread::Builder::new()
-                .name("geosir-listener".into())
-                .spawn(move || listener_loop(listener, &shared))?,
-        );
-    }
+    threads.extend(spawn_serve_path(listener, core, &shared)?);
     if let Some(maddr) = &cfg.metrics_addr {
         let expo = TcpListener::bind(maddr.as_str())?;
         *shared.metrics_addr.lock().unwrap() = Some(expo.local_addr()?);
@@ -834,6 +924,423 @@ fn metrics_loop(listener: TcpListener, shared: &Arc<Shared>) {
     }
 }
 
+/// Spawn the I/O side of the server. On Linux this is the epoll event
+/// loop plus a reaper thread that joins the worker/writer set and then
+/// tells the loop no further completions can arrive; if the poller
+/// cannot be created (exotic kernel, fd exhaustion) the thread-per-
+/// connection path takes over at runtime.
+#[cfg(target_os = "linux")]
+fn spawn_serve_path(
+    listener: TcpListener,
+    core: Vec<std::thread::JoinHandle<()>>,
+    shared: &Arc<Shared>,
+) -> std::io::Result<Vec<std::thread::JoinHandle<()>>> {
+    let io = match IoShared::new() {
+        Ok(io) => Arc::new(io),
+        Err(_) => return spawn_threaded_path(listener, core, shared),
+    };
+    let mut threads = Vec::new();
+    let io2 = io.clone();
+    threads.push(
+        std::thread::Builder::new().name("geosir-reaper".into()).spawn(move || {
+            for t in core {
+                let _ = t.join();
+            }
+            io2.io_exit.store(true, Ordering::SeqCst);
+            io2.waker.wake();
+        })?,
+    );
+    let shared = shared.clone();
+    threads.push(
+        std::thread::Builder::new()
+            .name("geosir-io".into())
+            .spawn(move || io_loop(listener, io, &shared))?,
+    );
+    Ok(threads)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn spawn_serve_path(
+    listener: TcpListener,
+    core: Vec<std::thread::JoinHandle<()>>,
+    shared: &Arc<Shared>,
+) -> std::io::Result<Vec<std::thread::JoinHandle<()>>> {
+    spawn_threaded_path(listener, core, shared)
+}
+
+/// Thread-per-connection serve path: the non-Linux default and the
+/// runtime fallback when epoll setup fails.
+fn spawn_threaded_path(
+    listener: TcpListener,
+    mut core: Vec<std::thread::JoinHandle<()>>,
+    shared: &Arc<Shared>,
+) -> std::io::Result<Vec<std::thread::JoinHandle<()>>> {
+    let shared = shared.clone();
+    core.push(
+        std::thread::Builder::new()
+            .name("geosir-listener".into())
+            .spawn(move || listener_loop(listener, &shared))?,
+    );
+    Ok(core)
+}
+
+/// State shared between the event loop and the workers completing its
+/// requests: the poller itself, the eventfd that wakes it, finished
+/// replies, and the recycled encode buffers.
+#[cfg(target_os = "linux")]
+struct IoShared {
+    poller: crate::poll::Poller,
+    waker: crate::poll::Waker,
+    /// Finished replies awaiting delivery: (connection token, bytes).
+    completions: Mutex<Vec<(u64, Vec<u8>)>>,
+    /// Recycled reply buffers (bounded; see [`crate::conn::recycle`]).
+    pool: Mutex<Vec<Vec<u8>>>,
+    /// Set by the reaper once every worker and the writer have exited:
+    /// all completions are posted, the loop flushes and leaves.
+    io_exit: AtomicBool,
+}
+
+#[cfg(target_os = "linux")]
+impl IoShared {
+    fn new() -> std::io::Result<IoShared> {
+        Ok(IoShared {
+            poller: crate::poll::Poller::new()?,
+            waker: crate::poll::Waker::new()?,
+            completions: Mutex::new(Vec::new()),
+            pool: Mutex::new(Vec::new()),
+            io_exit: AtomicBool::new(false),
+        })
+    }
+}
+
+/// The readiness-driven serve path: every connection multiplexed on one
+/// thread, edge-triggered. See the module doc for the full picture.
+#[cfg(target_os = "linux")]
+fn io_loop(listener: TcpListener, io: Arc<IoShared>, shared: &Arc<Shared>) {
+    use crate::conn::{self, Conn, FillOutcome};
+    use crate::poll;
+    use std::os::fd::AsRawFd;
+
+    const LISTENER_TOKEN: u64 = u64::MAX;
+    const WAKER_TOKEN: u64 = u64::MAX - 1;
+    /// How long the exit path keeps flushing unsent replies.
+    const EXIT_GRACE: Duration = Duration::from_millis(250);
+
+    if listener.set_nonblocking(true).is_err()
+        || io.poller.add_read_level(listener.as_raw_fd(), LISTENER_TOKEN).is_err()
+        || io.poller.add_read_level(io.waker.fd(), WAKER_TOKEN).is_err()
+    {
+        shared.metrics.io_errors.inc();
+        return;
+    }
+
+    // Connection slab: tokens are (generation << 32) | slot, so a
+    // completion addressed to a connection that died and whose slot was
+    // reused cannot be misdelivered.
+    let mut slots: Vec<Option<Conn>> = Vec::new();
+    let mut gens: Vec<u32> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+
+    let mut events = vec![poll::EpollEvent::default(); 1024];
+    let mut pool: Vec<Vec<u8>> = Vec::new(); // local recycle staging
+    let mut comps: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut touched: Vec<usize> = Vec::new(); // conns to pump this round
+    let mut dead: Vec<usize> = Vec::new();
+    let mut exit_deadline: Option<Instant> = None;
+
+    loop {
+        let timeout = if exit_deadline.is_some() { 10 } else { -1 };
+        let n = match io.poller.wait(&mut events, timeout) {
+            Ok(n) => n,
+            Err(_) => {
+                shared.metrics.io_errors.inc();
+                break;
+            }
+        };
+        shared.metrics.poll_wakeups.inc();
+        shared.metrics.poll_events.record(n as u64);
+
+        touched.clear();
+        dead.clear();
+        let mut accept_wake = false;
+        for ev in &events[..n] {
+            let token = ev.data;
+            if token == LISTENER_TOKEN {
+                accept_wake = true;
+                continue;
+            }
+            if token == WAKER_TOKEN {
+                io.waker.drain();
+                continue;
+            }
+            let idx = (token & 0xFFFF_FFFF) as usize;
+            let generation = (token >> 32) as u32;
+            if idx >= slots.len() || gens[idx] != generation {
+                continue; // stale event for a recycled slot
+            }
+            let Some(c) = slots[idx].as_mut() else { continue };
+            let flags = ev.events;
+            if flags & (poll::EPOLLERR | poll::EPOLLHUP) != 0 {
+                dead.push(idx);
+                continue;
+            }
+            if flags & poll::EPOLLOUT != 0 && c.want_write && c.flush(&mut pool).is_err() {
+                dead.push(idx);
+                continue;
+            }
+            if flags & (poll::EPOLLIN | poll::EPOLLRDHUP) != 0 {
+                match c.fill() {
+                    FillOutcome::Drained => touched.push(idx),
+                    FillOutcome::Eof => {
+                        // half-close: parse and answer what's buffered,
+                        // deliver outstanding replies, then close
+                        c.read_eof = true;
+                        touched.push(idx);
+                    }
+                    FillOutcome::Err => dead.push(idx),
+                }
+            }
+        }
+
+        // Deliver completions posted by workers. Swap keeps the worker-
+        // facing lock window tiny.
+        {
+            let mut guard = io.completions.lock().unwrap();
+            std::mem::swap(&mut comps, &mut *guard);
+        }
+        for (token, buf) in comps.drain(..) {
+            let idx = (token & 0xFFFF_FFFF) as usize;
+            let generation = (token >> 32) as u32;
+            let live = idx < slots.len()
+                && gens[idx] == generation
+                && slots[idx].is_some()
+                && !dead.contains(&idx);
+            if !live {
+                conn::recycle(buf, &mut pool);
+                continue;
+            }
+            let c = slots[idx].as_mut().unwrap();
+            c.in_flight = c.in_flight.saturating_sub(1);
+            if c.push_reply(buf, &mut pool).is_err() {
+                dead.push(idx);
+            } else {
+                // the freed in-flight slot may unblock buffered frames
+                touched.push(idx);
+            }
+        }
+
+        // Accept sweep (level-triggered: whatever backlog remains fires
+        // the next wait).
+        if accept_wake {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if shared.is_shutdown() {
+                            continue; // the wake-up self-connect, or a late client
+                        }
+                        let _ = stream.set_nodelay(true);
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let idx = free.pop().unwrap_or_else(|| {
+                            slots.push(None);
+                            gens.push(0);
+                            slots.len() - 1
+                        });
+                        let token = ((gens[idx] as u64) << 32) | idx as u64;
+                        if io.poller.add(stream.as_raw_fd(), token).is_err() {
+                            free.push(idx);
+                            continue;
+                        }
+                        slots[idx] = Some(Conn::new(stream));
+                        shared.metrics.conns_open.add(1);
+                        // read anything that raced ahead of registration
+                        let c = slots[idx].as_mut().unwrap();
+                        match c.fill() {
+                            FillOutcome::Drained => touched.push(idx),
+                            FillOutcome::Eof => {
+                                c.read_eof = true;
+                                touched.push(idx);
+                            }
+                            FillOutcome::Err => dead.push(idx),
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) => {
+                        if shared.is_shutdown() {
+                            break;
+                        }
+                        if !is_transient_accept_error(e.kind()) {
+                            shared.metrics.io_errors.inc();
+                            break; // back off; level-trigger retries us
+                        }
+                    }
+                }
+            }
+        }
+
+        // Pump: extract and dispatch buffered frames per touched conn.
+        touched.sort_unstable();
+        touched.dedup();
+        for &idx in touched.iter() {
+            if dead.contains(&idx) {
+                continue;
+            }
+            let Some(c) = slots[idx].as_mut() else { continue };
+            let token = ((gens[idx] as u64) << 32) | idx as u64;
+            if !pump_conn(c, token, shared, &io, &mut pool) {
+                dead.push(idx);
+            }
+        }
+
+        // Close sweep. Cheap path: only conns we touched this round;
+        // full sweep once shutdown or exit is in progress (idle conns
+        // must notice).
+        let shutting = shared.is_shutdown();
+        let exiting = exit_deadline.is_some();
+        let sweep_all = shutting || exiting;
+        let candidates: Vec<usize> = if sweep_all {
+            (0..slots.len()).collect()
+        } else {
+            touched.clone()
+        };
+        for idx in candidates {
+            if dead.contains(&idx) {
+                continue;
+            }
+            let Some(c) = slots[idx].as_mut() else { continue };
+            let drained = c.in_flight == 0 && c.outbox_empty();
+            let done = (c.closing && c.outbox_empty())
+                || (c.read_eof && drained)
+                || (shutting && drained)
+                || (exiting && c.outbox_empty());
+            if done {
+                dead.push(idx);
+            }
+        }
+        for &idx in dead.iter() {
+            if let Some(mut c) = slots[idx].take() {
+                let _ = io.poller.delete(c.stream.as_raw_fd());
+                c.recycle_outbox(&mut pool);
+                gens[idx] = gens[idx].wrapping_add(1);
+                free.push(idx);
+                shared.metrics.conns_open.add(-1);
+            }
+        }
+
+        // Hand recycled buffers back to the workers' pool.
+        if !pool.is_empty() {
+            let mut sp = io.pool.lock().unwrap();
+            sp.append(&mut pool);
+            sp.truncate(256);
+        }
+
+        // Exit: the reaper saw every worker and the writer out, so all
+        // completions are posted. Flush what remains, briefly.
+        if io.io_exit.load(Ordering::SeqCst) {
+            let deadline = *exit_deadline.get_or_insert_with(|| Instant::now() + EXIT_GRACE);
+            let unflushed = slots.iter().flatten().any(|c| !c.outbox_empty());
+            if !unflushed || Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Extract every complete frame the connection's pipelining window
+/// allows and dispatch it; returns `false` when the connection must
+/// close (write failure). Inline refusals (Busy, shutdown, unexpected
+/// frame) are answered directly from the loop; admitted requests bump
+/// `in_flight` and are answered by worker completions.
+#[cfg(target_os = "linux")]
+fn pump_conn(
+    c: &mut crate::conn::Conn,
+    token: u64,
+    shared: &Arc<Shared>,
+    io: &Arc<IoShared>,
+    pool: &mut Vec<Vec<u8>>,
+) -> bool {
+    loop {
+        if c.closing {
+            return true;
+        }
+        let cap = if c.serial { 1 } else { shared.cfg.max_in_flight.max(1) };
+        if c.in_flight >= cap {
+            return true; // resumes when a completion frees the window
+        }
+        let (frame, corr, version) = match c.recv.next_frame() {
+            Ok(Some(f)) => f,
+            Ok(None) => return true,
+            Err(e) => {
+                // protocol violation: answer once, then hang up
+                shared.metrics.protocol_errors.inc();
+                let ok = inline_reply(
+                    c,
+                    Frame::Error { code: error_code::MALFORMED, message: e.to_string() },
+                    PROTOCOL_VERSION,
+                    0,
+                    pool,
+                );
+                c.closing = true;
+                return ok;
+            }
+        };
+        // pre-v5 replies carry no correlation id: the connection must
+        // stay strictly serial so they arrive in request order
+        c.serial = version < 5;
+        let reply_to = ReplyTo::Conn { io: io.clone(), token, corr, version };
+        let outcome = match frame {
+            Frame::Query { .. }
+            | Frame::Explain { .. }
+            | Frame::QueryBatch { .. }
+            | Frame::Stats
+            | Frame::MetricsDump => submit(
+                &shared.read_queue,
+                shared,
+                Job { frame, reply: reply_to, enqueued: Instant::now() },
+            ),
+            Frame::Insert { .. } | Frame::Delete { .. } => submit(
+                &shared.write_queue,
+                shared,
+                Job { frame, reply: reply_to, enqueued: Instant::now() },
+            ),
+            Frame::Shutdown => {
+                shared.begin_shutdown();
+                let ok = inline_reply(c, Frame::Bye, version, corr, pool);
+                c.closing = true;
+                return ok;
+            }
+            _ => Err(Frame::Error {
+                code: error_code::UNEXPECTED_FRAME,
+                message: "response frame sent as request".into(),
+            }),
+        };
+        match outcome {
+            Ok(()) => c.in_flight += 1,
+            Err(immediate) => {
+                if !inline_reply(c, immediate, version, corr, pool) {
+                    return false;
+                }
+            }
+        }
+    }
+}
+
+/// Encode a loop-side reply (refusal, Bye, protocol error) in the
+/// request's own version and queue it on the connection.
+#[cfg(target_os = "linux")]
+fn inline_reply(
+    c: &mut crate::conn::Conn,
+    frame: Frame,
+    version: u8,
+    corr: u64,
+    pool: &mut Vec<Vec<u8>>,
+) -> bool {
+    let mut buf = pool.pop().unwrap_or_default();
+    frame.encode_versioned(version, corr, &mut buf);
+    c.push_reply(buf, pool).is_ok()
+}
+
 fn listener_loop(listener: TcpListener, shared: &Arc<Shared>) {
     let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
     loop {
@@ -941,12 +1448,12 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
             | Frame::Stats | Frame::MetricsDump => submit(
                 &shared.read_queue,
                 shared,
-                Job { frame, reply: reply_tx.clone(), enqueued: Instant::now() },
+                Job { frame, reply: ReplyTo::Chan(reply_tx.clone()), enqueued: Instant::now() },
             ),
             Frame::Insert { .. } | Frame::Delete { .. } => submit(
                 &shared.write_queue,
                 shared,
-                Job { frame, reply: reply_tx.clone(), enqueued: Instant::now() },
+                Job { frame, reply: ReplyTo::Chan(reply_tx.clone()), enqueued: Instant::now() },
             ),
             Frame::Shutdown => {
                 shared.begin_shutdown();
@@ -993,9 +1500,148 @@ fn worker_loop(worker: usize, shared: &Arc<Shared>) {
     // With a slow-query log configured, every query runs with explain
     // capture on — the report must already exist by the time the query
     // turns out to be slow. Without one, queries take the plain
-    // zero-capture path.
+    // zero-capture path. Capture also disables coalescing: each query
+    // needs its own timed EXPLAIN run.
     let capture = shared.slow_log.is_some();
-    while let Some(job) = shared.read_queue.pop() {
+    let coalesce = if capture { 1 } else { shared.cfg.coalesce_max.max(1) };
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut run_out: Vec<Vec<DynMatch>> = Vec::new();
+    let mut run_stats: Vec<RetrieveStats> = Vec::new();
+    loop {
+        jobs.clear();
+        if !shared.read_queue.pop_batch(coalesce, &mut jobs) {
+            break;
+        }
+        shared.metrics.coalesced_batch.record(jobs.len() as u64);
+        // Runs of plain Query jobs that arrived together execute as one
+        // coalesced retrieval against a single snapshot; everything
+        // else (Explain, Stats, batches, …) runs job-by-job.
+        let mut i = 0;
+        while i < jobs.len() {
+            let mut j = i;
+            while j < jobs.len() && matches!(jobs[j].frame, Frame::Query { .. }) {
+                j += 1;
+            }
+            if j > i + 1 {
+                run_query_run(
+                    shared,
+                    &jobs[i..j],
+                    &mut scratch,
+                    &mut tmp,
+                    &mut run_out,
+                    &mut run_stats,
+                    &busy_us,
+                );
+                i = j;
+            } else {
+                run_read_job(
+                    shared,
+                    &jobs[i],
+                    &mut scratch,
+                    &mut tmp,
+                    &mut hits,
+                    &mut rstats,
+                    &mut qx,
+                    capture,
+                    &busy_us,
+                );
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Execute a coalesced run of plain `Query` jobs as one retrieval batch
+/// against a single snapshot ([`Snapshot::retrieve_many`]), then fan
+/// the replies — with per-query trace events and flight records — back
+/// out to their connections.
+#[allow(clippy::too_many_arguments)]
+fn run_query_run(
+    shared: &Arc<Shared>,
+    jobs: &[Job],
+    scratch: &mut MatcherScratch,
+    tmp: &mut MatchOutcome,
+    out: &mut Vec<Vec<DynMatch>>,
+    stats: &mut Vec<RetrieveStats>,
+    busy_us: &obs::Counter,
+) {
+    let started = Instant::now();
+    let waits: Vec<u64> = jobs.iter().map(|j| j.enqueued.elapsed().as_micros() as u64).collect();
+    let traces = shared.metrics.registry.traces();
+    let snap = shared.current_snapshot();
+    let polys: Vec<Option<Polyline>> = jobs
+        .iter()
+        .map(|job| match &job.frame {
+            Frame::Query { shape, .. } => shape.to_polyline(),
+            _ => None,
+        })
+        .collect();
+    let mut queries: Vec<(&Polyline, usize)> = Vec::with_capacity(jobs.len());
+    for (job, poly) in jobs.iter().zip(&polys) {
+        if let (Frame::Query { k, .. }, Some(p)) = (&job.frame, poly) {
+            queries.push((p, *k as usize));
+        }
+    }
+    let span = obs::SpanGuard::enter("retrieve");
+    snap.retrieve_many(scratch, tmp, &queries, out, stats);
+    let run_us = span.elapsed_us();
+    drop(span);
+    // the run executed as one unit; attribute an equal share to each
+    let per_query_us = run_us / queries.len().max(1) as u64;
+    let mut ri = 0;
+    for ((job, poly), queue_wait_us) in jobs.iter().zip(&polys).zip(waits) {
+        let Frame::Query { trace, .. } = &job.frame else { continue };
+        let reply = match poly {
+            Some(_) => {
+                shared.metrics.queries.inc();
+                let hits = &out[ri];
+                let rs = &stats[ri];
+                ri += 1;
+                let trace_id = if *trace != 0 { *trace } else { traces.assign_id() };
+                let mut ev = obs::TraceEvent::new(trace_id, "query");
+                ev.total_us = queue_wait_us + per_query_us;
+                ev.stage("queue_wait", queue_wait_us)
+                    .stage("retrieve", per_query_us)
+                    .note("epoch", snap.epoch())
+                    .note("rings", rs.rings)
+                    .note("candidates", rs.vertices_reported)
+                    .note("scored", rs.candidates_scored)
+                    .note("coalesced", jobs.len() as u64)
+                    .note("hits", hits.len() as u64);
+                traces.push(ev);
+                shared.record_flight(
+                    trace_id,
+                    obs::flight::KIND_QUERY,
+                    queue_wait_us + per_query_us,
+                    queue_wait_us,
+                    snap.epoch(),
+                    rs,
+                );
+                Frame::Matches { epoch: snap.epoch(), matches: to_wire(hits) }
+            }
+            None => bad_shape(),
+        };
+        shared.metrics.requests.inc();
+        shared.metrics.latency(ReqKind::Query).record(job.enqueued.elapsed().as_micros() as u64);
+        job.reply.send(reply);
+    }
+    busy_us.add(started.elapsed().as_micros() as u64);
+}
+
+/// Execute one read-queue job (the non-coalesced path) and reply.
+#[allow(clippy::too_many_arguments)]
+fn run_read_job(
+    shared: &Arc<Shared>,
+    job: &Job,
+    scratch: &mut MatcherScratch,
+    tmp: &mut MatchOutcome,
+    hits: &mut Vec<DynMatch>,
+    rstats: &mut RetrieveStats,
+    qx: &mut QueryExplain,
+    capture: bool,
+    busy_us: &obs::Counter,
+) {
+    {
         let queue_wait_us = job.enqueued.elapsed().as_micros() as u64;
         let started = Instant::now();
         let traces = shared.metrics.registry.traces();
@@ -1006,24 +1652,9 @@ fn worker_loop(worker: usize, shared: &Arc<Shared>) {
                     let snap = shared.current_snapshot();
                     let span = obs::SpanGuard::enter("retrieve");
                     if capture {
-                        snap.explain_with_stats(
-                            &mut scratch,
-                            &mut tmp,
-                            &query,
-                            *k as usize,
-                            &mut hits,
-                            &mut rstats,
-                            &mut qx,
-                        );
+                        snap.explain_with_stats(scratch, tmp, &query, *k as usize, hits, rstats, qx);
                     } else {
-                        snap.retrieve_with_stats(
-                            &mut scratch,
-                            &mut tmp,
-                            &query,
-                            *k as usize,
-                            &mut hits,
-                            &mut rstats,
-                        );
+                        snap.retrieve_with_stats(scratch, tmp, &query, *k as usize, hits, rstats);
                     }
                     let retrieve_us = span.elapsed_us();
                     drop(span);
@@ -1049,7 +1680,7 @@ fn worker_loop(worker: usize, shared: &Arc<Shared>) {
                             queue_wait_us,
                             snap.epoch(),
                             hits.len(),
-                            &qx,
+                            qx,
                         );
                     }
                     shared.record_flight(
@@ -1058,9 +1689,9 @@ fn worker_loop(worker: usize, shared: &Arc<Shared>) {
                         total_us,
                         queue_wait_us,
                         snap.epoch(),
-                        &rstats,
+                        rstats,
                     );
-                    Frame::Matches { epoch: snap.epoch(), matches: to_wire(&hits) }
+                    Frame::Matches { epoch: snap.epoch(), matches: to_wire(hits) }
                 }
                 None => bad_shape(),
             },
@@ -1069,15 +1700,7 @@ fn worker_loop(worker: usize, shared: &Arc<Shared>) {
                     shared.metrics.explains.inc();
                     let snap = shared.current_snapshot();
                     let span = obs::SpanGuard::enter("retrieve");
-                    snap.explain_with_stats(
-                        &mut scratch,
-                        &mut tmp,
-                        &query,
-                        *k as usize,
-                        &mut hits,
-                        &mut rstats,
-                        &mut qx,
-                    );
+                    snap.explain_with_stats(scratch, tmp, &query, *k as usize, hits, rstats, qx);
                     let retrieve_us = span.elapsed_us();
                     drop(span);
                     let trace_id = if *trace != 0 { *trace } else { traces.assign_id() };
@@ -1098,7 +1721,7 @@ fn worker_loop(worker: usize, shared: &Arc<Shared>) {
                             queue_wait_us,
                             snap.epoch(),
                             hits.len(),
-                            &qx,
+                            qx,
                         );
                     }
                     shared.record_flight(
@@ -1107,14 +1730,14 @@ fn worker_loop(worker: usize, shared: &Arc<Shared>) {
                         total_us,
                         queue_wait_us,
                         snap.epoch(),
-                        &rstats,
+                        rstats,
                     );
                     Frame::ExplainReport {
                         epoch: snap.epoch(),
                         trace: trace_id,
                         total_us,
                         queue_us: queue_wait_us,
-                        matches: to_wire(&hits),
+                        matches: to_wire(hits),
                         report: qx.clone(),
                     }
                 }
@@ -1128,14 +1751,8 @@ fn worker_loop(worker: usize, shared: &Arc<Shared>) {
                     match shape.to_polyline() {
                         Some(query) => {
                             shared.metrics.queries.inc();
-                            snap.retrieve_with(
-                                &mut scratch,
-                                &mut tmp,
-                                &query,
-                                *k as usize,
-                                &mut hits,
-                            );
-                            results.push(to_wire(&hits));
+                            snap.retrieve_with(scratch, tmp, &query, *k as usize, hits);
+                            results.push(to_wire(hits));
                         }
                         None => results.push(Vec::new()),
                     }
@@ -1176,7 +1793,7 @@ fn worker_loop(worker: usize, shared: &Arc<Shared>) {
         shared.metrics.requests.inc();
         shared.metrics.latency(kind).record(job.enqueued.elapsed().as_micros() as u64);
         busy_us.add(started.elapsed().as_micros() as u64);
-        let _ = job.reply.send(reply);
+        job.reply.send(reply);
     }
 }
 
@@ -1458,7 +2075,7 @@ fn writer_loop(mut base: DynamicBase, mut ctx: WriterCtx, shared: &Arc<Shared>) 
                 epoch: base.epoch(),
                 ..Default::default()
             });
-            let _ = job.reply.send(reply);
+            job.reply.send(reply);
         }
     }
     // graceful shutdown: force the tail to disk whatever the policy

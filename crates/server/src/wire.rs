@@ -5,12 +5,24 @@
 //! metadata. Every frame travels as
 //!
 //! ```text
-//! version   u8   (PROTOCOL_VERSION)
+//! version   u8   (MIN_VERSION ..= PROTOCOL_VERSION)
 //! type      u8   frame discriminant
 //! length    u32  payload byte count (≤ MAX_PAYLOAD)
-//! payload   length bytes
-//! checksum  u32  FNV-1a over version, type, length, payload
+//! corr      u64  correlation id — v5 frames only (see below)
+//! payload   length bytes (layout gated on `version`)
+//! checksum  u32  FNV-1a over every preceding byte of the frame
 //! ```
+//!
+//! The server accepts every protocol version it ever spoke (v1–v5) and
+//! answers each frame in the version it arrived in; payload layouts that
+//! changed across versions decode through per-version gates below. The
+//! `corr` field is the pipelining handle: a v5 client stamps each request
+//! with a client-minted correlation id (by convention its trace id) and the
+//! server echoes it verbatim on the matching response, so many requests can
+//! be in flight on one connection and responses may complete out of order.
+//! v1–v4 frames have no `corr`; connections speaking them are implicitly
+//! serial (one in-flight request), which is exactly how those clients
+//! always behaved.
 //!
 //! The checksum closes the gap TCP's checksum leaves open (stack bugs,
 //! proxies, in-flight truncation at process kill): a reader either gets a
@@ -26,7 +38,8 @@ use geosir_core::matcher::{RingExplain, Termination};
 use geosir_geom::Polyline;
 use std::io::{Read, Write};
 
-/// Protocol version this build speaks. A mismatched peer gets
+/// Newest protocol version this build speaks. Versions [`MIN_VERSION`]
+/// through this one are accepted; anything newer gets
 /// [`WireError::BadVersion`] instead of a garbled decode.
 ///
 /// v2: `Insert` carries a client idempotency key, `Busy` carries a
@@ -42,7 +55,15 @@ use std::io::{Read, Write};
 /// answers with `ExplainReport` — the matches plus the full
 /// [`QueryExplain`] (EXPLAIN ANALYZE for the §2.5 fattening loop) and
 /// server-side timings.
-pub const PROTOCOL_VERSION: u8 = 4;
+///
+/// v5: every frame carries a `corr` correlation id between header and
+/// payload, echoed by the server on the response — the handle that makes
+/// the protocol pipelined (many in-flight frames per connection,
+/// out-of-order completion). Payload layouts are unchanged from v4.
+pub const PROTOCOL_VERSION: u8 = 5;
+
+/// Oldest protocol version still accepted on the wire.
+pub const MIN_VERSION: u8 = 1;
 
 /// Ceiling on a frame's payload size. A length prefix above this is
 /// rejected *before* any allocation, so a hostile 4 GiB prefix cannot OOM
@@ -51,6 +72,9 @@ pub const MAX_PAYLOAD: usize = 16 << 20;
 
 /// Frame header bytes preceding the payload (version, type, length).
 pub const HEADER_LEN: usize = 6;
+
+/// Correlation-id bytes between header and payload (v5 frames only).
+pub const CORR_LEN: usize = 8;
 
 /// Trailing checksum bytes.
 pub const CHECKSUM_LEN: usize = 4;
@@ -245,6 +269,73 @@ mod frame_type {
     pub const ERROR: u8 = 71;
     pub const METRICS_REPORT: u8 = 72;
     pub const EXPLAIN_REPORT: u8 = 73;
+
+    /// Is `t` an assigned discriminant *in protocol version `v`*? Frame
+    /// types introduced later must read as [`super::WireError::BadType`]
+    /// to an older peer, exactly as the older build would have answered.
+    pub fn known_in(v: u8, t: u8) -> bool {
+        match t {
+            QUERY | QUERY_BATCH | INSERT | DELETE | STATS | SHUTDOWN => true,
+            MATCHES | BATCH_MATCHES | INSERTED | DELETED | STATS_REPORT => true,
+            BUSY | BYE | ERROR => true,
+            METRICS_DUMP | METRICS_REPORT => v >= 3,
+            EXPLAIN | EXPLAIN_REPORT => v >= 4,
+            _ => false,
+        }
+    }
+}
+
+/// A validated frame header: the fixed prefix of a frame, decoded without
+/// touching payload bytes. The streaming decoder peeks this first to learn
+/// how many bytes the full frame needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    pub version: u8,
+    pub type_byte: u8,
+    pub payload_len: usize,
+}
+
+impl FrameHeader {
+    /// Bytes of correlation id between header and payload (v5: 8, else 0).
+    #[inline]
+    pub fn corr_len(&self) -> usize {
+        if self.version >= 5 {
+            CORR_LEN
+        } else {
+            0
+        }
+    }
+
+    /// Total frame size on the wire, header through checksum.
+    #[inline]
+    pub fn frame_len(&self) -> usize {
+        HEADER_LEN + self.corr_len() + self.payload_len + CHECKSUM_LEN
+    }
+}
+
+/// Validate and decode a frame header from the front of `buf`.
+///
+/// `Ok(None)` means "not enough bytes yet" (fewer than [`HEADER_LEN`]) —
+/// keep reading. Errors are terminal for the connection: bad version,
+/// unassigned type for that version, or an oversized length prefix, all
+/// detected *before* buffering or allocating for the payload.
+pub fn peek_header(buf: &[u8]) -> Result<Option<FrameHeader>, WireError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let version = buf[0];
+    if !(MIN_VERSION..=PROTOCOL_VERSION).contains(&version) {
+        return Err(WireError::BadVersion(version));
+    }
+    let type_byte = buf[1];
+    if !frame_type::known_in(version, type_byte) {
+        return Err(WireError::BadType(type_byte));
+    }
+    let len = u32::from_le_bytes(buf[2..6].try_into().unwrap());
+    if len as usize > MAX_PAYLOAD {
+        return Err(WireError::Oversized(len));
+    }
+    Ok(Some(FrameHeader { version, type_byte, payload_len: len as usize }))
 }
 
 /// Decode / transport failures. Every variant leaves the connection in a
@@ -252,7 +343,7 @@ mod frame_type {
 #[derive(Debug)]
 pub enum WireError {
     Io(std::io::Error),
-    /// First header byte is not [`PROTOCOL_VERSION`].
+    /// First header byte is outside [`MIN_VERSION`]..=[`PROTOCOL_VERSION`].
     BadVersion(u8),
     /// Unknown frame discriminant.
     BadType(u8),
@@ -272,7 +363,7 @@ impl std::fmt::Display for WireError {
         match self {
             WireError::Io(e) => write!(f, "i/o: {e}"),
             WireError::BadVersion(v) => {
-                write!(f, "bad protocol version {v} (want {PROTOCOL_VERSION})")
+                write!(f, "bad protocol version {v} (want {MIN_VERSION}..={PROTOCOL_VERSION})")
             }
             WireError::BadType(t) => write!(f, "unknown frame type {t}"),
             WireError::Oversized(n) => {
@@ -494,11 +585,17 @@ impl Frame {
         }
     }
 
-    fn encode_payload(&self, out: &mut Vec<u8>) {
+    /// Encode the payload in `version`'s layout. Fields a version predates
+    /// are dropped (an old peer could never have seen them); callers only
+    /// pass frame types the version knows ([`frame_type::known_in`]).
+    fn encode_payload(&self, version: u8, out: &mut Vec<u8>) {
+        debug_assert!(frame_type::known_in(version, self.type_byte()));
         match self {
             Frame::Query { k, trace, shape } | Frame::Explain { k, trace, shape } => {
                 out.put_u32_le(*k);
-                out.put_u64_le(*trace);
+                if version >= 3 {
+                    out.put_u64_le(*trace);
+                }
                 put_shape(out, shape);
             }
             Frame::QueryBatch { k, shapes } => {
@@ -510,12 +607,21 @@ impl Frame {
             }
             Frame::Insert { image, key, trace, shape } => {
                 out.put_u32_le(*image);
-                out.put_u64_le(*key);
-                out.put_u64_le(*trace);
+                if version >= 2 {
+                    out.put_u64_le(*key);
+                }
+                if version >= 3 {
+                    out.put_u64_le(*trace);
+                }
                 put_shape(out, shape);
             }
             Frame::Delete { id } => out.put_u64_le(*id),
-            Frame::Busy { retry_after_ms } => out.put_u32_le(*retry_after_ms),
+            Frame::Busy { retry_after_ms } => {
+                // v1 Busy had no hint payload
+                if version >= 2 {
+                    out.put_u32_le(*retry_after_ms);
+                }
+            }
             Frame::Stats | Frame::MetricsDump | Frame::Shutdown | Frame::Bye => {}
             Frame::MetricsReport { snapshot } => {
                 out.put_u32_le(snapshot.len() as u32);
@@ -549,7 +655,7 @@ impl Frame {
                 out.put_u8(*existed as u8);
             }
             Frame::StatsReport(s) => {
-                for v in [
+                let words = [
                     s.epoch,
                     s.live_shapes,
                     s.levels,
@@ -575,8 +681,11 @@ impl Frame {
                     s.checkpoint_failures,
                     s.last_recovery_us,
                     s.io_errors,
-                ] {
-                    out.put_u64_le(v);
+                ];
+                // v1 reported only the first 16 counters (through queue_depth)
+                let take = if version >= 2 { words.len() } else { 16 };
+                for v in &words[..take] {
+                    out.put_u64_le(*v);
                 }
             }
             Frame::Error { code, message } => {
@@ -587,15 +696,19 @@ impl Frame {
         }
     }
 
-    fn decode_payload(type_byte: u8, mut buf: &[u8]) -> Result<Frame, WireError> {
+    /// Decode a payload laid out by protocol `version`. Types the version
+    /// does not know were already rejected by [`peek_header`]; fields it
+    /// predates default to 0 (the "absent" value every later layer treats
+    /// as "none").
+    fn decode_payload(version: u8, type_byte: u8, mut buf: &[u8]) -> Result<Frame, WireError> {
         let buf = &mut buf;
         let frame = match type_byte {
             frame_type::QUERY => {
-                if buf.len() < 12 {
+                if buf.len() < if version >= 3 { 12 } else { 4 } {
                     return Err(WireError::Malformed);
                 }
                 let k = buf.get_u32_le();
-                let trace = buf.get_u64_le();
+                let trace = if version >= 3 { buf.get_u64_le() } else { 0 };
                 Frame::Query { k, trace, shape: get_shape(buf)? }
             }
             frame_type::QUERY_BATCH => {
@@ -615,12 +728,13 @@ impl Frame {
                 Frame::QueryBatch { k, shapes }
             }
             frame_type::INSERT => {
-                if buf.len() < 20 {
+                let need = 4 + if version >= 2 { 8 } else { 0 } + if version >= 3 { 8 } else { 0 };
+                if buf.len() < need {
                     return Err(WireError::Malformed);
                 }
                 let image = buf.get_u32_le();
-                let key = buf.get_u64_le();
-                let trace = buf.get_u64_le();
+                let key = if version >= 2 { buf.get_u64_le() } else { 0 };
+                let trace = if version >= 3 { buf.get_u64_le() } else { 0 };
                 Frame::Insert { image, key, trace, shape: get_shape(buf)? }
             }
             frame_type::DELETE => {
@@ -693,11 +807,12 @@ impl Frame {
                 Frame::Deleted { epoch, existed }
             }
             frame_type::STATS_REPORT => {
-                if buf.len() < 25 * 8 {
+                let words = if version >= 2 { 25 } else { 16 };
+                if buf.len() < words * 8 {
                     return Err(WireError::Malformed);
                 }
                 let mut v = [0u64; 25];
-                for slot in &mut v {
+                for slot in v.iter_mut().take(words) {
                     *slot = buf.get_u64_le();
                 }
                 Frame::StatsReport(ServerStats {
@@ -729,10 +844,15 @@ impl Frame {
                 })
             }
             frame_type::BUSY => {
-                if buf.len() < 4 {
-                    return Err(WireError::Malformed);
+                if version < 2 {
+                    // v1 Busy: no payload, no hint
+                    Frame::Busy { retry_after_ms: 0 }
+                } else {
+                    if buf.len() < 4 {
+                        return Err(WireError::Malformed);
+                    }
+                    Frame::Busy { retry_after_ms: buf.get_u32_le() }
                 }
-                Frame::Busy { retry_after_ms: buf.get_u32_le() }
             }
             frame_type::BYE => Frame::Bye,
             frame_type::METRICS_REPORT => {
@@ -770,14 +890,29 @@ impl Frame {
         Ok(frame)
     }
 
-    /// Append the complete framed encoding (header, payload, checksum).
+    /// Append the complete framed encoding (header, payload, checksum) at
+    /// the current protocol version with correlation id 0.
     pub fn encode(&self, out: &mut Vec<u8>) {
+        self.encode_versioned(PROTOCOL_VERSION, 0, out);
+    }
+
+    /// Append the complete framed encoding in `version`'s layout. `corr`
+    /// travels only on v5 frames (older versions have no correlation
+    /// field). `version` must be in [`MIN_VERSION`]..=[`PROTOCOL_VERSION`]
+    /// and must know this frame type — the server always answers in the
+    /// version the request arrived in, which satisfies both by
+    /// construction.
+    pub fn encode_versioned(&self, version: u8, corr: u64, out: &mut Vec<u8>) {
+        debug_assert!((MIN_VERSION..=PROTOCOL_VERSION).contains(&version));
         let header_at = out.len();
-        out.put_u8(PROTOCOL_VERSION);
+        out.put_u8(version);
         out.put_u8(self.type_byte());
         out.put_u32_le(0); // payload length backpatched below
+        if version >= 5 {
+            out.put_u64_le(corr);
+        }
         let payload_at = out.len();
-        self.encode_payload(out);
+        self.encode_payload(version, out);
         let payload_len = (out.len() - payload_at) as u32;
         out[header_at + 2..header_at + HEADER_LEN].copy_from_slice(&payload_len.to_le_bytes());
         let sum = fnv1a(&[&out[header_at..]]);
@@ -787,61 +922,87 @@ impl Frame {
     /// Decode one frame from the start of `buf`; returns the frame and the
     /// total bytes consumed.
     pub fn decode(buf: &[u8]) -> Result<(Frame, usize), WireError> {
-        if buf.len() < HEADER_LEN {
-            return Err(WireError::Io(std::io::ErrorKind::UnexpectedEof.into()));
-        }
-        let version = buf[0];
-        if version != PROTOCOL_VERSION {
-            return Err(WireError::BadVersion(version));
-        }
-        let type_byte = buf[1];
-        let len = u32::from_le_bytes(buf[2..6].try_into().unwrap());
-        if len as usize > MAX_PAYLOAD {
-            return Err(WireError::Oversized(len));
-        }
-        let total = HEADER_LEN + len as usize + CHECKSUM_LEN;
+        Frame::decode_corr(buf).map(|(frame, _, _, used)| (frame, used))
+    }
+
+    /// [`Frame::decode`] with full wire context: the frame, its
+    /// correlation id (0 for pre-v5 frames), the version it arrived in,
+    /// and the bytes consumed. This is the nonblocking decoder's entry
+    /// point: headers are validated before payload bytes are needed, and
+    /// an incomplete buffer reports as a clean `Io(UnexpectedEof)`.
+    pub fn decode_corr(buf: &[u8]) -> Result<(Frame, u64, u8, usize), WireError> {
+        let header = match peek_header(buf)? {
+            Some(h) => h,
+            None => return Err(WireError::Io(std::io::ErrorKind::UnexpectedEof.into())),
+        };
+        let total = header.frame_len();
         if buf.len() < total {
             return Err(WireError::Io(std::io::ErrorKind::UnexpectedEof.into()));
         }
-        let body_end = HEADER_LEN + len as usize;
+        let body_start = HEADER_LEN + header.corr_len();
+        let body_end = body_start + header.payload_len;
         let stored = u32::from_le_bytes(buf[body_end..total].try_into().unwrap());
         if fnv1a(&[&buf[..body_end]]) != stored {
             return Err(WireError::BadChecksum);
         }
-        let frame = Frame::decode_payload(type_byte, &buf[HEADER_LEN..body_end])?;
-        Ok((frame, total))
+        let corr = if header.corr_len() > 0 {
+            u64::from_le_bytes(buf[HEADER_LEN..body_start].try_into().unwrap())
+        } else {
+            0
+        };
+        let frame =
+            Frame::decode_payload(header.version, header.type_byte, &buf[body_start..body_end])?;
+        Ok((frame, corr, header.version, total))
     }
 
-    /// Write the framed encoding to a stream (single `write_all`).
+    /// Write the framed encoding to a stream (single `write_all`) at the
+    /// current version, correlation id 0.
     pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), WireError> {
+        self.write_to_corr(w, 0)
+    }
+
+    /// [`Frame::write_to`] with an explicit correlation id (pipelined
+    /// clients stamp their minted trace id here).
+    pub fn write_to_corr<W: Write>(&self, w: &mut W, corr: u64) -> Result<(), WireError> {
         let mut buf = Vec::with_capacity(64);
-        self.encode(&mut buf);
+        self.encode_versioned(PROTOCOL_VERSION, corr, &mut buf);
         w.write_all(&buf)?;
         Ok(())
     }
 
-    /// Read exactly one frame from a stream.
+    /// Read exactly one frame from a stream (any accepted version).
     ///
-    /// Validates the header (version, type range, length cap) before
-    /// allocating or reading the payload, so a hostile peer cannot force
-    /// an oversized allocation.
+    /// Validates the header (version, type, length cap) before allocating
+    /// or reading the payload, so a hostile peer cannot force an oversized
+    /// allocation.
     pub fn read_from<R: Read>(r: &mut R) -> Result<Frame, WireError> {
-        let mut header = [0u8; HEADER_LEN];
-        r.read_exact(&mut header)?;
-        if header[0] != PROTOCOL_VERSION {
-            return Err(WireError::BadVersion(header[0]));
-        }
-        let len = u32::from_le_bytes(header[2..6].try_into().unwrap());
-        if len as usize > MAX_PAYLOAD {
-            return Err(WireError::Oversized(len));
-        }
-        let mut rest = vec![0u8; len as usize + CHECKSUM_LEN];
+        Frame::read_from_corr(r).map(|(frame, _)| frame)
+    }
+
+    /// [`Frame::read_from`] returning the correlation id as well (0 for
+    /// pre-v5 frames) — the pipelined client's receive path.
+    pub fn read_from_corr<R: Read>(r: &mut R) -> Result<(Frame, u64), WireError> {
+        let mut header_bytes = [0u8; HEADER_LEN];
+        r.read_exact(&mut header_bytes)?;
+        let header = peek_header(&header_bytes)?.expect("full header buffered");
+        let rest_len = header.corr_len() + header.payload_len + CHECKSUM_LEN;
+        let mut rest = vec![0u8; rest_len];
         r.read_exact(&mut rest)?;
-        let body_end = len as usize;
+        let body_end = header.corr_len() + header.payload_len;
         let stored = u32::from_le_bytes(rest[body_end..].try_into().unwrap());
-        if fnv1a(&[&header, &rest[..body_end]]) != stored {
+        if fnv1a(&[&header_bytes, &rest[..body_end]]) != stored {
             return Err(WireError::BadChecksum);
         }
-        Frame::decode_payload(header[1], &rest[..body_end])
+        let corr = if header.corr_len() > 0 {
+            u64::from_le_bytes(rest[..CORR_LEN].try_into().unwrap())
+        } else {
+            0
+        };
+        let frame = Frame::decode_payload(
+            header.version,
+            header.type_byte,
+            &rest[header.corr_len()..body_end],
+        )?;
+        Ok((frame, corr))
     }
 }

@@ -1,0 +1,340 @@
+//! Socket-level tests for the readiness-driven serve path: fragmented
+//! frame delivery (one-byte dribble, many-frames-in-one-write),
+//! pipelining with out-of-order reply matching by correlation id,
+//! cross-version clients against a live server, and the `Busy` hint on
+//! the batch path.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use geosir_core::dynamic::DynamicBase;
+use geosir_core::ids::ImageId;
+use geosir_core::matcher::MatchConfig;
+use geosir_geom::rangesearch::Backend;
+use geosir_geom::{Point, Polyline};
+use geosir_serve::{serve, Client, ClientConfig, PipelinedClient, ServeConfig};
+use geosir_serve::{Frame, WireShape, PROTOCOL_VERSION};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Jittered regular polygon — simple by construction (star-shaped).
+fn polygon(rng: &mut StdRng) -> Polyline {
+    let n = 12;
+    let pts: Vec<Point> = (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64 * std::f64::consts::TAU;
+            let r = rng.random_range(0.6..1.0);
+            Point::new(r * t.cos(), r * t.sin())
+        })
+        .collect();
+    Polyline::closed(pts).expect("star-shaped polygon is simple")
+}
+
+fn base_with(n: usize, buffer_cap: usize, seed: u64) -> (DynamicBase, Vec<Polyline>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shapes: Vec<Polyline> = (0..n).map(|_| polygon(&mut rng)).collect();
+    let mut base = DynamicBase::new(
+        0.0,
+        Backend::RangeTree,
+        MatchConfig { beta: 0.2, ..Default::default() },
+        buffer_cap,
+    );
+    base.bulk_load(shapes.iter().enumerate().map(|(i, s)| (ImageId(i as u32), s.clone())));
+    (base, shapes)
+}
+
+fn poll_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+/// Satellite: a pipelined request stream dribbled one byte at a time
+/// must still be framed correctly — every request gets its reply, in
+/// order, on the same connection.
+#[test]
+fn one_byte_dribble_over_live_socket() {
+    let (base, shapes) = base_with(16, 16, 101);
+    let handle = serve("127.0.0.1:0", base, ServeConfig::default()).unwrap();
+
+    let mut wire = Vec::new();
+    let n = 4usize;
+    for (i, shape) in shapes.iter().take(n).enumerate() {
+        Frame::Query { k: 1, trace: 0, shape: WireShape::from_polyline(shape) }
+            .encode_versioned(PROTOCOL_VERSION, (i + 1) as u64, &mut wire);
+    }
+
+    let mut sock = TcpStream::connect(handle.addr()).unwrap();
+    sock.set_nodelay(true).unwrap();
+    let reader = sock.try_clone().unwrap();
+    let writer = std::thread::spawn(move || {
+        for b in wire {
+            sock.write_all(&[b]).unwrap();
+            // tiny stalls force the server through many partial reads
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        sock
+    });
+
+    let mut reader = reader;
+    let mut seen = vec![false; n];
+    for _ in 0..n {
+        let (frame, corr) = Frame::read_from_corr(&mut reader).unwrap();
+        let i = (corr - 1) as usize;
+        assert!(!std::mem::replace(&mut seen[i], true), "duplicate reply for corr {corr}");
+        match frame {
+            Frame::Matches { matches, .. } => {
+                assert_eq!(matches[0].image, i as u32, "query {i} matched the wrong shape");
+            }
+            other => panic!("expected Matches, got {other:?}"),
+        }
+    }
+    assert!(seen.iter().all(|&s| s), "every dribbled request must be answered");
+    drop(writer.join().unwrap());
+    handle.shutdown();
+    handle.join();
+}
+
+/// Satellite: many frames landing in a single `write` must all be
+/// answered — the server peels every complete frame out of one read.
+#[test]
+fn many_frames_in_one_write_over_live_socket() {
+    let (base, shapes) = base_with(16, 16, 102);
+    let handle = serve("127.0.0.1:0", base, ServeConfig::default()).unwrap();
+
+    let n = 8usize;
+    let mut wire = Vec::new();
+    for (i, shape) in shapes.iter().take(n).enumerate() {
+        Frame::Query { k: 1, trace: 0, shape: WireShape::from_polyline(shape) }
+            .encode_versioned(PROTOCOL_VERSION, (100 + i) as u64, &mut wire);
+    }
+
+    let mut sock = TcpStream::connect(handle.addr()).unwrap();
+    sock.set_nodelay(true).unwrap();
+    sock.write_all(&wire).unwrap();
+
+    let mut seen = vec![false; n];
+    for _ in 0..n {
+        let (frame, corr) = Frame::read_from_corr(&mut sock).unwrap();
+        let i = (corr - 100) as usize;
+        assert!(!std::mem::replace(&mut seen[i], true), "duplicate reply for corr {corr}");
+        match frame {
+            Frame::Matches { matches, .. } => assert_eq!(matches[0].image, i as u32),
+            other => panic!("expected Matches, got {other:?}"),
+        }
+    }
+    assert!(seen.iter().all(|&s| s), "every pipelined request must be answered");
+    handle.shutdown();
+    handle.join();
+}
+
+/// Satellite: N in-flight queries on one connection, collected in
+/// *reverse* submission order — replies are matched purely by
+/// correlation id, so out-of-order completion (multiple workers, no
+/// coalescing) cannot misdeliver.
+#[test]
+fn pipelined_replies_match_corr_ids_out_of_order() {
+    let (base, shapes) = base_with(24, 16, 103);
+    // several workers + no coalescing: jobs scatter and finish in
+    // whatever order the scheduler picks
+    let cfg = ServeConfig { workers: 4, coalesce_max: 1, ..Default::default() };
+    let handle = serve("127.0.0.1:0", base, cfg).unwrap();
+
+    let mut client = PipelinedClient::connect(handle.addr()).unwrap();
+    let depth = 16usize;
+    let mut corrs = Vec::new();
+    for shape in shapes.iter().take(depth) {
+        corrs.push(client.submit_query(shape, 1).unwrap());
+    }
+    assert_eq!(client.in_flight(), depth);
+
+    // collect in reverse submit order: every reply must still be the
+    // one for its id, identified by the query's own top match
+    for (i, corr) in corrs.iter().enumerate().rev() {
+        match client.recv(*corr).unwrap() {
+            Frame::Matches { matches, .. } => {
+                assert_eq!(
+                    matches[0].image, i as u32,
+                    "corr {corr} delivered another query's reply"
+                );
+            }
+            other => panic!("expected Matches, got {other:?}"),
+        }
+    }
+    assert_eq!(client.in_flight(), 0);
+
+    // the coalesced-batch histogram sees singleton pops only
+    let snap = client_metrics(handle.addr());
+    assert!(snap.histogram("geosir_coalesced_batch", &[]).map(|h| h.count()).unwrap_or(0) >= 1);
+    handle.shutdown();
+    handle.join();
+}
+
+/// `recv_any` drains a deep pipeline in completion order without losing
+/// or duplicating replies.
+#[test]
+fn recv_any_accounts_for_every_reply() {
+    let (base, shapes) = base_with(16, 16, 104);
+    let cfg = ServeConfig { workers: 2, ..Default::default() };
+    let handle = serve("127.0.0.1:0", base, cfg).unwrap();
+
+    let mut client = PipelinedClient::connect(handle.addr()).unwrap();
+    let mut expected = std::collections::HashMap::new();
+    for (i, shape) in shapes.iter().enumerate() {
+        expected.insert(client.submit_query(shape, 1).unwrap(), i as u32);
+    }
+    while client.in_flight() > 0 {
+        let (corr, frame) = client.recv_any().unwrap();
+        let want = expected.remove(&corr).expect("unknown or duplicated correlation id");
+        match frame {
+            Frame::Matches { matches, .. } => assert_eq!(matches[0].image, want),
+            other => panic!("expected Matches, got {other:?}"),
+        }
+    }
+    assert!(expected.is_empty());
+    handle.shutdown();
+    handle.join();
+}
+
+/// All prior protocol versions keep working against the live server:
+/// the reply comes back framed in the request's own version.
+#[test]
+fn prior_protocol_versions_are_served() {
+    let (base, shapes) = base_with(8, 8, 105);
+    let handle = serve("127.0.0.1:0", base, ServeConfig::default()).unwrap();
+
+    for version in 1..=PROTOCOL_VERSION {
+        let mut sock = TcpStream::connect(handle.addr()).unwrap();
+        sock.set_nodelay(true).unwrap();
+        let mut wire = Vec::new();
+        Frame::Query { k: 1, trace: 0, shape: WireShape::from_polyline(&shapes[2]) }
+            .encode_versioned(version, 7, &mut wire);
+        sock.write_all(&wire).unwrap();
+        // raw reply bytes: first byte is the protocol version
+        let mut first = [0u8; 1];
+        sock.read_exact(&mut first).unwrap();
+        assert_eq!(first[0], version, "reply must be framed in the request's version");
+        // reparse the whole reply through the standard reader
+        let mut buf = first.to_vec();
+        let mut rest = Vec::new();
+        // one request, one reply, then we close: read to EOF-ish via a
+        // second framed read on the concatenated bytes
+        sock.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        loop {
+            let mut chunk = [0u8; 4096];
+            match sock.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => {
+                    rest.extend_from_slice(&chunk[..n]);
+                    buf.extend_from_slice(&chunk[..n]);
+                    if let Ok((frame, used)) = Frame::decode(&buf) {
+                        assert!(used <= buf.len());
+                        match frame {
+                            Frame::Matches { matches, .. } => {
+                                assert_eq!(matches[0].image, 2);
+                            }
+                            other => panic!("v{version}: expected Matches, got {other:?}"),
+                        }
+                        break;
+                    }
+                }
+                Err(e) => panic!("v{version}: read failed: {e}"),
+            }
+        }
+        let _ = rest;
+    }
+    handle.shutdown();
+    handle.join();
+}
+
+/// Satellite: the batch path surfaces the server's `Busy` retry hint
+/// (like single queries and inserts do), and `query_batch_retrying`
+/// rides the hint to an eventual success.
+#[test]
+fn query_batch_surfaces_busy_hint_and_retries() {
+    let (base, shapes) = base_with(64, 64, 106);
+    let cfg = ServeConfig { workers: 1, queue_cap: 1, ..Default::default() };
+    let handle = serve("127.0.0.1:0", base, cfg).unwrap();
+    let addr = handle.addr();
+
+    // pin the single worker on a long batch
+    let pin_batch: Vec<Polyline> = shapes.iter().cycle().take(250).cloned().collect();
+    let pin = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.query_batch(&pin_batch, 1).unwrap()
+    });
+    assert!(poll_until(Duration::from_secs(30), || handle.stats().queries >= 1));
+
+    // park one more to fill the size-1 queue
+    let park_batch: Vec<Polyline> = shapes.iter().take(4).cloned().collect();
+    let parked = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.query_batch(&park_batch, 1).unwrap()
+    });
+    assert!(poll_until(Duration::from_secs(30), || handle.stats().queue_depth >= 1));
+
+    // full queue: the batch reply carries the shed flag and a hint
+    let mut c = Client::connect(addr).unwrap();
+    let probe: Vec<Polyline> = shapes.iter().take(2).cloned().collect();
+    let reply = c.query_batch(&probe, 1).unwrap();
+    assert!(reply.rejected, "expected Busy on the batch path");
+    assert!(reply.retry_after_ms > 0, "shed batch must carry the retry-after hint");
+
+    // the retrying variant waits the hint out and eventually lands
+    let cfg = ClientConfig {
+        retries: 200,
+        retry_base: Duration::from_millis(20),
+        retry_cap: Duration::from_millis(250),
+        ..ClientConfig::default()
+    };
+    let mut retrier = Client::connect_with(addr, cfg).unwrap();
+    let served = retrier.query_batch_retrying(&probe, 1).unwrap();
+    assert!(!served.rejected);
+    assert_eq!(served.results.len(), 2);
+
+    assert_eq!(pin.join().unwrap().results.len(), 250);
+    assert!(!parked.join().unwrap().rejected);
+    handle.shutdown();
+    handle.join();
+}
+
+/// Query coalescing: a burst of concurrent single-shot queries is
+/// answered correctly (content-checked) and the coalesced-batch
+/// histogram records multi-job pops when the queue backs up.
+#[test]
+fn coalesced_queries_answer_correctly() {
+    let (base, shapes) = base_with(32, 16, 107);
+    let cfg = ServeConfig { workers: 1, coalesce_max: 16, ..Default::default() };
+    let handle = serve("127.0.0.1:0", base, cfg).unwrap();
+
+    // one pipelined connection bursts 24 queries at a single worker —
+    // most pops should coalesce several queued jobs
+    let mut client = PipelinedClient::connect(handle.addr()).unwrap();
+    let mut corrs = Vec::new();
+    for (i, shape) in shapes.iter().take(24).enumerate() {
+        corrs.push((client.submit_query(shape, 1).unwrap(), i as u32));
+    }
+    for (corr, want) in &corrs {
+        match client.recv(*corr).unwrap() {
+            Frame::Matches { matches, .. } => assert_eq!(matches[0].image, *want),
+            other => panic!("expected Matches, got {other:?}"),
+        }
+    }
+
+    let snap = client_metrics(handle.addr());
+    let pops = snap.histogram("geosir_coalesced_batch", &[]).map(|h| h.count()).unwrap_or(0);
+    assert!(pops >= 1, "worker must record coalesced pop sizes");
+    handle.shutdown();
+    handle.join();
+}
+
+fn client_metrics(addr: std::net::SocketAddr) -> geosir_serve::obs::Snapshot {
+    let mut c = Client::connect(addr).unwrap();
+    c.metrics().unwrap()
+}

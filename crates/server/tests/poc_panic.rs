@@ -1,4 +1,4 @@
-use geosir_server::wire::{Frame, PROTOCOL_VERSION};
+use geosir_serve::wire::{Frame, PROTOCOL_VERSION};
 
 fn fnv1a(parts: &[&[u8]]) -> u32 {
     let mut h: u32 = 0x811c9dc5;

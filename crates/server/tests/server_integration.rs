@@ -165,7 +165,7 @@ fn full_queue_sheds_busy_instead_of_hanging() {
     assert!(handle.stats().busy_rejects >= 1);
 
     // the pinned batch and the parked query still complete normally
-    let (_, results) = pin.join().unwrap();
+    let results = pin.join().unwrap().results;
     assert_eq!(results.len(), 400);
     assert!(!parked.join().unwrap().rejected);
 
@@ -204,7 +204,7 @@ fn graceful_shutdown_drains_admitted_requests() {
     assert!(handle.is_shutting_down());
 
     // both admitted requests drain to real replies
-    let (_, results) = pin.join().unwrap();
+    let results = pin.join().unwrap().results;
     assert_eq!(results.len(), 300);
     let parked_reply = parked.join().unwrap();
     assert!(!parked_reply.rejected, "admitted request was dropped during drain");

@@ -289,6 +289,7 @@ fn trailing_garbage_inside_declared_payload_is_malformed() {
     // checksum is valid: decode must flag Malformed, not silently ignore
     let mut buf = vec![PROTOCOL_VERSION, 5 /* STATS */];
     buf.extend_from_slice(&1u32.to_le_bytes());
+    buf.extend_from_slice(&0u64.to_le_bytes()); // v5 correlation id
     buf.push(0xAB);
     let sum = fnv1a_ref(&buf);
     buf.extend_from_slice(&sum.to_le_bytes());
@@ -323,5 +324,144 @@ fn non_finite_shape_survives_the_wire_but_fails_polyline_conversion() {
             assert!(s.to_polyline().is_none(), "NaN vertices must not build a polyline");
         }
         other => panic!("wrong frame {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-version compatibility: every layout v1..=v5 must still parse, and
+// the fields a version doesn't carry must come back zeroed.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn v5_correlation_id_round_trips() {
+    let mut buf = Vec::new();
+    Frame::Query { k: 3, trace: 0xDEAD, shape: WireShape { closed: false, points: vec![] } }
+        .encode_versioned(5, 0xC0FFEE, &mut buf);
+    let (frame, corr, version, used) = Frame::decode_corr(&buf).unwrap();
+    assert_eq!(corr, 0xC0FFEE);
+    assert_eq!(version, 5);
+    assert_eq!(used, buf.len());
+    assert!(matches!(frame, Frame::Query { k: 3, trace: 0xDEAD, .. }));
+}
+
+#[test]
+fn v1_query_has_no_trace_or_corr() {
+    let mut buf = Vec::new();
+    Frame::Query { k: 2, trace: 99, shape: WireShape { closed: true, points: vec![(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)] } }
+        .encode_versioned(1, 77, &mut buf);
+    // v1 layout: 6-byte header, no corr word, payload is just k + shape
+    assert_eq!(buf[0], 1);
+    let (frame, corr, version, _) = Frame::decode_corr(&buf).unwrap();
+    assert_eq!((corr, version), (0, 1), "v1 frames carry no correlation id");
+    match frame {
+        Frame::Query { k, trace, shape } => {
+            assert_eq!((k, trace), (2, 0), "trace is a v3 field, zeroed on v1");
+            assert_eq!(shape.points.len(), 3);
+        }
+        other => panic!("wrong frame {other:?}"),
+    }
+}
+
+#[test]
+fn v1_insert_drops_key_and_trace_v2_keeps_key() {
+    let shape = WireShape { closed: false, points: vec![(1.0, 2.0)] };
+    let frame = Frame::Insert { image: 9, key: 41, trace: 8, shape };
+    let mut v1 = Vec::new();
+    frame.encode_versioned(1, 0, &mut v1);
+    match Frame::decode(&v1).unwrap().0 {
+        Frame::Insert { image, key, trace, .. } => assert_eq!((image, key, trace), (9, 0, 0)),
+        other => panic!("wrong frame {other:?}"),
+    }
+    let mut v2 = Vec::new();
+    frame.encode_versioned(2, 0, &mut v2);
+    match Frame::decode(&v2).unwrap().0 {
+        Frame::Insert { image, key, trace, .. } => assert_eq!((image, key, trace), (9, 41, 0)),
+        other => panic!("wrong frame {other:?}"),
+    }
+}
+
+#[test]
+fn v1_busy_has_no_hint_payload() {
+    let mut buf = Vec::new();
+    Frame::Busy { retry_after_ms: 250 }.encode_versioned(1, 0, &mut buf);
+    // v1 Busy is payloadless; the hint is a v2 addition
+    assert_eq!(u32::from_le_bytes(buf[2..6].try_into().unwrap()), 0);
+    match Frame::decode(&buf).unwrap().0 {
+        Frame::Busy { retry_after_ms } => assert_eq!(retry_after_ms, 0),
+        other => panic!("wrong frame {other:?}"),
+    }
+    let mut v2 = Vec::new();
+    Frame::Busy { retry_after_ms: 250 }.encode_versioned(2, 0, &mut v2);
+    match Frame::decode(&v2).unwrap().0 {
+        Frame::Busy { retry_after_ms } => assert_eq!(retry_after_ms, 250),
+        other => panic!("wrong frame {other:?}"),
+    }
+}
+
+#[test]
+fn v1_stats_report_is_sixteen_words() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let stats = rand_stats(&mut rng);
+    let mut buf = Vec::new();
+    Frame::StatsReport(stats).encode_versioned(1, 0, &mut buf);
+    assert_eq!(u32::from_le_bytes(buf[2..6].try_into().unwrap()), 16 * 8);
+    match Frame::decode(&buf).unwrap().0 {
+        Frame::StatsReport(got) => {
+            assert_eq!(got.epoch, stats.epoch);
+            assert_eq!(got.queue_depth, stats.queue_depth);
+            // words 16..25 are the v2 durability block, zeroed on v1
+            assert_eq!(got.read_only, 0);
+            assert_eq!(got.wal_appends, 0);
+            assert_eq!(got.last_recovery_us, 0);
+        }
+        other => panic!("wrong frame {other:?}"),
+    }
+}
+
+#[test]
+fn frame_types_are_gated_by_version() {
+    // MetricsDump needs v3, Explain needs v4: encoding them into an older
+    // layout must be rejected at decode as an unknown type for that version.
+    let mut buf = Vec::new();
+    Frame::MetricsDump.encode_versioned(3, 0, &mut buf);
+    buf[0] = 2; // masquerade as v2
+    // checksum now fails first? No: header validation runs before checksum.
+    match Frame::decode(&buf) {
+        Err(WireError::BadType(7)) => {}
+        other => panic!("want BadType(7) on v2 METRICS_DUMP, got {other:?}"),
+    }
+    let mut exp = Vec::new();
+    Frame::Explain { k: 1, trace: 0, shape: WireShape { closed: false, points: vec![] } }
+        .encode_versioned(4, 0, &mut exp);
+    exp[0] = 3;
+    match Frame::decode(&exp) {
+        Err(WireError::BadType(8)) => {}
+        other => panic!("want BadType(8) on v3 EXPLAIN, got {other:?}"),
+    }
+}
+
+proptest! {
+    /// Any frame valid at every version round-trips through each historical
+    /// layout; version-gated fields are zeroed, everything else survives.
+    #[test]
+    fn historical_layouts_round_trip(seed in 0u64..64, version in 1u8..=5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frame = Frame::Delete { id: rng.random() };
+        let mut buf = Vec::new();
+        frame.encode_versioned(version, rng.random(), &mut buf);
+        let (got, _, v, used) = Frame::decode_corr(&buf).unwrap();
+        prop_assert_eq!(v, version);
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(got, frame);
+
+        let stats = rand_stats(&mut rng);
+        let mut sb = Vec::new();
+        Frame::StatsReport(stats).encode_versioned(version, 0, &mut sb);
+        let (sgot, _, _, sused) = Frame::decode_corr(&sb).unwrap();
+        prop_assert_eq!(sused, sb.len());
+        // re-encoding the decoded stats at the same version is canonical
+        let mut sb2 = Vec::new();
+        sgot.encode_versioned(version, 0, &mut sb2);
+        prop_assert_eq!(sb, sb2);
     }
 }

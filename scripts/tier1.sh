@@ -7,6 +7,15 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 
+# SIMD parity: the feature-gated AVX2 kernels (segment scan, triangle
+# leaf filter) must stay bit-identical to the scalar paths — the geom
+# and core suites contain explicit parity asserts and re-run the shared
+# property tests through the vector code when the feature is on. On
+# hosts without AVX2 the runtime dispatch falls back and this reduces
+# to a compile check of the gated code.
+cargo test -q -p geosir-geom -p geosir-core --features simd
+cargo clippy -p geosir-geom -p geosir-core -p geosir-serve --features simd --all-targets -- -D warnings
+
 # Durability hooks: crash-recovery harness (abort-at-failpoint children)
 # plus the full server suite with the fault hooks compiled in. Budget:
 # the crash tests must stay under 30 s wall — they are child-process
