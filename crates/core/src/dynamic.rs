@@ -29,7 +29,12 @@ use geosir_geom::rangesearch::Backend;
 use geosir_geom::Polyline;
 use geosir_obs as obs;
 
-use crate::ids::{ImageId, ShapeId};
+use crate::approx::{
+    record_query_metrics, AnswerTier, ApproxOptions, ApproxScratch, ApproxStats, CandRef,
+    SigBuckets, BUFFER_LEVEL, DEFAULT_HASH_CURVES,
+};
+use crate::hashing::{signature_of, signature_of_with, CurveFamily, Signature};
+use crate::ids::{CopyId, ImageId, ShapeId};
 use crate::matcher::{
     Match, MatchConfig, MatchOutcome, Matcher, MatcherPlan, RingExplain, Termination,
 };
@@ -45,6 +50,9 @@ pub struct DynamicBase {
     alpha: f64,
     backend: Backend,
     config: MatchConfig,
+    /// The k-curve hash family shared by every level's signature buckets
+    /// and all insert-time signatures (§3; k = [`DEFAULT_HASH_CURVES`]).
+    family: Arc<CurveFamily>,
     /// Insert buffer: shapes not yet in any level (scored brute force
     /// against normalized copies prepared — indexed — at insert time).
     buffer: Vec<BufferedShape>,
@@ -80,12 +88,20 @@ struct BufferedShape {
     /// Empty only for degenerate geometry, which then simply never
     /// matches until the next rebuild compacts it.
     copies: Arc<Vec<crate::similarity::PreparedShape>>,
+    /// Geometric-hash signature of each copy (aligned with `copies`),
+    /// also computed writer-side — the approximate tier probes the
+    /// buffer by these without hashing anything at query time.
+    sigs: Arc<Vec<Signature>>,
 }
 
 struct Level {
     base: ShapeBase,
     /// Query-independent matcher precomputation, built once per level.
     plan: Arc<MatcherPlan>,
+    /// Signature buckets over `base`'s copies — the approximate tier's
+    /// index slice for this level. Rebuilt with the level on every
+    /// cascade/bulk load, so recovery restores it for free.
+    buckets: SigBuckets,
     /// Level-local ShapeId → global id.
     ids: Vec<GlobalShapeId>,
     images: Vec<ImageId>,
@@ -219,6 +235,7 @@ impl DynamicBase {
             alpha,
             backend,
             config,
+            family: Arc::new(CurveFamily::new(DEFAULT_HASH_CURVES)),
             buffer: Vec::new(),
             buffer_cap,
             levels: Vec::new(),
@@ -264,15 +281,24 @@ impl DynamicBase {
         let id = GlobalShapeId(self.next_id);
         self.next_id += 1;
         self.epoch += 1;
-        let copies: Vec<_> = crate::normalize::normalized_copies(&shape, self.alpha)
-            .into_iter()
-            .map(|c| crate::similarity::PreparedShape::new(c.shape))
-            .collect();
-        self.buffer.push(BufferedShape { id, image, shape, copies: Arc::new(copies) });
+        let entry = self.buffered_entry(id, image, shape);
+        self.buffer.push(entry);
         if self.buffer.len() >= self.buffer_cap {
             self.cascade();
         }
         id
+    }
+
+    /// Derive everything a buffered shape carries — prepared copies and
+    /// their hash signatures — once, writer-side.
+    fn buffered_entry(&self, id: GlobalShapeId, image: ImageId, shape: Polyline) -> BufferedShape {
+        let copies: Vec<_> = crate::normalize::normalized_copies(&shape, self.alpha)
+            .into_iter()
+            .map(|c| crate::similarity::PreparedShape::new(c.shape))
+            .collect();
+        let sigs: Vec<Signature> =
+            copies.iter().map(|c| signature_of(&self.family, c.shape())).collect();
+        BufferedShape { id, image, shape, copies: Arc::new(copies), sigs: Arc::new(sigs) }
     }
 
     /// Bulk-load a batch of shapes into a single level, bypassing the
@@ -326,11 +352,8 @@ impl DynamicBase {
         }
         self.next_id = self.next_id.max(id.0 + 1);
         self.epoch += 1;
-        let copies: Vec<_> = crate::normalize::normalized_copies(&shape, self.alpha)
-            .into_iter()
-            .map(|c| crate::similarity::PreparedShape::new(c.shape))
-            .collect();
-        self.buffer.push(BufferedShape { id, image, shape, copies: Arc::new(copies) });
+        let entry = self.buffered_entry(id, image, shape);
+        self.buffer.push(entry);
         if self.buffer.len() >= self.buffer_cap {
             self.cascade();
         }
@@ -365,7 +388,8 @@ impl DynamicBase {
             self.levels.push(None);
         }
         self.shapes_rebuilt += pool.len() as u64;
-        self.levels[slot] = Some(Arc::new(Level::build(pool, self.alpha, self.backend, &self.config)));
+        self.levels[slot] =
+            Some(Arc::new(Level::build(pool, self.alpha, self.backend, &self.config, &self.family)));
     }
 
     /// Delete a shape (tombstone; storage is reclaimed at the next rebuild
@@ -422,7 +446,8 @@ impl DynamicBase {
             return;
         }
         self.shapes_rebuilt += pool.len() as u64;
-        self.levels[slot] = Some(Arc::new(Level::build(pool, self.alpha, self.backend, &self.config)));
+        self.levels[slot] =
+            Some(Arc::new(Level::build(pool, self.alpha, self.backend, &self.config, &self.family)));
     }
 
     /// k best live shapes across all levels and the buffer.
@@ -479,14 +504,23 @@ impl DynamicBase {
     /// as an immutable, independently-queryable [`Snapshot`]. O(buffer +
     /// levels + tombstones): level indexes are shared, not copied.
     pub fn snapshot(&self) -> Snapshot {
+        let copies = self
+            .levels
+            .iter()
+            .flatten()
+            .map(|l| l.base.num_copies())
+            .sum::<usize>()
+            + self.buffer.iter().map(|b| b.copies.len()).sum::<usize>();
         Snapshot {
             epoch: self.epoch,
             next_id: self.next_id,
             config: self.config.clone(),
+            family: self.family.clone(),
             levels: self.levels.iter().flatten().cloned().collect(),
             buffer: self.buffer.clone(),
             deleted: self.deleted.clone(),
             live: self.len(),
+            copies,
         }
     }
 }
@@ -497,6 +531,7 @@ impl Level {
         alpha: f64,
         backend: Backend,
         config: &MatchConfig,
+        family: &CurveFamily,
     ) -> Level {
         let mut builder = ShapeBaseBuilder::new();
         let mut ids = Vec::with_capacity(pool.len());
@@ -511,7 +546,8 @@ impl Level {
         }
         let base = builder.build(alpha, backend);
         let plan = Arc::new(MatcherPlan::new(&base, config));
-        Level { base, plan, ids, images, shapes }
+        let buckets = SigBuckets::build(family, &base);
+        Level { base, plan, buckets, ids, images, shapes }
     }
 }
 
@@ -526,10 +562,14 @@ pub struct Snapshot {
     epoch: u64,
     next_id: u64,
     config: MatchConfig,
+    family: Arc<CurveFamily>,
     levels: Vec<Arc<Level>>,
     buffer: Vec<BufferedShape>,
     deleted: HashSet<GlobalShapeId>,
     live: usize,
+    /// Normalized copies captured (levels + buffer, tombstones included)
+    /// — the denominator of the approximate tier's reduction ratio.
+    copies: usize,
 }
 
 impl Snapshot {
@@ -696,6 +736,225 @@ impl Snapshot {
         );
         explain.buffer_scored = stats.buffer_scored;
         explain.stats = *stats;
+    }
+
+    /// Normalized copies captured by this snapshot (levels + buffer,
+    /// tombstones included) — what an exhaustive approximate scan would
+    /// have to score.
+    pub fn total_copies(&self) -> usize {
+        self.copies
+    }
+
+    /// Occupied signature buckets across all level indexes.
+    pub fn approx_num_buckets(&self) -> usize {
+        self.levels.iter().map(|l| l.buckets.num_buckets()).sum()
+    }
+
+    /// Average copies per occupied signature bucket across levels
+    /// (0 when no level exists yet).
+    pub fn approx_avg_bucket_size(&self) -> f64 {
+        let buckets = self.approx_num_buckets();
+        if buckets == 0 {
+            return 0.0;
+        }
+        let copies: usize = self.levels.iter().map(|l| l.buckets.total_copies()).sum();
+        copies as f64 / buckets as f64
+    }
+
+    /// The hash-curve family the signature indexes were built with.
+    pub fn hash_family(&self) -> &CurveFamily {
+        &self.family
+    }
+
+    /// Approximate retrieval: probe the signature buckets in rings of
+    /// increasing curve distance, then rerank the candidates with the
+    /// exact early-abandoning `h_avg` — results carry true scores, only
+    /// *recall* is approximate. Convenience wrapper; loops should hold
+    /// scratches and call [`Self::similar_approx_with`].
+    pub fn similar_approx(
+        &self,
+        query: &Polyline,
+        opts: &ApproxOptions,
+    ) -> (Vec<DynMatch>, ApproxStats) {
+        let mut scratch = MatcherScratch::new();
+        let mut tmp = MatchOutcome::default();
+        let mut ax = ApproxScratch::new();
+        let mut out = Vec::new();
+        let mut stats = ApproxStats::default();
+        self.similar_approx_with(&mut scratch, &mut tmp, &mut ax, query, opts, &mut out, &mut stats);
+        (out, stats)
+    }
+
+    /// [`Self::similar_approx`] through caller-owned scratch. The query
+    /// is diameter-normalized here (one allocation, same as the exact
+    /// buffer path); everything after runs on warm scratch. A query with
+    /// degenerate geometry — or one whose cascade collects nothing —
+    /// falls through to the exact tier ([`Self::retrieve_with_stats`]),
+    /// reported as [`AnswerTier::Exact`] in `stats`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn similar_approx_with(
+        &self,
+        scratch: &mut MatcherScratch,
+        tmp: &mut MatchOutcome,
+        ax: &mut ApproxScratch,
+        query: &Polyline,
+        opts: &ApproxOptions,
+        out: &mut Vec<DynMatch>,
+        stats: &mut ApproxStats,
+    ) {
+        match crate::normalize::normalize_about_diameter(query) {
+            Some((qn, _)) => {
+                let shape = qn.shape;
+                self.similar_approx_prepared(scratch, tmp, ax, query, &shape, opts, out, stats);
+            }
+            None => {
+                out.clear();
+                *stats = ApproxStats {
+                    tier: AnswerTier::Exact,
+                    corpus_copies: self.copies as u64,
+                    ..ApproxStats::default()
+                };
+                self.retrieve_with_stats(scratch, tmp, query, opts.k, out, &mut RetrieveStats::default());
+                record_query_metrics(stats);
+            }
+        }
+    }
+
+    /// The probe + rerank core, taking the already-normalized query —
+    /// allocation-free in steady state with warm scratches (`query` is
+    /// still needed for the exact-fallback tier, which normalizes
+    /// internally).
+    ///
+    /// Probing uses only the primary normalized copy: the base stores
+    /// *both* orientations of every shape per α-diameter, so a stored
+    /// copy in the query's orientation exists whenever the shape is
+    /// similar at all.
+    #[allow(clippy::too_many_arguments)]
+    pub fn similar_approx_prepared(
+        &self,
+        scratch: &mut MatcherScratch,
+        tmp: &mut MatchOutcome,
+        ax: &mut ApproxScratch,
+        query: &Polyline,
+        normalized: &Polyline,
+        opts: &ApproxOptions,
+        out: &mut Vec<DynMatch>,
+        stats: &mut ApproxStats,
+    ) {
+        out.clear();
+        *stats = ApproxStats { corpus_copies: self.copies as u64, ..ApproxStats::default() };
+        let k = if opts.k == 0 { self.config.k } else { opts.k };
+        let family = &*self.family;
+        let kf = family.k() as u16;
+        let max_radius = opts.max_radius.min(kf);
+        let max_cand = opts.max_candidates.max(1);
+        ax.begin(self.levels.len());
+        let crate::approx::ApproxScratch { quarters, vals, probes, ring, cands, .. } = &mut *ax;
+        let qsig = signature_of_with(family, normalized, quarters);
+        let mut probed = 0u64;
+        // The cascade: rings of increasing curve distance over every
+        // level index plus the buffer signatures. Stops at the end of
+        // the first ring that fills the candidate budget; `max_radius`
+        // is a soft preference — expansion continues past it while the
+        // candidate set is still empty, so the tier returns *something*
+        // whenever live shapes exist.
+        for r in 0..=kf {
+            stats.radius = r;
+            for (li, level) in self.levels.iter().enumerate() {
+                ring.clear();
+                level.buckets.collect_ring(kf, &qsig, r, &mut probes[li], vals, ring, &mut probed);
+                cands.extend(
+                    ring.iter().map(|c| CandRef { level: li as u32, a: c.0, b: 0 }),
+                );
+            }
+            for (bi, b) in self.buffer.iter().enumerate() {
+                if self.deleted.contains(&b.id) {
+                    continue;
+                }
+                for (ci, s) in b.sigs.iter().enumerate() {
+                    if qsig.curve_distance(s) == r {
+                        cands.push(CandRef { level: BUFFER_LEVEL, a: bi as u32, b: ci as u32 });
+                    }
+                }
+            }
+            if cands.len() >= max_cand || (r >= max_radius && !cands.is_empty()) {
+                break;
+            }
+        }
+        stats.buckets_probed = probed;
+        stats.candidates = cands.len() as u64;
+        if cands.is_empty() {
+            stats.tier = AnswerTier::Exact;
+            self.retrieve_with_stats(scratch, tmp, query, k, out, &mut RetrieveStats::default());
+            record_query_metrics(stats);
+            return;
+        }
+        stats.tier = AnswerTier::Approx;
+
+        // Exact rerank with a running cutoff: the k-th smallest
+        // *per-shape best* score on the board. Per-shape (not per-copy):
+        // a copy-level top-k could prune the only copy of a shape whose
+        // best score still belongs in the answer.
+        let crate::approx::ApproxScratch { cands, prepared, back, best, ktmp, .. } = &mut *ax;
+        let qprep = crate::similarity::prepare_into(prepared, normalized);
+        let mut cutoff = f64::INFINITY;
+        for &c in cands.iter() {
+            let (gid, image, score) = if c.level == BUFFER_LEVEL {
+                let b = &self.buffer[c.a as usize];
+                let s = crate::similarity::score_prepared_bounded(
+                    self.config.score,
+                    &b.copies[c.b as usize],
+                    qprep,
+                    cutoff,
+                );
+                (b.id, b.image, s)
+            } else {
+                let level = &self.levels[c.level as usize];
+                let copy = level.base.copy(CopyId(c.a));
+                let gid = level.ids[copy.shape_id.index()];
+                if self.deleted.contains(&gid) {
+                    continue;
+                }
+                let s = crate::similarity::score_bounded_with(
+                    self.config.score,
+                    &copy.normalized,
+                    qprep,
+                    back,
+                    cutoff,
+                );
+                (gid, level.images[copy.shape_id.index()], s)
+            };
+            stats.reranked += 1;
+            if !score.is_finite() {
+                stats.abandoned += 1;
+                continue;
+            }
+            match best.entry(gid) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let i = *e.get() as usize;
+                    if score >= out[i].score {
+                        continue;
+                    }
+                    out[i].score = score;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(out.len() as u32);
+                    out.push(DynMatch { shape: gid, image, score });
+                }
+            }
+            if out.len() >= k {
+                ktmp.clear();
+                ktmp.extend(out.iter().map(|m| m.score));
+                let (_, kth, _) =
+                    ktmp.select_nth_unstable_by(k - 1, |a, b| a.partial_cmp(b).unwrap());
+                cutoff = *kth;
+            }
+        }
+        out.sort_unstable_by(|a, b| {
+            a.score.partial_cmp(&b.score).unwrap().then(a.shape.cmp(&b.shape))
+        });
+        out.truncate(k);
+        record_query_metrics(stats);
     }
 }
 
@@ -1312,5 +1571,202 @@ mod tests {
             n
         );
         assert!(db.num_levels() <= 8);
+    }
+
+    #[test]
+    fn approx_finds_inserted_shapes_across_levels_and_buffer() {
+        let mut db = dynbase(8);
+        let mut shapes = Vec::new();
+        for i in 0..27 {
+            // 3 levels + a partial buffer
+            let s = shape(1000 + i);
+            let id = db.insert(ImageId(i as u32), s.clone());
+            shapes.push((id, s));
+        }
+        assert!(db.num_levels() >= 1);
+        let snap = db.snapshot();
+        assert!(snap.total_copies() > 0);
+        for (id, s) in &shapes {
+            let (hits, stats) = snap.similar_approx(s, &ApproxOptions::default());
+            assert_eq!(stats.tier, AnswerTier::Approx, "shape {id:?} fell back");
+            assert!(!hits.is_empty());
+            assert_eq!(hits[0].shape, *id, "approx missed its own source shape");
+            assert!(hits[0].score < 1e-9);
+            assert!(stats.candidates >= 1);
+            assert!(stats.buckets_probed >= 1);
+            assert_eq!(stats.corpus_copies, snap.total_copies() as u64);
+        }
+    }
+
+    #[test]
+    fn approx_with_full_budget_matches_exhaustive_havg_scan() {
+        // With a wide-open candidate budget the cascade collects every
+        // live copy, so the rerank must reproduce an exhaustive
+        // min-over-copies symmetric h_avg ranking exactly — the cutoff
+        // pruning and per-shape dedup lose nothing.
+        let shapes: Vec<Polyline> = (0..20).map(|i| shape(2000 + i)).collect();
+        let mut db = dynbase(6);
+        for (i, s) in shapes.iter().enumerate() {
+            db.insert(ImageId(i as u32), s.clone());
+        }
+        let snap = db.snapshot();
+        // identically-ordered static base for the oracle scan
+        let mut b = crate::shapebase::ShapeBaseBuilder::new();
+        for (i, s) in shapes.iter().enumerate() {
+            b.add_shape(ImageId(i as u32), s.clone());
+        }
+        let base = b.build(0.05, Backend::KdTree);
+        let opts = ApproxOptions { k: 5, max_radius: u16::MAX, max_candidates: usize::MAX };
+        for (i, q) in shapes.iter().enumerate() {
+            let (qn, _) = crate::normalize::normalize_about_diameter(q).unwrap();
+            let prep = crate::similarity::PreparedShape::new(qn.shape);
+            let mut best: std::collections::HashMap<ShapeId, f64> = Default::default();
+            for (_, copy) in base.copies() {
+                let s = crate::similarity::score(
+                    crate::similarity::ScoreKind::DiscreteSymmetric,
+                    &copy.normalized,
+                    &prep,
+                );
+                let e = best.entry(copy.shape_id).or_insert(f64::INFINITY);
+                *e = e.min(s);
+            }
+            let mut oracle: Vec<(ShapeId, f64)> = best.into_iter().collect();
+            oracle.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+            oracle.truncate(5);
+            let (approx, stats) = snap.similar_approx(q, &opts);
+            assert_eq!(stats.tier, AnswerTier::Approx);
+            assert_eq!(stats.candidates, base.num_copies() as u64, "query {i}");
+            assert_eq!(approx.len(), oracle.len(), "query {i}");
+            for (a, (oshape, oscore)) in approx.iter().zip(&oracle) {
+                // insert order makes GlobalShapeId(j) ↔ ShapeId(j)
+                assert_eq!(a.shape.0, oshape.index() as u64, "query {i}");
+                assert!((a.score - oscore).abs() < 1e-9, "query {i}: {} vs {}", a.score, oscore);
+            }
+        }
+    }
+
+    #[test]
+    fn approx_respects_tombstones() {
+        let mut db = dynbase(4);
+        let mut ids = Vec::new();
+        for i in 0..12 {
+            ids.push(db.insert(ImageId(i), shape(3000 + i as u64)));
+        }
+        let victim = ids[5];
+        let q = shape(3005);
+        let (hits, _) = db.snapshot().similar_approx(&q, &ApproxOptions::default());
+        assert_eq!(hits[0].shape, victim);
+        db.delete(victim);
+        let (hits, _) = db.snapshot().similar_approx(&q, &ApproxOptions::default());
+        assert!(hits.iter().all(|m| m.shape != victim), "tombstoned shape returned");
+    }
+
+    #[test]
+    fn approx_empty_base_falls_back_to_exact_tier() {
+        let db = dynbase(4);
+        let snap = db.snapshot();
+        let (hits, stats) = snap.similar_approx(&shape(1), &ApproxOptions::default());
+        assert!(hits.is_empty());
+        assert_eq!(stats.tier, AnswerTier::Exact);
+        assert_eq!(stats.candidates, 0);
+    }
+
+    #[test]
+    fn approx_candidate_budget_caps_collection() {
+        let mut db = dynbase(64);
+        for i in 0..60 {
+            db.insert(ImageId(i), shape(4000 + i as u64));
+        }
+        let snap = db.snapshot();
+        let tight = ApproxOptions { k: 3, max_radius: 10, max_candidates: 4 };
+        let wide = ApproxOptions { k: 3, max_radius: 10, max_candidates: usize::MAX };
+        let (_, st_tight) = snap.similar_approx(&shape(4000), &tight);
+        let (_, st_wide) = snap.similar_approx(&shape(4000), &wide);
+        assert!(st_tight.candidates <= st_wide.candidates);
+        assert!(st_tight.radius <= st_wide.radius);
+        // the budget stops expansion at ring granularity
+        assert!(st_tight.reranked <= st_tight.candidates);
+    }
+
+    #[test]
+    fn approx_survives_cascade_and_snapshot_isolation() {
+        let mut db = dynbase(4);
+        let mut ids = Vec::new();
+        for i in 0..4 {
+            ids.push(db.insert(ImageId(i), shape(5000 + i as u64)));
+        }
+        let before = db.snapshot();
+        // trigger cascades under the old snapshot
+        for i in 4..20 {
+            db.insert(ImageId(i), shape(5000 + i as u64));
+        }
+        let after = db.snapshot();
+        let q = shape(5000);
+        let (h_before, _) = before.similar_approx(&q, &ApproxOptions::default());
+        let (h_after, _) = after.similar_approx(&q, &ApproxOptions::default());
+        assert_eq!(h_before[0].shape, ids[0]);
+        assert_eq!(h_after[0].shape, ids[0]);
+        assert!(after.approx_num_buckets() >= before.approx_num_buckets());
+    }
+
+    #[test]
+    fn approx_restore_rebuilds_signature_index() {
+        let mut db = dynbase(8);
+        let mut ids = Vec::new();
+        for i in 0..16 {
+            ids.push(db.insert(ImageId(i), shape(6000 + i as u64)));
+        }
+        let snap = db.snapshot();
+        let restored = DynamicBase::restore(
+            0.05,
+            Backend::KdTree,
+            MatchConfig { k: 3, beta: 0.3, ..Default::default() },
+            8,
+            snap.live_shapes(),
+            snap.next_id(),
+            snap.epoch(),
+        );
+        let rsnap = restored.snapshot();
+        assert!(rsnap.approx_num_buckets() >= 1, "restore must rebuild buckets");
+        for (i, id) in ids.iter().enumerate() {
+            let (hits, stats) = rsnap.similar_approx(&shape(6000 + i as u64), &ApproxOptions::default());
+            assert_eq!(stats.tier, AnswerTier::Approx);
+            assert_eq!(hits[0].shape, *id, "restored approx missed shape {i}");
+            assert!(hits[0].score < 1e-9);
+        }
+    }
+
+    #[test]
+    fn approx_scratch_reuse_is_equivalent() {
+        let mut db = dynbase(8);
+        for i in 0..20 {
+            db.insert(ImageId(i), shape(7000 + i as u64));
+        }
+        let snap = db.snapshot();
+        let mut scratch = MatcherScratch::new();
+        let mut tmp = MatchOutcome::default();
+        let mut ax = ApproxScratch::new();
+        let mut out = Vec::new();
+        let mut stats = ApproxStats::default();
+        for i in 0..20u64 {
+            let q = shape(7000 + i);
+            let (fresh, fresh_stats) = snap.similar_approx(&q, &ApproxOptions::default());
+            snap.similar_approx_with(
+                &mut scratch,
+                &mut tmp,
+                &mut ax,
+                &q,
+                &ApproxOptions::default(),
+                &mut out,
+                &mut stats,
+            );
+            assert_eq!(fresh.len(), out.len(), "query {i}");
+            for (a, b) in fresh.iter().zip(&out) {
+                assert_eq!(a.shape, b.shape);
+                assert!((a.score - b.score).abs() < 1e-12);
+            }
+            assert_eq!(fresh_stats.candidates, stats.candidates, "query {i}");
+            assert_eq!(fresh_stats.radius, stats.radius, "query {i}");
+        }
     }
 }

@@ -22,10 +22,11 @@ use std::collections::HashMap;
 use geosir_geom::numeric::solve_monotone;
 use geosir_geom::{Point, Polyline};
 
+use crate::approx::{IndexProbe, ProbeCursor, QuarterVals, SigBuckets};
 use crate::ids::{CopyId, ImageId, ShapeId};
 use crate::normalize::LUNE_AREA;
 use crate::shapebase::ShapeBase;
-use crate::similarity::{score, PreparedShape, ScoreKind};
+use crate::similarity::{prepare_into, score_with, PreparedShape, ScoreKind};
 
 /// Which quarter of the lune a (normalized) vertex falls in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -248,7 +249,21 @@ impl Signature {
 /// ```
 pub struct GeometricHash {
     family: CurveFamily,
-    buckets: HashMap<Signature, Vec<CopyId>>,
+    buckets: SigBuckets,
+}
+
+/// Reusable scratch for [`GeometricHash::retrieve_with`]: probe cursor,
+/// quarter buffers, prepared query/candidate indexes, and the candidate
+/// set — everything the per-call convenience API used to allocate.
+#[derive(Default)]
+pub struct HashScratch {
+    probe: IndexProbe,
+    vals: QuarterVals,
+    quarters: [Vec<Point>; 4],
+    seen: Vec<CopyId>,
+    prepared: Option<PreparedShape>,
+    back: Option<PreparedShape>,
+    best: HashMap<ShapeId, (f64, CopyId)>,
 }
 
 /// One approximate match from hashing.
@@ -264,11 +279,15 @@ impl GeometricHash {
     /// Hash every copy of `base` with a family of `k` curves per quarter.
     pub fn build(base: &ShapeBase, k: usize) -> Self {
         let family = CurveFamily::new(k);
-        let mut buckets: HashMap<Signature, Vec<CopyId>> = HashMap::new();
-        for (cid, copy) in base.copies() {
-            let sig = signature_of(&family, &copy.normalized);
-            buckets.entry(sig).or_default().push(cid);
-        }
+        let buckets = SigBuckets::build(&family, base);
+        GeometricHash { family, buckets }
+    }
+
+    /// [`GeometricHash::build`] with up to `threads` workers (0 = one per
+    /// CPU) computing signatures in parallel. Produces identical buckets.
+    pub fn build_with_threads(base: &ShapeBase, k: usize, threads: usize) -> Self {
+        let family = CurveFamily::new(k);
+        let buckets = SigBuckets::build_with_threads(&family, base, threads);
         GeometricHash { family, buckets }
     }
 
@@ -276,23 +295,24 @@ impl GeometricHash {
         &self.family
     }
 
+    /// The underlying signature index.
+    pub fn index(&self) -> &SigBuckets {
+        &self.buckets
+    }
+
     pub fn num_buckets(&self) -> usize {
-        self.buckets.len()
+        self.buckets.num_buckets()
     }
 
     /// Average copies per occupied bucket (the paper tunes k so this stays
     /// small).
     pub fn avg_bucket_size(&self) -> f64 {
-        if self.buckets.is_empty() {
-            return 0.0;
-        }
-        let total: usize = self.buckets.values().map(Vec::len).sum();
-        total as f64 / self.buckets.len() as f64
+        self.buckets.avg_bucket_size()
     }
 
     /// Iterate over (signature, copies) buckets — the storage layouts sort
     /// records by these signatures (§4.1).
-    pub fn buckets(&self) -> impl Iterator<Item = (&Signature, &Vec<CopyId>)> {
+    pub fn buckets(&self) -> impl Iterator<Item = (&Signature, &[CopyId])> {
         self.buckets.iter()
     }
 
@@ -304,6 +324,9 @@ impl GeometricHash {
     /// Approximate retrieval: collect shapes whose signature is within
     /// curve distance `radius` of the query's (expanding from 0), score
     /// them with `h_avg` and return the best `k_best` shapes.
+    ///
+    /// Convenience wrapper allocating a fresh [`HashScratch`]; loops
+    /// should hold one and call [`GeometricHash::retrieve_with`].
     pub fn retrieve(
         &self,
         base: &ShapeBase,
@@ -311,91 +334,83 @@ impl GeometricHash {
         k_best: usize,
         max_radius: u16,
     ) -> Vec<HashMatch> {
-        let sig = self.signature(normalized_query);
-        let prepared = PreparedShape::new(normalized_query.clone());
-        let mut seen: Vec<CopyId> = Vec::new();
-        // Expand the curve radius until enough candidates are collected.
-        // `max_radius` is a soft preference: an approximate-match fallback
-        // must return *something*, so expansion continues past it while
-        // the candidate set is still empty (up to the whole family).
-        for radius in 0..=(self.family.k() as u16) {
-            seen.clear();
-            self.collect_within(&sig, radius, &mut seen);
+        let mut scratch = HashScratch::default();
+        let mut out = Vec::new();
+        self.retrieve_with(&mut scratch, base, normalized_query, k_best, max_radius, &mut out);
+        out
+    }
+
+    /// [`GeometricHash::retrieve`] against caller-owned scratch. The ring
+    /// probe is incremental — expanding the radius visits only the new
+    /// shell, never re-collecting 0..r — and the prepared query plus the
+    /// per-candidate reverse index live in `scratch`, so a warm call
+    /// allocates nothing beyond result growth.
+    pub fn retrieve_with(
+        &self,
+        scratch: &mut HashScratch,
+        base: &ShapeBase,
+        normalized_query: &Polyline,
+        k_best: usize,
+        max_radius: u16,
+        out: &mut Vec<HashMatch>,
+    ) {
+        out.clear();
+        let HashScratch { probe, vals, quarters, seen, prepared, back, best } = scratch;
+        let sig = signature_of_with(&self.family, normalized_query, quarters);
+        let prepared = prepare_into(prepared, normalized_query);
+        probe.cursor = ProbeCursor::Fresh;
+        probe.scan.clear();
+        seen.clear();
+        let kf = self.family.k() as u16;
+        let mut probed = 0u64;
+        // Expand the curve radius ring by ring until enough candidates
+        // are collected. `max_radius` is a soft preference: an
+        // approximate-match fallback must return *something*, so
+        // expansion continues past it while the candidate set is still
+        // empty (up to the whole family).
+        for radius in 0..=kf {
+            self.buckets.collect_ring(kf, &sig, radius, probe, vals, seen, &mut probed);
             if seen.len() >= k_best || (radius >= max_radius && !seen.is_empty()) {
                 break;
             }
         }
-        let mut best_per_shape: HashMap<ShapeId, (f64, CopyId)> = HashMap::new();
-        for &cid in &seen {
+        best.clear();
+        for &cid in seen.iter() {
             let copy = base.copy(cid);
-            let s = score(ScoreKind::DiscreteSymmetric, &copy.normalized, &prepared);
-            let e = best_per_shape.entry(copy.shape_id).or_insert((f64::INFINITY, cid));
+            let s = score_with(ScoreKind::DiscreteSymmetric, &copy.normalized, prepared, back);
+            let e = best.entry(copy.shape_id).or_insert((f64::INFINITY, cid));
             if s < e.0 {
                 *e = (s, cid);
             }
         }
-        let mut ranked: Vec<HashMatch> = best_per_shape
-            .into_iter()
-            .map(|(shape, (s, copy))| HashMatch {
-                shape,
-                image: base.copy(copy).image,
-                copy,
-                score: s,
-            })
-            .collect();
-        ranked.sort_by(|a, b| a.score.partial_cmp(&b.score).unwrap().then(a.shape.cmp(&b.shape)));
-        ranked.truncate(k_best);
-        ranked
+        out.extend(best.iter().map(|(&shape, &(s, copy))| HashMatch {
+            shape,
+            image: base.copy(copy).image,
+            copy,
+            score: s,
+        }));
+        out.sort_by(|a, b| a.score.partial_cmp(&b.score).unwrap().then(a.shape.cmp(&b.shape)));
+        out.truncate(k_best);
     }
 }
 
-impl GeometricHash {
-    /// Gather the copies of every bucket within curve distance `radius` of
-    /// `sig`. Two strategies, picked by cost: enumerate the ≤ (2r+1)⁴
-    /// neighboring signatures with direct hash lookups (the logarithmic
-    /// path the paper describes — constant-ish per probe), or scan the
-    /// bucket table when it is smaller than the probe count.
-    fn collect_within(&self, sig: &Signature, radius: u16, seen: &mut Vec<CopyId>) {
-        // `curve_distance` ignores quarters where either side is empty
-        // (0): if the query has an empty quarter, any stored value matches
-        // there and enumeration cannot cover it — scan instead. Stored
-        // empty quarters are handled by adding 0 to every probe range.
-        let probes = (2u64 * radius as u64 + 2).pow(4);
-        if sig.0.contains(&0) || probes as usize > self.buckets.len() {
-            for (s, copies) in &self.buckets {
-                if sig.curve_distance(s) <= radius {
-                    seen.extend_from_slice(copies);
-                }
-            }
-            return;
-        }
-        let k = self.family.k() as i32;
-        let range = |c: u16| -> Vec<u16> {
-            let mut v: Vec<u16> = ((c as i32 - radius as i32).max(1)
-                ..=(c as i32 + radius as i32).min(k))
-                .map(|x| x as u16)
-                .collect();
-            v.push(0); // stored signatures with this quarter empty match too
-            v
-        };
-        let (r0, r1, r2, r3) =
-            (range(sig.0[0]), range(sig.0[1]), range(sig.0[2]), range(sig.0[3]));
-        for &a in &r0 {
-            for &b in &r1 {
-                for &c in &r2 {
-                    for &d in &r3 {
-                        if let Some(copies) = self.buckets.get(&Signature([a, b, c, d])) {
-                            seen.extend_from_slice(copies);
-                        }
-                    }
-                }
-            }
-        }
-    }
-}
-
-fn signature_of(family: &CurveFamily, normalized: &Polyline) -> Signature {
+/// Signature of a diameter-normalized shape under `family`.
+pub fn signature_of(family: &CurveFamily, normalized: &Polyline) -> Signature {
     let mut per_quarter: [Vec<Point>; 4] = Default::default();
+    signature_of_with(family, normalized, &mut per_quarter)
+}
+
+/// [`signature_of`] against caller-owned quarter buffers (cleared and
+/// refilled) — the zero-allocation form used at insert time and on the
+/// serve path.
+pub fn signature_of_with(
+    family: &CurveFamily,
+    normalized: &Polyline,
+    per_quarter: &mut [Vec<Point>; 4],
+) -> Signature {
+    for q in per_quarter.iter_mut() {
+        q.clear();
+    }
     for &p in normalized.points() {
         let mut p = clamp_to_lune(p);
         // The normalization anchors carry no information: every copy has
@@ -624,26 +639,126 @@ mod tests {
         }
         let base = b.build(0.05, Backend::KdTree);
         let gh = GeometricHash::build(&base, 50);
+        let kf = gh.family().k() as u16;
         for (_, copy) in base.copies().take(20) {
             let sig = gh.signature(&copy.normalized);
             for radius in [0u16, 1, 2] {
                 // scan oracle
                 let mut want: Vec<CopyId> = Vec::new();
-                for (s, copies) in &gh.buckets {
+                for (s, copies) in gh.buckets() {
                     if sig.curve_distance(s) <= radius {
                         want.extend_from_slice(copies);
                     }
                 }
                 want.sort();
                 let mut got = Vec::new();
-                gh.collect_within(&sig, radius, &mut got);
+                gh.index().collect_within(kf, &sig, radius, &mut got);
                 got.sort();
                 assert_eq!(got, want, "radius {radius}, sig {sig:?}");
             }
         }
     }
 
+    #[test]
+    fn parallel_build_matches_serial() {
+        let mut b = ShapeBaseBuilder::new();
+        let mut rng = StdRng::seed_from_u64(29);
+        for i in 0..120u32 {
+            let n = rng.random_range(5..10);
+            let pts: Vec<Point> = (0..n)
+                .map(|j| {
+                    let t = 2.0 * std::f64::consts::PI * j as f64 / n as f64;
+                    let r = rng.random_range(0.4..1.0);
+                    p(r * t.cos(), r * t.sin())
+                })
+                .collect();
+            b.add_shape(ImageId(i), Polyline::closed(pts).unwrap());
+        }
+        let base = b.build(0.05, Backend::KdTree);
+        let serial = GeometricHash::build(&base, 50);
+        for threads in [2usize, 4, 0] {
+            let par = GeometricHash::build_with_threads(&base, 50, threads);
+            let mut a: Vec<_> = serial.buckets().map(|(s, c)| (*s, c.to_vec())).collect();
+            let mut b: Vec<_> = par.buckets().map(|(s, c)| (*s, c.to_vec())).collect();
+            a.sort_by_key(|(s, _)| s.0);
+            b.sort_by_key(|(s, _)| s.0);
+            assert_eq!(a, b, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent_to_fresh_calls() {
+        let base = demo_base();
+        let gh = GeometricHash::build(&base, 50);
+        let mut scratch = HashScratch::default();
+        let mut out = Vec::new();
+        for (_, src) in base.sources() {
+            let (c, _) = crate::normalize::normalize_about_diameter(&src.shape).unwrap();
+            let fresh = gh.retrieve(&base, &c.shape, 3, 3);
+            gh.retrieve_with(&mut scratch, &base, &c.shape, 3, 3, &mut out);
+            assert_eq!(fresh.len(), out.len());
+            for (a, b) in fresh.iter().zip(&out) {
+                assert_eq!(a.shape, b.shape);
+                assert!((a.score - b.score).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn ternary_matches_linear_scan_boundary_heavy() {
+        // Clamped point sets: vertices projected onto the lune boundary
+        // (the §3 rule for out-of-lune vertices) stress the plateau
+        // handling of the ternary search.
+        let fam = CurveFamily::new(50);
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..50 {
+            let pts: Vec<Point> = (0..8)
+                .map(|_| {
+                    // well outside the lune, so every point lands on its
+                    // boundary after clamping
+                    let t = rng.random_range(0.0..std::f64::consts::PI);
+                    let r = rng.random_range(1.2..3.0);
+                    let q = clamp_to_lune(p(0.5 + r * t.cos(), r * t.sin()));
+                    Quarter::of(q).to_q1(q)
+                })
+                .collect();
+            let lin = fam.characteristic_linear(&pts);
+            let ter = fam.characteristic_ternary(&pts);
+            let dl = fam.avg_dist(lin, &pts);
+            let dt = fam.avg_dist(ter, &pts);
+            assert!(
+                (dl - dt).abs() < 1e-9,
+                "boundary set: ternary picked {ter} (d={dt}), linear {lin} (d={dl})"
+            );
+        }
+    }
+
     proptest! {
+        /// `clamp_to_lune` is idempotent and always lands inside the lune
+        /// (within fp tolerance), for points far outside as well as near
+        /// the cusps.
+        #[test]
+        fn clamp_idempotent_and_inside(x in -5.0f64..6.0, y in -5.0f64..5.0) {
+            let c = clamp_to_lune(p(x, y));
+            prop_assert!(c.dist(Point::ORIGIN) <= 1.0 + 1e-9, "outside disk 0: {c:?}");
+            prop_assert!(c.dist(p(1.0, 0.0)) <= 1.0 + 1e-9, "outside disk 1: {c:?}");
+            let cc = clamp_to_lune(c);
+            prop_assert!(cc.dist(c) < 1e-9, "not idempotent: {c:?} -> {cc:?}");
+        }
+
+        /// `curve_distance` is symmetric and zero on the diagonal.
+        #[test]
+        fn curve_distance_symmetric_and_self_zero(
+            a in (0u16..60, 0u16..60, 0u16..60, 0u16..60),
+            b in (0u16..60, 0u16..60, 0u16..60, 0u16..60),
+        ) {
+            let sa = Signature([a.0, a.1, a.2, a.3]);
+            let sb = Signature([b.0, b.1, b.2, b.3]);
+            prop_assert_eq!(sa.curve_distance(&sb), sb.curve_distance(&sa));
+            prop_assert_eq!(sa.curve_distance(&sa), 0);
+            prop_assert_eq!(sb.curve_distance(&sb), 0);
+        }
+
         /// Signature stability: perturbing vertices slightly moves the
         /// characteristic curves by at most a few steps.
         #[test]

@@ -16,6 +16,7 @@
 //!   elastic matching, and the Mehrotra–Gary edge-normalized feature index
 //!   the paper compares against.
 
+pub mod approx;
 pub mod baselines;
 pub mod dynamic;
 pub mod hashing;
@@ -28,6 +29,7 @@ pub mod selectivity;
 pub mod shapebase;
 pub mod similarity;
 
+pub use approx::{AnswerTier, ApproxOptions, ApproxScratch, ApproxStats, DEFAULT_HASH_CURVES};
 pub use dynamic::{DynMatch, DynamicBase, GlobalShapeId, Snapshot};
 pub use ids::{CopyId, ImageId, ShapeId};
 pub use matcher::{MatchConfig, MatchOutcome, Matcher, MatcherPlan};

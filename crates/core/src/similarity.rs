@@ -258,6 +258,42 @@ pub fn score_prepared_bounded(
     }
 }
 
+/// [`score_with`] with a pruning cutoff — the candidate-polyline twin of
+/// [`score_prepared_bounded`], for candidates that are *not* pre-indexed
+/// (e.g. a level's stored normalized copies, which keep only their
+/// geometry). May return `f64::INFINITY` instead of the exact score when
+/// the score is provably **strictly greater** than `cutoff`; exact for
+/// callers that discard candidates above `cutoff` (ties score exactly).
+/// For the symmetric kind the forward (abandoning) direction runs first,
+/// so the reverse index — rebuilt into `back`, reusing its allocations —
+/// is only ever prepared for candidates that survive the forward scan.
+pub fn score_bounded_with(
+    kind: ScoreKind,
+    candidate: &Polyline,
+    query: &PreparedShape,
+    back: &mut Option<PreparedShape>,
+    cutoff: f64,
+) -> f64 {
+    if !cutoff.is_finite() {
+        return score_with(kind, candidate, query, back);
+    }
+    match kind {
+        ScoreKind::DiscreteDirected => h_avg_discrete_abandoning(candidate, query, cutoff),
+        ScoreKind::DiscreteSymmetric => {
+            let fwd = h_avg_discrete_abandoning(candidate, query, cutoff);
+            if !fwd.is_finite() {
+                return f64::INFINITY;
+            }
+            let back = prepare_into(back, candidate);
+            let rev = h_avg_discrete_abandoning(query.shape(), back, cutoff);
+            fwd.max(rev)
+        }
+        ScoreKind::ContinuousDirected | ScoreKind::ContinuousSymmetric => {
+            score_with(kind, candidate, query, back)
+        }
+    }
+}
+
 /// Fill `slot` with an index over `shape`, reusing its allocations when
 /// already occupied.
 pub fn prepare_into<'a>(slot: &'a mut Option<PreparedShape>, shape: &Polyline) -> &'a PreparedShape {

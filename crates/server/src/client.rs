@@ -120,6 +120,44 @@ pub struct ExplainReply {
     pub retry_after_ms: u32,
 }
 
+/// What an approximate-retrieval round trip produced: the reranked
+/// matches (true `h_avg` scores — only recall is approximate) plus the
+/// tier report.
+#[derive(Debug, Clone)]
+pub struct ApproxReply {
+    /// Snapshot epoch the query ran against.
+    pub epoch: u64,
+    /// Which tier produced the answer: the signature-index cascade, or
+    /// the exact matcher when the cascade came up empty.
+    pub tier: geosir_core::AnswerTier,
+    /// Final curve-distance ring the probe reached.
+    pub radius: u16,
+    /// Signature buckets inspected across all level indexes + buffer.
+    pub buckets_probed: u64,
+    /// Candidate copies collected for reranking.
+    pub candidates: u64,
+    /// Total copies in the corpus — `corpus_copies / candidates` is the
+    /// candidate-set reduction the index bought.
+    pub corpus_copies: u64,
+    /// Candidates actually scored by the exact reranker.
+    pub reranked: u64,
+    /// Hits, best score first.
+    pub matches: Vec<WireMatch>,
+    /// Trace id this query carried.
+    pub trace: u64,
+    /// True when the server shed the request under load (`Busy`).
+    pub rejected: bool,
+    /// Server's retry-after hint when shed, milliseconds (0 = none).
+    pub retry_after_ms: u32,
+}
+
+impl ApproxReply {
+    /// Candidate-set reduction factor (corpus copies per candidate).
+    pub fn reduction(&self) -> f64 {
+        self.corpus_copies as f64 / self.candidates.max(1) as f64
+    }
+}
+
 /// A random nonzero odd seed without a rand dependency: hash a fresh
 /// `RandomState` (per-process random) plus a monotonically bumped
 /// counter (per-client distinct).
@@ -253,6 +291,66 @@ impl Client {
                 queue_us: 0,
                 matches: Vec::new(),
                 report: Default::default(),
+                rejected: true,
+                retry_after_ms,
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Approximate retrieval through the signature-index tier: probe
+    /// buckets in rings of increasing curve distance, rerank the
+    /// candidates exactly. `max_radius` / `max_candidates` = 0 take the
+    /// server defaults. The reply says which tier answered and how much
+    /// the index narrowed the candidate set.
+    pub fn similar_approx(
+        &mut self,
+        query: &Polyline,
+        k: u32,
+        max_radius: u16,
+        max_candidates: u32,
+    ) -> Result<ApproxReply, WireError> {
+        let trace = self.fresh_trace();
+        let reply = self.request(&Frame::QueryApprox {
+            k,
+            trace,
+            max_radius,
+            max_candidates,
+            shape: WireShape::from_polyline(query),
+        })?;
+        match reply {
+            Frame::ApproxMatches {
+                epoch,
+                tier,
+                radius,
+                buckets_probed,
+                candidates,
+                corpus_copies,
+                reranked,
+                matches,
+            } => Ok(ApproxReply {
+                epoch,
+                tier: geosir_core::AnswerTier::from_code(tier),
+                radius,
+                buckets_probed,
+                candidates,
+                corpus_copies,
+                reranked,
+                matches,
+                trace,
+                rejected: false,
+                retry_after_ms: 0,
+            }),
+            Frame::Busy { retry_after_ms } => Ok(ApproxReply {
+                epoch: 0,
+                tier: geosir_core::AnswerTier::default(),
+                radius: 0,
+                buckets_probed: 0,
+                candidates: 0,
+                corpus_copies: 0,
+                reranked: 0,
+                matches: Vec::new(),
+                trace,
                 rejected: true,
                 retry_after_ms,
             }),
@@ -500,6 +598,24 @@ impl PipelinedClient {
     /// Submit a k-nearest query without waiting.
     pub fn submit_query(&mut self, query: &Polyline, k: u32) -> Result<u64, WireError> {
         self.submit(&Frame::Query { k, trace: 0, shape: WireShape::from_polyline(query) })
+    }
+
+    /// Submit an approximate-tier query without waiting; the reply is a
+    /// [`Frame::ApproxMatches`]. Zero knobs take the server defaults.
+    pub fn submit_query_approx(
+        &mut self,
+        query: &Polyline,
+        k: u32,
+        max_radius: u16,
+        max_candidates: u32,
+    ) -> Result<u64, WireError> {
+        self.submit(&Frame::QueryApprox {
+            k,
+            trace: 0,
+            max_radius,
+            max_candidates,
+            shape: WireShape::from_polyline(query),
+        })
     }
 
     /// Push all buffered request bytes to the socket.

@@ -34,7 +34,9 @@ mod poll;
 pub mod server;
 pub mod wire;
 
-pub use client::{BatchReply, Client, ClientConfig, ExplainReply, PipelinedClient, QueryReply};
+pub use client::{
+    ApproxReply, BatchReply, Client, ClientConfig, ExplainReply, PipelinedClient, QueryReply,
+};
 pub use durable::{BaseTemplate, DurabilityConfig, RecoveryReport};
 pub use geosir_obs as obs;
 pub use server::{serve, serve_durable, ServeConfig, ServerHandle};

@@ -36,6 +36,13 @@
 //! | `geosir_poll_events_per_wake` | histogram | readiness events delivered per wakeup |
 //! | `geosir_conns_open` | gauge | connections currently registered with the event loop |
 //! | `geosir_coalesced_batch` | histogram | read-queue jobs coalesced per worker pop |
+//! | `geosir_approx_buckets` | gauge | occupied signature buckets across level indexes |
+//! | `geosir_approx_avg_bucket_size_x1000` | gauge | mean copies per occupied bucket, ×1000 |
+//!
+//! The per-query approximate-tier series (`geosir_approx_queries_total`,
+//! probe radius / candidate histograms, …) are recorded inside
+//! `geosir-core` through the worker threads' registry binding and need
+//! no handles here.
 
 use std::sync::Arc;
 
@@ -93,6 +100,11 @@ pub struct Metrics {
     pub poll_events: Arc<obs::Histogram>,
     pub conns_open: Arc<obs::Gauge>,
     pub coalesced_batch: Arc<obs::Histogram>,
+
+    /// Signature-index shape of the published snapshot: occupied buckets
+    /// and (gauges are integral) mean bucket size ×1000.
+    pub approx_buckets: Arc<obs::Gauge>,
+    pub approx_avg_bucket_size_x1000: Arc<obs::Gauge>,
 }
 
 impl Metrics {
@@ -130,6 +142,8 @@ impl Metrics {
             poll_events: r.histogram("geosir_poll_events_per_wake", &[]),
             conns_open: r.gauge("geosir_conns_open", &[]),
             coalesced_batch: r.histogram("geosir_coalesced_batch", &[]),
+            approx_buckets: r.gauge("geosir_approx_buckets", &[]),
+            approx_avg_bucket_size_x1000: r.gauge("geosir_approx_avg_bucket_size_x1000", &[]),
             registry,
         }
     }

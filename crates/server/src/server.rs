@@ -73,7 +73,7 @@ use std::time::{Duration, Instant};
 use geosir_core::dynamic::{DynMatch, DynamicBase, GlobalShapeId, QueryExplain, RetrieveStats, Snapshot};
 use geosir_core::matcher::MatchOutcome;
 use geosir_core::scratch::MatcherScratch;
-use geosir_core::ImageId;
+use geosir_core::{ApproxOptions, ApproxScratch, ApproxStats, ImageId};
 use geosir_geom::Polyline;
 use geosir_obs as obs;
 use geosir_storage::checkpoint::{self, CheckpointData};
@@ -413,6 +413,7 @@ impl Job {
         match &self.frame {
             Frame::Query { trace, .. }
             | Frame::Explain { trace, .. }
+            | Frame::QueryApprox { trace, .. }
             | Frame::Insert { trace, .. } => *trace,
             _ => 0,
         }
@@ -507,6 +508,8 @@ impl Shared {
         let snap = self.current_snapshot();
         m.epoch.set(snap.epoch() as i64);
         m.live_shapes.set(snap.len() as i64);
+        m.approx_buckets.set(snap.approx_num_buckets() as i64);
+        m.approx_avg_bucket_size_x1000.set((snap.approx_avg_bucket_size() * 1000.0) as i64);
     }
 
     fn stats(&self) -> ServerStats {
@@ -1292,6 +1295,7 @@ fn pump_conn(
         let outcome = match frame {
             Frame::Query { .. }
             | Frame::Explain { .. }
+            | Frame::QueryApprox { .. }
             | Frame::QueryBatch { .. }
             | Frame::Stats
             | Frame::MetricsDump => submit(
@@ -1444,8 +1448,8 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
             }
         };
         let outcome = match frame {
-            Frame::Query { .. } | Frame::Explain { .. } | Frame::QueryBatch { .. }
-            | Frame::Stats | Frame::MetricsDump => submit(
+            Frame::Query { .. } | Frame::Explain { .. } | Frame::QueryApprox { .. }
+            | Frame::QueryBatch { .. } | Frame::Stats | Frame::MetricsDump => submit(
                 &shared.read_queue,
                 shared,
                 Job { frame, reply: ReplyTo::Chan(reply_tx.clone()), enqueued: Instant::now() },
@@ -1494,6 +1498,8 @@ fn worker_loop(worker: usize, shared: &Arc<Shared>) {
     // retrieval path touches the heap only for the reply frame.
     let mut scratch = MatcherScratch::new();
     let mut tmp = MatchOutcome::default();
+    let mut ax = ApproxScratch::new();
+    let mut astats = ApproxStats::default();
     let mut hits = Vec::new();
     let mut rstats = RetrieveStats::default();
     let mut qx = QueryExplain::default();
@@ -1514,7 +1520,8 @@ fn worker_loop(worker: usize, shared: &Arc<Shared>) {
         }
         shared.metrics.coalesced_batch.record(jobs.len() as u64);
         // Runs of plain Query jobs that arrived together execute as one
-        // coalesced retrieval against a single snapshot; everything
+        // coalesced retrieval against a single snapshot; QueryApprox
+        // runs likewise share one snapshot pin per run; everything
         // else (Explain, Stats, batches, …) runs job-by-job.
         let mut i = 0;
         while i < jobs.len() {
@@ -1533,6 +1540,24 @@ fn worker_loop(worker: usize, shared: &Arc<Shared>) {
                     &busy_us,
                 );
                 i = j;
+                continue;
+            }
+            let mut ja = i;
+            while ja < jobs.len() && matches!(jobs[ja].frame, Frame::QueryApprox { .. }) {
+                ja += 1;
+            }
+            if ja > i {
+                run_approx_run(
+                    shared,
+                    &jobs[i..ja],
+                    &mut scratch,
+                    &mut tmp,
+                    &mut ax,
+                    &mut astats,
+                    &mut hits,
+                    &busy_us,
+                );
+                i = ja;
             } else {
                 run_read_job(
                     shared,
@@ -1618,6 +1643,86 @@ fn run_query_run(
                     rs,
                 );
                 Frame::Matches { epoch: snap.epoch(), matches: to_wire(hits) }
+            }
+            None => bad_shape(),
+        };
+        shared.metrics.requests.inc();
+        shared.metrics.latency(ReqKind::Query).record(job.enqueued.elapsed().as_micros() as u64);
+        job.reply.send(reply);
+    }
+    busy_us.add(started.elapsed().as_micros() as u64);
+}
+
+/// Execute a run of `QueryApprox` jobs against a single snapshot pin.
+/// Each query probes the signature index and reranks its own candidate
+/// set (there is no cross-query batching to exploit — the win is the
+/// shared snapshot clone and the per-worker scratch reuse), and the
+/// reply carries the tier report the client renders.
+#[allow(clippy::too_many_arguments)]
+fn run_approx_run(
+    shared: &Arc<Shared>,
+    jobs: &[Job],
+    scratch: &mut MatcherScratch,
+    tmp: &mut MatchOutcome,
+    ax: &mut ApproxScratch,
+    astats: &mut ApproxStats,
+    hits: &mut Vec<DynMatch>,
+    busy_us: &obs::Counter,
+) {
+    let started = Instant::now();
+    let traces = shared.metrics.registry.traces();
+    let snap = shared.current_snapshot();
+    for job in jobs {
+        let queue_wait_us = job.enqueued.elapsed().as_micros() as u64;
+        let Frame::QueryApprox { k, trace, max_radius, max_candidates, shape } = &job.frame else {
+            continue;
+        };
+        let reply = match shape.to_polyline() {
+            Some(query) => {
+                shared.metrics.queries.inc();
+                let mut opts = ApproxOptions { k: *k as usize, ..ApproxOptions::default() };
+                if *max_radius != 0 {
+                    opts.max_radius = *max_radius;
+                }
+                if *max_candidates != 0 {
+                    opts.max_candidates = *max_candidates as usize;
+                }
+                let span = obs::SpanGuard::enter("similar_approx");
+                snap.similar_approx_with(scratch, tmp, ax, &query, &opts, hits, astats);
+                let probe_us = span.elapsed_us();
+                drop(span);
+                let trace_id = if *trace != 0 { *trace } else { traces.assign_id() };
+                let mut ev = obs::TraceEvent::new(trace_id, "query_approx");
+                ev.total_us = queue_wait_us + probe_us;
+                ev.stage("queue_wait", queue_wait_us)
+                    .stage("probe_rerank", probe_us)
+                    .note("epoch", snap.epoch())
+                    .note("tier", astats.tier.code() as u64)
+                    .note("radius", astats.radius as u64)
+                    .note("buckets_probed", astats.buckets_probed)
+                    .note("candidates", astats.candidates)
+                    .note("reranked", astats.reranked)
+                    .note("reduction_x100", (astats.reduction() * 100.0) as u64)
+                    .note("hits", hits.len() as u64);
+                traces.push(ev);
+                shared.record_flight(
+                    trace_id,
+                    obs::flight::KIND_QUERY,
+                    queue_wait_us + probe_us,
+                    queue_wait_us,
+                    snap.epoch(),
+                    &RetrieveStats::default(),
+                );
+                Frame::ApproxMatches {
+                    epoch: snap.epoch(),
+                    tier: astats.tier.code(),
+                    radius: astats.radius,
+                    buckets_probed: astats.buckets_probed,
+                    candidates: astats.candidates,
+                    corpus_copies: astats.corpus_copies,
+                    reranked: astats.reranked,
+                    matches: to_wire(hits),
+                }
             }
             None => bad_shape(),
         };

@@ -210,6 +210,12 @@ pub enum Frame {
     /// rides the same read queue and sees the same snapshot a plain
     /// query would.
     Explain { k: u32, trace: u64, shape: WireShape },
+    /// Approximate retrieval (v5): probe the signature index in rings of
+    /// increasing curve distance, rerank candidates with the exact
+    /// early-abandoning `h_avg`. `max_radius` is the soft ring
+    /// preference, `max_candidates` the collection budget (0 = server
+    /// default for either). Pipelinable and coalesced like `Query`.
+    QueryApprox { k: u32, trace: u64, max_radius: u16, max_candidates: u32, shape: WireShape },
     /// Begin graceful shutdown: in-flight requests drain, then the server
     /// exits.
     Shutdown,
@@ -240,6 +246,22 @@ pub enum Frame {
         matches: Vec<WireMatch>,
         report: QueryExplain,
     },
+    /// Reply to `QueryApprox` (v5): the reranked matches plus the tier
+    /// report — which tier answered (`tier`: 0 = approx, 1 = exact
+    /// fallback, the `AnswerTier` codes), the final probe radius,
+    /// buckets probed, candidates collected vs
+    /// the corpus copy count (their ratio is the candidate-set
+    /// reduction), and the rerank cost.
+    ApproxMatches {
+        epoch: u64,
+        tier: u8,
+        radius: u16,
+        buckets_probed: u64,
+        candidates: u64,
+        corpus_copies: u64,
+        reranked: u64,
+        matches: Vec<WireMatch>,
+    },
     /// Load shed: the bounded request queue was full. Retry after the
     /// hinted delay (0 = client's choice).
     Busy { retry_after_ms: u32 },
@@ -259,6 +281,7 @@ mod frame_type {
     pub const SHUTDOWN: u8 = 6;
     pub const METRICS_DUMP: u8 = 7;
     pub const EXPLAIN: u8 = 8;
+    pub const QUERY_APPROX: u8 = 9;
     pub const MATCHES: u8 = 64;
     pub const BATCH_MATCHES: u8 = 65;
     pub const INSERTED: u8 = 66;
@@ -269,6 +292,7 @@ mod frame_type {
     pub const ERROR: u8 = 71;
     pub const METRICS_REPORT: u8 = 72;
     pub const EXPLAIN_REPORT: u8 = 73;
+    pub const APPROX_MATCHES: u8 = 74;
 
     /// Is `t` an assigned discriminant *in protocol version `v`*? Frame
     /// types introduced later must read as [`super::WireError::BadType`]
@@ -280,6 +304,7 @@ mod frame_type {
             BUSY | BYE | ERROR => true,
             METRICS_DUMP | METRICS_REPORT => v >= 3,
             EXPLAIN | EXPLAIN_REPORT => v >= 4,
+            QUERY_APPROX | APPROX_MATCHES => v >= 5,
             _ => false,
         }
     }
@@ -572,7 +597,9 @@ impl Frame {
             Frame::Stats => frame_type::STATS,
             Frame::MetricsDump => frame_type::METRICS_DUMP,
             Frame::Explain { .. } => frame_type::EXPLAIN,
+            Frame::QueryApprox { .. } => frame_type::QUERY_APPROX,
             Frame::ExplainReport { .. } => frame_type::EXPLAIN_REPORT,
+            Frame::ApproxMatches { .. } => frame_type::APPROX_MATCHES,
             Frame::MetricsReport { .. } => frame_type::METRICS_REPORT,
             Frame::Shutdown => frame_type::SHUTDOWN,
             Frame::Matches { .. } => frame_type::MATCHES,
@@ -596,6 +623,13 @@ impl Frame {
                 if version >= 3 {
                     out.put_u64_le(*trace);
                 }
+                put_shape(out, shape);
+            }
+            Frame::QueryApprox { k, trace, max_radius, max_candidates, shape } => {
+                out.put_u32_le(*k);
+                out.put_u64_le(*trace);
+                out.put_u16_le(*max_radius);
+                out.put_u32_le(*max_candidates);
                 put_shape(out, shape);
             }
             Frame::QueryBatch { k, shapes } => {
@@ -638,6 +672,25 @@ impl Frame {
                 out.put_u64_le(*queue_us);
                 put_matches(out, matches);
                 put_explain(out, report);
+            }
+            Frame::ApproxMatches {
+                epoch,
+                tier,
+                radius,
+                buckets_probed,
+                candidates,
+                corpus_copies,
+                reranked,
+                matches,
+            } => {
+                out.put_u64_le(*epoch);
+                out.put_u8(*tier);
+                out.put_u16_le(*radius);
+                out.put_u64_le(*buckets_probed);
+                out.put_u64_le(*candidates);
+                out.put_u64_le(*corpus_copies);
+                out.put_u64_le(*reranked);
+                put_matches(out, matches);
             }
             Frame::BatchMatches { epoch, results } => {
                 out.put_u64_le(*epoch);
@@ -753,6 +806,16 @@ impl Frame {
                 let trace = buf.get_u64_le();
                 Frame::Explain { k, trace, shape: get_shape(buf)? }
             }
+            frame_type::QUERY_APPROX => {
+                if buf.len() < 18 {
+                    return Err(WireError::Malformed);
+                }
+                let k = buf.get_u32_le();
+                let trace = buf.get_u64_le();
+                let max_radius = buf.get_u16_le();
+                let max_candidates = buf.get_u32_le();
+                Frame::QueryApprox { k, trace, max_radius, max_candidates, shape: get_shape(buf)? }
+            }
             frame_type::SHUTDOWN => Frame::Shutdown,
             frame_type::MATCHES => {
                 if buf.len() < 8 {
@@ -772,6 +835,28 @@ impl Frame {
                 let matches = get_matches(buf)?;
                 let report = get_explain(buf)?;
                 Frame::ExplainReport { epoch, trace, total_us, queue_us, matches, report }
+            }
+            frame_type::APPROX_MATCHES => {
+                if buf.len() < 43 {
+                    return Err(WireError::Malformed);
+                }
+                let epoch = buf.get_u64_le();
+                let tier = buf.get_u8();
+                let radius = buf.get_u16_le();
+                let buckets_probed = buf.get_u64_le();
+                let candidates = buf.get_u64_le();
+                let corpus_copies = buf.get_u64_le();
+                let reranked = buf.get_u64_le();
+                Frame::ApproxMatches {
+                    epoch,
+                    tier,
+                    radius,
+                    buckets_probed,
+                    candidates,
+                    corpus_copies,
+                    reranked,
+                    matches: get_matches(buf)?,
+                }
             }
             frame_type::BATCH_MATCHES => {
                 if buf.len() < 12 {

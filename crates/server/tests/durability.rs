@@ -292,3 +292,61 @@ fn torn_wal_tail_recovers_to_last_valid_record() {
     handle.join();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// The signature index is derived state: it must be rebuilt from the
+/// WAL/checkpoint on restart, so approximate queries keep answering —
+/// with the approx tier, not the exact fallback — after recovery.
+#[test]
+fn approx_queries_survive_restart() {
+    let dir = tmpdir("approx-restart");
+    let cfg = ServeConfig { workers: 1, ..Default::default() };
+    let mut dcfg = DurabilityConfig::new(&dir);
+    dcfg.fsync = FsyncPolicy::Always;
+    dcfg.checkpoint_every = 10;
+
+    let mut acked: Vec<(u64, u64)> = Vec::new();
+    {
+        let (handle, _) =
+            serve_durable("127.0.0.1:0", &template(), dcfg.clone(), cfg.clone()).unwrap();
+        let mut c = Client::connect(handle.addr()).unwrap();
+        // 24 inserts: enough to overflow the buffer (cap 8) into levels
+        // and to cross checkpoint_every, so recovery exercises both the
+        // checkpoint load and the WAL tail replay.
+        for i in 0..24u64 {
+            let (_, id) = c.insert_retrying(i as u32, &tri(i)).unwrap();
+            acked.push((i, id));
+        }
+        // sanity: approx answers before the restart
+        let reply = c.similar_approx(&tri(0), 3, 0, 0).unwrap();
+        assert!(reply.matches.iter().any(|m| m.shape == acked[0].1));
+        assert!(
+            poll_until(Duration::from_secs(30), || handle.stats().checkpoints >= 1),
+            "checkpointer never ran"
+        );
+        handle.shutdown();
+        handle.join();
+    }
+
+    {
+        let (handle, report) =
+            serve_durable("127.0.0.1:0", &template(), dcfg.clone(), cfg.clone()).unwrap();
+        assert!(report.checkpoint_shapes > 0, "restart must load the checkpoint");
+        let mut c = Client::connect(handle.addr()).unwrap();
+        for &(i, id) in &acked {
+            let reply = c.similar_approx(&tri(i), 3, 0, 0).unwrap();
+            assert!(!reply.rejected);
+            assert!(
+                reply.matches.iter().any(|m| m.shape == id),
+                "shape {id} (tri {i}) missing from approx results after restart"
+            );
+            assert_eq!(
+                reply.tier,
+                geosir_core::AnswerTier::Approx,
+                "recovered signature index must answer, not the exact fallback"
+            );
+        }
+        handle.shutdown();
+        handle.join();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -338,3 +338,50 @@ fn client_metrics(addr: std::net::SocketAddr) -> geosir_serve::obs::Snapshot {
     let mut c = Client::connect(addr).unwrap();
     c.metrics().unwrap()
 }
+
+/// Pipelined `QueryApprox` frames interleave with plain queries on one
+/// connection: every correlation id gets its matching reply type, with
+/// the approx replies carrying a coherent tier report.
+#[test]
+fn pipelined_query_approx_interleaves_with_plain_queries() {
+    let (base, shapes) = base_with(32, 8, 23);
+    let handle = serve("127.0.0.1:0", base, ServeConfig::default()).unwrap();
+    let mut pc = PipelinedClient::connect(handle.addr()).unwrap();
+
+    let mut approx_corrs = Vec::new();
+    let mut plain_corrs = Vec::new();
+    for (i, shape) in shapes.iter().take(12).enumerate() {
+        if i % 2 == 0 {
+            approx_corrs.push((pc.submit_query_approx(shape, 2, 0, 0).unwrap(), i as u64));
+        } else {
+            plain_corrs.push((pc.submit_query(shape, 2).unwrap(), i as u64));
+        }
+    }
+    pc.flush().unwrap();
+    for (corr, want) in approx_corrs {
+        match pc.recv(corr).unwrap() {
+            Frame::ApproxMatches { candidates, corpus_copies, matches, .. } => {
+                assert!(candidates <= corpus_copies);
+                assert!(
+                    matches.iter().any(|m| m.shape == want),
+                    "approx corr {corr} lost shape {want}"
+                );
+            }
+            other => panic!("corr {corr}: want ApproxMatches, got {other:?}"),
+        }
+    }
+    for (corr, want) in plain_corrs {
+        match pc.recv(corr).unwrap() {
+            Frame::Matches { matches, .. } => {
+                assert!(
+                    matches.iter().any(|m| m.shape == want),
+                    "plain corr {corr} lost shape {want}"
+                );
+            }
+            other => panic!("corr {corr}: want Matches, got {other:?}"),
+        }
+    }
+    assert_eq!(pc.in_flight(), 0);
+    handle.shutdown();
+    handle.join();
+}

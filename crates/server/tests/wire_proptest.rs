@@ -104,7 +104,7 @@ fn rand_explain(rng: &mut StdRng) -> geosir_core::dynamic::QueryExplain {
 
 /// One random frame of each variant family, chosen by `pick`.
 fn rand_frame(pick: u8, rng: &mut StdRng) -> Frame {
-    match pick % 18 {
+    match pick % 20 {
         0 => Frame::Query { k: rng.random_range(0..64), trace: rng.random(), shape: rand_shape(rng) },
         1 => Frame::QueryBatch {
             k: rng.random_range(0..64),
@@ -146,6 +146,23 @@ fn rand_frame(pick: u8, rng: &mut StdRng) -> Frame {
             matches: rand_matches(rng),
             report: rand_explain(rng),
         },
+        17 => Frame::QueryApprox {
+            k: rng.random_range(0..64),
+            trace: rng.random(),
+            max_radius: rng.random(),
+            max_candidates: rng.random(),
+            shape: rand_shape(rng),
+        },
+        18 => Frame::ApproxMatches {
+            epoch: rng.random(),
+            tier: rng.random_range(0..2),
+            radius: rng.random(),
+            buckets_probed: rng.random(),
+            candidates: rng.random(),
+            corpus_copies: rng.random(),
+            reranked: rng.random(),
+            matches: rand_matches(rng),
+        },
         _ => Frame::Error {
             code: rng.random(),
             message: String::from_utf8(
@@ -158,7 +175,7 @@ fn rand_frame(pick: u8, rng: &mut StdRng) -> Frame {
 
 proptest! {
     #[test]
-    fn every_frame_type_round_trips(pick in 0u8..18, seed in 0u64..200) {
+    fn every_frame_type_round_trips(pick in 0u8..20, seed in 0u64..200) {
         let mut rng = StdRng::seed_from_u64(seed);
         let frame = rand_frame(pick, &mut rng);
         let mut buf = Vec::new();
@@ -186,7 +203,7 @@ proptest! {
     }
 
     #[test]
-    fn truncation_at_any_point_errors_cleanly(pick in 0u8..18, seed in 0u64..50) {
+    fn truncation_at_any_point_errors_cleanly(pick in 0u8..20, seed in 0u64..50) {
         let mut rng = StdRng::seed_from_u64(seed);
         let frame = rand_frame(pick, &mut rng);
         let mut buf = Vec::new();
@@ -437,6 +454,21 @@ fn frame_types_are_gated_by_version() {
     match Frame::decode(&exp) {
         Err(WireError::BadType(8)) => {}
         other => panic!("want BadType(8) on v3 EXPLAIN, got {other:?}"),
+    }
+    // QueryApprox is a v5 frame: a v4 peer must see an unknown type.
+    let mut qa = Vec::new();
+    Frame::QueryApprox {
+        k: 1,
+        trace: 0,
+        max_radius: 2,
+        max_candidates: 64,
+        shape: WireShape { closed: false, points: vec![] },
+    }
+    .encode_versioned(5, 0, &mut qa);
+    qa[0] = 4;
+    match Frame::decode(&qa) {
+        Err(WireError::BadType(9)) => {}
+        other => panic!("want BadType(9) on v4 QUERY_APPROX, got {other:?}"),
     }
 }
 

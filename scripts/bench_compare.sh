@@ -18,16 +18,27 @@
 #      >= 90% of the BENCH_5 capture-off qps (the un-pipelined path
 #      must not regress while the event loop evolves).
 #
+# When a BENCH_7.json (approx_recall) is present — or named as the
+# fourth argument — the approximate-tier quality gates run too:
+#
+#   5. the headline operating point must reduce the candidate set
+#      >= 10x vs the exhaustive scan, and
+#   6. recall@10 at that same point must be >= 0.95 against the
+#      exhaustive symmetric h_avg oracle.
+#
 # All files should come from the same machine in the same session
 # (CI regenerates them back-to-back); comparing artifacts produced on
-# different hardware measures the hardware, not the code.
+# different hardware measures the hardware, not the code. BENCH_7 is
+# machine-insensitive on the gated fields (recall and reduction are
+# counts, not clocks), so a checked-in artifact stays comparable.
 #
-# Usage: scripts/bench_compare.sh [BENCH_5.json [BENCH_4.json [BENCH_6.json]]]
+# Usage: scripts/bench_compare.sh [BENCH_5.json [BENCH_4.json [BENCH_6.json [BENCH_7.json]]]]
 set -euo pipefail
 
 B5="${1:-BENCH_5.json}"
 B4="${2:-BENCH_4.json}"
 B6="${3:-BENCH_6.json}"
+B7="${4:-BENCH_7.json}"
 
 for f in "$B5" "$B4"; do
     if [ ! -f "$f" ]; then
@@ -82,9 +93,7 @@ EOF
 # --- BENCH_6: pipelined C10K serve-path gates (optional) ---
 if [ ! -f "$B6" ]; then
     echo "bench_compare: no $B6 — skipping c10k gates (run serve_loadgen --c10k to enable)"
-    exit 0
-fi
-
+else
 python3 - "$B6" "$B5" <<'EOF'
 import json
 import sys
@@ -130,4 +139,42 @@ if compat < 0.90 * bench5_qps:
 if failed:
     sys.exit(1)
 print("bench_compare: OK (c10k)")
+EOF
+fi
+
+# --- BENCH_7: approximate-tier quality gates (optional) ---
+if [ ! -f "$B7" ]; then
+    echo "bench_compare: no $B7 — skipping approx gates (run approx_recall to enable)"
+    exit 0
+fi
+
+python3 - "$B7" <<'EOF'
+import json
+import sys
+
+b7_path = sys.argv[1]
+with open(b7_path) as f:
+    b7 = json.load(f)
+
+recall = b7["headline_recall_at_10"]
+reduction = b7["headline_reduction"]
+print(f"bench_compare: {b7_path} (approximate tier, "
+      f"{b7['n_shapes']} shapes / {b7['n_copies']} copies, "
+      f"k={b7['hash_curves']} curves)")
+print(f"  headline recall@10  {recall:>8.4f} (gate >= 0.95)")
+print(f"  headline reduction  {reduction:>7.2f}x (gate >= 10x)")
+best = max(b7["sweep"], key=lambda p: p["speedup_vs_scan"])
+print(f"  fastest sweep point {best['speedup_vs_scan']:.1f}x vs exhaustive scan "
+      f"(recall@10 {best['recall_at_10']:.3f})")
+
+failed = False
+if reduction < 10.0:
+    print(f"bench_compare: FAIL — candidate reduction {reduction:.2f}x (< 10x gate)")
+    failed = True
+if recall < 0.95:
+    print(f"bench_compare: FAIL — recall@10 {recall:.4f} (< 0.95 gate)")
+    failed = True
+if failed:
+    sys.exit(1)
+print("bench_compare: OK (approx)")
 EOF

@@ -16,6 +16,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q -p geosir-geom -p geosir-core --features simd
 cargo clippy -p geosir-geom -p geosir-core -p geosir-serve --features simd --all-targets -- -D warnings
 
+# Approximate tier: the geometric-hash and signature-cascade suites by
+# name, so a filter typo or module rename cannot silently drop them from
+# the gate (the full `cargo test` above already ran them once). Covers
+# the hashing proptests (clamp/curve-distance/ternary-vs-linear), the
+# sharded-vs-serial build parity test, signature index parity across
+# cascade merges, and the zero-allocation probe/rerank test.
+cargo test -q -p geosir-core hashing
+cargo test -q -p geosir-core approx
+cargo test -q --test alloc_approx
+
 # Durability hooks: crash-recovery harness (abort-at-failpoint children)
 # plus the full server suite with the fault hooks compiled in. Budget:
 # the crash tests must stay under 30 s wall — they are child-process

@@ -11,8 +11,11 @@
 //! [--metrics-addr ADDR] [--slow-query-log DIR] [--slow-query-us T]`
 //! instead boots the TCP retrieval server, durably when given a data
 //! directory (see `DESIGN.md` §7–§9), `geosir stats [ADDR]` scrapes a
-//! running server's metrics registry, and `geosir explain [ADDR]
-//! [--k K] [--seed N] [--verts V]` prints a query's retrieval plan.
+//! running server's metrics registry, `geosir explain [ADDR]
+//! [--k K] [--seed N] [--verts V]` prints a query's retrieval plan, and
+//! `geosir similar-approx [ADDR] [--k K] [--seed N] [--verts V]
+//! [--max-radius R] [--max-candidates C]` queries through the
+//! approximate signature-index tier and prints the tier report.
 
 use std::io::{BufRead, Write};
 
@@ -35,6 +38,13 @@ fn main() {
     if args.first().map(String::as_str) == Some("explain") {
         if let Err(msg) = geosir::server_cmd::explain(&args[1..]) {
             eprintln!("geosir explain: {msg}");
+            std::process::exit(2);
+        }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("similar-approx") {
+        if let Err(msg) = geosir::server_cmd::similar_approx(&args[1..]) {
+            eprintln!("geosir similar-approx: {msg}");
             std::process::exit(2);
         }
         return;

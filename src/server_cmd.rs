@@ -1,6 +1,8 @@
 //! `geosir serve` — boot the retrieval server from the command line —
-//! plus `geosir stats` (scrape a running one) and `geosir explain`
-//! (run one query with full plan capture and pretty-print the report).
+//! plus `geosir stats` (scrape a running one), `geosir explain`
+//! (run one query with full plan capture and pretty-print the report),
+//! and `geosir similar-approx` (query through the approximate
+//! signature-index tier and print the tier report).
 //!
 //! ```sh
 //! geosir serve [ADDR] [--shapes N] [--workers W] [--queue-cap Q]
@@ -9,6 +11,8 @@
 //!              [--slow-query-log DIR] [--slow-query-us T]
 //! geosir stats [ADDR]
 //! geosir explain [ADDR] [--k K] [--seed N] [--verts V]
+//! geosir similar-approx [ADDR] [--k K] [--seed N] [--verts V]
+//!                       [--max-radius R] [--max-candidates C]
 //! ```
 //!
 //! Binds `ADDR` (default `127.0.0.1:7401`; use port 0 for an ephemeral
@@ -289,6 +293,76 @@ fn print_explain(addr: &str, k: u32, seed: u64, verts: usize, reply: &geosir_ser
     if r.buffer_scored > 0 {
         println!("buffer:  {} unmerged shape(s) brute-force scored", r.buffer_scored);
     }
+}
+
+/// `geosir similar-approx [ADDR] [--k K] [--seed N] [--verts V]
+/// [--max-radius R] [--max-candidates C]`: send one `QueryApprox`
+/// frame with a deterministic synthetic query shape (same family as
+/// `geosir explain`) and print the matches plus the tier report — which
+/// tier answered, how far the signature probe went, and how much the
+/// index narrowed the candidate set before the exact rerank.
+pub fn similar_approx(args: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7401".to_string();
+    let mut k = 4u32;
+    let mut seed = 5u64;
+    let mut verts = 16usize;
+    let mut max_radius = 0u16;
+    let mut max_candidates = 0u32;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--k" => k = int_flag("--k", it.next())? as u32,
+            "--seed" => seed = int_flag("--seed", it.next())? as u64,
+            "--verts" => verts = int_flag("--verts", it.next())?,
+            "--max-radius" => max_radius = int_flag("--max-radius", it.next())? as u16,
+            "--max-candidates" => {
+                max_candidates = int_flag("--max-candidates", it.next())? as u32;
+            }
+            other if !other.starts_with('-') => addr = other.to_string(),
+            other => {
+                return Err(format!(
+                    "unknown flag {other} (usage: geosir similar-approx [ADDR] [--k K] \
+                     [--seed N] [--verts V] [--max-radius R] [--max-candidates C])"
+                ));
+            }
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let query = random_simple_polygon(&mut rng, verts.max(3), 0.35);
+    let mut client = geosir_serve::Client::connect(&addr)
+        .map_err(|e| format!("connect {addr}: {e:?}"))?;
+    let reply = client
+        .similar_approx(&query, k, max_radius, max_candidates)
+        .map_err(|e| format!("similar-approx on {addr}: {e:?}"))?;
+    if reply.rejected {
+        return Err(format!("server busy (retry after {} ms)", reply.retry_after_ms));
+    }
+    println!(
+        "SIMILAR-APPROX @{addr}  trace={}  epoch={}  (k={k}, seed={seed}, {verts} vertices)",
+        reply.trace, reply.epoch
+    );
+    println!(
+        "tier:    {}  (probe radius {}, {} buckets probed)",
+        reply.tier.name(),
+        reply.radius,
+        reply.buckets_probed
+    );
+    println!(
+        "funnel:  {} corpus copies -> {} candidates ({:.1}x reduction) -> {} reranked",
+        reply.corpus_copies,
+        reply.candidates,
+        reply.reduction(),
+        reply.reranked
+    );
+    if reply.matches.is_empty() {
+        println!("matches: 0");
+    } else {
+        println!("matches: {}", reply.matches.len());
+        for (i, m) in reply.matches.iter().enumerate() {
+            println!("  {:>2}. shape {}  image {}  score {:.4}", i + 1, m.shape, m.image, m.score);
+        }
+    }
+    Ok(())
 }
 
 fn int_flag(name: &str, value: Option<&String>) -> Result<usize, String> {
