@@ -64,6 +64,19 @@
 //! ```sh
 //! cargo run --release -p geosir-bench --bin serve_loadgen -- --explain-ab
 //! ```
+//!
+//! With `--cluster` it measures the **sharded cluster**: a direct
+//! single-node durable server as the baseline, then the scatter-gather
+//! router over 1/2/4 shards (per-shard query attribution comes from the
+//! router's own registry), a replication-lag storm against a 1×1
+//! cluster (the lag gauge must visibly rise and then drain to zero),
+//! and a killed-replica window where every query must still be
+//! answered. Writes `BENCH_8.json`:
+//!
+//! ```sh
+//! cargo run --release -p geosir-bench --bin serve_loadgen -- \
+//!     --cluster --warmup-secs 1 --measure-secs 3 1200
+//! ```
 
 use geosir_bench::{percentile_us, scaling_corpus};
 use geosir_serve::obs::Snapshot;
@@ -73,6 +86,7 @@ use geosir_core::matcher::MatchConfig;
 use geosir_geom::rangesearch::Backend;
 use geosir_geom::{Point, Polyline};
 use geosir_imaging::synth::random_simple_polygon;
+use geosir_serve::cluster::ClusterConfig;
 use geosir_serve::wire::{ServerStats, WireShape};
 use geosir_serve::{
     serve, serve_durable, BaseTemplate, Client, DurabilityConfig, Frame, PipelinedClient,
@@ -106,6 +120,7 @@ struct Args {
     fsync: Option<FsyncPolicy>,
     explain_ab: bool,
     c10k: bool,
+    cluster: bool,
     pipeline_depth: usize,
     idle_conns: usize,
     backend: Backend,
@@ -121,6 +136,7 @@ fn parse_args() -> Args {
         fsync: None,
         explain_ab: false,
         c10k: false,
+        cluster: false,
         pipeline_depth: 32,
         // In-process loadgen holds BOTH ends of every socket (2 fds per
         // connection), so the default stays under a 20 000-fd rlimit
@@ -143,6 +159,7 @@ fn parse_args() -> Args {
             }
             "--explain-ab" => args.explain_ab = true,
             "--c10k" => args.c10k = true,
+            "--cluster" => args.cluster = true,
             "--pipeline-depth" => {
                 args.pipeline_depth = (num(it.next(), "--pipeline-depth") as usize).max(1)
             }
@@ -1139,6 +1156,394 @@ fn run_c10k(args: &Args, cores: usize) {
     println!("wrote BENCH_6.json (c10k pipelined serve path)");
 }
 
+/// What a router-driven closed-loop window saw. Unlike [`ThreadReport`]
+/// this tracks partial answers (`shards_ok < shards_total`) and does
+/// NOT assert per-connection epoch monotonicity — merged replies carry
+/// whichever shard epochs contributed, so ordering across shards is
+/// meaningless.
+#[derive(Default)]
+struct RouterWindow {
+    latencies_us: Vec<u64>,
+    requests: u64,
+    /// Query attempts (requests minus inserts).
+    queries: u64,
+    /// Queries that came back with matches (not `Busy`-shed).
+    answered: u64,
+    partial: u64,
+    inserts: u64,
+    busy_rejects: u64,
+    /// The subset of `busy_rejects` that were queries.
+    query_busy: u64,
+    elapsed: f64,
+}
+
+impl RouterWindow {
+    fn qps(&self) -> f64 {
+        self.requests as f64 / self.elapsed.max(1e-9)
+    }
+    fn p50(&mut self) -> u64 {
+        percentile_us(&mut self.latencies_us, 0.5)
+    }
+    fn p99(&mut self) -> u64 {
+        percentile_us(&mut self.latencies_us, 0.99)
+    }
+    /// Fraction of non-shed queries that got an answer. `Busy` is
+    /// backpressure, not unavailability, so it stays out of both sides.
+    fn answered_fraction(&self) -> f64 {
+        self.answered as f64 / (self.queries - self.query_busy).max(1) as f64
+    }
+}
+
+/// Closed-loop window against a router (or any single server — a plain
+/// `geosir-serve` replies `1/1`, so `partial` stays zero there).
+fn drive_router(addr: std::net::SocketAddr, args: &Args, connections: usize) -> RouterWindow {
+    let (_, queries) = scaling_corpus(args.n_shapes);
+    let measuring = Arc::new(AtomicBool::new(false));
+    let running = Arc::new(AtomicBool::new(true));
+    let mut threads = Vec::new();
+    for conn_id in 0..connections {
+        let queries = queries.clone();
+        let measuring = measuring.clone();
+        let running = running.clone();
+        let insert_permille = args.insert_permille;
+        threads.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(9000 + conn_id as u64);
+            let mut client = Client::connect(addr).expect("connect");
+            let mut w = RouterWindow::default();
+            let mut next_image = 2_000_000u32 + conn_id as u32 * 1_000_000;
+            let mut qi = conn_id;
+            while running.load(Ordering::Relaxed) {
+                let do_insert = rng.random_range(0..1000) < insert_permille;
+                let t = Instant::now();
+                let mut unanswered = false;
+                let (rejected, was_partial) = if do_insert {
+                    let shape = fresh_shape(&mut rng);
+                    next_image += 1;
+                    (client.insert(next_image, &shape).expect("insert").is_none(), false)
+                } else {
+                    let q = &queries[qi % queries.len()];
+                    qi += 1;
+                    match client.query(q, 1) {
+                        Ok(reply) => (reply.rejected, reply.shards_ok < reply.shards_total),
+                        // the router exhausted every backend of some shard
+                        // inside the deadline: an availability miss the
+                        // report must count, not a harness crash
+                        Err(geosir_serve::wire::WireError::Server { .. }) => {
+                            unanswered = true;
+                            (false, false)
+                        }
+                        Err(e) => panic!("query failed: {e:?}"),
+                    }
+                };
+                let us = t.elapsed().as_micros() as u64;
+                if measuring.load(Ordering::Relaxed) {
+                    w.requests += 1;
+                    if !do_insert {
+                        w.queries += 1;
+                    }
+                    if unanswered {
+                        // counted in `queries` but not `answered`
+                    } else if rejected {
+                        w.busy_rejects += 1;
+                        if !do_insert {
+                            w.query_busy += 1;
+                        }
+                    } else {
+                        if do_insert {
+                            w.inserts += 1;
+                        } else {
+                            w.answered += 1;
+                            if was_partial {
+                                w.partial += 1;
+                            }
+                        }
+                        w.latencies_us.push(us);
+                    }
+                }
+            }
+            w
+        }));
+    }
+    std::thread::sleep(Duration::from_secs_f64(args.warmup_secs));
+    measuring.store(true, Ordering::Relaxed);
+    let window = Instant::now();
+    std::thread::sleep(Duration::from_secs_f64(args.measure_secs));
+    measuring.store(false, Ordering::Relaxed);
+    let elapsed = window.elapsed().as_secs_f64();
+    running.store(false, Ordering::Relaxed);
+    let mut merged = RouterWindow::default();
+    for t in threads {
+        let r = t.join().expect("router client thread");
+        merged.latencies_us.extend(r.latencies_us);
+        merged.requests += r.requests;
+        merged.queries += r.queries;
+        merged.answered += r.answered;
+        merged.partial += r.partial;
+        merged.inserts += r.inserts;
+        merged.busy_rejects += r.busy_rejects;
+        merged.query_busy += r.query_busy;
+    }
+    merged.elapsed = elapsed;
+    assert!(!merged.latencies_us.is_empty(), "router window served no requests");
+    merged
+}
+
+/// Per-shard attribution pulled from the router's own registry after a
+/// window: who answered, who hedged, who failed over.
+fn shard_attribution_json(snap: &Snapshot, shards: usize, indent: &str) -> String {
+    let rows: Vec<String> = (0..shards)
+        .map(|s| {
+            let l = s.to_string();
+            let lbl: &[(&str, &str)] = &[("shard", &l)];
+            let (p50, p99) = match snap.histogram("geosir_router_shard_latency_us", lbl) {
+                Some(h) => (h.quantile(0.5), h.quantile(0.99)),
+                None => (0, 0),
+            };
+            format!(
+                "{indent}{{ \"shard\": {s}, \"queries\": {}, \"hedges\": {}, \
+                 \"failovers\": {}, \"busy_retries\": {}, \"dropped\": {}, \
+                 \"latency_p50_us\": {p50}, \"latency_p99_us\": {p99} }}",
+                snap.counter("geosir_router_shard_queries_total", lbl),
+                snap.counter("geosir_router_hedges_total", lbl),
+                snap.counter("geosir_router_failovers_total", lbl),
+                snap.counter("geosir_router_busy_retries_total", lbl),
+                snap.counter("geosir_router_shard_dropped_total", lbl),
+            )
+        })
+        .collect();
+    rows.join(",\n")
+}
+
+fn cluster_bench_cfg(dir: &PathBuf, shards: usize, replicas: usize) -> ClusterConfig {
+    ClusterConfig { shards, replicas, ..ClusterConfig::new(dir) }
+}
+
+/// The `--cluster` mode: router overhead and scaling vs a direct
+/// durable single node, per-shard attribution, replication-lag storm
+/// and drain, and a killed-replica availability window. Writes
+/// `BENCH_8.json`.
+fn run_cluster(args: &Args, cores: usize) {
+    let (shapes, _) = scaling_corpus(args.n_shapes);
+    let template = base_template(args.backend);
+    let scratch = |name: &str| {
+        let mut d = std::env::temp_dir();
+        d.push(format!("geosir-clusterbench-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    };
+
+    // -- direct baseline: one durable server, no router in the path --
+    let dir = scratch("direct");
+    let mut dcfg = DurabilityConfig::new(&dir);
+    dcfg.fsync = FsyncPolicy::Never;
+    let (handle, _) =
+        serve_durable("127.0.0.1:0", &template, dcfg, ServeConfig::default())
+            .expect("bind direct baseline");
+    {
+        let mut loader = Client::connect(handle.addr()).expect("loader connect");
+        for (image, shape) in &shapes {
+            loader.insert_retrying(image.0, shape).expect("direct ingest");
+        }
+    }
+    let mut direct = drive_router(handle.addr(), args, args.connections);
+    let (direct_p50, direct_p99) = (direct.p50(), direct.p99());
+    println!(
+        "[direct 1-node] {:.0} qps, p50 {direct_p50} µs, p99 {direct_p99} µs",
+        direct.qps()
+    );
+    shutdown_server(handle);
+    cleanup_dir(&dir);
+
+    // -- scaling sweep: the same workload through the router --
+    struct ClusterPoint {
+        shards: usize,
+        window: RouterWindow,
+        p50: u64,
+        p99: u64,
+        attribution: String,
+        partial_replies: u64,
+    }
+    let mut points: Vec<ClusterPoint> = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let dir = scratch(&format!("s{shards}"));
+        let cluster = geosir_serve::cluster::start_cluster(
+            "127.0.0.1:0",
+            &template,
+            cluster_bench_cfg(&dir, shards, 0),
+        )
+        .expect("start cluster");
+        {
+            let mut loader = Client::connect(cluster.addr()).expect("loader connect");
+            for (image, shape) in &shapes {
+                loader.insert_retrying(image.0, shape).expect("cluster ingest");
+            }
+        }
+        let mut w = drive_router(cluster.addr(), args, args.connections);
+        let (p50, p99) = (w.p50(), w.p99());
+        let snap = cluster.registry().snapshot();
+        let attribution = shard_attribution_json(&snap, shards, "      ");
+        let partial_replies = snap.counter("geosir_router_partial_replies_total", &[]);
+        println!(
+            "[cluster shards={shards}] {:.0} qps, p50 {p50} µs, p99 {p99} µs, \
+             partial {} of {} answered",
+            w.qps(),
+            w.partial,
+            w.answered
+        );
+        cluster.shutdown();
+        cleanup_dir(&dir);
+        points.push(ClusterPoint { shards, window: w, p50, p99, attribution, partial_replies });
+    }
+    let overhead_ratio = points[0].window.qps() / direct.qps().max(1e-9);
+    let scaling_1_to_4 =
+        points.last().unwrap().window.qps() / points[0].window.qps().max(1e-9);
+    println!(
+        "router overhead: 1-shard cluster at {:.0}% of direct; scaling 1→4 shards {:.2}x \
+         (host has {cores} core(s) — linear scaling needs ≥4)",
+        overhead_ratio * 100.0,
+        scaling_1_to_4
+    );
+
+    // -- replication storm: burst inserts into a 1×1 cluster and watch
+    // the lag gauge rise, then drain to zero --
+    let dir = scratch("repl");
+    let mut rcfg = cluster_bench_cfg(&dir, 1, 1);
+    // a lazy ship cadence lets the gauge visibly accumulate mid-storm
+    rcfg.repl_interval = Duration::from_millis(50);
+    let cluster = geosir_serve::cluster::start_cluster("127.0.0.1:0", &template, rcfg)
+        .expect("start repl cluster");
+    let reg = cluster.registry();
+    let sampling = Arc::new(AtomicBool::new(true));
+    let sampler = {
+        let reg = reg.clone();
+        let sampling = sampling.clone();
+        std::thread::spawn(move || {
+            let lbl: &[(&str, &str)] = &[("shard", "0")];
+            let mut peak = 0i64;
+            while sampling.load(Ordering::Relaxed) {
+                peak = peak.max(reg.snapshot().gauge("geosir_replication_lag_records", lbl));
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            peak
+        })
+    };
+    let storm = 300usize;
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut loader = Client::connect(cluster.addr()).expect("storm connect");
+    for i in 0..storm {
+        let shape = fresh_shape(&mut rng);
+        loader.insert_retrying(3_000_000 + i as u32, &shape).expect("storm insert");
+    }
+    let storm_done = Instant::now();
+    let lbl: &[(&str, &str)] = &[("shard", "0")];
+    let drained = loop {
+        let snap = reg.snapshot();
+        if snap.gauge("geosir_replication_lag_records", lbl) == 0
+            && snap.counter("geosir_repl_applied_records_total", lbl) >= storm as u64
+        {
+            break true;
+        }
+        if storm_done.elapsed() > Duration::from_secs(30) {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    let drain_ms = storm_done.elapsed().as_millis() as u64;
+    sampling.store(false, Ordering::Relaxed);
+    let peak_lag = sampler.join().expect("lag sampler");
+    let applied = reg.snapshot().counter("geosir_repl_applied_records_total", lbl);
+    assert!(drained, "replica never caught up: lag stuck after {storm} inserts");
+    assert!(peak_lag > 0, "lag gauge never left zero during a {storm}-insert storm");
+    println!(
+        "[repl storm] {storm} inserts: peak lag {peak_lag} records, drained in {drain_ms} ms \
+         ({applied} records applied)"
+    );
+    cluster.shutdown();
+    cleanup_dir(&dir);
+
+    // -- killed replica: availability through the breaker — every query
+    // keeps being answered, at bounded latency cost --
+    let dir = scratch("kill");
+    let mut kcfg = cluster_bench_cfg(&dir, 1, 1);
+    kcfg.router.breaker_cooldown = Duration::from_millis(300);
+    // a patient deadline: on a loaded 1-core host the failover hop to the
+    // primary must still fit after a connect-refused on the dead replica,
+    // or the availability number measures the deadline, not the breaker
+    kcfg.router.shard_deadline = Duration::from_secs(10);
+    let mut cluster = geosir_serve::cluster::start_cluster("127.0.0.1:0", &template, kcfg)
+        .expect("start kill cluster");
+    {
+        let mut loader = Client::connect(cluster.addr()).expect("loader connect");
+        for (image, shape) in shapes.iter().take(args.n_shapes.min(400)) {
+            loader.insert_retrying(image.0, shape).expect("kill ingest");
+        }
+    }
+    let mut healthy = drive_router(cluster.addr(), args, args.connections);
+    let healthy_p99 = healthy.p99();
+    cluster.stop_replica(0, 0);
+    let mut killed = drive_router(cluster.addr(), args, args.connections);
+    let killed_p99 = killed.p99();
+    let answered_fraction = killed.answered_fraction();
+    let p99_ratio = killed_p99 as f64 / healthy_p99.max(1) as f64;
+    println!(
+        "[killed replica] answered {:.4} of queries ({} of {}), p99 {healthy_p99} → \
+         {killed_p99} µs ({p99_ratio:.2}x)",
+        answered_fraction,
+        killed.answered,
+        killed.queries - killed.query_busy,
+    );
+    cluster.shutdown();
+    cleanup_dir(&dir);
+
+    let point_json: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\n      \"shards\": {},\n      \"qps\": {:.1},\n      \
+                 \"p50_us\": {},\n      \"p99_us\": {},\n      \"requests\": {},\n      \
+                 \"answered\": {},\n      \"partial\": {},\n      \
+                 \"partial_replies_router\": {},\n      \"busy_rejects\": {},\n      \
+                 \"per_shard\": [\n{}\n      ]\n    }}",
+                p.shards,
+                p.window.qps(),
+                p.p50,
+                p.p99,
+                p.window.requests,
+                p.window.answered,
+                p.window.partial,
+                p.partial_replies,
+                p.window.busy_rejects,
+                p.attribution,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serve_loadgen_cluster\",\n  \"corpus\": \"scaling_polylog\",\n  \
+         \"n_shapes\": {},\n  \"host_cores\": {cores},\n  \"connections\": {},\n  \
+         \"insert_permille\": {},\n  \"measure_secs_per_point\": {:.2},\n  \
+         \"scaling_note\": \"qps scaling across shard counts is bounded by host_cores; \
+         every shard of an in-process cluster shares them\",\n  \
+         \"direct\": {{ \"qps\": {:.1}, \"p50_us\": {direct_p50}, \"p99_us\": {direct_p99} }},\n  \
+         \"overhead_ratio_1shard_vs_direct\": {overhead_ratio:.3},\n  \
+         \"scaling_qps_1_to_4_shards\": {scaling_1_to_4:.2},\n  \
+         \"cluster\": [\n{}\n  ],\n  \
+         \"replication_storm\": {{\n    \"inserts\": {storm},\n    \
+         \"peak_lag_records\": {peak_lag},\n    \"drain_ms\": {drain_ms},\n    \
+         \"applied_records\": {applied}\n  }},\n  \
+         \"killed_replica\": {{\n    \"answered_fraction\": {answered_fraction:.4},\n    \
+         \"healthy_p99_us\": {healthy_p99},\n    \"killed_p99_us\": {killed_p99},\n    \
+         \"p99_ratio\": {p99_ratio:.2}\n  }}\n}}\n",
+        args.n_shapes,
+        args.connections,
+        args.insert_permille,
+        args.measure_secs,
+        direct.qps(),
+        point_json.join(",\n"),
+    );
+    std::fs::write("BENCH_8.json", &json).expect("write BENCH_8.json");
+    println!("wrote BENCH_8.json (sharded cluster)");
+}
+
 fn main() {
     let args = parse_args();
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -1149,6 +1554,11 @@ fn main() {
 
     if args.c10k {
         run_c10k(&args, cores);
+        return;
+    }
+
+    if args.cluster {
+        run_cluster(&args, cores);
         return;
     }
 

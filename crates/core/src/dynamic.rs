@@ -395,13 +395,21 @@ impl DynamicBase {
     /// Delete a shape (tombstone; storage is reclaimed at the next rebuild
     /// that touches its level).
     pub fn delete(&mut self, id: GlobalShapeId) -> bool {
-        let exists = self.buffer.iter().any(|b| b.id == id)
-            || self.levels.iter().flatten().any(|l| l.ids.contains(&id));
-        if exists && self.deleted.insert(id) {
+        if self.deleted.contains(&id) {
+            return false;
+        }
+        // buffer entries drop eagerly and need no tombstone — the shape
+        // lives nowhere else, and a stray tombstone would double-count
+        // against `len()` (buffer loses the entry AND `deleted` grows)
+        let before = self.buffer.len();
+        self.buffer.retain(|b| b.id != id);
+        if self.buffer.len() < before {
             self.epoch += 1;
-            // buffer entries can be dropped eagerly
-            let deleted = &self.deleted;
-            self.buffer.retain(|b| !deleted.contains(&b.id));
+            return true;
+        }
+        if self.levels.iter().flatten().any(|l| l.ids.contains(&id)) {
+            self.deleted.insert(id);
+            self.epoch += 1;
             true
         } else {
             false
@@ -438,10 +446,12 @@ impl DynamicBase {
                 }
             }
         }
-        pool.retain(|(g, _, _)| !self.deleted.contains(g));
-        for (g, _, _) in &pool {
-            self.deleted.remove(g);
-        }
+        // compact: a tombstoned shape leaves the pool AND sheds its
+        // tombstone here (its level is being rebuilt without it); keeping
+        // the tombstone would make `len()` subtract a shape that no level
+        // holds anymore
+        let deleted = &mut self.deleted;
+        pool.retain(|(g, _, _)| !deleted.remove(g));
         if pool.is_empty() {
             return;
         }
@@ -1005,7 +1015,16 @@ fn retrieve_levels_into<'l>(
     tmp.explain.enabled = explain.is_some();
     for level in levels {
         let mut level_config = config.clone();
-        level_config.k = k;
+        // The matcher ranks over the level's full base, tombstones
+        // included, and truncates at k — so ask for k plus this level's
+        // tombstone count, or live shapes ranked right below deleted
+        // ones would be truncated away before the filter below runs.
+        let dead_here = if deleted.is_empty() {
+            0
+        } else {
+            level.ids.iter().filter(|g| deleted.contains(g)).count()
+        };
+        level_config.k = k + dead_here;
         let matcher = Matcher::with_plan(&level.base, level_config, level.plan.clone());
         // Cross-level cutoff: once k candidates are on the board, later
         // (smaller) levels only need to prove nothing better than the
@@ -1252,6 +1271,42 @@ mod tests {
     }
 
     #[test]
+    fn tombstones_do_not_truncate_live_topk() {
+        // all shapes end up in one level; delete a batch and ask for a
+        // top-k smaller than the tombstone count. The per-level matcher
+        // ranks over the full level (tombstones included), so unless the
+        // ask is widened by the tombstone count, live shapes ranked just
+        // below deleted ones vanish from the results.
+        // certified exact top-k (and an unbinding ε-cap) so the expected
+        // ordering is well-defined all the way down the ranking
+        let mut db = DynamicBase::new(
+            0.05,
+            Backend::KdTree,
+            MatchConfig { k: 3, beta: 0.3, certify_all: true, log_power: 30, ..Default::default() },
+            4,
+        );
+        let ids: Vec<_> = (0..16).map(|i| db.insert(ImageId(i), shape(i as u64))).collect();
+        let probe = shape(3);
+        let full: Vec<_> = db.snapshot().retrieve(&probe, 16).iter().map(|m| m.shape).collect();
+        assert_eq!(full.len(), 16);
+        // tombstone the 6 best for this probe
+        for id in &full[..6] {
+            assert!(db.delete(*id));
+        }
+        let got = db.snapshot().retrieve(&probe, 4);
+        assert_eq!(got.len(), 4, "live top-k starved by tombstone truncation");
+        for m in &got {
+            assert!(!full[..6].contains(&m.shape), "deleted shape returned");
+        }
+        assert_eq!(
+            got.iter().map(|m| m.shape).collect::<Vec<_>>(),
+            full[6..10].to_vec(),
+            "survivors must be the next-ranked live shapes, in order"
+        );
+        let _ = ids;
+    }
+
+    #[test]
     fn deletes_remove_from_results() {
         let mut db = dynbase(4);
         let s = shape(7);
@@ -1275,6 +1330,32 @@ mod tests {
     fn delete_unknown_id_is_false() {
         let mut db = dynbase(4);
         assert!(!db.delete(GlobalShapeId(99)));
+    }
+
+    #[test]
+    fn len_counts_one_per_delete_buffered_or_leveled() {
+        // buffered delete: the entry drops eagerly; no tombstone may
+        // linger (it would make len() subtract the shape twice)
+        let mut db = dynbase(8);
+        let ids: Vec<_> = (0..5).map(|i| db.insert(ImageId(i), shape(i as u64))).collect();
+        assert_eq!(db.len(), 5);
+        assert!(db.delete(ids[2]));
+        assert_eq!(db.len(), 4);
+        assert!(!db.delete(ids[2]));
+        assert_eq!(db.len(), 4);
+
+        // leveled delete: tombstone now, compacted (and forgotten) once a
+        // cascade rebuilds the level — len() stays exact throughout
+        for i in 5..16 {
+            db.insert(ImageId(i), shape(i as u64));
+        }
+        assert_eq!(db.len(), 15);
+        assert!(db.delete(ids[0]), "ids[0] cascaded into a level");
+        assert_eq!(db.len(), 14);
+        for i in 16..40 {
+            db.insert(ImageId(i), shape(i as u64));
+            assert_eq!(db.len(), 14 + (i - 15) as usize, "len drifts at insert {i}");
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@ use std::time::Duration;
 
 use geosir_geom::Polyline;
 
-use crate::wire::{Frame, ServerStats, WireError, WireMatch, WireShape};
+use crate::wire::{Frame, ServerStats, WireError, WireMatch, WireShape, WireShardStatus};
 
 /// Connection deadlines and retry tuning.
 #[derive(Debug, Clone)]
@@ -33,9 +33,16 @@ pub struct ClientConfig {
     pub write_timeout: Option<Duration>,
     /// Retry attempts for [`Client::insert_retrying`] (beyond the first).
     pub retries: u32,
-    /// First backoff delay; doubles per attempt up to `retry_cap`.
+    /// Backoff floor: every retry sleeps at least this long.
     pub retry_base: Duration,
+    /// Backoff ceiling for the jittered schedule (a larger server
+    /// `Busy` hint still wins — the server knows its own drain rate).
     pub retry_cap: Duration,
+    /// Total sleep budget across one retrying call. Once the cumulative
+    /// backoff reaches this, the call fails instead of sleeping again —
+    /// the cap that keeps a fleet of retrying clients from camping on a
+    /// recovering shard forever.
+    pub retry_deadline: Duration,
 }
 
 impl Default for ClientConfig {
@@ -47,7 +54,81 @@ impl Default for ClientConfig {
             retries: 4,
             retry_base: Duration::from_millis(10),
             retry_cap: Duration::from_secs(1),
+            retry_deadline: Duration::from_secs(10),
         }
+    }
+}
+
+/// Decorrelated-jitter retry schedule with a total sleep budget.
+///
+/// Plain doubling synchronizes: every client that timed out on the same
+/// failing shard retries on the same beat and the recovering process
+/// eats a thundering herd at t = base, 2·base, 4·base… The decorrelated
+/// scheme (AWS architecture-blog variant) draws each delay uniformly
+/// from `[base, prev · 3]` clamped to `cap`, so retry instants decohere
+/// across clients after the very first sleep while the expected delay
+/// still grows geometrically.
+///
+/// [`Backoff::next_delay`] also enforces two service-protecting rules:
+/// a server `Busy { retry_after_ms }` hint is a *floor* (the server
+/// knows its drain rate better than any client-side guess), and the
+/// cumulative sleep handed out is capped by `deadline` — when the
+/// budget is spent the call returns `None` and the caller must give up
+/// rather than keep hammering.
+#[derive(Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    /// Remaining cumulative-sleep budget.
+    budget: Duration,
+    /// Previous delay — the decorrelation state.
+    prev: Duration,
+    /// xorshift64* state for the jitter draws.
+    rng: u64,
+}
+
+impl Backoff {
+    /// Schedule with explicit bounds; `seed` only decorrelates jitter
+    /// (any nonzero value is fine — [`key_seed`] in production).
+    pub fn new(base: Duration, cap: Duration, deadline: Duration, seed: u64) -> Backoff {
+        let base = base.max(Duration::from_micros(1));
+        Backoff { base, cap: cap.max(base), budget: deadline, prev: base, rng: seed | 1 }
+    }
+
+    /// Schedule from a [`ClientConfig`]'s retry knobs.
+    pub fn from_config(cfg: &ClientConfig) -> Backoff {
+        Backoff::new(cfg.retry_base, cfg.retry_cap, cfg.retry_deadline, key_seed())
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*: tiny, seedable, plenty for jitter
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// The next sleep, or `None` when the budget is exhausted. `hint` is
+    /// the server's retry-after (zero = none); the returned delay is
+    /// `max(hint, uniform(base, prev·3).min(cap))`, clamped so the
+    /// cumulative sleep never exceeds the deadline.
+    pub fn next_delay(&mut self, hint: Duration) -> Option<Duration> {
+        if self.budget.is_zero() {
+            return None;
+        }
+        let hi = (self.prev * 3).min(self.cap).max(self.base);
+        let span = (hi - self.base).as_nanos() as u64;
+        let jittered = if span == 0 {
+            self.base
+        } else {
+            self.base + Duration::from_nanos(self.next_u64() % (span + 1))
+        };
+        self.prev = jittered;
+        let delay = jittered.max(hint).min(self.budget);
+        self.budget -= delay;
+        Some(delay)
     }
 }
 
@@ -80,6 +161,11 @@ pub struct QueryReply {
     /// Trace id this query carried — look it up in the server's
     /// `/debug/last_queries` for per-stage timings.
     pub trace: u64,
+    /// Shards that contributed to the reply vs shards asked (v6).
+    /// `1/1` from a single-node server; `ok < total` marks a partial
+    /// answer assembled while some shard was entirely down.
+    pub shards_ok: u16,
+    pub shards_total: u16,
 }
 
 /// What a batch round trip produced.
@@ -149,6 +235,10 @@ pub struct ApproxReply {
     pub rejected: bool,
     /// Server's retry-after hint when shed, milliseconds (0 = none).
     pub retry_after_ms: u32,
+    /// Shards that contributed vs shards asked (v6); see
+    /// [`QueryReply::shards_ok`].
+    pub shards_ok: u16,
+    pub shards_total: u16,
 }
 
 impl ApproxReply {
@@ -249,15 +339,23 @@ impl Client {
         let reply =
             self.request(&Frame::Query { k, trace, shape: WireShape::from_polyline(query) })?;
         match reply {
-            Frame::Matches { epoch, matches } => {
-                Ok(QueryReply { epoch, matches, rejected: false, retry_after_ms: 0, trace })
-            }
+            Frame::Matches { epoch, shards, matches } => Ok(QueryReply {
+                epoch,
+                matches,
+                rejected: false,
+                retry_after_ms: 0,
+                trace,
+                shards_ok: shards.ok,
+                shards_total: shards.total,
+            }),
             Frame::Busy { retry_after_ms } => Ok(QueryReply {
                 epoch: 0,
                 matches: Vec::new(),
                 rejected: true,
                 retry_after_ms,
                 trace,
+                shards_ok: 0,
+                shards_total: 0,
             }),
             other => Err(unexpected(&other)),
         }
@@ -327,6 +425,7 @@ impl Client {
                 candidates,
                 corpus_copies,
                 reranked,
+                shards,
                 matches,
             } => Ok(ApproxReply {
                 epoch,
@@ -340,6 +439,8 @@ impl Client {
                 trace,
                 rejected: false,
                 retry_after_ms: 0,
+                shards_ok: shards.ok,
+                shards_total: shards.total,
             }),
             Frame::Busy { retry_after_ms } => Ok(ApproxReply {
                 epoch: 0,
@@ -353,6 +454,8 @@ impl Client {
                 trace,
                 rejected: true,
                 retry_after_ms,
+                shards_ok: 0,
+                shards_total: 0,
             }),
             other => Err(unexpected(&other)),
         }
@@ -378,24 +481,26 @@ impl Client {
         }
     }
 
-    /// Batch retrieval with bounded exponential-backoff retries,
-    /// mirroring [`Client::insert_retrying`]: `Busy` waits for the
-    /// server's retry-after hint (at least the current backoff) and
-    /// resends; an I/O error reconnects first. Queries are read-only,
-    /// so a resend after an ambiguous failure is always safe.
+    /// Batch retrieval with jittered-backoff retries, mirroring
+    /// [`Client::insert_retrying`]: `Busy` waits for the server's
+    /// retry-after hint (at least the jittered backoff) and resends; an
+    /// I/O error reconnects first. Queries are read-only, so a resend
+    /// after an ambiguous failure is always safe.
     pub fn query_batch_retrying(
         &mut self,
         queries: &[Polyline],
         k: u32,
     ) -> Result<BatchReply, WireError> {
-        let mut backoff = self.cfg.retry_base;
+        let mut backoff = Backoff::from_config(&self.cfg);
         let mut last_err: Option<WireError> = None;
         for attempt in 0..=self.cfg.retries {
             if attempt > 0 && last_err.is_some() {
                 if let Err(e) = self.reconnect() {
                     last_err = Some(e);
-                    std::thread::sleep(backoff);
-                    backoff = (backoff * 2).min(self.cfg.retry_cap);
+                    match backoff.next_delay(Duration::ZERO) {
+                        Some(d) => std::thread::sleep(d),
+                        None => break,
+                    }
                     continue;
                 }
             }
@@ -404,13 +509,17 @@ impl Client {
                 Ok(reply) => {
                     last_err = None;
                     let hint = Duration::from_millis(reply.retry_after_ms as u64);
-                    std::thread::sleep(hint.max(backoff));
-                    backoff = (backoff * 2).min(self.cfg.retry_cap);
+                    match backoff.next_delay(hint) {
+                        Some(d) => std::thread::sleep(d),
+                        None => break,
+                    }
                 }
                 Err(WireError::Io(e)) => {
                     last_err = Some(WireError::Io(e));
-                    std::thread::sleep(backoff);
-                    backoff = (backoff * 2).min(self.cfg.retry_cap);
+                    match backoff.next_delay(Duration::ZERO) {
+                        Some(d) => std::thread::sleep(d),
+                        None => break,
+                    }
                 }
                 Err(other) => return Err(other), // protocol error: no retry
             }
@@ -434,27 +543,43 @@ impl Client {
         }
     }
 
-    /// Insert with bounded exponential-backoff retries. `Busy` waits for
-    /// the server's retry-after hint (at least the current backoff); an
-    /// I/O error (timeout, reset) reconnects and resends the *same*
-    /// idempotency key, so an insert that actually landed before the
-    /// error is acked, not duplicated. Fails after `cfg.retries`
-    /// exhausted or on any protocol/server error.
+    /// Insert with jittered-backoff retries ([`Backoff`]): `Busy` waits
+    /// for the server's retry-after hint (at least the jittered
+    /// backoff); an I/O error (timeout, reset) reconnects and resends
+    /// the *same* idempotency key, so an insert that actually landed
+    /// before the error is acked, not duplicated. Fails after
+    /// `cfg.retries` attempts, when the `cfg.retry_deadline` sleep
+    /// budget is spent, or on any protocol/server error.
     pub fn insert_retrying(
         &mut self,
         image: u32,
         shape: &Polyline,
     ) -> Result<(u64, u64), WireError> {
         let key = self.fresh_key();
-        let mut backoff = self.cfg.retry_base;
+        self.insert_retrying_keyed(image, key, shape)
+    }
+
+    /// [`Client::insert_retrying`] with a caller-chosen idempotency key.
+    /// The replication applier uses this to preserve the key a record
+    /// carried on the primary, so re-applying a shipped WAL segment
+    /// after a replica restart cannot double-insert.
+    pub fn insert_retrying_keyed(
+        &mut self,
+        image: u32,
+        key: u64,
+        shape: &Polyline,
+    ) -> Result<(u64, u64), WireError> {
+        let mut backoff = Backoff::from_config(&self.cfg);
         let mut last_err: Option<WireError> = None;
         for attempt in 0..=self.cfg.retries {
             if attempt > 0 && last_err.is_some() {
                 // the connection died mid-round-trip: dial a fresh one
                 if let Err(e) = self.reconnect() {
                     last_err = Some(e);
-                    std::thread::sleep(backoff);
-                    backoff = (backoff * 2).min(self.cfg.retry_cap);
+                    match backoff.next_delay(Duration::ZERO) {
+                        Some(d) => std::thread::sleep(d),
+                        None => break,
+                    }
                     continue;
                 }
             }
@@ -463,13 +588,17 @@ impl Client {
                 Ok(InsertReply::Busy(hint_ms)) => {
                     last_err = None;
                     let hint = Duration::from_millis(hint_ms as u64);
-                    std::thread::sleep(hint.max(backoff));
-                    backoff = (backoff * 2).min(self.cfg.retry_cap);
+                    match backoff.next_delay(hint) {
+                        Some(d) => std::thread::sleep(d),
+                        None => break,
+                    }
                 }
                 Err(WireError::Io(e)) => {
                     last_err = Some(WireError::Io(e));
-                    std::thread::sleep(backoff);
-                    backoff = (backoff * 2).min(self.cfg.retry_cap);
+                    match backoff.next_delay(Duration::ZERO) {
+                        Some(d) => std::thread::sleep(d),
+                        None => break,
+                    }
                 }
                 Err(other) => return Err(other), // protocol error: no retry
             }
@@ -531,6 +660,16 @@ impl Client {
         }
     }
 
+    /// Fetch the cluster topology: shard layout, backend health, and
+    /// replication lag. A single-node server answers with a one-shard
+    /// report naming itself primary.
+    pub fn topology(&mut self) -> Result<Vec<WireShardStatus>, WireError> {
+        match self.request(&Frame::Topology)? {
+            Frame::TopologyReport { shards } => Ok(shards),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Ask the server to shut down gracefully; resolves on `Bye`.
     pub fn shutdown(&mut self) -> Result<(), WireError> {
         match self.request(&Frame::Shutdown)? {
@@ -574,6 +713,13 @@ impl PipelinedClient {
     ) -> Result<PipelinedClient, WireError> {
         let addrs: Vec<SocketAddr> = addr.to_socket_addrs().map_err(WireError::Io)?.collect();
         let stream = connect_stream(&addrs, &cfg)?;
+        PipelinedClient::from_stream(stream)
+    }
+
+    /// Wrap an already-connected stream (the router dials backends with
+    /// its own connect timeout and hands the socket over here).
+    pub fn from_stream(stream: TcpStream) -> Result<PipelinedClient, WireError> {
+        stream.set_nodelay(true).map_err(WireError::Io)?;
         let reader = stream.try_clone().map_err(WireError::Io)?;
         Ok(PipelinedClient {
             reader,
@@ -621,6 +767,14 @@ impl PipelinedClient {
     /// Push all buffered request bytes to the socket.
     pub fn flush(&mut self) -> Result<(), WireError> {
         self.writer.flush().map_err(WireError::Io)
+    }
+
+    /// Re-arm the blocking read deadline for subsequent `recv_*` calls.
+    /// The scatter-gather router shortens this to its per-shard
+    /// deadline; note that a timeout mid-frame leaves the stream
+    /// desynced, so the connection must be discarded after one fires.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), WireError> {
+        self.reader.set_read_timeout(timeout).map_err(WireError::Io)
     }
 
     /// Requests submitted whose replies have not been returned yet
@@ -700,6 +854,69 @@ mod tests {
     fn seeds_differ_across_clients() {
         // RandomState + counter: two seeds colliding is ~2^-63
         assert_ne!(key_seed(), key_seed());
+    }
+
+    #[test]
+    fn backoff_delays_stay_within_bounds() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(500);
+        for seed in 1..50u64 {
+            let mut b = Backoff::new(base, cap, Duration::from_secs(3600), seed);
+            for _ in 0..100 {
+                let d = b.next_delay(Duration::ZERO).expect("budget is huge");
+                assert!(d >= base, "delay {d:?} below base {base:?}");
+                assert!(d <= cap, "delay {d:?} above cap {cap:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_honors_busy_hint_as_floor() {
+        let mut b = Backoff::new(
+            Duration::from_millis(1),
+            Duration::from_millis(4),
+            Duration::from_secs(3600),
+            7,
+        );
+        // hint far above the cap: the server's word wins
+        let hint = Duration::from_millis(250);
+        let d = b.next_delay(hint).unwrap();
+        assert!(d >= hint, "hint {hint:?} must floor the delay, got {d:?}");
+    }
+
+    #[test]
+    fn backoff_total_sleep_capped_by_deadline() {
+        let deadline = Duration::from_millis(100);
+        for seed in 1..50u64 {
+            let mut b =
+                Backoff::new(Duration::from_millis(10), Duration::from_millis(40), deadline, seed);
+            let mut total = Duration::ZERO;
+            let mut n = 0;
+            while let Some(d) = b.next_delay(Duration::ZERO) {
+                total += d;
+                n += 1;
+                assert!(n <= 1000, "schedule must terminate");
+            }
+            assert!(total <= deadline, "cumulative sleep {total:?} exceeds deadline {deadline:?}");
+            // the budget must actually be usable, not spent on round-off
+            assert!(total >= deadline - Duration::from_millis(40) || n > 0);
+        }
+    }
+
+    #[test]
+    fn backoff_schedules_decorrelate_across_seeds() {
+        // two clients backing off from the same instant must not sleep
+        // identical schedules — that is the whole point of the jitter
+        let mk = |seed| {
+            let mut b = Backoff::new(
+                Duration::from_millis(10),
+                Duration::from_secs(1),
+                Duration::from_secs(3600),
+                seed,
+            );
+            (0..8).map(|_| b.next_delay(Duration::ZERO).unwrap()).collect::<Vec<_>>()
+        };
+        assert_ne!(mk(1), mk(2));
     }
 
     #[test]

@@ -1,0 +1,1262 @@
+//! Sharded cluster: consistent-hash placement and the fault-tolerant
+//! scatter-gather router.
+//!
+//! A cluster is N independent `geosir-serve` shard primaries (each a
+//! durable single-node server owning a disjoint slice of the base, its
+//! slice chosen by a consistent-hash ring over the insert payload) plus
+//! M WAL-shipped read replicas per shard (see [`crate::repl`]), fronted
+//! by a [`Router`] speaking the same wire protocol.
+//!
+//! ## Routing
+//!
+//! - **Inserts** hash their payload onto the ring and go to the owning
+//!   shard's *primary* (replicas are read-only by convention: the
+//!   replication applier is their only writer). The router retries
+//!   through `Busy` load-shed with decorrelated-jitter backoff
+//!   ([`crate::client::Backoff`]) but never fails a write over to a
+//!   replica — a forked replica is worse than a refused insert.
+//! - **Ids** returned to clients are shard-tagged: the top
+//!   [`SHARD_ID_BITS`] bits carry the shard index, the rest the shard's
+//!   local id ([`tag_id`]/[`untag_id`]). **Deletes** decode the tag and
+//!   go straight to the owning primary; match results are retagged the
+//!   same way so every id a client ever sees is routable back.
+//! - **Queries** (exact, approx, batch) scatter to every shard and
+//!   merge: submit to all shards first (they compute in parallel), then
+//!   gather each with a per-shard deadline. A shard that misses its
+//!   hedge window gets one **hedged retry** against a replica; a shard
+//!   whose every backend fails is *dropped from the result* rather than
+//!   failing the query — the v6 [`ShardInfo`] (`shards_ok/shards_total`)
+//!   on the reply tells the client the answer is partial.
+//!
+//! ## Failure handling
+//!
+//! Every backend (primary or replica) has a circuit breaker:
+//! `Closed` → (N strikes) → `Open` → (cooldown) → `HalfOpen` → one
+//! probe decides. Broken backends are skipped at candidate-selection
+//! time, so a dead replica costs one hedge window once per cooldown,
+//! not per query. `Busy { retry_after_ms }` replies are honored as a
+//! floor under the jittered backoff. All of it is observable:
+//! per-shard `geosir_router_*` counters plus the replication-lag gauges
+//! the repl threads publish into the same registry.
+
+use std::collections::HashMap;
+use std::io;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use geosir_obs as obs;
+
+use crate::client::{Backoff, PipelinedClient};
+use crate::durable::{BaseTemplate, DurabilityConfig, RecoveryReport};
+use crate::server::{serve, serve_durable, ServeConfig, ServerHandle};
+use crate::wire::{
+    error_code, Frame, ServerStats, ShardInfo, WireError, WireMatch, WireShardStatus,
+};
+
+/// Bits of a routed id that carry the shard index.
+pub const SHARD_ID_BITS: u32 = 16;
+/// Bits left for the shard-local id.
+pub const LOCAL_ID_BITS: u32 = 64 - SHARD_ID_BITS;
+const LOCAL_ID_MASK: u64 = (1u64 << LOCAL_ID_BITS) - 1;
+
+/// Virtual nodes per shard on the consistent-hash ring.
+pub const VNODES_PER_SHARD: usize = 64;
+
+/// Tag a shard-local id with its shard index for the outside world.
+#[inline]
+pub fn tag_id(shard: u16, local: u64) -> u64 {
+    ((shard as u64) << LOCAL_ID_BITS) | (local & LOCAL_ID_MASK)
+}
+
+/// Split a routed id back into `(shard, local)`.
+#[inline]
+pub fn untag_id(id: u64) -> (u16, u64) {
+    ((id >> LOCAL_ID_BITS) as u16, id & LOCAL_ID_MASK)
+}
+
+/// splitmix64 finalizer: FNV alone avalanches poorly on short inputs
+/// (the vnode labels are 10 bytes), which skews the ring badly.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn fnv1a64(chunks: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in chunks {
+        for &b in *chunk {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// One shard's backends: the write primary and its read replicas.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    pub primary: SocketAddr,
+    pub replicas: Vec<SocketAddr>,
+}
+
+/// Router knobs. Defaults suit a LAN cluster of small shards.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Total per-shard budget for one query (submit → accepted reply).
+    pub shard_deadline: Duration,
+    /// How long to wait on the first-choice backend before the hedged
+    /// retry goes to the next candidate.
+    pub hedge_after: Duration,
+    /// Decorrelated-jitter base/cap for `Busy` retries.
+    pub busy_base: Duration,
+    pub busy_cap: Duration,
+    /// Consecutive failures that trip a backend's breaker open.
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects before allowing a half-open probe.
+    pub breaker_cooldown: Duration,
+    /// TCP connect timeout for backend connections.
+    pub connect_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            shard_deadline: Duration::from_millis(500),
+            hedge_after: Duration::from_millis(60),
+            busy_base: Duration::from_millis(2),
+            busy_cap: Duration::from_millis(50),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(500),
+            connect_timeout: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Consistent-hash ring: [`VNODES_PER_SHARD`] points per shard, lookup
+/// by binary search for the first point at or clockwise of the key.
+pub struct Ring {
+    points: Vec<(u64, u16)>,
+}
+
+impl Ring {
+    pub fn new(shards: u16) -> Ring {
+        let mut points = Vec::with_capacity(shards as usize * VNODES_PER_SHARD);
+        for s in 0..shards {
+            for v in 0..VNODES_PER_SHARD as u64 {
+                let h = mix64(fnv1a64(&[&s.to_le_bytes(), &v.to_le_bytes()]));
+                points.push((h, s));
+            }
+        }
+        points.sort_unstable();
+        Ring { points }
+    }
+
+    /// Shard owning `key`.
+    pub fn route(&self, key: u64) -> u16 {
+        let key = mix64(key);
+        let i = self.points.partition_point(|&(h, _)| h < key);
+        self.points[i % self.points.len()].1
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BreakerState {
+    Closed { strikes: u32 },
+    Open { until: Instant },
+    HalfOpen,
+}
+
+/// Per-backend circuit breaker; see the module docs for the state
+/// machine. `allow` is called at candidate-selection time, `record`
+/// after every attempt.
+struct Breaker {
+    state: Mutex<BreakerState>,
+}
+
+impl Breaker {
+    fn new() -> Breaker {
+        Breaker { state: Mutex::new(BreakerState::Closed { strikes: 0 }) }
+    }
+
+    fn allow(&self) -> bool {
+        let mut s = self.state.lock().unwrap();
+        match *s {
+            BreakerState::Closed { .. } => true,
+            BreakerState::Open { until } => {
+                if Instant::now() >= until {
+                    // one caller becomes the half-open probe
+                    *s = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+            // a probe is already in flight; stay out of its way
+            BreakerState::HalfOpen => false,
+        }
+    }
+
+    fn record(&self, ok: bool, cfg: &RouterConfig) {
+        let mut s = self.state.lock().unwrap();
+        *s = if ok {
+            BreakerState::Closed { strikes: 0 }
+        } else {
+            match *s {
+                BreakerState::Closed { strikes } if strikes + 1 < cfg.breaker_threshold => {
+                    BreakerState::Closed { strikes: strikes + 1 }
+                }
+                BreakerState::Open { until } => BreakerState::Open { until },
+                // threshold reached, or a half-open probe failed
+                _ => BreakerState::Open { until: Instant::now() + cfg.breaker_cooldown },
+            }
+        };
+    }
+
+    /// Wire health code: 0 closed (healthy), 1 open (down), 2 half-open.
+    fn code(&self) -> u8 {
+        match *self.state.lock().unwrap() {
+            BreakerState::Closed { .. } => 0,
+            BreakerState::Open { .. } => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+/// Per-shard router telemetry, prebuilt so the hot path never touches
+/// the registry's interning lock.
+struct ShardMetrics {
+    queries: Arc<obs::Counter>,
+    hedges: Arc<obs::Counter>,
+    failovers: Arc<obs::Counter>,
+    busy_retries: Arc<obs::Counter>,
+    dropped: Arc<obs::Counter>,
+    latency_us: Arc<obs::Histogram>,
+}
+
+struct RouterState {
+    /// Our own listen address — the Shutdown path self-connects to wake
+    /// the accept loop out of its blocking `accept()`.
+    addr: SocketAddr,
+    shards: Vec<ShardSpec>,
+    ring: Ring,
+    cfg: RouterConfig,
+    registry: Arc<obs::Registry>,
+    breakers: HashMap<SocketAddr, Breaker>,
+    per_shard: Vec<ShardMetrics>,
+    partial_replies: Arc<obs::Counter>,
+    inserts: Arc<obs::Counter>,
+    deletes: Arc<obs::Counter>,
+    key_mint: AtomicU64,
+    stop: AtomicBool,
+}
+
+impl RouterState {
+    fn breaker(&self, addr: SocketAddr) -> &Breaker {
+        self.breakers.get(&addr).expect("every backend has a breaker")
+    }
+
+    /// Backends to try for a *read* on `shard`, primary first, broken
+    /// ones skipped. Never empty: if every breaker is open the primary
+    /// is tried anyway — a query with nowhere to go should at least
+    /// probe rather than silently drop the shard forever.
+    fn read_candidates(&self, shard: usize) -> Vec<SocketAddr> {
+        let spec = &self.shards[shard];
+        let mut out = Vec::with_capacity(1 + spec.replicas.len());
+        if self.breaker(spec.primary).allow() {
+            out.push(spec.primary);
+        }
+        for &r in &spec.replicas {
+            if self.breaker(r).allow() {
+                out.push(r);
+            }
+        }
+        if out.is_empty() {
+            out.push(spec.primary);
+        }
+        out
+    }
+}
+
+/// A running router; dropping it does not stop the threads — call
+/// [`RouterHandle::shutdown`].
+pub struct RouterHandle {
+    addr: SocketAddr,
+    state: Arc<RouterState>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The router's own metrics registry (per-shard counters plus
+    /// whatever the replication threads publish into it).
+    pub fn registry(&self) -> Arc<obs::Registry> {
+        self.state.registry.clone()
+    }
+
+    pub fn shutdown(mut self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        // wake the accept loop
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Block until the router stops on its own — a client sends a wire
+    /// `Shutdown` frame. Counterpart of [`RouterHandle::shutdown`] for
+    /// foreground use (`geosir cluster` parks here).
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The scatter-gather router. [`Router::start`] binds `addr` and serves
+/// the full v6 protocol over the given shard layout.
+pub struct Router;
+
+impl Router {
+    pub fn start(
+        addr: &str,
+        shards: Vec<ShardSpec>,
+        cfg: RouterConfig,
+        registry: Arc<obs::Registry>,
+    ) -> io::Result<RouterHandle> {
+        assert!(!shards.is_empty(), "a router needs at least one shard");
+        assert!(shards.len() < (1usize << SHARD_ID_BITS), "shard index must fit the id tag");
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let mut breakers = HashMap::new();
+        for spec in &shards {
+            breakers.insert(spec.primary, Breaker::new());
+            for &r in &spec.replicas {
+                breakers.insert(r, Breaker::new());
+            }
+        }
+        let per_shard = (0..shards.len())
+            .map(|s| {
+                let l = s.to_string();
+                let lbl: &[(&str, &str)] = &[("shard", &l)];
+                ShardMetrics {
+                    queries: registry.counter("geosir_router_shard_queries_total", lbl),
+                    hedges: registry.counter("geosir_router_hedges_total", lbl),
+                    failovers: registry.counter("geosir_router_failovers_total", lbl),
+                    busy_retries: registry.counter("geosir_router_busy_retries_total", lbl),
+                    dropped: registry.counter("geosir_router_shard_dropped_total", lbl),
+                    latency_us: registry.histogram("geosir_router_shard_latency_us", lbl),
+                }
+            })
+            .collect();
+        let state = Arc::new(RouterState {
+            addr: local,
+            ring: Ring::new(shards.len() as u16),
+            breakers,
+            per_shard,
+            partial_replies: registry.counter("geosir_router_partial_replies_total", &[]),
+            inserts: registry.counter("geosir_router_inserts_total", &[]),
+            deletes: registry.counter("geosir_router_deletes_total", &[]),
+            key_mint: AtomicU64::new(fnv1a64(&[addr.as_bytes(), &std::process::id().to_le_bytes()]) | 1),
+            stop: AtomicBool::new(false),
+            shards,
+            cfg,
+            registry,
+        });
+        let accept_state = state.clone();
+        let accept = std::thread::Builder::new()
+            .name("geosir-router-accept".into())
+            .spawn(move || accept_loop(listener, accept_state))?;
+        Ok(RouterHandle { addr: local, state, threads: vec![accept] })
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<RouterState>) {
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if state.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let st = state.clone();
+                if let Ok(t) = std::thread::Builder::new()
+                    .name("geosir-router-conn".into())
+                    .spawn(move || connection(stream, st))
+                {
+                    conns.push(t);
+                }
+                conns.retain(|t| !t.is_finished());
+            }
+            Err(_) => {
+                if state.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+    for t in conns {
+        let _ = t.join();
+    }
+}
+
+/// Lazily-connected backend clients, one set per router connection so
+/// concurrent client connections never share (or lock) a backend
+/// socket. A backend that errors is dropped and re-dialed on next use —
+/// after a recv timeout the stream may hold half a frame, so the only
+/// safe move is a fresh connection.
+struct Conns {
+    map: HashMap<SocketAddr, PipelinedClient>,
+    connect_timeout: Duration,
+}
+
+impl Conns {
+    fn get(&mut self, addr: SocketAddr) -> Result<&mut PipelinedClient, WireError> {
+        use std::collections::hash_map::Entry;
+        match self.map.entry(addr) {
+            Entry::Occupied(e) => Ok(e.into_mut()),
+            Entry::Vacant(e) => {
+                let stream = TcpStream::connect_timeout(&addr, self.connect_timeout)
+                    .map_err(WireError::Io)?;
+                Ok(e.insert(PipelinedClient::from_stream(stream)?))
+            }
+        }
+    }
+
+    fn poison(&mut self, addr: SocketAddr) {
+        self.map.remove(&addr);
+    }
+}
+
+fn connection(stream: TcpStream, state: Arc<RouterState>) {
+    let _ = stream.set_nodelay(true);
+    // bounded reads so the thread notices shutdown between frames
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut write = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut read = stream;
+    let mut conns = Conns { map: HashMap::new(), connect_timeout: state.cfg.connect_timeout };
+    loop {
+        if state.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let (frame, corr, version) = match Frame::read_from_versioned(&mut read) {
+            Ok(x) => x,
+            Err(WireError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        let shutdown = matches!(frame, Frame::Shutdown);
+        let reply = dispatch(&state, &mut conns, frame);
+        // answer in the version the request arrived in — a pre-v5 client
+        // expects no correlation id and pre-v6 layouts; every reply type
+        // the dispatcher can produce for a vN request exists in vN
+        let mut buf = Vec::with_capacity(64);
+        reply.encode_versioned(version, corr, &mut buf);
+        if write.write_all(&buf).is_err() {
+            break;
+        }
+        if shutdown {
+            state.stop.store(true, Ordering::SeqCst);
+            // wake the accept loop so a joiner is not stuck behind a
+            // blocking accept() that never fires again
+            let _ = TcpStream::connect(state.addr);
+            break;
+        }
+    }
+}
+
+/// One shard's contribution to a scattered query.
+#[allow(clippy::large_enum_variant)] // Down is rare and short-lived
+enum ShardReply {
+    Ok(Frame),
+    Down,
+}
+
+/// Submit `frame` to `addr` and wait up to `window` for the reply,
+/// absorbing `Busy` with jittered waits while `deadline` allows.
+/// On any error the backend connection is poisoned (it may hold a torn
+/// frame) and its breaker takes a strike.
+fn try_backend(
+    state: &RouterState,
+    conns: &mut Conns,
+    shard: usize,
+    addr: SocketAddr,
+    frame: &Frame,
+    window: Duration,
+    deadline: Instant,
+) -> Result<Frame, ()> {
+    let m = &state.per_shard[shard];
+    let mut backoff = Backoff::new(
+        state.cfg.busy_base,
+        state.cfg.busy_cap,
+        deadline.saturating_duration_since(Instant::now()),
+        state.key_mint.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed),
+    );
+    loop {
+        let client = match conns.get(addr) {
+            Ok(c) => c,
+            Err(_) => {
+                state.breaker(addr).record(false, &state.cfg);
+                return Err(());
+            }
+        };
+        let io_step = (|| {
+            let win = window.min(deadline.saturating_duration_since(Instant::now()));
+            client.set_read_timeout(Some(win.max(Duration::from_millis(1))))?;
+            let corr = client.submit(frame)?;
+            client.flush()?;
+            client.recv(corr)
+        })();
+        match io_step {
+            Ok(Frame::Busy { retry_after_ms }) => {
+                m.busy_retries.inc();
+                let hint = Duration::from_millis(retry_after_ms as u64);
+                match backoff.next_delay(hint) {
+                    Some(d) if Instant::now() + d < deadline => std::thread::sleep(d),
+                    _ => {
+                        // out of time: Busy is load-shed, not death — no strike
+                        return Err(());
+                    }
+                }
+            }
+            Ok(reply) => {
+                state.breaker(addr).record(true, &state.cfg);
+                return Ok(reply);
+            }
+            Err(_) => {
+                conns.poison(addr);
+                state.breaker(addr).record(false, &state.cfg);
+                return Err(());
+            }
+        }
+    }
+}
+
+/// Scatter `frame` to every shard and gather the replies. Submission
+/// happens to all shards up front so they compute in parallel; the
+/// gather loop then drains each shard under its own deadline, hedging
+/// to the next candidate after `hedge_after`.
+fn scatter(state: &RouterState, conns: &mut Conns, frame: &Frame) -> Vec<ShardReply> {
+    struct Pending {
+        addr: SocketAddr,
+        corr: u64,
+        tried: Vec<SocketAddr>,
+    }
+    let start = Instant::now();
+    let deadline = start + state.cfg.shard_deadline;
+    let n = state.shards.len();
+    let mut pending: Vec<Option<Pending>> = Vec::with_capacity(n);
+    let mut out: Vec<ShardReply> = Vec::with_capacity(n);
+    // Phase 1: one submit per shard, first healthy candidate.
+    for shard in 0..n {
+        state.per_shard[shard].queries.inc();
+        let mut sent = None;
+        let mut tried = Vec::new();
+        for addr in state.read_candidates(shard) {
+            tried.push(addr);
+            let ok = conns.get(addr).and_then(|c| {
+                let corr = c.submit(frame)?;
+                c.flush()?;
+                Ok(corr)
+            });
+            match ok {
+                Ok(corr) => {
+                    sent = Some(Pending { addr, corr, tried: tried.clone() });
+                    break;
+                }
+                Err(_) => {
+                    conns.poison(addr);
+                    state.breaker(addr).record(false, &state.cfg);
+                    state.per_shard[shard].failovers.inc();
+                }
+            }
+        }
+        pending.push(sent);
+        out.push(ShardReply::Down);
+    }
+    // Phase 2: gather with hedge + failover.
+    for shard in 0..n {
+        let Some(p) = pending[shard].take() else {
+            state.per_shard[shard].dropped.inc();
+            continue;
+        };
+        let m = &state.per_shard[shard];
+        let shard_start = Instant::now();
+        // Wait for the submitted reply; the window is short when a
+        // fallback exists (hedge), the full deadline otherwise.
+        let candidates = state.read_candidates(shard);
+        let has_fallback = candidates.iter().any(|a| !p.tried.contains(a));
+        let window = if has_fallback { state.cfg.hedge_after } else { state.cfg.shard_deadline };
+        let first = wait_reply(state, conns, shard, p.addr, p.corr, frame, window, deadline);
+        let got = match first {
+            Some(reply) => Some(reply),
+            None => {
+                // hedged retry: fresh submit to the next untried candidate
+                let mut got = None;
+                for addr in candidates {
+                    if p.tried.contains(&addr) {
+                        continue;
+                    }
+                    m.hedges.inc();
+                    if let Ok(reply) = try_backend(
+                        state,
+                        conns,
+                        shard,
+                        addr,
+                        frame,
+                        deadline.saturating_duration_since(Instant::now()),
+                        deadline,
+                    ) {
+                        got = Some(reply);
+                        break;
+                    }
+                    m.failovers.inc();
+                }
+                if got.is_none() && !deadline.saturating_duration_since(Instant::now()).is_zero()
+                {
+                    // Every hedge target was dead, but the original
+                    // backend may have been merely slow — its first
+                    // reply was abandoned with the poisoned connection,
+                    // so give it one fresh submit with whatever deadline
+                    // remains. Scatter only carries idempotent reads, so
+                    // re-running the query is safe.
+                    m.hedges.inc();
+                    got = try_backend(
+                        state,
+                        conns,
+                        shard,
+                        p.addr,
+                        frame,
+                        deadline.saturating_duration_since(Instant::now()),
+                        deadline,
+                    )
+                    .ok();
+                }
+                got
+            }
+        };
+        m.latency_us.record(shard_start.elapsed().as_micros() as u64);
+        match got {
+            Some(reply) => out[shard] = ShardReply::Ok(reply),
+            None => m.dropped.inc(),
+        }
+    }
+    out
+}
+
+/// Drain the pipelined connection for `corr`, absorbing `Busy` retries,
+/// within `window`. `None` poisons the connection (torn frame risk).
+#[allow(clippy::too_many_arguments)]
+fn wait_reply(
+    state: &RouterState,
+    conns: &mut Conns,
+    shard: usize,
+    addr: SocketAddr,
+    corr: u64,
+    frame: &Frame,
+    window: Duration,
+    deadline: Instant,
+) -> Option<Frame> {
+    let m = &state.per_shard[shard];
+    let until = (Instant::now() + window).min(deadline);
+    let mut corr = corr;
+    let mut backoff = Backoff::new(
+        state.cfg.busy_base,
+        state.cfg.busy_cap,
+        window,
+        state.key_mint.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed),
+    );
+    loop {
+        let client = match conns.get(addr) {
+            Ok(c) => c,
+            Err(_) => return None,
+        };
+        let win = until.saturating_duration_since(Instant::now());
+        if win.is_zero() {
+            conns.poison(addr);
+            state.breaker(addr).record(false, &state.cfg);
+            return None;
+        }
+        let step = (|| {
+            client.set_read_timeout(Some(win))?;
+            client.recv(corr)
+        })();
+        match step {
+            Ok(Frame::Busy { retry_after_ms }) => {
+                m.busy_retries.inc();
+                let hint = Duration::from_millis(retry_after_ms as u64);
+                match backoff.next_delay(hint) {
+                    Some(d) if Instant::now() + d < until => std::thread::sleep(d),
+                    _ => return None,
+                }
+                let resub = conns.get(addr).and_then(|c| {
+                    let corr = c.submit(frame)?;
+                    c.flush()?;
+                    Ok(corr)
+                });
+                match resub {
+                    Ok(c) => corr = c,
+                    Err(_) => return None,
+                }
+            }
+            Ok(reply) => {
+                state.breaker(addr).record(true, &state.cfg);
+                return Some(reply);
+            }
+            Err(_) => {
+                conns.poison(addr);
+                state.breaker(addr).record(false, &state.cfg);
+                return None;
+            }
+        }
+    }
+}
+
+/// Merge per-shard top-k result lists into the cluster-wide top-k,
+/// retagging ids with their shard. Ordering matches the single-node
+/// retrieval contract: ascending score, ties broken by image id then
+/// routed shape id — so on distinct scores a router merge is
+/// bit-identical to a single node holding the union base.
+pub fn merge_topk(k: usize, per_shard: &[(u16, Vec<WireMatch>)]) -> Vec<WireMatch> {
+    let mut all: Vec<WireMatch> = Vec::new();
+    for (shard, matches) in per_shard {
+        all.extend(matches.iter().map(|m| WireMatch {
+            shape: tag_id(*shard, m.shape),
+            image: m.image,
+            score: m.score,
+        }));
+    }
+    all.sort_by(|a, b| {
+        a.score
+            .partial_cmp(&b.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.image.cmp(&b.image))
+            .then(a.shape.cmp(&b.shape))
+    });
+    all.truncate(k);
+    all
+}
+
+fn dispatch(state: &RouterState, conns: &mut Conns, frame: Frame) -> Frame {
+    match &frame {
+        Frame::Query { k, .. } => {
+            let k = *k;
+            let replies = scatter(state, conns, &frame);
+            let total = state.shards.len() as u16;
+            let mut per_shard = Vec::new();
+            let mut epoch = 0u64;
+            let mut ok = 0u16;
+            for (shard, r) in replies.into_iter().enumerate() {
+                if let ShardReply::Ok(Frame::Matches { epoch: e, matches, .. }) = r {
+                    ok += 1;
+                    epoch = epoch.max(e);
+                    per_shard.push((shard as u16, matches));
+                }
+            }
+            if ok == 0 {
+                return unavailable("no shard answered the query");
+            }
+            if ok < total {
+                state.partial_replies.inc();
+            }
+            Frame::Matches {
+                epoch,
+                shards: ShardInfo { ok, total },
+                matches: merge_topk(k as usize, &per_shard),
+            }
+        }
+        Frame::QueryApprox { k, .. } => {
+            let k = *k;
+            let replies = scatter(state, conns, &frame);
+            let total = state.shards.len() as u16;
+            let mut per_shard = Vec::new();
+            let (mut epoch, mut ok) = (0u64, 0u16);
+            let (mut tier, mut radius) = (0u8, 0u16);
+            let (mut probed, mut cands, mut copies, mut rr) = (0u64, 0u64, 0u64, 0u64);
+            for (shard, r) in replies.into_iter().enumerate() {
+                if let ShardReply::Ok(Frame::ApproxMatches {
+                    epoch: e,
+                    tier: t,
+                    radius: rad,
+                    buckets_probed,
+                    candidates,
+                    corpus_copies,
+                    reranked,
+                    matches,
+                    ..
+                }) = r
+                {
+                    ok += 1;
+                    epoch = epoch.max(e);
+                    tier = tier.max(t);
+                    radius = radius.max(rad);
+                    probed += buckets_probed;
+                    cands += candidates;
+                    copies += corpus_copies;
+                    rr += reranked;
+                    per_shard.push((shard as u16, matches));
+                }
+            }
+            if ok == 0 {
+                return unavailable("no shard answered the query");
+            }
+            if ok < total {
+                state.partial_replies.inc();
+            }
+            Frame::ApproxMatches {
+                epoch,
+                tier,
+                radius,
+                buckets_probed: probed,
+                candidates: cands,
+                corpus_copies: copies,
+                reranked: rr,
+                shards: ShardInfo { ok, total },
+                matches: merge_topk(k as usize, &per_shard),
+            }
+        }
+        Frame::QueryBatch { k, shapes } => {
+            let (k, nq) = (*k, shapes.len());
+            let replies = scatter(state, conns, &frame);
+            let mut epoch = 0u64;
+            let mut ok = 0u16;
+            let mut per_query: Vec<Vec<(u16, Vec<WireMatch>)>> = vec![Vec::new(); nq];
+            for (shard, r) in replies.into_iter().enumerate() {
+                if let ShardReply::Ok(Frame::BatchMatches { epoch: e, results }) = r {
+                    ok += 1;
+                    epoch = epoch.max(e);
+                    for (qi, matches) in results.into_iter().enumerate().take(nq) {
+                        per_query[qi].push((shard as u16, matches));
+                    }
+                }
+            }
+            if ok == 0 {
+                return unavailable("no shard answered the batch");
+            }
+            if (ok as usize) < state.shards.len() {
+                state.partial_replies.inc();
+            }
+            Frame::BatchMatches {
+                epoch,
+                results: per_query.iter().map(|ps| merge_topk(k as usize, ps)).collect(),
+            }
+        }
+        Frame::Insert { image, key, trace, shape } => {
+            let (image, key, trace) = (*image, *key, *trace);
+            state.inserts.inc();
+            // placement: hash the payload so client retries (same key,
+            // same shape) land on the same shard
+            let mut bytes = Vec::with_capacity(shape.points.len() * 16 + 16);
+            bytes.extend_from_slice(&image.to_le_bytes());
+            bytes.extend_from_slice(&[shape.closed as u8]);
+            for (x, y) in &shape.points {
+                bytes.extend_from_slice(&x.to_bits().to_le_bytes());
+                bytes.extend_from_slice(&y.to_bits().to_le_bytes());
+            }
+            if key != 0 {
+                bytes.extend_from_slice(&key.to_le_bytes());
+            }
+            let shard = state.ring.route(fnv1a64(&[&bytes]));
+            // mint an idempotency key when the client sent none, so the
+            // router's own hedge/retry can never double-insert
+            let key = if key != 0 {
+                key
+            } else {
+                state.key_mint.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed) | 1
+            };
+            let routed = Frame::Insert { image, key, trace, shape: shape.clone() };
+            let primary = state.shards[shard as usize].primary;
+            let deadline = Instant::now() + state.cfg.shard_deadline;
+            // writes go to the primary only — retry, never fail over
+            for _attempt in 0..2 {
+                match try_backend(
+                    state,
+                    conns,
+                    shard as usize,
+                    primary,
+                    &routed,
+                    state.cfg.shard_deadline,
+                    deadline,
+                ) {
+                    Ok(Frame::Inserted { epoch, id }) => {
+                        return Frame::Inserted { epoch, id: tag_id(shard, id) };
+                    }
+                    Ok(other) => return other,
+                    Err(()) if Instant::now() < deadline => continue,
+                    Err(()) => break,
+                }
+            }
+            unavailable("owning shard primary is unreachable")
+        }
+        Frame::Delete { id } => {
+            let id = *id;
+            state.deletes.inc();
+            let (shard, local) = untag_id(id);
+            if shard as usize >= state.shards.len() {
+                return Frame::Error {
+                    code: error_code::MALFORMED,
+                    message: format!("id {id:#x} tags unknown shard {shard}"),
+                };
+            }
+            let primary = state.shards[shard as usize].primary;
+            let deadline = Instant::now() + state.cfg.shard_deadline;
+            match try_backend(
+                state,
+                conns,
+                shard as usize,
+                primary,
+                &Frame::Delete { id: local },
+                state.cfg.shard_deadline,
+                deadline,
+            ) {
+                Ok(reply) => reply,
+                Err(()) => unavailable("owning shard primary is unreachable"),
+            }
+        }
+        Frame::Stats => {
+            let replies = scatter(state, conns, &Frame::Stats);
+            let mut agg = ServerStats::default();
+            let mut any = false;
+            for r in replies {
+                if let ShardReply::Ok(Frame::StatsReport(s)) = r {
+                    any = true;
+                    agg.epoch = agg.epoch.max(s.epoch);
+                    agg.live_shapes += s.live_shapes;
+                    agg.levels = agg.levels.max(s.levels);
+                    agg.requests += s.requests;
+                    agg.queries += s.queries;
+                    agg.inserts += s.inserts;
+                    agg.deletes += s.deletes;
+                    agg.busy_rejects += s.busy_rejects;
+                    agg.protocol_errors += s.protocol_errors;
+                    agg.latency_p50_us = agg.latency_p50_us.max(s.latency_p50_us);
+                    agg.latency_p99_us = agg.latency_p99_us.max(s.latency_p99_us);
+                    agg.snapshots_published += s.snapshots_published;
+                    agg.publish_p50_us = agg.publish_p50_us.max(s.publish_p50_us);
+                    agg.publish_p99_us = agg.publish_p99_us.max(s.publish_p99_us);
+                    agg.snapshot_age_us = agg.snapshot_age_us.max(s.snapshot_age_us);
+                    agg.queue_depth += s.queue_depth;
+                    agg.read_only = agg.read_only.max(s.read_only);
+                    agg.wal_appends += s.wal_appends;
+                    agg.wal_syncs += s.wal_syncs;
+                    agg.fsync_p50_us = agg.fsync_p50_us.max(s.fsync_p50_us);
+                    agg.fsync_p99_us = agg.fsync_p99_us.max(s.fsync_p99_us);
+                    agg.checkpoints += s.checkpoints;
+                    agg.checkpoint_failures += s.checkpoint_failures;
+                    agg.last_recovery_us = agg.last_recovery_us.max(s.last_recovery_us);
+                    agg.io_errors += s.io_errors;
+                }
+            }
+            if !any {
+                return unavailable("no shard answered stats");
+            }
+            Frame::StatsReport(agg)
+        }
+        Frame::MetricsDump => {
+            let mut bytes = Vec::with_capacity(4096);
+            state.registry.snapshot().encode(&mut bytes);
+            Frame::MetricsReport { snapshot: bytes }
+        }
+        Frame::Topology => Frame::TopologyReport { shards: topology(state) },
+        Frame::Explain { .. } => Frame::Error {
+            code: error_code::UNAVAILABLE,
+            message: "EXPLAIN is not routable; run it against a shard directly".into(),
+        },
+        Frame::Shutdown => Frame::Bye,
+        _ => Frame::Error {
+            code: error_code::UNEXPECTED_FRAME,
+            message: "response frame sent as a request".into(),
+        },
+    }
+}
+
+fn unavailable(msg: &str) -> Frame {
+    Frame::Error { code: error_code::UNAVAILABLE, message: msg.into() }
+}
+
+/// Build the [`Frame::TopologyReport`] payload from breaker states and
+/// the replication-lag gauges the repl threads publish into the shared
+/// registry.
+fn topology(state: &RouterState) -> Vec<WireShardStatus> {
+    let snap = state.registry.snapshot();
+    state
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let l = i.to_string();
+            let lbl: &[(&str, &str)] = &[("shard", &l)];
+            WireShardStatus {
+                shard: i as u16,
+                primary: spec.primary.to_string(),
+                primary_state: state.breaker(spec.primary).code(),
+                replicas: spec
+                    .replicas
+                    .iter()
+                    .map(|r| (r.to_string(), state.breaker(*r).code()))
+                    .collect(),
+                lag_records: snap.gauge("geosir_replication_lag_records", lbl).max(0) as u64,
+                lag_ms: snap.gauge("geosir_replication_lag_ms", lbl).max(0) as u64,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// In-process cluster boot: N durable primaries + M replicas each +
+// replication threads + router, all wired to one registry. The CLI,
+// bench harness, and integration tests all boot through here.
+// ---------------------------------------------------------------------------
+
+/// Knobs for [`start_cluster`].
+pub struct ClusterConfig {
+    pub shards: usize,
+    pub replicas: usize,
+    /// Root data directory; shard `i` persists under `shard-i/`, its
+    /// replica `j` ships into `shard-i/replica-j/`.
+    pub data_dir: PathBuf,
+    pub fsync: geosir_storage::FsyncPolicy,
+    /// Per-backend server config (workers, queue caps, ...).
+    pub serve: ServeConfig,
+    pub router: RouterConfig,
+    /// Checkpoint interval for shard primaries. Kept deliberately huge
+    /// by default so the WAL retains the full history replicas replay
+    /// from LSN 0 (log shipping has no checkpoint-transfer phase yet).
+    pub checkpoint_every: u64,
+    /// Replication poll cadence.
+    pub repl_interval: Duration,
+    /// Fault-injection hook for the *shipping* destination files (the
+    /// chaos harness delays/tears the shipped stream here).
+    pub ship_factory: Option<Arc<dyn geosir_storage::faults::IoFactory>>,
+}
+
+impl ClusterConfig {
+    pub fn new(data_dir: impl Into<PathBuf>) -> ClusterConfig {
+        ClusterConfig {
+            shards: 2,
+            replicas: 1,
+            data_dir: data_dir.into(),
+            fsync: geosir_storage::FsyncPolicy::Never,
+            serve: ServeConfig::default(),
+            router: RouterConfig::default(),
+            checkpoint_every: u64::MAX / 2,
+            repl_interval: Duration::from_millis(10),
+            ship_factory: None,
+        }
+    }
+}
+
+/// An in-process cluster. Backends bind ephemeral loopback ports; the
+/// router binds the address given to [`start_cluster`].
+pub struct Cluster {
+    pub router: RouterHandle,
+    pub specs: Vec<ShardSpec>,
+    pub recovery: Vec<RecoveryReport>,
+    primaries: Vec<Option<ServerHandle>>,
+    replicas: Vec<Vec<Option<(ServerHandle, crate::repl::ReplHandle)>>>,
+}
+
+impl Cluster {
+    pub fn addr(&self) -> SocketAddr {
+        self.router.addr()
+    }
+
+    pub fn registry(&self) -> Arc<obs::Registry> {
+        self.router.registry()
+    }
+
+    /// Gracefully stop replica `r` of shard `s` (bench "kill" hook; the
+    /// chaos harness SIGKILLs real processes instead).
+    pub fn stop_replica(&mut self, s: usize, r: usize) {
+        if let Some((server, repl)) = self.replicas[s][r].take() {
+            repl.stop();
+            server.shutdown();
+        }
+    }
+
+    /// Gracefully stop shard `s`'s primary.
+    pub fn stop_primary(&mut self, s: usize) {
+        if let Some(server) = self.primaries[s].take() {
+            server.shutdown();
+        }
+    }
+
+    /// Block until the router stops (a client sends a wire `Shutdown`
+    /// frame), then tear down every backend. `geosir cluster` runs the
+    /// whole cluster in the foreground through this.
+    pub fn join(mut self) {
+        for t in self.router.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.shutdown();
+    }
+
+    pub fn shutdown(mut self) {
+        for row in &mut self.replicas {
+            for slot in row.iter_mut() {
+                if let Some((server, repl)) = slot.take() {
+                    repl.stop();
+                    server.shutdown();
+                }
+            }
+        }
+        for slot in &mut self.primaries {
+            if let Some(server) = slot.take() {
+                server.shutdown();
+            }
+        }
+        self.router.shutdown();
+    }
+}
+
+/// Boot a full cluster: durable primaries, in-memory replicas fed by
+/// WAL shipping, and the router in front.
+pub fn start_cluster(
+    addr: &str,
+    template: &BaseTemplate,
+    cfg: ClusterConfig,
+) -> io::Result<Cluster> {
+    assert!(cfg.shards >= 1);
+    let registry = Arc::new(obs::Registry::new());
+    let mut specs = Vec::with_capacity(cfg.shards);
+    let mut primaries = Vec::with_capacity(cfg.shards);
+    let mut replicas = Vec::with_capacity(cfg.shards);
+    let mut recovery = Vec::with_capacity(cfg.shards);
+    for s in 0..cfg.shards {
+        let shard_dir = cfg.data_dir.join(format!("shard-{s}"));
+        let dcfg = DurabilityConfig {
+            fsync: cfg.fsync,
+            checkpoint_every: cfg.checkpoint_every,
+            ..DurabilityConfig::new(&shard_dir)
+        };
+        let (primary, report) = serve_durable("127.0.0.1:0", template, dcfg, cfg.serve.clone())?;
+        let mut spec = ShardSpec { primary: primary.addr(), replicas: Vec::new() };
+        let mut row = Vec::with_capacity(cfg.replicas);
+        for r in 0..cfg.replicas {
+            let server = serve("127.0.0.1:0", template.empty_base(), cfg.serve.clone())?;
+            let repl = crate::repl::start_replication(crate::repl::ReplSpec {
+                shard: s as u16,
+                src_wal_dir: shard_dir.clone(),
+                ship_dir: shard_dir.join(format!("replica-{r}")),
+                replica_addr: server.addr(),
+                registry: registry.clone(),
+                interval: cfg.repl_interval,
+                ship_factory: cfg.ship_factory.clone(),
+            });
+            spec.replicas.push(server.addr());
+            row.push(Some((server, repl)));
+        }
+        specs.push(spec);
+        primaries.push(Some(primary));
+        replicas.push(row);
+        recovery.push(report);
+    }
+    let router = Router::start(addr, specs.clone(), cfg.router, registry)?;
+    Ok(Cluster { router, specs, recovery, primaries, replicas })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_deterministic_and_covers_all_shards() {
+        let ring = Ring::new(4);
+        let ring2 = Ring::new(4);
+        let mut seen = [false; 4];
+        for i in 0..10_000u64 {
+            let k = fnv1a64(&[&i.to_le_bytes()]);
+            let s = ring.route(k);
+            assert_eq!(s, ring2.route(k), "placement must be deterministic");
+            seen[s as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every shard owns part of the keyspace");
+    }
+
+    #[test]
+    fn ring_balance_is_reasonable() {
+        let ring = Ring::new(4);
+        let mut counts = [0u32; 4];
+        for i in 0..40_000u64 {
+            counts[ring.route(fnv1a64(&[&i.to_le_bytes()])) as usize] += 1;
+        }
+        for &c in &counts {
+            // 64 vnodes/shard keeps imbalance well under 2x
+            assert!(c > 4_000 && c < 20_000, "badly skewed ring: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn id_tagging_round_trips() {
+        for shard in [0u16, 1, 3, 255] {
+            for local in [0u64, 1, 42, LOCAL_ID_MASK] {
+                let (s, l) = untag_id(tag_id(shard, local));
+                assert_eq!((s, l), (shard, local));
+            }
+        }
+    }
+
+    #[test]
+    fn breaker_trips_cools_down_and_probes() {
+        let cfg = RouterConfig {
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_millis(20),
+            ..RouterConfig::default()
+        };
+        let b = Breaker::new();
+        assert!(b.allow());
+        b.record(false, &cfg);
+        assert!(b.allow(), "one strike stays closed");
+        b.record(false, &cfg);
+        assert!(!b.allow(), "threshold trips open");
+        assert_eq!(b.code(), 1);
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.allow(), "cooldown elapsed: half-open probe admitted");
+        assert_eq!(b.code(), 2);
+        assert!(!b.allow(), "only one probe at a time");
+        b.record(false, &cfg);
+        assert!(!b.allow(), "failed probe re-opens");
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.allow());
+        b.record(true, &cfg);
+        assert_eq!(b.code(), 0, "successful probe closes");
+        assert!(b.allow());
+    }
+
+    #[test]
+    fn merge_orders_by_score_then_image_then_routed_id() {
+        let a = vec![
+            WireMatch { shape: 0, image: 5, score: 0.5 },
+            WireMatch { shape: 1, image: 1, score: 1.0 },
+        ];
+        let b = vec![
+            WireMatch { shape: 0, image: 2, score: 0.25 },
+            WireMatch { shape: 1, image: 1, score: 1.0 },
+        ];
+        let merged = merge_topk(3, &[(0, a), (1, b)]);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[0].score, 0.25);
+        assert_eq!(merged[0].shape, tag_id(1, 0));
+        assert_eq!(merged[1].score, 0.5);
+        // tie at 1.0: same image, shard 0's routed id is smaller
+        assert_eq!(merged[2].shape, tag_id(0, 1));
+        let none = merge_topk(0, &[(0, vec![WireMatch { shape: 0, image: 0, score: 0.0 }])]);
+        assert!(none.is_empty(), "k = 0 passes the server default through: empty here");
+    }
+}

@@ -20,24 +20,42 @@
 //!   [`server::ServeConfig::metrics_addr`]) an HTTP endpoint serving
 //!   Prometheus text at `/metrics` and the per-query trace ring at
 //!   `/debug/last_queries`.
+//! - [`cluster`] — sharded scale-out (v6): the consistent-hash ring,
+//!   the fault-tolerant scatter-gather [`cluster::Router`] with hedged
+//!   retries, circuit breakers, and partial results, and the
+//!   [`cluster::start_cluster`] boot helper.
+//! - [`repl`] — WAL-shipped replication: per-replica threads that
+//!   mirror the primary's log and replay it into read replicas,
+//!   publishing `geosir_replication_lag_*` gauges.
 //!
-//! See `DESIGN.md` §7 (serving), §8 (durability & recovery), and §9
-//! (observability).
+//! See `DESIGN.md` §7 (serving), §8 (durability & recovery), §9
+//! (observability), and §12 (cluster).
 
 pub mod client;
+pub mod cluster;
 #[cfg(target_os = "linux")]
 mod conn;
 pub mod durable;
 pub mod metrics;
 #[cfg(target_os = "linux")]
 mod poll;
+pub mod repl;
 pub mod server;
 pub mod wire;
 
 pub use client::{
-    ApproxReply, BatchReply, Client, ClientConfig, ExplainReply, PipelinedClient, QueryReply,
+    ApproxReply, Backoff, BatchReply, Client, ClientConfig, ExplainReply, PipelinedClient,
+    QueryReply,
+};
+pub use cluster::{
+    merge_topk, start_cluster, tag_id, untag_id, Cluster, ClusterConfig, Router, RouterConfig,
+    RouterHandle, ShardSpec,
 };
 pub use durable::{BaseTemplate, DurabilityConfig, RecoveryReport};
 pub use geosir_obs as obs;
+pub use repl::{start_replication, ReplHandle, ReplSpec};
 pub use server::{serve, serve_durable, ServeConfig, ServerHandle};
-pub use wire::{Frame, ServerStats, WireError, WireMatch, WireShape, PROTOCOL_VERSION};
+pub use wire::{
+    Frame, ServerStats, ShardInfo, WireError, WireMatch, WireShape, WireShardStatus,
+    PROTOCOL_VERSION,
+};

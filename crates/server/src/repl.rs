@@ -1,0 +1,237 @@
+//! WAL-shipped replication: the per-replica thread that keeps a read
+//! replica converged with its shard primary.
+//!
+//! Each replica gets one replication thread. Per tick it:
+//!
+//! 1. **Ships**: [`geosir_storage::shipping::Shipper::ship_once`]
+//!    mirrors the primary's WAL directory into the replica's ship
+//!    directory (incremental, byte-offset resumable, fault-injectable).
+//! 2. **Replays**: [`geosir_storage::wal::replay`] above the applied
+//!    cursor yields the new records in LSN order.
+//! 3. **Applies**: records are pushed into the replica *through the
+//!    wire protocol* — the replica is a stock `geosir-serve` instance
+//!    whose only writer is this thread. Inserts reuse the record's
+//!    idempotency key, so an apply retried over a replica hiccup can
+//!    never double-insert.
+//!
+//! **Id parity.** The primary assigned ids by its deterministic
+//! sequential counter while appending these records; the replica,
+//! starting empty and applying the same records in the same order,
+//! assigns the *same* ids. The thread asserts this on every insert
+//! (`geosir_repl_id_mismatch_total` counts violations — a non-zero
+//! value means the replica diverged and its reads are unsafe). Delete
+//! records therefore apply by primary id directly.
+//!
+//! **Lag accounting.** After every tick the thread publishes
+//! `geosir_replication_lag_records{shard}` (primary's last LSN minus
+//! the applied cursor) and `geosir_replication_lag_ms{shard}` (how long
+//! the replica has continuously been behind) into the shared cluster
+//! registry — the router's `Topology` reply reads them back out.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use geosir_geom::Polyline;
+use geosir_obs as obs;
+use geosir_storage::faults::IoFactory;
+use geosir_storage::shipping::Shipper;
+use geosir_storage::wal::{self, WalRecord};
+
+use crate::client::{Client, ClientConfig};
+
+/// What to replicate and where; see [`start_replication`].
+pub struct ReplSpec {
+    pub shard: u16,
+    /// The primary's WAL directory (its durability `data_dir`).
+    pub src_wal_dir: PathBuf,
+    /// Where shipped segments land for this replica.
+    pub ship_dir: PathBuf,
+    /// The replica server this thread applies into.
+    pub replica_addr: SocketAddr,
+    /// Cluster-shared registry the lag gauges are published into.
+    pub registry: Arc<obs::Registry>,
+    /// Poll cadence between ship/replay/apply ticks.
+    pub interval: Duration,
+    /// Optional fault hook for the shipped segment files.
+    pub ship_factory: Option<Arc<dyn IoFactory>>,
+}
+
+/// A running replication thread.
+pub struct ReplHandle {
+    stop: Arc<AtomicBool>,
+    applied: Arc<AtomicU64>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ReplHandle {
+    /// Highest LSN applied into the replica so far.
+    pub fn applied(&self) -> u64 {
+        self.applied.load(Ordering::SeqCst)
+    }
+
+    /// Signal the thread to exit and wait for it.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.join.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ReplHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.join.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Adapts the shared (`Arc`) fault hook to the `Box<dyn IoFactory>` the
+/// [`Shipper`] owns.
+struct SharedFactory(Arc<dyn IoFactory>);
+
+impl IoFactory for SharedFactory {
+    fn create(&self, path: &std::path::Path) -> std::io::Result<Box<dyn geosir_storage::faults::Io>> {
+        self.0.create(path)
+    }
+}
+
+/// Spawn the replication thread for one replica.
+pub fn start_replication(spec: ReplSpec) -> ReplHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let applied = Arc::new(AtomicU64::new(0));
+    let (stop2, applied2) = (stop.clone(), applied.clone());
+    let join = std::thread::Builder::new()
+        .name(format!("geosir-repl-{}", spec.shard))
+        .spawn(move || repl_loop(spec, stop2, applied2))
+        .expect("spawn replication thread");
+    ReplHandle { stop, applied, join: Some(join) }
+}
+
+struct ReplMetrics {
+    lag_records: Arc<obs::Gauge>,
+    lag_ms: Arc<obs::Gauge>,
+    applied_records: Arc<obs::Counter>,
+    ship_errors: Arc<obs::Counter>,
+    apply_errors: Arc<obs::Counter>,
+    id_mismatch: Arc<obs::Counter>,
+}
+
+impl ReplMetrics {
+    fn build(reg: &obs::Registry, shard: u16) -> ReplMetrics {
+        let l = shard.to_string();
+        let lbl: &[(&str, &str)] = &[("shard", &l)];
+        ReplMetrics {
+            lag_records: reg.gauge("geosir_replication_lag_records", lbl),
+            lag_ms: reg.gauge("geosir_replication_lag_ms", lbl),
+            applied_records: reg.counter("geosir_repl_applied_records_total", lbl),
+            ship_errors: reg.counter("geosir_repl_ship_errors_total", lbl),
+            apply_errors: reg.counter("geosir_repl_apply_errors_total", lbl),
+            id_mismatch: reg.counter("geosir_repl_id_mismatch_total", lbl),
+        }
+    }
+}
+
+fn repl_loop(spec: ReplSpec, stop: Arc<AtomicBool>, applied: Arc<AtomicU64>) {
+    obs::set_thread_registry(Some(spec.registry.clone()));
+    let m = ReplMetrics::build(&spec.registry, spec.shard);
+    let mut shipper = match &spec.ship_factory {
+        Some(f) => Shipper::with_factory(
+            &spec.src_wal_dir,
+            &spec.ship_dir,
+            Box::new(SharedFactory(f.clone())),
+        ),
+        None => Shipper::new(&spec.src_wal_dir, &spec.ship_dir),
+    };
+    let mut client: Option<Client> = None;
+    let mut behind_since: Option<Instant> = None;
+    while !stop.load(Ordering::SeqCst) {
+        if let Err(_e) = shipper.ship_once() {
+            m.ship_errors.inc();
+            // a torn shipped tail is fine — replay below tolerates it,
+            // the next pass resumes from the destination's true length
+        }
+        let cursor = applied.load(Ordering::SeqCst);
+        if let Ok((records, _report)) = wal::replay(&spec.ship_dir, cursor) {
+            for (lsn, record) in records {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                if apply_record(&spec, &mut client, &m, &record) {
+                    applied.store(lsn, Ordering::SeqCst);
+                    m.applied_records.inc();
+                } else {
+                    // leave the cursor: the record re-applies next tick
+                    // (idempotent via its key), the replica just lags
+                    m.apply_errors.inc();
+                    break;
+                }
+            }
+        }
+        // lag: how far the primary's log tip is past our cursor
+        let tip = wal::last_lsn(&spec.src_wal_dir).ok().flatten().unwrap_or(0);
+        let lag = tip.saturating_sub(applied.load(Ordering::SeqCst));
+        m.lag_records.set(lag as i64);
+        if lag == 0 {
+            behind_since = None;
+            m.lag_ms.set(0);
+        } else {
+            let since = *behind_since.get_or_insert_with(Instant::now);
+            m.lag_ms.set(since.elapsed().as_millis() as i64);
+        }
+        std::thread::sleep(spec.interval);
+    }
+    obs::set_thread_registry(None);
+}
+
+/// Push one WAL record into the replica over the wire. Returns false on
+/// any failure (the caller leaves the cursor so the record retries).
+fn apply_record(
+    spec: &ReplSpec,
+    client: &mut Option<Client>,
+    m: &ReplMetrics,
+    record: &WalRecord,
+) -> bool {
+    if client.is_none() {
+        let cfg = ClientConfig {
+            connect_timeout: Some(Duration::from_millis(200)),
+            ..ClientConfig::default()
+        };
+        match Client::connect_with(spec.replica_addr, cfg) {
+            Ok(c) => *client = Some(c),
+            Err(_) => return false,
+        }
+    }
+    let c = client.as_mut().expect("connected above");
+    let ok = match record {
+        WalRecord::Insert { key, id, image, closed, points } => {
+            let pts: Vec<geosir_geom::Point> =
+                points.iter().map(|&(x, y)| geosir_geom::Point { x, y }).collect();
+            let poly =
+                (if *closed { Polyline::closed(pts) } else { Polyline::open(pts) }).ok();
+            let Some(poly) = poly else {
+                // the primary accepted it, so this can't happen; skip
+                // rather than wedge the stream
+                return true;
+            };
+            match c.insert_retrying_keyed(*image, *key, &poly) {
+                Ok((_epoch, got)) => {
+                    if got != *id {
+                        m.id_mismatch.inc();
+                    }
+                    true
+                }
+                Err(_) => false,
+            }
+        }
+        WalRecord::Delete { id } => c.delete(*id).is_ok(),
+    };
+    if !ok {
+        *client = None;
+    }
+    ok
+}

@@ -1298,7 +1298,8 @@ fn pump_conn(
             | Frame::QueryApprox { .. }
             | Frame::QueryBatch { .. }
             | Frame::Stats
-            | Frame::MetricsDump => submit(
+            | Frame::MetricsDump
+            | Frame::Topology => submit(
                 &shared.read_queue,
                 shared,
                 Job { frame, reply: reply_to, enqueued: Instant::now() },
@@ -1449,11 +1450,13 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
         };
         let outcome = match frame {
             Frame::Query { .. } | Frame::Explain { .. } | Frame::QueryApprox { .. }
-            | Frame::QueryBatch { .. } | Frame::Stats | Frame::MetricsDump => submit(
-                &shared.read_queue,
-                shared,
-                Job { frame, reply: ReplyTo::Chan(reply_tx.clone()), enqueued: Instant::now() },
-            ),
+            | Frame::QueryBatch { .. } | Frame::Stats | Frame::MetricsDump | Frame::Topology => {
+                submit(
+                    &shared.read_queue,
+                    shared,
+                    Job { frame, reply: ReplyTo::Chan(reply_tx.clone()), enqueued: Instant::now() },
+                )
+            }
             Frame::Insert { .. } | Frame::Delete { .. } => submit(
                 &shared.write_queue,
                 shared,
@@ -1642,7 +1645,11 @@ fn run_query_run(
                     snap.epoch(),
                     rs,
                 );
-                Frame::Matches { epoch: snap.epoch(), matches: to_wire(hits) }
+                Frame::Matches {
+                    epoch: snap.epoch(),
+                    shards: Default::default(),
+                    matches: to_wire(hits),
+                }
             }
             None => bad_shape(),
         };
@@ -1721,6 +1728,7 @@ fn run_approx_run(
                     candidates: astats.candidates,
                     corpus_copies: astats.corpus_copies,
                     reranked: astats.reranked,
+                    shards: Default::default(),
                     matches: to_wire(hits),
                 }
             }
@@ -1796,7 +1804,11 @@ fn run_read_job(
                         snap.epoch(),
                         rstats,
                     );
-                    Frame::Matches { epoch: snap.epoch(), matches: to_wire(hits) }
+                    Frame::Matches {
+                        epoch: snap.epoch(),
+                        shards: Default::default(),
+                        matches: to_wire(hits),
+                    }
                 }
                 None => bad_shape(),
             },
@@ -1888,13 +1900,29 @@ fn run_read_job(
                 shared.metrics.registry.snapshot().encode(&mut bytes);
                 Frame::MetricsReport { snapshot: bytes }
             }
+            // A single-node server is a trivial one-shard cluster: itself
+            // as primary, healthy, no replicas, no lag.
+            Frame::Topology => Frame::TopologyReport {
+                shards: vec![crate::wire::WireShardStatus {
+                    shard: 0,
+                    primary: shared.addr.to_string(),
+                    primary_state: 0,
+                    replicas: Vec::new(),
+                    lag_records: 0,
+                    lag_ms: 0,
+                }],
+            },
             _ => Frame::Error {
                 code: error_code::UNEXPECTED_FRAME,
                 message: "write frame on read queue".into(),
             },
         };
         let kind =
-            if matches!(job.frame, Frame::Stats | Frame::MetricsDump) { ReqKind::Stats } else { ReqKind::Query };
+            if matches!(job.frame, Frame::Stats | Frame::MetricsDump | Frame::Topology) {
+                ReqKind::Stats
+            } else {
+                ReqKind::Query
+            };
         shared.metrics.requests.inc();
         shared.metrics.latency(kind).record(job.enqueued.elapsed().as_micros() as u64);
         busy_us.add(started.elapsed().as_micros() as u64);

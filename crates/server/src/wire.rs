@@ -60,7 +60,15 @@ use std::io::{Read, Write};
 /// payload, echoed by the server on the response — the handle that makes
 /// the protocol pipelined (many in-flight frames per connection,
 /// out-of-order completion). Payload layouts are unchanged from v4.
-pub const PROTOCOL_VERSION: u8 = 5;
+///
+/// v6: `Matches` and `ApproxMatches` carry a [`ShardInfo`]
+/// (`shards_ok`/`shards_total`) so a scatter-gather router can flag a
+/// degraded, partial answer instead of erroring the whole query;
+/// `Topology` / `TopologyReport` expose the cluster layout and
+/// replication lag; [`error_code::UNAVAILABLE`] reports a request the
+/// router cannot serve from any shard. Single-node servers answer with
+/// the trivial `1/1` shard info.
+pub const PROTOCOL_VERSION: u8 = 6;
 
 /// Oldest protocol version still accepted on the wire.
 pub const MIN_VERSION: u8 = 1;
@@ -92,6 +100,51 @@ pub mod error_code {
     /// The server is in degraded read-only mode (persistent WAL or
     /// checkpoint I/O failure); queries still work, writes do not.
     pub const READ_ONLY: u16 = 5;
+    /// No shard (primary or replica) could serve the request — every
+    /// backend for the owning shard is down or the frame type is not
+    /// routable (v6).
+    pub const UNAVAILABLE: u16 = 6;
+}
+
+/// Degraded-result accounting on v6 replies: how many shards answered
+/// vs how many were asked. A single-node server always reports `1/1`;
+/// a scatter-gather router reports `ok < total` when a whole shard
+/// (primary and replicas) failed inside the query deadline and the
+/// reply was assembled from the survivors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardInfo {
+    pub ok: u16,
+    pub total: u16,
+}
+
+impl Default for ShardInfo {
+    fn default() -> Self {
+        ShardInfo { ok: 1, total: 1 }
+    }
+}
+
+impl ShardInfo {
+    /// True when at least one shard's results are missing from the reply.
+    pub fn is_partial(&self) -> bool {
+        self.ok < self.total
+    }
+}
+
+/// One shard's status inside a [`Frame::TopologyReport`]: backend
+/// addresses, their health-state codes (0 = closed/healthy, 1 = open/
+/// failed, 2 = half-open/probing), and the worst replication lag across
+/// the shard's replicas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireShardStatus {
+    pub shard: u16,
+    pub primary: String,
+    pub primary_state: u8,
+    /// Replica addresses with their health-state codes.
+    pub replicas: Vec<(String, u8)>,
+    /// Max `last_lsn(primary) - applied_lsn(replica)` across replicas.
+    pub lag_records: u64,
+    /// Milliseconds the most-behind replica has been behind (0 = caught up).
+    pub lag_ms: u64,
 }
 
 /// Shape geometry on the wire: closed flag + f64 vertex pairs.
@@ -216,12 +269,17 @@ pub enum Frame {
     /// preference, `max_candidates` the collection budget (0 = server
     /// default for either). Pipelinable and coalesced like `Query`.
     QueryApprox { k: u32, trace: u64, max_radius: u16, max_candidates: u32, shape: WireShape },
+    /// Fetch the cluster topology (v6): shard layout, backend health
+    /// states, and replication lag. A single-node server answers with a
+    /// one-shard report naming itself primary.
+    Topology,
     /// Begin graceful shutdown: in-flight requests drain, then the server
     /// exits.
     Shutdown,
 
-    /// Reply to `Query`.
-    Matches { epoch: u64, matches: Vec<WireMatch> },
+    /// Reply to `Query`. `shards` is the v6 partial-result flag
+    /// ([`ShardInfo`]; trivially `1/1` from a single-node server).
+    Matches { epoch: u64, shards: ShardInfo, matches: Vec<WireMatch> },
     /// Reply to `QueryBatch`, one result list per query, in order.
     BatchMatches { epoch: u64, results: Vec<Vec<WireMatch>> },
     /// Reply to `Insert`: the assigned global id.
@@ -260,8 +318,11 @@ pub enum Frame {
         candidates: u64,
         corpus_copies: u64,
         reranked: u64,
+        shards: ShardInfo,
         matches: Vec<WireMatch>,
     },
+    /// Reply to `Topology` (v6): one status entry per shard.
+    TopologyReport { shards: Vec<WireShardStatus> },
     /// Load shed: the bounded request queue was full. Retry after the
     /// hinted delay (0 = client's choice).
     Busy { retry_after_ms: u32 },
@@ -282,6 +343,7 @@ mod frame_type {
     pub const METRICS_DUMP: u8 = 7;
     pub const EXPLAIN: u8 = 8;
     pub const QUERY_APPROX: u8 = 9;
+    pub const TOPOLOGY: u8 = 10;
     pub const MATCHES: u8 = 64;
     pub const BATCH_MATCHES: u8 = 65;
     pub const INSERTED: u8 = 66;
@@ -293,6 +355,7 @@ mod frame_type {
     pub const METRICS_REPORT: u8 = 72;
     pub const EXPLAIN_REPORT: u8 = 73;
     pub const APPROX_MATCHES: u8 = 74;
+    pub const TOPOLOGY_REPORT: u8 = 75;
 
     /// Is `t` an assigned discriminant *in protocol version `v`*? Frame
     /// types introduced later must read as [`super::WireError::BadType`]
@@ -305,6 +368,7 @@ mod frame_type {
             METRICS_DUMP | METRICS_REPORT => v >= 3,
             EXPLAIN | EXPLAIN_REPORT => v >= 4,
             QUERY_APPROX | APPROX_MATCHES => v >= 5,
+            TOPOLOGY | TOPOLOGY_REPORT => v >= 6,
             _ => false,
         }
     }
@@ -482,6 +546,29 @@ fn get_matches(buf: &mut &[u8]) -> Result<Vec<WireMatch>, WireError> {
     Ok(matches)
 }
 
+fn get_string(buf: &mut &[u8]) -> Result<String, WireError> {
+    if buf.len() < 4 {
+        return Err(WireError::Malformed);
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.len() < n {
+        return Err(WireError::Malformed);
+    }
+    let s = std::str::from_utf8(&buf[..n]).map_err(|_| WireError::Malformed)?.to_string();
+    buf.advance(n);
+    Ok(s)
+}
+
+fn get_shard_info(version: u8, buf: &mut &[u8]) -> Result<ShardInfo, WireError> {
+    if version < 6 {
+        return Ok(ShardInfo::default());
+    }
+    if buf.len() < 4 {
+        return Err(WireError::Malformed);
+    }
+    Ok(ShardInfo { ok: buf.get_u16_le(), total: buf.get_u16_le() })
+}
+
 fn put_explain(out: &mut Vec<u8>, e: &QueryExplain) {
     out.put_u64_le(e.buffer_scored);
     // aggregate RetrieveStats
@@ -601,6 +688,8 @@ impl Frame {
             Frame::ExplainReport { .. } => frame_type::EXPLAIN_REPORT,
             Frame::ApproxMatches { .. } => frame_type::APPROX_MATCHES,
             Frame::MetricsReport { .. } => frame_type::METRICS_REPORT,
+            Frame::Topology => frame_type::TOPOLOGY,
+            Frame::TopologyReport { .. } => frame_type::TOPOLOGY_REPORT,
             Frame::Shutdown => frame_type::SHUTDOWN,
             Frame::Matches { .. } => frame_type::MATCHES,
             Frame::BatchMatches { .. } => frame_type::BATCH_MATCHES,
@@ -656,13 +745,17 @@ impl Frame {
                     out.put_u32_le(*retry_after_ms);
                 }
             }
-            Frame::Stats | Frame::MetricsDump | Frame::Shutdown | Frame::Bye => {}
+            Frame::Stats | Frame::MetricsDump | Frame::Topology | Frame::Shutdown | Frame::Bye => {}
             Frame::MetricsReport { snapshot } => {
                 out.put_u32_le(snapshot.len() as u32);
                 out.put_slice(snapshot);
             }
-            Frame::Matches { epoch, matches } => {
+            Frame::Matches { epoch, shards, matches } => {
                 out.put_u64_le(*epoch);
+                if version >= 6 {
+                    out.put_u16_le(shards.ok);
+                    out.put_u16_le(shards.total);
+                }
                 put_matches(out, matches);
             }
             Frame::ExplainReport { epoch, trace, total_us, queue_us, matches, report } => {
@@ -681,6 +774,7 @@ impl Frame {
                 candidates,
                 corpus_copies,
                 reranked,
+                shards,
                 matches,
             } => {
                 out.put_u64_le(*epoch);
@@ -690,7 +784,28 @@ impl Frame {
                 out.put_u64_le(*candidates);
                 out.put_u64_le(*corpus_copies);
                 out.put_u64_le(*reranked);
+                if version >= 6 {
+                    out.put_u16_le(shards.ok);
+                    out.put_u16_le(shards.total);
+                }
                 put_matches(out, matches);
+            }
+            Frame::TopologyReport { shards } => {
+                out.put_u32_le(shards.len() as u32);
+                for s in shards {
+                    out.put_u16_le(s.shard);
+                    out.put_u32_le(s.primary.len() as u32);
+                    out.put_slice(s.primary.as_bytes());
+                    out.put_u8(s.primary_state);
+                    out.put_u32_le(s.replicas.len() as u32);
+                    for (addr, state) in &s.replicas {
+                        out.put_u32_le(addr.len() as u32);
+                        out.put_slice(addr.as_bytes());
+                        out.put_u8(*state);
+                    }
+                    out.put_u64_le(s.lag_records);
+                    out.put_u64_le(s.lag_ms);
+                }
             }
             Frame::BatchMatches { epoch, results } => {
                 out.put_u64_le(*epoch);
@@ -822,7 +937,8 @@ impl Frame {
                     return Err(WireError::Malformed);
                 }
                 let epoch = buf.get_u64_le();
-                Frame::Matches { epoch, matches: get_matches(buf)? }
+                let shards = get_shard_info(version, buf)?;
+                Frame::Matches { epoch, shards, matches: get_matches(buf)? }
             }
             frame_type::EXPLAIN_REPORT => {
                 if buf.len() < 32 {
@@ -847,6 +963,7 @@ impl Frame {
                 let candidates = buf.get_u64_le();
                 let corpus_copies = buf.get_u64_le();
                 let reranked = buf.get_u64_le();
+                let shards = get_shard_info(version, buf)?;
                 Frame::ApproxMatches {
                     epoch,
                     tier,
@@ -855,8 +972,61 @@ impl Frame {
                     candidates,
                     corpus_copies,
                     reranked,
+                    shards,
                     matches: get_matches(buf)?,
                 }
+            }
+            frame_type::TOPOLOGY => Frame::Topology,
+            frame_type::TOPOLOGY_REPORT => {
+                if buf.len() < 4 {
+                    return Err(WireError::Malformed);
+                }
+                let n = buf.get_u32_le() as usize;
+                // ≥ 27 bytes per status: cheap pre-check against hostile counts
+                if buf.len() < n * 27 {
+                    return Err(WireError::Malformed);
+                }
+                let mut shards = Vec::with_capacity(n);
+                for _ in 0..n {
+                    if buf.len() < 2 {
+                        return Err(WireError::Malformed);
+                    }
+                    let shard = buf.get_u16_le();
+                    let primary = get_string(buf)?;
+                    if buf.is_empty() {
+                        return Err(WireError::Malformed);
+                    }
+                    let primary_state = buf.get_u8();
+                    if buf.len() < 4 {
+                        return Err(WireError::Malformed);
+                    }
+                    let nr = buf.get_u32_le() as usize;
+                    if buf.len() < nr * 5 {
+                        return Err(WireError::Malformed);
+                    }
+                    let mut replicas = Vec::with_capacity(nr);
+                    for _ in 0..nr {
+                        let addr = get_string(buf)?;
+                        if buf.is_empty() {
+                            return Err(WireError::Malformed);
+                        }
+                        replicas.push((addr, buf.get_u8()));
+                    }
+                    if buf.len() < 16 {
+                        return Err(WireError::Malformed);
+                    }
+                    let lag_records = buf.get_u64_le();
+                    let lag_ms = buf.get_u64_le();
+                    shards.push(WireShardStatus {
+                        shard,
+                        primary,
+                        primary_state,
+                        replicas,
+                        lag_records,
+                        lag_ms,
+                    });
+                }
+                Frame::TopologyReport { shards }
             }
             frame_type::BATCH_MATCHES => {
                 if buf.len() < 12 {
@@ -1067,6 +1237,13 @@ impl Frame {
     /// [`Frame::read_from`] returning the correlation id as well (0 for
     /// pre-v5 frames) — the pipelined client's receive path.
     pub fn read_from_corr<R: Read>(r: &mut R) -> Result<(Frame, u64), WireError> {
+        Frame::read_from_versioned(r).map(|(frame, corr, _)| (frame, corr))
+    }
+
+    /// [`Frame::read_from_corr`] returning the frame's protocol version
+    /// too — for servers that must answer in the version the request
+    /// arrived in (the router's connection loop).
+    pub fn read_from_versioned<R: Read>(r: &mut R) -> Result<(Frame, u64, u8), WireError> {
         let mut header_bytes = [0u8; HEADER_LEN];
         r.read_exact(&mut header_bytes)?;
         let header = peek_header(&header_bytes)?.expect("full header buffered");
@@ -1088,6 +1265,6 @@ impl Frame {
             header.type_byte,
             &rest[header.corr_len()..body_end],
         )?;
-        Ok((frame, corr))
+        Ok((frame, corr, header.version))
     }
 }

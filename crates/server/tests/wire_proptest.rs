@@ -5,7 +5,10 @@
 use proptest::prelude::*;
 use rand::prelude::*;
 
-use geosir_serve::wire::{Frame, ServerStats, WireError, WireMatch, WireShape, PROTOCOL_VERSION};
+use geosir_serve::wire::{
+    Frame, ServerStats, ShardInfo, WireError, WireMatch, WireShape, WireShardStatus,
+    PROTOCOL_VERSION,
+};
 
 fn rand_shape(rng: &mut StdRng) -> WireShape {
     let n = rng.random_range(0..12usize);
@@ -24,6 +27,30 @@ fn rand_matches(rng: &mut StdRng) -> Vec<WireMatch> {
             shape: rng.random(),
             image: rng.random(),
             score: rng.random_range(0.0..10.0),
+        })
+        .collect()
+}
+
+fn rand_shards(rng: &mut StdRng) -> ShardInfo {
+    let total = rng.random_range(1..16u16);
+    ShardInfo { ok: rng.random_range(0..=total), total }
+}
+
+fn rand_addr(rng: &mut StdRng) -> String {
+    format!("127.0.0.1:{}", rng.random_range(1024..u16::MAX))
+}
+
+fn rand_topology(rng: &mut StdRng) -> Vec<WireShardStatus> {
+    (0..rng.random_range(0..5u16))
+        .map(|shard| WireShardStatus {
+            shard,
+            primary: rand_addr(rng),
+            primary_state: rng.random_range(0..3),
+            replicas: (0..rng.random_range(0..3usize))
+                .map(|_| (rand_addr(rng), rng.random_range(0..3)))
+                .collect(),
+            lag_records: rng.random(),
+            lag_ms: rng.random(),
         })
         .collect()
 }
@@ -104,7 +131,7 @@ fn rand_explain(rng: &mut StdRng) -> geosir_core::dynamic::QueryExplain {
 
 /// One random frame of each variant family, chosen by `pick`.
 fn rand_frame(pick: u8, rng: &mut StdRng) -> Frame {
-    match pick % 20 {
+    match pick % 22 {
         0 => Frame::Query { k: rng.random_range(0..64), trace: rng.random(), shape: rand_shape(rng) },
         1 => Frame::QueryBatch {
             k: rng.random_range(0..64),
@@ -119,7 +146,11 @@ fn rand_frame(pick: u8, rng: &mut StdRng) -> Frame {
         3 => Frame::Delete { id: rng.random() },
         4 => Frame::Stats,
         5 => Frame::Shutdown,
-        6 => Frame::Matches { epoch: rng.random(), matches: rand_matches(rng) },
+        6 => Frame::Matches {
+            epoch: rng.random(),
+            shards: rand_shards(rng),
+            matches: rand_matches(rng),
+        },
         7 => Frame::BatchMatches {
             epoch: rng.random(),
             results: (0..rng.random_range(0..4usize)).map(|_| rand_matches(rng)).collect(),
@@ -161,8 +192,11 @@ fn rand_frame(pick: u8, rng: &mut StdRng) -> Frame {
             candidates: rng.random(),
             corpus_copies: rng.random(),
             reranked: rng.random(),
+            shards: rand_shards(rng),
             matches: rand_matches(rng),
         },
+        19 => Frame::Topology,
+        20 => Frame::TopologyReport { shards: rand_topology(rng) },
         _ => Frame::Error {
             code: rng.random(),
             message: String::from_utf8(
@@ -175,7 +209,7 @@ fn rand_frame(pick: u8, rng: &mut StdRng) -> Frame {
 
 proptest! {
     #[test]
-    fn every_frame_type_round_trips(pick in 0u8..20, seed in 0u64..200) {
+    fn every_frame_type_round_trips(pick in 0u8..22, seed in 0u64..200) {
         let mut rng = StdRng::seed_from_u64(seed);
         let frame = rand_frame(pick, &mut rng);
         let mut buf = Vec::new();
@@ -203,7 +237,7 @@ proptest! {
     }
 
     #[test]
-    fn truncation_at_any_point_errors_cleanly(pick in 0u8..20, seed in 0u64..50) {
+    fn truncation_at_any_point_errors_cleanly(pick in 0u8..22, seed in 0u64..50) {
         let mut rng = StdRng::seed_from_u64(seed);
         let frame = rand_frame(pick, &mut rng);
         let mut buf = Vec::new();
@@ -469,6 +503,47 @@ fn frame_types_are_gated_by_version() {
     match Frame::decode(&qa) {
         Err(WireError::BadType(9)) => {}
         other => panic!("want BadType(9) on v4 QUERY_APPROX, got {other:?}"),
+    }
+}
+
+#[test]
+fn v5_matches_drop_shard_info_v6_keeps_it() {
+    // ShardInfo is a v6 addition: encoding at v5 loses it, decode fills
+    // the single-node default 1/1 back in.
+    let frame = Frame::Matches {
+        epoch: 4,
+        shards: ShardInfo { ok: 2, total: 3 },
+        matches: vec![WireMatch { shape: 1, image: 2, score: 0.5 }],
+    };
+    let mut v5 = Vec::new();
+    frame.encode_versioned(5, 0, &mut v5);
+    match Frame::decode(&v5).unwrap().0 {
+        Frame::Matches { shards, matches, .. } => {
+            assert_eq!(shards, ShardInfo::default());
+            assert!(!shards.is_partial());
+            assert_eq!(matches.len(), 1);
+        }
+        other => panic!("wrong frame {other:?}"),
+    }
+    let mut v6 = Vec::new();
+    frame.encode_versioned(6, 0, &mut v6);
+    match Frame::decode(&v6).unwrap().0 {
+        Frame::Matches { shards, .. } => {
+            assert_eq!(shards, ShardInfo { ok: 2, total: 3 });
+            assert!(shards.is_partial());
+        }
+        other => panic!("wrong frame {other:?}"),
+    }
+}
+
+#[test]
+fn topology_frames_are_v6_gated() {
+    let mut buf = Vec::new();
+    Frame::Topology.encode_versioned(6, 0, &mut buf);
+    buf[0] = 5; // masquerade as v5
+    match Frame::decode(&buf) {
+        Err(WireError::BadType(10)) => {}
+        other => panic!("want BadType(10) on v5 TOPOLOGY, got {other:?}"),
     }
 }
 

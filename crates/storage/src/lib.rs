@@ -37,6 +37,7 @@ pub mod file_disk;
 pub mod layout;
 pub mod manifest;
 pub mod record;
+pub mod shipping;
 pub mod slowlog;
 pub mod store;
 pub mod wal;

@@ -59,6 +59,7 @@ struct WalMetrics {
     fsync_us: Arc<obs::Histogram>,
     rotations: Arc<obs::Counter>,
     pruned_segments: Arc<obs::Counter>,
+    repairs: Arc<obs::Counter>,
 }
 
 impl WalMetrics {
@@ -70,6 +71,7 @@ impl WalMetrics {
             fsync_us: reg.histogram("geosir_wal_fsync_us", &[]),
             rotations: reg.counter("geosir_wal_rotations_total", &[]),
             pruned_segments: reg.counter("geosir_wal_pruned_segments_total", &[]),
+            repairs: reg.counter("geosir_wal_repairs_total", &[]),
         }
     }
 }
@@ -248,7 +250,9 @@ pub struct Wal {
     pub syncs: u64,
 }
 
-fn segment_path(dir: &Path, first_lsn: Lsn) -> PathBuf {
+/// Path of the segment whose first record carries `first_lsn`. Public
+/// for the log-shipping layer (it mirrors segments path-for-path).
+pub fn segment_path(dir: &Path, first_lsn: Lsn) -> PathBuf {
     dir.join(format!("wal-{first_lsn:020}.log"))
 }
 
@@ -433,8 +437,10 @@ impl Wal {
     }
 }
 
-/// `wal-<lsn>.log` first-LSNs present in `dir`, unsorted.
-fn list_segments(dir: &Path) -> io::Result<Vec<Lsn>> {
+/// `wal-<lsn>.log` first-LSNs present in `dir`, unsorted. Public so the
+/// log-shipping layer can mirror segments file-by-file without knowing
+/// the naming scheme.
+pub fn list_segments(dir: &Path) -> io::Result<Vec<Lsn>> {
     let mut firsts = Vec::new();
     for entry in std::fs::read_dir(dir)? {
         let name = entry?.file_name();
@@ -569,6 +575,71 @@ pub fn replay(dir: &Path, after_lsn: Lsn) -> io::Result<(Vec<(Lsn, WalRecord)>, 
     Ok((out, report))
 }
 
+/// Highest LSN present in `dir`'s segments, or `None` for an empty log.
+/// Reads only the **final** segment (LSNs are dense and segments are
+/// ordered by first LSN, so a freshly rotated empty segment at F means
+/// the log's last record was F−1). Tolerates a torn tail the way
+/// [`replay`] does — the last intact record wins. This is the shipping
+/// cursor's cheap "how far ahead is the primary" probe.
+pub fn last_lsn(dir: &Path) -> io::Result<Option<Lsn>> {
+    if !dir.exists() {
+        return Ok(None);
+    }
+    let mut firsts = list_segments(dir)?;
+    firsts.sort_unstable();
+    let Some(&final_first) = firsts.last() else { return Ok(None) };
+    let bytes = std::fs::read(segment_path(dir, final_first))?;
+    let mut report = ReplayReport::default();
+    let mut prev = None;
+    let mut sink = Vec::new();
+    // after_lsn = MAX: count nothing into `sink`, only track last_lsn
+    let _ = scan_segment(&bytes, Lsn::MAX, &mut prev, &mut sink, &mut report);
+    match report.last_lsn {
+        Some(l) => Ok(Some(l)),
+        // empty final segment: its first LSN is one past the last record
+        None if final_first > 1 => Ok(Some(final_first - 1)),
+        None => Ok(None),
+    }
+}
+
+/// One line of the repair audit trail, written beside the WAL in
+/// `repair_audit/` whenever [`repair`] touches a segment. Truncating
+/// acked bytes is the single most consequential thing this storage
+/// layer ever does silently — the JSONL entry plus the
+/// `geosir_wal_repairs_total` counter make it observable after the
+/// fact (which file, how much was cut, when).
+fn audit_repair(dir: &Path, torn: &TornSegment, report: &ReplayReport, removed: bool) {
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let line = format!(
+        "{{\"unix_ms\":{unix_ms},\"segment\":\"wal-{:020}.log\",\"first_lsn\":{},\
+         \"valid_len\":{},\"dropped_bytes\":{},\"removed\":{},\"last_lsn\":{}}}",
+        torn.first_lsn,
+        torn.first_lsn,
+        torn.valid_len,
+        report.dropped_bytes,
+        removed,
+        report.last_lsn.unwrap_or(0),
+    );
+    // Best-effort: a full or dead audit disk must not block the repair
+    // itself — recovery correctness beats telemetry.
+    let audit = dir.join("repair_audit");
+    let _ = crate::slowlog::RotatingJsonl::open(
+        &audit,
+        "repair",
+        1 << 20,
+        4,
+        Box::new(crate::faults::FileFactory),
+    )
+    .and_then(|mut log| {
+        log.append_line(&line)?;
+        log.sync()
+    });
+    obs::with_metrics(WalMetrics::build, |m| m.repairs.inc());
+}
+
 /// Physically repair the tear [`replay`] reported: truncate the torn
 /// segment to its valid prefix (or remove it entirely when not even the
 /// header survived), fsyncing the file and directory. Recovery calls
@@ -577,11 +648,13 @@ pub fn replay(dir: &Path, after_lsn: Lsn) -> io::Result<(Vec<(Lsn, WalRecord)>, 
 /// after it — without the repair, the old tear would keep ending replay
 /// early, newer segments full of acked records would be skipped, and
 /// reopening at the stale LSN would truncate them. Returns true when a
-/// repair was performed.
+/// repair was performed. Every performed repair leaves a JSONL line in
+/// `<dir>/repair_audit/` and bumps `geosir_wal_repairs_total`.
 pub fn repair(dir: &Path, report: &ReplayReport) -> io::Result<bool> {
     let Some(torn) = report.torn else { return Ok(false) };
     let path = segment_path(dir, torn.first_lsn);
-    if torn.valid_len < SEG_MAGIC.len() as u64 {
+    let removed = torn.valid_len < SEG_MAGIC.len() as u64;
+    if removed {
         std::fs::remove_file(&path)?;
     } else {
         let f = std::fs::OpenOptions::new().write(true).open(&path)?;
@@ -589,6 +662,7 @@ pub fn repair(dir: &Path, report: &ReplayReport) -> io::Result<bool> {
         f.sync_all()?;
     }
     sync_dir(dir);
+    audit_repair(dir, &torn, report, removed);
     Ok(true)
 }
 
@@ -837,6 +911,74 @@ mod tests {
         // a directory that never existed is an empty log, not an error
         let (recs, _) = replay(&dir.join("nope"), 0).unwrap();
         assert!(recs.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn last_lsn_tracks_appends_and_rotation() {
+        let dir = tmpdir("lastlsn");
+        assert_eq!(last_lsn(&dir).unwrap(), None, "missing dir is an empty log");
+        let mut wal = Wal::open(&dir, FsyncPolicy::Never, 1).unwrap();
+        assert_eq!(last_lsn(&dir).unwrap(), None, "header-only segment, no records");
+        for i in 0..5 {
+            wal.append(&insert(i)).unwrap();
+        }
+        wal.sync().unwrap();
+        assert_eq!(last_lsn(&dir).unwrap(), Some(5));
+        // rotation opens an empty segment at 6: last record is still 5
+        wal.rotate().unwrap();
+        assert_eq!(last_lsn(&dir).unwrap(), Some(5));
+        wal.append(&insert(99)).unwrap();
+        wal.sync().unwrap();
+        assert_eq!(last_lsn(&dir).unwrap(), Some(6));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repair_writes_audit_line_and_bumps_counter() {
+        let reg = Arc::new(obs::Registry::new());
+        obs::set_thread_registry(Some(reg.clone()));
+        let dir = tmpdir("repair-audit");
+        let mut wal = Wal::open(&dir, FsyncPolicy::Never, 1).unwrap();
+        for i in 0..4 {
+            wal.append(&insert(i)).unwrap();
+        }
+        wal.sync().unwrap();
+        drop(wal);
+        let seg = segment_path(&dir, 1);
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 7]).unwrap();
+        let (_, report) = replay(&dir, 0).unwrap();
+        assert!(report.truncated);
+        let before = reg.counter("geosir_wal_repairs_total", &[]).get();
+        assert!(repair(&dir, &report).unwrap());
+        assert_eq!(
+            reg.counter("geosir_wal_repairs_total", &[]).get(),
+            before + 1,
+            "every performed repair must be counted"
+        );
+        // exactly one JSONL line naming the torn segment and the cut
+        let audit_dir = dir.join("repair_audit");
+        let mut lines = String::new();
+        for entry in std::fs::read_dir(&audit_dir).unwrap() {
+            let p = entry.unwrap().path();
+            if p.extension().is_some_and(|e| e == "jsonl") {
+                lines.push_str(&std::fs::read_to_string(p).unwrap());
+            }
+        }
+        let audit: Vec<&str> = lines.lines().collect();
+        assert_eq!(audit.len(), 1, "one repair, one audit line: {audit:?}");
+        let line = audit[0];
+        for needle in
+            ["\"segment\":\"wal-00000000000000000001.log\"", "\"dropped_bytes\":", "\"removed\":false"]
+        {
+            assert!(line.contains(needle), "audit line missing {needle}: {line}");
+        }
+        // a no-op repair (clean log) leaves no trace
+        let (_, clean) = replay(&dir, 0).unwrap();
+        assert!(!repair(&dir, &clean).unwrap());
+        assert_eq!(reg.counter("geosir_wal_repairs_total", &[]).get(), before + 1);
+        obs::set_thread_registry(None);
         std::fs::remove_dir_all(&dir).ok();
     }
 

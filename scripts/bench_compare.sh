@@ -26,13 +26,26 @@
 #   6. recall@10 at that same point must be >= 0.95 against the
 #      exhaustive symmetric h_avg oracle.
 #
+# When a BENCH_8.json (serve_loadgen --cluster) is present — or named
+# as the fifth argument — the sharded-cluster gates run too:
+#
+#   7. the 1-shard cluster must hold >= 85% of the direct single-node
+#      qps (the router fan-out must be nearly free at width one),
+#   8. on hosts with >= 4 cores, 1->4 shard qps scaling must be
+#      >= 2.5x (skipped, informationally, on smaller hosts — an
+#      in-process cluster cannot scale past the cores it shares),
+#   9. the replication-lag storm must show a non-zero peak lag that
+#      fully drains (every shipped record applied), and
+#  10. with a replica killed mid-run, >= 99.9% of queries must still
+#      be answered (failover may cost latency, never answers).
+#
 # All files should come from the same machine in the same session
 # (CI regenerates them back-to-back); comparing artifacts produced on
 # different hardware measures the hardware, not the code. BENCH_7 is
 # machine-insensitive on the gated fields (recall and reduction are
 # counts, not clocks), so a checked-in artifact stays comparable.
 #
-# Usage: scripts/bench_compare.sh [BENCH_5.json [BENCH_4.json [BENCH_6.json [BENCH_7.json]]]]
+# Usage: scripts/bench_compare.sh [BENCH_5.json [BENCH_4.json [BENCH_6.json [BENCH_7.json [BENCH_8.json]]]]]
 set -euo pipefail
 
 B5="${1:-BENCH_5.json}"
@@ -145,9 +158,7 @@ fi
 # --- BENCH_7: approximate-tier quality gates (optional) ---
 if [ ! -f "$B7" ]; then
     echo "bench_compare: no $B7 — skipping approx gates (run approx_recall to enable)"
-    exit 0
-fi
-
+else
 python3 - "$B7" <<'EOF'
 import json
 import sys
@@ -177,4 +188,70 @@ if recall < 0.95:
 if failed:
     sys.exit(1)
 print("bench_compare: OK (approx)")
+EOF
+fi
+
+# --- BENCH_8: sharded cluster gates (optional) ---
+B8="${5:-BENCH_8.json}"
+if [ ! -f "$B8" ]; then
+    echo "bench_compare: no $B8 — skipping cluster gates (run serve_loadgen --cluster to enable)"
+    exit 0
+fi
+
+python3 - "$B8" <<'EOF'
+import json
+import sys
+
+b8_path = sys.argv[1]
+with open(b8_path) as f:
+    b8 = json.load(f)
+
+cores = b8["host_cores"]
+overhead = b8["overhead_ratio_1shard_vs_direct"]
+scaling = b8["scaling_qps_1_to_4_shards"]
+storm = b8["replication_storm"]
+killed = b8["killed_replica"]
+
+print(f"bench_compare: {b8_path} (sharded cluster, {cores} host core(s))")
+print(f"  direct            {b8['direct']['qps']:>10.1f} qps")
+for p in b8["cluster"]:
+    print(f"  shards={p['shards']:<10} {p['qps']:>10.1f} qps "
+          f"(p99 {p['p99_us']} us, {p['partial']} partial)")
+print(f"  router overhead   {overhead:>10.3f} (1-shard cluster / direct; gate >= 0.85)")
+print(f"  scaling 1->4      {scaling:>10.2f}x"
+      + (" (gate >= 2.5x)" if cores >= 4
+         else f" (informational: {cores} core(s) cannot scale shards)"))
+print(f"  repl storm        peak lag {storm['peak_lag_records']} records, "
+      f"drained in {storm['drain_ms']} ms ({storm['applied_records']} applied)")
+print(f"  killed replica    answered {killed['answered_fraction']:.4f} "
+      f"(gate >= 0.999), p99 x{killed['p99_ratio']:.2f}")
+
+failed = False
+# The router must cost almost nothing when it fans out to one shard.
+if overhead < 0.85:
+    print(f"bench_compare: FAIL — 1-shard cluster at {overhead:.3f} of direct qps (< 0.85 gate)")
+    failed = True
+# Scatter-gather must actually scale — but only where the host can
+# express it; an in-process cluster shares the host's cores.
+if cores >= 4 and scaling < 2.5:
+    print(f"bench_compare: FAIL — 1->4 shard scaling {scaling:.2f}x (< 2.5x gate on a "
+          f"{cores}-core host)")
+    failed = True
+# The lag gauge must visibly rise (shipping is really asynchronous)
+# and fully drain (the replica really converges).
+if storm["peak_lag_records"] <= 0:
+    print("bench_compare: FAIL — replication lag gauge never left zero during the storm")
+    failed = True
+if storm["applied_records"] < storm["inserts"]:
+    print(f"bench_compare: FAIL — replica applied {storm['applied_records']} of "
+          f"{storm['inserts']} shipped records")
+    failed = True
+# Losing a replica may cost latency, never answers.
+if killed["answered_fraction"] < 0.999:
+    print(f"bench_compare: FAIL — only {killed['answered_fraction']:.4f} of queries answered "
+          "with a replica down (gate >= 0.999)")
+    failed = True
+if failed:
+    sys.exit(1)
+print("bench_compare: OK (cluster)")
 EOF

@@ -16,6 +16,11 @@
 //! `geosir similar-approx [ADDR] [--k K] [--seed N] [--verts V]
 //! [--max-radius R] [--max-candidates C]` queries through the
 //! approximate signature-index tier and prints the tier report.
+//! `geosir cluster [ADDR] [--shards N] [--replicas M] [--data-dir DIR]`
+//! boots a sharded cluster behind a scatter-gather router
+//! (see `DESIGN.md` §12), and `geosir topology [ADDR]` prints a running
+//! router's per-shard backend table with breaker states and
+//! replication lag.
 
 use std::io::{BufRead, Write};
 
@@ -45,6 +50,20 @@ fn main() {
     if args.first().map(String::as_str) == Some("similar-approx") {
         if let Err(msg) = geosir::server_cmd::similar_approx(&args[1..]) {
             eprintln!("geosir similar-approx: {msg}");
+            std::process::exit(2);
+        }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("cluster") {
+        if let Err(msg) = geosir::cluster_cmd::run(&args[1..]) {
+            eprintln!("geosir cluster: {msg}");
+            std::process::exit(2);
+        }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("topology") {
+        if let Err(msg) = geosir::cluster_cmd::topology(&args[1..]) {
+            eprintln!("geosir topology: {msg}");
             std::process::exit(2);
         }
         return;

@@ -24,6 +24,7 @@
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub mod cli;
+pub mod cluster_cmd;
 pub mod server_cmd;
 pub mod system;
 
