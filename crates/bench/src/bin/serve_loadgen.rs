@@ -77,6 +77,21 @@
 //! cargo run --release -p geosir-bench --bin serve_loadgen -- \
 //!     --cluster --warmup-secs 1 --measure-secs 3 1200
 //! ```
+//!
+//! With `--scrape-ab` it measures the **federated-scrape tax**: one
+//! 2-shard×1-replica cluster with the router's `/metrics` endpoint up,
+//! driven by the closed-loop router workload in interleaved rounds —
+//! scraper idle vs a scraper polling the federated endpoint at
+//! `geosir top`'s 1 Hz cadence (each scrape scatter-gathers a
+//! `MetricsDump` to every shard through the same read queues the
+//! queries use). Same cluster both sides, so the scrape is the only
+//! delta. Writes `BENCH_9.json`; the budget (enforced by
+//! `scripts/bench_compare.sh`) is ≤3% qps:
+//!
+//! ```sh
+//! cargo run --release -p geosir-bench --bin serve_loadgen -- \
+//!     --scrape-ab --warmup-secs 1 --measure-secs 16 800
+//! ```
 
 use geosir_bench::{percentile_us, scaling_corpus};
 use geosir_serve::obs::Snapshot;
@@ -121,6 +136,7 @@ struct Args {
     explain_ab: bool,
     c10k: bool,
     cluster: bool,
+    scrape_ab: bool,
     pipeline_depth: usize,
     idle_conns: usize,
     backend: Backend,
@@ -137,6 +153,7 @@ fn parse_args() -> Args {
         explain_ab: false,
         c10k: false,
         cluster: false,
+        scrape_ab: false,
         pipeline_depth: 32,
         // In-process loadgen holds BOTH ends of every socket (2 fds per
         // connection), so the default stays under a 20 000-fd rlimit
@@ -160,6 +177,7 @@ fn parse_args() -> Args {
             "--explain-ab" => args.explain_ab = true,
             "--c10k" => args.c10k = true,
             "--cluster" => args.cluster = true,
+            "--scrape-ab" => args.scrape_ab = true,
             "--pipeline-depth" => {
                 args.pipeline_depth = (num(it.next(), "--pipeline-depth") as usize).max(1)
             }
@@ -1544,6 +1562,167 @@ fn run_cluster(args: &Args, cores: usize) {
     println!("wrote BENCH_8.json (sharded cluster)");
 }
 
+/// One HTTP GET against the router's federated endpoint, returning the
+/// response size. Plain blocking std — the scraper thread is meant to
+/// cost what a real Prometheus/`geosir top` poll costs, nothing less.
+fn scrape_once(addr: std::net::SocketAddr, path: &str) -> std::io::Result<usize> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n")?;
+    let mut body = Vec::new();
+    stream.read_to_end(&mut body)?;
+    Ok(body.len())
+}
+
+/// The `--scrape-ab` mode: federated-scrape tax on a live cluster.
+/// Interleaved rounds against ONE 2-shard×1-replica cluster — scraper
+/// idle vs scraper polling `/metrics` at 10 Hz — so warm caches, data
+/// layout, and replication traffic are identical on both sides and the
+/// scatter-gathered `MetricsDump` is the only difference. Writes
+/// `BENCH_9.json`.
+fn run_scrape_ab(args: &Args, cores: usize) {
+    let (shapes, _) = scaling_corpus(args.n_shapes);
+    let template = base_template(args.backend);
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("geosir-scrapebench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut cfg = cluster_bench_cfg(&dir, 2, 1);
+    cfg.router.metrics_addr = Some("127.0.0.1:0".into());
+    let cluster = geosir_serve::cluster::start_cluster("127.0.0.1:0", &template, cfg)
+        .expect("start scrape-ab cluster");
+    let maddr = cluster.metrics_addr().expect("federated endpoint enabled");
+    {
+        let mut loader = Client::connect(cluster.addr()).expect("loader connect");
+        for (image, shape) in &shapes {
+            loader.insert_retrying(image.0, shape).expect("scrape-ab ingest");
+        }
+    }
+    println!(
+        "scrape A/B cluster up: router {} federated /metrics on {maddr}",
+        cluster.addr()
+    );
+
+    // joint warm-up so queues, breakers, and buffer pools settle before
+    // either side is charged a window
+    let mut warm = args.clone();
+    warm.warmup_secs = 0.0;
+    warm.measure_secs = (args.warmup_secs / 2.0).max(0.5);
+    drive_router(cluster.addr(), &warm, args.connections);
+
+    const ROUNDS: usize = 4;
+    // `geosir top`'s default poll cadence — the scenario this measures
+    // is an operator dashboard attached while the cluster serves load.
+    const SCRAPE_INTERVAL: Duration = Duration::from_millis(1000);
+    let mut wargs = args.clone();
+    // fresh connections settle inside this small per-window grace
+    wargs.warmup_secs = 0.2;
+    wargs.measure_secs = args.measure_secs / (2 * ROUNDS) as f64;
+    // Pure-read windows: inserts would keep growing the base, so every
+    // window would be slower than the last and the A/B difference would
+    // drown in drift. The scrape tax is a read-path question anyway.
+    wargs.insert_permille = 0;
+    let merge = |merged: &mut RouterWindow, r: RouterWindow| {
+        merged.latencies_us.extend(r.latencies_us);
+        merged.requests += r.requests;
+        merged.queries += r.queries;
+        merged.answered += r.answered;
+        merged.partial += r.partial;
+        merged.inserts += r.inserts;
+        merged.busy_rejects += r.busy_rejects;
+        merged.query_busy += r.query_busy;
+        merged.elapsed += r.elapsed;
+    };
+    let mut off = RouterWindow::default();
+    let mut on = RouterWindow::default();
+    let mut scrapes = 0u64;
+    let mut scrape_bytes = 0u64;
+    for round in 1..=ROUNDS {
+        // Alternate which side goes first: the closed-loop workload
+        // keeps inserting, so the base grows and queries slow down over
+        // the run — a fixed off-then-on order would bill that drift
+        // entirely to the scraped side.
+        let order = if round % 2 == 1 { [false, true] } else { [true, false] };
+        for scraped in order {
+            if !scraped {
+                merge(&mut off, drive_router(cluster.addr(), &wargs, args.connections));
+                continue;
+            }
+            let scraping = Arc::new(AtomicBool::new(true));
+            let scraper = {
+                let scraping = scraping.clone();
+                std::thread::spawn(move || {
+                    let (mut n, mut bytes) = (0u64, 0u64);
+                    while scraping.load(Ordering::Relaxed) {
+                        if let Ok(len) = scrape_once(maddr, "/metrics") {
+                            n += 1;
+                            bytes += len as u64;
+                        }
+                        std::thread::sleep(SCRAPE_INTERVAL);
+                    }
+                    (n, bytes)
+                })
+            };
+            merge(&mut on, drive_router(cluster.addr(), &wargs, args.connections));
+            scraping.store(false, Ordering::Relaxed);
+            let (n, bytes) = scraper.join().expect("scraper thread");
+            scrapes += n;
+            scrape_bytes += bytes;
+        }
+    }
+    assert!(scrapes > 0, "scraper never completed a federated scrape");
+
+    let (off_qps, on_qps) = (off.qps(), on.qps());
+    let (off_p50, off_p99) = (off.p50(), off.p99());
+    let (on_p50, on_p99) = (on.p50(), on.p99());
+    let overhead_pct = (off_qps - on_qps) / off_qps.max(1e-9) * 100.0;
+    let snap = cluster.registry().snapshot();
+    let router_scrapes = snap.counter("geosir_router_scrapes_total", &[]);
+    let scrape_misses = snap.counter("geosir_router_scrape_misses_total", &[]);
+    let (scrape_p50, scrape_p99) = match snap.histogram("geosir_router_scrape_us", &[]) {
+        Some(h) => (h.quantile(0.5), h.quantile(0.99)),
+        None => (0, 0),
+    };
+    println!(
+        "federated-scrape tax: {overhead_pct:.2}% ({off_qps:.0} → {on_qps:.0} qps over \
+         {ROUNDS} interleaved rounds; {scrapes} scrapes every {} ms, avg {} bytes, \
+         assemble p50 {scrape_p50} µs p99 {scrape_p99} µs, {scrape_misses} shard misses)",
+        SCRAPE_INTERVAL.as_millis(),
+        scrape_bytes / scrapes.max(1),
+    );
+
+    let side_secs = off.elapsed;
+    let json = format!(
+        "{{\n  \"bench\": \"serve_loadgen_scrape_ab\",\n  \"corpus\": \"scaling_polylog\",\n  \
+         \"topology\": \"2 shards x 1 replica, one router\",\n  \"n_shapes\": {},\n  \
+         \"host_cores\": {cores},\n  \"connections\": {},\n  \"insert_permille\": {},\n  \
+         \"rounds\": {ROUNDS},\n  \"measure_secs_per_side\": {side_secs:.2},\n  \
+         \"scrape_interval_ms\": {},\n  \"scrapes\": {scrapes},\n  \
+         \"scrape_bytes_avg\": {},\n  \"overhead_pct\": {overhead_pct:.2},\n  \
+         \"scrape_off\": {{ \"qps\": {off_qps:.1}, \"p50_us\": {off_p50}, \
+         \"p99_us\": {off_p99}, \"requests\": {}, \"partial\": {} }},\n  \
+         \"scrape_on\": {{ \"qps\": {on_qps:.1}, \"p50_us\": {on_p50}, \
+         \"p99_us\": {on_p99}, \"requests\": {}, \"partial\": {} }},\n  \
+         \"router\": {{ \"scrapes_total\": {router_scrapes}, \
+         \"scrape_misses_total\": {scrape_misses}, \"assemble_p50_us\": {scrape_p50}, \
+         \"assemble_p99_us\": {scrape_p99} }}\n}}\n",
+        args.n_shapes,
+        args.connections,
+        args.insert_permille,
+        SCRAPE_INTERVAL.as_millis(),
+        scrape_bytes / scrapes.max(1),
+        off.requests,
+        off.partial,
+        on.requests,
+        on.partial,
+    );
+    cluster.shutdown();
+    cleanup_dir(&dir);
+    std::fs::write("BENCH_9.json", &json).expect("write BENCH_9.json");
+    println!("wrote BENCH_9.json (federated scrape A/B)");
+}
+
 fn main() {
     let args = parse_args();
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -1559,6 +1738,11 @@ fn main() {
 
     if args.cluster {
         run_cluster(&args, cores);
+        return;
+    }
+
+    if args.scrape_ab {
+        run_scrape_ab(&args, cores);
         return;
     }
 

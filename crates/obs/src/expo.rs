@@ -28,7 +28,7 @@ pub fn render_prometheus(snap: &Snapshot) -> String {
         if last_name != Some(e.name.as_str()) {
             let kind = match &e.value {
                 SnapValue::Counter(_) => "counter",
-                SnapValue::Gauge(_) => "gauge",
+                SnapValue::Gauge(..) => "gauge",
                 SnapValue::Histogram(_) => "histogram",
             };
             out.push_str("# TYPE ");
@@ -43,7 +43,7 @@ pub fn render_prometheus(snap: &Snapshot) -> String {
                 push_series(&mut out, &e.name, &e.labels, None);
                 out.push_str(&format!(" {v}\n"));
             }
-            SnapValue::Gauge(v) => {
+            SnapValue::Gauge(v, _) => {
                 push_series(&mut out, &e.name, &e.labels, None);
                 out.push_str(&format!(" {v}\n"));
             }
@@ -103,30 +103,10 @@ fn push_series(out: &mut String, name: &str, labels: &[(String, String)], le: Op
 /// Prometheus text, `GET /debug/last_queries` → JSON trace log,
 /// anything else → 404. Closes the connection after one response.
 pub fn handle_connection(stream: &mut TcpStream, registry: &Registry) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
-    let mut head = Vec::with_capacity(512);
-    let mut byte = [0u8; 256];
-    // Read until end of the request head; we ignore any body.
-    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
-        if head.len() > 8192 {
-            return respond(stream, 400, "text/plain", "request head too large");
-        }
-        let n = stream.read(&mut byte)?;
-        if n == 0 {
-            return Ok(());
-        }
-        head.extend_from_slice(&byte[..n]);
-    }
-    let line = head.split(|&b| b == b'\r').next().unwrap_or(&[]);
-    let line = String::from_utf8_lossy(line);
-    let mut parts = line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    if method != "GET" {
-        return respond(stream, 405, "text/plain", "only GET is supported");
-    }
-    match path.split('?').next().unwrap_or("") {
+    let Some(path) = read_request_path(stream)? else {
+        return Ok(());
+    };
+    match path.as_str() {
         "/metrics" => {
             let body = render_prometheus(&registry.snapshot());
             respond(stream, 200, "text/plain; version=0.0.4", &body)
@@ -148,7 +128,43 @@ pub fn handle_connection(stream: &mut TcpStream, registry: &Registry) -> io::Res
     }
 }
 
-fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) -> io::Result<()> {
+/// Read one HTTP request head from `stream` and return its query-less
+/// path, or `None` when the request was already answered (bad method,
+/// oversized head) or the peer hung up. Callers that serve paths the
+/// stock [`handle_connection`] does not know about (the cluster router's
+/// federated plane) build their own dispatch on top of this and
+/// [`respond`].
+pub fn read_request_path(stream: &mut TcpStream) -> io::Result<Option<String>> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 256];
+    // Read until end of the request head; we ignore any body.
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > 8192 {
+            respond(stream, 400, "text/plain", "request head too large")?;
+            return Ok(None);
+        }
+        let n = stream.read(&mut byte)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        head.extend_from_slice(&byte[..n]);
+    }
+    let line = head.split(|&b| b == b'\r').next().unwrap_or(&[]);
+    let line = String::from_utf8_lossy(line);
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        respond(stream, 405, "text/plain", "only GET is supported")?;
+        return Ok(None);
+    }
+    Ok(Some(path.split('?').next().unwrap_or("").to_string()))
+}
+
+/// Write one `Connection: close` HTTP/1.1 response and flush.
+pub fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) -> io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",

@@ -34,6 +34,11 @@ pub const KIND_BATCH: u8 = 1;
 pub const KIND_INSERT: u8 = 2;
 pub const KIND_DELETE: u8 = 3;
 pub const KIND_EXPLAIN: u8 = 4;
+/// A scatter-gathered query recorded by a router rather than a shard.
+/// Router profiles reuse the count fields for cluster accounting:
+/// `rings` = hedges, `levels` = shards answered, `candidates` = shards
+/// asked, `scored` = failovers.
+pub const KIND_ROUTED: u8 = 5;
 
 /// Human name for a [`QueryProfile::kind`] code.
 pub fn kind_name(code: u8) -> &'static str {
@@ -43,6 +48,7 @@ pub fn kind_name(code: u8) -> &'static str {
         KIND_INSERT => "insert",
         KIND_DELETE => "delete",
         KIND_EXPLAIN => "explain",
+        KIND_ROUTED => "routed",
         _ => "other",
     }
 }

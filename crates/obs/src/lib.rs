@@ -40,8 +40,8 @@ pub mod trace;
 
 pub use flight::{FlightRecorder, QueryProfile};
 pub use registry::{
-    bucket_index, bucket_upper_bound, merged_quantile, Counter, Gauge, Histogram, Registry,
-    SnapEntry, SnapHistogram, SnapValue, Snapshot, HISTOGRAM_BUCKETS,
+    bucket_index, bucket_upper_bound, merged_quantile, Counter, Gauge, GaugePolicy, Histogram,
+    Registry, SnapEntry, SnapHistogram, SnapValue, Snapshot, HISTOGRAM_BUCKETS,
 };
 pub use span::SpanGuard;
 pub use trace::{TraceEvent, TraceLog};

@@ -209,9 +209,30 @@ pub fn merged_quantile(parts: &[&Histogram], q: f64) -> u64 {
     quantile_from_buckets(&counts, q)
 }
 
+/// How a gauge combines when snapshots from several registries merge
+/// ([`Snapshot::merge`]). Counters and histograms always sum — they
+/// count events, and events across shards add. A gauge is an
+/// *instantaneous* reading, and "the cluster's value" depends on what
+/// it reads: queue depths and live-shape counts add, but an age or a
+/// lag summed across shards reports a number no shard ever saw. The
+/// policy is declared once, at registration, and travels inside the
+/// snapshot so a merging peer that never registered the series still
+/// folds it correctly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GaugePolicy {
+    /// Additive readings (queue depth, live shapes): shard values sum.
+    #[default]
+    Sum,
+    /// Worst-of readings (snapshot age, replication lag): the maximum
+    /// across shards is the honest cluster value.
+    Max,
+    /// Best-of readings: the minimum across shards wins.
+    Min,
+}
+
 enum Metric {
     Counter(Arc<Counter>),
-    Gauge(Arc<Gauge>),
+    Gauge(Arc<Gauge>, GaugePolicy),
     Histogram(Arc<Histogram>),
 }
 
@@ -324,18 +345,31 @@ impl Registry {
         )
     }
 
-    /// Find or register a gauge.
+    /// Find or register a gauge with the default [`GaugePolicy::Sum`]
+    /// merge policy.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.gauge_with_policy(name, labels, GaugePolicy::Sum)
+    }
+
+    /// Find or register a gauge, declaring how it merges across
+    /// registries. The policy set at first registration wins; later
+    /// lookups return the existing handle unchanged.
+    pub fn gauge_with_policy(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        policy: GaugePolicy,
+    ) -> Arc<Gauge> {
         self.lookup(
             name,
             labels,
             |m| match m {
-                Metric::Gauge(g) => Some(g.clone()),
+                Metric::Gauge(g, _) => Some(g.clone()),
                 _ => None,
             },
             || {
                 let g = Arc::new(Gauge::new());
-                (g.clone(), Metric::Gauge(g.clone()))
+                (g.clone(), Metric::Gauge(g.clone(), policy))
             },
         )
     }
@@ -365,7 +399,7 @@ impl Registry {
             for (labels, metric) in family {
                 let value = match metric {
                     Metric::Counter(c) => SnapValue::Counter(c.get()),
-                    Metric::Gauge(g) => SnapValue::Gauge(g.get()),
+                    Metric::Gauge(g, p) => SnapValue::Gauge(g.get(), *p),
                     Metric::Histogram(h) => SnapValue::Histogram(SnapHistogram {
                         sum: h.sum(),
                         buckets: h.snapshot_buckets(),
@@ -434,7 +468,7 @@ impl SnapHistogram {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SnapValue {
     Counter(u64),
-    Gauge(i64),
+    Gauge(i64, GaugePolicy),
     Histogram(SnapHistogram),
 }
 
@@ -480,7 +514,7 @@ impl Snapshot {
     /// Gauge value for a series, or 0 when absent.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> i64 {
         match self.get(name, labels) {
-            Some(SnapValue::Gauge(v)) => *v,
+            Some(SnapValue::Gauge(v, _)) => *v,
             _ => 0,
         }
     }
@@ -493,8 +527,10 @@ impl Snapshot {
         }
     }
 
-    /// Fold `other` into `self`: counters and histograms add, gauges
-    /// add as well (per-thread gauge shards sum to the total).
+    /// Fold `other` into `self`: counters and histograms add; gauges
+    /// resolve per their declared [`GaugePolicy`] (the side already in
+    /// `self` decides, so a fold over N shards applies one policy
+    /// consistently).
     pub fn merge(&mut self, other: &Snapshot) {
         for entry in &other.entries {
             let existing = self.entries.iter_mut().find(|e| {
@@ -503,7 +539,11 @@ impl Snapshot {
             match existing {
                 Some(e) => match (&mut e.value, &entry.value) {
                     (SnapValue::Counter(a), SnapValue::Counter(b)) => *a += b,
-                    (SnapValue::Gauge(a), SnapValue::Gauge(b)) => *a += b,
+                    (SnapValue::Gauge(a, policy), SnapValue::Gauge(b, _)) => match policy {
+                        GaugePolicy::Sum => *a += b,
+                        GaugePolicy::Max => *a = (*a).max(*b),
+                        GaugePolicy::Min => *a = (*a).min(*b),
+                    },
                     (SnapValue::Histogram(a), SnapValue::Histogram(b)) => a.merge(b),
                     _ => {}
                 },
@@ -511,6 +551,18 @@ impl Snapshot {
             }
         }
         self.entries.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+    }
+
+    /// A copy with `(key, value)` appended to every entry's label set —
+    /// the federation layer turns a shard's snapshot into `shard="N"`
+    /// series with this before folding it into the cluster view.
+    pub fn relabeled(&self, key: &str, value: &str) -> Snapshot {
+        let mut out = self.clone();
+        for e in &mut out.entries {
+            e.labels.push((key.to_string(), value.to_string()));
+        }
+        out.entries.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        out
     }
 
     /// Compact binary form for the wire (little-endian, length-prefixed
@@ -529,8 +581,15 @@ impl Snapshot {
                     out.push(0);
                     out.extend_from_slice(&v.to_le_bytes());
                 }
-                SnapValue::Gauge(v) => {
-                    out.push(1);
+                SnapValue::Gauge(v, policy) => {
+                    // Kind 1 is the historical sum-gauge byte; Max and
+                    // Min get fresh kinds so old decoders reject rather
+                    // than misfold them.
+                    out.push(match policy {
+                        GaugePolicy::Sum => 1,
+                        GaugePolicy::Max => 3,
+                        GaugePolicy::Min => 4,
+                    });
                     out.extend_from_slice(&v.to_le_bytes());
                 }
                 SnapValue::Histogram(h) => {
@@ -565,7 +624,9 @@ impl Snapshot {
             }
             let value = match get_u8(&mut buf)? {
                 0 => SnapValue::Counter(get_u64(&mut buf)?),
-                1 => SnapValue::Gauge(get_u64(&mut buf)? as i64),
+                1 => SnapValue::Gauge(get_u64(&mut buf)? as i64, GaugePolicy::Sum),
+                3 => SnapValue::Gauge(get_u64(&mut buf)? as i64, GaugePolicy::Max),
+                4 => SnapValue::Gauge(get_u64(&mut buf)? as i64, GaugePolicy::Min),
                 2 => {
                     let sum = get_u64(&mut buf)?;
                     let n_buckets = get_u16(&mut buf)? as usize;
@@ -710,6 +771,61 @@ mod tests {
         assert_eq!(merged.counter("requests", &[("type", "query")]), 6);
         assert_eq!(merged.gauge("depth", &[]), 14);
         assert_eq!(merged.histogram("lat", &[]).unwrap().count(), 2);
+    }
+
+    #[test]
+    fn gauge_merge_policies_resolve_per_declaration() {
+        let mk = |age: i64, depth: i64, floor: i64| {
+            let reg = Registry::new();
+            reg.gauge_with_policy("geosir_snapshot_age_ms", &[], GaugePolicy::Max).set(age);
+            reg.gauge("depth", &[]).set(depth);
+            reg.gauge_with_policy("floor", &[], GaugePolicy::Min).set(floor);
+            reg.snapshot()
+        };
+        let mut merged = mk(120, 3, 8);
+        merged.merge(&mk(45, 4, 2));
+        merged.merge(&mk(80, 1, 5));
+        // an age summed across shards (245 ms) is a staleness no shard
+        // ever exhibited; the max is the honest cluster answer
+        assert_eq!(merged.gauge("geosir_snapshot_age_ms", &[]), 120);
+        assert_eq!(merged.gauge("depth", &[]), 8, "additive gauges still sum");
+        assert_eq!(merged.gauge("floor", &[]), 2);
+    }
+
+    #[test]
+    fn gauge_policy_survives_the_wire() {
+        let reg = Registry::new();
+        reg.gauge_with_policy("age", &[], GaugePolicy::Max).set(9);
+        reg.gauge_with_policy("floor", &[], GaugePolicy::Min).set(9);
+        reg.gauge("depth", &[]).set(9);
+        let snap = reg.snapshot();
+        let mut buf = Vec::new();
+        snap.encode(&mut buf);
+        let back = Snapshot::decode(&buf).expect("decode");
+        assert_eq!(back, snap, "policy must round-trip, not reset to default");
+        // a decoded snapshot merges by the shipped policy
+        let mut merged = back.clone();
+        merged.merge(&back);
+        assert_eq!(merged.gauge("age", &[]), 9);
+        assert_eq!(merged.gauge("floor", &[]), 9);
+        assert_eq!(merged.gauge("depth", &[]), 18);
+    }
+
+    #[test]
+    fn relabeled_tags_every_series() {
+        let reg = Registry::new();
+        reg.counter("requests", &[("type", "query")]).add(3);
+        reg.gauge_with_policy("age", &[], GaugePolicy::Max).set(5);
+        let tagged = reg.snapshot().relabeled("shard", "2");
+        assert_eq!(tagged.counter("requests", &[("type", "query"), ("shard", "2")]), 3);
+        assert_eq!(tagged.gauge("age", &[("shard", "2")]), 5);
+        // the untagged series are gone; merging tagged snapshots from
+        // different shards keeps them distinct
+        assert_eq!(tagged.counter("requests", &[("type", "query")]), 0);
+        let mut both = tagged.clone();
+        both.merge(&reg.snapshot().relabeled("shard", "3"));
+        assert_eq!(both.counter("requests", &[("type", "query"), ("shard", "2")]), 3);
+        assert_eq!(both.counter("requests", &[("type", "query"), ("shard", "3")]), 3);
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! The federated-metrics identity: quantiling the union of N live
+//! histograms ([`merged_quantile`]) must agree with snapshotting each
+//! one, folding the snapshots with [`Snapshot::merge`], and quantiling
+//! the result. The router's `/metrics` endpoint reports cluster
+//! latencies through the snapshot-merge path while single-node code
+//! reports through `merged_quantile`; if the two ever disagree, the
+//! same query history would show different percentiles depending on
+//! where you scraped it.
+
+use proptest::prelude::*;
+
+use geosir_obs::{merged_quantile, Histogram, Registry, Snapshot};
+
+/// Tiny deterministic generator (xorshift64*) — the proptest stub has
+/// no collection strategies, so per-histogram sample lists are derived
+/// from one sampled seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+fn fill(rng: &mut Rng) -> Vec<u64> {
+    let n = (rng.next() % 40) as usize;
+    // Mixed magnitudes: sub-16 exact buckets, µs-scale latencies, and
+    // the occasional huge outlier that lands deep in the log region.
+    (0..n)
+        .map(|_| match rng.next() % 4 {
+            0 => rng.next() % 16,
+            1 => rng.next() % 2_000,
+            2 => rng.next() % 2_000_000,
+            _ => rng.next() % (1 << 40),
+        })
+        .collect()
+}
+
+proptest! {
+    /// ≥3 randomly-filled histograms: live-union quantile == snapshot
+    /// merge-then-quantile, at every probed q, in both fold orders.
+    #[test]
+    fn merged_quantile_matches_snapshot_merge(
+        seed in 1u64..400,
+        n_parts in 3usize..6,
+        q_mille in 0u64..=1000,
+    ) {
+        let mut rng = Rng(seed | 1);
+        let parts: Vec<Vec<u64>> = (0..n_parts).map(|_| fill(&mut rng)).collect();
+
+        let live: Vec<Histogram> = parts
+            .iter()
+            .map(|samples| {
+                let h = Histogram::new();
+                for &s in samples {
+                    h.record(s);
+                }
+                h
+            })
+            .collect();
+        let refs: Vec<&Histogram> = live.iter().collect();
+
+        // Snapshot each histogram through its own registry, then fold.
+        let snaps: Vec<Snapshot> = parts
+            .iter()
+            .map(|samples| {
+                let reg = Registry::new();
+                let h = reg.histogram("lat", &[]);
+                for &s in samples {
+                    h.record(s);
+                }
+                reg.snapshot()
+            })
+            .collect();
+        let mut forward = snaps[0].clone();
+        for s in &snaps[1..] {
+            forward.merge(s);
+        }
+        let mut reverse = snaps.last().unwrap().clone();
+        for s in snaps[..snaps.len() - 1].iter().rev() {
+            reverse.merge(s);
+        }
+
+        let fh = forward.histogram("lat", &[]).expect("merged series");
+        let rh = reverse.histogram("lat", &[]).expect("merged series");
+        let total: usize = parts.iter().map(Vec::len).sum();
+        prop_assert_eq!(fh.count(), total as u64);
+        prop_assert_eq!(rh.count(), total as u64);
+        let sum: u64 = parts.iter().flatten().sum();
+        prop_assert_eq!(fh.sum, sum);
+
+        for q in [0.0, q_mille as f64 / 1000.0, 0.5, 0.99, 1.0] {
+            let want = merged_quantile(&refs, q);
+            prop_assert_eq!(fh.quantile(q), want, "q={}", q);
+            prop_assert_eq!(rh.quantile(q), want, "fold order must not matter, q={}", q);
+        }
+    }
+}

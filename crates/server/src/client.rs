@@ -20,7 +20,9 @@ use std::time::Duration;
 
 use geosir_geom::Polyline;
 
-use crate::wire::{Frame, ServerStats, WireError, WireMatch, WireShape, WireShardStatus};
+use crate::wire::{
+    Frame, ServerStats, StageTrailer, WireError, WireMatch, WireShape, WireShardStatus,
+};
 
 /// Connection deadlines and retry tuning.
 #[derive(Debug, Clone)]
@@ -166,6 +168,9 @@ pub struct QueryReply {
     /// answer assembled while some shard was entirely down.
     pub shards_ok: u16,
     pub shards_total: u16,
+    /// Server-side stage timings when the server reported them (v6
+    /// trailer): total enqueue→reply and the queue-wait slice of it.
+    pub server_timings: Option<StageTrailer>,
 }
 
 /// What a batch round trip produced.
@@ -239,6 +244,8 @@ pub struct ApproxReply {
     /// [`QueryReply::shards_ok`].
     pub shards_ok: u16,
     pub shards_total: u16,
+    /// Server-side stage timings when reported (v6 trailer).
+    pub server_timings: Option<StageTrailer>,
 }
 
 impl ApproxReply {
@@ -339,7 +346,7 @@ impl Client {
         let reply =
             self.request(&Frame::Query { k, trace, shape: WireShape::from_polyline(query) })?;
         match reply {
-            Frame::Matches { epoch, shards, matches } => Ok(QueryReply {
+            Frame::Matches { epoch, shards, trailer, matches } => Ok(QueryReply {
                 epoch,
                 matches,
                 rejected: false,
@@ -347,6 +354,7 @@ impl Client {
                 trace,
                 shards_ok: shards.ok,
                 shards_total: shards.total,
+                server_timings: trailer,
             }),
             Frame::Busy { retry_after_ms } => Ok(QueryReply {
                 epoch: 0,
@@ -356,6 +364,7 @@ impl Client {
                 trace,
                 shards_ok: 0,
                 shards_total: 0,
+                server_timings: None,
             }),
             other => Err(unexpected(&other)),
         }
@@ -426,6 +435,7 @@ impl Client {
                 corpus_copies,
                 reranked,
                 shards,
+                trailer,
                 matches,
             } => Ok(ApproxReply {
                 epoch,
@@ -441,6 +451,7 @@ impl Client {
                 retry_after_ms: 0,
                 shards_ok: shards.ok,
                 shards_total: shards.total,
+                server_timings: trailer,
             }),
             Frame::Busy { retry_after_ms } => Ok(ApproxReply {
                 epoch: 0,
@@ -456,6 +467,7 @@ impl Client {
                 retry_after_ms,
                 shards_ok: 0,
                 shards_total: 0,
+                server_timings: None,
             }),
             other => Err(unexpected(&other)),
         }

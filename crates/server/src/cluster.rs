@@ -38,6 +38,30 @@
 //! floor under the jittered backoff. All of it is observable:
 //! per-shard `geosir_router_*` counters plus the replication-lag gauges
 //! the repl threads publish into the same registry.
+//!
+//! ## Observability plane
+//!
+//! The router is the cluster's single pane of glass (see DESIGN §13):
+//!
+//! - **Federated metrics.** A `MetricsDump` frame (or `GET /metrics` on
+//!   the router's own `metrics_addr` endpoint) pulls every backend's
+//!   registry snapshot over the wire and merges them: each shard
+//!   contributes once relabeled `shard="N"` (per-shard series) and once
+//!   unlabeled into the cluster totals, where counters and histogram
+//!   buckets sum and gauges follow their declared merge policy
+//!   ([`obs::GaugePolicy`]). Router-native series (`geosir_router_*`,
+//!   replication lag) ride along from the router's own registry.
+//! - **Cross-shard traces.** Routed reads carry a cluster-wide trace id
+//!   (client-minted, or minted here when the client sent zero) into
+//!   every shard sub-request; the gather loop records a per-shard
+//!   timeline — submit failovers, hedges, router-clock gather time, and
+//!   the shard's own stage timings echoed in the v6 reply trailer —
+//!   into the router's trace log and flight recorder
+//!   (`/debug/last_queries`, `/debug/flight`, dumped on panic), plus a
+//!   rotating slow-query JSONL when the routed total crosses the
+//!   threshold.
+//! - **`geosir top`** renders the federated endpoint as a live terminal
+//!   dashboard (`src/top_cmd.rs` in the CLI crate).
 
 use std::collections::HashMap;
 use std::io;
@@ -54,7 +78,8 @@ use crate::client::{Backoff, PipelinedClient};
 use crate::durable::{BaseTemplate, DurabilityConfig, RecoveryReport};
 use crate::server::{serve, serve_durable, ServeConfig, ServerHandle};
 use crate::wire::{
-    error_code, Frame, ServerStats, ShardInfo, WireError, WireMatch, WireShardStatus,
+    error_code, Frame, ServerStats, ShardInfo, StageTrailer, WireError, WireMatch,
+    WireShardStatus,
 };
 
 /// Bits of a routed id that carry the shard index.
@@ -124,6 +149,23 @@ pub struct RouterConfig {
     pub breaker_cooldown: Duration,
     /// TCP connect timeout for backend connections.
     pub connect_timeout: Duration,
+    /// Bind address for the router's HTTP observability plane
+    /// (`/metrics` federated over all shards, `/debug/cluster`,
+    /// `/debug/flight`, `/debug/last_queries`). `None` disables it.
+    pub metrics_addr: Option<String>,
+    /// Directory for the router's rotating slow-query JSONL; `None`
+    /// disables slow-query logging.
+    pub slow_query_log: Option<PathBuf>,
+    /// Routed total (scatter → merged reply) above which a query is
+    /// written to the slow log. Higher than the single-node default:
+    /// a routed query crosses the network and gathers every shard.
+    pub slow_query_us: u64,
+    /// Rotation size/retention for the slow-query log.
+    pub slow_query_log_max_bytes: u64,
+    pub slow_query_log_keep: usize,
+    /// Where the router's flight recorder is dumped when the process
+    /// panics or an armed crash point fires. `None` disables the hook.
+    pub flight_dump_path: Option<PathBuf>,
 }
 
 impl Default for RouterConfig {
@@ -136,6 +178,12 @@ impl Default for RouterConfig {
             breaker_threshold: 3,
             breaker_cooldown: Duration::from_millis(500),
             connect_timeout: Duration::from_millis(200),
+            metrics_addr: None,
+            slow_query_log: None,
+            slow_query_us: 100_000,
+            slow_query_log_max_bytes: 1 << 20,
+            slow_query_log_keep: 4,
+            flight_dump_path: None,
         }
     }
 }
@@ -241,10 +289,26 @@ struct ShardMetrics {
     latency_us: Arc<obs::Histogram>,
 }
 
+/// Golden-ratio stride for the router's id mint: every `fetch_add`
+/// yields a distinct odd-after-`|1` value, and the process-unique seed
+/// decorrelates ids across router restarts.
+const KEY_MINT_STEP: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The router's slow-query log: same rotating JSONL machinery as a
+/// shard server's, but each record carries per-shard attribution
+/// (which backend answered, hedges, failovers, server-side timings).
+struct RouterSlowLog {
+    threshold_us: u64,
+    writer: Mutex<geosir_storage::slowlog::RotatingJsonl>,
+}
+
 struct RouterState {
     /// Our own listen address — the Shutdown path self-connects to wake
     /// the accept loop out of its blocking `accept()`.
     addr: SocketAddr,
+    /// Bound address of the HTTP observability listener, when enabled;
+    /// shutdown wakes its accept loop the same self-connect way.
+    metrics_addr: Option<SocketAddr>,
     shards: Vec<ShardSpec>,
     ring: Ring,
     cfg: RouterConfig,
@@ -254,6 +318,14 @@ struct RouterState {
     partial_replies: Arc<obs::Counter>,
     inserts: Arc<obs::Counter>,
     deletes: Arc<obs::Counter>,
+    /// Federated-scrape telemetry: completed scrapes, shards that
+    /// answered no `MetricsDump`, and end-to-end scrape latency.
+    scrapes: Arc<obs::Counter>,
+    scrape_misses: Arc<obs::Counter>,
+    scrape_us: Arc<obs::Histogram>,
+    slow_queries: Arc<obs::Counter>,
+    slow_log_errors: Arc<obs::Counter>,
+    slow_log: Option<RouterSlowLog>,
     key_mint: AtomicU64,
     stop: AtomicBool,
 }
@@ -304,10 +376,19 @@ impl RouterHandle {
         self.state.registry.clone()
     }
 
+    /// Bound address of the HTTP observability plane, when
+    /// [`RouterConfig::metrics_addr`] was set (resolves port 0).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.state.metrics_addr
+    }
+
     pub fn shutdown(mut self) {
         self.state.stop.store(true, Ordering::SeqCst);
-        // wake the accept loop
+        // wake the accept loops
         let _ = TcpStream::connect(self.addr);
+        if let Some(m) = self.state.metrics_addr {
+            let _ = TcpStream::connect(m);
+        }
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -338,6 +419,29 @@ impl Router {
         assert!(shards.len() < (1usize << SHARD_ID_BITS), "shard index must fit the id tag");
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        // Bind the observability listener before building the state so
+        // its resolved address is a plain field, not a lock.
+        let obs_listener = match &cfg.metrics_addr {
+            Some(a) => Some(TcpListener::bind(a.as_str())?),
+            None => None,
+        };
+        let metrics_addr = match &obs_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
+        let slow_log = match &cfg.slow_query_log {
+            Some(dir) => Some(RouterSlowLog {
+                threshold_us: cfg.slow_query_us,
+                writer: Mutex::new(geosir_storage::slowlog::RotatingJsonl::open(
+                    dir,
+                    "router-slow",
+                    cfg.slow_query_log_max_bytes,
+                    cfg.slow_query_log_keep,
+                    Box::new(geosir_storage::faults::FileFactory),
+                )?),
+            }),
+            None => None,
+        };
         let mut breakers = HashMap::new();
         for spec in &shards {
             breakers.insert(spec.primary, Breaker::new());
@@ -361,23 +465,55 @@ impl Router {
             .collect();
         let state = Arc::new(RouterState {
             addr: local,
+            metrics_addr,
             ring: Ring::new(shards.len() as u16),
             breakers,
             per_shard,
             partial_replies: registry.counter("geosir_router_partial_replies_total", &[]),
             inserts: registry.counter("geosir_router_inserts_total", &[]),
             deletes: registry.counter("geosir_router_deletes_total", &[]),
+            scrapes: registry.counter("geosir_router_scrapes_total", &[]),
+            scrape_misses: registry.counter("geosir_router_scrape_misses_total", &[]),
+            scrape_us: registry.histogram("geosir_router_scrape_us", &[]),
+            slow_queries: registry.counter("geosir_router_slow_queries_total", &[]),
+            slow_log_errors: registry.counter("geosir_router_slow_log_errors_total", &[]),
+            slow_log,
             key_mint: AtomicU64::new(fnv1a64(&[addr.as_bytes(), &std::process::id().to_le_bytes()]) | 1),
             stop: AtomicBool::new(false),
             shards,
             cfg,
             registry,
         });
+        // Same two death paths as a shard server (armed crash points
+        // abort, panics unwind into the chained hook): both converge on
+        // dumping the router's flight recorder next to its data.
+        if let Some(path) = &state.cfg.flight_dump_path {
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            let dump_path = path.clone();
+            let reg = Arc::downgrade(&state.registry);
+            geosir_storage::faults::on_crash(move || {
+                if let Some(reg) = reg.upgrade() {
+                    let _ = std::fs::write(&dump_path, reg.flight().to_json());
+                }
+            });
+            crate::server::install_panic_flight_dump();
+        }
         let accept_state = state.clone();
         let accept = std::thread::Builder::new()
             .name("geosir-router-accept".into())
             .spawn(move || accept_loop(listener, accept_state))?;
-        Ok(RouterHandle { addr: local, state, threads: vec![accept] })
+        let mut threads = vec![accept];
+        if let Some(obs_listener) = obs_listener {
+            let obs_state = state.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("geosir-router-obs".into())
+                    .spawn(move || obs_loop(obs_listener, obs_state))?,
+            );
+        }
+        Ok(RouterHandle { addr: local, state, threads })
     }
 }
 
@@ -473,9 +609,12 @@ fn connection(stream: TcpStream, state: Arc<RouterState>) {
         }
         if shutdown {
             state.stop.store(true, Ordering::SeqCst);
-            // wake the accept loop so a joiner is not stuck behind a
+            // wake the accept loops so a joiner is not stuck behind a
             // blocking accept() that never fires again
             let _ = TcpStream::connect(state.addr);
+            if let Some(m) = state.metrics_addr {
+                let _ = TcpStream::connect(m);
+            }
             break;
         }
     }
@@ -486,6 +625,39 @@ fn connection(stream: TcpStream, state: Arc<RouterState>) {
 enum ShardReply {
     Ok(Frame),
     Down,
+}
+
+/// One shard's timeline inside a routed query, on the router's clock.
+/// The gather loop drains shards in index order, so `gather_us` for a
+/// later shard overlaps earlier shards' waits — it measures when *this*
+/// shard's answer became available to the merge, not its compute time;
+/// the server-side view is in `server`.
+#[derive(Debug, Clone, Copy)]
+struct ShardSpan {
+    /// Backend that produced the accepted reply; `None` if the shard
+    /// was dropped from the result.
+    addr: Option<SocketAddr>,
+    /// Gather wait for this shard (submit-all → accepted reply), µs.
+    gather_us: u64,
+    hedged: bool,
+    /// Submit-time plus hedge-time failovers for this shard.
+    failovers: u32,
+    /// The shard's own stage timings, echoed in the v6 reply trailer.
+    server: Option<StageTrailer>,
+}
+
+impl ShardSpan {
+    fn down() -> ShardSpan {
+        ShardSpan { addr: None, gather_us: 0, hedged: false, failovers: 0, server: None }
+    }
+}
+
+/// Server-side timings of a reply frame, if the backend echoed them.
+fn reply_trailer(f: &Frame) -> Option<StageTrailer> {
+    match f {
+        Frame::Matches { trailer, .. } | Frame::ApproxMatches { trailer, .. } => *trailer,
+        _ => None,
+    }
 }
 
 /// Submit `frame` to `addr` and wait up to `window` for the reply,
@@ -506,7 +678,7 @@ fn try_backend(
         state.cfg.busy_base,
         state.cfg.busy_cap,
         deadline.saturating_duration_since(Instant::now()),
-        state.key_mint.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed),
+        state.key_mint.fetch_add(KEY_MINT_STEP, Ordering::Relaxed),
     );
     loop {
         let client = match conns.get(addr) {
@@ -551,8 +723,14 @@ fn try_backend(
 /// Scatter `frame` to every shard and gather the replies. Submission
 /// happens to all shards up front so they compute in parallel; the
 /// gather loop then drains each shard under its own deadline, hedging
-/// to the next candidate after `hedge_after`.
-fn scatter(state: &RouterState, conns: &mut Conns, frame: &Frame) -> Vec<ShardReply> {
+/// to the next candidate after `hedge_after`. Alongside each reply a
+/// [`ShardSpan`] records the shard's slice of the routed timeline for
+/// the trace log, flight recorder, and slow-query log.
+fn scatter(
+    state: &RouterState,
+    conns: &mut Conns,
+    frame: &Frame,
+) -> (Vec<ShardReply>, Vec<ShardSpan>) {
     struct Pending {
         addr: SocketAddr,
         corr: u64,
@@ -563,11 +741,13 @@ fn scatter(state: &RouterState, conns: &mut Conns, frame: &Frame) -> Vec<ShardRe
     let n = state.shards.len();
     let mut pending: Vec<Option<Pending>> = Vec::with_capacity(n);
     let mut out: Vec<ShardReply> = Vec::with_capacity(n);
+    let mut spans: Vec<ShardSpan> = Vec::with_capacity(n);
     // Phase 1: one submit per shard, first healthy candidate.
     for shard in 0..n {
         state.per_shard[shard].queries.inc();
         let mut sent = None;
         let mut tried = Vec::new();
+        let mut span = ShardSpan::down();
         for addr in state.read_candidates(shard) {
             tried.push(addr);
             let ok = conns.get(addr).and_then(|c| {
@@ -584,11 +764,13 @@ fn scatter(state: &RouterState, conns: &mut Conns, frame: &Frame) -> Vec<ShardRe
                     conns.poison(addr);
                     state.breaker(addr).record(false, &state.cfg);
                     state.per_shard[shard].failovers.inc();
+                    span.failovers += 1;
                 }
             }
         }
         pending.push(sent);
         out.push(ShardReply::Down);
+        spans.push(span);
     }
     // Phase 2: gather with hedge + failover.
     for shard in 0..n {
@@ -597,6 +779,7 @@ fn scatter(state: &RouterState, conns: &mut Conns, frame: &Frame) -> Vec<ShardRe
             continue;
         };
         let m = &state.per_shard[shard];
+        let span = &mut spans[shard];
         let shard_start = Instant::now();
         // Wait for the submitted reply; the window is short when a
         // fallback exists (hedge), the full deadline otherwise.
@@ -605,7 +788,10 @@ fn scatter(state: &RouterState, conns: &mut Conns, frame: &Frame) -> Vec<ShardRe
         let window = if has_fallback { state.cfg.hedge_after } else { state.cfg.shard_deadline };
         let first = wait_reply(state, conns, shard, p.addr, p.corr, frame, window, deadline);
         let got = match first {
-            Some(reply) => Some(reply),
+            Some(reply) => {
+                span.addr = Some(p.addr);
+                Some(reply)
+            }
             None => {
                 // hedged retry: fresh submit to the next untried candidate
                 let mut got = None;
@@ -614,6 +800,7 @@ fn scatter(state: &RouterState, conns: &mut Conns, frame: &Frame) -> Vec<ShardRe
                         continue;
                     }
                     m.hedges.inc();
+                    span.hedged = true;
                     if let Ok(reply) = try_backend(
                         state,
                         conns,
@@ -623,10 +810,12 @@ fn scatter(state: &RouterState, conns: &mut Conns, frame: &Frame) -> Vec<ShardRe
                         deadline.saturating_duration_since(Instant::now()),
                         deadline,
                     ) {
+                        span.addr = Some(addr);
                         got = Some(reply);
                         break;
                     }
                     m.failovers.inc();
+                    span.failovers += 1;
                 }
                 if got.is_none() && !deadline.saturating_duration_since(Instant::now()).is_zero()
                 {
@@ -637,6 +826,7 @@ fn scatter(state: &RouterState, conns: &mut Conns, frame: &Frame) -> Vec<ShardRe
                     // remains. Scatter only carries idempotent reads, so
                     // re-running the query is safe.
                     m.hedges.inc();
+                    span.hedged = true;
                     got = try_backend(
                         state,
                         conns,
@@ -647,17 +837,27 @@ fn scatter(state: &RouterState, conns: &mut Conns, frame: &Frame) -> Vec<ShardRe
                         deadline,
                     )
                     .ok();
+                    if got.is_some() {
+                        span.addr = Some(p.addr);
+                    }
                 }
                 got
             }
         };
         m.latency_us.record(shard_start.elapsed().as_micros() as u64);
+        span.gather_us = start.elapsed().as_micros() as u64;
         match got {
-            Some(reply) => out[shard] = ShardReply::Ok(reply),
-            None => m.dropped.inc(),
+            Some(reply) => {
+                span.server = reply_trailer(&reply);
+                out[shard] = ShardReply::Ok(reply);
+            }
+            None => {
+                span.addr = None;
+                m.dropped.inc();
+            }
         }
     }
-    out
+    (out, spans)
 }
 
 /// Drain the pipelined connection for `corr`, absorbing `Busy` retries,
@@ -680,7 +880,7 @@ fn wait_reply(
         state.cfg.busy_base,
         state.cfg.busy_cap,
         window,
-        state.key_mint.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed),
+        state.key_mint.fetch_add(KEY_MINT_STEP, Ordering::Relaxed),
     );
     loop {
         let client = match conns.get(addr) {
@@ -753,11 +953,29 @@ pub fn merge_topk(k: usize, per_shard: &[(u16, Vec<WireMatch>)]) -> Vec<WireMatc
     all
 }
 
-fn dispatch(state: &RouterState, conns: &mut Conns, frame: Frame) -> Frame {
+fn dispatch(state: &RouterState, conns: &mut Conns, mut frame: Frame) -> Frame {
+    // Routed reads get a cluster-wide trace id before the scatter, so
+    // the same key shows up in every shard's server-side trace log, the
+    // router's flight recorder, and the router's slow log. Client ids
+    // pass through untouched; zero means "none", and the router mints
+    // from its key mint so ids never collide across restarts.
+    let trace_id = match &mut frame {
+        Frame::Query { trace, .. } | Frame::QueryApprox { trace, .. } => {
+            if *trace == 0 {
+                *trace = state.key_mint.fetch_add(KEY_MINT_STEP, Ordering::Relaxed) | 1;
+            }
+            *trace
+        }
+        // batch requests carry no trace field on the wire; the router
+        // still records a timeline under a router-minted id
+        Frame::QueryBatch { .. } => state.key_mint.fetch_add(KEY_MINT_STEP, Ordering::Relaxed) | 1,
+        _ => 0,
+    };
     match &frame {
         Frame::Query { k, .. } => {
             let k = *k;
-            let replies = scatter(state, conns, &frame);
+            let started = Instant::now();
+            let (replies, spans) = scatter(state, conns, &frame);
             let total = state.shards.len() as u16;
             let mut per_shard = Vec::new();
             let mut epoch = 0u64;
@@ -769,21 +987,26 @@ fn dispatch(state: &RouterState, conns: &mut Conns, frame: Frame) -> Frame {
                     per_shard.push((shard as u16, matches));
                 }
             }
-            if ok == 0 {
-                return unavailable("no shard answered the query");
-            }
-            if ok < total {
-                state.partial_replies.inc();
-            }
-            Frame::Matches {
-                epoch,
-                shards: ShardInfo { ok, total },
-                matches: merge_topk(k as usize, &per_shard),
-            }
+            let reply = if ok == 0 {
+                unavailable("no shard answered the query")
+            } else {
+                if ok < total {
+                    state.partial_replies.inc();
+                }
+                Frame::Matches {
+                    epoch,
+                    shards: ShardInfo { ok, total },
+                    trailer: None,
+                    matches: merge_topk(k as usize, &per_shard),
+                }
+            };
+            record_routed(state, trace_id, "routed_query", started, &spans, ok, epoch);
+            reply
         }
         Frame::QueryApprox { k, .. } => {
             let k = *k;
-            let replies = scatter(state, conns, &frame);
+            let started = Instant::now();
+            let (replies, spans) = scatter(state, conns, &frame);
             let total = state.shards.len() as u16;
             let mut per_shard = Vec::new();
             let (mut epoch, mut ok) = (0u64, 0u16);
@@ -813,27 +1036,32 @@ fn dispatch(state: &RouterState, conns: &mut Conns, frame: Frame) -> Frame {
                     per_shard.push((shard as u16, matches));
                 }
             }
-            if ok == 0 {
-                return unavailable("no shard answered the query");
-            }
-            if ok < total {
-                state.partial_replies.inc();
-            }
-            Frame::ApproxMatches {
-                epoch,
-                tier,
-                radius,
-                buckets_probed: probed,
-                candidates: cands,
-                corpus_copies: copies,
-                reranked: rr,
-                shards: ShardInfo { ok, total },
-                matches: merge_topk(k as usize, &per_shard),
-            }
+            let reply = if ok == 0 {
+                unavailable("no shard answered the query")
+            } else {
+                if ok < total {
+                    state.partial_replies.inc();
+                }
+                Frame::ApproxMatches {
+                    epoch,
+                    tier,
+                    radius,
+                    buckets_probed: probed,
+                    candidates: cands,
+                    corpus_copies: copies,
+                    reranked: rr,
+                    shards: ShardInfo { ok, total },
+                    trailer: None,
+                    matches: merge_topk(k as usize, &per_shard),
+                }
+            };
+            record_routed(state, trace_id, "routed_query_approx", started, &spans, ok, epoch);
+            reply
         }
         Frame::QueryBatch { k, shapes } => {
             let (k, nq) = (*k, shapes.len());
-            let replies = scatter(state, conns, &frame);
+            let started = Instant::now();
+            let (replies, spans) = scatter(state, conns, &frame);
             let mut epoch = 0u64;
             let mut ok = 0u16;
             let mut per_query: Vec<Vec<(u16, Vec<WireMatch>)>> = vec![Vec::new(); nq];
@@ -846,16 +1074,19 @@ fn dispatch(state: &RouterState, conns: &mut Conns, frame: Frame) -> Frame {
                     }
                 }
             }
-            if ok == 0 {
-                return unavailable("no shard answered the batch");
-            }
-            if (ok as usize) < state.shards.len() {
-                state.partial_replies.inc();
-            }
-            Frame::BatchMatches {
-                epoch,
-                results: per_query.iter().map(|ps| merge_topk(k as usize, ps)).collect(),
-            }
+            let reply = if ok == 0 {
+                unavailable("no shard answered the batch")
+            } else {
+                if (ok as usize) < state.shards.len() {
+                    state.partial_replies.inc();
+                }
+                Frame::BatchMatches {
+                    epoch,
+                    results: per_query.iter().map(|ps| merge_topk(k as usize, ps)).collect(),
+                }
+            };
+            record_routed(state, trace_id, "routed_batch", started, &spans, ok, epoch);
+            reply
         }
         Frame::Insert { image, key, trace, shape } => {
             let (image, key, trace) = (*image, *key, *trace);
@@ -878,7 +1109,7 @@ fn dispatch(state: &RouterState, conns: &mut Conns, frame: Frame) -> Frame {
             let key = if key != 0 {
                 key
             } else {
-                state.key_mint.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed) | 1
+                state.key_mint.fetch_add(KEY_MINT_STEP, Ordering::Relaxed) | 1
             };
             let routed = Frame::Insert { image, key, trace, shape: shape.clone() };
             let primary = state.shards[shard as usize].primary;
@@ -930,7 +1161,7 @@ fn dispatch(state: &RouterState, conns: &mut Conns, frame: Frame) -> Frame {
             }
         }
         Frame::Stats => {
-            let replies = scatter(state, conns, &Frame::Stats);
+            let (replies, _spans) = scatter(state, conns, &Frame::Stats);
             let mut agg = ServerStats::default();
             let mut any = false;
             for r in replies {
@@ -970,7 +1201,7 @@ fn dispatch(state: &RouterState, conns: &mut Conns, frame: Frame) -> Frame {
         }
         Frame::MetricsDump => {
             let mut bytes = Vec::with_capacity(4096);
-            state.registry.snapshot().encode(&mut bytes);
+            federated_snapshot(state, conns).encode(&mut bytes);
             Frame::MetricsReport { snapshot: bytes }
         }
         Frame::Topology => Frame::TopologyReport { shards: topology(state) },
@@ -988,6 +1219,241 @@ fn dispatch(state: &RouterState, conns: &mut Conns, frame: Frame) -> Frame {
 
 fn unavailable(msg: &str) -> Frame {
     Frame::Error { code: error_code::UNAVAILABLE, message: msg.into() }
+}
+
+/// `TraceEvent` stage names are `&'static str` by design (zero
+/// allocation on the hot path), so per-shard stages draw from fixed
+/// tables; clusters wider than the tables pool the overflow into the
+/// last name. `*_srv_us` notes carry each shard's own reply-trailer
+/// total next to the router-clock gather stage of the same index.
+static SHARD_STAGES: [&str; 8] =
+    ["shard0", "shard1", "shard2", "shard3", "shard4", "shard5", "shard6", "shard7"];
+static SHARD_SRV_NOTES: [&str; 8] = [
+    "shard0_srv_us",
+    "shard1_srv_us",
+    "shard2_srv_us",
+    "shard3_srv_us",
+    "shard4_srv_us",
+    "shard5_srv_us",
+    "shard6_srv_us",
+    "shard7_srv_us",
+];
+
+/// Record one routed read into the router's trace log and flight
+/// recorder, and into the slow-query log when it crossed the
+/// threshold. This is the router-side half of cross-shard trace
+/// assembly: the shard-side half lives in each server's own trace log
+/// under the same `trace_id`.
+fn record_routed(
+    state: &RouterState,
+    trace_id: u64,
+    kind: &'static str,
+    started: Instant,
+    spans: &[ShardSpan],
+    shards_ok: u16,
+    epoch: u64,
+) {
+    let total_us = started.elapsed().as_micros() as u64;
+    let hedges = spans.iter().filter(|s| s.hedged).count() as u32;
+    let failovers: u32 = spans.iter().map(|s| s.failovers).sum();
+    // Downstream queueing attribution: the worst queue wait any shard
+    // reported for this query.
+    let queue_us = spans.iter().filter_map(|s| s.server.map(|t| t.queue_us)).max().unwrap_or(0);
+
+    let mut ev = obs::TraceEvent::new(trace_id, kind);
+    ev.total_us = total_us;
+    for (i, span) in spans.iter().enumerate() {
+        ev.stage(SHARD_STAGES[i.min(SHARD_STAGES.len() - 1)], span.gather_us);
+        if let Some(t) = span.server {
+            ev.note(SHARD_SRV_NOTES[i.min(SHARD_SRV_NOTES.len() - 1)], t.total_us);
+        }
+    }
+    ev.note("shards_ok", shards_ok as u64)
+        .note("shards_total", spans.len() as u64)
+        .note("hedges", hedges as u64)
+        .note("failovers", failovers as u64);
+    state.registry.traces().push(ev);
+
+    state.registry.flight().push(&obs::flight::QueryProfile {
+        trace_id,
+        kind: obs::flight::KIND_ROUTED,
+        total_us,
+        queue_us,
+        rings: hedges,
+        levels: shards_ok as u32,
+        candidates: spans.len() as u64,
+        scored: failovers,
+        epoch,
+        termination: 0,
+    });
+
+    let Some(sl) = &state.slow_log else { return };
+    if total_us < sl.threshold_us {
+        return;
+    }
+    state.slow_queries.inc();
+    // Hand-rolled JSON like the shard slow log: socket addresses are
+    // the only strings and contain no characters needing escapes.
+    let mut line = String::with_capacity(160 + spans.len() * 120);
+    line.push_str(&format!(
+        "{{\"trace_id\":{trace_id},\"kind\":\"{kind}\",\"total_us\":{total_us},\
+         \"shards_ok\":{shards_ok},\"shards_total\":{},\"hedges\":{hedges},\
+         \"failovers\":{failovers},\"epoch\":{epoch},\"shards\":[",
+        spans.len()
+    ));
+    for (i, span) in spans.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&format!("{{\"shard\":{i},\"addr\":"));
+        match span.addr {
+            Some(a) => line.push_str(&format!("\"{a}\"")),
+            None => line.push_str("null"),
+        }
+        line.push_str(&format!(
+            ",\"gather_us\":{},\"hedged\":{},\"failovers\":{}",
+            span.gather_us, span.hedged, span.failovers
+        ));
+        if let Some(t) = span.server {
+            line.push_str(&format!(
+                ",\"server_total_us\":{},\"server_queue_us\":{}",
+                t.total_us, t.queue_us
+            ));
+        }
+        line.push('}');
+    }
+    line.push_str("]}");
+    if sl.writer.lock().unwrap().append_line(&line).is_err() {
+        state.slow_log_errors.inc();
+    }
+}
+
+/// Pull every backend's metrics over the wire and merge them with the
+/// router's own registry into one cluster view. Each shard contributes
+/// twice: once relabeled `shard="N"` (per-shard series) and once
+/// unlabeled (cluster totals — counters and histogram buckets sum,
+/// gauges follow their declared [`obs::GaugePolicy`]). The first
+/// healthy backend per shard wins; a shard with no reachable backend
+/// is skipped and counted in `geosir_router_scrape_misses_total`, so
+/// merged totals can undercount during an outage — the per-shard
+/// series make the gap visible.
+fn federated_snapshot(state: &RouterState, conns: &mut Conns) -> obs::Snapshot {
+    let scrape_start = Instant::now();
+    let mut out = state.registry.snapshot();
+    for shard in 0..state.shards.len() {
+        let deadline = Instant::now() + state.cfg.shard_deadline;
+        let mut got = None;
+        for addr in state.read_candidates(shard) {
+            if let Ok(Frame::MetricsReport { snapshot }) = try_backend(
+                state,
+                conns,
+                shard,
+                addr,
+                &Frame::MetricsDump,
+                state.cfg.shard_deadline,
+                deadline,
+            ) {
+                if let Some(snap) = obs::Snapshot::decode(&snapshot) {
+                    got = Some(snap);
+                    break;
+                }
+            }
+        }
+        match got {
+            Some(snap) => {
+                out.merge(&snap.relabeled("shard", &shard.to_string()));
+                out.merge(&snap);
+            }
+            None => state.scrape_misses.inc(),
+        }
+    }
+    state.scrapes.inc();
+    state.scrape_us.record(scrape_start.elapsed().as_micros() as u64);
+    out
+}
+
+/// Accept loop for the router's HTTP observability plane. Scrapes are
+/// rare next to queries, so one thread with its own backend
+/// connections is plenty — and it keeps scrape traffic off the query
+/// path's sockets entirely.
+fn obs_loop(listener: TcpListener, state: Arc<RouterState>) {
+    let mut conns = Conns { map: HashMap::new(), connect_timeout: state.cfg.connect_timeout };
+    for stream in listener.incoming() {
+        if state.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if let Ok(mut stream) = stream {
+            let _ = serve_obs(&mut stream, &state, &mut conns);
+        }
+    }
+}
+
+fn serve_obs(stream: &mut TcpStream, state: &RouterState, conns: &mut Conns) -> io::Result<()> {
+    use obs::expo::{read_request_path, respond};
+    let Some(path) = read_request_path(stream)? else {
+        return Ok(());
+    };
+    match path.as_str() {
+        "/metrics" => {
+            let body = obs::expo::render_prometheus(&federated_snapshot(state, conns));
+            respond(stream, 200, "text/plain; version=0.0.4", &body)
+        }
+        "/debug/cluster" => respond(stream, 200, "application/json", &cluster_json(state)),
+        "/debug/flight" => {
+            respond(stream, 200, "application/json", &state.registry.flight().to_json())
+        }
+        "/debug/last_queries" => {
+            respond(stream, 200, "application/json", &state.registry.traces().to_json())
+        }
+        _ => respond(
+            stream,
+            404,
+            "text/plain",
+            "not found; try /metrics, /debug/cluster, /debug/flight, or /debug/last_queries",
+        ),
+    }
+}
+
+fn breaker_name(code: u8) -> &'static str {
+    match code {
+        0 => "closed",
+        1 => "open",
+        2 => "half-open",
+        _ => "unknown",
+    }
+}
+
+/// JSON topology + health for `/debug/cluster`: the wire `Topology`
+/// report (breaker states, replication lag) plus the router's own
+/// address, rendered for humans and scripts that never speak the
+/// binary protocol.
+fn cluster_json(state: &RouterState) -> String {
+    let shards = topology(state);
+    let mut out = String::with_capacity(64 + shards.len() * 192);
+    out.push_str(&format!("{{\"router\":\"{}\",\"shards\":[", state.addr));
+    for (i, s) in shards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"shard\":{},\"primary\":{{\"addr\":\"{}\",\"state\":\"{}\"}},\"replicas\":[",
+            s.shard,
+            s.primary,
+            breaker_name(s.primary_state)
+        ));
+        for (j, (addr, code)) in s.replicas.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"addr\":\"{addr}\",\"state\":\"{}\"}}", breaker_name(*code)));
+        }
+        out.push_str(&format!(
+            "],\"lag_records\":{},\"lag_ms\":{}}}",
+            s.lag_records, s.lag_ms
+        ));
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Build the [`Frame::TopologyReport`] payload from breaker states and
@@ -1081,6 +1547,11 @@ impl Cluster {
         self.router.registry()
     }
 
+    /// Where the router's federated HTTP plane listens, if enabled.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.router.metrics_addr()
+    }
+
     /// Gracefully stop replica `r` of shard `s` (bench "kill" hook; the
     /// chaos harness SIGKILLs real processes instead).
     pub fn stop_replica(&mut self, s: usize, r: usize) {
@@ -1130,9 +1601,18 @@ impl Cluster {
 pub fn start_cluster(
     addr: &str,
     template: &BaseTemplate,
-    cfg: ClusterConfig,
+    mut cfg: ClusterConfig,
 ) -> io::Result<Cluster> {
     assert!(cfg.shards >= 1);
+    // Router observability artifacts default into the cluster's data
+    // dir: the flight recorder survives a router panic, and slow routed
+    // queries land in a rotating JSONL next to the shard data.
+    if cfg.router.flight_dump_path.is_none() {
+        cfg.router.flight_dump_path = Some(cfg.data_dir.join("router-flight.dump.json"));
+    }
+    if cfg.router.slow_query_log.is_none() {
+        cfg.router.slow_query_log = Some(cfg.data_dir.join("router"));
+    }
     let registry = Arc::new(obs::Registry::new());
     let mut specs = Vec::with_capacity(cfg.shards);
     let mut primaries = Vec::with_capacity(cfg.shards);

@@ -126,7 +126,14 @@ impl Metrics {
             latency_stats: r.histogram("geosir_request_latency_us", &[("type", "stats")]),
             snapshots_published: r.counter("geosir_snapshot_publishes_total", &[]),
             publish: r.histogram("geosir_snapshot_publish_us", &[]),
-            snapshot_age_us: r.gauge("geosir_snapshot_age_us", &[]),
+            // Ages, epochs, recovery times, and the read-only flag are
+            // worst-of readings: summing them across merged shard
+            // snapshots would report a staleness no shard ever saw.
+            snapshot_age_us: r.gauge_with_policy(
+                "geosir_snapshot_age_us",
+                &[],
+                obs::GaugePolicy::Max,
+            ),
             read_queue_depth: r.gauge("geosir_queue_depth", &[("queue", "read")]),
             write_queue_depth: r.gauge("geosir_queue_depth", &[("queue", "write")]),
             wal_appends: r.gauge("geosir_wal_appended_records", &[]),
@@ -134,16 +141,25 @@ impl Metrics {
             fsync: r.histogram("geosir_fsync_wait_us", &[]),
             checkpoints: r.counter("geosir_checkpoints_total", &[]),
             checkpoint_failures: r.counter("geosir_checkpoint_failures_total", &[]),
-            last_recovery_us: r.gauge("geosir_recovery_us", &[]),
-            read_only: r.gauge("geosir_read_only", &[]),
-            epoch: r.gauge("geosir_snapshot_epoch", &[]),
+            last_recovery_us: r.gauge_with_policy(
+                "geosir_recovery_us",
+                &[],
+                obs::GaugePolicy::Max,
+            ),
+            read_only: r.gauge_with_policy("geosir_read_only", &[], obs::GaugePolicy::Max),
+            epoch: r.gauge_with_policy("geosir_snapshot_epoch", &[], obs::GaugePolicy::Max),
             live_shapes: r.gauge("geosir_live_shapes", &[]),
             poll_wakeups: r.counter("geosir_poll_wakeups_total", &[]),
             poll_events: r.histogram("geosir_poll_events_per_wake", &[]),
             conns_open: r.gauge("geosir_conns_open", &[]),
             coalesced_batch: r.histogram("geosir_coalesced_batch", &[]),
             approx_buckets: r.gauge("geosir_approx_buckets", &[]),
-            approx_avg_bucket_size_x1000: r.gauge("geosir_approx_avg_bucket_size_x1000", &[]),
+            // A mean, not a total: max is the honest cross-shard fold.
+            approx_avg_bucket_size_x1000: r.gauge_with_policy(
+                "geosir_approx_avg_bucket_size_x1000",
+                &[],
+                obs::GaugePolicy::Max,
+            ),
             registry,
         }
     }

@@ -126,8 +126,15 @@ impl ReplMetrics {
         let l = shard.to_string();
         let lbl: &[(&str, &str)] = &[("shard", &l)];
         ReplMetrics {
-            lag_records: reg.gauge("geosir_replication_lag_records", lbl),
-            lag_ms: reg.gauge("geosir_replication_lag_ms", lbl),
+            // Lag is a worst-of reading: when lag series from several
+            // registries merge into one federated snapshot, the max is
+            // the cluster's true staleness, not the sum.
+            lag_records: reg.gauge_with_policy(
+                "geosir_replication_lag_records",
+                lbl,
+                obs::GaugePolicy::Max,
+            ),
+            lag_ms: reg.gauge_with_policy("geosir_replication_lag_ms", lbl, obs::GaugePolicy::Max),
             applied_records: reg.counter("geosir_repl_applied_records_total", lbl),
             ship_errors: reg.counter("geosir_repl_ship_errors_total", lbl),
             apply_errors: reg.counter("geosir_repl_apply_errors_total", lbl),

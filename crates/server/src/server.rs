@@ -82,7 +82,9 @@ use geosir_storage::wal::{Lsn, Wal, WalRecord};
 
 use crate::durable::{self, BaseTemplate, DurabilityConfig, RecoveryReport, Recovered};
 use crate::metrics::{Metrics, ReqKind};
-use crate::wire::{error_code, Frame, ServerStats, WireError, WireMatch, PROTOCOL_VERSION};
+use crate::wire::{
+    error_code, Frame, ServerStats, StageTrailer, WireError, WireMatch, PROTOCOL_VERSION,
+};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -762,8 +764,9 @@ fn serve_inner(
 /// Chain the flight-recorder dump into the process panic hook, once per
 /// process: a panicking server thread writes the same
 /// `flight.dump.json` an armed crash point would, then the previous
-/// hook (backtrace printing) runs as usual.
-fn install_panic_flight_dump() {
+/// hook (backtrace printing) runs as usual. The cluster router reuses
+/// this for its own flight dump.
+pub(crate) fn install_panic_flight_dump() {
     static ONCE: std::sync::Once = std::sync::Once::new();
     ONCE.call_once(|| {
         let prev = std::panic::take_hook();
@@ -1648,6 +1651,10 @@ fn run_query_run(
                 Frame::Matches {
                     epoch: snap.epoch(),
                     shards: Default::default(),
+                    trailer: Some(StageTrailer {
+                        total_us: queue_wait_us + per_query_us,
+                        queue_us: queue_wait_us,
+                    }),
                     matches: to_wire(hits),
                 }
             }
@@ -1729,6 +1736,10 @@ fn run_approx_run(
                     corpus_copies: astats.corpus_copies,
                     reranked: astats.reranked,
                     shards: Default::default(),
+                    trailer: Some(StageTrailer {
+                        total_us: queue_wait_us + probe_us,
+                        queue_us: queue_wait_us,
+                    }),
                     matches: to_wire(hits),
                 }
             }
@@ -1807,6 +1818,7 @@ fn run_read_job(
                     Frame::Matches {
                         epoch: snap.epoch(),
                         shards: Default::default(),
+                        trailer: Some(StageTrailer { total_us, queue_us: queue_wait_us }),
                         matches: to_wire(hits),
                     }
                 }

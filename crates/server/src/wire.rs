@@ -67,7 +67,12 @@ use std::io::{Read, Write};
 /// `Topology` / `TopologyReport` expose the cluster layout and
 /// replication lag; [`error_code::UNAVAILABLE`] reports a request the
 /// router cannot serve from any shard. Single-node servers answer with
-/// the trivial `1/1` shard info.
+/// the trivial `1/1` shard info. `Matches` / `ApproxMatches` may also
+/// carry an *optional* [`StageTrailer`] after the match list (a flag
+/// byte then server-side `total_us`/`queue_us`) so a router can attribute a
+/// slow cluster query to the shard that actually burned the time; a
+/// reply without the trailer is byte-identical to the original v6
+/// layout, so pre-trailer peers interoperate unchanged.
 pub const PROTOCOL_VERSION: u8 = 6;
 
 /// Oldest protocol version still accepted on the wire.
@@ -128,6 +133,20 @@ impl ShardInfo {
     pub fn is_partial(&self) -> bool {
         self.ok < self.total
     }
+}
+
+/// Optional per-stage server timings on v6 `Matches` / `ApproxMatches`
+/// replies: `total_us` is enqueue → reply built, `queue_us` the slice of
+/// that spent waiting for a worker. Encoded as a trailer *after* the
+/// match list — absent entirely (zero bytes) when the server does not
+/// report timings, so the frame stays byte-identical to the pre-trailer
+/// v6 layout. A scatter-gather router reads it to attribute a slow
+/// cluster query to the shard that was actually slow (vs the network or
+/// the router's own gather).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageTrailer {
+    pub total_us: u64,
+    pub queue_us: u64,
 }
 
 /// One shard's status inside a [`Frame::TopologyReport`]: backend
@@ -278,8 +297,9 @@ pub enum Frame {
     Shutdown,
 
     /// Reply to `Query`. `shards` is the v6 partial-result flag
-    /// ([`ShardInfo`]; trivially `1/1` from a single-node server).
-    Matches { epoch: u64, shards: ShardInfo, matches: Vec<WireMatch> },
+    /// ([`ShardInfo`]; trivially `1/1` from a single-node server);
+    /// `trailer` the optional v6 server-side stage timings.
+    Matches { epoch: u64, shards: ShardInfo, trailer: Option<StageTrailer>, matches: Vec<WireMatch> },
     /// Reply to `QueryBatch`, one result list per query, in order.
     BatchMatches { epoch: u64, results: Vec<Vec<WireMatch>> },
     /// Reply to `Insert`: the assigned global id.
@@ -319,6 +339,7 @@ pub enum Frame {
         corpus_copies: u64,
         reranked: u64,
         shards: ShardInfo,
+        trailer: Option<StageTrailer>,
         matches: Vec<WireMatch>,
     },
     /// Reply to `Topology` (v6): one status entry per shard.
@@ -569,6 +590,36 @@ fn get_shard_info(version: u8, buf: &mut &[u8]) -> Result<ShardInfo, WireError> 
     Ok(ShardInfo { ok: buf.get_u16_le(), total: buf.get_u16_le() })
 }
 
+/// v6-only optional stage-timing trailer after the match list: zero
+/// bytes when absent (the pre-trailer layout), else a presence flag and
+/// the two timing words.
+fn put_stage_trailer(version: u8, out: &mut Vec<u8>, t: &Option<StageTrailer>) {
+    if version < 6 {
+        return;
+    }
+    if let Some(t) = t {
+        out.put_u8(1);
+        out.put_u64_le(t.total_us);
+        out.put_u64_le(t.queue_us);
+    }
+}
+
+fn get_stage_trailer(version: u8, buf: &mut &[u8]) -> Result<Option<StageTrailer>, WireError> {
+    if version < 6 || buf.is_empty() {
+        return Ok(None);
+    }
+    match buf.get_u8() {
+        0 => Ok(None),
+        1 => {
+            if buf.len() < 16 {
+                return Err(WireError::Malformed);
+            }
+            Ok(Some(StageTrailer { total_us: buf.get_u64_le(), queue_us: buf.get_u64_le() }))
+        }
+        _ => Err(WireError::Malformed),
+    }
+}
+
 fn put_explain(out: &mut Vec<u8>, e: &QueryExplain) {
     out.put_u64_le(e.buffer_scored);
     // aggregate RetrieveStats
@@ -750,13 +801,14 @@ impl Frame {
                 out.put_u32_le(snapshot.len() as u32);
                 out.put_slice(snapshot);
             }
-            Frame::Matches { epoch, shards, matches } => {
+            Frame::Matches { epoch, shards, trailer, matches } => {
                 out.put_u64_le(*epoch);
                 if version >= 6 {
                     out.put_u16_le(shards.ok);
                     out.put_u16_le(shards.total);
                 }
                 put_matches(out, matches);
+                put_stage_trailer(version, out, trailer);
             }
             Frame::ExplainReport { epoch, trace, total_us, queue_us, matches, report } => {
                 out.put_u64_le(*epoch);
@@ -775,6 +827,7 @@ impl Frame {
                 corpus_copies,
                 reranked,
                 shards,
+                trailer,
                 matches,
             } => {
                 out.put_u64_le(*epoch);
@@ -789,6 +842,7 @@ impl Frame {
                     out.put_u16_le(shards.total);
                 }
                 put_matches(out, matches);
+                put_stage_trailer(version, out, trailer);
             }
             Frame::TopologyReport { shards } => {
                 out.put_u32_le(shards.len() as u32);
@@ -938,7 +992,9 @@ impl Frame {
                 }
                 let epoch = buf.get_u64_le();
                 let shards = get_shard_info(version, buf)?;
-                Frame::Matches { epoch, shards, matches: get_matches(buf)? }
+                let matches = get_matches(buf)?;
+                let trailer = get_stage_trailer(version, buf)?;
+                Frame::Matches { epoch, shards, trailer, matches }
             }
             frame_type::EXPLAIN_REPORT => {
                 if buf.len() < 32 {
@@ -964,6 +1020,8 @@ impl Frame {
                 let corpus_copies = buf.get_u64_le();
                 let reranked = buf.get_u64_le();
                 let shards = get_shard_info(version, buf)?;
+                let matches = get_matches(buf)?;
+                let trailer = get_stage_trailer(version, buf)?;
                 Frame::ApproxMatches {
                     epoch,
                     tier,
@@ -973,7 +1031,8 @@ impl Frame {
                     corpus_copies,
                     reranked,
                     shards,
-                    matches: get_matches(buf)?,
+                    trailer,
+                    matches,
                 }
             }
             frame_type::TOPOLOGY => Frame::Topology,

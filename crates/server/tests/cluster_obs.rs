@@ -1,0 +1,326 @@
+//! Cluster observability plane over real TCP loopback: federated
+//! metrics (merged totals + `shard="N"` series through one endpoint),
+//! cross-shard trace assembly (router flight recorder + slow-query
+//! JSONL under the client's trace id), and hedge attribution to the
+//! shard that actually went silent. See DESIGN §13.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use geosir_core::matcher::MatchConfig;
+use geosir_geom::rangesearch::Backend;
+use geosir_geom::{Point, Polyline};
+use geosir_serve::cluster::{start_cluster, ClusterConfig, Router, RouterConfig, ShardSpec};
+use geosir_serve::{serve, BaseTemplate, Client, ServeConfig};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("geosir-clobs-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn template() -> BaseTemplate {
+    BaseTemplate {
+        alpha: 0.0,
+        backend: Backend::KdTree,
+        config: MatchConfig { beta: 0.2, ..Default::default() },
+        buffer_cap: 8,
+    }
+}
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig { workers: 1, poll_interval: Duration::from_millis(5), ..Default::default() }
+}
+
+fn polygon(rng: &mut StdRng) -> Polyline {
+    let n = 12;
+    let pts: Vec<Point> = (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64 * std::f64::consts::TAU;
+            let r = rng.random_range(0.6..1.0);
+            Point::new(r * t.cos(), r * t.sin())
+        })
+        .collect();
+    Polyline::closed(pts).expect("star-shaped polygon is simple")
+}
+
+fn poll_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    out
+}
+
+/// Concatenate every rotating-JSONL segment in `dir` (the router slow
+/// log may have rotated mid-test).
+fn slow_log_text(dir: &Path) -> String {
+    let mut out = String::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for e in entries.flatten() {
+            if let Ok(text) = std::fs::read_to_string(e.path()) {
+                out.push_str(&text);
+            }
+        }
+    }
+    out
+}
+
+/// A backend that accepts connections and swallows every byte without
+/// ever replying: the shape of a wedged-but-listening shard, which is
+/// what forces the router down the hedge path (a refused connect would
+/// be a submit-time failover instead).
+fn black_hole() -> SocketAddr {
+    let l = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = l.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let mut held = Vec::new();
+        for s in l.incoming() {
+            match s {
+                Ok(s) => held.push(s),
+                Err(_) => break,
+            }
+        }
+    });
+    addr
+}
+
+/// One federated endpoint serves merged cluster totals, per-shard
+/// labeled series, router-native counters, and replication lag —
+/// over the wire (`MetricsDump`) and over HTTP (`/metrics`).
+#[test]
+fn federated_metrics_merge_totals_and_label_shards() {
+    let dir = tmpdir("fed");
+    let cfg = ClusterConfig {
+        shards: 2,
+        replicas: 1,
+        serve: serve_cfg(),
+        router: RouterConfig {
+            metrics_addr: Some("127.0.0.1:0".into()),
+            ..RouterConfig::default()
+        },
+        ..ClusterConfig::new(&dir)
+    };
+    let cluster = start_cluster("127.0.0.1:0", &template(), cfg).unwrap();
+    let maddr = cluster.router.metrics_addr().expect("metrics endpoint enabled");
+    let mut client = Client::connect(cluster.addr()).unwrap();
+    let mut rng = StdRng::seed_from_u64(11);
+    let shapes: Vec<Polyline> = (0..12).map(|_| polygon(&mut rng)).collect();
+    for (i, s) in shapes.iter().enumerate() {
+        client.insert_retrying(i as u32, s).unwrap();
+    }
+    for s in shapes.iter().take(4) {
+        let r = client.query(s, 3).unwrap();
+        assert!(!r.rejected);
+    }
+
+    // Wire-level federation: each shard answers every scattered query,
+    // so the merged total is the sum of the per-shard series.
+    let snap = client.metrics().unwrap();
+    let merged = snap.counter("geosir_queries_total", &[]);
+    let s0 = snap.counter("geosir_queries_total", &[("shard", "0")]);
+    let s1 = snap.counter("geosir_queries_total", &[("shard", "1")]);
+    assert!(merged >= 4, "cluster totals present (got {merged})");
+    assert_eq!(s0 + s1, merged, "per-shard series sum to the merged total");
+    assert!(s0 >= 4 && s1 >= 4, "both shards served every scattered query");
+    assert!(
+        snap.counter("geosir_router_shard_queries_total", &[("shard", "0")]) >= 4,
+        "router-native series ride along"
+    );
+
+    // Replication lag comes from the repl threads' gauges in the
+    // router's own registry; give them a tick to publish.
+    assert!(
+        poll_until(Duration::from_secs(5), || {
+            let snap = client.metrics().unwrap();
+            snap.entries.iter().any(|e| e.name == "geosir_replication_lag_records")
+        }),
+        "replication lag series appear in the federated dump"
+    );
+
+    // HTTP federation: one curl against the router answers for the
+    // whole cluster.
+    let body = http_get(maddr, "/metrics");
+    assert!(body.starts_with("HTTP/1.1 200"), "{body}");
+    assert!(body.contains("geosir_queries_total{shard=\"0\"}"), "shard-labeled series");
+    assert!(body.contains("geosir_queries_total{shard=\"1\"}"), "shard-labeled series");
+    assert!(body.contains("\ngeosir_queries_total "), "merged unlabeled total");
+    assert!(body.contains("geosir_replication_lag_records{shard="), "lag series");
+    assert!(body.contains("geosir_router_scrapes_total"), "scrape telemetry");
+
+    let topo = http_get(maddr, "/debug/cluster");
+    assert!(topo.contains("\"shard\":0") && topo.contains("\"shard\":1"), "{topo}");
+    assert!(topo.contains("\"state\":\"closed\""), "healthy breakers: {topo}");
+    assert!(topo.contains("\"lag_records\":"), "{topo}");
+
+    let missing = http_get(maddr, "/nope");
+    assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A traced query through a 2-shard router leaves a joined trail: the
+/// client's trace id in the router's flight recorder (KIND_ROUTED) and
+/// trace log, and a slow-log JSONL line with ≥ 2 shard sub-spans
+/// carrying server-side stage timings from the v6 reply trailer.
+#[test]
+fn routed_trace_joins_flight_trace_log_and_slow_log() {
+    let dir = tmpdir("trace");
+    let cfg = ClusterConfig {
+        shards: 2,
+        replicas: 0,
+        serve: serve_cfg(),
+        router: RouterConfig {
+            // everything is "slow": one query must produce one record
+            slow_query_us: 0,
+            ..RouterConfig::default()
+        },
+        ..ClusterConfig::new(&dir)
+    };
+    let cluster = start_cluster("127.0.0.1:0", &template(), cfg).unwrap();
+    let mut client = Client::connect(cluster.addr()).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let shapes: Vec<Polyline> = (0..8).map(|_| polygon(&mut rng)).collect();
+    for (i, s) in shapes.iter().enumerate() {
+        client.insert_retrying(i as u32, s).unwrap();
+    }
+    let reply = client.query(&shapes[0], 3).unwrap();
+    assert!(!reply.rejected);
+    assert_eq!((reply.shards_ok, reply.shards_total), (2, 2));
+    let trace = reply.trace;
+    assert_ne!(trace, 0, "client minted a trace id");
+
+    // Shard servers echo their stage timings in the v6 trailer; a
+    // direct query against a primary surfaces them to the client.
+    let mut direct = Client::connect(cluster.specs[0].primary).unwrap();
+    let dr = direct.query(&shapes[0], 3).unwrap();
+    let t = dr.server_timings.expect("v6 trailer carries server timings");
+    assert!(t.total_us >= t.queue_us, "total includes queue wait");
+
+    // Router flight recorder: same trace id, routed kind, both shards
+    // asked and both answered.
+    let reg = cluster.registry();
+    let prof = reg.flight().find(trace).expect("routed query in the flight recorder");
+    assert_eq!(prof.kind, geosir_obs::flight::KIND_ROUTED);
+    assert_eq!(prof.candidates, 2, "shards asked");
+    assert_eq!(prof.levels, 2, "shards answered");
+
+    // Router trace log: per-shard stages under the same id.
+    let tj = reg.traces().to_json();
+    assert!(tj.contains(&format!("\"trace_id\":{trace}")), "{tj}");
+    assert!(tj.contains("routed_query"), "{tj}");
+    assert!(tj.contains("shard0") && tj.contains("shard1"), "{tj}");
+
+    // Slow log: one JSONL record keyed by the client's trace id with a
+    // sub-span per shard including server-side attribution.
+    let slow_dir = dir.join("router");
+    assert!(
+        poll_until(Duration::from_secs(5), || {
+            slow_log_text(&slow_dir).contains(&format!("\"trace_id\":{trace}"))
+        }),
+        "router slow log records the traced query"
+    );
+    let text = slow_log_text(&slow_dir);
+    let line = text
+        .lines()
+        .find(|l| l.contains(&format!("\"trace_id\":{trace}")))
+        .expect("slow-log line for the traced query");
+    assert!(line.contains("\"kind\":\"routed_query\""), "{line}");
+    assert!(line.contains("\"shard\":0") && line.contains("\"shard\":1"), "{line}");
+    assert!(line.contains("\"server_total_us\":"), "shard trailer joined in: {line}");
+    assert!(line.contains("\"shards_ok\":2"), "{line}");
+
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// When one shard's primary accepts but never replies, the router
+/// hedges to that shard's replica — and the timeline pins the hedge on
+/// the silent shard, not its healthy neighbour.
+#[test]
+fn forced_hedge_is_attributed_to_the_silent_shard() {
+    let dir = tmpdir("hedge");
+    let healthy = serve("127.0.0.1:0", template().empty_base(), serve_cfg()).unwrap();
+    let replica = serve("127.0.0.1:0", template().empty_base(), serve_cfg()).unwrap();
+    let silent = black_hole();
+    let specs = vec![
+        ShardSpec { primary: healthy.addr(), replicas: Vec::new() },
+        ShardSpec { primary: silent, replicas: vec![replica.addr()] },
+    ];
+    let registry = Arc::new(geosir_obs::Registry::new());
+    let router = Router::start(
+        "127.0.0.1:0",
+        specs,
+        RouterConfig {
+            hedge_after: Duration::from_millis(50),
+            shard_deadline: Duration::from_millis(3_000),
+            slow_query_log: Some(dir.join("router")),
+            slow_query_us: 0,
+            ..RouterConfig::default()
+        },
+        registry.clone(),
+    )
+    .unwrap();
+
+    let mut client = Client::connect(router.addr()).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let reply = client.query(&polygon(&mut rng), 3).unwrap();
+    assert!(!reply.rejected);
+    assert_eq!(
+        (reply.shards_ok, reply.shards_total),
+        (2, 2),
+        "the hedge saved the silent shard's answer"
+    );
+
+    let snap = registry.snapshot();
+    assert!(
+        snap.counter("geosir_router_hedges_total", &[("shard", "1")]) >= 1,
+        "hedge counted against the silent shard"
+    );
+    assert_eq!(
+        snap.counter("geosir_router_hedges_total", &[("shard", "0")]),
+        0,
+        "healthy shard never hedged"
+    );
+
+    let prof = registry.flight().find(reply.trace).expect("routed profile");
+    assert!(prof.rings >= 1, "hedge visible in the flight profile");
+
+    let text = slow_log_text(&dir.join("router"));
+    let line = text
+        .lines()
+        .find(|l| l.contains(&format!("\"trace_id\":{}", reply.trace)))
+        .expect("slow-log line");
+    let i0 = line.find("\"shard\":0").expect("shard 0 span");
+    let i1 = line.find("\"shard\":1").expect("shard 1 span");
+    assert!(!line[i0..i1].contains("\"hedged\":true"), "shard 0 did not hedge: {line}");
+    assert!(line[i1..].contains("\"hedged\":true"), "shard 1 hedged: {line}");
+    assert!(
+        line[i1..].contains(&replica.addr().to_string()),
+        "hedged answer attributed to the replica: {line}"
+    );
+
+    router.shutdown();
+    healthy.shutdown();
+    replica.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

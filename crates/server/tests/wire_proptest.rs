@@ -6,8 +6,8 @@ use proptest::prelude::*;
 use rand::prelude::*;
 
 use geosir_serve::wire::{
-    Frame, ServerStats, ShardInfo, WireError, WireMatch, WireShape, WireShardStatus,
-    PROTOCOL_VERSION,
+    Frame, ServerStats, ShardInfo, StageTrailer, WireError, WireMatch, WireShape,
+    WireShardStatus, PROTOCOL_VERSION,
 };
 
 fn rand_shape(rng: &mut StdRng) -> WireShape {
@@ -34,6 +34,14 @@ fn rand_matches(rng: &mut StdRng) -> Vec<WireMatch> {
 fn rand_shards(rng: &mut StdRng) -> ShardInfo {
     let total = rng.random_range(1..16u16);
     ShardInfo { ok: rng.random_range(0..=total), total }
+}
+
+fn rand_trailer(rng: &mut StdRng) -> Option<StageTrailer> {
+    if rng.random() {
+        Some(StageTrailer { total_us: rng.random(), queue_us: rng.random() })
+    } else {
+        None
+    }
 }
 
 fn rand_addr(rng: &mut StdRng) -> String {
@@ -149,6 +157,7 @@ fn rand_frame(pick: u8, rng: &mut StdRng) -> Frame {
         6 => Frame::Matches {
             epoch: rng.random(),
             shards: rand_shards(rng),
+            trailer: rand_trailer(rng),
             matches: rand_matches(rng),
         },
         7 => Frame::BatchMatches {
@@ -193,6 +202,7 @@ fn rand_frame(pick: u8, rng: &mut StdRng) -> Frame {
             corpus_copies: rng.random(),
             reranked: rng.random(),
             shards: rand_shards(rng),
+            trailer: rand_trailer(rng),
             matches: rand_matches(rng),
         },
         19 => Frame::Topology,
@@ -513,14 +523,16 @@ fn v5_matches_drop_shard_info_v6_keeps_it() {
     let frame = Frame::Matches {
         epoch: 4,
         shards: ShardInfo { ok: 2, total: 3 },
+        trailer: Some(StageTrailer { total_us: 1234, queue_us: 56 }),
         matches: vec![WireMatch { shape: 1, image: 2, score: 0.5 }],
     };
     let mut v5 = Vec::new();
     frame.encode_versioned(5, 0, &mut v5);
     match Frame::decode(&v5).unwrap().0 {
-        Frame::Matches { shards, matches, .. } => {
+        Frame::Matches { shards, trailer, matches, .. } => {
             assert_eq!(shards, ShardInfo::default());
             assert!(!shards.is_partial());
+            assert_eq!(trailer, None, "the stage trailer is a v6 field");
             assert_eq!(matches.len(), 1);
         }
         other => panic!("wrong frame {other:?}"),
@@ -528,12 +540,41 @@ fn v5_matches_drop_shard_info_v6_keeps_it() {
     let mut v6 = Vec::new();
     frame.encode_versioned(6, 0, &mut v6);
     match Frame::decode(&v6).unwrap().0 {
-        Frame::Matches { shards, .. } => {
+        Frame::Matches { shards, trailer, .. } => {
             assert_eq!(shards, ShardInfo { ok: 2, total: 3 });
             assert!(shards.is_partial());
+            assert_eq!(trailer, Some(StageTrailer { total_us: 1234, queue_us: 56 }));
         }
         other => panic!("wrong frame {other:?}"),
     }
+}
+
+#[test]
+fn trailerless_v6_matches_stay_byte_identical_and_decode_as_none() {
+    // A server that reports no stage timings must emit exactly the
+    // pre-trailer v6 byte layout — old captures and old peers agree.
+    let frame = Frame::Matches {
+        epoch: 9,
+        shards: ShardInfo { ok: 1, total: 1 },
+        trailer: None,
+        matches: vec![WireMatch { shape: 7, image: 3, score: 1.5 }],
+    };
+    let mut buf = Vec::new();
+    frame.encode(&mut buf);
+    match Frame::decode(&buf).unwrap().0 {
+        Frame::Matches { trailer, .. } => assert_eq!(trailer, None),
+        other => panic!("wrong frame {other:?}"),
+    }
+    // With a trailer the frame grows by exactly flag + 2×u64.
+    let with = Frame::Matches {
+        epoch: 9,
+        shards: ShardInfo { ok: 1, total: 1 },
+        trailer: Some(StageTrailer { total_us: 1, queue_us: 1 }),
+        matches: vec![WireMatch { shape: 7, image: 3, score: 1.5 }],
+    };
+    let mut buf2 = Vec::new();
+    with.encode(&mut buf2);
+    assert_eq!(buf2.len(), buf.len() + 17);
 }
 
 #[test]

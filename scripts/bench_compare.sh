@@ -39,13 +39,20 @@
 #  10. with a replica killed mid-run, >= 99.9% of queries must still
 #      be answered (failover may cost latency, never answers).
 #
+# When a BENCH_9.json (serve_loadgen --scrape-ab) is present — or named
+# as the sixth argument — the federated-scrape gate runs too:
+#
+#  11. polling the router's federated /metrics endpoint at `geosir top`
+#      cadence while the cluster serves load must cost <= 3% qps vs the
+#      scraper-idle windows of the same interleaved A/B.
+#
 # All files should come from the same machine in the same session
 # (CI regenerates them back-to-back); comparing artifacts produced on
 # different hardware measures the hardware, not the code. BENCH_7 is
 # machine-insensitive on the gated fields (recall and reduction are
 # counts, not clocks), so a checked-in artifact stays comparable.
 #
-# Usage: scripts/bench_compare.sh [BENCH_5.json [BENCH_4.json [BENCH_6.json [BENCH_7.json [BENCH_8.json]]]]]
+# Usage: scripts/bench_compare.sh [BENCH_5.json [BENCH_4.json [BENCH_6.json [BENCH_7.json [BENCH_8.json [BENCH_9.json]]]]]]
 set -euo pipefail
 
 B5="${1:-BENCH_5.json}"
@@ -195,9 +202,7 @@ fi
 B8="${5:-BENCH_8.json}"
 if [ ! -f "$B8" ]; then
     echo "bench_compare: no $B8 — skipping cluster gates (run serve_loadgen --cluster to enable)"
-    exit 0
-fi
-
+else
 python3 - "$B8" <<'EOF'
 import json
 import sys
@@ -254,4 +259,48 @@ if killed["answered_fraction"] < 0.999:
 if failed:
     sys.exit(1)
 print("bench_compare: OK (cluster)")
+EOF
+fi
+
+# --- BENCH_9: federated-scrape tax gate (optional) ---
+B9="${6:-BENCH_9.json}"
+if [ ! -f "$B9" ]; then
+    echo "bench_compare: no $B9 — skipping scrape gate (run serve_loadgen --scrape-ab to enable)"
+    exit 0
+fi
+
+python3 - "$B9" <<'EOF'
+import json
+import sys
+
+b9_path = sys.argv[1]
+with open(b9_path) as f:
+    b9 = json.load(f)
+
+overhead = b9["overhead_pct"]
+off, on = b9["scrape_off"], b9["scrape_on"]
+router = b9["router"]
+
+print(f"bench_compare: {b9_path} (federated scrape A/B, {b9['topology']}, "
+      f"{b9['host_cores']} host core(s))")
+print(f"  scraper idle      {off['qps']:>10.1f} qps (p99 {off['p99_us']} us)")
+print(f"  scraper at {b9['scrape_interval_ms']} ms {on['qps']:>10.1f} qps "
+      f"(p99 {on['p99_us']} us)")
+print(f"  scrape tax        {overhead:>+10.2f}% (gate <= 3%; negative = noise)")
+print(f"  scrapes           {b9['scrapes']} federated ({b9['scrape_bytes_avg']} bytes avg, "
+      f"assemble p50 {router['assemble_p50_us']} us p99 {router['assemble_p99_us']} us, "
+      f"{router['scrape_misses_total']} shard misses)")
+
+failed = False
+# Watching the cluster must never meaningfully slow the cluster.
+if overhead > 3.0:
+    print(f"bench_compare: FAIL — federated scrape cost {overhead:.2f}% qps (> 3% gate)")
+    failed = True
+# An A/B with no completed scrapes measured nothing.
+if b9["scrapes"] <= 0:
+    print("bench_compare: FAIL — the scraper never completed a federated scrape")
+    failed = True
+if failed:
+    sys.exit(1)
+print("bench_compare: OK (scrape)")
 EOF

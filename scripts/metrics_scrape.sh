@@ -1,10 +1,18 @@
 #!/usr/bin/env bash
-# Smoke-scrape the observability endpoint of a live durable server:
-# boot `geosir serve --data-dir --metrics-addr`, drive a few requests
-# through the wire, then assert the core /metrics series exist and are
-# non-zero and /debug/last_queries answers. Uses an already-built
-# release binary (fast path: no compilation here) and bash /dev/tcp, so
-# it needs neither curl nor extra tooling.
+# Smoke-scrape the observability endpoints of a live server.
+#
+# Default mode: boot `geosir serve --data-dir --metrics-addr`, drive a
+# few requests through the wire, then assert the core /metrics series
+# exist and are non-zero and /debug/last_queries answers.
+#
+# --cluster mode: boot a 2-shard x 1-replica `geosir cluster` with the
+# router's federated endpoint and assert one scrape answers for the
+# whole cluster: merged unlabeled totals, `shard="0"`/`shard="1"`
+# labeled series, replication-lag gauges, router scrape telemetry, and
+# the /debug/cluster JSON topology.
+#
+# Uses an already-built release binary (fast path: no compilation here)
+# and bash /dev/tcp, so it needs neither curl nor extra tooling.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,7 +22,13 @@ if [ ! -x "$BIN" ]; then
     exit 1
 fi
 
+MODE=single
+if [ "${1:-}" = "--cluster" ]; then
+    MODE=cluster
+fi
+
 PORT=${GEOSIR_SCRAPE_PORT:-7431}
+[ "$MODE" = cluster ] && PORT=$((PORT + 10))
 MPORT=$((PORT + 1))
 DATA=$(mktemp -d "${TMPDIR:-/tmp}/geosir-scrape.XXXXXX")
 SERVER_PID=""
@@ -26,9 +40,15 @@ cleanup() {
 }
 trap cleanup EXIT
 
-"$BIN" serve "127.0.0.1:$PORT" --data-dir "$DATA" \
-    --metrics-addr "127.0.0.1:$MPORT" &
-SERVER_PID=$!
+if [ "$MODE" = cluster ]; then
+    "$BIN" cluster "127.0.0.1:$PORT" --shards 2 --replicas 1 \
+        --data-dir "$DATA" --metrics-addr "127.0.0.1:$MPORT" &
+    SERVER_PID=$!
+else
+    "$BIN" serve "127.0.0.1:$PORT" --data-dir "$DATA" \
+        --metrics-addr "127.0.0.1:$MPORT" &
+    SERVER_PID=$!
+fi
 
 http_get() { # path -> response on stdout
     # `|| return 1` is load-bearing: a bare failed `exec 3<>` inside an
@@ -44,7 +64,8 @@ http_get() { # path -> response on stdout
 
 # Wait for both listeners, then drive load through the wire so the
 # series have something to show: each `geosir stats` round-trips a
-# Stats and a MetricsDump frame through the read queue.
+# Stats and a MetricsDump frame through the read queue (and, in cluster
+# mode, scatters them across every shard).
 for i in $(seq 1 50); do
     if http_get /metrics >/dev/null 2>&1; then break; fi
     sleep 0.2
@@ -59,23 +80,79 @@ case "$BODY" in
     *) echo "metrics_scrape: /metrics not 200:"; echo "$BODY"; exit 1 ;;
 esac
 
-# Core series must exist with a non-zero value.
-for series in \
-    'geosir_requests_total' \
-    'geosir_request_latency_us_count{type="stats"}' \
-    'geosir_snapshot_epoch'; do
-    value=$(printf '%s\n' "$BODY" | grep -F "$series " | head -1 | awk '{print $NF}')
+# Both helpers avoid early-exit pipe consumers (`grep -q`, `head -1`):
+# under `set -o pipefail` those close the pipe on first match and the
+# still-writing printf dies with SIGPIPE, failing the pipeline — and
+# the check — even though the series IS in the body. awk reading to EOF
+# and bash `case` have no such race.
+require_nonzero() { # series-prefix
+    value=$(printf '%s\n' "$BODY" \
+        | awk -v s="$1 " 'index($0, s) == 1 && !found { v = $NF; found = 1 }
+                          END { if (found) print v }')
     if [ -z "$value" ] || [ "$value" = 0 ]; then
-        echo "metrics_scrape: series $series missing or zero (got '$value')" >&2
+        echo "metrics_scrape: series $1 missing or zero (got '$value')" >&2
         printf '%s\n' "$BODY" >&2
         exit 1
     fi
-done
-# Queue gauges are legitimately 0 when drained — presence is the check.
-for series in 'geosir_queue_depth{queue="read"}' 'geosir_queue_depth{queue="write"}'; do
-    printf '%s\n' "$BODY" | grep -qF "$series" || {
-        echo "metrics_scrape: series $series missing" >&2; exit 1; }
-done
+}
+
+require_present() { # series-substring
+    case "$BODY" in
+        *"$1"*) ;;
+        *)
+            echo "metrics_scrape: series $1 missing" >&2
+            printf '%s\n' "$BODY" >&2
+            exit 1
+            ;;
+    esac
+}
+
+if [ "$MODE" = cluster ]; then
+    # Federated view: merged unlabeled totals AND per-shard labels from
+    # one endpoint, with router-native and replication-lag series.
+    require_nonzero 'geosir_requests_total'
+    require_nonzero 'geosir_requests_total{shard="0"}'
+    require_nonzero 'geosir_requests_total{shard="1"}'
+    require_nonzero 'geosir_router_scrapes_total'
+    require_present 'geosir_replication_lag_records{shard='
+    require_present 'geosir_replication_lag_ms{shard='
+    require_present 'geosir_queue_depth{queue="read",shard='
+
+    TOPO=$(http_get /debug/cluster)
+    case "$TOPO" in
+        HTTP/1.1\ 200*) ;;
+        *) echo "metrics_scrape: /debug/cluster not 200:"; echo "$TOPO"; exit 1 ;;
+    esac
+    for frag in '"shard":0' '"shard":1' '"state":"closed"' '"lag_records":'; do
+        case "$TOPO" in
+            *"$frag"*) ;;
+            *)
+                echo "metrics_scrape: /debug/cluster missing $frag" >&2
+                printf '%s\n' "$TOPO" >&2
+                exit 1
+                ;;
+        esac
+    done
+
+    FLIGHT=$(http_get /debug/flight)
+    case "$FLIGHT" in
+        HTTP/1.1\ 200*) ;;
+        *) echo "metrics_scrape: /debug/flight not 200:"; echo "$FLIGHT"; exit 1 ;;
+    esac
+
+    echo "metrics_scrape: OK (cluster)"
+    exit 0
+fi
+
+# Core series must exist with a non-zero value.
+require_nonzero 'geosir_requests_total'
+require_nonzero 'geosir_request_latency_us_count{type="stats"}'
+# The epoch is legitimately 0 on a fresh idle base (no write has
+# published a snapshot yet), and queue gauges are legitimately 0 when
+# drained — presence is the check.
+require_present 'geosir_snapshot_epoch '
+require_present 'geosir_queue_depth{queue="read"}'
+require_present 'geosir_queue_depth{queue="write"}'
 
 TRACES=$(http_get /debug/last_queries)
 case "$TRACES" in

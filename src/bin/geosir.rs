@@ -18,9 +18,11 @@
 //! approximate signature-index tier and prints the tier report.
 //! `geosir cluster [ADDR] [--shards N] [--replicas M] [--data-dir DIR]`
 //! boots a sharded cluster behind a scatter-gather router
-//! (see `DESIGN.md` §12), and `geosir topology [ADDR]` prints a running
+//! (see `DESIGN.md` §12), `geosir topology [ADDR]` prints a running
 //! router's per-shard backend table with breaker states and
-//! replication lag.
+//! replication lag, and `geosir top [ADDR] [--interval-ms N] [--once]`
+//! renders a router's federated `/metrics` endpoint as a live
+//! dashboard (see `DESIGN.md` §13).
 
 use std::io::{BufRead, Write};
 
@@ -64,6 +66,13 @@ fn main() {
     if args.first().map(String::as_str) == Some("topology") {
         if let Err(msg) = geosir::cluster_cmd::topology(&args[1..]) {
             eprintln!("geosir topology: {msg}");
+            std::process::exit(2);
+        }
+        return;
+    }
+    if args.first().map(String::as_str) == Some("top") {
+        if let Err(msg) = geosir::top_cmd::run(&args[1..]) {
+            eprintln!("geosir top: {msg}");
             std::process::exit(2);
         }
         return;

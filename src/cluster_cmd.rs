@@ -5,6 +5,7 @@
 //! ```sh
 //! geosir cluster [ADDR] [--shards N] [--replicas M] [--data-dir DIR]
 //!                [--fsync always|interval=<ms>|never] [--workers W]
+//!                [--metrics-addr ADDR] [--slow-query-us T]
 //! geosir topology [ADDR]
 //! ```
 //!
@@ -16,6 +17,13 @@
 //! existing client works unchanged — replies additionally carry
 //! `shards_ok/shards_total` so a caller can tell a partial answer from
 //! a full one.
+//!
+//! With `--metrics-addr` the router also serves its HTTP observability
+//! plane: `GET /metrics` federates every backend's registry with the
+//! router's own (merged cluster totals plus `shard="N"`-labeled
+//! series), and `/debug/cluster` returns the JSON topology + health
+//! view. `geosir top` renders the same endpoint as a live dashboard.
+//! See `DESIGN.md` §13.
 //!
 //! `geosir topology` sends one `Topology` frame to a router and prints
 //! the per-shard backend table: primary and replica addresses, breaker
@@ -46,6 +54,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let mut data_dir: Option<String> = None;
     let mut fsync = FsyncPolicy::Never;
     let mut workers: Option<usize> = None;
+    let mut metrics_addr: Option<String> = None;
+    let mut slow_query_us: Option<u64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -60,11 +70,19 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 fsync = FsyncPolicy::parse(v).map_err(|e| format!("bad --fsync `{v}`: {e}"))?;
             }
             "--workers" => workers = Some(int_flag("--workers", it.next())?),
+            "--metrics-addr" => {
+                metrics_addr =
+                    Some(it.next().ok_or("--metrics-addr needs an address")?.to_string());
+            }
+            "--slow-query-us" => {
+                slow_query_us = Some(int_flag("--slow-query-us", it.next())? as u64);
+            }
             other if !other.starts_with('-') => addr = other.to_string(),
             other => {
                 return Err(format!(
                     "unknown flag {other} (usage: geosir cluster [ADDR] [--shards N] \
-                     [--replicas M] [--data-dir DIR] [--fsync POLICY] [--workers W])"
+                     [--replicas M] [--data-dir DIR] [--fsync POLICY] [--workers W] \
+                     [--metrics-addr ADDR] [--slow-query-us T])"
                 ));
             }
         }
@@ -97,6 +115,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
     if let Some(w) = workers {
         cfg.serve.workers = w;
     }
+    cfg.router.metrics_addr = metrics_addr;
+    if let Some(t) = slow_query_us {
+        cfg.router.slow_query_us = t;
+    }
 
     let cluster = start_cluster(&addr, &template, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
     println!(
@@ -107,6 +129,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
         replicas,
         dir.display()
     );
+    if let Some(m) = cluster.router.metrics_addr() {
+        println!("  observability: http://{m}/metrics (federated), /debug/cluster, /debug/flight");
+    }
     for (i, spec) in cluster.specs.iter().enumerate() {
         let rep = if spec.replicas.is_empty() {
             String::from("no replicas")

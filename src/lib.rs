@@ -27,6 +27,7 @@ pub mod cli;
 pub mod cluster_cmd;
 pub mod server_cmd;
 pub mod system;
+pub mod top_cmd;
 
 pub use geosir_core as core;
 pub use geosir_geom as geom;

@@ -1,0 +1,402 @@
+//! `geosir top` — a live terminal dashboard over a cluster router's
+//! federated `/metrics` endpoint (DESIGN §13).
+//!
+//! ```sh
+//! geosir top [ADDR] [--interval-ms N] [--once]
+//! ```
+//!
+//! `ADDR` is the router's `--metrics-addr` (default `127.0.0.1:9410`).
+//! Each poll fetches the federated Prometheus text plus
+//! `/debug/cluster`, diffs counters and histogram buckets against the
+//! previous poll, and renders per-shard QPS, windowed p50/p99, queue
+//! depth, hedge/failover/drop rates, breaker state, and replication
+//! lag. Quantiles are computed over the *bucket deltas* between polls,
+//! so they describe the last window, not the process lifetime.
+//!
+//! Keybindings: `q` + Enter quits (stdin stays line-buffered — no
+//! termios in the tree); Ctrl-C works as usual. `--once` prints a
+//! single frame without clearing the screen and exits — counters are
+//! then lifetime totals, not rates — which is what scripts and tests
+//! use.
+//!
+//! Std-only by design: hand-rolled HTTP GET and Prometheus text
+//! parsing, same policy as the exposition side in `geosir-obs`.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One scrape, indexed for lookups: plain series by canonical key, and
+/// histogram buckets (cumulative, sorted by `le`) keyed without the
+/// `le` label.
+#[derive(Default)]
+struct Poll {
+    at: Option<Instant>,
+    series: HashMap<String, f64>,
+    buckets: HashMap<String, Vec<(f64, f64)>>,
+}
+
+/// Canonical series key: name plus sorted `k=v` label pairs, so lookup
+/// order never depends on exporter label order.
+fn series_key(name: &str, labels: &[(&str, &str)]) -> String {
+    let mut pairs: Vec<(&str, &str)> = labels.to_vec();
+    pairs.sort();
+    let mut k = String::from(name);
+    for (a, b) in pairs {
+        k.push(';');
+        k.push_str(a);
+        k.push('=');
+        k.push_str(b);
+    }
+    k
+}
+
+fn parse_prometheus(text: &str) -> Poll {
+    let mut poll = Poll { at: Some(Instant::now()), ..Default::default() };
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (head, value) = match line.rsplit_once(' ') {
+            Some(x) => x,
+            None => continue,
+        };
+        let Ok(value) = value.parse::<f64>() else { continue };
+        let (name, mut labels) = match head.split_once('{') {
+            Some((n, rest)) => {
+                let body = rest.strip_suffix('}').unwrap_or(rest);
+                let mut labels: Vec<(String, String)> = Vec::new();
+                // our exporter never emits commas or escapes inside
+                // label values, so a flat split is exact
+                for pair in body.split(',') {
+                    if let Some((k, v)) = pair.split_once('=') {
+                        labels.push((k.to_string(), v.trim_matches('"').to_string()));
+                    }
+                }
+                (n, labels)
+            }
+            None => (head, Vec::new()),
+        };
+        if let Some(base) = name.strip_suffix("_bucket") {
+            let le = match labels.iter().position(|(k, _)| k == "le") {
+                Some(i) => labels.remove(i).1,
+                None => continue,
+            };
+            let le = if le == "+Inf" { f64::INFINITY } else { le.parse().unwrap_or(f64::NAN) };
+            let borrowed: Vec<(&str, &str)> =
+                labels.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+            poll.buckets.entry(series_key(base, &borrowed)).or_default().push((le, value));
+        } else {
+            let borrowed: Vec<(&str, &str)> =
+                labels.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+            poll.series.insert(series_key(name, &borrowed), value);
+        }
+    }
+    for b in poll.buckets.values_mut() {
+        b.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    }
+    poll
+}
+
+impl Poll {
+    fn get(&self, key: &str) -> Option<f64> {
+        self.series.get(key).copied()
+    }
+
+    /// Counter rate against the previous poll, per second; falls back
+    /// to the lifetime total when there is no previous poll (`--once`).
+    fn rate(&self, prev: &Poll, dt: f64, key: &str) -> f64 {
+        let cur = self.get(key).unwrap_or(0.0);
+        match prev.get(key) {
+            Some(p) if dt > 0.0 => (cur - p).max(0.0) / dt,
+            _ => cur,
+        }
+    }
+
+    /// Quantile over the bucket deltas between `prev` and `self`; the
+    /// lifetime distribution when `prev` has no buckets for `key`.
+    fn quantile(&self, prev: &Poll, key: &str, q: f64) -> Option<f64> {
+        let cur = self.buckets.get(key)?;
+        let zero: Vec<(f64, f64)> = Vec::new();
+        let old = prev.buckets.get(key).unwrap_or(&zero);
+        // cumulative counts: the pointwise difference is cumulative too
+        let delta: Vec<(f64, f64)> = cur
+            .iter()
+            .map(|&(le, c)| {
+                let p = old
+                    .iter()
+                    .find(|&&(ole, _)| ole == le || (ole.is_infinite() && le.is_infinite()))
+                    .map(|&(_, v)| v)
+                    .unwrap_or(0.0);
+                (le, (c - p).max(0.0))
+            })
+            .collect();
+        let total = delta.last().map(|&(_, c)| c).unwrap_or(0.0);
+        if total <= 0.0 {
+            return None;
+        }
+        let target = q * total;
+        for &(le, c) in &delta {
+            if c >= target {
+                return Some(le);
+            }
+        }
+        None
+    }
+}
+
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    let mut s = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    s.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    write!(s, "GET {path} HTTP/1.1\r\nHost: geosir\r\nConnection: close\r\n\r\n")
+        .map_err(|e| format!("send to {addr}: {e}"))?;
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).map_err(|e| format!("read from {addr}: {e}"))?;
+    let (head, body) =
+        raw.split_once("\r\n\r\n").ok_or_else(|| format!("malformed reply from {addr}"))?;
+    if !head.starts_with("HTTP/1.1 200") {
+        let status = head.lines().next().unwrap_or("");
+        return Err(format!("{addr}{path}: {status}"));
+    }
+    Ok(body.to_string())
+}
+
+/// Pull the primary breaker state for `shard` out of the
+/// `/debug/cluster` JSON. The document is machine-written by the
+/// router with a fixed shape, so a positional scan is exact enough for
+/// a dashboard — no JSON parser in the tree.
+fn primary_state(cluster_json: &str, shard: usize) -> &str {
+    let pat = format!("\"shard\":{shard},");
+    let Some(i) = cluster_json.find(&pat) else { return "?" };
+    let rest = &cluster_json[i..];
+    let Some(j) = rest.find("\"state\":\"") else { return "?" };
+    let rest = &rest[j + 9..];
+    rest.split('"').next().unwrap_or("?")
+}
+
+fn fmt_us(us: f64) -> String {
+    if us.is_infinite() {
+        ">max".to_string()
+    } else if us >= 1_000_000.0 {
+        format!("{:.2}s", us / 1_000_000.0)
+    } else if us >= 1_000.0 {
+        format!("{:.1}ms", us / 1_000.0)
+    } else {
+        format!("{us:.0}µs")
+    }
+}
+
+fn opt_us(v: Option<f64>) -> String {
+    v.map(fmt_us).unwrap_or_else(|| "-".to_string())
+}
+
+fn shard_label(shard: usize) -> String {
+    shard.to_string()
+}
+
+/// Render one frame from the current and previous polls.
+fn render(addr: &str, cur: &Poll, prev: &Poll, cluster_json: &str, dt: f64) -> String {
+    let mut out = String::with_capacity(2048);
+    let window = if dt > 0.0 { format!("{dt:.1}s window") } else { "lifetime totals".into() };
+    out.push_str(&format!("GEOSIR TOP — {addr}  ({window}; q + Enter to quit)\n"));
+
+    let qps = cur.rate(prev, dt, &series_key("geosir_queries_total", &[]));
+    let p50 = cur.quantile(prev, &series_key("geosir_request_latency_us", &[("type", "query")]), 0.50);
+    let p99 = cur.quantile(prev, &series_key("geosir_request_latency_us", &[("type", "query")]), 0.99);
+    let partial = cur.rate(prev, dt, &series_key("geosir_router_partial_replies_total", &[]));
+    let scrapes = cur.get(&series_key("geosir_router_scrapes_total", &[])).unwrap_or(0.0);
+    let misses = cur.get(&series_key("geosir_router_scrape_misses_total", &[])).unwrap_or(0.0);
+    out.push_str(&format!(
+        "cluster: qps {qps:>8.1}  p50 {:>7}  p99 {:>7}  partial/s {partial:>6.1}  \
+         scrapes {scrapes:.0} (missed {misses:.0})\n\n",
+        opt_us(p50),
+        opt_us(p99),
+    ));
+    out.push_str(
+        "shard      qps      p50      p99  queue  hedge/s  fail/s  drop/s     lag(rec/ms)  primary\n",
+    );
+
+    for shard in 0.. {
+        let l = shard_label(shard);
+        let lbl: &[(&str, &str)] = &[("shard", &l)];
+        // the router exports this counter for every shard it routes to;
+        // when it disappears we have walked off the end of the cluster
+        if cur.get(&series_key("geosir_router_shard_queries_total", lbl)).is_none() {
+            break;
+        }
+        let qps = cur.rate(prev, dt, &series_key("geosir_queries_total", lbl));
+        let p50 = cur.quantile(
+            prev,
+            &series_key("geosir_request_latency_us", &[("type", "query"), ("shard", &l)]),
+            0.50,
+        );
+        let p99 = cur.quantile(
+            prev,
+            &series_key("geosir_request_latency_us", &[("type", "query"), ("shard", &l)]),
+            0.99,
+        );
+        let queue = cur
+            .get(&series_key("geosir_queue_depth", &[("queue", "read"), ("shard", &l)]))
+            .unwrap_or(0.0);
+        let hedges = cur.rate(prev, dt, &series_key("geosir_router_hedges_total", lbl));
+        let fails = cur.rate(prev, dt, &series_key("geosir_router_failovers_total", lbl));
+        let drops = cur.rate(prev, dt, &series_key("geosir_router_shard_dropped_total", lbl));
+        let lag_rec =
+            cur.get(&series_key("geosir_replication_lag_records", lbl)).unwrap_or(0.0);
+        let lag_ms = cur.get(&series_key("geosir_replication_lag_ms", lbl)).unwrap_or(0.0);
+        out.push_str(&format!(
+            "{shard:>5} {qps:>8.1} {:>8} {:>8} {queue:>6.0} {hedges:>8.1} {fails:>7.1} \
+             {drops:>7.1} {:>15}  {}\n",
+            opt_us(p50),
+            opt_us(p99),
+            format!("{lag_rec:.0}/{lag_ms:.0}"),
+            primary_state(cluster_json, shard),
+        ));
+    }
+    out
+}
+
+/// Parse `args` (everything after the literal `top`) and run the
+/// dashboard until `q`/EOF/Ctrl-C.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:9410".to_string();
+    let mut interval = Duration::from_millis(1000);
+    let mut once = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--interval-ms" => {
+                let v = it.next().ok_or("--interval-ms needs a value")?;
+                let ms: u64 =
+                    v.parse().map_err(|_| "--interval-ms needs an integer".to_string())?;
+                interval = Duration::from_millis(ms.max(100));
+            }
+            "--once" => once = true,
+            other if !other.starts_with('-') => addr = other.to_string(),
+            other => {
+                return Err(format!(
+                    "unknown flag {other} (usage: geosir top [ADDR] [--interval-ms N] [--once])"
+                ));
+            }
+        }
+    }
+
+    let fetch = |addr: &str| -> Result<(Poll, String), String> {
+        let metrics = http_get(addr, "/metrics")?;
+        let cluster = http_get(addr, "/debug/cluster").unwrap_or_default();
+        Ok((parse_prometheus(&metrics), cluster))
+    };
+
+    if once {
+        let (cur, cluster) = fetch(&addr)?;
+        print!("{}", render(&addr, &cur, &Poll::default(), &cluster, 0.0));
+        return Ok(());
+    }
+
+    // `q` + Enter stops the loop; a reader thread keeps the main loop
+    // free to poll on its interval.
+    let stop = Arc::new(AtomicBool::new(false));
+    {
+        let stop = stop.clone();
+        std::thread::Builder::new()
+            .name("geosir-top-keys".into())
+            .spawn(move || {
+                let stdin = std::io::stdin();
+                for line in stdin.lock().lines() {
+                    match line {
+                        Ok(l) if l.trim() == "q" || l.trim() == "quit" => break,
+                        Ok(_) => continue,
+                        Err(_) => break,
+                    }
+                }
+                stop.store(true, Ordering::SeqCst);
+            })
+            .map_err(|e| format!("spawn key reader: {e}"))?;
+    }
+
+    let mut prev = Poll::default();
+    while !stop.load(Ordering::SeqCst) {
+        let (cur, cluster) = fetch(&addr)?;
+        let dt = match (prev.at, cur.at) {
+            (Some(a), Some(b)) => b.duration_since(a).as_secs_f64(),
+            _ => 0.0,
+        };
+        // ANSI clear + home; every frame is a full repaint
+        let frame = render(&addr, &cur, &prev, &cluster, dt);
+        print!("\x1b[2J\x1b[H{frame}");
+        std::io::stdout().flush().ok();
+        prev = cur;
+        let slept = Instant::now();
+        while slept.elapsed() < interval && !stop.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_series_and_buckets() {
+        let text = "\
+# TYPE geosir_queries_total counter
+geosir_queries_total 42
+geosir_queries_total{shard=\"0\"} 21
+geosir_request_latency_us_bucket{type=\"query\",le=\"100\"} 5
+geosir_request_latency_us_bucket{type=\"query\",le=\"200\"} 9
+geosir_request_latency_us_bucket{type=\"query\",le=\"+Inf\"} 10
+geosir_request_latency_us_count{type=\"query\"} 10
+";
+        let p = parse_prometheus(text);
+        assert_eq!(p.get(&series_key("geosir_queries_total", &[])), Some(42.0));
+        assert_eq!(p.get(&series_key("geosir_queries_total", &[("shard", "0")])), Some(21.0));
+        let b = &p.buckets[&series_key("geosir_request_latency_us", &[("type", "query")])];
+        assert_eq!(b.len(), 3);
+        assert_eq!(b[0], (100.0, 5.0));
+        assert!(b[2].0.is_infinite());
+    }
+
+    #[test]
+    fn quantiles_use_window_deltas() {
+        let key = series_key("geosir_request_latency_us", &[("type", "query")]);
+        let mut prev = Poll::default();
+        prev.buckets.insert(key.clone(), vec![(100.0, 100.0), (200.0, 100.0), (f64::INFINITY, 100.0)]);
+        let mut cur = Poll::default();
+        // all 10 new samples in the window landed in the 100–200µs bucket
+        cur.buckets.insert(key.clone(), vec![(100.0, 100.0), (200.0, 110.0), (f64::INFINITY, 110.0)]);
+        assert_eq!(cur.quantile(&prev, &key, 0.50), Some(200.0));
+        // lifetime view without a previous poll is dominated by the old fast samples
+        assert_eq!(cur.quantile(&Poll::default(), &key, 0.50), Some(100.0));
+        // an idle window (no new samples) has no quantile
+        let mut same = Poll::default();
+        same.buckets.insert(key.clone(), prev.buckets[&key].clone());
+        assert_eq!(prev.quantile(&same, &key, 0.5), None);
+    }
+
+    #[test]
+    fn rate_falls_back_to_totals_without_prev() {
+        let key = series_key("geosir_queries_total", &[]);
+        let mut cur = Poll::default();
+        cur.series.insert(key.clone(), 500.0);
+        let mut prev = Poll::default();
+        assert_eq!(cur.rate(&prev, 0.0, &key), 500.0, "no prev → lifetime total");
+        prev.series.insert(key.clone(), 400.0);
+        assert_eq!(cur.rate(&prev, 2.0, &key), 50.0, "delta over window");
+    }
+
+    #[test]
+    fn primary_state_scan() {
+        let json = "{\"router\":\"127.0.0.1:1\",\"shards\":[\
+            {\"shard\":0,\"primary\":{\"addr\":\"a\",\"state\":\"closed\"},\"replicas\":[]},\
+            {\"shard\":1,\"primary\":{\"addr\":\"b\",\"state\":\"open\"},\"replicas\":[]}]}";
+        assert_eq!(primary_state(json, 0), "closed");
+        assert_eq!(primary_state(json, 1), "open");
+        assert_eq!(primary_state(json, 7), "?");
+    }
+}
