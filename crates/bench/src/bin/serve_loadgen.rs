@@ -92,6 +92,19 @@
 //! cargo run --release -p geosir-bench --bin serve_loadgen -- \
 //!     --scrape-ab --warmup-secs 1 --measure-secs 16 800
 //! ```
+//!
+//! With `--health-ab` it measures the **health-plane tax**: two
+//! identically provisioned durable single nodes — one with the health
+//! plane off, one with the watchdog + SLO engine + journal sink on and
+//! an operator probe polling `/healthz` + `/readyz` at 10 Hz — driven
+//! in interleaved rounds with alternating order so base growth and
+//! host drift land on both sides equally. Writes `BENCH_10.json`; the
+//! budget (enforced by `scripts/bench_compare.sh`) is ≤3% qps:
+//!
+//! ```sh
+//! cargo run --release -p geosir-bench --bin serve_loadgen -- \
+//!     --health-ab --warmup-secs 1 --measure-secs 16 800
+//! ```
 
 use geosir_bench::{percentile_us, scaling_corpus};
 use geosir_serve::obs::Snapshot;
@@ -104,8 +117,8 @@ use geosir_imaging::synth::random_simple_polygon;
 use geosir_serve::cluster::ClusterConfig;
 use geosir_serve::wire::{ServerStats, WireShape};
 use geosir_serve::{
-    serve, serve_durable, BaseTemplate, Client, DurabilityConfig, Frame, PipelinedClient,
-    ServeConfig, ServerHandle,
+    serve, serve_durable, BaseTemplate, Client, DurabilityConfig, Frame, HealthConfig,
+    PipelinedClient, ServeConfig, ServerHandle,
 };
 use geosir_storage::wal::FsyncPolicy;
 use rand::prelude::*;
@@ -137,6 +150,7 @@ struct Args {
     c10k: bool,
     cluster: bool,
     scrape_ab: bool,
+    health_ab: bool,
     pipeline_depth: usize,
     idle_conns: usize,
     backend: Backend,
@@ -154,6 +168,7 @@ fn parse_args() -> Args {
         c10k: false,
         cluster: false,
         scrape_ab: false,
+        health_ab: false,
         pipeline_depth: 32,
         // In-process loadgen holds BOTH ends of every socket (2 fds per
         // connection), so the default stays under a 20 000-fd rlimit
@@ -178,6 +193,7 @@ fn parse_args() -> Args {
             "--c10k" => args.c10k = true,
             "--cluster" => args.cluster = true,
             "--scrape-ab" => args.scrape_ab = true,
+            "--health-ab" => args.health_ab = true,
             "--pipeline-depth" => {
                 args.pipeline_depth = (num(it.next(), "--pipeline-depth") as usize).max(1)
             }
@@ -1723,6 +1739,170 @@ fn run_scrape_ab(args: &Args, cores: usize) {
     println!("wrote BENCH_9.json (federated scrape A/B)");
 }
 
+/// The `--health-ab` mode: health-plane tax on a single durable node.
+/// Two identically provisioned durable servers — health plane disabled
+/// vs enabled (watchdog thread + SLO burn-rate engine + journal sink)
+/// with an operator probe polling `/healthz` and `/readyz` at 10 Hz —
+/// driven in interleaved rounds with alternating order so base growth
+/// and host drift land on both sides equally. Writes `BENCH_10.json`;
+/// the budget (enforced by `scripts/bench_compare.sh`) is ≤3% qps.
+fn run_health_ab(args: &Args, cores: usize) {
+    let (shapes, _) = scaling_corpus(args.n_shapes);
+    let template = base_template(args.backend);
+    let scratch = |name: &str| {
+        let mut d = std::env::temp_dir();
+        d.push(format!("geosir-healthbench-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    };
+    let dir_off = scratch("off");
+    let dir_on = scratch("on");
+    let qcap = 4 * args.connections.max(1);
+    let (off_handle, _) = serve_durable(
+        "127.0.0.1:0",
+        &template,
+        DurabilityConfig::new(&dir_off),
+        ServeConfig {
+            queue_cap: qcap,
+            health: HealthConfig { enabled: false, ..HealthConfig::default() },
+            ..Default::default()
+        },
+    )
+    .expect("bind health-off server");
+    let (on_handle, _) = serve_durable(
+        "127.0.0.1:0",
+        &template,
+        DurabilityConfig::new(&dir_on),
+        ServeConfig {
+            queue_cap: qcap,
+            metrics_addr: Some("127.0.0.1:0".into()),
+            ..Default::default()
+        },
+    )
+    .expect("bind health-on server");
+    let probe_addr = on_handle.metrics_addr().expect("health endpoint enabled");
+    for (label, addr) in [("off", off_handle.addr()), ("on", on_handle.addr())] {
+        let mut loader = Client::connect(addr).expect("loader connect");
+        for (image, shape) in &shapes {
+            loader.insert_retrying(image.0, shape).expect("health-ab ingest");
+        }
+        println!("health-{label} durable server up on {addr}");
+    }
+    println!("operator probe target: {probe_addr} (/healthz + /readyz)");
+
+    // joint warm-up on both nodes: queues, buffer pools, and the
+    // on-side watchdog's first verdicts settle before either side is
+    // charged a window
+    let mut warm = args.clone();
+    warm.warmup_secs = 0.0;
+    warm.measure_secs = (args.warmup_secs / 2.0).max(0.5);
+    drive_router(off_handle.addr(), &warm, args.connections);
+    drive_router(on_handle.addr(), &warm, args.connections);
+
+    const ROUNDS: usize = 4;
+    // A kubelet-style probe cadence: readiness consumers poll fast, so
+    // the bench must too.
+    const PROBE_INTERVAL: Duration = Duration::from_millis(100);
+    let mut wargs = args.clone();
+    wargs.warmup_secs = 0.2;
+    wargs.measure_secs = args.measure_secs / (2 * ROUNDS) as f64;
+    let merge = |merged: &mut RouterWindow, r: RouterWindow| {
+        merged.latencies_us.extend(r.latencies_us);
+        merged.requests += r.requests;
+        merged.queries += r.queries;
+        merged.answered += r.answered;
+        merged.partial += r.partial;
+        merged.inserts += r.inserts;
+        merged.busy_rejects += r.busy_rejects;
+        merged.query_busy += r.query_busy;
+        merged.elapsed += r.elapsed;
+    };
+    let mut off = RouterWindow::default();
+    let mut on = RouterWindow::default();
+    let mut probes = 0u64;
+    let mut probe_bytes = 0u64;
+    for round in 1..=ROUNDS {
+        // alternate which side goes first so closed-loop base growth
+        // and host drift are billed to both sides equally
+        let order = if round % 2 == 1 { [false, true] } else { [true, false] };
+        for probed in order {
+            if !probed {
+                merge(&mut off, drive_router(off_handle.addr(), &wargs, args.connections));
+                continue;
+            }
+            let probing = Arc::new(AtomicBool::new(true));
+            let prober = {
+                let probing = probing.clone();
+                std::thread::spawn(move || {
+                    let (mut n, mut bytes) = (0u64, 0u64);
+                    while probing.load(Ordering::Relaxed) {
+                        for path in ["/healthz", "/readyz"] {
+                            if let Ok(len) = scrape_once(probe_addr, path) {
+                                n += 1;
+                                bytes += len as u64;
+                            }
+                        }
+                        std::thread::sleep(PROBE_INTERVAL);
+                    }
+                    (n, bytes)
+                })
+            };
+            merge(&mut on, drive_router(on_handle.addr(), &wargs, args.connections));
+            probing.store(false, Ordering::Relaxed);
+            let (n, bytes) = prober.join().expect("prober thread");
+            probes += n;
+            probe_bytes += bytes;
+        }
+    }
+    assert!(probes > 0, "the operator probe never completed a health check");
+
+    let (off_qps, on_qps) = (off.qps(), on.qps());
+    let (off_p50, off_p99) = (off.p50(), off.p99());
+    let (on_p50, on_p99) = (on.p50(), on.p99());
+    let overhead_pct = (off_qps - on_qps) / off_qps.max(1e-9) * 100.0;
+    let snap = on_handle.registry().snapshot();
+    let ready = snap.gauge("geosir_ready", &[]);
+    let journal_errors = snap.counter("geosir_journal_errors_total", &[]);
+    println!(
+        "health-plane tax: {overhead_pct:.2}% ({off_qps:.0} → {on_qps:.0} qps over \
+         {ROUNDS} interleaved rounds; {probes} probes every {} ms, avg {} bytes, \
+         final ready={ready}, journal errors {journal_errors})",
+        PROBE_INTERVAL.as_millis(),
+        probe_bytes / probes.max(1),
+    );
+
+    let side_secs = off.elapsed;
+    let json = format!(
+        "{{\n  \"bench\": \"serve_loadgen_health_ab\",\n  \"corpus\": \"scaling_polylog\",\n  \
+         \"topology\": \"two durable single nodes, health off vs on\",\n  \"n_shapes\": {},\n  \
+         \"host_cores\": {cores},\n  \"connections\": {},\n  \"insert_permille\": {},\n  \
+         \"rounds\": {ROUNDS},\n  \"measure_secs_per_side\": {side_secs:.2},\n  \
+         \"probe_interval_ms\": {},\n  \"probes\": {probes},\n  \
+         \"probe_bytes_avg\": {},\n  \"overhead_pct\": {overhead_pct:.2},\n  \
+         \"health_off\": {{ \"qps\": {off_qps:.1}, \"p50_us\": {off_p50}, \
+         \"p99_us\": {off_p99}, \"requests\": {} }},\n  \
+         \"health_on\": {{ \"qps\": {on_qps:.1}, \"p50_us\": {on_p50}, \
+         \"p99_us\": {on_p99}, \"requests\": {} }},\n  \
+         \"health\": {{ \"final_ready\": {ready}, \
+         \"journal_errors_total\": {journal_errors} }}\n}}\n",
+        args.n_shapes,
+        args.connections,
+        args.insert_permille,
+        PROBE_INTERVAL.as_millis(),
+        probe_bytes / probes.max(1),
+        off.requests,
+        on.requests,
+    );
+    off_handle.shutdown();
+    on_handle.shutdown();
+    off_handle.join();
+    on_handle.join();
+    cleanup_dir(&dir_off);
+    cleanup_dir(&dir_on);
+    std::fs::write("BENCH_10.json", &json).expect("write BENCH_10.json");
+    println!("wrote BENCH_10.json (health-plane A/B)");
+}
+
 fn main() {
     let args = parse_args();
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -1743,6 +1923,11 @@ fn main() {
 
     if args.scrape_ab {
         run_scrape_ab(&args, cores);
+        return;
+    }
+
+    if args.health_ab {
+        run_health_ab(&args, cores);
         return;
     }
 

@@ -456,8 +456,18 @@ impl DynamicBase {
             return;
         }
         self.shapes_rebuilt += pool.len() as u64;
+        let rebuilt = pool.len();
         self.levels[slot] =
             Some(Arc::new(Level::build(pool, self.alpha, self.backend, &self.config, &self.family)));
+        // Lifecycle journal: large carries (high slots) are the rebuilds
+        // worth explaining when someone asks why a write spiked.
+        obs::with_current(|r| {
+            r.journal().emit(
+                obs::JournalEvent::new(obs::Severity::Info, "cascade.level")
+                    .with("slot", slot)
+                    .with("shapes", rebuilt),
+            );
+        });
     }
 
     /// k best live shapes across all levels and the buffer.

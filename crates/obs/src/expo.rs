@@ -119,11 +119,15 @@ pub fn handle_connection(stream: &mut TcpStream, registry: &Registry) -> io::Res
             let body = registry.flight().to_json();
             respond(stream, 200, "application/json", &body)
         }
+        "/debug/journal" => {
+            let body = registry.journal().to_json();
+            respond(stream, 200, "application/json", &body)
+        }
         _ => respond(
             stream,
             404,
             "text/plain",
-            "not found; try /metrics, /debug/last_queries, or /debug/flight",
+            "not found; try /metrics, /debug/last_queries, /debug/flight, or /debug/journal",
         ),
     }
 }

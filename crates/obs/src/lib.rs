@@ -34,15 +34,19 @@
 
 pub mod expo;
 pub mod flight;
+pub mod journal;
 pub mod registry;
+pub mod slo;
 pub mod span;
 pub mod trace;
 
 pub use flight::{FlightRecorder, QueryProfile};
+pub use journal::{Journal, JournalEvent, Severity};
 pub use registry::{
     bucket_index, bucket_upper_bound, merged_quantile, Counter, Gauge, GaugePolicy, Histogram,
     Registry, SnapEntry, SnapHistogram, SnapValue, Snapshot, HISTOGRAM_BUCKETS,
 };
+pub use slo::{alerting, BurnRate, Objective, ObjectiveKind, SloEngine};
 pub use span::SpanGuard;
 pub use trace::{TraceEvent, TraceLog};
 

@@ -25,6 +25,7 @@ use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
 use crate::flight::FlightRecorder;
+use crate::journal::Journal;
 use crate::trace::TraceLog;
 
 /// Number of histogram buckets: values 0..15 exactly, then four
@@ -249,6 +250,7 @@ pub struct Registry {
     series: RwLock<HashMap<String, Vec<(LabelSet, Metric)>>>,
     traces: TraceLog,
     flight: FlightRecorder,
+    journal: Journal,
 }
 
 impl Default for Registry {
@@ -275,6 +277,7 @@ impl Registry {
             series: RwLock::new(HashMap::new()),
             traces: TraceLog::new(128),
             flight: FlightRecorder::new(256),
+            journal: Journal::new(256),
         }
     }
 
@@ -292,6 +295,11 @@ impl Registry {
     /// on-disk crash dump.
     pub fn flight(&self) -> &FlightRecorder {
         &self.flight
+    }
+
+    /// Structured lifecycle-event journal backing `/debug/journal`.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
     }
 
     fn lookup<T, F, N>(&self, name: &str, labels: &[(&str, &str)], found: F, make: N) -> Arc<T>

@@ -227,11 +227,36 @@ enum BreakerState {
 /// after every attempt.
 struct Breaker {
     state: Mutex<BreakerState>,
+    /// Journal context (registry + backend address) when owned by a
+    /// router: state transitions become `breaker.*` lifecycle events.
+    journal: Option<(Arc<obs::Registry>, SocketAddr)>,
 }
 
 impl Breaker {
+    /// A journal-less breaker (unit tests exercise the state machine
+    /// without a router).
+    #[cfg(test)]
     fn new() -> Breaker {
-        Breaker { state: Mutex::new(BreakerState::Closed { strikes: 0 }) }
+        Breaker { state: Mutex::new(BreakerState::Closed { strikes: 0 }), journal: None }
+    }
+
+    fn with_journal(registry: Arc<obs::Registry>, backend: SocketAddr) -> Breaker {
+        Breaker {
+            state: Mutex::new(BreakerState::Closed { strikes: 0 }),
+            journal: Some((registry, backend)),
+        }
+    }
+
+    fn journal_transition(&self, from: &BreakerState, to: &BreakerState) {
+        let Some((reg, backend)) = &self.journal else { return };
+        let (sev, code) = match (from, to) {
+            (BreakerState::Open { .. }, BreakerState::Open { .. }) => return,
+            (BreakerState::Closed { .. }, BreakerState::Closed { .. }) => return,
+            (_, BreakerState::Open { .. }) => (obs::Severity::Warn, "breaker.open"),
+            (_, BreakerState::HalfOpen) => (obs::Severity::Info, "breaker.half_open"),
+            (_, BreakerState::Closed { .. }) => (obs::Severity::Info, "breaker.close"),
+        };
+        reg.journal().emit(obs::JournalEvent::new(sev, code).with("backend", backend));
     }
 
     fn allow(&self) -> bool {
@@ -241,6 +266,7 @@ impl Breaker {
             BreakerState::Open { until } => {
                 if Instant::now() >= until {
                     // one caller becomes the half-open probe
+                    self.journal_transition(&BreakerState::Open { until }, &BreakerState::HalfOpen);
                     *s = BreakerState::HalfOpen;
                     true
                 } else {
@@ -254,7 +280,7 @@ impl Breaker {
 
     fn record(&self, ok: bool, cfg: &RouterConfig) {
         let mut s = self.state.lock().unwrap();
-        *s = if ok {
+        let next = if ok {
             BreakerState::Closed { strikes: 0 }
         } else {
             match *s {
@@ -266,6 +292,8 @@ impl Breaker {
                 _ => BreakerState::Open { until: Instant::now() + cfg.breaker_cooldown },
             }
         };
+        self.journal_transition(&s, &next);
+        *s = next;
     }
 
     /// Wire health code: 0 closed (healthy), 1 open (down), 2 half-open.
@@ -444,9 +472,9 @@ impl Router {
         };
         let mut breakers = HashMap::new();
         for spec in &shards {
-            breakers.insert(spec.primary, Breaker::new());
+            breakers.insert(spec.primary, Breaker::with_journal(registry.clone(), spec.primary));
             for &r in &spec.replicas {
-                breakers.insert(r, Breaker::new());
+                breakers.insert(r, Breaker::with_journal(registry.clone(), r));
             }
         }
         let per_shard = (0..shards.len())
@@ -1364,7 +1392,13 @@ fn federated_snapshot(state: &RouterState, conns: &mut Conns) -> obs::Snapshot {
                 out.merge(&snap.relabeled("shard", &shard.to_string()));
                 out.merge(&snap);
             }
-            None => state.scrape_misses.inc(),
+            None => {
+                state.scrape_misses.inc();
+                state.registry.journal().emit(
+                    obs::JournalEvent::new(obs::Severity::Warn, "scrape.miss")
+                        .with("shard", shard),
+                );
+            }
         }
     }
     state.scrapes.inc();
@@ -1398,6 +1432,15 @@ fn serve_obs(stream: &mut TcpStream, state: &RouterState, conns: &mut Conns) -> 
             let body = obs::expo::render_prometheus(&federated_snapshot(state, conns));
             respond(stream, 200, "text/plain; version=0.0.4", &body)
         }
+        "/healthz" => {
+            // The router's liveness is the obs loop itself: answering at
+            // all proves the accept loop and its backend plumbing run.
+            respond(stream, 200, "application/json", "{\"status\":\"ok\",\"role\":\"router\"}")
+        }
+        "/readyz" => {
+            let (status, body) = router_readyz(state, conns);
+            respond(stream, status, "application/json", &body)
+        }
         "/debug/cluster" => respond(stream, 200, "application/json", &cluster_json(state)),
         "/debug/flight" => {
             respond(stream, 200, "application/json", &state.registry.flight().to_json())
@@ -1405,13 +1448,105 @@ fn serve_obs(stream: &mut TcpStream, state: &RouterState, conns: &mut Conns) -> 
         "/debug/last_queries" => {
             respond(stream, 200, "application/json", &state.registry.traces().to_json())
         }
+        "/debug/journal" => {
+            respond(stream, 200, "application/json", &state.registry.journal().to_json())
+        }
         _ => respond(
             stream,
             404,
             "text/plain",
-            "not found; try /metrics, /debug/cluster, /debug/flight, or /debug/last_queries",
+            "not found; try /metrics, /healthz, /readyz, /debug/cluster, /debug/flight, /debug/last_queries, or /debug/journal",
         ),
     }
+}
+
+/// Cluster-wide readiness: scatter a `MetricsDump` to every shard and
+/// fold each reply's health gauges into a per-shard verdict. A shard is
+/// ready when some backend answered, its own watchdog published
+/// `geosir_ready=1` (absent = health plane disabled = trusted), and the
+/// primary's breaker is not open (reads may fail over, writes cannot).
+fn router_readyz(state: &RouterState, conns: &mut Conns) -> (u16, String) {
+    const COMPONENTS: [&str; 4] = ["wal_writer", "event_loop", "queues", "slo"];
+    let local = state.registry.snapshot();
+    let mut all_ready = true;
+    let mut out = String::with_capacity(128 + state.shards.len() * 256);
+    out.push_str("\"shards\":[");
+    for (shard, spec) in state.shards.iter().enumerate() {
+        let deadline = Instant::now() + state.cfg.shard_deadline;
+        let mut got = None;
+        for addr in state.read_candidates(shard) {
+            if let Ok(Frame::MetricsReport { snapshot }) = try_backend(
+                state,
+                conns,
+                shard,
+                addr,
+                &Frame::MetricsDump,
+                state.cfg.shard_deadline,
+                deadline,
+            ) {
+                if let Some(snap) = obs::Snapshot::decode(&snapshot) {
+                    got = Some((addr, snap));
+                    break;
+                }
+            }
+        }
+        let breaker = state.breaker(spec.primary).code();
+        let lbl = shard.to_string();
+        let lag_records = local.gauge("geosir_replication_lag_records", &[("shard", &lbl)]);
+        let lag_ms = local.gauge("geosir_replication_lag_ms", &[("shard", &lbl)]);
+        if shard > 0 {
+            out.push(',');
+        }
+        match got {
+            Some((addr, snap)) => {
+                // Absent gauge = shard runs without the health plane;
+                // reachability is then the only readiness signal.
+                let shard_ready = match snap.get("geosir_ready", &[]) {
+                    Some(obs::SnapValue::Gauge(v, _)) => *v != 0,
+                    _ => true,
+                };
+                let ready = shard_ready && breaker != 1;
+                all_ready &= ready;
+                out.push_str(&format!(
+                    "{{\"shard\":{shard},\"ready\":{ready},\"source\":\"{addr}\",\
+                     \"read_only\":{},\"primary_breaker\":\"{}\",\
+                     \"lag_records\":{lag_records},\"lag_ms\":{lag_ms},\"components\":{{",
+                    snap.gauge("geosir_read_only", &[]) != 0,
+                    breaker_name(breaker),
+                ));
+                for (i, c) in COMPONENTS.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let status = snap.gauge("geosir_health_status", &[("component", c)]);
+                    out.push_str(&format!(
+                        "\"{c}\":\"{}\"",
+                        crate::health::status_name(status.clamp(0, 255) as u8)
+                    ));
+                }
+                out.push_str("}}");
+            }
+            None => {
+                all_ready = false;
+                state.scrape_misses.inc();
+                state.registry.journal().emit(
+                    obs::JournalEvent::new(obs::Severity::Warn, "scrape.miss")
+                        .with("shard", shard)
+                        .with("probe", "readyz"),
+                );
+                out.push_str(&format!(
+                    "{{\"shard\":{shard},\"ready\":false,\"source\":null,\
+                     \"primary_breaker\":\"{}\",\
+                     \"lag_records\":{lag_records},\"lag_ms\":{lag_ms},\
+                     \"detail\":\"no backend answered MetricsDump\"}}",
+                    breaker_name(breaker),
+                ));
+            }
+        }
+    }
+    out.push(']');
+    let body = format!("{{\"ready\":{all_ready},{out}}}");
+    (if all_ready { 200 } else { 503 }, body)
 }
 
 fn breaker_name(code: u8) -> &'static str {
@@ -1510,6 +1645,10 @@ pub struct ClusterConfig {
     /// Fault-injection hook for the *shipping* destination files (the
     /// chaos harness delays/tears the shipped stream here).
     pub ship_factory: Option<Arc<dyn geosir_storage::faults::IoFactory>>,
+    /// Per-shard fault-injection hook for a primary's own WAL files:
+    /// `(shard, factory)` — the chaos harness stalls shard `shard`'s
+    /// writer here to watch federated readiness degrade.
+    pub shard_wal_factory: Option<(usize, Arc<dyn geosir_storage::faults::IoFactory>)>,
 }
 
 impl ClusterConfig {
@@ -1524,6 +1663,7 @@ impl ClusterConfig {
             checkpoint_every: u64::MAX / 2,
             repl_interval: Duration::from_millis(10),
             ship_factory: None,
+            shard_wal_factory: None,
         }
     }
 }
@@ -1559,6 +1699,22 @@ impl Cluster {
             repl.stop();
             server.shutdown();
         }
+    }
+
+    /// Retire replica `r` of shard `s`'s *server* while its replication
+    /// thread keeps shipping — the in-process stand-in for a SIGKILLed
+    /// replica: applies start failing, lag builds, and the drain
+    /// monitor journals `repl.stuck`.
+    pub fn kill_replica_server(&mut self, s: usize, r: usize) {
+        if let Some((server, _repl)) = &self.replicas[s][r] {
+            server.shutdown();
+        }
+    }
+
+    /// Shard `s`'s primary health/metrics listener, when the
+    /// per-backend [`ServeConfig::metrics_addr`] is set.
+    pub fn primary_metrics_addr(&self, s: usize) -> Option<SocketAddr> {
+        self.primaries[s].as_ref().and_then(|h| h.metrics_addr())
     }
 
     /// Gracefully stop shard `s`'s primary.
@@ -1620,9 +1776,14 @@ pub fn start_cluster(
     let mut recovery = Vec::with_capacity(cfg.shards);
     for s in 0..cfg.shards {
         let shard_dir = cfg.data_dir.join(format!("shard-{s}"));
+        let wal_factory = match &cfg.shard_wal_factory {
+            Some((shard, f)) if *shard == s => Some(f.clone()),
+            _ => None,
+        };
         let dcfg = DurabilityConfig {
             fsync: cfg.fsync,
             checkpoint_every: cfg.checkpoint_every,
+            io_factory: wal_factory,
             ..DurabilityConfig::new(&shard_dir)
         };
         let (primary, report) = serve_durable("127.0.0.1:0", template, dcfg, cfg.serve.clone())?;

@@ -53,6 +53,10 @@ pub struct DurabilityConfig {
     /// pass a [`geosir_storage::faults::FaultyFactory`]; `None` uses
     /// real files.
     pub io_factory: Option<Arc<dyn IoFactory>>,
+    /// Injectable factory for the lifecycle journal's rotating JSONL
+    /// (separate from the WAL's so a stalled log never implies a lost
+    /// journal and vice versa); `None` uses real files.
+    pub journal_io: Option<Arc<dyn IoFactory>>,
 }
 
 impl std::fmt::Debug for DurabilityConfig {
@@ -62,6 +66,7 @@ impl std::fmt::Debug for DurabilityConfig {
             .field("fsync", &self.fsync)
             .field("checkpoint_every", &self.checkpoint_every)
             .field("io_factory", &self.io_factory.is_some())
+            .field("journal_io", &self.journal_io.is_some())
             .finish()
     }
 }
@@ -73,6 +78,7 @@ impl DurabilityConfig {
             fsync: FsyncPolicy::Always,
             checkpoint_every: 1024,
             io_factory: None,
+            journal_io: None,
         }
     }
 }

@@ -1,0 +1,443 @@
+//! Health-plane building blocks: watchdog configuration, the probe
+//! state the server's loops stamp, and the readiness verdict served at
+//! `/healthz` and `/readyz` (DESIGN.md §14).
+//!
+//! The moving parts:
+//!
+//! - **Probes** are passive stamps written by the hot loops: the WAL
+//!   writer marks when its current batch began (and clears the mark
+//!   when it finishes), the epoll loop stamps every wakeup. Stamping
+//!   is one relaxed atomic store — nothing on the hot path waits on
+//!   the health plane.
+//! - **The watchdog thread** (in `server.rs`) wakes every
+//!   [`HealthConfig::interval`], pings the event loop's waker (an idle
+//!   loop must still prove liveness), reads the probes, samples queue
+//!   saturation, runs the SLO burn-rate engine over a registry
+//!   snapshot, journals component transitions, drives the
+//!   `geosir_health_status{component=…}` and `geosir_ready` gauges,
+//!   and publishes a [`Verdict`].
+//! - **`/healthz`** is liveness: 200 while the watchdog itself is
+//!   ticking. **`/readyz`** is readiness: the last verdict, 200 only
+//!   when recovered, not read-only, and every component clean.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use geosir_obs as obs;
+
+/// Component status codes, ordered by badness.
+pub const STATUS_OK: u8 = 0;
+pub const STATUS_DEGRADED: u8 = 1;
+pub const STATUS_UNHEALTHY: u8 = 2;
+
+/// Watchdog deadlines and SLO objectives. All deadlines are generous
+/// multiples of [`HealthConfig::interval`] by default; tests shrink
+/// them to observe flips quickly.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Run the watchdog and serve live verdicts. When false,
+    /// `/healthz` and `/readyz` both answer 200 unconditionally.
+    pub enabled: bool,
+    /// Watchdog evaluation cadence.
+    pub interval: Duration,
+    /// A WAL-writer batch older than this flips the `wal_writer`
+    /// component unhealthy.
+    pub wal_stall: Duration,
+    /// Event-loop wakeup staleness (measured via the watchdog's own
+    /// waker ping) past this flips `event_loop` unhealthy. Effective
+    /// deadline is clamped to at least 2× `interval` so the ping
+    /// itself has time to land.
+    pub loop_lag: Duration,
+    /// A read/write queue pinned at capacity for longer than this
+    /// flips the `queues` component degraded.
+    pub queue_sat: Duration,
+    /// Sliding burn-rate windows, short → long; an objective alerts
+    /// only when it burns past `slo_max_burn` on **every** window.
+    pub slo_windows: Vec<Duration>,
+    pub slo_max_burn: f64,
+    /// Availability objective: busy-shed fraction of admitted+shed
+    /// traffic must stay under `1 - availability_target`.
+    pub availability_target: f64,
+    /// Latency objective: this fraction of requests must finish under
+    /// `latency_slo_us`.
+    pub latency_target: f64,
+    pub latency_slo_us: u64,
+    /// Approx-funnel objective: this fraction of approx queries must
+    /// emit at most `approx_candidate_ceiling` candidates (the
+    /// calibrated reduction frontier — drift past it means the
+    /// signature funnel has stopped funneling).
+    pub approx_target: f64,
+    pub approx_candidate_ceiling: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> HealthConfig {
+        HealthConfig {
+            enabled: true,
+            interval: Duration::from_millis(250),
+            wal_stall: Duration::from_secs(2),
+            loop_lag: Duration::from_secs(1),
+            queue_sat: Duration::from_secs(2),
+            slo_windows: vec![Duration::from_secs(10), Duration::from_secs(60)],
+            slo_max_burn: 10.0,
+            availability_target: 0.999,
+            latency_target: 0.95,
+            latency_slo_us: 100_000,
+            approx_target: 0.9,
+            approx_candidate_ceiling: 100_000,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// The SLO objectives evaluated against this server's registry.
+    pub fn objectives(&self) -> Vec<obs::Objective> {
+        vec![
+            // Shed traffic is unavailability: bad = Busy rejects,
+            // total ≈ admitted requests (rejects are not admitted, so
+            // the bad fraction slightly overestimates — conservative).
+            obs::Objective {
+                name: "availability".into(),
+                target: self.availability_target,
+                kind: obs::ObjectiveKind::Availability {
+                    total: "geosir_requests_total".into(),
+                    errors: "geosir_busy_rejects_total".into(),
+                },
+            },
+            obs::Objective {
+                name: "latency".into(),
+                target: self.latency_target,
+                kind: obs::ObjectiveKind::LatencyUnder {
+                    histogram: "geosir_request_latency_us".into(),
+                    threshold_us: self.latency_slo_us,
+                },
+            },
+            // The approx funnel's reduction floor, expressed as its
+            // dual: candidates-per-query must stay under the ceiling.
+            obs::Objective {
+                name: "approx_funnel".into(),
+                target: self.approx_target,
+                kind: obs::ObjectiveKind::LatencyUnder {
+                    histogram: "geosir_approx_candidates_per_query".into(),
+                    threshold_us: self.approx_candidate_ceiling,
+                },
+            },
+        ]
+    }
+
+    /// Loop-lag deadline with the 2×interval floor applied.
+    pub fn effective_loop_lag(&self) -> Duration {
+        self.loop_lag.max(self.interval * 2)
+    }
+
+    /// How stale the watchdog's own tick may be before `/healthz`
+    /// reports the watchdog itself as wedged.
+    pub fn watchdog_deadline(&self) -> Duration {
+        (self.interval * 5).max(Duration::from_secs(2))
+    }
+}
+
+/// Sentinel for "the epoll loop never stamped" (threaded fallback
+/// path, or the loop has not started yet).
+pub const LOOP_TICK_NONE: u64 = u64::MAX;
+
+/// Probe state shared between the hot loops, the watchdog, and the
+/// HTTP handlers. All times are milliseconds since `start`.
+pub struct HealthState {
+    start: Instant,
+    /// When the WAL writer began its in-flight batch; 0 = idle.
+    wal_busy_since_ms: AtomicU64,
+    /// The event loop's last wakeup; [`LOOP_TICK_NONE`] until stamped.
+    loop_tick_ms: AtomicU64,
+    /// The watchdog's last completed evaluation; [`LOOP_TICK_NONE`]
+    /// until its first tick.
+    watchdog_tick_ms: AtomicU64,
+    /// Wakes the epoll loop so an idle loop still stamps its tick.
+    waker: Mutex<Option<Box<dyn Fn() + Send>>>,
+    verdict: Mutex<Verdict>,
+}
+
+impl std::fmt::Debug for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HealthState")
+            .field("wal_busy_since_ms", &self.wal_busy_since_ms.load(Ordering::Relaxed))
+            .field("loop_tick_ms", &self.loop_tick_ms.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for HealthState {
+    fn default() -> HealthState {
+        HealthState::new()
+    }
+}
+
+impl HealthState {
+    pub fn new() -> HealthState {
+        HealthState {
+            start: Instant::now(),
+            wal_busy_since_ms: AtomicU64::new(0),
+            loop_tick_ms: AtomicU64::new(LOOP_TICK_NONE),
+            watchdog_tick_ms: AtomicU64::new(LOOP_TICK_NONE),
+            waker: Mutex::new(None),
+            verdict: Mutex::new(Verdict::default()),
+        }
+    }
+
+    /// Milliseconds since this state was created (never 0, so 0 can
+    /// mean "idle" in the busy marker).
+    pub fn now_ms(&self) -> u64 {
+        (self.start.elapsed().as_millis() as u64).max(1)
+    }
+
+    /// WAL writer: a batch just started.
+    pub fn wal_begin(&self) {
+        self.wal_busy_since_ms.store(self.now_ms(), Ordering::Relaxed);
+    }
+
+    /// WAL writer: the batch completed (replies sent).
+    pub fn wal_end(&self) {
+        self.wal_busy_since_ms.store(0, Ordering::Relaxed);
+    }
+
+    /// How long the writer's current batch has been in flight; `None`
+    /// when idle.
+    pub fn wal_busy_for(&self) -> Option<Duration> {
+        match self.wal_busy_since_ms.load(Ordering::Relaxed) {
+            0 => None,
+            t => Some(Duration::from_millis(self.now_ms().saturating_sub(t))),
+        }
+    }
+
+    /// Event loop: stamp a wakeup.
+    pub fn stamp_loop_tick(&self) {
+        self.loop_tick_ms.store(self.now_ms(), Ordering::Relaxed);
+    }
+
+    /// Age of the event loop's last wakeup; `None` when the epoll path
+    /// never stamped (threaded fallback — not probed).
+    pub fn loop_tick_age(&self) -> Option<Duration> {
+        match self.loop_tick_ms.load(Ordering::Relaxed) {
+            LOOP_TICK_NONE => None,
+            t => Some(Duration::from_millis(self.now_ms().saturating_sub(t))),
+        }
+    }
+
+    pub fn stamp_watchdog_tick(&self) {
+        self.watchdog_tick_ms.store(self.now_ms(), Ordering::Relaxed);
+    }
+
+    /// Age of the watchdog's last tick; `None` before its first.
+    pub fn watchdog_age(&self) -> Option<Duration> {
+        match self.watchdog_tick_ms.load(Ordering::Relaxed) {
+            LOOP_TICK_NONE => None,
+            t => Some(Duration::from_millis(self.now_ms().saturating_sub(t))),
+        }
+    }
+
+    /// Install the event-loop waker the watchdog pings each tick.
+    pub fn set_waker(&self, waker: Box<dyn Fn() + Send>) {
+        *self.waker.lock().unwrap() = Some(waker);
+    }
+
+    pub fn ping_waker(&self) {
+        if let Ok(guard) = self.waker.lock() {
+            if let Some(w) = guard.as_ref() {
+                w();
+            }
+        }
+    }
+
+    pub fn verdict(&self) -> Verdict {
+        self.verdict.lock().unwrap().clone()
+    }
+
+    pub fn set_verdict(&self, v: Verdict) {
+        *self.verdict.lock().unwrap() = v;
+    }
+}
+
+/// One watchdog component's latest reading.
+#[derive(Debug, Clone)]
+pub struct ComponentHealth {
+    pub component: &'static str,
+    pub status: u8,
+    pub detail: String,
+}
+
+/// The readiness truth the watchdog last published.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    pub ready: bool,
+    /// Worst component status (0/1/2).
+    pub status: u8,
+    pub read_only: bool,
+    pub components: Vec<ComponentHealth>,
+    /// Objectives currently alerting on every burn window.
+    pub slo_alerting: Vec<String>,
+}
+
+impl Default for Verdict {
+    /// Before the watchdog's first tick nothing is known — not ready.
+    fn default() -> Verdict {
+        Verdict {
+            ready: false,
+            status: STATUS_UNHEALTHY,
+            read_only: false,
+            components: vec![ComponentHealth {
+                component: "watchdog",
+                status: STATUS_UNHEALTHY,
+                detail: "no evaluation yet".into(),
+            }],
+            slo_alerting: Vec::new(),
+        }
+    }
+}
+
+pub fn status_name(status: u8) -> &'static str {
+    match status {
+        STATUS_OK => "ok",
+        STATUS_DEGRADED => "degraded",
+        _ => "unhealthy",
+    }
+}
+
+impl Verdict {
+    /// The `/readyz` body: readiness plus per-component attribution.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(192 + self.components.len() * 96);
+        let _ = write!(
+            out,
+            "{{\"ready\":{},\"status\":\"{}\",\"read_only\":{},\"components\":[",
+            self.ready,
+            status_name(self.status),
+            self.read_only
+        );
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"component\":\"{}\",\"status\":\"{}\",\"detail\":\"",
+                c.component,
+                status_name(c.status)
+            );
+            obs::journal::escape_json_into(&c.detail, &mut out);
+            out.push_str("\"}");
+        }
+        out.push_str("],\"slo_alerting\":[");
+        for (i, name) in self.slo_alerting.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            obs::journal::escape_json_into(name, &mut out);
+            out.push('"');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Journals component transitions: each status change emits exactly one
+/// event naming the component, so `/debug/journal` reads as a history
+/// of stalls and recoveries rather than a heartbeat spam.
+#[derive(Debug, Default)]
+pub struct TransitionTracker {
+    last: Vec<(&'static str, u8)>,
+}
+
+impl TransitionTracker {
+    pub fn new() -> TransitionTracker {
+        TransitionTracker::default()
+    }
+
+    /// Record `component`'s new reading; returns the previous status
+    /// when it changed (callers journal on `Some`).
+    pub fn observe(&mut self, component: &'static str, status: u8) -> Option<u8> {
+        match self.last.iter_mut().find(|(c, _)| *c == component) {
+            Some((_, s)) if *s == status => None,
+            Some((_, s)) => {
+                let prev = *s;
+                *s = status;
+                Some(prev)
+            }
+            None => {
+                self.last.push((component, status));
+                // first observation only journals when it is not clean
+                (status != STATUS_OK).then_some(STATUS_OK)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_stamps_round_trip() {
+        let h = HealthState::new();
+        assert!(h.wal_busy_for().is_none());
+        h.wal_begin();
+        assert!(h.wal_busy_for().is_some());
+        h.wal_end();
+        assert!(h.wal_busy_for().is_none());
+
+        assert!(h.loop_tick_age().is_none(), "unstamped loop reads as not probed");
+        h.stamp_loop_tick();
+        assert!(h.loop_tick_age().unwrap() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn default_verdict_is_not_ready() {
+        let v = Verdict::default();
+        assert!(!v.ready);
+        let json = v.to_json();
+        assert!(json.contains("\"ready\":false"), "{json}");
+        assert!(json.contains("\"component\":\"watchdog\""), "{json}");
+    }
+
+    #[test]
+    fn verdict_json_escapes_details() {
+        let v = Verdict {
+            ready: false,
+            status: STATUS_UNHEALTHY,
+            read_only: false,
+            components: vec![ComponentHealth {
+                component: "wal_writer",
+                status: STATUS_UNHEALTHY,
+                detail: "stalled \"3000ms\"".into(),
+            }],
+            slo_alerting: vec!["latency".into()],
+        };
+        let json = v.to_json();
+        assert!(json.contains("stalled \\\"3000ms\\\""), "{json}");
+        assert!(json.contains("\"slo_alerting\":[\"latency\"]"), "{json}");
+        assert!(json.contains("\"status\":\"unhealthy\""), "{json}");
+    }
+
+    #[test]
+    fn transition_tracker_fires_only_on_change() {
+        let mut t = TransitionTracker::new();
+        assert_eq!(t.observe("wal_writer", STATUS_OK), None, "clean first reading is silent");
+        assert_eq!(t.observe("wal_writer", STATUS_OK), None);
+        assert_eq!(t.observe("wal_writer", STATUS_UNHEALTHY), Some(STATUS_OK));
+        assert_eq!(t.observe("wal_writer", STATUS_UNHEALTHY), None);
+        assert_eq!(t.observe("wal_writer", STATUS_OK), Some(STATUS_UNHEALTHY));
+        // a first reading that is already bad must journal
+        assert_eq!(t.observe("queues", STATUS_DEGRADED), Some(STATUS_OK));
+    }
+
+    #[test]
+    fn default_config_sanity() {
+        let hc = HealthConfig::default();
+        assert!(hc.enabled);
+        assert!(hc.effective_loop_lag() >= hc.interval * 2);
+        assert_eq!(hc.objectives().len(), 3);
+        assert!(hc.watchdog_deadline() >= Duration::from_secs(2));
+    }
+}

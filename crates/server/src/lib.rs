@@ -36,6 +36,7 @@ pub mod cluster;
 #[cfg(target_os = "linux")]
 mod conn;
 pub mod durable;
+pub mod health;
 pub mod metrics;
 #[cfg(target_os = "linux")]
 mod poll;
@@ -53,6 +54,7 @@ pub use cluster::{
 };
 pub use durable::{BaseTemplate, DurabilityConfig, RecoveryReport};
 pub use geosir_obs as obs;
+pub use health::{HealthConfig, Verdict};
 pub use repl::{start_replication, ReplHandle, ReplSpec};
 pub use server::{serve, serve_durable, ServeConfig, ServerHandle};
 pub use wire::{

@@ -105,6 +105,20 @@ pub struct Metrics {
     /// and (gauges are integral) mean bucket size ×1000.
     pub approx_buckets: Arc<obs::Gauge>,
     pub approx_avg_bucket_size_x1000: Arc<obs::Gauge>,
+
+    /// Journal lines that failed to reach the rotating file (counted
+    /// and dropped — the journal never blocks or panics on a dead disk).
+    pub journal_errors: Arc<obs::Counter>,
+    /// 1 when `/readyz` would answer 200, 0 otherwise. Min policy: a
+    /// merged cluster snapshot is ready only if every shard is.
+    pub ready: Arc<obs::Gauge>,
+    /// Per-watchdog verdicts, 0 = ok / 1 = degraded / 2 = unhealthy
+    /// (`component` ∈ wal_writer, event_loop, queues, slo). Max policy:
+    /// the merged value is the worst shard's.
+    pub health_wal: Arc<obs::Gauge>,
+    pub health_loop: Arc<obs::Gauge>,
+    pub health_queues: Arc<obs::Gauge>,
+    pub health_slo: Arc<obs::Gauge>,
 }
 
 impl Metrics {
@@ -158,6 +172,28 @@ impl Metrics {
             approx_avg_bucket_size_x1000: r.gauge_with_policy(
                 "geosir_approx_avg_bucket_size_x1000",
                 &[],
+                obs::GaugePolicy::Max,
+            ),
+            journal_errors: r.counter("geosir_journal_errors_total", &[]),
+            ready: r.gauge_with_policy("geosir_ready", &[], obs::GaugePolicy::Min),
+            health_wal: r.gauge_with_policy(
+                "geosir_health_status",
+                &[("component", "wal_writer")],
+                obs::GaugePolicy::Max,
+            ),
+            health_loop: r.gauge_with_policy(
+                "geosir_health_status",
+                &[("component", "event_loop")],
+                obs::GaugePolicy::Max,
+            ),
+            health_queues: r.gauge_with_policy(
+                "geosir_health_status",
+                &[("component", "queues")],
+                obs::GaugePolicy::Max,
+            ),
+            health_slo: r.gauge_with_policy(
+                "geosir_health_status",
+                &[("component", "slo")],
                 obs::GaugePolicy::Max,
             ),
             registry,

@@ -156,6 +156,10 @@ fn repl_loop(spec: ReplSpec, stop: Arc<AtomicBool>, applied: Arc<AtomicU64>) {
     };
     let mut client: Option<Client> = None;
     let mut behind_since: Option<Instant> = None;
+    // Drain monitor: a replica continuously behind for this long is
+    // journaled as stuck; catching back up journals the resume.
+    let stuck_after = Duration::from_secs(2).max(spec.interval * 4);
+    let mut stuck_reported = false;
     while !stop.load(Ordering::SeqCst) {
         if let Err(_e) = shipper.ship_once() {
             m.ship_errors.inc();
@@ -186,9 +190,27 @@ fn repl_loop(spec: ReplSpec, stop: Arc<AtomicBool>, applied: Arc<AtomicU64>) {
         if lag == 0 {
             behind_since = None;
             m.lag_ms.set(0);
+            if stuck_reported {
+                stuck_reported = false;
+                spec.registry.journal().emit(
+                    obs::JournalEvent::new(obs::Severity::Info, "repl.resume")
+                        .with("shard", spec.shard)
+                        .with("replica", spec.replica_addr),
+                );
+            }
         } else {
             let since = *behind_since.get_or_insert_with(Instant::now);
             m.lag_ms.set(since.elapsed().as_millis() as i64);
+            if !stuck_reported && since.elapsed() > stuck_after {
+                stuck_reported = true;
+                spec.registry.journal().emit(
+                    obs::JournalEvent::new(obs::Severity::Warn, "repl.stuck")
+                        .with("shard", spec.shard)
+                        .with("replica", spec.replica_addr)
+                        .with("lag_records", lag)
+                        .with("behind_ms", since.elapsed().as_millis()),
+                );
+            }
         }
         std::thread::sleep(spec.interval);
     }

@@ -81,6 +81,9 @@ use geosir_storage::manifest::Manifest;
 use geosir_storage::wal::{Lsn, Wal, WalRecord};
 
 use crate::durable::{self, BaseTemplate, DurabilityConfig, RecoveryReport, Recovered};
+use crate::health::{
+    self, ComponentHealth, HealthConfig, HealthState, TransitionTracker, Verdict,
+};
 use crate::metrics::{Metrics, ReqKind};
 use crate::wire::{
     error_code, Frame, ServerStats, StageTrailer, WireError, WireMatch, PROTOCOL_VERSION,
@@ -130,6 +133,9 @@ pub struct ServeConfig {
     /// connections are always capped at 1 (their replies carry no
     /// correlation id, so they must stay ordered).
     pub max_in_flight: u32,
+    /// Watchdog deadlines and SLO objectives behind `/healthz`,
+    /// `/readyz`, and the `geosir_health_status` gauges.
+    pub health: HealthConfig,
 }
 
 impl Default for ServeConfig {
@@ -147,6 +153,7 @@ impl Default for ServeConfig {
             slow_query_log_keep: 4,
             coalesce_max: 16,
             max_in_flight: 128,
+            health: HealthConfig::default(),
         }
     }
 }
@@ -452,6 +459,21 @@ struct DurableState {
     records_since_ckpt: AtomicU64,
     /// LSN the newest on-disk checkpoint covers.
     last_ckpt_lsn: AtomicU64,
+    /// Injectable factory for the journal's JSONL file (fault tests).
+    journal_io: Option<Arc<dyn geosir_storage::faults::IoFactory>>,
+}
+
+/// Adapts the shared (`Arc`) journal fault hook to the
+/// `Box<dyn IoFactory>` the rotating JSONL writer owns.
+struct SharedJournalFactory(Arc<dyn geosir_storage::faults::IoFactory>);
+
+impl geosir_storage::faults::IoFactory for SharedJournalFactory {
+    fn create(
+        &self,
+        path: &std::path::Path,
+    ) -> std::io::Result<Box<dyn geosir_storage::faults::Io>> {
+        self.0.create(path)
+    }
 }
 
 struct Shared {
@@ -468,6 +490,7 @@ struct Shared {
     cfg: ServeConfig,
     durable: Option<DurableState>,
     slow_log: Option<SlowLog>,
+    health: HealthState,
 }
 
 impl Shared {
@@ -628,9 +651,20 @@ pub fn serve_durable(
     // route the WAL-replay / checkpoint-read instrumentation inside
     // recovery to this server's registry, not the process global
     obs::set_thread_registry(Some(registry.clone()));
+    registry.journal().emit(
+        obs::JournalEvent::new(obs::Severity::Info, "recovery.start")
+            .with("dir", dcfg.data_dir.display()),
+    );
     let recovered = durable::recover(template, &dcfg);
     obs::set_thread_registry(None);
     let Recovered { base, wal, applied_lsn, dedup, report } = recovered?;
+    registry.journal().emit(
+        obs::JournalEvent::new(obs::Severity::Info, "recovery.done")
+            .with("replayed", report.replayed)
+            .with("checkpoint_shapes", report.checkpoint_shapes)
+            .with("truncated_tail", report.truncated_tail)
+            .with("us", report.recovery_us),
+    );
     let state = DurableState {
         wal: Mutex::new(wal),
         data_dir: dcfg.data_dir.clone(),
@@ -638,6 +672,7 @@ pub fn serve_durable(
         read_only: AtomicBool::new(false),
         records_since_ckpt: AtomicU64::new(0),
         last_ckpt_lsn: AtomicU64::new(report.checkpoint_lsn),
+        journal_io: dcfg.journal_io.clone(),
     };
     let handle = serve_inner(addr, base, cfg, Some(state), dedup, applied_lsn, registry)?;
     let m = &handle.shared.metrics;
@@ -696,7 +731,55 @@ fn serve_inner(
         cfg: cfg.clone(),
         durable,
         slow_log,
+        health: HealthState::new(),
     });
+
+    // Durable journal: lifecycle events also land in a rotating JSONL
+    // file next to the WAL, through the same fault-injectable Io layer.
+    // Append failures are counted and dropped — the journal never
+    // blocks or panics an emitter on a dead disk.
+    if let Some(d) = &shared.durable {
+        let factory: Box<dyn geosir_storage::faults::IoFactory> = match &d.journal_io {
+            Some(f) => Box::new(SharedJournalFactory(f.clone())),
+            None => Box::new(geosir_storage::faults::FileFactory),
+        };
+        let mut writer = geosir_storage::slowlog::RotatingJsonl::open(
+            &d.data_dir.join("journal"),
+            "journal",
+            1 << 20,
+            4,
+            factory,
+        )?;
+        // Recovery ran before this sink existed, so its events
+        // (recovery.start/done, replay instrumentation) are ring-only
+        // at this point — backfill them so the on-disk journal explains
+        // this boot, not just what happened after it. Nothing else
+        // emits concurrently yet: workers and the watchdog start below.
+        let journal = shared.metrics.registry.journal();
+        let mut failed_backfills = 0u64;
+        let mut line = String::new();
+        for ev in journal.recent().into_iter().rev() {
+            line.clear();
+            ev.to_json(&mut line);
+            if writer.append_line(&line).is_err() {
+                failed_backfills += 1;
+            }
+        }
+        let errors = shared.metrics.journal_errors.clone();
+        errors.add(failed_backfills);
+        let writer = Mutex::new(writer);
+        shared.metrics.registry.journal().set_sink(Some(Arc::new(
+            move |_ev: &obs::JournalEvent, line: &str| {
+                let failed = match writer.lock() {
+                    Ok(mut w) => w.append_line(line).is_err(),
+                    Err(_) => true,
+                };
+                if failed {
+                    errors.inc();
+                }
+            },
+        )));
+    }
 
     // The flight recorder must survive to disk when the process dies
     // abnormally. Two death paths converge on the same dump: armed
@@ -748,6 +831,14 @@ fn serve_inner(
         );
     }
     threads.extend(spawn_serve_path(listener, core, &shared)?);
+    if cfg.health.enabled {
+        let shared = shared.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("geosir-watchdog".into())
+                .spawn(move || watchdog_loop(&shared))?,
+        );
+    }
     if let Some(maddr) = &cfg.metrics_addr {
         let expo = TcpListener::bind(maddr.as_str())?;
         *shared.metrics_addr.lock().unwrap() = Some(expo.local_addr()?);
@@ -904,10 +995,11 @@ impl Shared {
 }
 
 /// Accept loop for the HTTP metrics endpoint: refresh the passive
-/// gauges, then let `geosir-obs` answer `/metrics`,
-/// `/debug/last_queries`, and `/debug/flight`. Scrapes are served
-/// inline — they are rare, cheap, and must not compete with workers for
-/// queue slots.
+/// gauges, then dispatch — `/healthz` and `/readyz` are answered from
+/// the watchdog's state, everything else (`/metrics`,
+/// `/debug/last_queries`, `/debug/flight`, `/debug/journal`) by the
+/// stock `geosir-obs` responder. Scrapes are served inline — they are
+/// rare, cheap, and must not compete with workers for queue slots.
 fn metrics_loop(listener: TcpListener, shared: &Arc<Shared>) {
     loop {
         match listener.accept() {
@@ -916,7 +1008,7 @@ fn metrics_loop(listener: TcpListener, shared: &Arc<Shared>) {
                     break;
                 }
                 shared.refresh_gauges();
-                let _ = obs::expo::handle_connection(&mut stream, &shared.metrics.registry);
+                let _ = serve_http(&mut stream, shared);
             }
             Err(e) => {
                 if shared.is_shutdown() {
@@ -928,6 +1020,273 @@ fn metrics_loop(listener: TcpListener, shared: &Arc<Shared>) {
             }
         }
     }
+}
+
+/// One HTTP connection on the metrics plane.
+fn serve_http(stream: &mut TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    use obs::expo::{read_request_path, respond};
+    let Some(path) = read_request_path(stream)? else {
+        return Ok(());
+    };
+    let registry = &shared.metrics.registry;
+    match path.as_str() {
+        "/healthz" => {
+            let (status, body) = healthz_reply(shared);
+            respond(stream, status, "application/json", &body)
+        }
+        "/readyz" => {
+            let (status, body) = readyz_reply(shared);
+            respond(stream, status, "application/json", &body)
+        }
+        "/metrics" => {
+            let body = obs::expo::render_prometheus(&registry.snapshot());
+            respond(stream, 200, "text/plain; version=0.0.4", &body)
+        }
+        "/debug/last_queries" => respond(stream, 200, "application/json", &registry.traces().to_json()),
+        "/debug/flight" => respond(stream, 200, "application/json", &registry.flight().to_json()),
+        "/debug/journal" => respond(stream, 200, "application/json", &registry.journal().to_json()),
+        _ => respond(
+            stream,
+            404,
+            "text/plain",
+            "not found; try /metrics, /healthz, /readyz, /debug/last_queries, /debug/flight, or /debug/journal",
+        ),
+    }
+}
+
+/// `/healthz`: liveness. 200 while the watchdog thread is ticking (or
+/// the health plane is disabled); 503 once its own heartbeat goes
+/// stale — a server whose watchdog died cannot vouch for anything.
+fn healthz_reply(shared: &Arc<Shared>) -> (u16, String) {
+    let hc = &shared.cfg.health;
+    if !hc.enabled {
+        return (200, "{\"status\":\"ok\",\"health\":\"disabled\"}".to_string());
+    }
+    let age = shared.health.watchdog_age();
+    let stale = match age {
+        Some(age) => age > hc.watchdog_deadline(),
+        None => shared.health.now_ms() > hc.watchdog_deadline().as_millis() as u64,
+    };
+    let body = format!(
+        "{{\"status\":\"{}\",\"uptime_ms\":{},\"watchdog_age_ms\":{}}}",
+        if stale { "watchdog_stalled" } else { "ok" },
+        shared.health.now_ms(),
+        age.map(|a| a.as_millis() as u64).unwrap_or(0),
+    );
+    (if stale { 503 } else { 200 }, body)
+}
+
+/// `/readyz`: the watchdog's last verdict, with a staleness guard — a
+/// wedged watchdog fails readiness rather than serving a frozen "ok".
+fn readyz_reply(shared: &Arc<Shared>) -> (u16, String) {
+    let hc = &shared.cfg.health;
+    if !hc.enabled {
+        return (200, "{\"ready\":true,\"health\":\"disabled\"}".to_string());
+    }
+    let mut verdict = shared.health.verdict();
+    let stale = match shared.health.watchdog_age() {
+        Some(age) => age > hc.watchdog_deadline(),
+        None => shared.health.now_ms() > hc.watchdog_deadline().as_millis() as u64,
+    };
+    if stale {
+        verdict.ready = false;
+        verdict.status = health::STATUS_UNHEALTHY;
+        verdict.components.push(ComponentHealth {
+            component: "watchdog",
+            status: health::STATUS_UNHEALTHY,
+            detail: "watchdog heartbeat stale".into(),
+        });
+    }
+    // read-only is re-checked live: it can flip between watchdog ticks
+    // and must never be reported stale in the healthy direction.
+    if shared.is_read_only() {
+        verdict.ready = false;
+        verdict.read_only = true;
+    }
+    (if verdict.ready { 200 } else { 503 }, verdict.to_json())
+}
+
+/// The watchdog: every `health.interval`, ping the event loop's waker
+/// (so an idle epoll loop still proves liveness), read the probes,
+/// sample queue saturation, run the SLO burn-rate engine, journal
+/// component transitions, drive the health gauges, and publish the
+/// verdict `/readyz` serves.
+fn watchdog_loop(shared: &Arc<Shared>) {
+    obs::set_thread_registry(Some(shared.metrics.registry.clone()));
+    let hc = shared.cfg.health.clone();
+    let mut engine = obs::SloEngine::new(hc.objectives(), hc.slo_windows.clone());
+    let mut transitions = TransitionTracker::new();
+    let mut read_sat_since: Option<Instant> = None;
+    let mut write_sat_since: Option<Instant> = None;
+    let mut was_read_only = false;
+    loop {
+        shared.health.ping_waker();
+        watchdog_tick(
+            shared,
+            &hc,
+            &mut engine,
+            &mut transitions,
+            &mut read_sat_since,
+            &mut write_sat_since,
+            &mut was_read_only,
+        );
+        if shared.is_shutdown() {
+            break;
+        }
+        std::thread::sleep(hc.interval);
+        if shared.is_shutdown() {
+            break;
+        }
+    }
+}
+
+/// One watchdog evaluation. Split out of the loop so the first tick
+/// can run synchronously and tests can drive evaluations directly.
+#[allow(clippy::too_many_arguments)]
+fn watchdog_tick(
+    shared: &Arc<Shared>,
+    hc: &HealthConfig,
+    engine: &mut obs::SloEngine,
+    transitions: &mut TransitionTracker,
+    read_sat_since: &mut Option<Instant>,
+    write_sat_since: &mut Option<Instant>,
+    was_read_only: &mut bool,
+) {
+    let m = &shared.metrics;
+    let journal = m.registry.journal();
+    let now = Instant::now();
+    let mut components = Vec::with_capacity(4);
+
+    // WAL writer heartbeat: the busy marker is set when a batch starts
+    // and cleared when its replies go out; the writer blocking idle on
+    // an empty queue is healthy by construction (marker = 0).
+    let (wal_status, wal_detail) = match shared.health.wal_busy_for() {
+        Some(busy) if busy > hc.wal_stall => {
+            (health::STATUS_UNHEALTHY, format!("batch in flight for {}ms", busy.as_millis()))
+        }
+        Some(busy) => (health::STATUS_OK, format!("batch in flight for {}ms", busy.as_millis())),
+        None => (health::STATUS_OK, "idle".to_string()),
+    };
+    components.push(ComponentHealth {
+        component: "wal_writer",
+        status: wal_status,
+        detail: wal_detail,
+    });
+
+    // Event-loop lag: the waker ping above forces a wakeup even on an
+    // idle server, so a stale stamp means the loop truly cannot run.
+    let (loop_status, loop_detail) = match shared.health.loop_tick_age() {
+        Some(age) if age > hc.effective_loop_lag() => {
+            (health::STATUS_UNHEALTHY, format!("last wakeup {}ms ago", age.as_millis()))
+        }
+        Some(age) => (health::STATUS_OK, format!("last wakeup {}ms ago", age.as_millis())),
+        None => (health::STATUS_OK, "not probed (threaded serve path)".to_string()),
+    };
+    components.push(ComponentHealth {
+        component: "event_loop",
+        status: loop_status,
+        detail: loop_detail,
+    });
+
+    // Queue saturation: pinned at capacity continuously past the
+    // deadline. A full queue that drains between ticks resets.
+    let sat = |depth: usize, cap: usize, since: &mut Option<Instant>| -> Option<Duration> {
+        if depth >= cap {
+            let s = since.get_or_insert(now);
+            Some(now.duration_since(*s))
+        } else {
+            *since = None;
+            None
+        }
+    };
+    let read_sat = sat(shared.read_queue.depth(), shared.cfg.queue_cap.max(1), read_sat_since);
+    let write_sat =
+        sat(shared.write_queue.depth(), shared.cfg.write_queue_cap.max(1), write_sat_since);
+    let worst_sat = read_sat.into_iter().chain(write_sat).max();
+    let (queue_status, queue_detail) = match worst_sat {
+        Some(d) if d > hc.queue_sat => {
+            (health::STATUS_DEGRADED, format!("saturated for {}ms", d.as_millis()))
+        }
+        Some(d) => (health::STATUS_OK, format!("at capacity for {}ms", d.as_millis())),
+        None => (health::STATUS_OK, "draining".to_string()),
+    };
+    components.push(ComponentHealth {
+        component: "queues",
+        status: queue_status,
+        detail: queue_detail,
+    });
+
+    // SLO burn rates over the registry's own counters/histograms.
+    let reports = engine.observe(now, &m.registry.snapshot());
+    for r in &reports {
+        let window = format!("{}s", r.window.as_secs());
+        m.registry
+            .gauge_with_policy(
+                "geosir_slo_burn_milli",
+                &[("objective", r.objective.as_str()), ("window", window.as_str())],
+                obs::GaugePolicy::Max,
+            )
+            .set((r.burn * 1000.0).min(i64::MAX as f64) as i64);
+    }
+    let alerting = obs::alerting(&reports, hc.slo_max_burn);
+    let (slo_status, slo_detail) = if alerting.is_empty() {
+        (health::STATUS_OK, "within budget".to_string())
+    } else {
+        (health::STATUS_DEGRADED, format!("burning: {}", alerting.join(", ")))
+    };
+    components.push(ComponentHealth {
+        component: "slo",
+        status: slo_status,
+        detail: slo_detail,
+    });
+
+    // Journal transitions (one event per flip, naming the component).
+    for c in &components {
+        if let Some(prev) = transitions.observe(c.component, c.status) {
+            let (sev, code) = if c.status == health::STATUS_OK {
+                (obs::Severity::Info, "watchdog.ok")
+            } else {
+                (obs::Severity::Warn, "watchdog.stall")
+            };
+            journal.emit(
+                obs::JournalEvent::new(sev, code)
+                    .with("component", c.component)
+                    .with("status", health::status_name(c.status))
+                    .with("was", health::status_name(prev))
+                    .with("detail", &c.detail),
+            );
+        }
+    }
+
+    // Read-only transitions are journaled here (entry sites flip an
+    // atomic; the watchdog owns the edge detection for both
+    // directions).
+    let read_only = shared.is_read_only();
+    if read_only != *was_read_only {
+        let (sev, code) = if read_only {
+            (obs::Severity::Error, "wal.read_only_enter")
+        } else {
+            (obs::Severity::Info, "wal.read_only_exit")
+        };
+        journal.emit(obs::JournalEvent::new(sev, code));
+        *was_read_only = read_only;
+    }
+
+    m.health_wal.set(wal_status as i64);
+    m.health_loop.set(loop_status as i64);
+    m.health_queues.set(queue_status as i64);
+    m.health_slo.set(slo_status as i64);
+    let status = components.iter().map(|c| c.status).max().unwrap_or(health::STATUS_OK);
+    let ready = !read_only && status == health::STATUS_OK;
+    m.ready.set(ready as i64);
+    shared.health.set_verdict(Verdict {
+        ready,
+        status,
+        read_only,
+        components,
+        slo_alerting: alerting,
+    });
+    shared.health.stamp_watchdog_tick();
 }
 
 /// Spawn the I/O side of the server. On Linux this is the epoll event
@@ -956,6 +1315,11 @@ fn spawn_serve_path(
             io2.waker.wake();
         })?,
     );
+    // Hand the watchdog a handle to the loop's eventfd: an otherwise
+    // idle loop (epoll timeout -1) is pinged each watchdog interval so a
+    // fresh tick stamp proves it can still run.
+    let io3 = io.clone();
+    shared.health.set_waker(Box::new(move || io3.waker.wake()));
     let shared = shared.clone();
     threads.push(
         std::thread::Builder::new()
@@ -1065,6 +1429,7 @@ fn io_loop(listener: TcpListener, io: Arc<IoShared>, shared: &Arc<Shared>) {
         };
         shared.metrics.poll_wakeups.inc();
         shared.metrics.poll_events.record(n as u64);
+        shared.health.stamp_loop_tick();
 
         touched.clear();
         dead.clear();
@@ -2083,6 +2448,10 @@ fn writer_loop(mut base: DynamicBase, mut ctx: WriterCtx, shared: &Arc<Shared>) 
         }
 
         let batch_started = Instant::now();
+        // Heartbeat for the WAL-writer watchdog: the busy marker covers
+        // log + apply + publish + reply; it is cleared before the next
+        // blocking pop, so an idle writer never looks stalled.
+        shared.health.wal_begin();
         let read_only = shared.is_read_only();
         let mut acts =
             plan_batch(batch.iter().map(|j| &j.frame), &mut ctx, read_only, &shared.metrics);
@@ -2133,11 +2502,16 @@ fn writer_loop(mut base: DynamicBase, mut ctx: WriterCtx, shared: &Arc<Shared>) 
                         }
                         d.records_since_ckpt.fetch_add(logged, Ordering::Relaxed);
                     }
-                    Err(_) => {
+                    Err(e) => {
                         // degraded mode: refuse this batch and all future
                         // writes; queries keep serving the last snapshot
                         shared.metrics.io_errors.inc();
                         d.read_only.store(true, Ordering::SeqCst);
+                        shared.metrics.registry.journal().emit(
+                            obs::JournalEvent::new(obs::Severity::Error, "wal.append_error")
+                                .with("error", e)
+                                .with("batch", logged),
+                        );
                         refuse_unlogged(&mut acts);
                     }
                 }
@@ -2222,6 +2596,7 @@ fn writer_loop(mut base: DynamicBase, mut ctx: WriterCtx, shared: &Arc<Shared>) 
             });
             job.reply.send(reply);
         }
+        shared.health.wal_end();
     }
     // graceful shutdown: force the tail to disk whatever the policy
     if let Some(d) = &shared.durable {
@@ -2277,17 +2652,32 @@ fn checkpointer_loop(shared: &Arc<Shared>) {
                 shared.metrics.wal_syncs.set(wal.syncs as i64);
                 Ok(())
             });
+        let journal = shared.metrics.registry.journal();
         match result {
             Ok(()) => {
                 shared.metrics.checkpoints.inc();
                 d.records_since_ckpt.fetch_sub(pending, Ordering::Relaxed);
                 d.last_ckpt_lsn.store(lsn, Ordering::Relaxed);
                 consecutive_failures = 0;
+                journal.emit(
+                    obs::JournalEvent::new(obs::Severity::Info, "checkpoint.done")
+                        .with("lsn", lsn)
+                        .with("records", pending),
+                );
+                journal.emit(
+                    obs::JournalEvent::new(obs::Severity::Info, "wal.rotate").with("through", lsn),
+                );
             }
-            Err(_) => {
+            Err(e) => {
                 shared.metrics.checkpoint_failures.inc();
                 shared.metrics.io_errors.inc();
                 consecutive_failures += 1;
+                journal.emit(
+                    obs::JournalEvent::new(obs::Severity::Warn, "checkpoint.fail")
+                        .with("lsn", lsn)
+                        .with("consecutive", consecutive_failures)
+                        .with("error", e),
+                );
                 if consecutive_failures >= 3 {
                     d.read_only.store(true, Ordering::SeqCst);
                 }

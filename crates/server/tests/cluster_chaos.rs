@@ -22,10 +22,22 @@
 //!    count reaches the write count, zero id-parity violations — and
 //!    the lag gauge was visibly non-zero while the stream was being
 //!    sabotaged.
+//! 3. **Health-plane chaos demo** (DESIGN §14). Kill a replica's server
+//!    (its replication thread keeps shipping into the void — the
+//!    in-process stand-in for SIGKILL) and stall a primary's WAL with a
+//!    persistent delay fault, under a write load. Invariants: the
+//!    cluster `/readyz` degrades to 503 with per-shard attribution
+//!    (the stalled shard not-ready with `wal_writer` unhealthy, the
+//!    other shard still ready), the journals explain both events
+//!    (`watchdog.stall` naming `wal_writer` on the shard,
+//!    `repl.stuck` naming the dead replica on the router), and once
+//!    the load stops and the stall drains, readiness flips back with
+//!    no restart.
 
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -33,7 +45,7 @@ use geosir_core::matcher::MatchConfig;
 use geosir_geom::rangesearch::Backend;
 use geosir_geom::{Point, Polyline};
 use geosir_serve::cluster::{start_cluster, untag_id, ClusterConfig, Router, RouterConfig, ShardSpec};
-use geosir_serve::{serve_durable, BaseTemplate, Client, DurabilityConfig, ServeConfig};
+use geosir_serve::{serve_durable, BaseTemplate, Client, DurabilityConfig, HealthConfig, ServeConfig};
 use geosir_storage::faults::{FaultKind, FaultPlan, FaultyFactory};
 use geosir_storage::wal::FsyncPolicy;
 
@@ -84,6 +96,20 @@ fn poll_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
         std::thread::sleep(Duration::from_millis(10));
     }
     false
+}
+
+/// Raw GET against an HTTP observability plane; non-200 is data, not
+/// an error.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    use std::io::Read as _;
+    let mut s = std::net::TcpStream::connect(addr).expect("connect http plane");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read http response");
+    let status: u16 = out.split_whitespace().nth(1).and_then(|v| v.parse().ok()).unwrap_or(0);
+    let body = out.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
 }
 
 /// The victim shard. A no-op unless re-executed with [`CHILD_DIR_ENV`]
@@ -315,6 +341,126 @@ fn chaos_torn_and_delayed_shipping_still_converges() {
             rc.stats().map(|s| s.live_shapes == 48).unwrap_or(false)
         }),
         "replica live_shapes never reached 48"
+    );
+
+    cluster.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_health_plane_attributes_stall_and_dead_replica() {
+    if !chaos_enabled() {
+        return;
+    }
+    let dir = tmpdir("health-plane");
+    // Shard 0's own WAL disk sleeps 900ms on every op — any write batch
+    // stays busy far past the 300ms stall deadline; an idle writer is
+    // healthy (the fault only fires on ops).
+    let stall = FaultPlan::new(FaultKind::Delay(Duration::from_millis(900)), 0, true);
+    let mut cfg = ClusterConfig::new(&dir);
+    cfg.shards = 2;
+    cfg.replicas = 1;
+    cfg.serve = ServeConfig {
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        health: HealthConfig {
+            interval: Duration::from_millis(50),
+            wal_stall: Duration::from_millis(300),
+            // The demo's recovery assertion is about the WAL watchdog;
+            // keep the latency objective out of the way so the storm's
+            // fault-delayed writes cannot hold `slo` degraded (and
+            // readiness 503) for a window-length after the stall ends.
+            latency_slo_us: 60_000_000,
+            slo_windows: vec![Duration::from_secs(1), Duration::from_secs(5)],
+            ..HealthConfig::default()
+        },
+        ..serve_cfg()
+    };
+    cfg.repl_interval = Duration::from_millis(10);
+    cfg.router = RouterConfig {
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        shard_deadline: Duration::from_millis(1_000),
+        ..RouterConfig::default()
+    };
+    cfg.shard_wal_factory = Some((0, Arc::new(FaultyFactory { plan: stall.clone() })));
+    let mut cluster = start_cluster("127.0.0.1:0", &template(), cfg).expect("cluster");
+    let fed = cluster.metrics_addr().expect("router health plane must be bound");
+    let shard0 = cluster.primary_metrics_addr(0).expect("shard 0 health plane must be bound");
+
+    // Healthy first: every shard reports ready through the federation.
+    assert!(
+        poll_until(Duration::from_secs(10), || http_get(fed, "/readyz").0 == 200),
+        "cluster never became ready: {}",
+        http_get(fed, "/readyz").1
+    );
+
+    // Chaos, part 1: retire shard 1's replica *server* while its
+    // replication thread keeps shipping — the drain monitor must notice.
+    cluster.kill_replica_server(1, 0);
+    // A few writes to shard 1 so its dead replica visibly falls behind.
+    let mut c1 = Client::connect(cluster.specs[1].primary).expect("connect shard 1 primary");
+    for i in 0..8u64 {
+        c1.insert_retrying(i as u32, &shape(i)).expect("shard 1 insert");
+    }
+
+    // Chaos, part 2: a write storm against shard 0 keeps its delayed WAL
+    // writer permanently mid-batch.
+    let stop = Arc::new(AtomicBool::new(false));
+    let s0 = cluster.specs[0].primary;
+    let stop2 = Arc::clone(&stop);
+    let storm = std::thread::spawn(move || {
+        let mut c = Client::connect(s0).expect("connect shard 0 primary");
+        let mut i = 0u64;
+        while !stop2.load(Ordering::SeqCst) {
+            let _ = c.insert_retrying(i as u32, &shape(i));
+            i += 1;
+        }
+    });
+
+    // Federated /readyz degrades with per-shard attribution: shard 0
+    // not-ready with the WAL writer named, shard 1 still ready (a dead
+    // replica is explained, not readiness-gating — reads fail over).
+    let degraded = poll_until(Duration::from_secs(20), || {
+        let (status, body) = http_get(fed, "/readyz");
+        status == 503
+            && body.contains("\"shard\":0,\"ready\":false")
+            && body.contains("\"wal_writer\":\"unhealthy\"")
+            && body.contains("\"shard\":1,\"ready\":true")
+    });
+    assert!(
+        degraded,
+        "federated readyz never attributed the stall: {}",
+        http_get(fed, "/readyz").1
+    );
+    assert!(stall.fired() > 0, "the WAL fault plan never fired — harness is vacuous");
+
+    // The journals explain both events: the shard's own journal names
+    // the stalled component; the router's names the stuck replica.
+    let (_, shard_journal) = http_get(shard0, "/debug/journal");
+    assert!(
+        shard_journal.contains("watchdog.stall") && shard_journal.contains("wal_writer"),
+        "shard 0 journal must name the stalled WAL writer: {shard_journal}"
+    );
+    assert!(
+        poll_until(Duration::from_secs(10), || {
+            http_get(fed, "/debug/journal").1.contains("repl.stuck")
+        }),
+        "router journal never reported the stuck replica: {}",
+        http_get(fed, "/debug/journal").1
+    );
+
+    // Recovery: stop the storm; the last batch drains through the
+    // delayed disk and readiness flips back — no restart anywhere.
+    stop.store(true, Ordering::SeqCst);
+    storm.join().unwrap();
+    assert!(
+        poll_until(Duration::from_secs(20), || http_get(fed, "/readyz").0 == 200),
+        "federated readyz never recovered after the stall drained: {}",
+        http_get(fed, "/readyz").1
+    );
+    let (_, shard_journal) = http_get(shard0, "/debug/journal");
+    assert!(
+        shard_journal.contains("watchdog.ok"),
+        "shard 0 journal missing the recovery transition: {shard_journal}"
     );
 
     cluster.shutdown();

@@ -1,0 +1,258 @@
+//! The health plane end to end over live durable servers (DESIGN §14):
+//! `/healthz`/`/readyz` verdicts, the WAL-writer stall watchdog flipping
+//! readiness (and flipping it back without a restart), and the journal
+//! surviving a dead journal disk by counting-and-dropping.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use geosir_core::matcher::MatchConfig;
+use geosir_geom::rangesearch::Backend;
+use geosir_geom::{Point, Polyline};
+use geosir_serve::{serve_durable, BaseTemplate, Client, DurabilityConfig, HealthConfig, ServeConfig};
+use geosir_storage::faults::{FaultKind, FaultPlan, FaultyFactory};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("geosir-health-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn template() -> BaseTemplate {
+    BaseTemplate {
+        alpha: 0.0,
+        backend: Backend::KdTree,
+        config: MatchConfig { beta: 0.2, ..Default::default() },
+        buffer_cap: 8,
+    }
+}
+
+fn tri(i: u64) -> Polyline {
+    Polyline::closed(vec![
+        Point::new(0.0, 0.0),
+        Point::new(3.0 + i as f64 * 0.01, 0.2),
+        Point::new(1.5, 2.0 + (i % 5) as f64 * 0.1),
+    ])
+    .unwrap()
+}
+
+/// Raw GET returning (status, body); non-200 is a result, not an error.
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect metrics endpoint");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read response");
+    let status: u16 =
+        out.split_whitespace().nth(1).and_then(|v| v.parse().ok()).unwrap_or(0);
+    let body = out.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+fn poll_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    false
+}
+
+fn fast_health() -> HealthConfig {
+    HealthConfig {
+        interval: Duration::from_millis(50),
+        wal_stall: Duration::from_millis(300),
+        // These tests exercise the watchdogs, not SLO window dynamics:
+        // a latency objective tight enough to trip on the fault-delayed
+        // (or debug-profile) writes would keep `slo` degraded — and
+        // readiness 503 — for a full short-window length after the
+        // stall clears. Give latency a generous ceiling and shrink the
+        // windows so any incidental burn drains in seconds.
+        latency_slo_us: 60_000_000,
+        slo_windows: vec![Duration::from_secs(1), Duration::from_secs(5)],
+        ..HealthConfig::default()
+    }
+}
+
+#[test]
+fn healthy_server_reports_ready_and_journals_lifecycle() {
+    let dir = tmpdir("ready");
+    let cfg = ServeConfig {
+        workers: 2,
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        health: fast_health(),
+        ..Default::default()
+    };
+    let (handle, _) =
+        serve_durable("127.0.0.1:0", &template(), DurabilityConfig::new(&dir), cfg).unwrap();
+    let maddr = handle.metrics_addr().expect("metrics endpoint must be bound");
+
+    // The watchdog's first verdict lands within an interval or two.
+    assert!(
+        poll_until(Duration::from_secs(5), || http_get(maddr, "/readyz").0 == 200),
+        "server never became ready: {}",
+        http_get(maddr, "/readyz").1
+    );
+    let (status, body) = http_get(maddr, "/healthz");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    let (status, body) = http_get(maddr, "/readyz");
+    assert_eq!(status, 200, "{body}");
+    for needle in
+        ["\"ready\":true", "\"read_only\":false", "wal_writer", "event_loop", "queues", "slo"]
+    {
+        assert!(body.contains(needle), "missing {needle} in readyz: {body}");
+    }
+
+    // Write enough to cascade — the lifecycle journal picks it up.
+    let mut c = Client::connect(handle.addr()).unwrap();
+    for i in 0..16u64 {
+        c.insert_retrying(i as u32, &tri(i)).unwrap();
+    }
+    let (status, journal) = http_get(maddr, "/debug/journal");
+    assert_eq!(status, 200);
+    for code in ["recovery.start", "recovery.done", "cascade.level"] {
+        assert!(journal.contains(code), "journal missing {code}: {journal}");
+    }
+
+    // Health gauges and SLO burn rates are on the scrape plane.
+    let (status, metrics) = http_get(maddr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("geosir_ready 1"), "{metrics}");
+    assert!(metrics.contains("geosir_health_status{component=\"wal_writer\"} 0"), "{metrics}");
+    assert!(metrics.contains("geosir_slo_burn_milli{objective=\"availability\""), "{metrics}");
+
+    // The journal also lands on disk, via the rotating JSONL sink —
+    // including the recovery events emitted before the sink existed
+    // (the server backfills the ring when it installs the sink).
+    let on_disk: String = std::fs::read_dir(dir.join("journal"))
+        .expect("journal dir exists")
+        .filter_map(|e| e.ok())
+        .filter_map(|e| std::fs::read_to_string(e.path()).ok())
+        .collect();
+    for code in ["recovery.start", "recovery.done", "cascade.level"] {
+        assert!(on_disk.contains(code), "on-disk journal missing {code}: {on_disk}");
+    }
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wal_writer_stall_flips_readyz_and_recovers_without_restart() {
+    let dir = tmpdir("stall");
+    // Every WAL op sleeps 700ms — any write batch is busy far past the
+    // 300ms stall deadline, and an idle writer (no ops) is healthy.
+    let plan = FaultPlan::new(FaultKind::Delay(Duration::from_millis(700)), 0, true);
+    let dcfg = DurabilityConfig {
+        io_factory: Some(std::sync::Arc::new(FaultyFactory { plan: plan.clone() })),
+        ..DurabilityConfig::new(&dir)
+    };
+    let cfg = ServeConfig {
+        workers: 2,
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        health: fast_health(),
+        ..Default::default()
+    };
+    let (handle, _) = serve_durable("127.0.0.1:0", &template(), dcfg, cfg).unwrap();
+    let maddr = handle.metrics_addr().unwrap();
+    assert!(
+        poll_until(Duration::from_secs(5), || http_get(maddr, "/readyz").0 == 200),
+        "never ready before the stall"
+    );
+
+    // A write stalls in the delayed WAL; the watchdog must notice while
+    // the batch is still in flight and name the component.
+    let addr = handle.addr();
+    let writer = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.insert_retrying(1, &tri(1)).unwrap();
+    });
+    let flipped = poll_until(Duration::from_secs(10), || {
+        let (status, body) = http_get(maddr, "/readyz");
+        status == 503 && body.contains("\"wal_writer\"") && body.contains("unhealthy")
+    });
+    assert!(flipped, "readyz never reported the stalled WAL writer");
+    let (_, journal) = http_get(maddr, "/debug/journal");
+    assert!(
+        journal.contains("watchdog.stall") && journal.contains("wal_writer"),
+        "journal must name the stalled component: {journal}"
+    );
+    assert!(plan.fired() > 0, "the fault plan never fired");
+
+    // The batch eventually clears the delayed disk; readiness must come
+    // back on its own — no restart.
+    writer.join().unwrap();
+    assert!(
+        poll_until(Duration::from_secs(20), || http_get(maddr, "/readyz").0 == 200),
+        "readyz never recovered after the stall cleared: {}",
+        http_get(maddr, "/readyz").1
+    );
+    let (_, journal) = http_get(maddr, "/debug/journal");
+    assert!(journal.contains("watchdog.ok"), "recovery transition missing: {journal}");
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn journal_disk_failure_is_counted_and_dropped_never_panics() {
+    let dir = tmpdir("journal-fail");
+    // The journal's own disk is dead from the first appended line; the
+    // WAL is healthy. Every emitted event must be counted and dropped.
+    let plan = FaultPlan::new(FaultKind::Fail, 0, true);
+    let dcfg = DurabilityConfig {
+        journal_io: Some(std::sync::Arc::new(FaultyFactory { plan: plan.clone() })),
+        ..DurabilityConfig::new(&dir)
+    };
+    let cfg = ServeConfig {
+        workers: 2,
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        health: fast_health(),
+        ..Default::default()
+    };
+    let (handle, _) = serve_durable("127.0.0.1:0", &template(), dcfg, cfg).unwrap();
+    let maddr = handle.metrics_addr().unwrap();
+
+    // Cascades emit journal events from the writer thread; each append
+    // hits the dead journal disk.
+    let mut c = Client::connect(handle.addr()).unwrap();
+    for i in 0..16u64 {
+        c.insert_retrying(i as u32, &tri(i)).unwrap();
+    }
+    assert!(
+        poll_until(Duration::from_secs(5), || {
+            let (_, metrics) = http_get(maddr, "/metrics");
+            series_value(&metrics, "geosir_journal_errors_total")
+                .map(|v| v >= 1.0)
+                .unwrap_or(false)
+        }),
+        "journal append failures were not counted"
+    );
+    assert!(plan.fired() > 0);
+
+    // The server is unharmed: queries answer, readiness holds, and the
+    // in-memory ring still serves /debug/journal.
+    let reply = c.query(&tri(3), 2).unwrap();
+    assert!(!reply.rejected);
+    assert_eq!(http_get(maddr, "/readyz").0, 200);
+    let (status, journal) = http_get(maddr, "/debug/journal");
+    assert_eq!(status, 200);
+    assert!(journal.contains("cascade.level"), "{journal}");
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Value of a Prometheus series whose line starts with `prefix`.
+fn series_value(text: &str, prefix: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(prefix)?;
+        rest.strip_prefix(' ')?.trim().parse().ok()
+    })
+}

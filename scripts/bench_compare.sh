@@ -46,13 +46,21 @@
 #      cadence while the cluster serves load must cost <= 3% qps vs the
 #      scraper-idle windows of the same interleaved A/B.
 #
+# When a BENCH_10.json (serve_loadgen --health-ab) is present — or named
+# as the seventh argument — the health-plane gate runs too:
+#
+#  12. running the health plane (watchdog + SLO burn-rate engine +
+#      journal sink) with a 10 Hz /healthz + /readyz operator probe
+#      must cost <= 3% qps vs an identical node with the plane off,
+#      and the probed node must end the run ready.
+#
 # All files should come from the same machine in the same session
 # (CI regenerates them back-to-back); comparing artifacts produced on
 # different hardware measures the hardware, not the code. BENCH_7 is
 # machine-insensitive on the gated fields (recall and reduction are
 # counts, not clocks), so a checked-in artifact stays comparable.
 #
-# Usage: scripts/bench_compare.sh [BENCH_5.json [BENCH_4.json [BENCH_6.json [BENCH_7.json [BENCH_8.json [BENCH_9.json]]]]]]
+# Usage: scripts/bench_compare.sh [BENCH_5.json [BENCH_4.json [BENCH_6.json [BENCH_7.json [BENCH_8.json [BENCH_9.json [BENCH_10.json]]]]]]]
 set -euo pipefail
 
 B5="${1:-BENCH_5.json}"
@@ -266,9 +274,7 @@ fi
 B9="${6:-BENCH_9.json}"
 if [ ! -f "$B9" ]; then
     echo "bench_compare: no $B9 — skipping scrape gate (run serve_loadgen --scrape-ab to enable)"
-    exit 0
-fi
-
+else
 python3 - "$B9" <<'EOF'
 import json
 import sys
@@ -303,4 +309,52 @@ if b9["scrapes"] <= 0:
 if failed:
     sys.exit(1)
 print("bench_compare: OK (scrape)")
+EOF
+fi
+
+# --- BENCH_10: health-plane tax gate (optional) ---
+B10="${7:-BENCH_10.json}"
+if [ ! -f "$B10" ]; then
+    echo "bench_compare: no $B10 — skipping health gate (run serve_loadgen --health-ab to enable)"
+    exit 0
+fi
+
+python3 - "$B10" <<'EOF'
+import json
+import sys
+
+b10_path = sys.argv[1]
+with open(b10_path) as f:
+    b10 = json.load(f)
+
+overhead = b10["overhead_pct"]
+off, on = b10["health_off"], b10["health_on"]
+health = b10["health"]
+
+print(f"bench_compare: {b10_path} (health-plane A/B, {b10['topology']}, "
+      f"{b10['host_cores']} host core(s))")
+print(f"  health off        {off['qps']:>10.1f} qps (p99 {off['p99_us']} us)")
+print(f"  health on + probe {on['qps']:>10.1f} qps (p99 {on['p99_us']} us)")
+print(f"  health tax        {overhead:>+10.2f}% (gate <= 3%; negative = noise)")
+print(f"  probes            {b10['probes']} at {b10['probe_interval_ms']} ms "
+      f"({b10['probe_bytes_avg']} bytes avg), final ready={health['final_ready']}, "
+      f"journal errors {health['journal_errors_total']}")
+
+failed = False
+# Self-monitoring must never meaningfully slow the node it monitors.
+if overhead > 3.0:
+    print(f"bench_compare: FAIL — health plane cost {overhead:.2f}% qps (> 3% gate)")
+    failed = True
+# An A/B with no completed probes measured nothing.
+if b10["probes"] <= 0:
+    print("bench_compare: FAIL — the operator probe never completed a health check")
+    failed = True
+# The probed node must have actually been ready (watchdog ran and
+# produced verdicts), and the journal sink must not have been failing.
+if health["final_ready"] != 1:
+    print("bench_compare: FAIL — the health-on node ended the run not-ready")
+    failed = True
+if failed:
+    sys.exit(1)
+print("bench_compare: OK (health)")
 EOF

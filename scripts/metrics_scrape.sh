@@ -3,13 +3,16 @@
 #
 # Default mode: boot `geosir serve --data-dir --metrics-addr`, drive a
 # few requests through the wire, then assert the core /metrics series
-# exist and are non-zero and /debug/last_queries answers.
+# exist and are non-zero, /debug/last_queries answers, /healthz is ok,
+# /readyz goes ready with all four watchdog components, and the
+# /debug/journal recorded recovery.
 #
 # --cluster mode: boot a 2-shard x 1-replica `geosir cluster` with the
 # router's federated endpoint and assert one scrape answers for the
 # whole cluster: merged unlabeled totals, `shard="0"`/`shard="1"`
-# labeled series, replication-lag gauges, router scrape telemetry, and
-# the /debug/cluster JSON topology.
+# labeled series, replication-lag gauges, router scrape telemetry, the
+# /debug/cluster JSON topology, and the federated /healthz + /readyz
+# with per-shard attribution.
 #
 # Uses an already-built release binary (fast path: no compilation here)
 # and bash /dev/tcp, so it needs neither curl nor extra tooling.
@@ -107,6 +110,44 @@ require_present() { # series-substring
     esac
 }
 
+# Health plane: /healthz (liveness) answers immediately; /readyz needs
+# the watchdog's first verdict — federated, every shard's — so poll it
+# briefly before asserting the body fragments.
+check_health() { # healthz-frag readyz-frag...
+    hfrag=$1
+    shift
+    HEALTH=$(http_get /healthz)
+    case "$HEALTH" in
+        HTTP/1.1\ 200*"$hfrag"*) ;;
+        *)
+            echo "metrics_scrape: /healthz not 200 with $hfrag:" >&2
+            printf '%s\n' "$HEALTH" >&2
+            exit 1
+            ;;
+    esac
+    READY=""
+    for i in $(seq 1 50); do
+        READY=$(http_get /readyz) || true
+        case "$READY" in HTTP/1.1\ 200*) break ;; esac
+        sleep 0.2
+        if [ "$i" = 50 ]; then
+            echo "metrics_scrape: /readyz never went 200:" >&2
+            printf '%s\n' "$READY" >&2
+            exit 1
+        fi
+    done
+    for frag in "$@"; do
+        case "$READY" in
+            *"$frag"*) ;;
+            *)
+                echo "metrics_scrape: /readyz missing $frag" >&2
+                printf '%s\n' "$READY" >&2
+                exit 1
+                ;;
+        esac
+    done
+}
+
 if [ "$MODE" = cluster ]; then
     # Federated view: merged unlabeled totals AND per-shard labels from
     # one endpoint, with router-native and replication-lag series.
@@ -140,6 +181,16 @@ if [ "$MODE" = cluster ]; then
         *) echo "metrics_scrape: /debug/flight not 200:"; echo "$FLIGHT"; exit 1 ;;
     esac
 
+    # Federated health: the router is alive, and cluster readiness
+    # carries per-shard attribution with component verdicts.
+    check_health '"role":"router"' \
+        '"ready":true' '"shard":0' '"shard":1' '"components"' '"primary_breaker"'
+    JOURNAL=$(http_get /debug/journal)
+    case "$JOURNAL" in
+        HTTP/1.1\ 200*) ;;
+        *) echo "metrics_scrape: /debug/journal not 200:"; echo "$JOURNAL"; exit 1 ;;
+    esac
+
     echo "metrics_scrape: OK (cluster)"
     exit 0
 fi
@@ -158,6 +209,15 @@ TRACES=$(http_get /debug/last_queries)
 case "$TRACES" in
     HTTP/1.1\ 200*) ;;
     *) echo "metrics_scrape: /debug/last_queries not 200:"; echo "$TRACES"; exit 1 ;;
+esac
+
+# Node health: live, ready, and all four watchdog components reported.
+check_health '"status":"ok"' \
+    '"ready":true' '"read_only":false' '"wal_writer"' '"event_loop"' '"queues"' '"slo"'
+JOURNAL=$(http_get /debug/journal)
+case "$JOURNAL" in
+    HTTP/1.1\ 200*recovery.done*) ;;
+    *) echo "metrics_scrape: /debug/journal missing recovery.done:"; echo "$JOURNAL"; exit 1 ;;
 esac
 
 echo "metrics_scrape: OK"

@@ -39,11 +39,13 @@ if [ "$elapsed" -gt 30 ]; then
 fi
 cargo clippy -p geosir-serve --features failpoints --all-targets -- -D warnings
 
-# Observability smoke: scrape /metrics + /debug/last_queries from a live
-# durable server, then the federated endpoint of a 2-shard cluster
-# (merged + shard-labeled series, /debug/cluster topology). Fast path —
-# reuses the release binary built above, no compilation, ~5 s wall.
-# Skip with GEOSIR_TIER1_NO_SCRAPE=1.
+# Observability smoke: scrape /metrics + /debug/last_queries + the
+# health plane (/healthz, /readyz with component verdicts, the
+# /debug/journal) from a live durable server, then the federated
+# endpoint of a 2-shard cluster (merged + shard-labeled series,
+# /debug/cluster topology, federated readiness with per-shard
+# attribution). Fast path — reuses the release binary built above, no
+# compilation, ~5 s wall. Skip with GEOSIR_TIER1_NO_SCRAPE=1.
 if [ "${GEOSIR_TIER1_NO_SCRAPE:-0}" != 1 ]; then
     ./scripts/metrics_scrape.sh
     ./scripts/metrics_scrape.sh --cluster

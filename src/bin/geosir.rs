@@ -20,9 +20,12 @@
 //! boots a sharded cluster behind a scatter-gather router
 //! (see `DESIGN.md` §12), `geosir topology [ADDR]` prints a running
 //! router's per-shard backend table with breaker states and
-//! replication lag, and `geosir top [ADDR] [--interval-ms N] [--once]`
+//! replication lag, `geosir top [ADDR] [--interval-ms N] [--once]`
 //! renders a router's federated `/metrics` endpoint as a live
-//! dashboard (see `DESIGN.md` §13).
+//! dashboard with an alerts pane (see `DESIGN.md` §13; `--once` exits
+//! nonzero when any shard is unhealthy), and `geosir health [ADDR]`
+//! one-shots `/healthz` + `/readyz` against a server or router and
+//! exits nonzero unless both pass (see `DESIGN.md` §14).
 
 use std::io::{BufRead, Write};
 
@@ -71,11 +74,24 @@ fn main() {
         return;
     }
     if args.first().map(String::as_str) == Some("top") {
-        if let Err(msg) = geosir::top_cmd::run(&args[1..]) {
-            eprintln!("geosir top: {msg}");
-            std::process::exit(2);
+        match geosir::top_cmd::run(&args[1..]) {
+            Ok(0) => return,
+            Ok(code) => std::process::exit(code),
+            Err(msg) => {
+                eprintln!("geosir top: {msg}");
+                std::process::exit(2);
+            }
         }
-        return;
+    }
+    if args.first().map(String::as_str) == Some("health") {
+        match geosir::health_cmd::run(&args[1..]) {
+            Ok(0) => return,
+            Ok(code) => std::process::exit(code),
+            Err(msg) => {
+                eprintln!("geosir health: {msg}");
+                std::process::exit(2);
+            }
+        }
     }
     let stdin = std::io::stdin();
     let mut session = geosir::cli::Session::new();

@@ -1,0 +1,103 @@
+//! `geosir health [ADDR]` — one-shot health check against a server's or
+//! router's HTTP observability plane (DESIGN §14).
+//!
+//! ```sh
+//! geosir health [ADDR]
+//! ```
+//!
+//! `ADDR` is a metrics listener — a single server's `--metrics-addr` or
+//! a router's federated one (default `127.0.0.1:9410`). Fetches
+//! `/healthz` (liveness) and `/readyz` (readiness), pretty-prints the
+//! JSON detail, and exits `1` unless both answered 200, so scripts and
+//! probes can gate on it directly.
+
+use crate::top_cmd::http_get_any;
+
+pub fn run(args: &[String]) -> Result<i32, String> {
+    let mut addr = "127.0.0.1:9410".to_string();
+    for arg in args {
+        match arg.as_str() {
+            other if !other.starts_with('-') => addr = other.to_string(),
+            other => return Err(format!("unknown flag {other} (usage: geosir health [ADDR])")),
+        }
+    }
+    let (live_status, _, live_body) = http_get_any(&addr, "/healthz")?;
+    let (ready_status, _, ready_body) = http_get_any(&addr, "/readyz")?;
+    let verdict = |s: u16| if s == 200 { "ok" } else { "FAIL" };
+    println!("{addr}");
+    println!("  healthz: {} ({live_status})", verdict(live_status));
+    println!("{}", indent_json(&live_body, 4));
+    println!("  readyz:  {} ({ready_status})", verdict(ready_status));
+    println!("{}", indent_json(&ready_body, 4));
+    Ok(if live_status == 200 && ready_status == 200 { 0 } else { 1 })
+}
+
+/// Minimal JSON reflow for terminal reading: newline + indent after
+/// structural tokens, strings passed through verbatim. Not a parser —
+/// the health plane machine-writes these documents, so structural
+/// characters never appear unescaped inside values other than strings.
+fn indent_json(json: &str, base: usize) -> String {
+    let mut out = String::with_capacity(json.len() * 2);
+    let mut depth = base / 2;
+    let mut in_str = false;
+    let mut escaped = false;
+    let newline = |out: &mut String, depth: usize| {
+        out.push('\n');
+        for _ in 0..depth * 2 {
+            out.push(' ');
+        }
+    };
+    for _ in 0..base {
+        out.push(' ');
+    }
+    for c in json.chars() {
+        if in_str {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                depth += 1;
+                out.push(c);
+                newline(&mut out, depth);
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                newline(&mut out, depth);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                newline(&mut out, depth);
+            }
+            ':' => out.push_str(": "),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indents_structures_and_leaves_strings_alone() {
+        let s = indent_json("{\"a\":1,\"b\":[true,\"x{y}\"]}", 0);
+        assert!(s.contains("\"a\": 1,\n"), "{s}");
+        assert!(s.contains("\"x{y}\""), "braces inside strings untouched: {s}");
+        let opens = s.matches('\n').count();
+        assert!(opens >= 4, "one line per element: {s}");
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod cli;
 pub mod cluster_cmd;
+pub mod health_cmd;
 pub mod server_cmd;
 pub mod system;
 pub mod top_cmd;

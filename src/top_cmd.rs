@@ -150,6 +150,17 @@ impl Poll {
 }
 
 fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    let (status, head, body) = http_get_any(addr, path)?;
+    if status != 200 {
+        let line = head.lines().next().unwrap_or("").to_string();
+        return Err(format!("{addr}{path}: {line}"));
+    }
+    Ok(body)
+}
+
+/// Like [`http_get`] but non-200 replies are data, not errors — the
+/// health plane speaks through 503 bodies.
+pub(crate) fn http_get_any(addr: &str, path: &str) -> Result<(u16, String, String), String> {
     let mut s = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     s.set_read_timeout(Some(Duration::from_secs(5))).ok();
     write!(s, "GET {path} HTTP/1.1\r\nHost: geosir\r\nConnection: close\r\n\r\n")
@@ -158,11 +169,58 @@ fn http_get(addr: &str, path: &str) -> Result<String, String> {
     s.read_to_string(&mut raw).map_err(|e| format!("read from {addr}: {e}"))?;
     let (head, body) =
         raw.split_once("\r\n\r\n").ok_or_else(|| format!("malformed reply from {addr}"))?;
-    if !head.starts_with("HTTP/1.1 200") {
-        let status = head.lines().next().unwrap_or("");
-        return Err(format!("{addr}{path}: {status}"));
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line from {addr}"))?;
+    Ok((status, head.to_string(), body.to_string()))
+}
+
+/// Shards whose `"ready":false` in the router's `/readyz` JSON. Same
+/// positional-scan policy as [`primary_state`]: the document is
+/// machine-written with a fixed shape.
+fn unready_shards(readyz: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut rest = readyz;
+    while let Some(i) = rest.find("\"shard\":") {
+        rest = &rest[i + 8..];
+        let shard: Option<usize> =
+            rest.split(|c: char| !c.is_ascii_digit()).next().and_then(|d| d.parse().ok());
+        if let (Some(shard), Some(j)) = (shard, rest.find("\"ready\":")) {
+            if rest[j + 8..].starts_with("false") {
+                out.push(shard);
+            }
+        }
     }
-    Ok(body.to_string())
+    out
+}
+
+/// The warning rows: breaker trouble, federated scrape misses in the
+/// window, and shards failing readiness. Empty when all is well.
+fn alerts(cur: &Poll, prev: &Poll, cluster_json: &str, readyz: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for shard in 0.. {
+        let l = shard_label(shard);
+        if cur.get(&series_key("geosir_router_shard_queries_total", &[("shard", &l)])).is_none() {
+            break;
+        }
+        let state = primary_state(cluster_json, shard);
+        if state != "closed" && state != "?" {
+            out.push(format!("shard {shard} primary breaker {state}"));
+        }
+    }
+    let miss_key = series_key("geosir_router_scrape_misses_total", &[]);
+    let misses = cur.get(&miss_key).unwrap_or(0.0);
+    let prev_misses = prev.get(&miss_key).unwrap_or(0.0);
+    let delta = if prev.at.is_some() { misses - prev_misses } else { misses };
+    if delta > 0.0 {
+        out.push(format!("{delta:.0} federated scrape miss(es) in window"));
+    }
+    for shard in unready_shards(readyz) {
+        out.push(format!("shard {shard} NOT READY (see /readyz)"));
+    }
+    out
 }
 
 /// Pull the primary breaker state for `shard` out of the
@@ -199,7 +257,14 @@ fn shard_label(shard: usize) -> String {
 }
 
 /// Render one frame from the current and previous polls.
-fn render(addr: &str, cur: &Poll, prev: &Poll, cluster_json: &str, dt: f64) -> String {
+fn render(
+    addr: &str,
+    cur: &Poll,
+    prev: &Poll,
+    cluster_json: &str,
+    readyz: &str,
+    dt: f64,
+) -> String {
     let mut out = String::with_capacity(2048);
     let window = if dt > 0.0 { format!("{dt:.1}s window") } else { "lifetime totals".into() };
     out.push_str(&format!("GEOSIR TOP — {addr}  ({window}; q + Enter to quit)\n"));
@@ -212,10 +277,14 @@ fn render(addr: &str, cur: &Poll, prev: &Poll, cluster_json: &str, dt: f64) -> S
     let misses = cur.get(&series_key("geosir_router_scrape_misses_total", &[])).unwrap_or(0.0);
     out.push_str(&format!(
         "cluster: qps {qps:>8.1}  p50 {:>7}  p99 {:>7}  partial/s {partial:>6.1}  \
-         scrapes {scrapes:.0} (missed {misses:.0})\n\n",
+         scrapes {scrapes:.0} (missed {misses:.0})\n",
         opt_us(p50),
         opt_us(p99),
     ));
+    for a in alerts(cur, prev, cluster_json, readyz) {
+        out.push_str(&format!(" !! {a}\n"));
+    }
+    out.push('\n');
     out.push_str(
         "shard      qps      p50      p99  queue  hedge/s  fail/s  drop/s     lag(rec/ms)  primary\n",
     );
@@ -261,8 +330,10 @@ fn render(addr: &str, cur: &Poll, prev: &Poll, cluster_json: &str, dt: f64) -> S
 }
 
 /// Parse `args` (everything after the literal `top`) and run the
-/// dashboard until `q`/EOF/Ctrl-C.
-pub fn run(args: &[String]) -> Result<(), String> {
+/// dashboard until `q`/EOF/Ctrl-C. Returns the process exit code:
+/// `--once` yields 1 when any shard is unhealthy (alert rows present),
+/// 0 otherwise, so scripts can gate on cluster health.
+pub fn run(args: &[String]) -> Result<i32, String> {
     let mut addr = "127.0.0.1:9410".to_string();
     let mut interval = Duration::from_millis(1000);
     let mut once = false;
@@ -285,16 +356,21 @@ pub fn run(args: &[String]) -> Result<(), String> {
         }
     }
 
-    let fetch = |addr: &str| -> Result<(Poll, String), String> {
+    let fetch = |addr: &str| -> Result<(Poll, String, String), String> {
         let metrics = http_get(addr, "/metrics")?;
         let cluster = http_get(addr, "/debug/cluster").unwrap_or_default();
-        Ok((parse_prometheus(&metrics), cluster))
+        // 503 is a *result* here (degraded cluster), not a fetch error
+        let readyz =
+            http_get_any(addr, "/readyz").map(|(_, _, body)| body).unwrap_or_default();
+        Ok((parse_prometheus(&metrics), cluster, readyz))
     };
 
     if once {
-        let (cur, cluster) = fetch(&addr)?;
-        print!("{}", render(&addr, &cur, &Poll::default(), &cluster, 0.0));
-        return Ok(());
+        let (cur, cluster, readyz) = fetch(&addr)?;
+        let prev = Poll::default();
+        print!("{}", render(&addr, &cur, &prev, &cluster, &readyz, 0.0));
+        let unhealthy = !alerts(&cur, &prev, &cluster, &readyz).is_empty();
+        return Ok(if unhealthy { 1 } else { 0 });
     }
 
     // `q` + Enter stops the loop; a reader thread keeps the main loop
@@ -320,13 +396,13 @@ pub fn run(args: &[String]) -> Result<(), String> {
 
     let mut prev = Poll::default();
     while !stop.load(Ordering::SeqCst) {
-        let (cur, cluster) = fetch(&addr)?;
+        let (cur, cluster, readyz) = fetch(&addr)?;
         let dt = match (prev.at, cur.at) {
             (Some(a), Some(b)) => b.duration_since(a).as_secs_f64(),
             _ => 0.0,
         };
         // ANSI clear + home; every frame is a full repaint
-        let frame = render(&addr, &cur, &prev, &cluster, dt);
+        let frame = render(&addr, &cur, &prev, &cluster, &readyz, dt);
         print!("\x1b[2J\x1b[H{frame}");
         std::io::stdout().flush().ok();
         prev = cur;
@@ -335,7 +411,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             std::thread::sleep(Duration::from_millis(50));
         }
     }
-    Ok(())
+    Ok(0)
 }
 
 #[cfg(test)]
@@ -388,6 +464,27 @@ geosir_request_latency_us_count{type=\"query\"} 10
         assert_eq!(cur.rate(&prev, 0.0, &key), 500.0, "no prev → lifetime total");
         prev.series.insert(key.clone(), 400.0);
         assert_eq!(cur.rate(&prev, 2.0, &key), 50.0, "delta over window");
+    }
+
+    #[test]
+    fn unready_shard_scan_and_alert_rows() {
+        let readyz = "{\"ready\":false,\"shards\":[\
+            {\"shard\":0,\"ready\":true,\"source\":\"a\"},\
+            {\"shard\":1,\"ready\":false,\"source\":null,\"detail\":\"no backend\"}]}";
+        assert_eq!(unready_shards(readyz), vec![1]);
+
+        let cluster = "{\"router\":\"r\",\"shards\":[\
+            {\"shard\":0,\"primary\":{\"addr\":\"a\",\"state\":\"open\"},\"replicas\":[]}]}";
+        let mut cur = Poll::default();
+        cur.series.insert(series_key("geosir_router_shard_queries_total", &[("shard", "0")]), 1.0);
+        cur.series.insert(series_key("geosir_router_scrape_misses_total", &[]), 3.0);
+        let rows = alerts(&cur, &Poll::default(), cluster, readyz);
+        assert!(rows.iter().any(|r| r.contains("breaker open")), "{rows:?}");
+        assert!(rows.iter().any(|r| r.contains("3 federated scrape miss")), "{rows:?}");
+        assert!(rows.iter().any(|r| r.contains("shard 1 NOT READY")), "{rows:?}");
+
+        let healthy = alerts(&Poll::default(), &Poll::default(), "{}", "{\"ready\":true}");
+        assert!(healthy.is_empty(), "{healthy:?}");
     }
 
     #[test]
